@@ -1,0 +1,50 @@
+"""Shared configuration for the paper-reproduction benchmark harness.
+
+Each module regenerates one table or figure of the paper (plus the
+ablations from DESIGN.md), prints it next to the paper's published
+values, and asserts the paper's qualitative claims on the measured data.
+
+Knobs (environment variables):
+
+* ``REPRO_BENCH_INSTRUCTIONS`` — timed instructions per simulation
+  (default 10000; the models converge quickly, see the convergence
+  test).  Raise for smoother numbers.
+* ``REPRO_BENCH_SEED`` — workload seed (default 1).
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.runner import ExperimentRunner, RunSettings
+
+BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "10000"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+def bench_settings(**overrides) -> RunSettings:
+    values = dict(
+        instructions=BENCH_INSTRUCTIONS,
+        seed=BENCH_SEED,
+    )
+    values.update(overrides)
+    return RunSettings(**values)
+
+
+@pytest.fixture(scope="session")
+def settings() -> RunSettings:
+    return bench_settings()
+
+
+@pytest.fixture(scope="session")
+def runner(settings) -> ExperimentRunner:
+    """One memoizing runner shared by Table 3, Table 4 and the claim
+    checks, so common configurations simulate once per session."""
+    return ExperimentRunner(settings)
+
+
+def once(benchmark, func):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

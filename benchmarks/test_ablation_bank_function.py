@@ -1,0 +1,68 @@
+"""A2 — bank-selection function ablation (paper section 3.2).
+
+The paper argues that sophisticated selection functions are unattractive
+for caches because much of the conflict mass is same-line (which no bank
+function can fix, but combining can).  The sweep quantifies that: hashes
+help the *banked* cache on conflict-heavy FP codes, while the LBIC is
+much less sensitive.
+"""
+
+import pytest
+
+from conftest import bench_settings, once
+from repro.common.config import BANK_FUNCTIONS
+from repro.experiments.ablations import ablate_bank_function
+
+BENCHES = ("li", "gcc", "swim", "mgrid")
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return ablate_bank_function(bench_settings(benchmarks=BENCHES))
+
+
+def test_bank_function_regeneration(benchmark):
+    settings = bench_settings(benchmarks=("swim",))
+    banked, lbic = once(benchmark, lambda: ablate_bank_function(settings))
+    print()
+    print(banked.render())
+    print()
+    print(lbic.render())
+
+
+class TestBankFunctionShape:
+    def test_hashing_helps_banked_on_aliased_fp(self, sweeps):
+        """swim's power-of-two array aliasing is exactly what XOR/hash
+        interleaving breaks."""
+        banked, _ = sweeps
+        print()
+        print(banked.render())
+        functions = list(BANK_FUNCTIONS)
+        swim = banked.ipcs["swim"]
+        bit_select = swim[functions.index("bit-select")]
+        best_hash = max(
+            swim[functions.index("xor-fold")],
+            swim[functions.index("fibonacci")],
+        )
+        assert best_hash > bit_select * 1.05
+
+    def test_lbic_less_sensitive_than_banked(self, sweeps):
+        """Relative spread across bank functions: smaller for the LBIC
+        (combining removed the same-line share of conflicts)."""
+        banked, lbic = sweeps
+        print()
+        print(lbic.render())
+
+        def spread(sweep):
+            values = sweep.average()
+            return (max(values) - min(values)) / max(values)
+
+        assert spread(lbic) <= spread(banked) + 0.02
+
+    def test_int_codes_mostly_indifferent(self, sweeps):
+        """For same-line-dominated integer codes, the function choice
+        barely matters — the paper's point."""
+        banked, _ = sweeps
+        for name in ("li", "gcc"):
+            values = banked.ipcs[name]
+            assert (max(values) - min(values)) / max(values) < 0.25

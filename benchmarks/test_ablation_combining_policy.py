@@ -1,0 +1,39 @@
+"""A4 — LSQ access-selection policy (the paper's section 5.2 enhancement).
+
+The paper ships the simple *leading-request* policy and proposes
+selecting the *largest group* of combinable ready accesses as future
+work; this bench implements and measures that proposal.
+"""
+
+import pytest
+
+from conftest import bench_settings, once
+from repro.experiments.ablations import ablate_combining_policy
+
+BENCHES = ("li", "gcc", "swim", "mgrid")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return ablate_combining_policy(bench_settings(benchmarks=BENCHES))
+
+
+def test_combining_policy_regeneration(benchmark):
+    settings = bench_settings(benchmarks=("swim",))
+    result = once(benchmark, lambda: ablate_combining_policy(settings))
+    print()
+    print(result.render())
+
+
+class TestPolicyShape:
+    def test_largest_group_is_no_worse(self, sweep):
+        print()
+        print(sweep.render())
+        leading, largest = sweep.average()
+        assert largest >= leading * 0.95
+
+    def test_gain_is_modest(self, sweep):
+        """The paper kept leading-request because it is 'fair and simple';
+        the enhancement should not be transformative."""
+        leading, largest = sweep.average()
+        assert largest <= leading * 1.3

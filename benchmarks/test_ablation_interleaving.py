@@ -1,0 +1,54 @@
+"""A6 — line vs word interleaving (paper section 3.2 footnote).
+
+Word interleaving spreads same-line accesses across banks — the vector
+supercomputer technique — but "is costly since the tag store would need
+to be replicated or multi-ported", and it cannot fix power-of-two array
+aliasing.  The sweep quantifies both halves of the argument.
+"""
+
+import pytest
+
+from conftest import bench_settings, once
+from repro.common.config import BankedPortConfig, L1Config
+from repro.cost.area import cache_area
+from repro.experiments.ablations import ablate_interleaving
+
+BENCHES = ("li", "gcc", "swim", "mgrid")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return ablate_interleaving(bench_settings(benchmarks=BENCHES))
+
+
+def test_interleaving_regeneration(benchmark):
+    settings = bench_settings(benchmarks=("li", "swim"))
+    result = once(benchmark, lambda: ablate_interleaving(settings))
+    print()
+    print(result.render())
+
+
+class TestInterleavingShape:
+    def test_word_interleaving_rescues_same_line_codes(self, sweep):
+        """li's conflicts are overwhelmingly same-line: word interleaving
+        removes them."""
+        print()
+        print(sweep.render())
+        line, word = sweep.ipcs["li"]
+        assert word > line * 1.15
+
+    def test_word_interleaving_cannot_fix_swim(self, sweep):
+        """swim's arrays alias at 512-byte granularity — same bank under
+        word interleaving too.  The gain must stay modest."""
+        line, word = sweep.ipcs["swim"]
+        assert word < line * 1.35
+
+    def test_tag_replication_cost(self):
+        """The paper's cost objection: the word-interleaved tag store is
+        replicated in every bank a line spans."""
+        l1 = L1Config()
+        line_cfg = BankedPortConfig(banks=4, interleave="line")
+        word_cfg = BankedPortConfig(banks=4, interleave="word")
+        line_tags = cache_area(line_cfg, l1).tag_array
+        word_tags = cache_area(word_cfg, l1).tag_array
+        assert word_tags == pytest.approx(4 * line_tags)  # 4 words/32B line

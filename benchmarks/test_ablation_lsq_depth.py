@@ -1,0 +1,41 @@
+"""A1 — LSQ depth ablation (paper section 5.2: 'performance of the
+scheme depends on the depth of the LSQ')."""
+
+import pytest
+
+from conftest import bench_settings, once
+from repro.experiments.ablations import ablate_lsq_depth
+
+DEPTHS = (8, 32, 128, 512)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    settings = bench_settings(benchmarks=("li", "perl", "swim", "mgrid"))
+    return ablate_lsq_depth(settings, depths=DEPTHS)
+
+
+def test_lsq_depth_regeneration(benchmark):
+    settings = bench_settings(benchmarks=("li", "swim"))
+    result = once(benchmark, lambda: ablate_lsq_depth(settings, depths=DEPTHS))
+    print()
+    print(result.render())
+
+
+class TestLsqDepthShape:
+    def test_deeper_lsq_helps(self, sweep):
+        print()
+        print(sweep.render())
+        average = sweep.average()
+        assert average[-1] > average[0] * 1.1
+
+    def test_monotonic_on_average(self, sweep):
+        average = sweep.average()
+        for small, large in zip(average, average[1:]):
+            assert large >= small * 0.97
+
+    def test_saturation(self, sweep):
+        """Most of the benefit arrives well before 512 entries."""
+        average = sweep.average()
+        assert average[2] > average[0]
+        assert average[-1] / average[2] < 1.25

@@ -1,0 +1,47 @@
+"""A3 — LBIC per-bank store-queue depth ablation.
+
+The paper assumes a store queue "that can hold up to some number of
+words" without sizing it; this sweep sizes it.
+"""
+
+import pytest
+
+from conftest import bench_settings, once
+from repro.experiments.ablations import ablate_store_queue
+
+DEPTHS = (1, 2, 4, 8, 16)
+#: store-heavy programs stress the queue; mgrid is the no-store control
+BENCHES = ("compress", "li", "perl", "mgrid")
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return ablate_store_queue(bench_settings(benchmarks=BENCHES), depths=DEPTHS)
+
+
+def test_store_queue_regeneration(benchmark):
+    settings = bench_settings(benchmarks=("compress",))
+    result = once(benchmark, lambda: ablate_store_queue(settings, depths=DEPTHS))
+    print()
+    print(result.render())
+
+
+class TestStoreQueueShape:
+    def test_deeper_queues_help_store_heavy_codes(self, sweep):
+        print()
+        print(sweep.render())
+        for name in ("compress", "li", "perl"):
+            row = sweep.ipcs[name]
+            assert row[-1] >= row[0]
+
+    def test_mgrid_indifferent(self, sweep):
+        """With 0.04 stores per load, mgrid cannot care."""
+        row = sweep.ipcs["mgrid"]
+        assert (max(row) - min(row)) / max(row) < 0.10
+
+    def test_default_depth_is_in_the_flat_region(self, sweep):
+        """Depth 8 (the library default) captures nearly all the benefit."""
+        average = sweep.average()
+        depth8 = average[DEPTHS.index(8)]
+        depth16 = average[DEPTHS.index(16)]
+        assert depth16 / depth8 < 1.08

@@ -1,0 +1,50 @@
+"""A5 — cost/performance: the die-area arguments of sections 1 and 6."""
+
+import pytest
+
+from conftest import bench_settings, once
+from repro.common.config import LBICConfig, ReplicatedPortConfig
+from repro.cost.area import area_ratio
+from repro.experiments.ablations import cost_performance, render_cost_performance
+
+
+@pytest.fixture(scope="module")
+def points():
+    settings = bench_settings(benchmarks=("li", "gcc", "swim", "mgrid"))
+    return cost_performance(settings)
+
+
+def test_cost_performance_regeneration(benchmark):
+    settings = bench_settings(benchmarks=("li", "swim"))
+    points = once(benchmark, lambda: cost_performance(settings))
+    print()
+    print(render_cost_performance(points))
+
+
+class TestCostClaims:
+    def test_paper_2x_area_claim(self):
+        """Section 6: a 2-port replicated cache costs about twice the
+        2x2 LBIC in die area."""
+        ratio = area_ratio(
+            ReplicatedPortConfig(2), LBICConfig(banks=2, buffer_ports=2)
+        )
+        assert ratio == pytest.approx(2.0, abs=0.4)
+
+    def test_lbic_dominates_replication(self, points):
+        """At similar or lower area, the LBIC outperforms replication —
+        the cost-effectiveness headline."""
+        print()
+        print(render_cost_performance(points))
+        by_label = {p.label: p for p in points}
+        lbic = by_label["lbic-4x2"]
+        repl = by_label["repl-4"]
+        assert lbic.area_rbe < repl.area_rbe
+        assert lbic.specfp_ipc > repl.specfp_ipc * 0.95
+
+    def test_lbic_close_to_banked_cost(self, points):
+        by_label = {p.label: p for p in points}
+        assert by_label["lbic-4x4"].area_rbe < by_label["bank-4"].area_rbe * 1.2
+
+    def test_ideal_is_most_expensive_per_port(self, points):
+        by_label = {p.label: p for p in points}
+        assert by_label["ideal-4"].area_rbe > by_label["lbic-4x4"].area_rbe

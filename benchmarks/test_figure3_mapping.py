@@ -1,0 +1,107 @@
+"""E3 — regenerate Figure 3 (consecutive-reference mapping analysis)."""
+
+import pytest
+
+from conftest import bench_settings, once
+from repro.experiments.figure3 import render_bank_sweep, run_bank_sweep, run_figure3
+from repro.workloads.spec95 import (
+    PAPER_TARGETS,
+    SPECFP_NAMES,
+    SPECINT_NAMES,
+    TOLERANCES,
+)
+
+
+@pytest.fixture(scope="module")
+def figure3(settings):
+    return run_figure3(settings)
+
+
+def test_figure3_regeneration(benchmark, settings):
+    result = once(benchmark, lambda: run_figure3(settings))
+    print()
+    print(result.render())
+    assert set(result.rows) == set(settings.benchmarks)
+
+
+class TestFigure3Shape:
+    def test_per_benchmark_same_line_targets(self, figure3):
+        for name, mapping in figure3.rows.items():
+            assert mapping.fraction("B-same-line") == pytest.approx(
+                PAPER_TARGETS[name].fig3_same_line,
+                abs=TOLERANCES["fig3_same_line"],
+            ), name
+
+    def test_per_benchmark_diff_line_targets(self, figure3):
+        for name, mapping in figure3.rows.items():
+            assert mapping.fraction("B-diff-line") == pytest.approx(
+                PAPER_TARGETS[name].fig3_diff_line,
+                abs=TOLERANCES["fig3_diff_line"],
+            ), name
+
+    def test_int_average_same_line_near_paper(self, figure3):
+        """Paper: same-line averages 35.4% of SPECint references."""
+        names = [n for n in SPECINT_NAMES if n in figure3.rows]
+        if len(names) == 5:
+            avg = figure3.average(names)["B-same-line"]
+            assert avg == pytest.approx(0.354, abs=0.06)
+
+    def test_fp_average_diff_line_near_paper(self, figure3):
+        """Paper: B-diff-line averages 21.42% of SPECfp references."""
+        names = [n for n in SPECFP_NAMES if n in figure3.rows]
+        if len(names) == 5:
+            avg = figure3.average(names)["B-diff-line"]
+            assert avg == pytest.approx(0.2142, abs=0.06)
+
+    def test_same_bank_skew(self, figure3):
+        """Paper section 4: same-bank mass well above the uniform 25%."""
+        for name, mapping in figure3.rows.items():
+            assert mapping.same_bank_fraction() > 0.30, name
+
+    def test_swim_and_wave5_published_values(self, figure3):
+        if "swim" in figure3.rows:
+            assert figure3.rows["swim"].fraction("B-diff-line") == pytest.approx(
+                0.3381, abs=0.06
+            )
+        if "wave5" in figure3.rows:
+            assert figure3.rows["wave5"].fraction("B-diff-line") == pytest.approx(
+                0.2473, abs=0.06
+            )
+
+
+class TestBankSweep:
+    """The paper's section 4 infinite-banks argument, quantified."""
+
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_bank_sweep(
+            bench_settings(benchmarks=("li", "gcc", "swim", "mgrid"))
+        )
+
+    def test_same_line_mass_is_bank_invariant(self, sweep):
+        """Same line implies same bank at every bank count: no amount of
+        banking removes the combinable conflicts."""
+        print()
+        print(render_bank_sweep(sweep))
+        for name in sweep[2].rows:
+            values = [
+                sweep[banks].rows[name].fraction("B-same-line")
+                for banks in sorted(sweep)
+            ]
+            assert max(values) - min(values) < 1e-9, name
+
+    def test_diff_line_mass_shrinks_with_banks(self, sweep):
+        """More banks do remove *different-line* conflicts for codes
+        without pathological strides."""
+        for name in ("li", "gcc"):
+            dl2 = sweep[2].rows[name].fraction("B-diff-line")
+            dl16 = sweep[16].rows[name].fraction("B-diff-line")
+            assert dl16 < 0.5 * dl2, name
+
+    def test_swim_aliasing_defeats_banking(self, sweep):
+        """swim's power-of-two array spacing keeps most of its diff-line
+        conflicts even at 16 banks — why its Table 3 Bank column barely
+        moves."""
+        dl2 = sweep[2].rows["swim"].fraction("B-diff-line")
+        dl16 = sweep[16].rows["swim"].fraction("B-diff-line")
+        assert dl16 > 0.6 * dl2

@@ -1,0 +1,83 @@
+"""E5 — the paper's section 6 cross-comparisons and the C1-C6 claim set."""
+
+import pytest
+
+from conftest import once
+from repro.experiments.comparisons import check_claims
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+
+
+@pytest.fixture(scope="module")
+def everything(runner):
+    table3 = run_table3(runner)
+    table4 = run_table4(runner)
+    figure3 = run_figure3(runner.settings)
+    return table3, table4, figure3
+
+
+def test_claim_checklist(benchmark, everything):
+    table3, table4, figure3 = everything
+    report = once(benchmark, lambda: check_claims(table3, table4, figure3))
+    print()
+    print(report.render())
+    assert report.all_passed, [check.claim_id for check in report.failures()]
+
+
+class TestSection6Comparisons:
+    def test_2x2_lbic_vs_2port_ideal(self, everything):
+        """Paper: 'With the exception of compress, the 2x2 LBIC
+        outperforms the 2-port ideal cache.'"""
+        table3, table4, _ = everything
+        winners = [
+            name for name in table4.rows
+            if table4.ipc(name, 2, 2) >= 0.95 * table3.ipc(name, "true", 2)
+        ]
+        assert len(winners) >= 0.7 * len(table4.rows)
+
+    def test_4x4_lbic_vs_8_bank(self, everything):
+        """Paper: the 4x4 LBIC beats the 8-bank cache on both suites."""
+        table3, table4, _ = everything
+        for label in table3.averages:
+            suite_names = [
+                n for n in table4.rows
+                if (n in ("compress", "gcc", "go", "li", "perl"))
+                == (label == "SPECint Ave.")
+            ]
+            if not suite_names:
+                continue
+            lbic = sum(table4.ipc(n, 4, 4) for n in suite_names) / len(suite_names)
+            bank8 = sum(
+                table3.ipc(n, "bank", 8) for n in suite_names
+            ) / len(suite_names)
+            assert lbic >= bank8 * 0.98, label
+
+    def test_4x4_lbic_vs_4port_ideal_on_int(self, everything):
+        """Paper: 4x4 LBIC achieves ~90% of 4-port ideal on SPECint."""
+        table3, table4, _ = everything
+        names = [n for n in table4.rows
+                 if n in ("compress", "gcc", "go", "li", "perl")]
+        if not names:
+            pytest.skip("no SPECint benchmarks in this run")
+        lbic = sum(table4.ipc(n, 4, 4) for n in names) / len(names)
+        ideal = sum(table3.ipc(n, "true", 4) for n in names) / len(names)
+        assert lbic >= 0.80 * ideal
+
+    def test_mgrid_4port_ideal_loses_to_4x4_lbic(self, everything):
+        """Paper: the 4-port ideal cache achieves only 64% of the 4x4
+        LBIC's performance on mgrid."""
+        table3, table4, _ = everything
+        if "mgrid" not in table4.rows:
+            pytest.skip("mgrid not in this run")
+        assert table3.ipc("mgrid", "true", 4) < table4.ipc("mgrid", 4, 4)
+
+    def test_lbic_always_at_least_banked(self, everything):
+        """An MxN LBIC should never lose to the M-bank cache it extends."""
+        table3, table4, _ = everything
+        for name in table4.rows:
+            for banks in (2, 4, 8):
+                if ("bank", banks) in table3.rows[name]:
+                    assert table4.ipc(name, banks, 2) >= table3.ipc(
+                        name, "bank", banks
+                    ) * 0.95, (name, banks)

@@ -1,0 +1,56 @@
+"""Engineering benchmarks: simulator throughput (proper multi-round
+pytest-benchmark measurements, not table regenerations)."""
+
+import pytest
+
+from repro import (
+    IdealPortConfig,
+    LBICConfig,
+    Processor,
+    paper_machine,
+)
+from repro.analysis.traces import characterize
+from repro.workloads import spec95_workload
+
+N = 5_000
+
+
+def simulate_once(name, ports):
+    workload = spec95_workload(name)
+    processor = Processor(paper_machine(ports))
+    return processor.run(workload.stream(seed=1), max_instructions=N)
+
+
+class TestSimulatorThroughput:
+    def test_ideal_port_machine(self, benchmark):
+        result = benchmark.pedantic(
+            lambda: simulate_once("gcc", IdealPortConfig(4)),
+            rounds=3, iterations=1,
+        )
+        assert result.instructions == N
+
+    def test_lbic_machine(self, benchmark):
+        result = benchmark.pedantic(
+            lambda: simulate_once("swim", LBICConfig(banks=4, buffer_ports=4)),
+            rounds=3, iterations=1,
+        )
+        assert result.instructions == N
+
+
+class TestGenerationThroughput:
+    def test_workload_generation(self, benchmark):
+        def generate():
+            workload = spec95_workload("swim")
+            return sum(1 for _ in workload.stream(seed=1, max_instructions=20_000))
+
+        assert benchmark.pedantic(generate, rounds=3, iterations=1) == 20_000
+
+    def test_functional_characterization(self, benchmark):
+        def run():
+            workload = spec95_workload("li")
+            return characterize(
+                workload.stream(seed=1, max_instructions=20_000)
+            )
+
+        stats = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert stats.instructions == 20_000

@@ -1,0 +1,48 @@
+"""E1 — regenerate Table 2 (benchmark memory characteristics)."""
+
+import pytest
+
+from conftest import once
+from repro.experiments.table2 import run_table2
+from repro.workloads.spec95 import ALL_NAMES, PAPER_TARGETS, TOLERANCES
+
+
+@pytest.fixture(scope="module")
+def table2(settings):
+    return run_table2(settings)
+
+
+def test_table2_regeneration(benchmark, settings):
+    result = once(benchmark, lambda: run_table2(settings))
+    print()
+    print(result.render())
+    assert set(result.rows) == set(settings.benchmarks)
+
+
+class TestTable2Shape:
+    def test_mem_fractions_match_paper(self, table2):
+        for name, row in table2.rows.items():
+            assert row.measured.mem_fraction == pytest.approx(
+                PAPER_TARGETS[name].mem_fraction,
+                abs=TOLERANCES["mem_fraction"],
+            ), name
+
+    def test_store_ratios_match_paper(self, table2):
+        for name, row in table2.rows.items():
+            assert row.measured.store_to_load_ratio == pytest.approx(
+                PAPER_TARGETS[name].store_to_load,
+                abs=TOLERANCES["store_to_load"],
+            ), name
+
+    def test_miss_rates_match_paper(self, table2):
+        for name, row in table2.rows.items():
+            assert row.measured.miss_rate == pytest.approx(
+                PAPER_TARGETS[name].miss_rate, abs=TOLERANCES["miss_rate"]
+            ), name
+
+    def test_miss_rate_ordering_preserved(self, table2):
+        """su2cor highest, li lowest — as in the paper's Table 2."""
+        rates = {n: r.measured.miss_rate for n, r in table2.rows.items()}
+        if {"su2cor", "li"} <= set(rates):
+            assert max(rates, key=rates.get) == "su2cor"
+            assert min(rates, key=rates.get) == "li"

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Design-space exploration: performance vs die area across organizations.
+
+Sweeps ideal/replicated/banked/LBIC configurations over a benchmark,
+scores each with the RBE area model, and reports the Pareto frontier —
+the cost/performance argument of the paper's sections 1 and 6 made
+explicit.
+
+Usage::
+
+    python examples/design_space_exploration.py [benchmark]
+"""
+
+import sys
+
+from repro import (
+    BankedPortConfig,
+    IdealPortConfig,
+    LBICConfig,
+    ReplicatedPortConfig,
+    paper_machine,
+    simulate,
+)
+from repro.common.tables import Table
+from repro.cost.area import cache_area
+from repro.workloads import spec95_workload
+
+INSTRUCTIONS = 10_000
+WARMUP = 30_000
+
+DESIGN_SPACE = [
+    ("ideal-1", IdealPortConfig(1)),
+    ("ideal-2", IdealPortConfig(2)),
+    ("ideal-4", IdealPortConfig(4)),
+    ("repl-2", ReplicatedPortConfig(2)),
+    ("repl-4", ReplicatedPortConfig(4)),
+    ("bank-2", BankedPortConfig(banks=2)),
+    ("bank-4", BankedPortConfig(banks=4)),
+    ("bank-8", BankedPortConfig(banks=8)),
+    ("bank-4w", BankedPortConfig(banks=4, interleave="word")),
+    ("bank-4x2p", BankedPortConfig(banks=4, ports_per_bank=2)),
+    ("lbic-2x2", LBICConfig(banks=2, buffer_ports=2)),
+    ("lbic-2x4", LBICConfig(banks=2, buffer_ports=4)),
+    ("lbic-4x2", LBICConfig(banks=4, buffer_ports=2)),
+    ("lbic-4x4", LBICConfig(banks=4, buffer_ports=4)),
+    ("lbic-8x2", LBICConfig(banks=8, buffer_ports=2)),
+    ("lbic-8x4", LBICConfig(banks=8, buffer_ports=4)),
+]
+
+
+def pareto_frontier(points):
+    """Points not dominated in (smaller area, larger IPC)."""
+    frontier = []
+    for label, area, ipc in points:
+        dominated = any(
+            other_area <= area and other_ipc >= ipc
+            and (other_area < area or other_ipc > ipc)
+            for _, other_area, other_ipc in points
+        )
+        if not dominated:
+            frontier.append(label)
+    return frontier
+
+
+def main() -> int:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "swim"
+    l1 = paper_machine().l1
+    points = []
+
+    table = Table(
+        ["design", "peak acc/cyc", "area (kRBE)", "IPC", "IPC per MRBE"],
+        precision=3,
+        title=f"Design space for {benchmark!r} ({INSTRUCTIONS} timed instructions)",
+    )
+    for label, ports in DESIGN_SPACE:
+        workload = spec95_workload(benchmark)
+        result = simulate(
+            paper_machine(ports),
+            workload.stream(seed=1, max_instructions=INSTRUCTIONS + WARMUP),
+            max_instructions=INSTRUCTIONS,
+            warmup_instructions=WARMUP,
+            label=label,
+        )
+        area = cache_area(ports, l1).total
+        points.append((label, area, result.ipc))
+        table.add_row([
+            label,
+            ports.peak_accesses_per_cycle,
+            round(area / 1000, 1),
+            result.ipc,
+            result.ipc / (area / 1e6),
+        ])
+    print(table.render())
+
+    frontier = pareto_frontier(points)
+    print()
+    print("Pareto frontier (no design is both cheaper and faster):")
+    for label, area, ipc in sorted(points, key=lambda p: p[1]):
+        marker = " <-- frontier" if label in frontier else ""
+        print(f"  {label:10s} area={area / 1000:8.1f} kRBE  IPC={ipc:6.3f}{marker}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

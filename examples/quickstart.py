@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: simulate one benchmark on the paper's four cache designs.
+
+Runs the calibrated `swim` model (the paper's bank-conflict showcase) on
+a 4-port ideal cache, a 4-port replicated cache, a 4-bank interleaved
+cache and a 4x4 LBIC, and prints the IPC of each — reproducing the
+paper's headline comparison in ~30 seconds.
+
+Usage::
+
+    python examples/quickstart.py [benchmark] [instructions]
+"""
+
+import sys
+
+from repro import (
+    BankedPortConfig,
+    IdealPortConfig,
+    LBICConfig,
+    ReplicatedPortConfig,
+    paper_machine,
+    simulate,
+)
+from repro.workloads import spec95_workload
+
+WARMUP = 30_000
+
+
+def main() -> int:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "swim"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 15_000
+
+    designs = [
+        ("4-port ideal (True)", IdealPortConfig(ports=4)),
+        ("4-port replicated (Repl)", ReplicatedPortConfig(ports=4)),
+        ("4-bank interleaved (Bank)", BankedPortConfig(banks=4)),
+        ("4x4 LBIC", LBICConfig(banks=4, buffer_ports=4)),
+    ]
+
+    print(f"benchmark: {benchmark}, {instructions} timed instructions "
+          f"(+{WARMUP} cache warm-up)")
+    print(f"machine:   {paper_machine().describe()}")
+    print()
+
+    baseline = None
+    for label, ports in designs:
+        workload = spec95_workload(benchmark)
+        result = simulate(
+            paper_machine(ports),
+            workload.stream(seed=1, max_instructions=instructions + WARMUP),
+            max_instructions=instructions,
+            warmup_instructions=WARMUP,
+            label=label,
+        )
+        if baseline is None:
+            baseline = result.ipc
+        extras = ""
+        if result.combined_accesses:
+            extras = (f"  [{result.combined_accesses} combined accesses, "
+                      f"{result.forwarded_loads} forwarded loads]")
+        print(f"{label:28s} IPC = {result.ipc:6.3f} "
+              f"({result.ipc / baseline:4.2f}x vs ideal){extras}")
+
+    print()
+    print("The LBIC recovers most of the banked cache's conflict losses by")
+    print("combining same-line accesses — at a fraction of the ideal or")
+    print("replicated design's die area (see examples/design_space_exploration.py).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

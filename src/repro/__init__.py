@@ -1,0 +1,67 @@
+"""repro — reproduction of Rivers, Tyson, Davidson & Austin (MICRO-30, 1997),
+"On High-Bandwidth Data Cache Design for Multi-Issue Processors".
+
+The package provides:
+
+* a cycle-level out-of-order superscalar timing simulator
+  (:mod:`repro.core`) modelled on the paper's extended SimpleScalar
+  ``sim-outorder`` machine,
+* the four data-cache port organizations the paper studies — ideal
+  multi-ported, replicated, multi-banked, and the Locality-Based
+  Interleaved Cache (LBIC) — in :mod:`repro.memory.ports`,
+* calibrated synthetic SPEC95 workload models (:mod:`repro.workloads`),
+* trace analyses (:mod:`repro.analysis`), a die-area cost model
+  (:mod:`repro.cost`), and the experiment harness regenerating every
+  table and figure of the paper (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import simulate, paper_machine, LBICConfig
+    from repro.workloads import spec95_workload
+
+    machine = paper_machine(LBICConfig(banks=4, buffer_ports=4))
+    result = simulate(machine, spec95_workload("swim").stream(seed=1),
+                      max_instructions=20_000)
+    print(result.summary())
+"""
+
+from .common import (
+    BankedPortConfig,
+    ConfigError,
+    IdealPortConfig,
+    L1Config,
+    L2Config,
+    LBICConfig,
+    MachineConfig,
+    MainMemoryConfig,
+    ReproError,
+    ReplicatedPortConfig,
+    SimulationError,
+    WorkloadError,
+    paper_machine,
+    small_machine,
+)
+from .core import Processor, SimResult, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BankedPortConfig",
+    "ConfigError",
+    "IdealPortConfig",
+    "L1Config",
+    "L2Config",
+    "LBICConfig",
+    "MachineConfig",
+    "MainMemoryConfig",
+    "Processor",
+    "ReplicatedPortConfig",
+    "ReproError",
+    "SimResult",
+    "SimulationError",
+    "WorkloadError",
+    "__version__",
+    "paper_machine",
+    "simulate",
+    "small_machine",
+]

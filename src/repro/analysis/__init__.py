@@ -1,0 +1,46 @@
+"""Analyses: reference-stream mapping, traces, conflicts, locality."""
+
+from .conflicts import BandwidthReport, compare_reports
+from .locality import (
+    COLD,
+    LocalityReport,
+    analyze_locality,
+    miss_rate_for_cache_lines,
+    reuse_distances,
+    same_line_runs,
+    working_set_sizes,
+)
+from .reference_stream import (
+    DIFF_LINE,
+    SAME_LINE,
+    MappingResult,
+    ReferenceMappingAnalyzer,
+    analyze_addresses,
+    analyze_stream,
+    bank_delta_label,
+    categories,
+)
+from .traces import FunctionalCache, TraceStats, characterize
+
+__all__ = [
+    "BandwidthReport",
+    "COLD",
+    "DIFF_LINE",
+    "FunctionalCache",
+    "LocalityReport",
+    "MappingResult",
+    "ReferenceMappingAnalyzer",
+    "SAME_LINE",
+    "TraceStats",
+    "analyze_addresses",
+    "analyze_locality",
+    "analyze_stream",
+    "bank_delta_label",
+    "categories",
+    "characterize",
+    "compare_reports",
+    "miss_rate_for_cache_lines",
+    "reuse_distances",
+    "same_line_runs",
+    "working_set_sizes",
+]

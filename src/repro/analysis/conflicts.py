@@ -1,0 +1,161 @@
+"""Bandwidth and conflict accounting for a finished simulation.
+
+Explains *where the cache bandwidth went* for one run: accesses accepted
+per cycle against the structural peak, the refusal breakdown (bank
+conflicts vs line conflicts vs store serialization vs structural MSHR
+stalls vs in-order stalls), forwarding, and — for the LBIC — the
+combining-group distribution.  This is the quantitative form of the
+paper's sections 3–5 discussion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..common.tables import Table
+from ..core.processor import Processor
+from ..core.results import SimResult
+
+
+@dataclass
+class BandwidthReport:
+    """Where one run's data-cache bandwidth went."""
+
+    label: str
+    cycles: int
+    peak_accesses_per_cycle: int
+    accepted_loads: int
+    accepted_stores: int
+    forwarded_loads: int
+    refusals: Dict[str, int] = field(default_factory=dict)
+    busy_cycles: int = 0
+    combining_groups: Dict[int, int] = field(default_factory=dict)
+    coalesced_stores: int = 0
+    drained_stores: int = 0
+
+    @property
+    def accepted(self) -> int:
+        return self.accepted_loads + self.accepted_stores
+
+    @property
+    def accesses_per_cycle(self) -> float:
+        return self.accepted / self.cycles if self.cycles else 0.0
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of structural peak bandwidth actually used."""
+        if not self.cycles or not self.peak_accesses_per_cycle:
+            return 0.0
+        return self.accepted / (self.cycles * self.peak_accesses_per_cycle)
+
+    @property
+    def busy_fraction(self) -> float:
+        """Fraction of cycles with at least one accepted access."""
+        return self.busy_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def total_refusals(self) -> int:
+        return sum(self.refusals.values())
+
+    def refusal_share(self, reason: str) -> float:
+        total = self.total_refusals
+        if not total:
+            return 0.0
+        return self.refusals.get(reason, 0) / total
+
+    @property
+    def mean_group_size(self) -> float:
+        total = sum(self.combining_groups.values())
+        if not total:
+            return 0.0
+        return sum(k * v for k, v in self.combining_groups.items()) / total
+
+    @property
+    def combining_fraction(self) -> float:
+        """Share of accepted accesses that rode a gated line (group > 1)."""
+        if not self.accepted:
+            return 0.0
+        combined = sum(
+            (size - 1) * count for size, count in self.combining_groups.items()
+        )
+        return combined / self.accepted
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_processor(cls, processor: Processor, result: SimResult) -> "BandwidthReport":
+        """Build the report from a finished :class:`Processor`."""
+        ports = processor.stats.group("ports")
+        groups: Dict[int, int] = {}
+        histogram = ports._histograms.get("combining_group_size")
+        if histogram is not None:
+            groups = dict(histogram.items())
+
+        def counter(name: str) -> int:
+            try:
+                return ports.value(name)
+            except KeyError:
+                return 0
+
+        return cls(
+            label=result.label,
+            cycles=result.cycles,
+            peak_accesses_per_cycle=processor.ports.peak_accesses_per_cycle,
+            accepted_loads=result.accepted_loads,
+            accepted_stores=result.accepted_stores,
+            forwarded_loads=result.forwarded_loads,
+            refusals=dict(result.refusals),
+            busy_cycles=counter("busy_cycles"),
+            combining_groups=groups,
+            coalesced_stores=counter("coalesced_stores"),
+            drained_stores=counter("drained_stores"),
+        )
+
+    # -- rendering -----------------------------------------------------------
+
+    def render(self) -> str:
+        lines = [
+            f"bandwidth report: {self.label}",
+            f"  accepted {self.accepted} accesses over {self.cycles} cycles "
+            f"({self.accesses_per_cycle:.2f}/cycle, peak "
+            f"{self.peak_accesses_per_cycle}, utilization {self.utilization:.1%})",
+            f"  busy cycles: {self.busy_fraction:.1%}; forwarded loads: "
+            f"{self.forwarded_loads}",
+        ]
+        if self.total_refusals:
+            table = Table(["refusal reason", "count", "share"], precision=3)
+            for reason, count in sorted(
+                self.refusals.items(), key=lambda item: -item[1]
+            ):
+                if count:
+                    table.add_row([reason, count, self.refusal_share(reason)])
+            lines.append(table.render())
+        if self.combining_groups:
+            lines.append(
+                f"  combining: mean group {self.mean_group_size:.2f}, "
+                f"{self.combining_fraction:.1%} of accesses combined; "
+                f"{self.coalesced_stores} stores coalesced, "
+                f"{self.drained_stores} drained"
+            )
+        return "\n".join(lines)
+
+
+def compare_reports(reports: List[BandwidthReport]) -> str:
+    """Side-by-side one-line-per-run comparison table."""
+    table = Table(
+        ["run", "acc/cyc", "peak", "util", "fwd", "refusals", "mean group"],
+        precision=2,
+        title="bandwidth comparison",
+    )
+    for report in reports:
+        table.add_row([
+            report.label,
+            report.accesses_per_cycle,
+            report.peak_accesses_per_cycle,
+            report.utilization,
+            report.forwarded_loads,
+            report.total_refusals,
+            report.mean_group_size if report.combining_groups else None,
+        ])
+    return table.render()

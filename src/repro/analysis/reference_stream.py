@@ -1,0 +1,135 @@
+"""Consecutive-reference mapping analysis (paper Figure 3).
+
+For each pair of consecutive memory references, classify where the
+successor lands relative to its predecessor in an (idealized,
+infinite-capacity) line-interleaved banked cache:
+
+* ``B - same line`` — same bank, same cache line: combinable by an LBIC;
+* ``B - diff line`` — same bank, different line: a true bank conflict
+  that combining cannot remove;
+* ``(B + i) mod M`` — each of the other banks: conflict-free.
+
+The paper collects these for an infinite four-bank cache with 32-byte
+lines; the class supports any power-of-two bank count and line size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..common.config import is_power_of_two, log2_exact
+from ..common.errors import AnalysisError
+from ..common.stats import Distribution
+from ..isa.instruction import DynInstr
+
+SAME_LINE = "B-same-line"
+DIFF_LINE = "B-diff-line"
+
+
+def bank_delta_label(delta: int) -> str:
+    return f"(B+{delta})"
+
+
+def categories(banks: int) -> Tuple[str, ...]:
+    """Category labels in the paper's Figure 3 order."""
+    return (SAME_LINE, DIFF_LINE) + tuple(
+        bank_delta_label(delta) for delta in range(1, banks)
+    )
+
+
+@dataclass
+class MappingResult:
+    """Counts of consecutive-reference transitions per category."""
+
+    banks: int
+    line_size: int
+    counts: Dict[str, int] = field(default_factory=dict)
+    pairs: int = 0
+
+    def distribution(self) -> Distribution:
+        return Distribution.from_counts(self.counts).normalized()
+
+    def fraction(self, category: str) -> float:
+        if self.pairs == 0:
+            return 0.0
+        return self.counts.get(category, 0) / self.pairs
+
+    def same_bank_fraction(self) -> float:
+        """Total probability mass on the predecessor's own bank."""
+        return self.fraction(SAME_LINE) + self.fraction(DIFF_LINE)
+
+    def combinable_conflict_fraction(self) -> float:
+        """Of the same-bank mass, the share an LBIC can combine away."""
+        same_bank = self.same_bank_fraction()
+        if same_bank == 0.0:
+            return 0.0
+        return self.fraction(SAME_LINE) / same_bank
+
+    def as_row(self) -> List[float]:
+        return [self.fraction(c) for c in categories(self.banks)]
+
+
+class ReferenceMappingAnalyzer:
+    """Streaming analyzer over a memory-reference address sequence."""
+
+    def __init__(self, banks: int = 4, line_size: int = 32) -> None:
+        if not is_power_of_two(banks) or banks < 2:
+            raise AnalysisError("banks must be a power of two >= 2")
+        if not is_power_of_two(line_size):
+            raise AnalysisError("line_size must be a power of two")
+        self.banks = banks
+        self.line_size = line_size
+        self._offset_bits = log2_exact(line_size)
+        self._bank_mask = banks - 1
+        self._counts: Dict[str, int] = {c: 0 for c in categories(banks)}
+        self._pairs = 0
+        self._prev_line: Optional[int] = None
+
+    def feed(self, addr: int) -> None:
+        line = addr >> self._offset_bits
+        prev = self._prev_line
+        self._prev_line = line
+        if prev is None:
+            return
+        self._pairs += 1
+        if line == prev:
+            self._counts[SAME_LINE] += 1
+            return
+        delta = (line - prev) & self._bank_mask
+        if delta == 0:
+            self._counts[DIFF_LINE] += 1
+        else:
+            self._counts[bank_delta_label(delta)] += 1
+
+    def feed_many(self, addresses: Iterable[int]) -> None:
+        for addr in addresses:
+            self.feed(addr)
+
+    def result(self) -> MappingResult:
+        return MappingResult(
+            banks=self.banks,
+            line_size=self.line_size,
+            counts=dict(self._counts),
+            pairs=self._pairs,
+        )
+
+
+def analyze_stream(
+    instructions: Iterable[DynInstr], banks: int = 4, line_size: int = 32
+) -> MappingResult:
+    """Run the Figure 3 analysis over a dynamic instruction stream."""
+    analyzer = ReferenceMappingAnalyzer(banks=banks, line_size=line_size)
+    for instr in instructions:
+        if instr.is_mem:
+            analyzer.feed(instr.addr)
+    return analyzer.result()
+
+
+def analyze_addresses(
+    addresses: Iterable[int], banks: int = 4, line_size: int = 32
+) -> MappingResult:
+    """Run the Figure 3 analysis over raw byte addresses."""
+    analyzer = ReferenceMappingAnalyzer(banks=banks, line_size=line_size)
+    analyzer.feed_many(addresses)
+    return analyzer.result()

@@ -1,0 +1,342 @@
+"""The ``repro-lbic`` command-line interface.
+
+Subcommands regenerate each paper artifact, run single configurations,
+sweep ablations, and manage traces::
+
+    repro-lbic table2                 # benchmark characteristics
+    repro-lbic table3 -n 20000        # conventional designs sweep
+    repro-lbic table4                 # LBIC sweep
+    repro-lbic figure3                # reference-stream mapping
+    repro-lbic claims                 # C1-C6 checklist
+    repro-lbic run swim --ports lbic:4x4
+    repro-lbic ablation lsq-depth
+    repro-lbic trace swim out.trc -n 50000
+    repro-lbic list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .common.config import (
+    BankedPortConfig,
+    IdealPortConfig,
+    LBICConfig,
+    PortModelConfig,
+    ReplicatedPortConfig,
+    paper_machine,
+)
+from .common.errors import ReproError
+from .core.processor import Processor
+from .workloads.spec95 import ALL_NAMES, PAPER_TARGETS, spec95_workload
+from .workloads.tracefile import save_trace
+
+
+def parse_ports(text: str) -> PortModelConfig:
+    """Parse a port-model spec: ``ideal:4``, ``repl:2``, ``bank:8``,
+    ``lbic:4x2`` (optionally ``lbic:4x2:sq8`` for the store-queue depth)."""
+    parts = text.lower().split(":")
+    kind = parts[0]
+    try:
+        if kind == "ideal":
+            return IdealPortConfig(ports=int(parts[1]))
+        if kind in ("repl", "replicated"):
+            return ReplicatedPortConfig(ports=int(parts[1]))
+        if kind in ("bank", "banked"):
+            return BankedPortConfig(banks=int(parts[1]))
+        if kind == "lbic":
+            banks, buffer_ports = parts[1].split("x")
+            depth = 8
+            for extra in parts[2:]:
+                if extra.startswith("sq"):
+                    depth = int(extra[2:])
+            return LBICConfig(
+                banks=int(banks),
+                buffer_ports=int(buffer_ports),
+                store_queue_depth=depth,
+            )
+    except (IndexError, ValueError):
+        pass
+    raise argparse.ArgumentTypeError(
+        f"bad port spec {text!r}; expected ideal:N, repl:N, bank:M or lbic:MxN"
+    )
+
+
+def _settings(args: argparse.Namespace):
+    from .experiments.runner import RunSettings
+
+    benchmarks = tuple(args.benchmarks) if args.benchmarks else ALL_NAMES
+    return RunSettings(
+        instructions=args.instructions, seed=args.seed, benchmarks=benchmarks
+    )
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-n", "--instructions", type=int, default=20_000,
+        help="instructions to simulate per run (default 20000)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "-b", "--benchmarks", nargs="*", choices=sorted(ALL_NAMES),
+        help="subset of benchmarks (default: all ten)",
+    )
+
+
+def cmd_table2(args) -> int:
+    from .experiments.table2 import run_table2
+
+    print(run_table2(_settings(args)).render())
+    return 0
+
+
+def cmd_table3(args) -> int:
+    from .experiments.table3 import run_table3
+
+    print(run_table3(settings=_settings(args)).render(include_paper=not args.no_paper))
+    return 0
+
+
+def cmd_table4(args) -> int:
+    from .experiments.table4 import run_table4
+
+    print(run_table4(settings=_settings(args)).render(include_paper=not args.no_paper))
+    return 0
+
+
+def cmd_figure3(args) -> int:
+    from .experiments.figure3 import render_bank_sweep, run_bank_sweep, run_figure3
+
+    settings = _settings(args)
+    if args.bank_sweep:
+        print(render_bank_sweep(run_bank_sweep(settings)))
+    else:
+        print(run_figure3(settings, banks=args.banks).render())
+    return 0
+
+
+def cmd_claims(args) -> int:
+    from .experiments.comparisons import run_claim_checks
+
+    report = run_claim_checks(_settings(args))
+    print(report.render())
+    return 0 if report.all_passed else 1
+
+
+def cmd_compare(args) -> int:
+    from .experiments.comparisons import render_section6_table
+    from .experiments.runner import ExperimentRunner
+    from .experiments.table3 import run_table3
+    from .experiments.table4 import run_table4
+
+    runner = ExperimentRunner(_settings(args))
+    table3 = run_table3(runner)
+    table4 = run_table4(runner)
+    print(render_section6_table(table3, table4, banks=args.banks))
+    return 0
+
+
+def cmd_run(args) -> int:
+    workload = spec95_workload(args.benchmark)
+    machine = paper_machine(args.ports)
+    processor = Processor(machine, label=args.benchmark)
+    result = processor.run(
+        workload.stream(seed=args.seed), max_instructions=args.instructions
+    )
+    print(result.summary())
+    print(f"  machine: {result.machine_description}")
+    print(f"  accepted: {result.accepted_loads} loads, {result.accepted_stores} stores")
+    if result.combined_accesses:
+        print(f"  combined accesses: {result.combined_accesses}")
+    refusals = {k: v for k, v in result.refusals.items() if v}
+    if refusals:
+        print(f"  refusals: {refusals}")
+    return 0
+
+
+def cmd_ablation(args) -> int:
+    from .experiments import ablations
+
+    settings = _settings(args)
+    if args.which == "lsq-depth":
+        print(ablations.ablate_lsq_depth(settings).render())
+    elif args.which == "bank-function":
+        banked, lbic = ablations.ablate_bank_function(settings)
+        print(banked.render())
+        print()
+        print(lbic.render())
+    elif args.which == "store-queue":
+        print(ablations.ablate_store_queue(settings).render())
+    elif args.which == "policy":
+        print(ablations.ablate_combining_policy(settings).render())
+    elif args.which == "cost":
+        points = ablations.cost_performance(settings)
+        print(ablations.render_cost_performance(points))
+    elif args.which == "interleaving":
+        print(ablations.ablate_interleaving(settings).render())
+    elif args.which == "bank-porting":
+        print(ablations.ablate_bank_porting(settings).render())
+    elif args.which == "line-size":
+        print(ablations.ablate_line_size(settings).render())
+    elif args.which == "associativity":
+        print(ablations.ablate_associativity(settings).render())
+    elif args.which == "crossbar-latency":
+        banked, lbic = ablations.ablate_crossbar_latency(settings)
+        print(banked.render())
+        print()
+        print(lbic.render())
+    elif args.which == "fill-port":
+        print(ablations.ablate_fill_port(settings).render())
+    elif args.which == "memory-latency":
+        results = ablations.ablate_memory_latency(settings)
+        from .common.tables import Table
+
+        table = Table(
+            ["organization", "10 cyc", "30 cyc", "100 cyc"],
+            precision=3,
+            title="A9 - swim IPC vs main-memory latency",
+        )
+        for label, row in results.items():
+            table.add_row([label] + list(row))
+        print(table.render())
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    """Deep-dive one benchmark/config: bandwidth + locality reports."""
+    from .analysis import BandwidthReport, analyze_locality
+
+    workload = spec95_workload(args.benchmark)
+    machine = paper_machine(args.ports)
+    processor = Processor(machine, label=f"{args.benchmark}/{args.ports.describe()}")
+    result = processor.run(
+        workload.stream(seed=args.seed),
+        max_instructions=args.instructions,
+        warmup_instructions=args.warmup,
+    )
+    print(result.summary())
+    print()
+    print(BandwidthReport.from_processor(processor, result).render())
+    print()
+    locality_workload = spec95_workload(args.benchmark)
+    report = analyze_locality(
+        locality_workload.stream(seed=args.seed, max_instructions=args.instructions)
+    )
+    print(report.render())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    workload = spec95_workload(args.benchmark)
+    count = save_trace(
+        args.output,
+        workload.stream(seed=args.seed, max_instructions=args.instructions),
+    )
+    print(f"wrote {count} instructions to {args.output}")
+    return 0
+
+
+def cmd_list(args) -> int:
+    print("benchmark  suite  mem%   s/l    miss    ILP(16-port IPC)")
+    for name in ALL_NAMES:
+        target = PAPER_TARGETS[name]
+        print(
+            f"{name:<10s} {target.suite:<5s} {target.mem_fraction:5.1%} "
+            f"{target.store_to_load:5.2f} {target.miss_rate:7.4f} {target.ipc_ceiling:5.1f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lbic",
+        description=(
+            "Reproduction of 'On High-Bandwidth Data Cache Design for "
+            "Multi-Issue Processors' (MICRO-30, 1997)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, func, extra in (
+        ("table2", cmd_table2, ()),
+        ("table3", cmd_table3, ("no_paper",)),
+        ("table4", cmd_table4, ("no_paper",)),
+        ("figure3", cmd_figure3, ("banks",)),
+        ("claims", cmd_claims, ()),
+    ):
+        p = sub.add_parser(name, help=f"regenerate {name}")
+        _add_common(p)
+        if "no_paper" in extra:
+            p.add_argument("--no-paper", action="store_true",
+                           help="omit the paper's reference rows")
+        if "banks" in extra:
+            p.add_argument("--banks", type=int, default=4)
+            p.add_argument(
+                "--bank-sweep", action="store_true",
+                help="show same-line/diff-line mass at 2/4/8/16 banks "
+                     "(the paper's section 4 infinite-banks argument)",
+            )
+        p.set_defaults(func=func)
+
+    p = sub.add_parser(
+        "compare",
+        help="section-6 comparison: MxN LBIC vs ideal/replicated/2M-bank",
+    )
+    _add_common(p)
+    p.add_argument("--banks", type=int, default=4)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("run", help="simulate one benchmark on one configuration")
+    p.add_argument("benchmark", choices=sorted(ALL_NAMES))
+    p.add_argument("--ports", type=parse_ports, default=IdealPortConfig(1),
+                   help="ideal:N | repl:N | bank:M | lbic:MxN[:sqD]")
+    p.add_argument("-n", "--instructions", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("ablation", help="run a design-choice sweep")
+    p.add_argument("which", choices=[
+        "lsq-depth", "bank-function", "store-queue", "policy", "cost",
+        "interleaving", "bank-porting", "line-size", "memory-latency",
+        "crossbar-latency", "fill-port", "associativity",
+    ])
+    _add_common(p)
+    p.set_defaults(func=cmd_ablation)
+
+    p = sub.add_parser(
+        "analyze", help="bandwidth + locality deep-dive of one configuration"
+    )
+    p.add_argument("benchmark", choices=sorted(ALL_NAMES))
+    p.add_argument("--ports", type=parse_ports,
+                   default=LBICConfig(banks=4, buffer_ports=4))
+    p.add_argument("-n", "--instructions", type=int, default=20_000)
+    p.add_argument("--warmup", type=int, default=30_000)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("trace", help="capture a workload trace to a file")
+    p.add_argument("benchmark", choices=sorted(ALL_NAMES))
+    p.add_argument("output")
+    p.add_argument("-n", "--instructions", type=int, default=50_000)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("list", help="list the benchmark models and their targets")
+    p.set_defaults(func=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

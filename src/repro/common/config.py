@@ -1,0 +1,486 @@
+"""Typed configuration for every simulated component.
+
+All knobs of the simulated machine live here as frozen dataclasses with
+eager validation, so an experiment is fully described by one
+:class:`MachineConfig` value.  The defaults reproduce the paper's baseline
+processor/memory model (Table 1 of the paper):
+
+* 64-wide fetch/issue/commit, 1024-entry RUU, 512-entry LSQ,
+* perfect instruction supply and branch prediction,
+* 64 of each functional unit class, load/store units sized to the cache
+  port model,
+* 32 KB direct-mapped write-back write-allocate L1 with 32 B lines and a
+  1-cycle hit, 512 KB 4-way L2 with 64 B lines and 4-cycle access,
+  10-cycle main memory, fully pipelined L1->L2 with up to 64 outstanding
+  misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional, Tuple
+
+from .errors import ConfigError
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ConfigError(message)
+
+
+def is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    if not is_power_of_two(value):
+        raise ConfigError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+# ---------------------------------------------------------------------------
+# Functional units (paper Table 1)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FuTiming:
+    """Latency pair for one functional-unit class.
+
+    ``total`` is the operation latency in cycles; ``issue`` is the
+    initiation interval (cycles before the unit accepts another op).
+    The paper writes these as "total/issue".
+    """
+
+    total: int
+    issue: int
+
+    def __post_init__(self) -> None:
+        _require(self.total >= 1, "total latency must be >= 1")
+        _require(1 <= self.issue <= self.total, "issue interval must be in [1, total]")
+
+
+#: Operation-class timing from Table 1 of the paper.
+PAPER_FU_TIMINGS: Dict[str, FuTiming] = {
+    "IALU": FuTiming(total=1, issue=1),
+    "IMULT": FuTiming(total=3, issue=1),
+    "IDIV": FuTiming(total=12, issue=12),
+    "FADD": FuTiming(total=2, issue=1),
+    "FMULT": FuTiming(total=4, issue=1),
+    "FDIV": FuTiming(total=12, issue=12),
+    "LOAD": FuTiming(total=1, issue=1),
+    "STORE": FuTiming(total=1, issue=1),
+}
+
+
+@dataclass(frozen=True)
+class FuPoolConfig:
+    """Counts and timings of the functional-unit pools.
+
+    ``ls_units`` of 0 means "match the cache port model's peak accesses per
+    cycle", which is how the paper sizes its varying number of L/S units.
+    """
+
+    ialu: int = 64
+    imult: int = 64
+    fadd: int = 64
+    fmult: int = 64
+    ls_units: int = 0
+    timings: Tuple[Tuple[str, FuTiming], ...] = tuple(sorted(PAPER_FU_TIMINGS.items()))
+
+    def __post_init__(self) -> None:
+        for name, count in (
+            ("ialu", self.ialu),
+            ("imult", self.imult),
+            ("fadd", self.fadd),
+            ("fmult", self.fmult),
+        ):
+            _require(count >= 1, f"{name} count must be >= 1")
+        _require(self.ls_units >= 0, "ls_units must be >= 0 (0 = match cache ports)")
+        timing_names = {name for name, _ in self.timings}
+        missing = set(PAPER_FU_TIMINGS) - timing_names
+        _require(not missing, f"missing FU timings for {sorted(missing)}")
+
+    def timing(self, opclass_name: str) -> FuTiming:
+        for name, timing in self.timings:
+            if name == opclass_name:
+                return timing
+        raise ConfigError(f"no timing configured for op class {opclass_name!r}")
+
+
+# ---------------------------------------------------------------------------
+# Core
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (paper Table 1 defaults)."""
+
+    fetch_width: int = 64
+    issue_width: int = 64
+    commit_width: int = 64
+    ruu_size: int = 1024
+    lsq_size: int = 512
+    fu: FuPoolConfig = field(default_factory=FuPoolConfig)
+
+    def __post_init__(self) -> None:
+        _require(self.fetch_width >= 1, "fetch_width must be >= 1")
+        _require(self.issue_width >= 1, "issue_width must be >= 1")
+        _require(self.commit_width >= 1, "commit_width must be >= 1")
+        _require(self.ruu_size >= 2, "ruu_size must be >= 2")
+        _require(self.lsq_size >= 1, "lsq_size must be >= 1")
+        _require(
+            self.lsq_size <= self.ruu_size,
+            "lsq_size cannot exceed ruu_size (every LSQ entry has an RUU entry)",
+        )
+
+
+# ---------------------------------------------------------------------------
+# Caches and memory
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Size/associativity/line geometry of one cache level."""
+
+    size_bytes: int
+    line_size: int
+    associativity: int
+
+    def __post_init__(self) -> None:
+        _require(is_power_of_two(self.size_bytes), "cache size must be a power of two")
+        _require(is_power_of_two(self.line_size), "line size must be a power of two")
+        _require(self.line_size >= 4, "line size must be >= 4 bytes")
+        _require(self.associativity >= 1, "associativity must be >= 1")
+        _require(
+            self.size_bytes % (self.line_size * self.associativity) == 0,
+            "size must be a multiple of line_size * associativity",
+        )
+        _require(self.num_sets >= 1, "cache must have at least one set")
+        _require(
+            is_power_of_two(self.num_sets),
+            "number of sets must be a power of two for bit-selection indexing",
+        )
+
+    @property
+    def num_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_lines // self.associativity
+
+    @property
+    def offset_bits(self) -> int:
+        return log2_exact(self.line_size)
+
+    @property
+    def index_bits(self) -> int:
+        return log2_exact(self.num_sets)
+
+
+@dataclass(frozen=True)
+class L1Config:
+    """L1 data cache: geometry plus timing and miss-handling limits."""
+
+    geometry: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(size_bytes=32 * 1024, line_size=32, associativity=1)
+    )
+    hit_latency: int = 1
+    mshr_entries: int = 64
+    writeback: bool = True
+    write_allocate: bool = True
+
+    def __post_init__(self) -> None:
+        _require(self.hit_latency >= 1, "hit latency must be >= 1")
+        _require(self.mshr_entries >= 1, "must have at least one MSHR")
+
+
+@dataclass(frozen=True)
+class L2Config:
+    """Unified L2: geometry, access latency, and L1->L2 request pipelining."""
+
+    geometry: CacheGeometry = field(
+        default_factory=lambda: CacheGeometry(size_bytes=512 * 1024, line_size=64, associativity=4)
+    )
+    access_latency: int = 4
+    max_outstanding: int = 64
+
+    def __post_init__(self) -> None:
+        _require(self.access_latency >= 1, "L2 latency must be >= 1")
+        _require(self.max_outstanding >= 1, "L2 must allow >= 1 outstanding request")
+
+
+@dataclass(frozen=True)
+class MainMemoryConfig:
+    """Flat main-memory latency (the paper uses just 10 cycles: this is a
+    bandwidth study, not a latency study)."""
+
+    access_latency: int = 10
+
+    def __post_init__(self) -> None:
+        _require(self.access_latency >= 1, "memory latency must be >= 1")
+
+
+# ---------------------------------------------------------------------------
+# Cache port models (the paper's design space)
+# ---------------------------------------------------------------------------
+
+#: Bank-selection functions supported by the banked and LBIC organizations.
+BANK_FUNCTIONS = ("bit-select", "xor-fold", "fibonacci")
+
+
+@dataclass(frozen=True)
+class PortModelConfig:
+    """Base class for the four cache port organizations."""
+
+    @property
+    def kind(self) -> str:
+        raise NotImplementedError
+
+    @property
+    def peak_accesses_per_cycle(self) -> int:
+        """Upper bound on data-cache accesses accepted in one cycle."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class IdealPortConfig(PortModelConfig):
+    """Ideal (true) multi-porting: p ports, any address combination."""
+
+    ports: int = 1
+
+    def __post_init__(self) -> None:
+        _require(self.ports >= 1, "ideal cache needs >= 1 port")
+
+    @property
+    def kind(self) -> str:
+        return "ideal"
+
+    @property
+    def peak_accesses_per_cycle(self) -> int:
+        return self.ports
+
+    def describe(self) -> str:
+        return f"{self.ports}-port ideal"
+
+
+@dataclass(frozen=True)
+class ReplicatedPortConfig(PortModelConfig):
+    """Multi-porting by replication (Alpha 21164 style).
+
+    p identical cache copies, one port each.  Loads use any free port; a
+    store must broadcast to all copies, so no other access can be accepted
+    in a store's cycle.
+    """
+
+    ports: int = 2
+
+    def __post_init__(self) -> None:
+        _require(self.ports >= 1, "replicated cache needs >= 1 copy")
+
+    @property
+    def kind(self) -> str:
+        return "replicated"
+
+    @property
+    def peak_accesses_per_cycle(self) -> int:
+        return self.ports
+
+    def describe(self) -> str:
+        return f"{self.ports}-port replicated"
+
+
+#: Interleaving granularities for the banked organization.  The paper
+#: uses line interleaving (Fig. 2c) and discusses word interleaving as
+#: the vector-supercomputer alternative that is "costly due to the need
+#: for tag replication in each bank" (section 3.2 footnote).
+BANK_INTERLEAVINGS = ("line", "word")
+
+
+@dataclass(frozen=True)
+class BankedPortConfig(PortModelConfig):
+    """Multi-bank (interleaved) cache (MIPS R10000 style).
+
+    M banks; simultaneous accesses must target distinct banks (unless
+    ``ports_per_bank`` > 1).  The bank function defaults to bit
+    selection of the address bits directly above the interleaving
+    granule: the line offset for line interleaving (paper Figure 2c),
+    the 8-byte word offset for word interleaving (the paper's discussed
+    alternative, which spreads same-line accesses across banks at the
+    cost of replicated tags).  ``ports_per_bank`` > 1 models the
+    multi-ported-bank combinations of Sohi & Franklin.
+    """
+
+    banks: int = 2
+    bank_function: str = "bit-select"
+    interleave: str = "line"
+    ports_per_bank: int = 1
+    #: extra cycles every load pays to traverse the interconnect.  The
+    #: paper's baseline "does not add additional time for traversing the
+    #: crossbar"; non-zero values model unpipelined crossbars or omega
+    #: networks (section 3.2 discussion).
+    crossbar_latency: int = 0
+    #: when True, an arriving line fill occupies its bank for that cycle
+    #: (the paper leaves fill-port arbitration unspecified; the baseline
+    #: assumes a separate fill port).
+    fills_occupy_bank: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.banks >= 1, "banked cache needs >= 1 bank")
+        _require(is_power_of_two(self.banks), "bank count must be a power of two")
+        _require(
+            self.bank_function in BANK_FUNCTIONS,
+            f"bank_function must be one of {BANK_FUNCTIONS}",
+        )
+        _require(
+            self.interleave in BANK_INTERLEAVINGS,
+            f"interleave must be one of {BANK_INTERLEAVINGS}",
+        )
+        _require(self.ports_per_bank >= 1, "ports_per_bank must be >= 1")
+        _require(self.crossbar_latency >= 0, "crossbar_latency must be >= 0")
+
+    @property
+    def kind(self) -> str:
+        return "banked"
+
+    @property
+    def peak_accesses_per_cycle(self) -> int:
+        return self.banks * self.ports_per_bank
+
+    def describe(self) -> str:
+        ports = f", {self.ports_per_bank} ports/bank" if self.ports_per_bank > 1 else ""
+        return (
+            f"{self.banks}-bank {self.interleave}-interleaved "
+            f"({self.bank_function}{ports})"
+        )
+
+
+#: LSQ access-selection policies for the LBIC (paper section 5.2).
+COMBINING_POLICIES = ("leading-request", "largest-group")
+
+
+@dataclass(frozen=True)
+class LBICConfig(PortModelConfig):
+    """Locality-Based Interleaved Cache: M banks x N-ported line buffers.
+
+    An M x N LBIC is a line-interleaved M-bank cache where each bank owns a
+    single-line buffer with N ports.  Per cycle, the oldest ready request
+    to a bank (the *leading request*) gates its line into the buffer and up
+    to N-1 further ready requests to the *same line* combine with it.
+    Stores deposit into a per-bank store queue that drains to the array on
+    bank-idle cycles.
+    """
+
+    banks: int = 4
+    buffer_ports: int = 2
+    store_queue_depth: int = 8
+    bank_function: str = "bit-select"
+    combining_policy: str = "leading-request"
+    #: extra cycles every load pays to traverse the interconnect
+    crossbar_latency: int = 0
+    #: when True, an arriving line fill occupies its bank for that cycle
+    fills_occupy_bank: bool = False
+
+    def __post_init__(self) -> None:
+        _require(self.banks >= 1, "LBIC needs >= 1 bank")
+        _require(is_power_of_two(self.banks), "bank count must be a power of two")
+        _require(self.buffer_ports >= 1, "LBIC line buffer needs >= 1 port")
+        _require(self.store_queue_depth >= 1, "store queue depth must be >= 1")
+        _require(
+            self.bank_function in BANK_FUNCTIONS,
+            f"bank_function must be one of {BANK_FUNCTIONS}",
+        )
+        _require(
+            self.combining_policy in COMBINING_POLICIES,
+            f"combining_policy must be one of {COMBINING_POLICIES}",
+        )
+        _require(self.crossbar_latency >= 0, "crossbar_latency must be >= 0")
+
+    @property
+    def kind(self) -> str:
+        return "lbic"
+
+    @property
+    def peak_accesses_per_cycle(self) -> int:
+        return self.banks * self.buffer_ports
+
+    def describe(self) -> str:
+        return f"{self.banks}x{self.buffer_ports} LBIC ({self.combining_policy})"
+
+
+# ---------------------------------------------------------------------------
+# Whole machine
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Everything needed to instantiate one simulated machine."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1: L1Config = field(default_factory=L1Config)
+    l2: L2Config = field(default_factory=L2Config)
+    memory: MainMemoryConfig = field(default_factory=MainMemoryConfig)
+    ports: PortModelConfig = field(default_factory=lambda: IdealPortConfig(ports=1))
+
+    def __post_init__(self) -> None:
+        banks = getattr(self.ports, "banks", 1)
+        _require(
+            self.l1.geometry.num_sets % banks == 0,
+            "L1 set count must be divisible by the bank count",
+        )
+        _require(
+            self.l2.geometry.line_size >= self.l1.geometry.line_size,
+            "L2 line size must be >= L1 line size",
+        )
+
+    @property
+    def ls_units(self) -> int:
+        """Effective number of load/store units feeding the cache."""
+        if self.core.fu.ls_units:
+            return self.core.fu.ls_units
+        return self.ports.peak_accesses_per_cycle
+
+    def with_ports(self, ports: PortModelConfig) -> "MachineConfig":
+        """Return a copy of this machine with a different port model."""
+        return replace(self, ports=ports)
+
+    def describe(self) -> str:
+        return (
+            f"{self.core.issue_width}-wide core, RUU={self.core.ruu_size}, "
+            f"LSQ={self.core.lsq_size}, L1={self.l1.geometry.size_bytes // 1024}KB/"
+            f"{self.l1.geometry.line_size}B, ports={self.ports.describe()}"
+        )
+
+
+def paper_machine(ports: Optional[PortModelConfig] = None) -> MachineConfig:
+    """The paper's baseline machine (Table 1) with the given port model."""
+    return MachineConfig(ports=ports or IdealPortConfig(ports=1))
+
+
+def small_machine(ports: Optional[PortModelConfig] = None) -> MachineConfig:
+    """A scaled-down machine for fast unit tests.
+
+    8-wide core with a 64-entry RUU / 32-entry LSQ and an 8 KB L1.  Timing
+    structure is identical to the paper machine; only capacities shrink.
+    """
+    return MachineConfig(
+        core=CoreConfig(
+            fetch_width=8,
+            issue_width=8,
+            commit_width=8,
+            ruu_size=64,
+            lsq_size=32,
+            fu=FuPoolConfig(ialu=8, imult=8, fadd=8, fmult=8),
+        ),
+        l1=L1Config(
+            geometry=CacheGeometry(size_bytes=8 * 1024, line_size=32, associativity=1)
+        ),
+        ports=ports or IdealPortConfig(ports=1),
+    )

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting genuine programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """A configuration value is invalid or inconsistent.
+
+    Raised during configuration validation (for example a cache whose line
+    size is not a power of two, or an LBIC with zero buffer ports).
+    """
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The simulator reached an internally inconsistent state.
+
+    This indicates a bug in the simulator or a structural misuse of its API
+    (for example committing an instruction that never issued), never a bad
+    user parameter.
+    """
+
+
+class WorkloadError(ReproError, ValueError):
+    """A workload model or trace is malformed or misused."""
+
+
+class AssemblyError(ReproError, ValueError):
+    """A mini-ISA assembly source could not be parsed or encoded."""
+
+
+class TraceFormatError(ReproError, ValueError):
+    """A trace file is corrupt or has an unsupported version."""
+
+
+class AnalysisError(ReproError, ValueError):
+    """An analysis was requested over data that cannot support it."""

@@ -1,0 +1,246 @@
+"""Statistics primitives shared by the simulator and the analyses.
+
+The simulator components record their activity into a :class:`StatGroup`
+(a hierarchical registry of counters, ratios and histograms).  Analyses
+and the experiment harness read the same objects back, so a single code
+path produces both the machine-readable results and the paper-style
+tables.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A sparse integer-valued histogram.
+
+    Used for distributions such as "number of accesses combined per line
+    buffer gate" or "bank occupancy per cycle".
+    """
+
+    __slots__ = ("name", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.buckets: Dict[int, int] = {}
+
+    def record(self, value: int, count: int = 1) -> None:
+        self.buckets[value] = self.buckets.get(value, 0) + count
+
+    @property
+    def total(self) -> int:
+        return sum(self.buckets.values())
+
+    def mean(self) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        return sum(value * count for value, count in self.buckets.items()) / total
+
+    def fraction_at_least(self, threshold: int) -> float:
+        total = self.total
+        if total == 0:
+            return 0.0
+        hits = sum(count for value, count in self.buckets.items() if value >= threshold)
+        return hits / total
+
+    def max(self) -> int:
+        return max(self.buckets) if self.buckets else 0
+
+    def items(self) -> Iterator[Tuple[int, int]]:
+        return iter(sorted(self.buckets.items()))
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.total}, mean={self.mean():.3f})"
+
+
+class RunningMean:
+    """Numerically stable running mean/variance (Welford)."""
+
+    __slots__ = ("name", "count", "_mean", "_m2")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+class StatGroup:
+    """A named registry of statistics with nested sub-groups.
+
+    Components create their stats once at construction time and bump them
+    on the hot path; the registry makes every stat discoverable for
+    reporting without the components knowing about the reporter.
+    """
+
+    def __init__(self, name: str = "root") -> None:
+        self.name = name
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._means: Dict[str, RunningMean] = {}
+        self._children: Dict[str, "StatGroup"] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return the counter called ``name``, creating it if needed."""
+        stat = self._counters.get(name)
+        if stat is None:
+            stat = self._counters[name] = Counter(name)
+        return stat
+
+    def histogram(self, name: str) -> Histogram:
+        stat = self._histograms.get(name)
+        if stat is None:
+            stat = self._histograms[name] = Histogram(name)
+        return stat
+
+    def running_mean(self, name: str) -> RunningMean:
+        stat = self._means.get(name)
+        if stat is None:
+            stat = self._means[name] = RunningMean(name)
+        return stat
+
+    def group(self, name: str) -> "StatGroup":
+        child = self._children.get(name)
+        if child is None:
+            child = self._children[name] = StatGroup(name)
+        return child
+
+    # -- reading ---------------------------------------------------------
+
+    def value(self, path: str) -> int:
+        """Read a counter by slash-separated path, e.g. ``"lsq/forwards"``."""
+        group, leaf = self._resolve(path)
+        return group._counters[leaf].value
+
+    def ratio(self, numerator: str, denominator: str) -> float:
+        """Return counter(numerator) / counter(denominator), 0 if empty."""
+        denom = self.value(denominator)
+        if denom == 0:
+            return 0.0
+        return self.value(numerator) / denom
+
+    def _resolve(self, path: str) -> Tuple["StatGroup", str]:
+        parts = path.split("/")
+        group: StatGroup = self
+        for part in parts[:-1]:
+            group = group._children[part]
+        return group, parts[-1]
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flatten the registry into plain data for serialization."""
+        out: Dict[str, object] = {}
+        for name, counter in self._counters.items():
+            out[name] = counter.value
+        for name, histogram in self._histograms.items():
+            out[name] = dict(histogram.items())
+        for name, mean in self._means.items():
+            out[name] = {"mean": mean.mean, "stdev": mean.stdev, "n": mean.count}
+        for name, child in self._children.items():
+            out[name] = child.as_dict()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"StatGroup({self.name!r}, {sorted(self._counters)})"
+
+
+@dataclass
+class Distribution:
+    """A finite discrete distribution over labelled categories.
+
+    The Figure 3 analysis and the workload calibration targets both use
+    this type, so "measured" and "paper" distributions compare with the
+    same arithmetic.
+    """
+
+    weights: Dict[str, float] = field(default_factory=dict)
+
+    def normalized(self) -> "Distribution":
+        total = sum(self.weights.values())
+        if total <= 0:
+            return Distribution(dict.fromkeys(self.weights, 0.0))
+        return Distribution({k: v / total for k, v in self.weights.items()})
+
+    def __getitem__(self, key: str) -> float:
+        return self.weights.get(key, 0.0)
+
+    def total_variation_distance(self, other: "Distribution") -> float:
+        """Half the L1 distance between the normalized distributions."""
+        mine = self.normalized().weights
+        theirs = other.normalized().weights
+        keys = set(mine) | set(theirs)
+        return 0.5 * sum(abs(mine.get(k, 0.0) - theirs.get(k, 0.0)) for k in keys)
+
+    @classmethod
+    def from_counts(cls, counts: Mapping[str, int]) -> "Distribution":
+        return cls({k: float(v) for k, v in counts.items()})
+
+
+def weighted_average(pairs: Iterable[Tuple[float, float]]) -> float:
+    """Weighted mean of ``(value, weight)`` pairs; 0.0 when empty."""
+    total_weight = 0.0
+    accum = 0.0
+    for value, weight in pairs:
+        accum += value * weight
+        total_weight += weight
+    return accum / total_weight if total_weight else 0.0
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean; raises ValueError on non-positive inputs."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean; raises ValueError on non-positive inputs."""
+    values = list(values)
+    if not values:
+        return 0.0
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)

@@ -1,0 +1,104 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints tables that mirror the layout of the paper's
+Tables 2-4 and Figure 3.  Rendering is dependency-free so results display
+identically in CI logs and terminals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    """Format a table cell: floats to fixed precision, None as '-'."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+class Table:
+    """A simple column-aligned text table.
+
+    >>> t = Table(["prog", "ipc"])
+    >>> t.add_row(["swim", 3.2])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    prog | ipc
+    -----+------
+    swim | 3.200
+    """
+
+    def __init__(self, headers: Sequence[str], precision: int = 3, title: Optional[str] = None) -> None:
+        self.headers = list(headers)
+        self.precision = precision
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, row: Sequence[Cell]) -> None:
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells, table has {len(self.headers)} columns"
+            )
+        self.rows.append([format_cell(cell, self.precision) for cell in row])
+
+    def add_separator(self) -> None:
+        """Insert a horizontal rule (rendered as a dashed row)."""
+        self.rows.append(["---SEP---"])
+
+    def render(self, markdown: bool = False) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            if row == ["---SEP---"]:
+                continue
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            padded = [cell.ljust(width) for cell, width in zip(cells, widths)]
+            if markdown:
+                return "| " + " | ".join(padded) + " |"
+            return " | ".join(padded).rstrip()
+
+        rule_cells = ["-" * width for width in widths]
+        if markdown:
+            rule = "|-" + "-|-".join(rule_cells) + "-|"
+        else:
+            rule = "-+-".join(rule_cells)
+
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(fmt_row(self.headers))
+        lines.append(rule)
+        for row in self.rows:
+            if row == ["---SEP---"]:
+                lines.append(rule)
+            else:
+                lines.append(fmt_row(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def side_by_side(tables: Iterable[Table], gap: int = 4) -> str:
+    """Render several tables next to each other (for compact reports)."""
+    blocks = [table.render().split("\n") for table in tables]
+    if not blocks:
+        return ""
+    height = max(len(block) for block in blocks)
+    widths = [max(len(line) for line in block) for block in blocks]
+    lines = []
+    for row in range(height):
+        parts = []
+        for block, width in zip(blocks, widths):
+            text = block[row] if row < len(block) else ""
+            parts.append(text.ljust(width))
+        lines.append((" " * gap).join(parts).rstrip())
+    return "\n".join(lines)

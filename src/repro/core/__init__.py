@@ -1,0 +1,26 @@
+"""The out-of-order core: RUU, LSQ, functional units, and the cycle loop."""
+
+from .fetch import FetchUnit
+from .fu import FuPools
+from .lsq import LOAD_BLOCKED, LOAD_FORWARD, LOAD_TO_CACHE, Lsq
+from .processor import Processor, simulate
+from .results import SimResult
+from .ruu import COMPLETED, DISPATCHED, ISSUED, READY, Ruu, RuuEntry
+
+__all__ = [
+    "COMPLETED",
+    "DISPATCHED",
+    "FetchUnit",
+    "FuPools",
+    "ISSUED",
+    "LOAD_BLOCKED",
+    "LOAD_FORWARD",
+    "LOAD_TO_CACHE",
+    "Lsq",
+    "Processor",
+    "READY",
+    "Ruu",
+    "RuuEntry",
+    "SimResult",
+    "simulate",
+]

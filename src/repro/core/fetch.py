@@ -1,0 +1,55 @@
+"""Perfect instruction supply.
+
+The paper deliberately idealizes the front end (perfect I-cache, perfect
+branch prediction, up-to-64-wide in-order fetch) so the data cache is the
+bottleneck under study.  :class:`FetchUnit` wraps the dynamic instruction
+stream from a workload model or the mini-ISA interpreter and hands the
+dispatcher up to ``fetch_width`` instructions per cycle, stopping at an
+optional instruction budget.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from ..isa.instruction import DynInstr
+
+
+class FetchUnit:
+    """Pulls instructions in program order from a dynamic stream."""
+
+    def __init__(
+        self,
+        stream: Iterable[DynInstr],
+        max_instructions: Optional[int] = None,
+    ) -> None:
+        self._iter: Iterator[DynInstr] = iter(stream)
+        self._budget = max_instructions
+        self._lookahead: Optional[DynInstr] = None
+        self.fetched = 0
+        self.exhausted = False
+
+    def peek(self) -> Optional[DynInstr]:
+        """Next instruction without consuming it (None when exhausted)."""
+        if self._lookahead is not None:
+            return self._lookahead
+        if self.exhausted:
+            return None
+        if self._budget is not None and self.fetched >= self._budget:
+            self.exhausted = True
+            return None
+        try:
+            self._lookahead = next(self._iter)
+        except StopIteration:
+            self.exhausted = True
+            return None
+        return self._lookahead
+
+    def take(self) -> DynInstr:
+        """Consume the instruction returned by the last :meth:`peek`."""
+        instr = self.peek()
+        if instr is None:
+            raise StopIteration("fetch stream exhausted")
+        self._lookahead = None
+        self.fetched += 1
+        return instr

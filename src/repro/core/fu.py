@@ -1,0 +1,94 @@
+"""Functional-unit pools.
+
+The paper's machine (Table 1) has 64 units of each class; integer and FP
+multiply/divide share their pools, as in SimpleScalar.  Fully pipelined
+units (issue interval 1) only limit how many operations of a class start
+per cycle; divide units are unpipelined (issue interval = latency) and
+stay busy for their whole operation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from ..common.config import FuPoolConfig, FuTiming
+from ..common.errors import SimulationError
+from ..common.stats import StatGroup
+from ..isa.opcodes import OpClass
+
+
+class _Pool:
+    """One pool of identical units."""
+
+    __slots__ = ("name", "count", "busy_until", "issued_this_cycle")
+
+    def __init__(self, name: str, count: int) -> None:
+        self.name = name
+        self.count = count
+        # Completion times of units occupied by unpipelined operations.
+        self.busy_until: List[int] = []
+        self.issued_this_cycle = 0
+
+    def available(self, cycle: int) -> int:
+        while self.busy_until and self.busy_until[0] <= cycle:
+            heapq.heappop(self.busy_until)
+        return self.count - len(self.busy_until) - self.issued_this_cycle
+
+    def reserve(self, cycle: int, issue_interval: int) -> None:
+        # A unit is accounted once: unpipelined ops park it in busy_until
+        # (covering this cycle too); pipelined ops block one slot this
+        # cycle only.
+        if issue_interval > 1:
+            heapq.heappush(self.busy_until, cycle + issue_interval)
+        else:
+            self.issued_this_cycle += 1
+
+    def reset_cycle(self) -> None:
+        self.issued_this_cycle = 0
+
+
+class FuPools:
+    """All execution resources except the cache ports.
+
+    Loads and stores are limited by the cache port model (the paper sizes
+    its load/store units to the port count), so the ``ls`` pool is not
+    modelled here.
+    """
+
+    def __init__(self, config: FuPoolConfig, stats: StatGroup) -> None:
+        self.config = config
+        self._pools: Dict[str, _Pool] = {
+            "ialu": _Pool("ialu", config.ialu),
+            "imult": _Pool("imult", config.imult),
+            "fadd": _Pool("fadd", config.fadd),
+            "fmult": _Pool("fmult", config.fmult),
+        }
+        self._timings: Dict[OpClass, FuTiming] = {
+            opclass: config.timing(opclass.name)
+            for opclass in OpClass
+        }
+        self._structural_stalls = stats.counter("fu_structural_stalls")
+
+    def begin_cycle(self) -> None:
+        for pool in self._pools.values():
+            pool.reset_cycle()
+
+    def latency(self, opclass: OpClass) -> int:
+        return self._timings[opclass].total
+
+    def try_issue(self, opclass: OpClass, cycle: int) -> int:
+        """Issue one op of ``opclass``; return its completion cycle, or -1.
+
+        Memory operations must not be issued here — their timing comes
+        from the cache.
+        """
+        if opclass.is_mem:
+            raise SimulationError("memory ops are issued through the port model")
+        pool = self._pools[opclass.fu_pool]
+        if pool.available(cycle) <= 0:
+            self._structural_stalls.add()
+            return -1
+        timing = self._timings[opclass]
+        pool.reserve(cycle, timing.issue)
+        return cycle + timing.total

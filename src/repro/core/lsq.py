@@ -1,0 +1,164 @@
+"""The load/store queue (LSQ).
+
+The LSQ is the address reorder buffer of the paper's machine (512 entries
+in the baseline).  It provides:
+
+* **memory disambiguation** — a load may be sent to the cache only when
+  the addresses of all earlier stores are known (paper Table 1: "loads
+  may execute when all prior store addresses are known");
+* **store-to-load forwarding** — a load whose address matches an earlier
+  in-flight store is "serviced with zero latency by the corresponding
+  store" and never reaches the cache (paper section 2.1);
+* **memory re-ordering** — ready accesses are presented to the cache
+  oldest-first, but a blocked access does not prevent younger ready
+  accesses from reaching other banks.  This is the optimization the
+  LBIC's combining logic builds on (paper section 5).
+
+All tracking is event-driven: blocked loads are re-released exactly when
+the store that blocked them resolves, so per-cycle cost does not scale
+with LSQ size.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_left, insort
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..common.errors import SimulationError
+from ..common.stats import StatGroup
+from .ruu import RuuEntry
+
+#: outcomes of presenting a ready load to the LSQ
+LOAD_BLOCKED = "blocked"
+LOAD_FORWARD = "forward"
+LOAD_TO_CACHE = "cache"
+
+_WORD_MASK = ~7  # store-to-load forwarding matches on 8-byte words
+
+
+class Lsq:
+    """Load/store queue with disambiguation and forwarding."""
+
+    def __init__(self, size: int, stats: StatGroup) -> None:
+        if size < 1:
+            raise SimulationError("LSQ size must be >= 1")
+        self.size = size
+        self.occupancy = 0
+        # Min-heap of sequence numbers of stores whose address is unknown,
+        # with lazy deletion via the resolved set.
+        self._unknown_stores: List[int] = []
+        self._resolved: Set[int] = set()
+        # Loads with a known address waiting for earlier stores to resolve.
+        self._blocked_loads: List[Tuple[int, RuuEntry]] = []
+        # In-LSQ stores with known addresses: word address -> sorted seqs.
+        self._stores_by_word: Dict[int, List[int]] = {}
+        self._store_words: Dict[int, int] = {}  # store seq -> word addr
+        self._forwards = stats.counter("forwards")
+        self._blocked_events = stats.counter("loads_blocked")
+        self._peak = stats.counter("peak_occupancy")
+
+    @property
+    def full(self) -> bool:
+        return self.occupancy >= self.size
+
+    @property
+    def forwards(self) -> int:
+        return self._forwards.value
+
+    # -- dispatch ------------------------------------------------------------
+
+    def dispatch(self, entry: RuuEntry) -> None:
+        """Reserve an LSQ slot for a memory instruction."""
+        if self.full:
+            raise SimulationError("dispatch into a full LSQ")
+        self.occupancy += 1
+        if self.occupancy > self._peak.value:
+            self._peak.value = self.occupancy
+        if entry.is_store:
+            heapq.heappush(self._unknown_stores, entry.seq)
+
+    # -- address resolution ----------------------------------------------------
+
+    def store_address_ready(self, entry: RuuEntry) -> List[RuuEntry]:
+        """A store's effective address is now known.
+
+        Returns the loads that this resolution unblocks (in age order);
+        the caller re-inserts them into the scheduler.
+        """
+        if not entry.is_store:
+            raise SimulationError(f"{entry!r} is not a store")
+        if entry.addr_known:
+            raise SimulationError(f"store {entry.seq} resolved twice")
+        entry.addr_known = True
+        self._resolved.add(entry.seq)
+        word = entry.addr & _WORD_MASK
+        insort(self._stores_by_word.setdefault(word, []), entry.seq)
+        self._store_words[entry.seq] = word
+        return self._release_unblocked()
+
+    def load_address_ready(self, entry: RuuEntry) -> str:
+        """Classify a load whose operands (hence address) are now ready.
+
+        Returns one of :data:`LOAD_BLOCKED` (parked inside the LSQ until
+        earlier stores resolve), :data:`LOAD_FORWARD` (satisfied by an
+        earlier in-flight store), or :data:`LOAD_TO_CACHE` (must access
+        the data cache).
+        """
+        if not entry.is_load:
+            raise SimulationError(f"{entry!r} is not a load")
+        entry.addr_known = True
+        oldest_unknown = self._oldest_unknown_store()
+        if oldest_unknown is not None and oldest_unknown < entry.seq:
+            heapq.heappush(self._blocked_loads, (entry.seq, entry))
+            self._blocked_events.add()
+            return LOAD_BLOCKED
+        if self._has_forwarding_store(entry):
+            self._forwards.add()
+            entry.forwarded = True
+            return LOAD_FORWARD
+        return LOAD_TO_CACHE
+
+    # -- commit ---------------------------------------------------------------
+
+    def commit(self, entry: RuuEntry) -> None:
+        """Release the LSQ slot of a committing memory instruction."""
+        if self.occupancy <= 0:
+            raise SimulationError("LSQ commit underflow")
+        self.occupancy -= 1
+        if entry.is_store:
+            word = self._store_words.pop(entry.seq, None)
+            if word is not None:
+                seqs = self._stores_by_word[word]
+                index = bisect_left(seqs, entry.seq)
+                if index < len(seqs) and seqs[index] == entry.seq:
+                    del seqs[index]
+                if not seqs:
+                    del self._stores_by_word[word]
+
+    # -- internals --------------------------------------------------------------
+
+    def _oldest_unknown_store(self) -> Optional[int]:
+        heap = self._unknown_stores
+        while heap and heap[0] in self._resolved:
+            # Lazy deletion: a resolved seq is forgotten once its heap
+            # entry is popped, keeping both structures bounded.
+            self._resolved.discard(heapq.heappop(heap))
+        return heap[0] if heap else None
+
+    def _release_unblocked(self) -> List[RuuEntry]:
+        oldest_unknown = self._oldest_unknown_store()
+        released: List[RuuEntry] = []
+        while self._blocked_loads and (
+            oldest_unknown is None or self._blocked_loads[0][0] < oldest_unknown
+        ):
+            released.append(heapq.heappop(self._blocked_loads)[1])
+        return released
+
+    def _has_forwarding_store(self, load: RuuEntry) -> bool:
+        seqs = self._stores_by_word.get(load.addr & _WORD_MASK)
+        if not seqs:
+            return False
+        # Any store older than the load forwards (the youngest such store
+        # in real hardware; existence is all that matters for timing).
+        return seqs[0] < load.seq

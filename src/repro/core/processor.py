@@ -1,0 +1,367 @@
+"""The cycle-level out-of-order processor (paper Table 1 machine).
+
+The pipeline per cycle, in order:
+
+1. **Fill landing** — completed L1 fills install into the cache array.
+2. **Writeback/wakeup** — operations whose results complete this cycle
+   wake their consumers (consumers may issue in this same cycle, so
+   1-cycle ops sustain back-to-back dependent execution).
+3. **Commit** — in-order, up to ``commit_width``; a store at the head
+   writes the data cache *at commit time* and stalls commit until the
+   port model accepts it.
+4. **Issue** — up to ``issue_width`` ready operations issue oldest-first:
+   ALU/FP ops to functional units, stores resolve their addresses in the
+   LSQ, loads go through disambiguation, then forwarding, then the cache
+   port model.  Refused cache accesses retry next cycle without consuming
+   issue bandwidth.
+5. **Dispatch** — up to ``fetch_width`` instructions enter the RUU (and
+   memory ops the LSQ) from the perfect front end.
+6. **Port end-of-cycle** — the LBIC drains per-bank store queues on idle
+   banks.
+
+The scheduler is event-driven (ready heaps plus a completion wheel), so
+simulation cost scales with instructions executed, not with the sizes of
+the 1024-entry RUU or 512-entry LSQ.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..common.config import LBICConfig, MachineConfig
+from ..common.errors import SimulationError
+from ..common.stats import StatGroup
+from ..isa.instruction import DynInstr
+from ..memory.hierarchy import MemoryHierarchy
+from ..memory.ports import make_port_model
+from .fetch import FetchUnit
+from .fu import FuPools
+from .lsq import LOAD_BLOCKED, LOAD_FORWARD, Lsq
+from .results import SimResult
+from .ruu import COMPLETED, ISSUED, READY, Ruu, RuuEntry
+
+
+class Processor:
+    """One simulated machine instance; use :meth:`run` once per instance."""
+
+    #: Cycles without a single commit (while work is in flight) after
+    #: which the simulation is declared deadlocked.  The longest legal
+    #: stall is a full miss chain (tens of cycles); 100k is pure safety.
+    STALL_LIMIT = 100_000
+
+    #: How many ready-queue entries the memory scheduler examines per cycle.
+    #: This bounds the LSQ selection logic like real hardware does; it is
+    #: deliberately larger than the widest port model (8x4 LBIC = 32).
+    SCHED_SCAN_LIMIT = 128
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        label: str = "run",
+        stats: Optional[StatGroup] = None,
+    ) -> None:
+        self.config = config
+        self.label = label
+        self.stats = stats or StatGroup(label)
+        self.hierarchy = MemoryHierarchy(
+            config.l1, config.l2, config.memory, self.stats.group("memory")
+        )
+        self.ports = make_port_model(
+            config.ports, self.hierarchy, self.stats.group("ports")
+        )
+        self.fus = FuPools(config.core.fu, self.stats.group("fu"))
+        self.ruu = Ruu(config.core.ruu_size)
+        self.lsq = Lsq(config.core.lsq_size, self.stats.group("lsq"))
+        self._ready: List[Tuple[int, RuuEntry]] = []
+        self._completion_wheel: Dict[int, List[RuuEntry]] = {}
+        self.cycle = 0
+        self._seq = 0
+        self._loads = 0
+        self._stores = 0
+        self._last_commit_cycle = 0
+        self._offset_bits = config.l1.geometry.offset_bits
+        self._largest_group = (
+            isinstance(config.ports, LBICConfig)
+            and config.ports.combining_policy == "largest-group"
+        )
+        self._ran = False
+
+    # -- public API ------------------------------------------------------------
+
+    def run(
+        self,
+        stream: Iterable[DynInstr],
+        max_instructions: Optional[int] = None,
+        warmup_instructions: int = 0,
+    ) -> SimResult:
+        """Simulate the machine over ``stream`` and return the results.
+
+        ``warmup_instructions`` are fast-forwarded first: their memory
+        references functionally warm the caches (no cycles pass, nothing
+        is counted), so a short timed region measures steady-state
+        behaviour — the standard fast-forward methodology.
+        """
+        if self._ran:
+            raise SimulationError("a Processor instance runs exactly once")
+        self._ran = True
+        if warmup_instructions:
+            stream = iter(stream)
+            warm = self.hierarchy.warm
+            for _ in range(warmup_instructions):
+                try:
+                    instr = next(stream)
+                except StopIteration:
+                    break
+                if instr.is_mem:
+                    warm(instr.addr, instr.is_store)
+        fetch = FetchUnit(stream, max_instructions)
+        watchdog = self._watchdog_limit(max_instructions)
+
+        while True:
+            if (
+                fetch.peek() is None
+                and self.ruu.empty()
+                and not self.ports.pending_work()
+            ):
+                break
+            self.cycle += 1
+            if self.cycle > watchdog:
+                raise SimulationError(
+                    f"watchdog: {self.cycle} cycles for {self._seq} instructions "
+                    f"({self.label}); the machine is likely deadlocked"
+                )
+            if (
+                not self.ruu.empty()
+                and self.cycle - self._last_commit_cycle > self.STALL_LIMIT
+            ):
+                raise SimulationError(
+                    f"no instruction committed for {self.STALL_LIMIT} cycles "
+                    f"at cycle {self.cycle} ({self.label}); the machine is "
+                    f"deadlocked"
+                )
+            self._step(fetch)
+
+        return self._build_result()
+
+    # -- one cycle ------------------------------------------------------------
+
+    def _step(self, fetch: FetchUnit) -> None:
+        cycle = self.cycle
+        self.fus.begin_cycle()
+        self.ports.begin_cycle(cycle)
+        filled = self.hierarchy.tick(cycle)
+        if filled:
+            self.ports.note_fills(filled)
+        self._writeback(cycle)
+        self._commit()
+        self._issue(cycle)
+        self._dispatch(fetch)
+        self.ports.end_cycle()
+
+    def _writeback(self, cycle: int) -> None:
+        for entry in self._completion_wheel.pop(cycle, ()):
+            entry.complete_cycle = cycle
+            woken, addr_ready_stores = self.ruu.complete(entry)
+            for store in addr_ready_stores:
+                self._resolve_store_address(store)
+            for ready in woken:
+                heapq.heappush(self._ready, (ready.seq, ready))
+
+    def _commit(self) -> None:
+        committed = 0
+        width = self.config.core.commit_width
+        entries = self.ruu.entries
+        while committed < width and entries:
+            head = entries[0]
+            if head.state != COMPLETED:
+                break
+            if head.is_store:
+                if not self.ports.try_store(head.addr):
+                    break
+                self.lsq.commit(head)
+            elif head.is_load:
+                self.lsq.commit(head)
+            self.ruu.commit_head()
+            committed += 1
+        if committed:
+            self._last_commit_cycle = self.cycle
+
+    def _issue(self, cycle: int) -> None:
+        budget = self.config.core.issue_width
+        candidates: List[Tuple[int, RuuEntry]] = []
+        scan = min(self.SCHED_SCAN_LIMIT, len(self._ready))
+        for _ in range(scan):
+            candidates.append(heapq.heappop(self._ready))
+        if self._largest_group:
+            candidates = self._order_by_group(candidates)
+
+        deferred: List[Tuple[int, RuuEntry]] = []
+        mem_stalled = False  # the port accepts an age-ordered prefix only
+        for item in candidates:
+            if budget <= 0:
+                deferred.append(item)
+                continue
+            _, entry = item
+            if entry.is_load:
+                if mem_stalled:
+                    deferred.append(item)
+                    continue
+                verdict = self._issue_load(entry, cycle)
+                if verdict == "issued":
+                    budget -= 1
+                elif verdict == "refused":
+                    deferred.append(item)
+                    mem_stalled = self.ports.IN_ORDER
+                # parked loads wait inside the LSQ: not re-pushed here
+            elif entry.is_store:
+                self._issue_store(entry, cycle)
+                budget -= 1
+            else:
+                done = self.fus.try_issue(entry.opclass, cycle)
+                if done < 0:
+                    deferred.append(item)
+                    continue
+                entry.state = ISSUED
+                self._schedule_completion(entry, done)
+                budget -= 1
+        for item in deferred:
+            heapq.heappush(self._ready, item)
+
+    def _issue_load(self, entry: RuuEntry, cycle: int) -> str:
+        """Try to issue a ready load.
+
+        Returns ``"issued"`` (forwarded or accepted by the cache),
+        ``"parked"`` (blocked by an unresolved earlier store; the LSQ
+        re-releases it), or ``"refused"`` (the port model had no capacity
+        this cycle; the scheduler retries next cycle).
+        """
+        verdict = self.lsq.load_address_ready(entry)
+        if verdict == LOAD_BLOCKED:
+            return "parked"
+        if verdict == LOAD_FORWARD:
+            entry.state = ISSUED
+            self._schedule_completion(entry, cycle + 1)
+            return "issued"
+        complete = self.ports.try_load(entry.addr)
+        if complete is None:
+            return "refused"
+        entry.state = ISSUED
+        self._schedule_completion(entry, max(complete, cycle + 1))
+        return "issued"
+
+    def _issue_store(self, entry: RuuEntry, cycle: int) -> None:
+        # The store's address already resolved when its address operands
+        # arrived (STA/STD split); issuing here is the data movement into
+        # the LSQ entry: one cycle, then the store is commit-eligible.
+        entry.state = ISSUED
+        self._schedule_completion(entry, cycle + 1)
+
+    def _resolve_store_address(self, entry: RuuEntry) -> None:
+        """A store's effective address became known: update the LSQ and
+        re-release any loads it was blocking."""
+        for released in self.lsq.store_address_ready(entry):
+            heapq.heappush(self._ready, (released.seq, released))
+
+    def _dispatch(self, fetch: FetchUnit) -> None:
+        width = self.config.core.fetch_width
+        for _ in range(width):
+            if self.ruu.full:
+                break
+            instr = fetch.peek()
+            if instr is None:
+                break
+            if instr.is_mem and self.lsq.full:
+                break
+            fetch.take()
+            entry = self.ruu.dispatch(self._seq, instr)
+            self._seq += 1
+            if instr.is_mem:
+                self.lsq.dispatch(entry)
+                if instr.is_load:
+                    self._loads += 1
+                else:
+                    self._stores += 1
+                    if entry.remaining_addr_deps == 0:
+                        self._resolve_store_address(entry)
+            if entry.remaining_deps == 0:
+                entry.state = READY
+                heapq.heappush(self._ready, (entry.seq, entry))
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _schedule_completion(self, entry: RuuEntry, cycle: int) -> None:
+        if cycle <= self.cycle:
+            raise SimulationError(
+                f"completion scheduled in the past ({cycle} <= {self.cycle})"
+            )
+        self._completion_wheel.setdefault(cycle, []).append(entry)
+
+    def _order_by_group(
+        self, candidates: List[Tuple[int, RuuEntry]]
+    ) -> List[Tuple[int, RuuEntry]]:
+        """The paper's section 5.2 enhancement: prefer the largest group of
+        combinable ready loads over strict age order (A4 ablation)."""
+        bank_of = getattr(self.ports, "bank_of", None)
+        if bank_of is None:
+            return candidates
+        groups: Dict[Tuple[int, int], int] = {}
+        for _, entry in candidates:
+            if entry.is_load and entry.addr is not None:
+                key = (bank_of(entry.addr), entry.addr >> self._offset_bits)
+                groups[key] = groups.get(key, 0) + 1
+
+        def sort_key(item: Tuple[int, RuuEntry]):
+            seq, entry = item
+            if entry.is_load and entry.addr is not None:
+                key = (bank_of(entry.addr), entry.addr >> self._offset_bits)
+                return (-groups[key], seq)
+            return (0, seq)
+
+        return sorted(candidates, key=sort_key)
+
+    def _watchdog_limit(self, max_instructions: Optional[int]) -> int:
+        budget = max_instructions or 10_000_000
+        return budget * 200 + 100_000
+
+    def _build_result(self) -> SimResult:
+        ports = self.stats.group("ports")
+        memory = self.stats.group("memory")
+        refusals = {
+            reason: self.ports.refusal_count(reason) for reason in self.ports.REASONS
+        }
+        combined = 0
+        combining = getattr(self.ports, "combining_rate", None)
+        if combining is not None:
+            combined = (
+                ports.value("combined_loads") + ports.value("combined_stores")
+            )
+        return SimResult(
+            label=self.label,
+            instructions=self.ruu.committed,
+            cycles=self._last_commit_cycle,
+            loads=self._loads,
+            stores=self._stores,
+            forwarded_loads=self.lsq.forwards,
+            l1_accesses=self.hierarchy.accesses,
+            l1_hits=memory.value("hits"),
+            l1_misses=self.hierarchy.misses,
+            accepted_loads=ports.value("accepted_loads"),
+            accepted_stores=ports.value("accepted_stores"),
+            refusals=refusals,
+            combined_accesses=combined,
+            machine_description=self.config.describe(),
+        )
+
+
+def simulate(
+    config: MachineConfig,
+    stream: Iterable[DynInstr],
+    max_instructions: Optional[int] = None,
+    label: str = "run",
+    warmup_instructions: int = 0,
+) -> SimResult:
+    """Convenience one-shot simulation of ``stream`` on ``config``."""
+    return Processor(config, label=label).run(
+        stream, max_instructions, warmup_instructions=warmup_instructions
+    )

@@ -1,0 +1,67 @@
+"""Result records returned by a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class SimResult:
+    """Summary of one timing-simulation run.
+
+    IPC here is committed instructions per cycle.  The paper (section 2.2)
+    notes this is a fair comparison metric across cache organizations
+    because the simulated processor does not speculate — no wrong-path
+    instructions inflate the demand stream.
+    """
+
+    label: str
+    instructions: int
+    cycles: int
+    loads: int
+    stores: int
+    forwarded_loads: int
+    l1_accesses: int
+    l1_hits: int
+    l1_misses: int
+    accepted_loads: int
+    accepted_stores: int
+    refusals: Dict[str, int] = field(default_factory=dict)
+    combined_accesses: int = 0
+    machine_description: str = ""
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def l1_miss_rate(self) -> float:
+        return self.l1_misses / self.l1_accesses if self.l1_accesses else 0.0
+
+    @property
+    def mem_fraction(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return (self.loads + self.stores) / self.instructions
+
+    @property
+    def store_to_load_ratio(self) -> float:
+        return self.stores / self.loads if self.loads else 0.0
+
+    @property
+    def forwarding_rate(self) -> float:
+        return self.forwarded_loads / self.loads if self.loads else 0.0
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        if baseline.ipc == 0:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def summary(self) -> str:
+        return (
+            f"{self.label}: IPC={self.ipc:.3f} over {self.instructions} instrs "
+            f"({self.cycles} cycles); mem={self.mem_fraction:.1%}, "
+            f"miss={self.l1_miss_rate:.4f}, fwd={self.forwarding_rate:.1%}"
+        )

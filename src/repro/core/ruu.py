@@ -1,0 +1,166 @@
+"""The Register Update Unit (RUU).
+
+The RUU (Sohi, 1990 — the structure SimpleScalar's ``sim-outorder`` is
+built on) unifies the reorder buffer and reservation stations: every
+in-flight instruction holds one entry from dispatch to commit.  Renaming
+is implicit — an entry links to the producing entry of each source
+register, so only true (RAW) dependences constrain issue.
+
+The implementation is event-driven rather than scan-based: when an
+entry's last outstanding operand is produced, the entry is pushed onto
+the scheduler's ready queue, so per-cycle work is proportional to the
+number of instructions that actually move, not to the RUU size (the paper
+machine has a 1024-entry RUU).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..common.errors import SimulationError
+from ..isa.instruction import DynInstr
+from ..isa.opcodes import OpClass
+from ..isa.registers import NUM_REGS, ZERO_REG
+
+# Entry states.
+DISPATCHED = 0  # waiting for operands
+READY = 1       # operands ready, waiting to issue
+ISSUED = 2      # executing (or waiting on the cache)
+COMPLETED = 3   # result produced; eligible to commit in order
+
+
+class RuuEntry:
+    """One in-flight instruction."""
+
+    __slots__ = (
+        "seq",
+        "opclass",
+        "dest",
+        "addr",
+        "state",
+        "remaining_deps",
+        "remaining_addr_deps",
+        "consumers",
+        "addr_consumers",
+        "complete_cycle",
+        "addr_known",
+        "forwarded",
+    )
+
+    def __init__(self, seq: int, instr: DynInstr) -> None:
+        self.seq = seq
+        self.opclass = instr.opclass
+        self.dest = instr.dest
+        self.addr = instr.addr
+        self.state = DISPATCHED
+        self.remaining_deps = 0
+        self.remaining_addr_deps = 0  # stores: outstanding address operands
+        self.consumers: List["RuuEntry"] = []
+        self.addr_consumers: List["RuuEntry"] = []
+        self.complete_cycle = -1
+        self.addr_known = False   # meaningful for memory ops
+        self.forwarded = False    # load satisfied by an in-LSQ store
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is OpClass.STORE
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = ("DISP", "READY", "ISSUED", "DONE")[self.state]
+        return f"RuuEntry(#{self.seq} {self.opclass.name} {state})"
+
+
+class Ruu:
+    """The in-flight instruction window."""
+
+    def __init__(self, size: int) -> None:
+        if size < 2:
+            raise SimulationError("RUU size must be >= 2")
+        self.size = size
+        self.entries: Deque[RuuEntry] = deque()
+        # latest in-flight producer of each architectural register
+        self._latest_writer: List[Optional[RuuEntry]] = [None] * NUM_REGS
+        self.dispatched = 0
+        self.committed = 0
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+    @property
+    def full(self) -> bool:
+        return len(self.entries) >= self.size
+
+    def dispatch(self, seq: int, instr: DynInstr) -> RuuEntry:
+        """Insert one instruction, wiring its true dependences.
+
+        For stores, address operands (the first ``addr_src_count``
+        sources) are tracked separately so the effective address can
+        resolve before the store data arrives (STA/STD split).
+        """
+        if self.full:
+            raise SimulationError("dispatch into a full RUU")
+        entry = RuuEntry(seq, instr)
+        track_addr = instr.opclass is OpClass.STORE
+        for index, src in enumerate(instr.srcs):
+            if src == ZERO_REG:
+                continue
+            producer = self._latest_writer[src]
+            if producer is not None and producer.state != COMPLETED:
+                producer.consumers.append(entry)
+                entry.remaining_deps += 1
+                if track_addr and index < instr.addr_src_count:
+                    producer.addr_consumers.append(entry)
+                    entry.remaining_addr_deps += 1
+        if entry.dest is not None and entry.dest != ZERO_REG:
+            self._latest_writer[entry.dest] = entry
+        self.entries.append(entry)
+        self.dispatched += 1
+        return entry
+
+    def complete(self, entry: RuuEntry) -> Tuple[List[RuuEntry], List[RuuEntry]]:
+        """Mark ``entry`` complete and propagate wakeups.
+
+        Returns ``(ready, addr_ready_stores)``: consumers whose last
+        operand arrived, and stores whose last *address* operand arrived
+        (their addresses can now enter memory disambiguation).
+        """
+        if entry.state == COMPLETED:
+            raise SimulationError(f"double completion of {entry!r}")
+        entry.state = COMPLETED
+        woken: List[RuuEntry] = []
+        for consumer in entry.consumers:
+            consumer.remaining_deps -= 1
+            if consumer.remaining_deps == 0:
+                woken.append(consumer)
+        entry.consumers.clear()
+        addr_ready: List[RuuEntry] = []
+        for consumer in entry.addr_consumers:
+            consumer.remaining_addr_deps -= 1
+            if consumer.remaining_addr_deps == 0:
+                addr_ready.append(consumer)
+        entry.addr_consumers.clear()
+        return woken, addr_ready
+
+    def head(self) -> Optional[RuuEntry]:
+        return self.entries[0] if self.entries else None
+
+    def commit_head(self) -> RuuEntry:
+        """Remove and return the head entry (must be COMPLETED)."""
+        entry = self.entries.popleft()
+        if entry.state != COMPLETED:
+            raise SimulationError(f"committing incomplete entry {entry!r}")
+        self.committed += 1
+        # Drop the stale writer link so later readers see a completed
+        # producer without keeping the object alive through the dict.
+        if entry.dest is not None and self._latest_writer[entry.dest] is entry:
+            self._latest_writer[entry.dest] = None
+        return entry
+
+    def empty(self) -> bool:
+        return not self.entries

@@ -1,0 +1,31 @@
+"""Die-area cost model (register-bit equivalents) for port organizations."""
+
+from .area import (
+    ADDRESS_BITS,
+    AreaBreakdown,
+    BANK_OVERHEAD_RBE,
+    BUS_BITS,
+    CROSSBAR_RBE_PER_BIT,
+    PORT_PITCH_FACTOR,
+    REGFILE_RBE,
+    SRAM_RBE,
+    area_ratio,
+    cache_area,
+    interconnect_area,
+    port_area_factor,
+)
+
+__all__ = [
+    "ADDRESS_BITS",
+    "AreaBreakdown",
+    "BANK_OVERHEAD_RBE",
+    "BUS_BITS",
+    "CROSSBAR_RBE_PER_BIT",
+    "PORT_PITCH_FACTOR",
+    "REGFILE_RBE",
+    "SRAM_RBE",
+    "area_ratio",
+    "cache_area",
+    "interconnect_area",
+    "port_area_factor",
+]

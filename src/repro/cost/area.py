@@ -1,0 +1,206 @@
+"""Die-area cost model for the four cache organizations.
+
+The paper argues cost qualitatively ("a large 2-port replicated cache
+costs about twice the 2x2 LBIC in die area", section 6; crossbar cost
+"grows superlinearly", section 1).  This module makes those arguments
+checkable with a register-bit-equivalent (RBE) style model in the
+tradition of Mulder/Quach/Flynn's "An Area Model for On-Chip Memories and
+its Application" (IEEE JSSC, 1991):
+
+* a single-ported SRAM bit costs ``SRAM_RBE`` register-bit equivalents;
+* multi-porting a bit grows its area roughly quadratically in the port
+  count — each extra port adds a wordline and a bitline pair, so cell
+  pitch grows in both dimensions: ``area(p) = area(1) * ((1 + k*(p-1))^2``
+  with ``k = PORT_PITCH_FACTOR``;
+* a crossbar between q requesters and M banks costs proportionally to
+  ``q * M * bus_width`` wiring tracks;
+* per-bank overheads (decoders, sense amps) cost a fixed equivalent per
+  bank, which is why a 512-bank cache is not free even though its banks
+  are small.
+
+The absolute RBE numbers are not meant to match any particular process;
+the *ratios* between organizations are the deliverable, and the paper's
+two quantitative cost claims are asserted in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from ..common.config import (
+    BankedPortConfig,
+    CacheGeometry,
+    IdealPortConfig,
+    L1Config,
+    LBICConfig,
+    PortModelConfig,
+    ReplicatedPortConfig,
+)
+from ..common.errors import ConfigError
+
+#: area of one single-ported SRAM bit, in register-bit equivalents
+SRAM_RBE = 0.6
+#: area of one register-file (fully multi-portable) bit
+REGFILE_RBE = 1.0
+#: relative pitch growth per extra port on a RAM cell (per dimension)
+PORT_PITCH_FACTOR = 0.5
+#: RBE per crossbar crosspoint per data bit
+CROSSBAR_RBE_PER_BIT = 0.05
+#: fixed per-bank overhead (decoder, sense amps, control), in RBE
+BANK_OVERHEAD_RBE = 2048.0
+#: address width assumed for tag sizing
+ADDRESS_BITS = 40
+#: width of one port's data bus, in bits
+BUS_BITS = 64
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """RBE area of one organization, split by component."""
+
+    data_array: float
+    tag_array: float
+    interconnect: float
+    buffers: float
+    bank_overhead: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.data_array
+            + self.tag_array
+            + self.interconnect
+            + self.buffers
+            + self.bank_overhead
+        )
+
+
+def port_area_factor(ports: int) -> float:
+    """Relative cell area of a ``ports``-ported RAM vs single-ported."""
+    if ports < 1:
+        raise ConfigError("ports must be >= 1")
+    pitch = 1.0 + PORT_PITCH_FACTOR * (ports - 1)
+    return pitch * pitch
+
+
+def _array_bits(geometry: CacheGeometry) -> float:
+    data_bits = geometry.size_bytes * 8
+    tag_bits_per_line = (
+        ADDRESS_BITS - geometry.offset_bits - geometry.index_bits
+    ) + 2  # valid + dirty
+    return data_bits, geometry.num_lines * tag_bits_per_line
+
+
+def _crossbar(requesters: int, banks: int) -> float:
+    return CROSSBAR_RBE_PER_BIT * requesters * banks * BUS_BITS
+
+
+def interconnect_area(
+    requesters: int, banks: int, network: str = "crossbar"
+) -> float:
+    """RBE area of the requester-to-bank interconnect.
+
+    ``crossbar`` costs requesters x banks crosspoints; ``omega`` costs
+    (ports/2) x log2(ports) 2x2 switches — cheaper for large
+    configurations at the price of extra latency, exactly the trade the
+    paper sketches in section 3.2 ("Using an omega network rather than a
+    crossbar would alter this tradeoff, increasing latency, but reducing
+    cost for larger configurations").
+    """
+    if network == "crossbar":
+        return _crossbar(requesters, banks)
+    if network == "omega":
+        ports = max(requesters, banks, 2)
+        stages = max(1, (ports - 1).bit_length())
+        switches = (ports // 2) * stages
+        # one 2x2 switch ~ 4 crosspoints
+        return CROSSBAR_RBE_PER_BIT * 4 * switches * BUS_BITS
+    raise ConfigError(f"unknown network {network!r}")
+
+
+def cache_area(config: PortModelConfig, l1: Union[L1Config, CacheGeometry]) -> AreaBreakdown:
+    """RBE area of the L1 organized per ``config``."""
+    geometry = l1.geometry if isinstance(l1, L1Config) else l1
+    data_bits, tag_bits = _array_bits(geometry)
+
+    if isinstance(config, IdealPortConfig):
+        factor = port_area_factor(config.ports)
+        return AreaBreakdown(
+            data_array=data_bits * SRAM_RBE * factor,
+            tag_array=tag_bits * SRAM_RBE * factor,
+            interconnect=0.0,
+            buffers=0.0,
+            bank_overhead=BANK_OVERHEAD_RBE,
+        )
+
+    if isinstance(config, ReplicatedPortConfig):
+        # p complete single-ported copies; stores broadcast over a shared
+        # write bus (counted as interconnect).
+        return AreaBreakdown(
+            data_array=data_bits * SRAM_RBE * config.ports,
+            tag_array=tag_bits * SRAM_RBE * config.ports,
+            interconnect=_crossbar(config.ports, config.ports),
+            buffers=0.0,
+            bank_overhead=BANK_OVERHEAD_RBE * config.ports,
+        )
+
+    if isinstance(config, BankedPortConfig):
+        port_factor = port_area_factor(config.ports_per_bank)
+        # Word interleaving spreads each line over several banks, so the
+        # tag store must be replicated in every bank the line spans - the
+        # cost the paper's section 3.2 footnote calls out ("a cache line
+        # of 8 words carries a single tag, but 8 copies are needed for
+        # word interleaving").
+        tag_copies = 1
+        if config.interleave == "word":
+            words_per_line = geometry.line_size // 8
+            tag_copies = min(config.banks, words_per_line)
+        return AreaBreakdown(
+            data_array=data_bits * SRAM_RBE * port_factor,
+            tag_array=tag_bits * SRAM_RBE * tag_copies * port_factor,
+            interconnect=_crossbar(
+                config.banks * config.ports_per_bank, config.banks
+            ),
+            buffers=0.0,
+            bank_overhead=BANK_OVERHEAD_RBE * config.banks,
+        )
+
+    if isinstance(config, LBICConfig):
+        base = cache_area(
+            BankedPortConfig(banks=config.banks, bank_function=config.bank_function),
+            geometry,
+        )
+        # One N-ported single-line buffer per bank (register-file style
+        # cells) plus the store queue (single-ported) and offset muxes.
+        line_bits = geometry.line_size * 8
+        buffer_rbe = (
+            config.banks
+            * line_bits
+            * REGFILE_RBE
+            * port_area_factor(config.buffer_ports)
+        )
+        store_queue_rbe = (
+            config.banks * config.store_queue_depth * BUS_BITS * SRAM_RBE
+        )
+        # The LBIC's interconnect carries up to M*N requests.
+        interconnect = _crossbar(config.banks * config.buffer_ports, config.banks)
+        return AreaBreakdown(
+            data_array=base.data_array,
+            tag_array=base.tag_array,
+            interconnect=interconnect,
+            buffers=buffer_rbe + store_queue_rbe,
+            bank_overhead=base.bank_overhead,
+        )
+
+    raise ConfigError(f"no area model for {type(config).__name__}")
+
+
+def area_ratio(
+    config_a: PortModelConfig,
+    config_b: PortModelConfig,
+    l1: Union[L1Config, CacheGeometry, None] = None,
+) -> float:
+    """Total-area ratio a/b for the paper's 32 KB L1 by default."""
+    l1 = l1 or L1Config()
+    return cache_area(config_a, l1).total / cache_area(config_b, l1).total

@@ -1,0 +1,82 @@
+"""The experiment harness: one module per paper artifact, plus ablations."""
+
+from .ablations import (
+    CostPerformancePoint,
+    SweepResult,
+    ablate_bank_function,
+    ablate_associativity,
+    ablate_bank_porting,
+    ablate_combining_policy,
+    ablate_crossbar_latency,
+    ablate_fill_port,
+    ablate_interleaving,
+    ablate_line_size,
+    ablate_lsq_depth,
+    ablate_memory_latency,
+    ablate_store_queue,
+    cost_performance,
+    render_cost_performance,
+)
+from .comparisons import (
+    ClaimCheck,
+    ClaimReport,
+    check_claims,
+    render_section6_table,
+    run_claim_checks,
+)
+from .figure3 import Figure3Result, render_bank_sweep, run_bank_sweep, run_figure3
+from .paper_data import (
+    TABLE3,
+    TABLE3_AVERAGES,
+    TABLE3_PORTS,
+    TABLE4,
+    TABLE4_AVERAGES,
+    TABLE4_CONFIGS,
+)
+from .runner import ExperimentRunner, RunSettings
+from .table2 import Table2Result, run_table2
+from .table3 import Table3Result, port_config, run_table3
+from .table4 import Table4Result, lbic_config, run_table4
+
+__all__ = [
+    "ClaimCheck",
+    "ClaimReport",
+    "CostPerformancePoint",
+    "ExperimentRunner",
+    "Figure3Result",
+    "RunSettings",
+    "SweepResult",
+    "TABLE3",
+    "TABLE3_AVERAGES",
+    "TABLE3_PORTS",
+    "TABLE4",
+    "TABLE4_AVERAGES",
+    "TABLE4_CONFIGS",
+    "Table2Result",
+    "Table3Result",
+    "Table4Result",
+    "ablate_bank_function",
+    "ablate_associativity",
+    "ablate_bank_porting",
+    "ablate_combining_policy",
+    "ablate_crossbar_latency",
+    "ablate_fill_port",
+    "ablate_interleaving",
+    "ablate_line_size",
+    "ablate_memory_latency",
+    "ablate_lsq_depth",
+    "ablate_store_queue",
+    "check_claims",
+    "render_section6_table",
+    "cost_performance",
+    "lbic_config",
+    "port_config",
+    "render_cost_performance",
+    "run_claim_checks",
+    "render_bank_sweep",
+    "run_bank_sweep",
+    "run_figure3",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+]

@@ -1,0 +1,476 @@
+"""Ablations A1-A5: the design choices the paper calls out, swept.
+
+* A1 — LSQ depth: "performance of the scheme depends on the depth of the
+  LSQ" (section 5.2).
+* A2 — bank-selection function: section 3.2 argues elaborate selection
+  functions are unattractive because most residual conflicts are
+  same-line; sweeping bit-select vs XOR-fold vs multiplicative hashing
+  tests that.
+* A3 — per-bank store-queue depth: the paper assumes "a structure that
+  can hold up to some number of words" without sizing it.
+* A4 — combining policy: the section 5.2 enhancement (prefer the largest
+  group of combinable ready accesses) vs the paper's default
+  leading-request policy.
+* A5 — cost/performance: the die-area claims of sections 1 and 6 against
+  the RBE cost model.
+* A6 — interleaving granularity: line vs word interleaving (the paper's
+  section 3.2 footnote weighs word interleaving's conflict reduction
+  against its tag-replication cost).
+* A7 — multi-ported banks vs more banks at equal peak bandwidth (the
+  Sohi & Franklin combinations the paper cites).
+* A8 — L1 line size: longer lines give the LBIC more combinable run
+  length per line but fewer banks' worth of distinct lines.
+* A9 — main-memory latency: the paper deliberately uses a short 10-cycle
+  memory because this is a bandwidth study; the sweep verifies the
+  organizational ordering is latency-robust.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..common.config import (
+    BANK_FUNCTIONS,
+    BankedPortConfig,
+    CoreConfig,
+    IdealPortConfig,
+    LBICConfig,
+    MachineConfig,
+    PortModelConfig,
+    ReplicatedPortConfig,
+    paper_machine,
+)
+from ..common.tables import Table
+from ..core.processor import Processor
+from ..cost.area import cache_area
+from ..workloads.spec95 import ALL_NAMES, spec95_workload
+from .runner import ExperimentRunner, RunSettings
+
+
+@dataclass
+class SweepResult:
+    """One ablation: parameter values against per-benchmark IPC."""
+
+    name: str
+    parameter: str
+    values: List[object]
+    #: benchmark -> [ipc per parameter value]
+    ipcs: Dict[str, List[float]]
+
+    def average(self) -> List[float]:
+        rows = list(self.ipcs.values())
+        return [
+            sum(row[index] for row in rows) / len(rows)
+            for index in range(len(self.values))
+        ]
+
+    def render(self) -> str:
+        table = Table(
+            ["Program"] + [str(value) for value in self.values],
+            precision=3,
+            title=f"Ablation {self.name}: IPC vs {self.parameter}",
+        )
+        for benchmark, row in self.ipcs.items():
+            table.add_row([benchmark] + list(row))
+        table.add_separator()
+        table.add_row(["Average"] + self.average())
+        return table.render()
+
+
+def _run(machine: MachineConfig, benchmark: str, settings: RunSettings) -> float:
+    workload = spec95_workload(benchmark)
+    processor = Processor(machine, label=f"{benchmark}/ablation")
+    result = processor.run(
+        workload.stream(seed=settings.seed),
+        max_instructions=settings.instructions,
+        warmup_instructions=settings.warmup_instructions,
+    )
+    return result.ipc
+
+
+def ablate_lsq_depth(
+    settings: Optional[RunSettings] = None,
+    depths: Sequence[int] = (8, 16, 32, 64, 128, 256, 512),
+    ports: Optional[PortModelConfig] = None,
+) -> SweepResult:
+    """A1 — sweep LSQ depth on a 4x4 LBIC machine."""
+    settings = settings or RunSettings()
+    ports = ports or LBICConfig(banks=4, buffer_ports=4)
+    ipcs: Dict[str, List[float]] = {}
+    for benchmark in settings.benchmarks:
+        row = []
+        for depth in depths:
+            base = paper_machine(ports)
+            machine = dataclasses.replace(
+                base, core=dataclasses.replace(base.core, lsq_size=depth)
+            )
+            row.append(_run(machine, benchmark, settings))
+        ipcs[benchmark] = row
+    return SweepResult("A1", "LSQ depth", list(depths), ipcs)
+
+
+def ablate_bank_function(
+    settings: Optional[RunSettings] = None,
+    banks: int = 4,
+    functions: Sequence[str] = BANK_FUNCTIONS,
+) -> Tuple[SweepResult, SweepResult]:
+    """A2 — sweep the bank-selection function for Banked and LBIC."""
+    settings = settings or RunSettings()
+    banked_ipcs: Dict[str, List[float]] = {}
+    lbic_ipcs: Dict[str, List[float]] = {}
+    for benchmark in settings.benchmarks:
+        banked_ipcs[benchmark] = [
+            _run(
+                paper_machine(BankedPortConfig(banks=banks, bank_function=fn)),
+                benchmark,
+                settings,
+            )
+            for fn in functions
+        ]
+        lbic_ipcs[benchmark] = [
+            _run(
+                paper_machine(
+                    LBICConfig(banks=banks, buffer_ports=2, bank_function=fn)
+                ),
+                benchmark,
+                settings,
+            )
+            for fn in functions
+        ]
+    return (
+        SweepResult("A2 (banked)", "bank function", list(functions), banked_ipcs),
+        SweepResult("A2 (LBIC)", "bank function", list(functions), lbic_ipcs),
+    )
+
+
+def ablate_store_queue(
+    settings: Optional[RunSettings] = None,
+    depths: Sequence[int] = (1, 2, 4, 8, 16, 32),
+) -> SweepResult:
+    """A3 — sweep the LBIC per-bank store-queue depth."""
+    settings = settings or RunSettings()
+    ipcs: Dict[str, List[float]] = {}
+    for benchmark in settings.benchmarks:
+        ipcs[benchmark] = [
+            _run(
+                paper_machine(
+                    LBICConfig(banks=4, buffer_ports=4, store_queue_depth=depth)
+                ),
+                benchmark,
+                settings,
+            )
+            for depth in depths
+        ]
+    return SweepResult("A3", "store-queue depth", list(depths), ipcs)
+
+
+def ablate_combining_policy(
+    settings: Optional[RunSettings] = None,
+    banks: int = 4,
+    buffer_ports: int = 4,
+) -> SweepResult:
+    """A4 — leading-request vs largest-group LSQ selection (section 5.2)."""
+    settings = settings or RunSettings()
+    policies = ["leading-request", "largest-group"]
+    ipcs: Dict[str, List[float]] = {}
+    for benchmark in settings.benchmarks:
+        ipcs[benchmark] = [
+            _run(
+                paper_machine(
+                    LBICConfig(
+                        banks=banks,
+                        buffer_ports=buffer_ports,
+                        combining_policy=policy,
+                    )
+                ),
+                benchmark,
+                settings,
+            )
+            for policy in policies
+        ]
+    return SweepResult("A4", "combining policy", policies, ipcs)
+
+
+def ablate_interleaving(
+    settings: Optional[RunSettings] = None,
+    banks: int = 4,
+) -> SweepResult:
+    """A6 — line- vs word-interleaved banking (paper section 3.2).
+
+    Word interleaving spreads same-line accesses across banks, removing
+    the conflicts the LBIC would otherwise combine away — but costs a
+    replicated tag store (see :func:`repro.cost.area.cache_area`) and
+    cannot fix power-of-two array aliasing (swim).
+    """
+    settings = settings or RunSettings()
+    variants = ["line", "word"]
+    ipcs: Dict[str, List[float]] = {}
+    for benchmark in settings.benchmarks:
+        ipcs[benchmark] = [
+            _run(
+                paper_machine(
+                    BankedPortConfig(banks=banks, interleave=interleave)
+                ),
+                benchmark,
+                settings,
+            )
+            for interleave in variants
+        ]
+    return SweepResult("A6", f"{banks}-bank interleaving granularity",
+                       variants, ipcs)
+
+
+def ablate_bank_porting(
+    settings: Optional[RunSettings] = None,
+) -> SweepResult:
+    """A7 — equal peak bandwidth (8/cycle), different structure:
+    8 single-ported banks vs 4 dual-ported banks vs a 4x2 LBIC."""
+    settings = settings or RunSettings()
+    variants: List[Tuple[str, PortModelConfig]] = [
+        ("8x1-bank", BankedPortConfig(banks=8)),
+        ("4x2-port-bank", BankedPortConfig(banks=4, ports_per_bank=2)),
+        ("4x2-LBIC", LBICConfig(banks=4, buffer_ports=2)),
+    ]
+    ipcs: Dict[str, List[float]] = {}
+    for benchmark in settings.benchmarks:
+        ipcs[benchmark] = [
+            _run(paper_machine(config), benchmark, settings)
+            for _, config in variants
+        ]
+    return SweepResult(
+        "A7", "structure at peak 8 accesses/cycle",
+        [label for label, _ in variants], ipcs,
+    )
+
+
+def ablate_line_size(
+    settings: Optional[RunSettings] = None,
+    line_sizes: Sequence[int] = (16, 32, 64),
+    ports: Optional[PortModelConfig] = None,
+) -> SweepResult:
+    """A8 — L1 line size under a 2x2 LBIC.
+
+    Longer lines hold more combinable words per gate, so the effect is
+    visible where bandwidth binds — the 2x2 configuration (a 4x4 LBIC
+    already sits at the ILP ceiling, where line size only moves the
+    miss rate).
+    """
+    settings = settings or RunSettings()
+    ports = ports or LBICConfig(banks=2, buffer_ports=2)
+    ipcs: Dict[str, List[float]] = {}
+    for benchmark in settings.benchmarks:
+        row = []
+        for line_size in line_sizes:
+            base = paper_machine(ports)
+            geometry = dataclasses.replace(
+                base.l1.geometry, line_size=line_size
+            )
+            machine = dataclasses.replace(
+                base, l1=dataclasses.replace(base.l1, geometry=geometry)
+            )
+            row.append(_run(machine, benchmark, settings))
+        ipcs[benchmark] = row
+    return SweepResult("A8", "L1 line size (bytes)", list(line_sizes), ipcs)
+
+
+def ablate_memory_latency(
+    settings: Optional[RunSettings] = None,
+    latencies: Sequence[int] = (10, 30, 100),
+    benchmark: str = "swim",
+) -> Dict[str, List[float]]:
+    """A9 — organizational ordering vs main-memory latency.
+
+    Returns {organization: [ipc per latency]}.  The paper's 10-cycle
+    memory isolates bandwidth effects; this shows the who-wins ordering
+    survives realistic latencies.
+    """
+    settings = settings or RunSettings()
+    organizations: List[Tuple[str, PortModelConfig]] = [
+        ("ideal-4", IdealPortConfig(4)),
+        ("repl-4", ReplicatedPortConfig(4)),
+        ("bank-4", BankedPortConfig(banks=4)),
+        ("lbic-4x4", LBICConfig(banks=4, buffer_ports=4)),
+    ]
+    results: Dict[str, List[float]] = {}
+    for label, ports in organizations:
+        row = []
+        for latency in latencies:
+            base = paper_machine(ports)
+            machine = dataclasses.replace(
+                base,
+                memory=dataclasses.replace(
+                    base.memory, access_latency=latency
+                ),
+            )
+            row.append(_run(machine, benchmark, settings))
+        results[label] = row
+    return results
+
+
+def ablate_crossbar_latency(
+    settings: Optional[RunSettings] = None,
+    latencies: Sequence[int] = (0, 1, 2),
+) -> Tuple[SweepResult, SweepResult]:
+    """A10 — interconnect latency sensitivity (paper section 3.2).
+
+    The paper's baseline adds no crossbar latency ("actual multi-bank
+    designs can be pipelined to hide some of the interconnect latency");
+    this sweep prices un-hidden latency for the banked cache and the
+    LBIC.
+    """
+    settings = settings or RunSettings()
+    banked_ipcs: Dict[str, List[float]] = {}
+    lbic_ipcs: Dict[str, List[float]] = {}
+    for benchmark in settings.benchmarks:
+        banked_ipcs[benchmark] = [
+            _run(
+                paper_machine(
+                    BankedPortConfig(banks=4, crossbar_latency=latency)
+                ),
+                benchmark,
+                settings,
+            )
+            for latency in latencies
+        ]
+        lbic_ipcs[benchmark] = [
+            _run(
+                paper_machine(
+                    LBICConfig(banks=4, buffer_ports=4,
+                               crossbar_latency=latency)
+                ),
+                benchmark,
+                settings,
+            )
+            for latency in latencies
+        ]
+    return (
+        SweepResult("A10 (banked)", "crossbar latency (cycles)",
+                    list(latencies), banked_ipcs),
+        SweepResult("A10 (LBIC)", "crossbar latency (cycles)",
+                    list(latencies), lbic_ipcs),
+    )
+
+
+def ablate_fill_port(
+    settings: Optional[RunSettings] = None,
+) -> SweepResult:
+    """A11 — dedicated fill port vs fills stealing bank cycles.
+
+    Prices the baseline's documented simplification (fills land for
+    free) on a 4x4 LBIC.
+    """
+    settings = settings or RunSettings()
+    variants = ["dedicated", "steals-bank"]
+    ipcs: Dict[str, List[float]] = {}
+    for benchmark in settings.benchmarks:
+        ipcs[benchmark] = [
+            _run(
+                paper_machine(
+                    LBICConfig(banks=4, buffer_ports=4,
+                               fills_occupy_bank=steals)
+                ),
+                benchmark,
+                settings,
+            )
+            for steals in (False, True)
+        ]
+    return SweepResult("A11", "fill-port arbitration", variants, ipcs)
+
+
+def ablate_associativity(
+    settings: Optional[RunSettings] = None,
+    associativities: Sequence[int] = (1, 2, 4),
+    ports: Optional[PortModelConfig] = None,
+) -> SweepResult:
+    """A12 — L1 associativity at fixed 32 KB capacity.
+
+    The paper's L1 is direct-mapped.  For these workloads associativity
+    turns out to be nearly free *and nearly useless*: their misses are
+    streaming/compulsory by construction (the models deliberately avoid
+    pathological set aliasing, matching Table 2's miss rates), so the
+    direct-mapped choice is not load-bearing for any conclusion — which
+    is exactly what this sweep documents.
+    """
+    settings = settings or RunSettings()
+    ports = ports or IdealPortConfig(1)
+    ipcs: Dict[str, List[float]] = {}
+    for benchmark in settings.benchmarks:
+        row = []
+        for associativity in associativities:
+            base = paper_machine(ports)
+            geometry = dataclasses.replace(
+                base.l1.geometry, associativity=associativity
+            )
+            machine = dataclasses.replace(
+                base, l1=dataclasses.replace(base.l1, geometry=geometry)
+            )
+            row.append(_run(machine, benchmark, settings))
+        ipcs[benchmark] = row
+    return SweepResult(
+        "A12", "L1 associativity (32 KB)", list(associativities), ipcs
+    )
+
+
+@dataclass
+class CostPerformancePoint:
+    label: str
+    config: PortModelConfig
+    area_rbe: float
+    specint_ipc: float
+    specfp_ipc: float
+
+
+def cost_performance(
+    settings: Optional[RunSettings] = None,
+    configs: Optional[Sequence[Tuple[str, PortModelConfig]]] = None,
+) -> List[CostPerformancePoint]:
+    """A5 — the cost/performance frontier of sections 1 and 6."""
+    settings = settings or RunSettings()
+    runner = ExperimentRunner(settings)
+    if configs is None:
+        configs = [
+            ("ideal-2", IdealPortConfig(2)),
+            ("ideal-4", IdealPortConfig(4)),
+            ("repl-2", ReplicatedPortConfig(2)),
+            ("repl-4", ReplicatedPortConfig(4)),
+            ("bank-4", BankedPortConfig(banks=4)),
+            ("bank-8", BankedPortConfig(banks=8)),
+            ("lbic-2x2", LBICConfig(banks=2, buffer_ports=2)),
+            ("lbic-4x2", LBICConfig(banks=4, buffer_ports=2)),
+            ("lbic-4x4", LBICConfig(banks=4, buffer_ports=4)),
+        ]
+    points = []
+    for label, config in configs:
+        points.append(
+            CostPerformancePoint(
+                label=label,
+                config=config,
+                area_rbe=cache_area(config, paper_machine().l1).total,
+                specint_ipc=runner.specint_average(config),
+                specfp_ipc=runner.specfp_average(config),
+            )
+        )
+    return points
+
+
+def render_cost_performance(points: List[CostPerformancePoint]) -> str:
+    table = Table(
+        ["config", "area (RBE)", "area/bank-4", "SPECint IPC", "SPECfp IPC"],
+        precision=3,
+        title="A5 - cost/performance of the cache organizations",
+    )
+    baseline = next(
+        (p.area_rbe for p in points if p.label == "bank-4"),
+        points[0].area_rbe if points else 1.0,
+    )
+    for point in points:
+        table.add_row([
+            point.label,
+            round(point.area_rbe),
+            point.area_rbe / baseline,
+            point.specint_ipc,
+            point.specfp_ipc,
+        ])
+    return table.render()

@@ -1,0 +1,101 @@
+"""Every number published in the paper's evaluation (Tables 3 and 4).
+
+These are the reference values the benchmark harness prints next to the
+measured results, and the claim checks in
+:mod:`repro.experiments.comparisons` are asserted against relations
+*within* this data (who wins, by roughly what factor) rather than
+absolute equality — our workloads are calibrated synthetics, not the
+original SPEC95 binaries.
+
+Table 2 and the Figure 3 distributions live with the workload calibration
+targets in :mod:`repro.workloads.spec95.calibration`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Table 3 column layout: single-ported IPC, then (True, Repl, Bank)
+#: triplets at 2, 4, 8 and 16 ports/banks.
+TABLE3_PORTS = (2, 4, 8, 16)
+
+#: Table 3 IPC data: name -> {"1": ipc, (kind, ports): ipc}.
+#: kind is one of "true", "repl", "bank".
+TABLE3: Dict[str, Dict] = {}
+
+
+def _t3(name: str, single: float, *triplets: Tuple[float, float, float]) -> None:
+    row: Dict = {"1": single}
+    for ports, (true, repl, bank) in zip(TABLE3_PORTS, triplets):
+        row[("true", ports)] = true
+        row[("repl", ports)] = repl
+        row[("bank", ports)] = bank
+    TABLE3[name] = row
+
+
+_t3("compress", 2.66, (5.22, 4.08, 3.95), (7.41, 5.15, 5.12),
+    (7.83, 5.55, 5.86), (7.83, 5.68, 5.96))
+_t3("gcc", 2.65, (4.80, 4.03, 4.15), (6.19, 4.99, 5.23),
+    (6.27, 5.29, 5.61), (6.27, 5.35, 5.70))
+_t3("go", 3.44, (5.62, 5.32, 4.80), (6.82, 6.53, 5.87),
+    (7.13, 6.95, 6.45), (7.17, 7.02, 6.67))
+_t3("li", 2.10, (4.17, 3.42, 3.78), (6.58, 4.76, 5.84),
+    (6.58, 5.33, 6.34), (6.58, 5.43, 6.48))
+_t3("perl", 2.25, (4.48, 3.52, 3.51), (7.08, 4.67, 4.57),
+    (7.25, 5.29, 5.85), (7.25, 5.49, 6.30))
+_t3("hydro2d", 3.76, (7.19, 6.32, 6.41), (9.94, 8.96, 8.64),
+    (10.6, 9.88, 9.24), (10.7, 10.1, 9.70))
+_t3("mgrid", 2.67, (5.11, 5.07, 4.97), (9.64, 9.49, 7.90),
+    (16.6, 16.2, 9.32), (18.6, 18.6, 10.2))
+_t3("su2cor", 3.01, (5.93, 5.21, 5.29), (9.04, 7.75, 7.41),
+    (10.3, 9.39, 7.83), (10.8, 10.2, 8.45))
+_t3("swim", 3.20, (6.36, 5.46, 5.46), (10.0, 8.53, 6.19),
+    (12.8, 10.7, 6.82), (13.6, 11.2, 6.90))
+_t3("wave5", 3.28, (6.01, 5.26, 5.58), (7.26, 6.76, 6.28),
+    (7.53, 7.30, 6.55), (7.56, 7.42, 6.74))
+
+#: Suite averages as printed in Table 3 of the paper.
+TABLE3_AVERAGES: Dict[str, Dict] = {}
+_save, TABLE3 = TABLE3, TABLE3_AVERAGES
+_t3("SPECint Ave.", 2.55, (4.80, 3.98, 3.99), (6.79, 5.14, 5.28),
+    (6.97, 5.62, 6.01), (6.98, 5.73, 6.20))
+_t3("SPECfp Ave.", 3.14, (6.04, 5.43, 5.50), (9.05, 8.18, 7.16),
+    (10.8, 10.0, 7.78), (11.2, 10.5, 8.16))
+TABLE3_AVERAGES, TABLE3 = TABLE3, _save
+
+#: Table 4 LBIC configurations, in the paper's column order (M, N).
+TABLE4_CONFIGS: Tuple[Tuple[int, int], ...] = (
+    (2, 2), (2, 4), (4, 2), (4, 4), (8, 2), (8, 4),
+)
+
+#: Table 4 IPC data: name -> {(M, N): ipc}.
+TABLE4: Dict[str, Dict[Tuple[int, int], float]] = {
+    "compress": {(2, 2): 4.608, (2, 4): 4.741, (4, 2): 5.521,
+                 (4, 4): 5.567, (8, 2): 5.985, (8, 4): 5.991},
+    "gcc": {(2, 2): 5.256, (2, 4): 5.510, (4, 2): 5.680,
+            (4, 4): 5.716, (8, 2): 5.765, (8, 4): 5.775},
+    "go": {(2, 2): 5.849, (2, 4): 6.151, (4, 2): 6.528,
+           (4, 4): 6.640, (8, 2): 6.800, (8, 4): 6.844},
+    "li": {(2, 2): 5.805, (2, 4): 6.437, (4, 2): 6.505,
+           (4, 4): 6.515, (8, 2): 6.526, (8, 4): 6.529},
+    "perl": {(2, 2): 4.715, (2, 4): 5.087, (4, 2): 5.905,
+             (4, 4): 6.221, (8, 2): 6.687, (8, 4): 6.722},
+    "hydro2d": {(2, 2): 9.168, (2, 4): 10.215, (4, 2): 9.953,
+                (4, 4): 10.355, (8, 2): 10.163, (8, 4): 10.391},
+    "mgrid": {(2, 2): 8.537, (2, 4): 11.292, (4, 2): 11.851,
+              (4, 4): 15.026, (8, 2): 14.301, (8, 4): 16.582},
+    "su2cor": {(2, 2): 7.645, (2, 4): 8.287, (4, 2): 8.395,
+               (4, 4): 8.832, (8, 2): 8.955, (8, 4): 10.110},
+    "swim": {(2, 2): 8.283, (2, 4): 10.181, (4, 2): 8.867,
+             (4, 4): 10.366, (8, 2): 9.104, (8, 4): 10.412},
+    "wave5": {(2, 2): 6.780, (2, 4): 6.993, (4, 2): 6.995,
+              (4, 4): 7.106, (8, 2): 7.082, (8, 4): 7.213},
+}
+
+#: Table 4 suite averages as printed in the paper.
+TABLE4_AVERAGES: Dict[str, Dict[Tuple[int, int], float]] = {
+    "SPECint Ave.": {(2, 2): 5.194, (2, 4): 5.513, (4, 2): 6.000,
+                     (4, 4): 6.102, (8, 2): 6.326, (8, 4): 6.344},
+    "SPECfp Ave.": {(2, 2): 7.977, (2, 4): 9.118, (4, 2): 8.933,
+                    (4, 4): 9.736, (8, 2): 9.415, (8, 4): 10.201},
+}

@@ -1,0 +1,177 @@
+"""Markdown report generation.
+
+Renders the full reproduction — Tables 2-4, Figure 3, the claim
+checklist, and any ablation sweeps — into one self-contained markdown
+document, so a fresh EXPERIMENTS-style record can be regenerated from
+scratch with one call (or ``tools/write_report.py``).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..workloads.spec95 import PAPER_TARGETS, SPECFP_NAMES, SPECINT_NAMES
+from .ablations import SweepResult
+from .comparisons import ClaimReport, check_claims
+from .figure3 import Figure3Result, run_figure3
+from .paper_data import TABLE3, TABLE3_AVERAGES, TABLE4, TABLE4_AVERAGES, TABLE4_CONFIGS
+from .runner import ExperimentRunner, RunSettings
+from .table2 import Table2Result, run_table2
+from .table3 import KINDS, Table3Result, run_table3
+from .table4 import Table4Result, run_table4
+
+
+@dataclass
+class ReproductionReport:
+    """All measured artifacts of one reproduction run."""
+
+    settings: RunSettings
+    table2: Table2Result
+    figure3: Figure3Result
+    table3: Table3Result
+    table4: Table4Result
+    claims: ClaimReport
+    sweeps: List[SweepResult] = field(default_factory=list)
+
+    def to_markdown(self) -> str:
+        out = io.StringIO()
+        write = out.write
+        write("# Reproduction report\n\n")
+        write(
+            f"Settings: {self.settings.instructions} timed instructions per "
+            f"configuration after {self.settings.warmup_instructions} warm-up; "
+            f"trace analyses over "
+            f"{self.settings.characterization_instructions} instructions; "
+            f"seed {self.settings.seed}.\n\n"
+        )
+
+        write("## Table 2 — benchmark memory characteristics\n\n")
+        write("| program | mem % (ours/paper) | s/l (ours/paper) "
+              "| miss rate (ours/paper) |\n|---|---|---|---|\n")
+        for name, row in self.table2.rows.items():
+            target = PAPER_TARGETS[name]
+            measured = row.measured
+            write(
+                f"| {name} | {100 * measured.mem_fraction:.1f} / "
+                f"{100 * target.mem_fraction:.1f} | "
+                f"{measured.store_to_load_ratio:.2f} / {target.store_to_load:.2f} | "
+                f"{measured.miss_rate:.4f} / {target.miss_rate:.4f} |\n"
+            )
+        write("\n")
+
+        write("## Figure 3 — consecutive-reference mapping (4 banks)\n\n")
+        write("| program | B-same-line (ours/tgt) | B-diff-line (ours/tgt) |\n")
+        write("|---|---|---|\n")
+        for name, mapping in self.figure3.rows.items():
+            target = PAPER_TARGETS[name]
+            write(
+                f"| {name} | {mapping.fraction('B-same-line'):.3f} / "
+                f"{target.fig3_same_line:.3f} | "
+                f"{mapping.fraction('B-diff-line'):.3f} / "
+                f"{target.fig3_diff_line:.3f} |\n"
+            )
+        write("\n")
+
+        write("## Table 3 — conventional organizations (IPC, ours / paper)\n\n")
+        write(self._table3_markdown())
+        write("\n## Table 4 — LBIC configurations (IPC, ours / paper)\n\n")
+        write(self._table4_markdown())
+
+        write("\n## Claim checklist\n\n")
+        write("| claim | result | measured |\n|---|---|---|\n")
+        for check in self.claims.checks:
+            status = "PASS" if check.passed else "**FAIL**"
+            write(f"| {check.claim_id} {check.description} | {status} "
+                  f"| {check.details} |\n")
+        write("\n")
+
+        for sweep in self.sweeps:
+            write(f"## Ablation {sweep.name} — {sweep.parameter}\n\n")
+            write("| program | " + " | ".join(str(v) for v in sweep.values)
+                  + " |\n")
+            write("|---" * (len(sweep.values) + 1) + "|\n")
+            for name, row in sweep.ipcs.items():
+                cells = " | ".join(f"{value:.2f}" for value in row)
+                write(f"| {name} | {cells} |\n")
+            write("\n")
+
+        return out.getvalue()
+
+    def _table3_markdown(self) -> str:
+        out = io.StringIO()
+        headers = ["program", "1"] + [
+            f"{kind[0].upper()}{ports}"
+            for ports in (2, 4, 8, 16)
+            for kind in KINDS
+        ]
+        out.write("| " + " | ".join(headers) + " |\n")
+        out.write("|---" * len(headers) + "|\n")
+        for name, row in self.table3.rows.items():
+            paper_row = TABLE3.get(name, {})
+            cells = [name, _pair(row["1"], paper_row.get("1"))]
+            for ports in (2, 4, 8, 16):
+                for kind in KINDS:
+                    cells.append(
+                        _pair(row[(kind, ports)], paper_row.get((kind, ports)))
+                    )
+            out.write("| " + " | ".join(cells) + " |\n")
+        for label, row in self.table3.averages.items():
+            paper_row = TABLE3_AVERAGES.get(label, {})
+            cells = [f"**{label}**", _pair(row["1"], paper_row.get("1"))]
+            for ports in (2, 4, 8, 16):
+                for kind in KINDS:
+                    cells.append(
+                        _pair(row[(kind, ports)], paper_row.get((kind, ports)))
+                    )
+            out.write("| " + " | ".join(cells) + " |\n")
+        return out.getvalue()
+
+    def _table4_markdown(self) -> str:
+        out = io.StringIO()
+        headers = ["program"] + [f"{m}x{n}" for m, n in TABLE4_CONFIGS]
+        out.write("| " + " | ".join(headers) + " |\n")
+        out.write("|---" * len(headers) + "|\n")
+        for name, row in self.table4.rows.items():
+            paper_row = TABLE4.get(name, {})
+            cells = [name] + [
+                _pair(row[config], paper_row.get(config))
+                for config in TABLE4_CONFIGS
+            ]
+            out.write("| " + " | ".join(cells) + " |\n")
+        for label, row in self.table4.averages.items():
+            paper_row = TABLE4_AVERAGES.get(label, {})
+            cells = [f"**{label}**"] + [
+                _pair(row[config], paper_row.get(config))
+                for config in TABLE4_CONFIGS
+            ]
+            out.write("| " + " | ".join(cells) + " |\n")
+        return out.getvalue()
+
+
+def _pair(measured: float, paper: Optional[float]) -> str:
+    if paper is None:
+        return f"{measured:.2f}"
+    return f"{measured:.2f} / {paper:.2f}"
+
+
+def build_report(
+    settings: Optional[RunSettings] = None,
+    sweeps: Optional[List[SweepResult]] = None,
+) -> ReproductionReport:
+    """Run every core experiment and assemble the report."""
+    settings = settings or RunSettings()
+    runner = ExperimentRunner(settings)
+    table3 = run_table3(runner)
+    table4 = run_table4(runner)
+    figure3 = run_figure3(settings)
+    return ReproductionReport(
+        settings=settings,
+        table2=run_table2(settings),
+        figure3=figure3,
+        table3=table3,
+        table4=table4,
+        claims=check_claims(table3, table4, figure3),
+        sweeps=sweeps or [],
+    )

@@ -1,0 +1,76 @@
+"""Experiment E1 — reproduce Table 2 (benchmark memory characteristics).
+
+For each of the ten models, measure dynamic memory-instruction
+percentage, store-to-load ratio and the 32 KB direct-mapped L1 miss
+rate, and print them against the paper's published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..analysis.traces import TraceStats, characterize
+from ..common.tables import Table
+from ..workloads.spec95 import ALL_NAMES, PAPER_TARGETS, spec95_workload
+from .runner import RunSettings
+
+
+@dataclass
+class Table2Row:
+    name: str
+    measured: TraceStats
+
+    @property
+    def paper(self):
+        return PAPER_TARGETS[self.name]
+
+
+@dataclass
+class Table2Result:
+    rows: Dict[str, Table2Row]
+    settings: RunSettings
+
+    def render(self) -> str:
+        table = Table(
+            [
+                "Program",
+                "Instr (n)",
+                "Mem % ",
+                "paper",
+                "S/L",
+                "paper",
+                "Miss rate",
+                "paper",
+            ],
+            precision=4,
+            title="Table 2 - benchmark memory characteristics (measured vs paper)",
+        )
+        for name, row in self.rows.items():
+            paper = row.paper
+            table.add_row([
+                name,
+                row.measured.instructions,
+                round(100 * row.measured.mem_fraction, 1),
+                round(100 * paper.mem_fraction, 1),
+                round(row.measured.store_to_load_ratio, 2),
+                paper.store_to_load,
+                round(row.measured.miss_rate, 4),
+                paper.miss_rate,
+            ])
+        return table.render()
+
+
+def run_table2(settings: Optional[RunSettings] = None) -> Table2Result:
+    """Measure Table 2 characteristics for every benchmark model."""
+    settings = settings or RunSettings()
+    rows: Dict[str, Table2Row] = {}
+    budget = settings.characterization_instructions
+    for name in settings.benchmarks:
+        workload = spec95_workload(name)
+        stats = characterize(
+            workload.stream(seed=settings.seed, max_instructions=budget),
+            skip_warmup=budget // 10,
+        )
+        rows[name] = Table2Row(name=name, measured=stats)
+    return Table2Result(rows=rows, settings=settings)

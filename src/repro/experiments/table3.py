@@ -1,0 +1,119 @@
+"""Experiment E2 — reproduce Table 3 (IPC of the conventional designs).
+
+Sweeps ideal multi-porting (True), multi-porting by replication (Repl)
+and multi-banking (Bank) over 1, 2, 4, 8 and 16 ports/banks for every
+benchmark, mirroring the paper's Table 3 layout, and prints measured
+values beside the paper's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..common.config import (
+    BankedPortConfig,
+    IdealPortConfig,
+    PortModelConfig,
+    ReplicatedPortConfig,
+)
+from ..common.tables import Table
+from .paper_data import TABLE3, TABLE3_AVERAGES, TABLE3_PORTS
+from .runner import ExperimentRunner, RunSettings
+
+KINDS = ("true", "repl", "bank")
+
+CellKey = Union[str, Tuple[str, int]]
+
+
+def port_config(kind: str, ports: int) -> PortModelConfig:
+    """The port-model configuration for one Table 3 cell."""
+    if kind == "true":
+        return IdealPortConfig(ports=ports)
+    if kind == "repl":
+        return ReplicatedPortConfig(ports=ports)
+    if kind == "bank":
+        return BankedPortConfig(banks=ports)
+    raise ValueError(f"unknown kind {kind!r}")
+
+
+@dataclass
+class Table3Result:
+    """Measured IPCs in the paper's Table 3 shape."""
+
+    #: benchmark -> {"1": ipc, (kind, ports): ipc}
+    rows: Dict[str, Dict[CellKey, float]]
+    averages: Dict[str, Dict[CellKey, float]]
+    settings: RunSettings
+
+    def ipc(self, benchmark: str, kind: str, ports: int) -> float:
+        if ports == 1:
+            return self.rows[benchmark]["1"]
+        return self.rows[benchmark][(kind, ports)]
+
+    def render(self, include_paper: bool = True) -> str:
+        headers = ["Program", "1"]
+        for ports in TABLE3_PORTS:
+            for kind in KINDS:
+                headers.append(f"{kind[0].upper()}{ports}")
+        table = Table(
+            headers,
+            precision=2,
+            title=(
+                "Table 3 - IPC for ideal multi-porting (T), replication (R) "
+                "and multi-banking (B)"
+            ),
+        )
+
+        def add(name: str, row: Dict[CellKey, float]) -> None:
+            cells: List[object] = [name, row["1"]]
+            for ports in TABLE3_PORTS:
+                for kind in KINDS:
+                    cells.append(row[(kind, ports)])
+            table.add_row(cells)
+
+        for name, row in self.rows.items():
+            add(name, row)
+            if include_paper and name in TABLE3:
+                add(f"  (paper)", TABLE3[name])
+        table.add_separator()
+        for name, row in self.averages.items():
+            add(name, row)
+            if include_paper and name in TABLE3_AVERAGES:
+                add(f"  (paper)", TABLE3_AVERAGES[name])
+        return table.render()
+
+
+def run_table3(
+    runner: Optional[ExperimentRunner] = None,
+    settings: Optional[RunSettings] = None,
+) -> Table3Result:
+    """Run the full Table 3 sweep (13 configurations per benchmark)."""
+    runner = runner or ExperimentRunner(settings)
+    rows: Dict[str, Dict[CellKey, float]] = {}
+    for name in runner.settings.benchmarks:
+        row: Dict[CellKey, float] = {
+            "1": runner.ipc(name, IdealPortConfig(ports=1))
+        }
+        for ports in TABLE3_PORTS:
+            for kind in KINDS:
+                row[(kind, ports)] = runner.ipc(name, port_config(kind, ports))
+        rows[name] = row
+
+    averages: Dict[str, Dict[CellKey, float]] = {}
+    for label, names in (
+        ("SPECint Ave.", runner.int_benchmarks),
+        ("SPECfp Ave.", runner.fp_benchmarks),
+    ):
+        if not names:
+            continue
+        avg: Dict[CellKey, float] = {
+            "1": sum(rows[n]["1"] for n in names) / len(names)
+        }
+        for ports in TABLE3_PORTS:
+            for kind in KINDS:
+                avg[(kind, ports)] = sum(
+                    rows[n][(kind, ports)] for n in names
+                ) / len(names)
+        averages[label] = avg
+    return Table3Result(rows=rows, averages=averages, settings=runner.settings)

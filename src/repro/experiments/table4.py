@@ -1,0 +1,80 @@
+"""Experiment E4 — reproduce Table 4 (IPC of six LBIC configurations).
+
+Sweeps the MxN LBIC over the paper's six configurations (2x2, 2x4, 4x2,
+4x4, 8x2, 8x4) for every benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..common.config import LBICConfig
+from ..common.tables import Table
+from .paper_data import TABLE4, TABLE4_AVERAGES, TABLE4_CONFIGS
+from .runner import ExperimentRunner, RunSettings
+
+
+def lbic_config(banks: int, buffer_ports: int) -> LBICConfig:
+    return LBICConfig(banks=banks, buffer_ports=buffer_ports)
+
+
+@dataclass
+class Table4Result:
+    """Measured LBIC IPCs in the paper's Table 4 shape."""
+
+    #: benchmark -> {(M, N): ipc}
+    rows: Dict[str, Dict[Tuple[int, int], float]]
+    averages: Dict[str, Dict[Tuple[int, int], float]]
+    settings: RunSettings
+
+    def ipc(self, benchmark: str, banks: int, buffer_ports: int) -> float:
+        return self.rows[benchmark][(banks, buffer_ports)]
+
+    def render(self, include_paper: bool = True) -> str:
+        headers = ["Program"] + [f"{m}x{n}" for m, n in TABLE4_CONFIGS]
+        table = Table(
+            headers,
+            precision=3,
+            title="Table 4 - IPC for six MxN LBIC configurations",
+        )
+
+        def add(name: str, row: Dict[Tuple[int, int], float]) -> None:
+            table.add_row([name] + [row[config] for config in TABLE4_CONFIGS])
+
+        for name, row in self.rows.items():
+            add(name, row)
+            if include_paper and name in TABLE4:
+                add("  (paper)", TABLE4[name])
+        table.add_separator()
+        for name, row in self.averages.items():
+            add(name, row)
+            if include_paper and name in TABLE4_AVERAGES:
+                add("  (paper)", TABLE4_AVERAGES[name])
+        return table.render()
+
+
+def run_table4(
+    runner: Optional[ExperimentRunner] = None,
+    settings: Optional[RunSettings] = None,
+) -> Table4Result:
+    """Run the full Table 4 sweep (six LBIC configs per benchmark)."""
+    runner = runner or ExperimentRunner(settings)
+    rows: Dict[str, Dict[Tuple[int, int], float]] = {}
+    for name in runner.settings.benchmarks:
+        rows[name] = {
+            (m, n): runner.ipc(name, lbic_config(m, n))
+            for m, n in TABLE4_CONFIGS
+        }
+    averages: Dict[str, Dict[Tuple[int, int], float]] = {}
+    for label, names in (
+        ("SPECint Ave.", runner.int_benchmarks),
+        ("SPECfp Ave.", runner.fp_benchmarks),
+    ):
+        if not names:
+            continue
+        averages[label] = {
+            config: sum(rows[n][config] for n in names) / len(names)
+            for config in TABLE4_CONFIGS
+        }
+    return Table4Result(rows=rows, averages=averages, settings=runner.settings)

@@ -1,0 +1,46 @@
+"""Mini-ISA: operation classes, instructions, assembler and interpreter."""
+
+from .assembler import Assembler, assemble
+from .encoding import load_program, save_program
+from .instruction import DynInstr, Instruction
+from .opcodes import MNEMONICS, OpClass, Operation
+from .program import Interpreter, Program, run_program
+from .registers import (
+    FP_BASE,
+    NUM_FP_REGS,
+    NUM_INT_REGS,
+    NUM_REGS,
+    ZERO_REG,
+    RegisterState,
+    fp_reg,
+    int_reg,
+    is_fp,
+    parse_reg,
+    reg_name,
+)
+
+__all__ = [
+    "Assembler",
+    "DynInstr",
+    "FP_BASE",
+    "Instruction",
+    "Interpreter",
+    "MNEMONICS",
+    "NUM_FP_REGS",
+    "NUM_INT_REGS",
+    "NUM_REGS",
+    "OpClass",
+    "Operation",
+    "Program",
+    "RegisterState",
+    "ZERO_REG",
+    "assemble",
+    "load_program",
+    "save_program",
+    "fp_reg",
+    "int_reg",
+    "is_fp",
+    "parse_reg",
+    "reg_name",
+    "run_program",
+]

@@ -1,0 +1,193 @@
+"""A two-pass assembler for the mini-ISA.
+
+Supported syntax (one instruction per line)::
+
+    # comments run to end of line; ';' also starts a comment
+    loop:                       # labels end with ':'
+        li   r2, 4096
+        ld   r1, 0(r2)          # load:  dest, offset(base)
+        add  r3, r1, r1
+        st   r3, 8(r2)          # store: data, offset(base)
+        addi r2, r2, 32
+        bne  r2, r6, loop       # branch: src1, src2, label
+        halt
+
+Numeric immediates may be decimal, hex (``0x``) or negative.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..common.errors import AssemblyError
+from .instruction import Instruction
+from .opcodes import MNEMONICS, Operation
+from .program import Program
+from .registers import parse_reg
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_MEM_OPERAND_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\(([rf]\d+)\)$")
+
+
+def _strip_comment(line: str) -> str:
+    for marker in ("#", ";", "//"):
+        pos = line.find(marker)
+        if pos >= 0:
+            line = line[:pos]
+    return line.strip()
+
+
+def _parse_imm(text: str) -> int:
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise AssemblyError(f"malformed immediate: {text!r}") from None
+
+
+def _split_operands(text: str) -> List[str]:
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+class Assembler:
+    """Assembles mini-ISA source text into a :class:`Program`."""
+
+    def assemble(self, source: str, name: str = "<asm>") -> Program:
+        lines = source.splitlines()
+        labels, statements = self._first_pass(lines)
+        instructions = [
+            self._encode(op_text, operands, labels, line_no)
+            for op_text, operands, line_no in statements
+        ]
+        return Program(instructions=instructions, labels=labels, name=name)
+
+    # -- pass 1: collect labels -------------------------------------------
+
+    def _first_pass(
+        self, lines: List[str]
+    ) -> Tuple[Dict[str, int], List[Tuple[str, str, int]]]:
+        labels: Dict[str, int] = {}
+        statements: List[Tuple[str, str, int]] = []
+        for line_no, raw in enumerate(lines, start=1):
+            line = _strip_comment(raw)
+            if not line:
+                continue
+            while ":" in line:
+                label, _, rest = line.partition(":")
+                label = label.strip()
+                if not _LABEL_RE.match(label):
+                    raise AssemblyError(f"line {line_no}: bad label {label!r}")
+                if label in labels:
+                    raise AssemblyError(f"line {line_no}: duplicate label {label!r}")
+                labels[label] = len(statements)
+                line = rest.strip()
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            mnemonic = parts[0].lower()
+            operand_text = parts[1] if len(parts) > 1 else ""
+            statements.append((mnemonic, operand_text, line_no))
+        return labels, statements
+
+    # -- pass 2: encode ----------------------------------------------------
+
+    def _encode(
+        self,
+        mnemonic: str,
+        operand_text: str,
+        labels: Dict[str, int],
+        line_no: int,
+    ) -> Instruction:
+        op = MNEMONICS.get(mnemonic)
+        if op is None:
+            raise AssemblyError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+        operands = _split_operands(operand_text)
+
+        def fail(why: str) -> AssemblyError:
+            return AssemblyError(f"line {line_no}: {why} in {mnemonic!r} {operand_text!r}")
+
+        if op in (Operation.NOP, Operation.HALT):
+            if operands:
+                raise fail("unexpected operands")
+            return Instruction(op=op)
+
+        if op is Operation.J:
+            if len(operands) != 1:
+                raise fail("expected 1 operand")
+            return Instruction(op=op, target=self._target(operands[0], labels, line_no),
+                               label=operands[0])
+
+        if op.is_branch:
+            if len(operands) != 3:
+                raise fail("expected 3 operands")
+            return Instruction(
+                op=op,
+                src1=parse_reg(operands[0]),
+                src2=parse_reg(operands[1]),
+                target=self._target(operands[2], labels, line_no),
+                label=operands[2],
+            )
+
+        if op.is_load:
+            if len(operands) != 2:
+                raise fail("expected 2 operands")
+            imm, base = self._mem_operand(operands[1], line_no)
+            return Instruction(op=op, dest=parse_reg(operands[0]), src1=base, imm=imm)
+
+        if op.is_store:
+            if len(operands) != 2:
+                raise fail("expected 2 operands")
+            imm, base = self._mem_operand(operands[1], line_no)
+            return Instruction(op=op, src2=parse_reg(operands[0]), src1=base, imm=imm)
+
+        if op is Operation.LI:
+            if len(operands) != 2:
+                raise fail("expected 2 operands")
+            return Instruction(op=op, dest=parse_reg(operands[0]), imm=_parse_imm(operands[1]))
+
+        if op in (Operation.MOV, Operation.FMOV):
+            if len(operands) != 2:
+                raise fail("expected 2 operands")
+            return Instruction(op=op, dest=parse_reg(operands[0]), src1=parse_reg(operands[1]))
+
+        if op in (Operation.ADDI, Operation.SLL, Operation.SRL):
+            if len(operands) != 3:
+                raise fail("expected 3 operands")
+            return Instruction(
+                op=op,
+                dest=parse_reg(operands[0]),
+                src1=parse_reg(operands[1]),
+                imm=_parse_imm(operands[2]),
+            )
+
+        # three-register ALU / FP forms
+        if len(operands) != 3:
+            raise fail("expected 3 operands")
+        return Instruction(
+            op=op,
+            dest=parse_reg(operands[0]),
+            src1=parse_reg(operands[1]),
+            src2=parse_reg(operands[2]),
+        )
+
+    def _target(self, text: str, labels: Dict[str, int], line_no: int) -> int:
+        text = text.strip()
+        if text in labels:
+            return labels[text]
+        if text.lstrip("-").isdigit():
+            return int(text)
+        raise AssemblyError(f"line {line_no}: unknown branch target {text!r}")
+
+    def _mem_operand(self, text: str, line_no: int) -> Tuple[int, int]:
+        match = _MEM_OPERAND_RE.match(text.replace(" ", ""))
+        if not match:
+            raise AssemblyError(
+                f"line {line_no}: malformed memory operand {text!r} "
+                "(expected offset(base))"
+            )
+        return _parse_imm(match.group(1)), parse_reg(match.group(2))
+
+
+def assemble(source: str, name: str = "<asm>") -> Program:
+    """Convenience wrapper: assemble source text into a :class:`Program`."""
+    return Assembler().assemble(source, name=name)

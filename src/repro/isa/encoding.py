@@ -1,0 +1,142 @@
+"""Binary encoding of mini-ISA programs.
+
+A :class:`~repro.isa.program.Program` serializes to a compact versioned
+binary format (``.rbin``), so assembled kernels can ship with traces and
+reload without the assembler:
+
+* 8-byte magic ``REPROBIN``, 2-byte version, 2-byte label count, 4-byte
+  instruction count;
+* per instruction, a fixed 12-byte record:
+  opcode(1) dest(1) src1(1) src2(1) imm(4, signed LE) target(4, signed
+  LE, -1 = none) — register fields use 0xFF for "none";
+* label table: per label, a length-prefixed UTF-8 name and a 4-byte
+  instruction index.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, Dict, List, Union
+
+from ..common.errors import AssemblyError, TraceFormatError
+from .instruction import Instruction
+from .opcodes import Operation
+from .program import Program
+
+MAGIC = b"REPROBIN"
+VERSION = 1
+_HEADER = struct.Struct("<8sHHI")
+_RECORD = struct.Struct("<BBBBiI")
+_NONE_REG = 0xFF
+_NONE_TARGET = 0xFFFFFFFF
+
+#: stable operation numbering for the wire format (do not reorder)
+_OPERATIONS = tuple(Operation)
+_OP_TO_CODE = {op: code for code, op in enumerate(_OPERATIONS)}
+
+PathLike = Union[str, Path]
+
+
+def encode_instruction(instr: Instruction) -> bytes:
+    """Encode one static instruction into its 12-byte record."""
+    if not -(2**31) <= instr.imm < 2**31:
+        raise AssemblyError(f"immediate {instr.imm} does not fit in 32 bits")
+    target = _NONE_TARGET if instr.target is None else instr.target
+    return _RECORD.pack(
+        _OP_TO_CODE[instr.op],
+        _NONE_REG if instr.dest is None else instr.dest,
+        _NONE_REG if instr.src1 is None else instr.src1,
+        _NONE_REG if instr.src2 is None else instr.src2,
+        instr.imm,
+        target,
+    )
+
+
+def decode_instruction(raw: bytes) -> Instruction:
+    """Decode one 12-byte record back into an :class:`Instruction`."""
+    if len(raw) != _RECORD.size:
+        raise TraceFormatError("truncated instruction record")
+    opcode, dest, src1, src2, imm, target = _RECORD.unpack(raw)
+    if opcode >= len(_OPERATIONS):
+        raise TraceFormatError(f"bad opcode byte {opcode}")
+    return Instruction(
+        op=_OPERATIONS[opcode],
+        dest=None if dest == _NONE_REG else dest,
+        src1=None if src1 == _NONE_REG else src1,
+        src2=None if src2 == _NONE_REG else src2,
+        imm=imm,
+        target=None if target == _NONE_TARGET else target,
+    )
+
+
+def write_program(fh: BinaryIO, program: Program) -> None:
+    fh.write(
+        _HEADER.pack(MAGIC, VERSION, len(program.labels), len(program.instructions))
+    )
+    for instr in program.instructions:
+        fh.write(encode_instruction(instr))
+    for label, index in sorted(program.labels.items()):
+        name = label.encode("utf-8")
+        if len(name) > 255:
+            raise AssemblyError(f"label too long: {label!r}")
+        fh.write(bytes((len(name),)))
+        fh.write(name)
+        fh.write(struct.pack("<I", index))
+
+
+def read_program(fh: BinaryIO, name: str = "<binary>") -> Program:
+    raw = fh.read(_HEADER.size)
+    if len(raw) != _HEADER.size:
+        raise TraceFormatError("truncated program header")
+    magic, version, label_count, instr_count = _HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad program magic {magic!r}")
+    if version != VERSION:
+        raise TraceFormatError(f"unsupported program version {version}")
+    instructions: List[Instruction] = []
+    for _ in range(instr_count):
+        instructions.append(decode_instruction(fh.read(_RECORD.size)))
+    labels: Dict[str, int] = {}
+    for _ in range(label_count):
+        length_raw = fh.read(1)
+        if not length_raw:
+            raise TraceFormatError("truncated label table")
+        name_raw = fh.read(length_raw[0])
+        index_raw = fh.read(4)
+        if len(name_raw) != length_raw[0] or len(index_raw) != 4:
+            raise TraceFormatError("truncated label entry")
+        labels[name_raw.decode("utf-8")] = struct.unpack("<I", index_raw)[0]
+    # Restore the disassembly sugar: branches whose target carries a
+    # label get the label text back.
+    by_index = {index: label for label, index in labels.items()}
+    instructions = [
+        dataclasses.replace(instr, label=by_index[instr.target])
+        if instr.target is not None and instr.target in by_index
+        else instr
+        for instr in instructions
+    ]
+    return Program(instructions=instructions, labels=labels, name=name)
+
+
+def save_program(path: PathLike, program: Program) -> None:
+    """Write ``program`` to ``path`` in the binary format."""
+    with open(path, "wb") as fh:
+        write_program(fh, program)
+
+
+def load_program(path: PathLike) -> Program:
+    """Load a binary program file."""
+    path = Path(path)
+    with open(path, "rb") as fh:
+        return read_program(fh, name=path.stem)
+
+
+def roundtrip(program: Program) -> Program:
+    """Encode and decode in memory (testing/debugging helper)."""
+    buffer = io.BytesIO()
+    write_program(buffer, program)
+    buffer.seek(0)
+    return read_program(buffer, name=program.name)

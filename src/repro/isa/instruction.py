@@ -1,0 +1,156 @@
+"""Instruction records.
+
+Two representations exist:
+
+* :class:`Instruction` — a *static* assembly instruction (opcode plus
+  symbolic operands), produced by the assembler and executed by the
+  interpreter.
+* :class:`DynInstr` — a *dynamic* instruction as seen by the timing
+  simulator: an operation class, destination/source registers, and (for
+  memory operations) the resolved effective address.  Workload models and
+  the interpreter both emit streams of these; the out-of-order core and
+  the trace analyses consume them.
+
+``DynInstr`` is deliberately a plain ``__slots__`` class rather than a
+dataclass: tens of millions are created on hot simulation paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from .opcodes import OpClass, Operation
+from .registers import reg_name
+
+
+class DynInstr:
+    """One dynamic instruction presented to the timing simulator.
+
+    Attributes:
+        opclass: timing class (decides FU pool and latency).
+        dest: flat destination register index, or ``None``.
+        srcs: tuple of flat source register indices (true dependences,
+            including address operands of memory instructions).
+        addr: byte effective address for loads/stores, else ``None``.
+        size: access size in bytes for memory operations (default 8).
+        addr_src_count: for stores, how many leading entries of ``srcs``
+            are *address* operands (the rest are data).  A store's
+            effective address resolves — unblocking memory
+            disambiguation for younger loads — as soon as its address
+            operands are ready, even while its data is still being
+            computed (the STA/STD split of real LSQs).  Loads treat all
+            sources as address operands.
+    """
+
+    __slots__ = ("opclass", "dest", "srcs", "addr", "size", "addr_src_count")
+
+    def __init__(
+        self,
+        opclass: OpClass,
+        dest: Optional[int] = None,
+        srcs: Tuple[int, ...] = (),
+        addr: Optional[int] = None,
+        size: int = 8,
+        addr_src_count: Optional[int] = None,
+    ) -> None:
+        self.opclass = opclass
+        self.dest = dest
+        self.srcs = srcs
+        self.addr = addr
+        self.size = size
+        self.addr_src_count = len(srcs) if addr_src_count is None else addr_src_count
+
+    @property
+    def is_load(self) -> bool:
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.opclass is OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self.opclass is OpClass.LOAD or self.opclass is OpClass.STORE
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DynInstr):
+            return NotImplemented
+        return (
+            self.opclass == other.opclass
+            and self.dest == other.dest
+            and self.srcs == other.srcs
+            and self.addr == other.addr
+            and self.size == other.size
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.opclass, self.dest, self.srcs, self.addr, self.size))
+
+    def __repr__(self) -> str:
+        parts = [self.opclass.name]
+        if self.dest is not None:
+            parts.append(f"dest={reg_name(self.dest)}")
+        if self.srcs:
+            parts.append("srcs=" + ",".join(reg_name(s) for s in self.srcs))
+        if self.addr is not None:
+            parts.append(f"addr={self.addr:#x}")
+        return f"DynInstr({' '.join(parts)})"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A static mini-ISA instruction (one line of assembly).
+
+    Operand roles depend on the operation:
+
+    * ALU reg-reg: ``dest, src1, src2``
+    * ALU reg-imm (``addi``/``li``/shifts): ``dest, src1, imm``
+    * loads: ``dest, imm(src1)``
+    * stores: ``src2, imm(src1)`` — src2 is the data, src1 the base
+    * branches: ``src1, src2, target`` (label index resolved at assembly)
+    """
+
+    op: Operation
+    dest: Optional[int] = None
+    src1: Optional[int] = None
+    src2: Optional[int] = None
+    imm: int = 0
+    target: Optional[int] = None  # absolute instruction index for branches
+    label: Optional[str] = None   # original label text, for disassembly
+
+    def sources(self) -> Tuple[int, ...]:
+        """Flat register indices this instruction truly reads."""
+        srcs = []
+        if self.src1 is not None:
+            srcs.append(self.src1)
+        if self.src2 is not None:
+            srcs.append(self.src2)
+        return tuple(srcs)
+
+    def disassemble(self) -> str:
+        """Render back to assembly text."""
+        op = self.op
+        if op is Operation.NOP or op is Operation.HALT:
+            return op.value
+        if op is Operation.J:
+            return f"{op.value} {self.label or self.target}"
+        if op.is_branch:
+            return (
+                f"{op.value} {reg_name(self.src1)}, {reg_name(self.src2)}, "
+                f"{self.label or self.target}"
+            )
+        if op.is_load:
+            return f"{op.value} {reg_name(self.dest)}, {self.imm}({reg_name(self.src1)})"
+        if op.is_store:
+            return f"{op.value} {reg_name(self.src2)}, {self.imm}({reg_name(self.src1)})"
+        if op in (Operation.LI,):
+            return f"{op.value} {reg_name(self.dest)}, {self.imm}"
+        if op in (Operation.ADDI, Operation.SLL, Operation.SRL):
+            return f"{op.value} {reg_name(self.dest)}, {reg_name(self.src1)}, {self.imm}"
+        if op in (Operation.MOV, Operation.FMOV):
+            return f"{op.value} {reg_name(self.dest)}, {reg_name(self.src1)}"
+        return (
+            f"{op.value} {reg_name(self.dest)}, {reg_name(self.src1)}, "
+            f"{reg_name(self.src2)}"
+        )

@@ -1,0 +1,150 @@
+"""Operation classes and concrete operations of the mini-ISA.
+
+The simulator times instructions by *operation class* (the rows of the
+paper's Table 1 functional-unit latency table).  The concrete
+:class:`Operation` enum is the assembly-level instruction set used by the
+mini-ISA interpreter; every operation maps onto one operation class.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+
+class OpClass(enum.IntEnum):
+    """Timing classes of the simulated machine (paper Table 1)."""
+
+    IALU = 0
+    IMULT = 1
+    IDIV = 2
+    FADD = 3
+    FMULT = 4
+    FDIV = 5
+    LOAD = 6
+    STORE = 7
+
+    @property
+    def is_load(self) -> bool:
+        return self is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self is OpClass.STORE
+
+    @property
+    def is_mem(self) -> bool:
+        return self is OpClass.LOAD or self is OpClass.STORE
+
+    @property
+    def fu_pool(self) -> str:
+        """Name of the functional-unit pool that executes this class."""
+        return _FU_POOL[self]
+
+
+_FU_POOL: Dict[OpClass, str] = {
+    OpClass.IALU: "ialu",
+    OpClass.IMULT: "imult",
+    OpClass.IDIV: "imult",  # int mult/div share a pool, as in SimpleScalar
+    OpClass.FADD: "fadd",
+    OpClass.FMULT: "fmult",
+    OpClass.FDIV: "fmult",  # fp mult/div share a pool
+    OpClass.LOAD: "ls",
+    OpClass.STORE: "ls",
+}
+
+
+class Operation(enum.Enum):
+    """Concrete operations of the mini-ISA assembler/interpreter.
+
+    Branches are perfectly predicted in this study (paper section 2.1), so
+    they time like 1-cycle integer ALU operations and never flush.
+    """
+
+    # integer
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    ADDI = "addi"
+    LI = "li"
+    MOV = "mov"
+    # floating point
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FMOV = "fmov"
+    # memory
+    LD = "ld"
+    ST = "st"
+    FLD = "fld"
+    FST = "fst"
+    # control
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    J = "j"
+    HALT = "halt"
+    NOP = "nop"
+
+    @property
+    def opclass(self) -> OpClass:
+        return _OPERATION_CLASS[self]
+
+    @property
+    def is_branch(self) -> bool:
+        return self in (Operation.BEQ, Operation.BNE, Operation.BLT, Operation.BGE, Operation.J)
+
+    @property
+    def is_mem(self) -> bool:
+        return self in (Operation.LD, Operation.ST, Operation.FLD, Operation.FST)
+
+    @property
+    def is_store(self) -> bool:
+        return self in (Operation.ST, Operation.FST)
+
+    @property
+    def is_load(self) -> bool:
+        return self in (Operation.LD, Operation.FLD)
+
+
+_OPERATION_CLASS: Dict[Operation, OpClass] = {
+    Operation.ADD: OpClass.IALU,
+    Operation.SUB: OpClass.IALU,
+    Operation.MUL: OpClass.IMULT,
+    Operation.DIV: OpClass.IDIV,
+    Operation.AND: OpClass.IALU,
+    Operation.OR: OpClass.IALU,
+    Operation.XOR: OpClass.IALU,
+    Operation.SLL: OpClass.IALU,
+    Operation.SRL: OpClass.IALU,
+    Operation.ADDI: OpClass.IALU,
+    Operation.LI: OpClass.IALU,
+    Operation.MOV: OpClass.IALU,
+    Operation.FADD: OpClass.FADD,
+    Operation.FSUB: OpClass.FADD,
+    Operation.FMUL: OpClass.FMULT,
+    Operation.FDIV: OpClass.FDIV,
+    Operation.FMOV: OpClass.FADD,
+    Operation.LD: OpClass.LOAD,
+    Operation.ST: OpClass.STORE,
+    Operation.FLD: OpClass.LOAD,
+    Operation.FST: OpClass.STORE,
+    Operation.BEQ: OpClass.IALU,
+    Operation.BNE: OpClass.IALU,
+    Operation.BLT: OpClass.IALU,
+    Operation.BGE: OpClass.IALU,
+    Operation.J: OpClass.IALU,
+    Operation.HALT: OpClass.IALU,
+    Operation.NOP: OpClass.IALU,
+}
+
+#: Lookup from mnemonic text to operation, used by the assembler.
+MNEMONICS: Dict[str, Operation] = {op.value: op for op in Operation}

@@ -1,0 +1,197 @@
+"""Programs and the functional interpreter of the mini-ISA.
+
+A :class:`Program` is a list of static instructions.  The
+:class:`Interpreter` executes a program architecturally (registers and a
+sparse byte-addressed memory) and *emits the dynamic instruction stream*
+as :class:`~repro.isa.instruction.DynInstr` records — exactly what the
+timing simulator consumes.  This turns any small assembly kernel into an
+execution-driven workload, the same structure SimpleScalar uses (the
+functional front end drives the timing back end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..common.errors import SimulationError, WorkloadError
+from .instruction import DynInstr, Instruction
+from .opcodes import Operation
+from .registers import RegisterState
+
+
+@dataclass
+class Program:
+    """An assembled mini-ISA program."""
+
+    instructions: List[Instruction]
+    labels: Dict[str, int] = field(default_factory=dict)
+    name: str = "<program>"
+
+    def __post_init__(self) -> None:
+        for label, index in self.labels.items():
+            if not 0 <= index <= len(self.instructions):
+                raise WorkloadError(
+                    f"label {label!r} points outside program ({index})"
+                )
+        for pc, instr in enumerate(self.instructions):
+            if instr.target is not None and not 0 <= instr.target <= len(self.instructions):
+                raise WorkloadError(
+                    f"instruction {pc} branches outside program ({instr.target})"
+                )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def disassemble(self) -> str:
+        """Render the program back to assembly text with labels."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines: List[str] = []
+        for pc, instr in enumerate(self.instructions):
+            for label in sorted(by_index.get(pc, [])):
+                lines.append(f"{label}:")
+            lines.append("    " + instr.disassemble())
+        for label in sorted(by_index.get(len(self.instructions), [])):
+            lines.append(f"{label}:")
+        return "\n".join(lines)
+
+
+class Interpreter:
+    """Architectural executor that yields the dynamic instruction stream.
+
+    Memory is a sparse ``dict`` of 8-byte-aligned words.  Loads from
+    untouched memory return zero.  Execution stops at ``halt``, when the
+    program counter falls off the end, or after ``max_instructions``
+    dynamic instructions (whichever comes first).
+    """
+
+    def __init__(self, program: Program, max_instructions: int = 1_000_000) -> None:
+        if max_instructions < 1:
+            raise WorkloadError("max_instructions must be >= 1")
+        self.program = program
+        self.max_instructions = max_instructions
+        self.registers = RegisterState()
+        self.memory: Dict[int, float] = {}
+        self.pc = 0
+        self.executed = 0
+        self.halted = False
+
+    # -- memory helpers ----------------------------------------------------
+
+    @staticmethod
+    def _word(addr: int) -> int:
+        return addr & ~7
+
+    def load_word(self, addr: int):
+        return self.memory.get(self._word(addr), 0)
+
+    def store_word(self, addr: int, value) -> None:
+        self.memory[self._word(addr)] = value
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self) -> Iterator[DynInstr]:
+        """Execute and yield one :class:`DynInstr` per dynamic instruction."""
+        program = self.program.instructions
+        regs = self.registers
+        while not self.halted and self.executed < self.max_instructions:
+            if not 0 <= self.pc < len(program):
+                break
+            instr = program[self.pc]
+            self.executed += 1
+            yield self._execute(instr, regs)
+        self.halted = True
+
+    def _execute(self, instr: Instruction, regs: RegisterState) -> DynInstr:
+        op = instr.op
+        next_pc = self.pc + 1
+        addr: Optional[int] = None
+
+        if op is Operation.HALT:
+            self.halted = True
+        elif op is Operation.NOP:
+            pass
+        elif op is Operation.J:
+            next_pc = instr.target  # type: ignore[assignment]
+        elif op.is_branch:
+            lhs = regs.read(instr.src1)
+            rhs = regs.read(instr.src2)
+            taken = {
+                Operation.BEQ: lhs == rhs,
+                Operation.BNE: lhs != rhs,
+                Operation.BLT: lhs < rhs,
+                Operation.BGE: lhs >= rhs,
+            }[op]
+            if taken:
+                next_pc = instr.target  # type: ignore[assignment]
+        elif op.is_load:
+            addr = int(regs.read(instr.src1)) + instr.imm
+            if addr < 0:
+                raise SimulationError(
+                    f"negative effective address {addr} at pc {self.pc}"
+                )
+            regs.write(instr.dest, self.load_word(addr))
+        elif op.is_store:
+            addr = int(regs.read(instr.src1)) + instr.imm
+            if addr < 0:
+                raise SimulationError(
+                    f"negative effective address {addr} at pc {self.pc}"
+                )
+            self.store_word(addr, regs.read(instr.src2))
+        else:
+            regs.write(instr.dest, self._alu(op, instr, regs))
+
+        self.pc = next_pc
+        dest = instr.dest if not (op.is_store or op.is_branch or op in (
+            Operation.HALT, Operation.NOP, Operation.J)) else None
+        return DynInstr(
+            opclass=op.opclass,
+            dest=dest,
+            srcs=instr.sources(),
+            addr=addr,
+            addr_src_count=1 if op.is_store else None,
+        )
+
+    def _alu(self, op: Operation, instr: Instruction, regs: RegisterState):
+        a = regs.read(instr.src1) if instr.src1 is not None else 0
+        b = regs.read(instr.src2) if instr.src2 is not None else 0
+        if op is Operation.ADD:
+            return a + b
+        if op is Operation.SUB:
+            return a - b
+        if op is Operation.MUL:
+            return a * b
+        if op is Operation.DIV:
+            return a // b if b else 0
+        if op is Operation.AND:
+            return int(a) & int(b)
+        if op is Operation.OR:
+            return int(a) | int(b)
+        if op is Operation.XOR:
+            return int(a) ^ int(b)
+        if op is Operation.SLL:
+            return int(a) << instr.imm
+        if op is Operation.SRL:
+            return int(a) >> instr.imm
+        if op is Operation.ADDI:
+            return a + instr.imm
+        if op is Operation.LI:
+            return instr.imm
+        if op in (Operation.MOV, Operation.FMOV):
+            return a
+        if op is Operation.FADD:
+            return a + b
+        if op is Operation.FSUB:
+            return a - b
+        if op is Operation.FMUL:
+            return a * b
+        if op is Operation.FDIV:
+            return a / b if b else 0.0
+        raise SimulationError(f"unhandled ALU operation {op}")
+
+
+def run_program(program: Program, max_instructions: int = 1_000_000) -> Iterator[DynInstr]:
+    """Execute ``program`` and yield its dynamic instruction stream."""
+    return Interpreter(program, max_instructions=max_instructions).run()

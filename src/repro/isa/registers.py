@@ -1,0 +1,96 @@
+"""Architectural register model of the mini-ISA.
+
+The machine has 32 integer registers (``r0``-``r31``, with ``r0``
+hardwired to zero) and 32 floating-point registers (``f0``-``f31``).
+Registers are identified throughout the simulator by a flat index:
+integers occupy 0-31 and floats occupy 32-63.  The out-of-order core
+renames these, so only true (read-after-write) dependences matter for
+timing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..common.errors import AssemblyError
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Flat index of the hardwired-zero integer register.
+ZERO_REG = 0
+
+FP_BASE = NUM_INT_REGS
+
+
+def int_reg(number: int) -> int:
+    """Flat index of integer register ``r<number>``."""
+    if not 0 <= number < NUM_INT_REGS:
+        raise AssemblyError(f"integer register number out of range: {number}")
+    return number
+
+
+def fp_reg(number: int) -> int:
+    """Flat index of floating-point register ``f<number>``."""
+    if not 0 <= number < NUM_FP_REGS:
+        raise AssemblyError(f"fp register number out of range: {number}")
+    return FP_BASE + number
+
+
+def is_fp(index: int) -> bool:
+    return index >= FP_BASE
+
+
+def reg_name(index: int) -> str:
+    """Human-readable name of a flat register index."""
+    if not 0 <= index < NUM_REGS:
+        raise AssemblyError(f"register index out of range: {index}")
+    if index < FP_BASE:
+        return f"r{index}"
+    return f"f{index - FP_BASE}"
+
+
+def parse_reg(text: str) -> int:
+    """Parse ``r<k>`` or ``f<k>`` into a flat register index."""
+    text = text.strip().lower()
+    if len(text) < 2 or text[0] not in "rf" or not text[1:].isdigit():
+        raise AssemblyError(f"malformed register name: {text!r}")
+    number = int(text[1:])
+    return int_reg(number) if text[0] == "r" else fp_reg(number)
+
+
+class RegisterState:
+    """Architectural register values for the functional interpreter.
+
+    Integer registers hold Python ints; fp registers hold floats.  ``r0``
+    always reads as zero and silently discards writes (MIPS convention).
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self) -> None:
+        self._values: List[float] = [0] * NUM_REGS
+
+    def read(self, index: int):
+        if index == ZERO_REG:
+            return 0
+        return self._values[index]
+
+    def write(self, index: int, value) -> None:
+        if index == ZERO_REG:
+            return
+        if index < FP_BASE:
+            self._values[index] = int(value)
+        else:
+            self._values[index] = float(value)
+
+    def snapshot(self) -> List[float]:
+        """Copy of all register values (for tests and debugging)."""
+        return list(self._values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        nonzero = {
+            reg_name(i): v for i, v in enumerate(self._values) if v
+        }
+        return f"RegisterState({nonzero})"

@@ -1,0 +1,47 @@
+"""Memory substrate: addresses, banking, cache arrays, MSHRs, hierarchy, ports."""
+
+from .address import AddressMap
+from .backend import MemoryBackend
+from .banking import (
+    BankSelector,
+    available_bank_functions,
+    bit_select,
+    fibonacci,
+    make_bank_selector,
+    xor_fold,
+)
+from .cache import CacheArray, FillResult, ProbeResult
+from .hierarchy import AccessOutcome, MemoryHierarchy
+from .mshr import Mshr, MshrFile
+from .ports import (
+    BankedCache,
+    IdealMultiPorted,
+    LBICache,
+    PortModel,
+    ReplicatedMultiPorted,
+    make_port_model,
+)
+
+__all__ = [
+    "AccessOutcome",
+    "AddressMap",
+    "BankSelector",
+    "BankedCache",
+    "CacheArray",
+    "FillResult",
+    "IdealMultiPorted",
+    "LBICache",
+    "MemoryBackend",
+    "MemoryHierarchy",
+    "Mshr",
+    "MshrFile",
+    "PortModel",
+    "ProbeResult",
+    "ReplicatedMultiPorted",
+    "available_bank_functions",
+    "bit_select",
+    "fibonacci",
+    "make_bank_selector",
+    "make_port_model",
+    "xor_fold",
+]

@@ -1,0 +1,110 @@
+"""Effective-address decomposition (paper Figure 2c).
+
+A byte address breaks into::
+
+    | TAG | line selector (ls) | bank selector (bs) | line offset (lo) |
+
+The bank selector sits directly above the line offset, so the data layout
+is *cache line interleaved*: a line lives entirely in one bank and
+consecutive lines fall in successive banks.  (Word interleaving would
+require replicating or multi-porting the tag store — paper section 3.2 —
+and is deliberately not supported.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.config import is_power_of_two, log2_exact
+from ..common.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class AddressMap:
+    """Bit-field geometry for one cache organization.
+
+    Args:
+        line_size: cache line size in bytes (power of two).
+        banks: number of line-interleaved banks (power of two; 1 = unbanked).
+        num_sets: total number of sets in the cache (power of two).
+    """
+
+    line_size: int
+    banks: int = 1
+    num_sets: int = 1
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.line_size):
+            raise ConfigError("line_size must be a power of two")
+        if not is_power_of_two(self.banks):
+            raise ConfigError("banks must be a power of two")
+        if not is_power_of_two(self.num_sets):
+            raise ConfigError("num_sets must be a power of two")
+        if self.banks > self.num_sets:
+            raise ConfigError("cannot have more banks than sets")
+
+    @property
+    def offset_bits(self) -> int:
+        return log2_exact(self.line_size)
+
+    @property
+    def bank_bits(self) -> int:
+        return log2_exact(self.banks)
+
+    @property
+    def index_bits(self) -> int:
+        return log2_exact(self.num_sets)
+
+    # -- field extractors --------------------------------------------------
+
+    def line_offset(self, addr: int) -> int:
+        """Byte offset within the cache line (``lo``)."""
+        return addr & (self.line_size - 1)
+
+    def line_address(self, addr: int) -> int:
+        """Address shifted down to line granularity (tag + ls + bs)."""
+        return addr >> self.offset_bits
+
+    def bank(self, addr: int) -> int:
+        """Bank selector bits (``bs``): the bits just above the offset."""
+        return (addr >> self.offset_bits) & (self.banks - 1)
+
+    def line_selector(self, addr: int) -> int:
+        """Line-selector bits (``ls``): set index within a bank."""
+        return (addr >> (self.offset_bits + self.bank_bits)) & (
+            (self.num_sets // self.banks) - 1
+        )
+
+    def set_index(self, addr: int) -> int:
+        """Global set index across the whole cache (bs is the low bits)."""
+        return (addr >> self.offset_bits) & (self.num_sets - 1)
+
+    def tag(self, addr: int) -> int:
+        """Tag bits above the set index."""
+        return addr >> (self.offset_bits + self.index_bits)
+
+    def decompose(self, addr: int):
+        """Return ``(tag, line_selector, bank, line_offset)`` per Fig. 2c."""
+        return (
+            self.tag(addr),
+            self.line_selector(addr),
+            self.bank(addr),
+            self.line_offset(addr),
+        )
+
+    def compose(self, tag: int, line_selector: int, bank: int, line_offset: int) -> int:
+        """Inverse of :meth:`decompose` (used by property tests)."""
+        if not 0 <= bank < self.banks:
+            raise ConfigError(f"bank {bank} out of range")
+        if not 0 <= line_offset < self.line_size:
+            raise ConfigError(f"offset {line_offset} out of range")
+        if not 0 <= line_selector < self.num_sets // self.banks:
+            raise ConfigError(f"line selector {line_selector} out of range")
+        addr = tag
+        addr = (addr << (self.index_bits - self.bank_bits)) | line_selector
+        addr = (addr << self.bank_bits) | bank
+        addr = (addr << self.offset_bits) | line_offset
+        return addr
+
+    def same_line(self, addr_a: int, addr_b: int) -> bool:
+        return self.line_address(addr_a) == self.line_address(addr_b)

@@ -1,0 +1,112 @@
+"""The L2 cache and main memory behind the L1 (paper Table 1).
+
+The backend answers one question for the L1: *when does the fill for this
+line complete?*  Per the paper:
+
+* L1 -> L2 requests are fully pipelined — one miss request may be sent
+  every cycle, with up to 64 pending;
+* the L2 is 512 KB, 4-way, 64 B lines, 4-cycle access;
+* main memory is a flat 10 cycles (this is a bandwidth study, so memory
+  latency is deliberately small).
+
+Dirty L1 victims are written back through an unbounded write buffer that
+does not consume request slots (documented simplification: the paper does
+not model writeback bandwidth).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+from ..common.config import L2Config, MainMemoryConfig
+from ..common.stats import StatGroup
+from .cache import CacheArray
+
+
+class MemoryBackend:
+    """Timing + content model for L2 and main memory."""
+
+    def __init__(
+        self,
+        l2: L2Config,
+        memory: MainMemoryConfig,
+        stats: Optional[StatGroup] = None,
+    ) -> None:
+        self.l2_config = l2
+        self.memory_config = memory
+        stats = stats or StatGroup("backend")
+        self._stats = stats
+        self.l2_array = CacheArray(l2.geometry, stats.group("l2"))
+        self._l2_hits = stats.counter("l2_hits")
+        self._l2_misses = stats.counter("l2_misses")
+        self._requests = stats.counter("requests")
+        self._writebacks = stats.counter("writebacks")
+        self._write_throughs = stats.counter("write_throughs")
+        self._queue_delay = stats.histogram("issue_delay")
+        # Pipeline state: the earliest cycle the next request may issue,
+        # and a min-heap of completion times for the outstanding window.
+        self._next_issue_cycle = 0
+        self._outstanding: List[int] = []
+
+    def request_fill(self, addr: int, cycle: int, is_write: bool = False) -> int:
+        """Request the line containing ``addr``; return its fill-complete cycle.
+
+        ``is_write`` marks fills triggered by stores (write-allocate): the
+        L2 content updates identically, only stats differ downstream.
+        """
+        self._requests.add()
+        issue = max(cycle, self._next_issue_cycle)
+
+        # Respect the outstanding-request window.
+        while self._outstanding and self._outstanding[0] <= issue:
+            heapq.heappop(self._outstanding)
+        while len(self._outstanding) >= self.l2_config.max_outstanding:
+            earliest = heapq.heappop(self._outstanding)
+            if earliest > issue:
+                issue = earliest
+
+        self._queue_delay.record(issue - cycle)
+        self._next_issue_cycle = issue + 1
+
+        if self.l2_array.access(addr, is_write=False):
+            self._l2_hits.add()
+            latency = self.l2_config.access_latency
+        else:
+            self._l2_misses.add()
+            latency = self.l2_config.access_latency + self.memory_config.access_latency
+            victim = self.l2_array.fill(addr, dirty=False)
+            # L2 victim writebacks to memory are absorbed by the write
+            # buffer; they have no timing effect in this model.
+            del victim
+
+        complete = issue + latency
+        heapq.heappush(self._outstanding, complete)
+        return complete
+
+    def writeback(self, line_addr: int, line_size: int) -> None:
+        """Accept a dirty L1 victim into the L2 (write buffer, no delay)."""
+        self._writebacks.add()
+        addr = line_addr * line_size
+        if not self.l2_array.access(addr, is_write=True):
+            self.l2_array.fill(addr, dirty=True)
+
+    def write_through(self, addr: int) -> None:
+        """Accept one store's data into the L2 (write-through traffic).
+
+        Like :meth:`writeback`, the write buffer absorbs the latency; the
+        ``write_throughs`` counter exposes the bandwidth pressure that a
+        write-through L1 places on the L2.
+        """
+        self._write_throughs.add()
+        if not self.l2_array.access(addr, is_write=True):
+            self.l2_array.fill(addr, dirty=True)
+
+    @property
+    def outstanding(self) -> int:
+        """Number of fills still in flight (pruned lazily on request)."""
+        return len(self._outstanding)
+
+    def l2_miss_rate(self) -> float:
+        total = self._l2_hits.value + self._l2_misses.value
+        return self._l2_misses.value / total if total else 0.0

@@ -1,0 +1,95 @@
+"""Bank-selection functions.
+
+The paper uses simple *bit selection* (the address bits directly above the
+line offset choose the bank — Figure 2c) and argues that more elaborate
+selection functions add complexity for limited benefit because most
+residual conflicts are same-line conflicts.  To let that argument be
+tested (ablation A2), two alternative conflict-reducing hashes from the
+interleaved-memory literature are provided:
+
+* ``xor-fold`` — XOR-fold the line address down to the bank bits
+  (a simple member of the XOR-scheme family of Rau's pseudo-random
+  interleaving).
+* ``fibonacci`` — multiplicative (Fibonacci) hashing of the line address.
+
+All functions map a *byte address* to a bank number in ``[0, banks)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..common.config import is_power_of_two, log2_exact
+from ..common.errors import ConfigError
+
+BankSelector = Callable[[int], int]
+
+#: 64-bit Fibonacci hashing constant (2^64 / golden ratio, odd).
+_FIB_MULT = 0x9E3779B97F4A7C15
+_WORD_MASK = (1 << 64) - 1
+
+
+def bit_select(banks: int, offset_bits: int) -> BankSelector:
+    """Bank = address bits directly above the line offset (paper default)."""
+    mask = banks - 1
+
+    def select(addr: int) -> int:
+        return (addr >> offset_bits) & mask
+
+    return select
+
+
+def xor_fold(banks: int, offset_bits: int) -> BankSelector:
+    """Bank = XOR of successive bank-width fields of the line address."""
+    bank_bits = log2_exact(banks)
+    mask = banks - 1
+
+    def select(addr: int) -> int:
+        line = addr >> offset_bits
+        folded = 0
+        while line:
+            folded ^= line & mask
+            line >>= bank_bits
+        return folded
+
+    return select
+
+
+def fibonacci(banks: int, offset_bits: int) -> BankSelector:
+    """Bank = top bits of a multiplicative hash of the line address."""
+    bank_bits = log2_exact(banks)
+    shift = 64 - bank_bits
+
+    def select(addr: int) -> int:
+        line = addr >> offset_bits
+        return ((line * _FIB_MULT) & _WORD_MASK) >> shift
+
+    return select
+
+
+_FUNCTIONS = {
+    "bit-select": bit_select,
+    "xor-fold": xor_fold,
+    "fibonacci": fibonacci,
+}
+
+
+def make_bank_selector(name: str, banks: int, offset_bits: int) -> BankSelector:
+    """Build a bank-selection function by name.
+
+    A single bank always selects bank 0 regardless of the function name.
+    """
+    if not is_power_of_two(banks):
+        raise ConfigError("banks must be a power of two")
+    if banks == 1:
+        return lambda addr: 0
+    factory = _FUNCTIONS.get(name)
+    if factory is None:
+        raise ConfigError(
+            f"unknown bank function {name!r}; choose from {sorted(_FUNCTIONS)}"
+        )
+    return factory(banks, offset_bits)
+
+
+def available_bank_functions() -> tuple:
+    return tuple(sorted(_FUNCTIONS))

@@ -1,0 +1,180 @@
+"""Set-associative cache tag/state array.
+
+This is the content model of a cache level: tags, valid and dirty bits,
+and true-LRU replacement.  It knows nothing about time — the timing
+(hit latency, miss handling, port arbitration) lives in
+:mod:`repro.memory.hierarchy` and :mod:`repro.memory.ports`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..common.config import CacheGeometry
+from ..common.stats import StatGroup
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Outcome of a cache probe (no state change)."""
+
+    hit: bool
+    set_index: int
+    tag: int
+
+
+@dataclass(frozen=True)
+class FillResult:
+    """Outcome of a line fill: the victim, if a dirty line was evicted."""
+
+    writeback_line_addr: Optional[int]
+
+
+class _Way:
+    __slots__ = ("tag", "valid", "dirty", "lru")
+
+    def __init__(self) -> None:
+        self.tag = 0
+        self.valid = False
+        self.dirty = False
+        self.lru = 0  # larger = more recently used
+
+
+class CacheArray:
+    """Tags + replacement state for one cache level.
+
+    Addresses are byte addresses; all operations work at line granularity.
+    The array is indexed by the *global* set index (bank-selector bits are
+    the low bits of that index for line-interleaved banking), so one array
+    models the whole cache regardless of how its ports are organized.
+    """
+
+    def __init__(self, geometry: CacheGeometry, stats: Optional[StatGroup] = None) -> None:
+        self.geometry = geometry
+        self._offset_bits = geometry.offset_bits
+        self._index_mask = geometry.num_sets - 1
+        self._index_bits = geometry.index_bits
+        self._sets: List[List[_Way]] = [
+            [_Way() for _ in range(geometry.associativity)]
+            for _ in range(geometry.num_sets)
+        ]
+        self._tick = 0
+        stats = stats or StatGroup("cache")
+        self._hits = stats.counter("hits")
+        self._misses = stats.counter("misses")
+        self._evictions = stats.counter("evictions")
+        self._writebacks = stats.counter("writebacks")
+
+    # -- address helpers ---------------------------------------------------
+
+    def set_index_of(self, addr: int) -> int:
+        return (addr >> self._offset_bits) & self._index_mask
+
+    def tag_of(self, addr: int) -> int:
+        return addr >> (self._offset_bits + self._index_bits)
+
+    def line_address_of(self, addr: int) -> int:
+        return addr >> self._offset_bits
+
+    def _line_addr_from(self, set_index: int, tag: int) -> int:
+        return (tag << self._index_bits) | set_index
+
+    # -- operations ----------------------------------------------------------
+
+    def probe(self, addr: int) -> ProbeResult:
+        """Look up ``addr`` without changing any state (no LRU update)."""
+        set_index = self.set_index_of(addr)
+        tag = self.tag_of(addr)
+        for way in self._sets[set_index]:
+            if way.valid and way.tag == tag:
+                return ProbeResult(hit=True, set_index=set_index, tag=tag)
+        return ProbeResult(hit=False, set_index=set_index, tag=tag)
+
+    def access(self, addr: int, is_write: bool) -> bool:
+        """Reference ``addr``: update LRU and dirty state; return hit/miss.
+
+        A miss does *not* fill the line — the caller decides when the fill
+        lands (see :meth:`fill`), which is what lets the hierarchy model
+        non-blocking misses faithfully.
+        """
+        set_index = self.set_index_of(addr)
+        tag = self.tag_of(addr)
+        self._tick += 1
+        for way in self._sets[set_index]:
+            if way.valid and way.tag == tag:
+                way.lru = self._tick
+                if is_write:
+                    way.dirty = True
+                self._hits.add()
+                return True
+        self._misses.add()
+        return False
+
+    def fill(self, addr: int, dirty: bool = False) -> FillResult:
+        """Install the line containing ``addr``, evicting LRU if needed.
+
+        Returns the line address of a dirty victim that must be written
+        back, if any.  Filling an already-present line just refreshes it.
+        """
+        set_index = self.set_index_of(addr)
+        tag = self.tag_of(addr)
+        ways = self._sets[set_index]
+        self._tick += 1
+
+        for way in ways:
+            if way.valid and way.tag == tag:
+                way.lru = self._tick
+                way.dirty = way.dirty or dirty
+                return FillResult(writeback_line_addr=None)
+
+        victim = ways[0]
+        for way in ways[1:]:
+            if not way.valid:
+                victim = way
+                break
+            if victim.valid and way.lru < victim.lru:
+                victim = way
+
+        writeback = None
+        if victim.valid:
+            self._evictions.add()
+            if victim.dirty:
+                self._writebacks.add()
+                writeback = self._line_addr_from(set_index, victim.tag)
+        victim.tag = tag
+        victim.valid = True
+        victim.dirty = dirty
+        victim.lru = self._tick
+        return FillResult(writeback_line_addr=writeback)
+
+    def invalidate(self, addr: int) -> bool:
+        """Drop the line containing ``addr``; return whether it was present."""
+        set_index = self.set_index_of(addr)
+        tag = self.tag_of(addr)
+        for way in self._sets[set_index]:
+            if way.valid and way.tag == tag:
+                way.valid = False
+                way.dirty = False
+                return True
+        return False
+
+    def contains(self, addr: int) -> bool:
+        return self.probe(addr).hit
+
+    def resident_lines(self) -> List[int]:
+        """Line addresses of all valid lines (for tests/analysis)."""
+        lines = []
+        for set_index, ways in enumerate(self._sets):
+            for way in ways:
+                if way.valid:
+                    lines.append(self._line_addr_from(set_index, way.tag))
+        return sorted(lines)
+
+    def dirty_lines(self) -> List[int]:
+        lines = []
+        for set_index, ways in enumerate(self._sets):
+            for way in ways:
+                if way.valid and way.dirty:
+                    lines.append(self._line_addr_from(set_index, way.tag))
+        return sorted(lines)

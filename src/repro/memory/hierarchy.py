@@ -1,0 +1,213 @@
+"""The L1 data-cache timing model with non-blocking miss handling.
+
+:class:`MemoryHierarchy` owns the L1 tag array, the MSHR file and the
+:class:`~repro.memory.backend.MemoryBackend` (L2 + main memory).  Port
+models call :meth:`MemoryHierarchy.access` for every accepted cache
+access; the hierarchy answers with the cycle at which the access's data
+is available (hit latency for hits, fill completion for misses), or
+``None`` when a new primary miss cannot be accepted because the MSHR file
+is full (a structural stall — the port model retries in a later cycle).
+
+The processor must call :meth:`tick` once per cycle so completed fills
+land in the L1 array (and dirty victims flow to the L2 write buffer).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..common.config import L1Config, L2Config, MainMemoryConfig
+from ..common.errors import SimulationError
+from ..common.stats import StatGroup
+from .backend import MemoryBackend
+from .cache import CacheArray
+from .mshr import MshrFile
+
+
+class AccessOutcome:
+    """Result of one accepted L1 access."""
+
+    __slots__ = ("hit", "complete_cycle", "merged")
+
+    def __init__(self, hit: bool, complete_cycle: int, merged: bool = False) -> None:
+        self.hit = hit
+        self.complete_cycle = complete_cycle
+        self.merged = merged
+
+    def __repr__(self) -> str:
+        kind = "hit" if self.hit else ("merged-miss" if self.merged else "miss")
+        return f"AccessOutcome({kind}, done@{self.complete_cycle})"
+
+
+class MemoryHierarchy:
+    """L1 + MSHRs + (L2, memory) with the paper's Table 1 timing."""
+
+    def __init__(
+        self,
+        l1: L1Config,
+        l2: L2Config,
+        memory: MainMemoryConfig,
+        stats: Optional[StatGroup] = None,
+    ) -> None:
+        self.l1_config = l1
+        stats = stats or StatGroup("memory")
+        self.stats = stats
+        self.l1_array = CacheArray(l1.geometry, stats.group("l1_array"))
+        self.mshrs = MshrFile(l1.mshr_entries, stats.group("mshr"))
+        self.backend = MemoryBackend(l2, memory, stats.group("backend"))
+        self._accesses = stats.counter("accesses")
+        self._hits = stats.counter("hits")
+        self._primary_misses = stats.counter("primary_misses")
+        self._secondary_misses = stats.counter("secondary_misses")
+        self._mshr_refusals = stats.counter("mshr_refusals")
+        self._store_accesses = stats.counter("store_accesses")
+        self._last_tick = -1
+
+    # -- per-cycle maintenance ---------------------------------------------
+
+    def tick(self, cycle: int) -> List[int]:
+        """Land fills that completed by ``cycle`` into the L1 array.
+
+        Returns the line addresses that landed this cycle (used by port
+        models that arbitrate fill ports against demand accesses).
+        """
+        if cycle <= self._last_tick:
+            return []
+        self._last_tick = cycle
+        line_size = self.l1_config.geometry.line_size
+        landed: List[int] = []
+        for mshr in self.mshrs.retire_ready(cycle):
+            fill = self.l1_array.fill(mshr.line_addr * line_size, dirty=mshr.is_write)
+            landed.append(mshr.line_addr)
+            if fill.writeback_line_addr is not None:
+                self.backend.writeback(fill.writeback_line_addr, line_size)
+        return landed
+
+    # -- the access path -----------------------------------------------------
+
+    def access(self, addr: int, is_write: bool, cycle: int) -> Optional[AccessOutcome]:
+        """Perform one L1 access at ``cycle``.
+
+        Returns the outcome, or ``None`` if the access must be refused
+        because it is a new primary miss and no MSHR is free.  Refused
+        accesses leave no trace in the cache state.
+        """
+        if addr < 0:
+            raise SimulationError(f"negative address {addr}")
+        config = self.l1_config
+        probe = self.l1_array.probe(addr)
+        if probe.hit:
+            # a write dirties the line only under a write-back policy;
+            # write-through sends the data to the L2 immediately
+            self.l1_array.access(addr, is_write and config.writeback)
+            if is_write and not config.writeback:
+                self.backend.write_through(addr)
+            self._accesses.add()
+            self._hits.add()
+            if is_write:
+                self._store_accesses.add()
+            return AccessOutcome(hit=True, complete_cycle=cycle + config.hit_latency)
+
+        if is_write and not config.write_allocate:
+            # no-write-allocate: the store bypasses the L1 entirely and
+            # retires through the write buffer into the L2
+            self.backend.write_through(addr)
+            self._accesses.add()
+            self._primary_misses.add()
+            self._store_accesses.add()
+            return AccessOutcome(
+                hit=False, complete_cycle=cycle + config.hit_latency
+            )
+
+        line_addr = self.l1_array.line_address_of(addr)
+        pending = self.mshrs.lookup(line_addr)
+        if pending is not None:
+            self.mshrs.merge(line_addr, is_write and config.writeback)
+            self._accesses.add()
+            self._secondary_misses.add()
+            if is_write:
+                self._store_accesses.add()
+            complete = max(pending.fill_cycle, cycle + self.l1_config.hit_latency)
+            return AccessOutcome(hit=False, complete_cycle=complete, merged=True)
+
+        if self.mshrs.full:
+            self._mshr_refusals.add()
+            return None
+
+        # Primary miss: the miss is detected after the L1 lookup, then the
+        # request goes down to the backend.
+        fill_cycle = self.backend.request_fill(
+            addr, cycle + config.hit_latency, is_write
+        )
+        if is_write and not config.writeback:
+            self.backend.write_through(addr)
+        self.mshrs.allocate(
+            line_addr, fill_cycle, is_write and config.writeback
+        )
+        self._accesses.add()
+        self._primary_misses.add()
+        if is_write:
+            self._store_accesses.add()
+        return AccessOutcome(hit=False, complete_cycle=fill_cycle)
+
+    def warm(self, addr: int, is_write: bool) -> None:
+        """Functionally install ``addr``'s line (fast-forward warm-up).
+
+        Used before timing begins so short timed runs measure
+        steady-state behaviour instead of compulsory cold misses.  No
+        statistics are recorded and no time passes; the L2 content warms
+        through the same path a real fill would take.
+        """
+        config = self.l1_config
+        dirty = is_write and config.writeback
+        if self.l1_array.access(addr, dirty):
+            if is_write and not config.writeback:
+                l2 = self.backend.l2_array
+                if not l2.access(addr, is_write=True):
+                    l2.fill(addr, dirty=True)
+            return
+        if is_write and not config.write_allocate:
+            l2 = self.backend.l2_array
+            if not l2.access(addr, is_write=True):
+                l2.fill(addr, dirty=True)
+            return
+        line_size = config.geometry.line_size
+        fill = self.l1_array.fill(addr, dirty=dirty)
+        if fill.writeback_line_addr is not None:
+            self.backend.writeback(fill.writeback_line_addr, line_size)
+        l2 = self.backend.l2_array
+        if not l2.access(addr, is_write=False):
+            l2.fill(addr, dirty=False)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def drain(self, cycle: int) -> int:
+        """Complete all outstanding fills; return the cycle everything landed."""
+        last = cycle
+        for mshr in self.mshrs.drain_all():
+            last = max(last, mshr.fill_cycle)
+            line_size = self.l1_config.geometry.line_size
+            fill = self.l1_array.fill(mshr.line_addr * line_size, dirty=mshr.is_write)
+            if fill.writeback_line_addr is not None:
+                self.backend.writeback(fill.writeback_line_addr, line_size)
+        return last
+
+    @property
+    def accesses(self) -> int:
+        return self._accesses.value
+
+    @property
+    def misses(self) -> int:
+        """Demand misses (primary + secondary/merged)."""
+        return self._primary_misses.value + self._secondary_misses.value
+
+    def miss_rate(self) -> float:
+        """Demand miss rate over all L1 accesses (paper Table 2 metric)."""
+        if self._accesses.value == 0:
+            return 0.0
+        return self.misses / self._accesses.value
+
+    def primary_miss_rate(self) -> float:
+        if self._accesses.value == 0:
+            return 0.0
+        return self._primary_misses.value / self._accesses.value

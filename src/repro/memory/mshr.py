@@ -1,0 +1,101 @@
+"""Miss status holding registers (MSHRs) for the non-blocking L1.
+
+One MSHR tracks one outstanding line fill.  Secondary misses to a line
+with an outstanding fill merge into the existing MSHR (the paper's cache
+is non-blocking; the LBIC additionally *combines* same-line requests, so
+merged misses are common).  A full MSHR file back-pressures the port
+model: new primary misses are refused and retried in later cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..common.errors import SimulationError
+from ..common.stats import StatGroup
+
+
+@dataclass
+class Mshr:
+    """One outstanding miss: the line, its fill time, and merge bookkeeping."""
+
+    line_addr: int
+    fill_cycle: int
+    is_write: bool = False  # becomes True if any merged request is a store
+    merged_requests: int = 1
+
+
+class MshrFile:
+    """A bounded pool of MSHRs keyed by line address."""
+
+    def __init__(self, entries: int, stats: Optional[StatGroup] = None) -> None:
+        if entries < 1:
+            raise SimulationError("MSHR file needs at least one entry")
+        self.entries = entries
+        self._pending: Dict[int, Mshr] = {}
+        stats = stats or StatGroup("mshr")
+        self._allocations = stats.counter("allocations")
+        self._merges = stats.counter("merges")
+        self._full_refusals = stats.counter("full_refusals")
+        self._peak = stats.counter("peak_occupancy")
+
+    # -- queries -------------------------------------------------------------
+
+    def lookup(self, line_addr: int) -> Optional[Mshr]:
+        return self._pending.get(line_addr)
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._pending)
+
+    @property
+    def full(self) -> bool:
+        return len(self._pending) >= self.entries
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def allocate(self, line_addr: int, fill_cycle: int, is_write: bool) -> Mshr:
+        """Create an MSHR for a new primary miss.
+
+        The caller must have checked :attr:`full` and the absence of an
+        existing entry; violating either is a simulator bug.
+        """
+        if line_addr in self._pending:
+            raise SimulationError(f"MSHR already pending for line {line_addr:#x}")
+        if self.full:
+            self._full_refusals.add()
+            raise SimulationError("MSHR file is full")
+        mshr = Mshr(line_addr=line_addr, fill_cycle=fill_cycle, is_write=is_write)
+        self._pending[line_addr] = mshr
+        self._allocations.add()
+        if len(self._pending) > self._peak.value:
+            self._peak.value = len(self._pending)
+        return mshr
+
+    def merge(self, line_addr: int, is_write: bool) -> Mshr:
+        """Attach a secondary miss to an existing MSHR."""
+        mshr = self._pending.get(line_addr)
+        if mshr is None:
+            raise SimulationError(f"no MSHR pending for line {line_addr:#x}")
+        mshr.merged_requests += 1
+        mshr.is_write = mshr.is_write or is_write
+        self._merges.add()
+        return mshr
+
+    def note_refusal(self) -> None:
+        """Record that a primary miss was refused because the file is full."""
+        self._full_refusals.add()
+
+    def retire_ready(self, cycle: int) -> List[Mshr]:
+        """Remove and return every MSHR whose fill has completed by ``cycle``."""
+        ready = [m for m in self._pending.values() if m.fill_cycle <= cycle]
+        for mshr in ready:
+            del self._pending[mshr.line_addr]
+        return ready
+
+    def drain_all(self) -> List[Mshr]:
+        """Remove and return all pending MSHRs (end of simulation)."""
+        remaining = list(self._pending.values())
+        self._pending.clear()
+        return remaining

@@ -1,0 +1,47 @@
+"""Cache port organizations: ideal, replicated, banked, and LBIC."""
+
+from typing import Optional
+
+from ...common.config import (
+    BankedPortConfig,
+    IdealPortConfig,
+    LBICConfig,
+    PortModelConfig,
+    ReplicatedPortConfig,
+)
+from ...common.errors import ConfigError
+from ...common.stats import StatGroup
+from ..hierarchy import MemoryHierarchy
+from .banked import BankedCache
+from .base import PortModel
+from .ideal import IdealMultiPorted
+from .lbic import LBICache
+from .replicated import ReplicatedMultiPorted
+
+
+def make_port_model(
+    config: PortModelConfig,
+    hierarchy: MemoryHierarchy,
+    stats: Optional[StatGroup] = None,
+) -> PortModel:
+    """Instantiate the port model described by ``config``."""
+    stats = stats if stats is not None else StatGroup("ports")
+    if isinstance(config, IdealPortConfig):
+        return IdealMultiPorted(config, hierarchy, stats)
+    if isinstance(config, ReplicatedPortConfig):
+        return ReplicatedMultiPorted(config, hierarchy, stats)
+    if isinstance(config, BankedPortConfig):
+        return BankedCache(config, hierarchy, stats)
+    if isinstance(config, LBICConfig):
+        return LBICache(config, hierarchy, stats)
+    raise ConfigError(f"unknown port model config: {type(config).__name__}")
+
+
+__all__ = [
+    "BankedCache",
+    "IdealMultiPorted",
+    "LBICache",
+    "PortModel",
+    "ReplicatedMultiPorted",
+    "make_port_model",
+]

@@ -1,0 +1,97 @@
+"""Traditional multi-bank (interleaved) cache — the paper's "Bank" columns.
+
+The MIPS R10000 approach: M single-ported, line-interleaved banks behind
+a crossbar.  Simultaneous accesses must map to distinct banks; two ready
+requests to the same bank conflict, and the younger one waits — even when
+both touch the *same cache line*, which is precisely the waste the LBIC
+recovers.  Per the paper's methodology, the crossbar adds no latency and
+requests are taken oldest-first, with younger requests free to proceed to
+other banks (the LSQ provides memory re-ordering).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ...common.config import BankedPortConfig
+from ...common.stats import StatGroup
+from ..banking import make_bank_selector
+from ..hierarchy import MemoryHierarchy
+from .base import PortModel
+
+
+#: byte offset bits of the word-interleaving granule (8-byte words)
+_WORD_OFFSET_BITS = 3
+
+
+class BankedCache(PortModel):
+    """M banks; ``ports_per_bank`` accesses per bank per cycle.
+
+    With ``interleave="word"`` the bank selector works on 8-byte words,
+    so same-line accesses spread across banks (no same-line conflicts) —
+    at the hardware cost of replicating the tag store in every bank the
+    line spans (accounted in :mod:`repro.cost`).
+    """
+
+    def __init__(
+        self,
+        config: BankedPortConfig,
+        hierarchy: MemoryHierarchy,
+        stats: StatGroup,
+    ) -> None:
+        super().__init__(hierarchy, stats)
+        self.config = config
+        granule_bits = (
+            _WORD_OFFSET_BITS
+            if config.interleave == "word"
+            else hierarchy.l1_config.geometry.offset_bits
+        )
+        self._select_bank = make_bank_selector(
+            config.bank_function, config.banks, granule_bits
+        )
+        self._offset_bits = hierarchy.l1_config.geometry.offset_bits
+        self._line_size = hierarchy.l1_config.geometry.line_size
+        self._bank_uses: Dict[int, int] = {}
+        self._fill_busy: Set[int] = set()
+        self._same_line_conflicts = stats.counter("same_line_bank_conflicts")
+        self._bank_of_busy_line: Dict[int, int] = {}
+
+    def _reset_cycle_state(self) -> None:
+        self._bank_uses.clear()
+        self._bank_of_busy_line.clear()
+        self._fill_busy.clear()
+
+    def note_fills(self, line_addrs) -> None:
+        if not self.config.fills_occupy_bank:
+            return
+        for line_addr in line_addrs:
+            self._fill_busy.add(self._select_bank(line_addr * self._line_size))
+
+    def _try_access(self, addr: int, is_store: bool) -> Optional[int]:
+        bank = self._select_bank(addr)
+        if bank in self._fill_busy:
+            self._refuse("fill_port")
+            return None
+        if self._bank_uses.get(bank, 0) >= self.config.ports_per_bank:
+            self._refuse("bank_conflict")
+            # Track how many bank conflicts were same-line conflicts: this
+            # is the combinable fraction the LBIC exploits (paper section 4).
+            if self._bank_of_busy_line.get(bank) == addr >> self._offset_bits:
+                self._same_line_conflicts.add()
+            return None
+        complete = self._access_hierarchy(addr, is_store)
+        if complete is None:
+            return None
+        if not is_store and self.config.crossbar_latency:
+            complete += self.config.crossbar_latency
+        self._bank_uses[bank] = self._bank_uses.get(bank, 0) + 1
+        self._bank_of_busy_line[bank] = addr >> self._offset_bits
+        return complete
+
+    @property
+    def peak_accesses_per_cycle(self) -> int:
+        return self.config.banks * self.config.ports_per_bank
+
+    def bank_of(self, addr: int) -> int:
+        """Expose the bank mapping (used by analyses and tests)."""
+        return self._select_bank(addr)

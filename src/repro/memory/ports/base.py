@@ -1,0 +1,182 @@
+"""The cache port-model interface.
+
+A port model arbitrates which of the core's ready memory requests reach
+the L1 data cache in each cycle.  The out-of-order core drives it
+incrementally, oldest request first:
+
+1. ``begin_cycle(cycle)`` at the top of the cycle;
+2. ``try_load(addr)`` for each ready load, in the order chosen by the
+   LSQ scheduling policy — returns the data-ready cycle or ``None`` if
+   the request cannot be accepted this cycle;
+3. ``try_store(addr)`` for each store reaching commit — returns whether
+   the store was accepted (stores never stall the core once accepted);
+4. ``end_cycle()`` at the bottom of the cycle (the LBIC drains its
+   per-bank store queues here).
+
+Refusals are *per cycle*: a refused request simply retries later.  Every
+refusal is attributed to a reason counter so analyses can explain where
+bandwidth went (bank conflicts vs. port limits vs. store serialization
+vs. structural MSHR stalls), mirroring the discussion in sections 3-5 of
+the paper.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ...common.errors import SimulationError
+from ...common.stats import StatGroup
+from ..hierarchy import MemoryHierarchy
+
+
+class PortModel(abc.ABC):
+    """Arbitration policy between the LSQ and the L1 data cache."""
+
+    #: When True (ideal/replicated/banked), ready memory accesses are
+    #: served strictly oldest-first: the first refusal closes the cycle
+    #: (the paper's conventional organizations "fail to benefit" from LSQ
+    #: re-ordering).  The LBIC sets this False: its LSQ sorts ready
+    #: accesses into per-bank queues (paper section 5.2), so a conflict in
+    #: one bank does not stall service in the others.
+    IN_ORDER = True
+
+    #: refusal reason labels, shared so reports can enumerate them
+    REASONS = (
+        "port_limit",
+        "bank_conflict",
+        "line_conflict",
+        "store_serialization",
+        "store_queue_full",
+        "mshr_full",
+        "in_order_stall",
+        "fill_port",
+    )
+
+    def __init__(self, hierarchy: MemoryHierarchy, stats: StatGroup) -> None:
+        self.hierarchy = hierarchy
+        self.stats = stats
+        self._cycle = -1
+        self._closed = False
+        self._accepted_loads = stats.counter("accepted_loads")
+        self._accepted_stores = stats.counter("accepted_stores")
+        self._busy_cycles = stats.counter("busy_cycles")
+        self._cycle_occupancy = stats.histogram("accesses_per_cycle")
+        self._refusals = {
+            reason: stats.counter(f"refused_{reason}") for reason in self.REASONS
+        }
+        self._accepted_this_cycle = 0
+
+    # -- cycle protocol ------------------------------------------------------
+
+    def begin_cycle(self, cycle: int) -> None:
+        if cycle <= self._cycle:
+            raise SimulationError(
+                f"begin_cycle({cycle}) after cycle {self._cycle} already began"
+            )
+        self._cycle = cycle
+        self._accepted_this_cycle = 0
+        self._closed = False
+        self._reset_cycle_state()
+
+    def end_cycle(self) -> None:
+        if self._accepted_this_cycle:
+            self._busy_cycles.add()
+            self._cycle_occupancy.record(self._accepted_this_cycle)
+        self._finish_cycle_state()
+
+    # -- requests -------------------------------------------------------------
+    #
+    # Memory accesses are accepted as an *age-ordered prefix*: once one
+    # ready access cannot be served this cycle, no younger access is
+    # served either.  This is the paper's model — "the traditional
+    # multi-bank cache fails to benefit" from LSQ re-ordering (section 5),
+    # and it is why the Figure 3 analysis is over *consecutive* reference
+    # pairs.  The LBIC widens the acceptable prefix by combining; it does
+    # not reorder around a conflict.
+
+    def try_load(self, addr: int) -> Optional[int]:
+        """Offer a ready load; return its data-ready cycle or ``None``."""
+        if self._closed:
+            self._refuse("in_order_stall")
+            return None
+        outcome = self._try_access(addr, is_store=False)
+        if outcome is None:
+            self._closed = self.IN_ORDER
+            return None
+        self._accepted_loads.add()
+        self._accepted_this_cycle += 1
+        return outcome
+
+    def try_store(self, addr: int) -> bool:
+        """Offer a committing store; return whether it was accepted.
+
+        A refused store stalls in-order *commit* by itself; it does not
+        close the cycle for load issue — loads are sent from the LSQ at
+        issue time, a separate pipeline from the commit-stage store path.
+        """
+        if self._closed:
+            self._refuse("in_order_stall")
+            return False
+        outcome = self._try_access(addr, is_store=True)
+        if outcome is None:
+            return False
+        self._accepted_stores.add()
+        self._accepted_this_cycle += 1
+        return True
+
+    # -- to be provided by each organization -----------------------------------
+
+    @abc.abstractmethod
+    def _try_access(self, addr: int, is_store: bool) -> Optional[int]:
+        """Arbitrate one request; return completion cycle or ``None``."""
+
+    def _reset_cycle_state(self) -> None:
+        """Clear per-cycle arbitration state (default: nothing)."""
+
+    def _finish_cycle_state(self) -> None:
+        """Hook run at end of cycle (default: nothing)."""
+
+    # -- shared helpers --------------------------------------------------------
+
+    def _refuse(self, reason: str) -> None:
+        self._refusals[reason].add()
+
+    def _access_hierarchy(self, addr: int, is_store: bool) -> Optional[int]:
+        """Perform the L1 access; ``None`` means an MSHR-full refusal."""
+        outcome = self.hierarchy.access(addr, is_write=is_store, cycle=self._cycle)
+        if outcome is None:
+            self._refuse("mshr_full")
+            return None
+        return outcome.complete_cycle
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def peak_accesses_per_cycle(self) -> int:
+        """Structural upper bound on accesses accepted per cycle."""
+
+    def pending_work(self) -> bool:
+        """Whether buffered work remains (LBIC store queues); default no."""
+        return False
+
+    def note_fills(self, line_addrs) -> None:
+        """Inform the model of fills landing this cycle.
+
+        Organizations with ``fills_occupy_bank`` mark those banks busy;
+        the default (a dedicated fill port) ignores the notification.
+        """
+
+    @property
+    def accepted_accesses(self) -> int:
+        return self._accepted_loads.value + self._accepted_stores.value
+
+    def refusal_count(self, reason: str) -> int:
+        return self._refusals[reason].value
+
+    def utilization(self, cycles: int) -> float:
+        """Mean fraction of peak bandwidth actually used."""
+        if cycles <= 0:
+            return 0.0
+        return self.accepted_accesses / (cycles * self.peak_accesses_per_cycle)

@@ -1,0 +1,48 @@
+"""Ideal (true) multi-porting — the paper's "True" columns.
+
+Every SRAM cell is p-ported: up to p accesses per cycle to *any*
+combination of addresses, loads and stores alike.  The paper uses this
+as the performance ceiling against which the implementable designs are
+judged (it is "generally considered too costly and impractical for
+commercial implementation for anything larger than a register file").
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...common.config import IdealPortConfig
+from ...common.stats import StatGroup
+from ..hierarchy import MemoryHierarchy
+from .base import PortModel
+
+
+class IdealMultiPorted(PortModel):
+    """p independent ports; the only refusal reasons are port count and MSHRs."""
+
+    def __init__(
+        self,
+        config: IdealPortConfig,
+        hierarchy: MemoryHierarchy,
+        stats: StatGroup,
+    ) -> None:
+        super().__init__(hierarchy, stats)
+        self.config = config
+        self._ports_used = 0
+
+    def _reset_cycle_state(self) -> None:
+        self._ports_used = 0
+
+    def _try_access(self, addr: int, is_store: bool) -> Optional[int]:
+        if self._ports_used >= self.config.ports:
+            self._refuse("port_limit")
+            return None
+        complete = self._access_hierarchy(addr, is_store)
+        if complete is None:
+            return None
+        self._ports_used += 1
+        return complete
+
+    @property
+    def peak_accesses_per_cycle(self) -> int:
+        return self.config.ports

@@ -1,0 +1,243 @@
+"""The Locality-Based Interleaved Cache (LBIC) — the paper's contribution.
+
+An M x N LBIC is a line-interleaved M-bank cache in which each bank owns a
+*single-line, N-ported buffer* and a small store queue (paper section 5):
+
+* In each cycle, the oldest ready request to a bank — the **leading
+  request** — gates its cache line into that bank's line buffer.
+* Up to N-1 further ready requests whose line selector matches the gated
+  line **combine** with it: their line offsets index the buffer in
+  parallel.  Requests to the same bank but a *different* line must wait
+  (this is the residual conflict an LBIC still has).
+* Matching **loads** read from the buffer; matching **stores** deposit
+  their data into the bank's store queue, which drains one entry into the
+  cache array on each cycle its bank is otherwise idle (the HP PA8000
+  technique the paper cites).  A full store queue back-pressures stores.
+
+Thus an M x N LBIC sustains up to M*N accesses per cycle when the
+reference stream has same-line spatial locality, while costing only a
+little more than a traditional M-bank cache (one N-ported line buffer and
+a store queue per bank).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ...common.config import LBICConfig
+from ...common.stats import StatGroup
+from ..banking import make_bank_selector
+from ..hierarchy import MemoryHierarchy
+from .base import PortModel
+
+
+class _BankCycleState:
+    """Per-bank arbitration state within one cycle."""
+
+    __slots__ = ("gated_line", "ports_used")
+
+    def __init__(self) -> None:
+        self.gated_line: Optional[int] = None
+        self.ports_used = 0
+
+    def reset(self) -> None:
+        self.gated_line = None
+        self.ports_used = 0
+
+
+class LBICache(PortModel):
+    """M banks x N-ported single-line buffers with per-bank store queues."""
+
+    #: The LBIC's LSQ sorts ready accesses into per-bank queues (paper
+    #: section 5.2), so a same-bank-different-line conflict only stalls
+    #: that one bank; other banks keep combining.
+    IN_ORDER = False
+
+    def __init__(
+        self,
+        config: LBICConfig,
+        hierarchy: MemoryHierarchy,
+        stats: StatGroup,
+    ) -> None:
+        super().__init__(hierarchy, stats)
+        self.config = config
+        geometry = hierarchy.l1_config.geometry
+        self._offset_bits = geometry.offset_bits
+        self._select_bank = make_bank_selector(
+            config.bank_function, config.banks, geometry.offset_bits
+        )
+        self._line_size = geometry.line_size
+        self._banks = [_BankCycleState() for _ in range(config.banks)]
+        self._fill_busy: set = set()
+        self._store_queues: List[Deque[int]] = [deque() for _ in range(config.banks)]
+        self._combined_loads = stats.counter("combined_loads")
+        self._combined_stores = stats.counter("combined_stores")
+        self._group_sizes = stats.histogram("combining_group_size")
+        self._drained_stores = stats.counter("drained_stores")
+        self._drain_retries = stats.counter("drain_retries")
+        self._sq_peak = stats.counter("store_queue_peak")
+        self._coalesced_stores = stats.counter("coalesced_stores")
+
+    # -- cycle protocol ------------------------------------------------------
+
+    def _reset_cycle_state(self) -> None:
+        for bank in self._banks:
+            bank.reset()
+        self._fill_busy.clear()
+
+    def note_fills(self, line_addrs) -> None:
+        if not self.config.fills_occupy_bank:
+            return
+        for line_addr in line_addrs:
+            self._fill_busy.add(self._select_bank(line_addr * self._line_size))
+
+    def _finish_cycle_state(self) -> None:
+        # Record combining-group sizes, then drain store queues on idle banks.
+        for index, bank in enumerate(self._banks):
+            if bank.ports_used:
+                self._group_sizes.record(bank.ports_used)
+                continue
+            if index in self._fill_busy:
+                continue  # the fill owns the array port this cycle
+            queue = self._store_queues[index]
+            if queue:
+                self._drain_one_line(queue)
+
+    def _drain_one_line(self, queue: Deque[int]) -> None:
+        """One idle-cycle drain: write the front entry's line to the array.
+
+        The store queue *write-combines*: every queued store to the same
+        line as the front entry retires with it in this single array
+        write — that is the point of holding "up to some number of words
+        of store data" (paper section 5.2) rather than one store.
+        """
+        addr = queue[0]
+        outcome = self.hierarchy.access(addr, is_write=True, cycle=self._cycle)
+        if outcome is None:
+            # MSHR full: retry on the next idle cycle.
+            self._drain_retries.add()
+            return
+        line = addr >> self._offset_bits
+        survivors = [a for a in queue if (a >> self._offset_bits) != line]
+        self._drained_stores.add(len(queue) - len(survivors))
+        queue.clear()
+        queue.extend(survivors)
+
+    # -- arbitration ------------------------------------------------------------
+
+    def _try_access(self, addr: int, is_store: bool) -> Optional[int]:
+        bank_index = self._select_bank(addr)
+        bank = self._banks[bank_index]
+        line = addr >> self._offset_bits
+
+        if bank_index in self._fill_busy:
+            self._refuse("fill_port")
+            return None
+        if bank.gated_line is None:
+            return self._accept_leading(bank_index, bank, addr, line, is_store)
+
+        if bank.gated_line != line:
+            # Same bank, different line: the classic residual conflict.
+            self._refuse("line_conflict")
+            return None
+        if bank.ports_used >= self.config.buffer_ports:
+            self._refuse("port_limit")
+            return None
+        return self._accept_combining(bank_index, bank, addr, is_store)
+
+    def _accept_leading(
+        self,
+        bank_index: int,
+        bank: _BankCycleState,
+        addr: int,
+        line: int,
+        is_store: bool,
+    ) -> Optional[int]:
+        """The first request to a bank this cycle gates its line."""
+        if is_store:
+            if not self._store_has_room(bank_index, addr):
+                self._refuse("store_queue_full")
+                return None
+            self._enqueue_store(bank_index, addr)
+            bank.gated_line = line
+            bank.ports_used = 1
+            return self._cycle  # stores complete on acceptance
+        complete = self._access_hierarchy(addr, is_store=False)
+        if complete is None:
+            return None
+        bank.gated_line = line
+        bank.ports_used = 1
+        return complete + self.config.crossbar_latency
+
+    def _accept_combining(
+        self,
+        bank_index: int,
+        bank: _BankCycleState,
+        addr: int,
+        is_store: bool,
+    ) -> Optional[int]:
+        """A same-line request rides the already-gated line buffer."""
+        if is_store:
+            if not self._store_has_room(bank_index, addr):
+                self._refuse("store_queue_full")
+                return None
+            self._enqueue_store(bank_index, addr)
+            bank.ports_used += 1
+            self._combined_stores.add()
+            return self._cycle
+        outcome = self.hierarchy.access(addr, is_write=False, cycle=self._cycle)
+        if outcome is None:
+            self._refuse("mshr_full")
+            return None
+        bank.ports_used += 1
+        self._combined_loads.add()
+        return outcome.complete_cycle + self.config.crossbar_latency
+
+    # -- store queues ---------------------------------------------------------
+
+    def _store_has_room(self, bank_index: int, addr: int) -> bool:
+        """Room exists if the queue is not full *or* the store coalesces
+        into an entry already queued for its line."""
+        queue = self._store_queues[bank_index]
+        if len(queue) < self.config.store_queue_depth:
+            return True
+        line = addr >> self._offset_bits
+        return any((a >> self._offset_bits) == line for a in queue)
+
+    def _enqueue_store(self, bank_index: int, addr: int) -> None:
+        """Insert with line coalescing: a store to a line already held in
+        the queue merges into that entry (a coalescing write buffer),
+        consuming no extra capacity and no extra drain bandwidth."""
+        queue = self._store_queues[bank_index]
+        line = addr >> self._offset_bits
+        for queued in queue:
+            if (queued >> self._offset_bits) == line:
+                self._coalesced_stores.add()
+                return
+        queue.append(addr)
+        if len(queue) > self._sq_peak.value:
+            self._sq_peak.value = len(queue)
+
+    def pending_work(self) -> bool:
+        """True while any bank still holds buffered stores to drain."""
+        return any(self._store_queues)
+
+    def store_queue_occupancy(self) -> List[int]:
+        return [len(queue) for queue in self._store_queues]
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def peak_accesses_per_cycle(self) -> int:
+        return self.config.banks * self.config.buffer_ports
+
+    def bank_of(self, addr: int) -> int:
+        return self._select_bank(addr)
+
+    def combining_rate(self) -> float:
+        """Fraction of accepted accesses that were combined (non-leading)."""
+        total = self.accepted_accesses
+        if not total:
+            return 0.0
+        return (self._combined_loads.value + self._combined_stores.value) / total

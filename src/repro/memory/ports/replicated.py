@@ -1,0 +1,67 @@
+"""Multi-porting by replication — the paper's "Repl" columns.
+
+The Alpha 21164 approach: p identical single-ported copies of the cache.
+Loads may use any free copy, so up to p loads proceed per cycle.  A store
+must broadcast to *all* copies to keep them coherent, so a store cannot
+be sent in parallel with any other access: the cycle either carries up to
+p loads, or exactly one store.  This is the serialization that prevents
+replication from scaling to ideal multi-porting for store-intensive
+programs (paper section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...common.config import ReplicatedPortConfig
+from ...common.stats import StatGroup
+from ..hierarchy import MemoryHierarchy
+from .base import PortModel
+
+
+class ReplicatedMultiPorted(PortModel):
+    """p cache copies; stores broadcast and own their whole cycle."""
+
+    def __init__(
+        self,
+        config: ReplicatedPortConfig,
+        hierarchy: MemoryHierarchy,
+        stats: StatGroup,
+    ) -> None:
+        super().__init__(hierarchy, stats)
+        self.config = config
+        self._ports_used = 0
+        self._store_cycle = False
+
+    def _reset_cycle_state(self) -> None:
+        self._ports_used = 0
+        self._store_cycle = False
+
+    def _try_access(self, addr: int, is_store: bool) -> Optional[int]:
+        if self._store_cycle:
+            # A broadcast store already owns this cycle.
+            self._refuse("store_serialization")
+            return None
+        if is_store:
+            if self._ports_used > 0:
+                # The store would have to broadcast while copies are busy.
+                self._refuse("store_serialization")
+                return None
+            complete = self._access_hierarchy(addr, is_store=True)
+            if complete is None:
+                return None
+            self._store_cycle = True
+            self._ports_used = self.config.ports  # broadcast occupies every copy
+            return complete
+        if self._ports_used >= self.config.ports:
+            self._refuse("port_limit")
+            return None
+        complete = self._access_hierarchy(addr, is_store=False)
+        if complete is None:
+            return None
+        self._ports_used += 1
+        return complete
+
+    @property
+    def peak_accesses_per_cycle(self) -> int:
+        return self.config.ports

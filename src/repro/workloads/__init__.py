@@ -1,0 +1,57 @@
+"""Workloads: burst kernels, benchmark mixes, SPEC95 models, traces."""
+
+from .base import BurstKernel, IterableWorkload, RegisterPool, Workload
+from .kernels import (
+    HashTableKernel,
+    MultiArrayWalkKernel,
+    PointerChaseKernel,
+    RegionAllocator,
+    ReductionKernel,
+    SameLineBurstKernel,
+    SequentialWalkKernel,
+    StackFrameKernel,
+    TiledWalkKernel,
+)
+from .mixes import KernelMix
+from .phased import Phase, PhasedWorkload, windowed_ipc
+from .spec95 import (
+    ALL_NAMES,
+    PAPER_TARGETS,
+    SPECFP_NAMES,
+    SPECINT_NAMES,
+    BenchmarkTargets,
+    all_benchmarks,
+    spec95_workload,
+)
+from .synthetic import StatisticalWorkload
+from .tracefile import load_trace, save_trace
+
+__all__ = [
+    "ALL_NAMES",
+    "BenchmarkTargets",
+    "BurstKernel",
+    "HashTableKernel",
+    "IterableWorkload",
+    "KernelMix",
+    "MultiArrayWalkKernel",
+    "Phase",
+    "PhasedWorkload",
+    "PAPER_TARGETS",
+    "PointerChaseKernel",
+    "RegionAllocator",
+    "ReductionKernel",
+    "RegisterPool",
+    "SPECFP_NAMES",
+    "SPECINT_NAMES",
+    "SameLineBurstKernel",
+    "SequentialWalkKernel",
+    "StackFrameKernel",
+    "StatisticalWorkload",
+    "TiledWalkKernel",
+    "Workload",
+    "all_benchmarks",
+    "load_trace",
+    "save_trace",
+    "spec95_workload",
+    "windowed_ipc",
+]

@@ -1,0 +1,153 @@
+"""Workload abstractions.
+
+A *workload* produces the dynamic instruction stream that drives the
+timing simulator.  The stream is an iterator of
+:class:`~repro.isa.instruction.DynInstr` — the same representation the
+mini-ISA interpreter emits, so assembled programs and synthetic models
+are interchangeable.
+
+Synthetic workloads are built from *burst kernels*: small generators that
+emit one loop iteration's worth of instructions at a time, with concrete
+memory addresses and register dependences.  A
+:class:`~repro.workloads.mixes.KernelMix` composes weighted kernels into
+a benchmark model; the ten SPEC95 models in :mod:`repro.workloads.spec95`
+are such mixes, calibrated against the paper's Table 2 and Figure 3.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+from typing import Iterable, Iterator, List, Optional
+
+from ..common.errors import WorkloadError
+from ..common.rng import RngStream
+from ..isa.instruction import DynInstr
+from ..isa.registers import FP_BASE, NUM_FP_REGS, NUM_INT_REGS
+
+
+class Workload(abc.ABC):
+    """Anything that can produce a dynamic instruction stream."""
+
+    #: short identifier, e.g. ``"swim"``
+    name: str = "workload"
+
+    @abc.abstractmethod
+    def stream(
+        self, seed: int = 0, max_instructions: Optional[int] = None
+    ) -> Iterator[DynInstr]:
+        """Yield the dynamic instruction stream.
+
+        The stream must be deterministic in ``seed`` and unbounded unless
+        ``max_instructions`` caps it (models are stationary loops; the
+        caller decides the run length).
+        """
+
+    def memory_references(
+        self, seed: int = 0, max_instructions: Optional[int] = None
+    ) -> Iterator[DynInstr]:
+        """The memory-operation subsequence of the stream."""
+        for instr in self.stream(seed, max_instructions):
+            if instr.is_mem:
+                yield instr
+
+
+class IterableWorkload(Workload):
+    """Wrap a replayable iterable (e.g. a list of instructions or a
+    factory of interpreter runs) as a workload."""
+
+    def __init__(self, factory, name: str = "custom") -> None:
+        """``factory`` is called with no arguments and must return a fresh
+        iterable of :class:`DynInstr` each time."""
+        self.name = name
+        self._factory = factory
+
+    def stream(
+        self, seed: int = 0, max_instructions: Optional[int] = None
+    ) -> Iterator[DynInstr]:
+        iterator = iter(self._factory())
+        if max_instructions is not None:
+            iterator = itertools.islice(iterator, max_instructions)
+        return iterator
+
+
+class RegisterPool:
+    """Hands out disjoint architectural registers to kernel instances.
+
+    Register r0 (zero) and a small set of reserved registers are never
+    allocated.  Exhaustion raises :class:`WorkloadError` — a model with
+    too many kernels must share registers deliberately, not accidentally.
+    """
+
+    #: r30/r31 are reserved as the model-wide serial-chain and pad
+    #: registers (see ``KernelMix``).
+    RESERVED_INT = (0, 30, 31)
+
+    def __init__(self) -> None:
+        self._free_int = [
+            r for r in range(1, NUM_INT_REGS) if r not in self.RESERVED_INT
+        ]
+        self._free_fp = list(range(FP_BASE, FP_BASE + NUM_FP_REGS))
+
+    def take_int(self, count: int = 1) -> List[int]:
+        if count > len(self._free_int):
+            raise WorkloadError(
+                f"register pool exhausted: need {count} int regs, "
+                f"{len(self._free_int)} free"
+            )
+        taken, self._free_int = self._free_int[:count], self._free_int[count:]
+        return taken
+
+    def take_fp(self, count: int = 1) -> List[int]:
+        if count > len(self._free_fp):
+            raise WorkloadError(
+                f"register pool exhausted: need {count} fp regs, "
+                f"{len(self._free_fp)} free"
+            )
+        taken, self._free_fp = self._free_fp[:count], self._free_fp[count:]
+        return taken
+
+    @property
+    def chain_reg(self) -> int:
+        """The model-wide serial dependence token register."""
+        return 30
+
+    @property
+    def pad_reg(self) -> int:
+        """Destination register for independent pad (filler) compute."""
+        return 31
+
+
+class BurstKernel(abc.ABC):
+    """One access-pattern generator inside a synthetic benchmark model.
+
+    A kernel emits *bursts*: short instruction sequences corresponding to
+    one (possibly unrolled) loop iteration.  Kernels own their address
+    state, so consecutive bursts from the same kernel continue a coherent
+    access pattern (a walk, a stencil sweep, a pointer chain, ...).
+    """
+
+    #: short label used in diagnostics
+    kind: str = "kernel"
+
+    def __init__(self, registers: RegisterPool) -> None:
+        self.registers = registers
+
+    def reset(self) -> None:
+        """Restore initial address state.
+
+        Called at the start of every stream so that repeated ``stream()``
+        calls on the same model replay identically.
+        """
+
+    @abc.abstractmethod
+    def burst(self, rng: RngStream, out: List[DynInstr]) -> None:
+        """Append one burst of instructions to ``out``."""
+
+    @abc.abstractmethod
+    def mem_refs_per_burst(self) -> float:
+        """Expected memory references per burst (used to balance mixes)."""
+
+    @abc.abstractmethod
+    def ops_per_burst(self) -> float:
+        """Expected total instructions per burst (memory + overhead)."""

@@ -1,0 +1,671 @@
+"""Burst kernels: the access-pattern building blocks of benchmark models.
+
+Each kernel emits bursts (unrolled loop iterations) with concrete byte
+addresses and register dependences.  The kernels are chosen so that
+their *consecutive-reference bank/line signatures* — the quantity the
+paper's Figure 3 measures — are simple and controllable:
+
+=====================  =====================================================
+kernel                 consecutive-reference signature (32 B lines)
+=====================  =====================================================
+SequentialWalkKernel   stride 8 B: 3/4 same line, 1/4 next line (next bank);
+                       stride of k lines: same bank iff k % banks == 0
+SameLineBurstKernel    (refs-1)/refs same line, then a random line
+PointerChaseKernel     uniform over banks, serial load-to-load dependence
+HashTableKernel        probe: 1-2 same-line refs at a random line
+StackFrameKernel       store/load clusters within one resident frame line
+ReductionKernel        stride walk feeding one serial accumulator chain
+=====================  =====================================================
+
+Working-set sizes control the 32 KB L1 miss rate: a region that fits in
+the cache stops missing after warm-up; a region much larger than the
+cache misses once per line touched.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..common.errors import WorkloadError
+from ..common.rng import RngStream
+from ..isa.instruction import DynInstr
+from ..isa.opcodes import OpClass
+from .base import BurstKernel, RegisterPool
+
+LINE = 32  # the paper's L1 line size; kernels reason in these units
+
+_LOAD = OpClass.LOAD
+_STORE = OpClass.STORE
+_IALU = OpClass.IALU
+_FADD = OpClass.FADD
+_FMULT = OpClass.FMULT
+
+
+class RegionAllocator:
+    """Carves disjoint address regions out of a flat data segment.
+
+    Regions are line-aligned and separated by a guard gap so distinct
+    kernels never share cache lines by accident.
+    """
+
+    def __init__(self, base: int = 0x10_0000, gap: int = 4 * LINE) -> None:
+        self._next = base
+        self._gap = gap
+
+    def allocate(self, size_bytes: int) -> int:
+        if size_bytes <= 0:
+            raise WorkloadError("region size must be positive")
+        size_bytes = (size_bytes + LINE - 1) // LINE * LINE
+        base = self._next
+        self._next = base + size_bytes + self._gap
+        return base
+
+
+class _MemKernel(BurstKernel):
+    """Shared plumbing: registers, regions, and typed emit helpers."""
+
+    def __init__(
+        self,
+        registers: RegisterPool,
+        regions: RegionAllocator,
+        region_bytes: int,
+        fp: bool = False,
+        consume_ops: int = 0,
+        data_regs: int = 2,
+    ) -> None:
+        super().__init__(registers)
+        self.region_bytes = (region_bytes + LINE - 1) // LINE * LINE
+        self.region_base = regions.allocate(self.region_bytes)
+        self.fp = fp
+        self.consume_ops = consume_ops
+        (self.base_reg,) = registers.take_int(1)
+        if fp:
+            self.data_regs = registers.take_fp(data_regs + 1)
+            self.acc_regs = registers.take_fp(2)
+        else:
+            self.data_regs = registers.take_int(data_regs)
+            self.acc_regs = registers.take_int(1)
+        self._rot = 0
+
+    def reset(self) -> None:
+        """Restore initial address state so streams replay identically."""
+        self._rot = 0
+
+    # -- emit helpers ------------------------------------------------------
+
+    def _next_data_reg(self) -> int:
+        self._rot = (self._rot + 1) % len(self.data_regs)
+        return self.data_regs[self._rot]
+
+    def _wrap(self, offset: int) -> int:
+        return self.region_base + (offset % self.region_bytes)
+
+    def _emit_load(self, out: List[DynInstr], addr: int) -> int:
+        dest = self._next_data_reg()
+        out.append(DynInstr(_LOAD, dest=dest, srcs=(self.base_reg,), addr=addr))
+        return dest
+
+    def _emit_store(self, out: List[DynInstr], addr: int, data_reg: Optional[int] = None) -> None:
+        data = data_reg if data_reg is not None else self.data_regs[self._rot]
+        out.append(
+            DynInstr(_STORE, srcs=(self.base_reg, data), addr=addr, addr_src_count=1)
+        )
+
+    def _emit_index_update(self, out: List[DynInstr]) -> None:
+        """The loop induction update: base += stride (serial per kernel)."""
+        out.append(DynInstr(_IALU, dest=self.base_reg, srcs=(self.base_reg,)))
+
+    def _emit_consumers(self, out: List[DynInstr], loaded: Sequence[int]) -> None:
+        """Compute that uses loaded values (independent across bursts)."""
+        if not loaded:
+            loaded = self.data_regs
+        ops = (_FMULT, _FADD) if self.fp else (_IALU, _IALU)
+        for index in range(self.consume_ops):
+            src = loaded[index % len(loaded)]
+            dest = self.acc_regs[index % len(self.acc_regs)]
+            out.append(DynInstr(ops[index % len(ops)], dest=dest, srcs=(src,)))
+
+
+class SequentialWalkKernel(_MemKernel):
+    """A strided walk over a region (array streaming or column sweeps).
+
+    ``stride`` in bytes sets the Figure 3 signature:
+
+    * 8 (unit, double-word): runs of 4 refs per 32 B line — the classic
+      spatial-locality pattern the LBIC combines;
+    * a multiple of ``banks * 32``: every ref lands in the same bank on a
+      different line — the un-combinable conflict pattern (swim's column
+      walks);
+    * anything else: spreads across banks.
+
+    Every ``store_every``-th reference is a store (0 disables stores).
+    """
+
+    kind = "walk"
+
+    def __init__(
+        self,
+        registers: RegisterPool,
+        regions: RegionAllocator,
+        region_bytes: int,
+        stride: int = 8,
+        refs_per_burst: int = 4,
+        store_every: int = 0,
+        fp: bool = False,
+        consume_ops: int = 0,
+    ) -> None:
+        super().__init__(registers, regions, region_bytes, fp, consume_ops)
+        if stride <= 0:
+            raise WorkloadError("stride must be positive")
+        if refs_per_burst < 1:
+            raise WorkloadError("refs_per_burst must be >= 1")
+        self.stride = stride
+        self.refs_per_burst = refs_per_burst
+        self.store_every = store_every
+        self._offset = 0
+        self._ref_count = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._offset = 0
+        self._ref_count = 0
+
+    def burst(self, rng: RngStream, out: List[DynInstr]) -> None:
+        loaded: List[int] = []
+        for _ in range(self.refs_per_burst):
+            addr = self._wrap(self._offset)
+            self._offset += self.stride
+            self._ref_count += 1
+            if self.store_every and self._ref_count % self.store_every == 0:
+                self._emit_store(out, addr)
+            else:
+                loaded.append(self._emit_load(out, addr))
+        self._emit_index_update(out)
+        self._emit_consumers(out, loaded)
+
+    def mem_refs_per_burst(self) -> float:
+        return float(self.refs_per_burst)
+
+    def ops_per_burst(self) -> float:
+        return self.refs_per_burst + 1 + self.consume_ops
+
+
+class TiledWalkKernel(_MemKernel):
+    """A unit-stride walk with tile reuse (stencil-sweep traffic).
+
+    The kernel walks a *window* of ``window_lines`` cache lines with an
+    8-byte stride, makes ``passes`` passes over the window (a stencil
+    reads each line once per neighbour offset), then advances the window
+    through a large region.  Steady-state miss rate of the kernel alone is
+    ``(line_size/8) ** -1 / passes`` = ``0.25 / passes`` — the knob the FP
+    models use to land on their Table 2 miss rates while keeping the
+    unit-stride Figure 3 signature.
+    """
+
+    kind = "tiled-walk"
+
+    def __init__(
+        self,
+        registers: RegisterPool,
+        regions: RegionAllocator,
+        region_bytes: int,
+        window_lines: int = 32,
+        passes: int = 4,
+        refs_per_burst: int = 4,
+        store_every: int = 0,
+        stride: int = 8,
+        fp: bool = True,
+        consume_ops: int = 0,
+    ) -> None:
+        super().__init__(registers, regions, region_bytes, fp, consume_ops)
+        if window_lines < 1 or passes < 1:
+            raise WorkloadError("window_lines and passes must be >= 1")
+        if stride <= 0 or stride % 8:
+            raise WorkloadError("stride must be a positive multiple of 8")
+        self.window_bytes = window_lines * LINE
+        if self.window_bytes > self.region_bytes:
+            raise WorkloadError("window larger than region")
+        self.passes = passes
+        self.refs_per_burst = refs_per_burst
+        self.store_every = store_every
+        self.stride = stride
+        self._window_start = 0
+        self._pass = 0
+        self._offset = 0  # within window
+        self._ref_count = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._window_start = 0
+        self._pass = 0
+        self._offset = 0
+        self._ref_count = 0
+
+    def burst(self, rng: RngStream, out: List[DynInstr]) -> None:
+        loaded: List[int] = []
+        for _ in range(self.refs_per_burst):
+            addr = self._wrap(self._window_start + self._offset)
+            self._offset += self.stride
+            if self._offset >= self.window_bytes:
+                self._offset = 0
+                self._pass += 1
+                if self._pass >= self.passes:
+                    self._pass = 0
+                    self._window_start += self.window_bytes
+            self._ref_count += 1
+            if self.store_every and self._ref_count % self.store_every == 0:
+                self._emit_store(out, addr)
+            else:
+                loaded.append(self._emit_load(out, addr))
+        self._emit_index_update(out)
+        self._emit_consumers(out, loaded)
+
+    def mem_refs_per_burst(self) -> float:
+        return float(self.refs_per_burst)
+
+    def ops_per_burst(self) -> float:
+        return self.refs_per_burst + 1 + self.consume_ops
+
+
+class MultiArrayWalkKernel(_MemKernel):
+    """Lock-step walk over several arrays (swim/wave5-style sweeps).
+
+    ``do i: x(i) = u(i) + v(i) * p(i)`` touches the same index of several
+    arrays back to back.  When the arrays are spaced by a multiple of
+    ``banks * line_size`` bytes — as power-of-two-padded Fortran arrays
+    are — every array-to-array transition lands in the *same bank on a
+    different line*: the un-combinable conflict pattern that gives swim
+    its 33.8% "B - diff line" mass in Figure 3 and wrecks traditional
+    multi-banking (and keeps wrecking it as the bank count grows, because
+    the spacing is a multiple of every power-of-two bank stride up to
+    ``array_spacing / line_size``).
+
+    Within each array the walk is unit-stride over a reused window
+    (``passes`` passes), so the kernel's standalone miss rate is
+    ``0.25 / passes``.
+    """
+
+    kind = "multi-array"
+
+    def __init__(
+        self,
+        registers: RegisterPool,
+        regions: RegionAllocator,
+        arrays: int = 3,
+        array_bytes: int = 64 * 1024,
+        array_spacing: int = 0,
+        window_lines: int = 16,
+        passes: int = 4,
+        store_every: int = 0,
+        fp: bool = True,
+        consume_ops: int = 0,
+    ) -> None:
+        if arrays < 2:
+            raise WorkloadError("a multi-array walk needs >= 2 arrays")
+        if array_spacing == 0:
+            # Round up to a multiple of 16 lines (512 B), keeping the
+            # arrays bank-aliased for every bank count up to 16 — then
+            # skew by 32 lines if the spacing is also a multiple of the
+            # 32 KB L1 size, so the arrays alias in the *banks* (the
+            # conflict under study) but not in the direct-mapped sets
+            # (which would make every access a conflict miss, unlike the
+            # real programs).
+            array_spacing = (array_bytes + 511) // 512 * 512
+            if array_spacing % (32 * 1024) == 0:
+                array_spacing += 1024
+        if array_spacing < array_bytes:
+            raise WorkloadError("array_spacing smaller than array_bytes")
+        if array_spacing % LINE:
+            raise WorkloadError("array_spacing must be line-aligned")
+        super().__init__(
+            registers, regions, region_bytes=arrays * array_spacing, fp=fp,
+            consume_ops=consume_ops,
+        )
+        if window_lines < 1 or passes < 1:
+            raise WorkloadError("window_lines and passes must be >= 1")
+        self.arrays = arrays
+        self.array_bytes = array_bytes
+        self.array_spacing = array_spacing
+        self.window_bytes = window_lines * LINE
+        if self.window_bytes > array_bytes:
+            raise WorkloadError("window larger than each array")
+        self.passes = passes
+        self.store_every = store_every
+        self._window_start = 0
+        self._pass = 0
+        self._offset = 0
+        self._ref_count = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._window_start = 0
+        self._pass = 0
+        self._offset = 0
+        self._ref_count = 0
+
+    def burst(self, rng: RngStream, out: List[DynInstr]) -> None:
+        element = self._window_start + self._offset
+        loaded: List[int] = []
+        for array_index in range(self.arrays):
+            addr = self.region_base + array_index * self.array_spacing + (
+                element % self.array_bytes
+            )
+            self._ref_count += 1
+            if self.store_every and self._ref_count % self.store_every == 0:
+                self._emit_store(out, addr)
+            else:
+                loaded.append(self._emit_load(out, addr))
+        self._offset += 8
+        if self._offset >= self.window_bytes:
+            self._offset = 0
+            self._pass += 1
+            if self._pass >= self.passes:
+                self._pass = 0
+                self._window_start += self.window_bytes
+        self._emit_index_update(out)
+        self._emit_consumers(out, loaded)
+
+    def mem_refs_per_burst(self) -> float:
+        return float(self.arrays)
+
+    def ops_per_burst(self) -> float:
+        return self.arrays + 1 + self.consume_ops
+
+
+class SameLineBurstKernel(_MemKernel):
+    """Clustered references: several accesses to one line, then jump.
+
+    Models record/struct accesses (load a few fields, maybe write one):
+    the dominant source of the *B - same line* mass in the integer codes
+    (gcc/li/perl exceed 40% in Figure 3).
+    """
+
+    kind = "same-line"
+
+    def __init__(
+        self,
+        registers: RegisterPool,
+        regions: RegionAllocator,
+        region_bytes: int,
+        refs_per_line: int = 3,
+        stores_per_line: int = 1,
+        span_lines: int = 1,
+        parallel_lines: int = 1,
+        fp: bool = False,
+        consume_ops: int = 0,
+    ) -> None:
+        """``span_lines`` spreads the cluster over that many *consecutive*
+        lines (records larger than one line): intra-cluster transitions
+        then include next-bank hops, diluting the same-line mass the way
+        multi-line records do in real traces.
+
+        ``parallel_lines`` emits clusters to that many *independent
+        random* lines, round-robin interleaved (copy loops, two-object
+        operations).  The consecutive-reference signature becomes random
+        hops (little same-line mass), yet each line still carries a deep
+        group of ``refs_per_line`` simultaneously-ready accesses — the
+        pattern that rewards LBIC combining depth beyond what Figure 3
+        alone predicts."""
+        super().__init__(registers, regions, region_bytes, fp, consume_ops)
+        if refs_per_line < 1:
+            raise WorkloadError("refs_per_line must be >= 1")
+        if stores_per_line > refs_per_line:
+            raise WorkloadError("stores_per_line cannot exceed refs_per_line")
+        if span_lines < 1:
+            raise WorkloadError("span_lines must be >= 1")
+        if parallel_lines < 1:
+            raise WorkloadError("parallel_lines must be >= 1")
+        if span_lines > 1 and parallel_lines > 1:
+            raise WorkloadError("span_lines and parallel_lines are exclusive")
+        self.refs_per_line = refs_per_line
+        self.stores_per_line = stores_per_line
+        self.span_lines = span_lines
+        self.parallel_lines = parallel_lines
+        self._lines = max(1, self.region_bytes // LINE)
+
+    def burst(self, rng: RngStream, out: List[DynInstr]) -> None:
+        loaded: List[int] = []
+        loads = self.refs_per_line - self.stores_per_line
+        words_per_line = LINE // 8
+        refs = self.refs_per_line
+        if self.parallel_lines > 1:
+            lines = [
+                rng.randrange(self._lines) for _ in range(self.parallel_lines)
+            ]
+            for index in range(refs):
+                word = (index * 7 + 1) % words_per_line
+                for line in lines:
+                    addr = self.region_base + line * LINE + word * 8
+                    if index < loads:
+                        loaded.append(self._emit_load(out, addr))
+                    else:
+                        self._emit_store(out, addr)
+        else:
+            start_line = rng.randrange(self._lines)
+            for index in range(refs):
+                # spread refs across the record's span, in address order
+                line = (start_line + (index * self.span_lines) // refs) % self._lines
+                word = (index * 7 + 1) % words_per_line
+                addr = self.region_base + line * LINE + word * 8
+                if index < loads:
+                    loaded.append(self._emit_load(out, addr))
+                else:
+                    self._emit_store(out, addr)
+        self._emit_index_update(out)
+        self._emit_consumers(out, loaded)
+
+    def mem_refs_per_burst(self) -> float:
+        return float(self.refs_per_line * self.parallel_lines)
+
+    def ops_per_burst(self) -> float:
+        return self.refs_per_line * self.parallel_lines + 1 + self.consume_ops
+
+
+class PointerChaseKernel(_MemKernel):
+    """Serial pointer chasing (linked lists, trees).
+
+    Each load's address depends on the previous load's value, so the
+    chain issues at most one load per L1-hit latency — the ILP limiter
+    typical of integer codes.  Addresses are uniform over the region,
+    hence uniform over banks.
+    """
+
+    kind = "chase"
+
+    def __init__(
+        self,
+        registers: RegisterPool,
+        regions: RegionAllocator,
+        region_bytes: int,
+        chase_loads: int = 1,
+        extra_field_loads: int = 1,
+        store_every: int = 0,
+        field_offset: int = 8,
+        consume_ops: int = 0,
+    ) -> None:
+        """``field_offset`` is the byte distance between node fields: 8
+        keeps fields in the node's line (same-line transitions); 40 puts
+        the next field one line over (next-bank transitions), modelling
+        nodes larger than a cache line."""
+        super().__init__(registers, regions, region_bytes, fp=False,
+                         consume_ops=consume_ops)
+        (self.ptr_reg,) = registers.take_int(1)
+        self.chase_loads = chase_loads
+        self.extra_field_loads = extra_field_loads
+        self.store_every = store_every
+        self.field_offset = field_offset
+        self._lines = max(1, self.region_bytes // LINE)
+        self._burst_count = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._burst_count = 0
+
+    def burst(self, rng: RngStream, out: List[DynInstr]) -> None:
+        self._burst_count += 1
+        loaded: List[int] = []
+        for _ in range(self.chase_loads):
+            node = self.region_base + rng.randrange(self._lines) * LINE
+            # the chase load: next pointer depends on this pointer
+            out.append(DynInstr(_LOAD, dest=self.ptr_reg, srcs=(self.ptr_reg,), addr=node))
+            for field in range(self.extra_field_loads):
+                addr = node + self.field_offset * (1 + field)
+                dest = self._next_data_reg()
+                out.append(DynInstr(_LOAD, dest=dest, srcs=(self.ptr_reg,), addr=addr))
+                loaded.append(dest)
+            if self.store_every and self._burst_count % self.store_every == 0:
+                self._emit_store(
+                    out, node + self.field_offset * (1 + self.extra_field_loads)
+                )
+        self._emit_consumers(out, loaded)
+
+    def mem_refs_per_burst(self) -> float:
+        stores = (1.0 / self.store_every) if self.store_every else 0.0
+        return self.chase_loads * (1 + self.extra_field_loads + stores)
+
+    def ops_per_burst(self) -> float:
+        return self.mem_refs_per_burst() + self.consume_ops
+
+
+class HashTableKernel(_MemKernel):
+    """Randomized probe/update of a large table (compress's model).
+
+    Each probe touches a random line (tag load, sometimes a data load in
+    the same line); a fraction of probes write back an update to the
+    probed line.  Random lines spread uniformly over banks; the
+    same-line pair gives a modest combinable component.
+    """
+
+    kind = "hash"
+
+    def __init__(
+        self,
+        registers: RegisterPool,
+        regions: RegionAllocator,
+        region_bytes: int,
+        second_load_prob: float = 0.5,
+        update_prob: float = 0.4,
+        consume_ops: int = 1,
+    ) -> None:
+        super().__init__(registers, regions, region_bytes, fp=False,
+                         consume_ops=consume_ops)
+        self.second_load_prob = second_load_prob
+        self.update_prob = update_prob
+        self._lines = max(1, self.region_bytes // LINE)
+
+    def burst(self, rng: RngStream, out: List[DynInstr]) -> None:
+        line_base = self.region_base + rng.randrange(self._lines) * LINE
+        loaded = [self._emit_load(out, line_base)]
+        if rng.random() < self.second_load_prob:
+            loaded.append(self._emit_load(out, line_base + 8))
+        if rng.random() < self.update_prob:
+            self._emit_store(out, line_base + 16, loaded[0])
+        self._emit_consumers(out, loaded)
+
+    def mem_refs_per_burst(self) -> float:
+        return 1.0 + self.second_load_prob + self.update_prob
+
+    def ops_per_burst(self) -> float:
+        return self.mem_refs_per_burst() + self.consume_ops
+
+
+class StackFrameKernel(_MemKernel):
+    """Call-frame traffic: spill/fill clusters in a small resident region.
+
+    Stores then loads within one frame line; store-heavy and strongly
+    same-line.  Because frames are revisited quickly, some loads forward
+    from in-flight stores, as real stack traffic does.
+    """
+
+    kind = "stack"
+
+    def __init__(
+        self,
+        registers: RegisterPool,
+        regions: RegionAllocator,
+        frames: int = 16,
+        spills_per_burst: int = 2,
+        fills_per_burst: int = 2,
+        consume_ops: int = 0,
+    ) -> None:
+        super().__init__(
+            registers, regions, region_bytes=frames * LINE, fp=False,
+            consume_ops=consume_ops,
+        )
+        self.frames = frames
+        self.spills_per_burst = spills_per_burst
+        self.fills_per_burst = fills_per_burst
+        self._frame = 0
+
+    def reset(self) -> None:
+        super().reset()
+        self._frame = 0
+
+    def burst(self, rng: RngStream, out: List[DynInstr]) -> None:
+        # walk frames cyclically so fills revisit older spills, not the
+        # ones issued nanoseconds ago (keeps forwarding plausible)
+        self._frame = (self._frame + 1) % self.frames
+        frame_base = self.region_base + self._frame * LINE
+        words = LINE // 8
+        loaded: List[int] = []
+        for index in range(self.spills_per_burst):
+            self._emit_store(out, frame_base + 8 * (index % words))
+        for index in range(self.fills_per_burst):
+            loaded.append(
+                self._emit_load(out, frame_base + 8 * ((index + 1) % words))
+            )
+        self._emit_index_update(out)
+        self._emit_consumers(out, loaded)
+
+    def mem_refs_per_burst(self) -> float:
+        return float(self.spills_per_burst + self.fills_per_burst)
+
+    def ops_per_burst(self) -> float:
+        return self.mem_refs_per_burst() + 1 + self.consume_ops
+
+
+class ReductionKernel(_MemKernel):
+    """A strided load stream feeding one serial floating-point accumulator.
+
+    sum += a[i]: the accumulator chain (FADD latency 2) caps ILP the way
+    dot products and norms do in the FP codes.
+    """
+
+    kind = "reduce"
+
+    def __init__(
+        self,
+        registers: RegisterPool,
+        regions: RegionAllocator,
+        region_bytes: int,
+        stride: int = 8,
+        refs_per_burst: int = 2,
+        consume_ops: int = 0,
+    ) -> None:
+        super().__init__(registers, regions, region_bytes, fp=True,
+                         consume_ops=consume_ops)
+        self.stride = stride
+        self.refs_per_burst = refs_per_burst
+        self._offset = 0
+        self.acc = self.acc_regs[0]
+
+    def reset(self) -> None:
+        super().reset()
+        self._offset = 0
+
+    def burst(self, rng: RngStream, out: List[DynInstr]) -> None:
+        loaded: List[int] = []
+        for _ in range(self.refs_per_burst):
+            addr = self._wrap(self._offset)
+            self._offset += self.stride
+            loaded.append(self._emit_load(out, addr))
+        for reg in loaded:
+            out.append(DynInstr(_FADD, dest=self.acc, srcs=(self.acc, reg)))
+        self._emit_index_update(out)
+        self._emit_consumers(out, loaded)
+
+    def mem_refs_per_burst(self) -> float:
+        return float(self.refs_per_burst)
+
+    def ops_per_burst(self) -> float:
+        return 2.0 * self.refs_per_burst + 1 + self.consume_ops

@@ -1,0 +1,157 @@
+"""Kernel mixes: composing burst kernels into a benchmark model.
+
+A :class:`KernelMix` draws bursts from weighted kernels and pads each
+burst with two kinds of non-memory compute so that two global targets
+hold *by construction*:
+
+* ``target_mem_fraction`` — the fraction of all instructions that are
+  loads/stores (the paper's Table 2 "Mem Instr %"): the mix inserts
+  independent *pad* operations to dilute the memory operations exactly
+  that much in expectation.
+* ``target_ipc`` — the program's inherent ILP ceiling: the mix threads a
+  *serial chain* (one register repeatedly rewritten through 1-cycle ALU
+  ops) through the stream.  With ``C`` chain ops per ``B``-instruction
+  burst, at most ``B / C`` instructions can retire per cycle no matter
+  how many cache ports exist — this is how "the constraints in program
+  semantics" (paper section 6) are modelled and is what makes the
+  16-port ideal IPCs differ per benchmark.
+
+Fractional op counts are dithered (floor + Bernoulli remainder), so the
+targets hold in expectation without long-period artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..common.errors import WorkloadError
+from ..common.rng import RngStream
+from ..isa.instruction import DynInstr
+from ..isa.opcodes import OpClass
+from .base import BurstKernel, RegisterPool, Workload
+
+_IALU = OpClass.IALU
+_FADD = OpClass.FADD
+
+
+class KernelMix(Workload):
+    """A weighted mixture of burst kernels with global pacing controls."""
+
+    def __init__(
+        self,
+        name: str,
+        kernels: Sequence[Tuple[BurstKernel, float]],
+        registers: RegisterPool,
+        target_mem_fraction: float,
+        target_ipc: float,
+        pad_fp_fraction: float = 0.0,
+    ) -> None:
+        if not kernels:
+            raise WorkloadError("a mix needs at least one kernel")
+        if not 0.0 < target_mem_fraction < 1.0:
+            raise WorkloadError("target_mem_fraction must be in (0, 1)")
+        if target_ipc <= 0:
+            raise WorkloadError("target_ipc must be positive")
+        if not 0.0 <= pad_fp_fraction <= 1.0:
+            raise WorkloadError("pad_fp_fraction must be in [0, 1]")
+        self.name = name
+        self.kernels = [kernel for kernel, _ in kernels]
+        self.weights = [weight for _, weight in kernels]
+        if any(w < 0 for w in self.weights) or sum(self.weights) <= 0:
+            raise WorkloadError("kernel weights must be non-negative, sum > 0")
+        self.registers = registers
+        self.target_mem_fraction = target_mem_fraction
+        self.target_ipc = target_ipc
+        self.pad_fp_fraction = pad_fp_fraction
+        self._chain_reg = registers.chain_reg
+        self._pad_reg = registers.pad_reg
+        self._pad_fp_reg = None
+        if pad_fp_fraction > 0:
+            (self._pad_fp_reg,) = registers.take_fp(1)
+        self._plan_padding()
+
+    # -- planning ---------------------------------------------------------
+
+    def _plan_padding(self) -> None:
+        total_weight = sum(self.weights)
+        mean_mem = (
+            sum(k.mem_refs_per_burst() * w for k, w in zip(self.kernels, self.weights))
+            / total_weight
+        )
+        mean_ops = (
+            sum(k.ops_per_burst() * w for k, w in zip(self.kernels, self.weights))
+            / total_weight
+        )
+        # Total burst size needed so mem refs are the target fraction.
+        burst_total = mean_mem / self.target_mem_fraction
+        filler = burst_total - mean_ops
+        if filler < 0:
+            raise WorkloadError(
+                f"{self.name}: kernels average {mean_ops:.2f} ops with "
+                f"{mean_mem:.2f} mem refs per burst; cannot reach memory "
+                f"fraction {self.target_mem_fraction:.2f} (too much overhead)"
+            )
+        # Chain ops bound IPC at burst_total / chain_per_burst.
+        chain = burst_total / self.target_ipc
+        pad = filler - chain
+        if pad < 0:
+            # The ILP target is too low to be met by chain ops alone inside
+            # the requested mem fraction; take all filler as chain.
+            chain = filler
+            pad = 0.0
+        self.chain_per_burst = chain
+        self.pad_per_burst = pad
+        self.expected_burst_size = burst_total
+
+    # -- stream generation ----------------------------------------------------
+
+    def stream(
+        self, seed: int = 0, max_instructions: Optional[int] = None
+    ) -> Iterator[DynInstr]:
+        rng = RngStream.for_component(seed, "mix", self.name)
+        weights = self.weights
+        kernels = self.kernels
+        for kernel in kernels:
+            kernel.reset()
+        chain_reg = self._chain_reg
+        pad_reg = self._pad_reg
+        pad_fp_reg = self._pad_fp_reg
+        emitted = 0
+        budget = max_instructions if max_instructions is not None else -1
+        buf: List[DynInstr] = []
+        while True:
+            buf.clear()
+            kernel = kernels[rng.weighted_index(weights)]
+            for _ in range(_dither(self.chain_per_burst, rng)):
+                buf.append(DynInstr(_IALU, dest=chain_reg, srcs=(chain_reg,)))
+            kernel.burst(rng, buf)
+            for _ in range(_dither(self.pad_per_burst, rng)):
+                if pad_fp_reg is not None and rng.random() < self.pad_fp_fraction:
+                    buf.append(DynInstr(_FADD, dest=pad_fp_reg, srcs=()))
+                else:
+                    buf.append(DynInstr(_IALU, dest=pad_reg, srcs=()))
+            for instr in buf:
+                yield instr
+                emitted += 1
+                if emitted == budget:
+                    return
+
+    def describe(self) -> str:
+        parts = [
+            f"{kernel.kind}x{weight:g}"
+            for kernel, weight in zip(self.kernels, self.weights)
+        ]
+        return (
+            f"{self.name}: {' + '.join(parts)}; mem={self.target_mem_fraction:.2f}, "
+            f"ipc_ceiling={self.target_ipc:g}, "
+            f"burst~{self.expected_burst_size:.1f} ops "
+            f"(chain {self.chain_per_burst:.2f}, pad {self.pad_per_burst:.2f})"
+        )
+
+
+def _dither(value: float, rng: RngStream) -> int:
+    """Integer draw with expectation ``value`` (floor + Bernoulli)."""
+    base = int(value)
+    if rng.random() < value - base:
+        base += 1
+    return base

@@ -1,0 +1,131 @@
+"""Phased workloads: programs whose reference behaviour changes over time.
+
+The paper's section 2.3 justifies whole-program simulation because
+"memory reference patterns can vary among different phases of program
+execution, which is likely to result in burst data accesses at some
+points" — "a sampled or a minimal partial simulation ... is therefore
+likely to present a distorted picture".
+
+:class:`PhasedWorkload` concatenates sub-workloads into repeating phases,
+so that claim is testable in this framework too: a phased program's
+per-window IPC genuinely varies, and a short sample from one phase
+misestimates the whole (see ``examples/phase_sampling_risk.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..common.errors import WorkloadError
+from ..isa.instruction import DynInstr
+from .base import Workload
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase: a workload and how many instructions it contributes."""
+
+    workload: Workload
+    instructions: int
+
+    def __post_init__(self) -> None:
+        if self.instructions < 1:
+            raise WorkloadError("a phase needs at least one instruction")
+
+
+class PhasedWorkload(Workload):
+    """Cycle through phases, each drawn from its own workload.
+
+    Each repetition of phase *i* resumes a fresh deterministic stream of
+    its sub-workload (seeded by the master seed, the phase index and the
+    repetition count), so the whole phased stream is reproducible from
+    the seed alone.
+    """
+
+    def __init__(self, phases: Sequence[Phase], name: str = "phased") -> None:
+        if not phases:
+            raise WorkloadError("a phased workload needs at least one phase")
+        self.phases = list(phases)
+        self.name = name
+
+    @classmethod
+    def of(
+        cls,
+        *specs: Tuple[Workload, int],
+        name: str = "phased",
+    ) -> "PhasedWorkload":
+        """Convenience constructor from ``(workload, instructions)`` pairs."""
+        return cls([Phase(w, n) for w, n in specs], name=name)
+
+    @property
+    def period(self) -> int:
+        """Instructions in one full cycle through all phases."""
+        return sum(phase.instructions for phase in self.phases)
+
+    def phase_at(self, instruction_index: int) -> int:
+        """Which phase the given instruction position falls into."""
+        offset = instruction_index % self.period
+        for index, phase in enumerate(self.phases):
+            if offset < phase.instructions:
+                return index
+            offset -= phase.instructions
+        raise AssertionError("unreachable")
+
+    def stream(
+        self, seed: int = 0, max_instructions: Optional[int] = None
+    ) -> Iterator[DynInstr]:
+        emitted = 0
+        budget = max_instructions if max_instructions is not None else -1
+        repetition = 0
+        while True:
+            for index, phase in enumerate(self.phases):
+                # A distinct, reproducible seed per (phase, repetition).
+                phase_seed = (seed * 1_000_003 + index * 101 + repetition) & (
+                    2**31 - 1
+                )
+                count = 0
+                for instr in phase.workload.stream(
+                    phase_seed, max_instructions=phase.instructions
+                ):
+                    yield instr
+                    emitted += 1
+                    count += 1
+                    if emitted == budget:
+                        return
+                if count < phase.instructions:
+                    raise WorkloadError(
+                        f"phase {index} of {self.name!r} ran dry after "
+                        f"{count} instructions (needs {phase.instructions})"
+                    )
+            repetition += 1
+
+
+def windowed_ipc(
+    workload: Workload,
+    machine,
+    window: int = 2_000,
+    windows: int = 10,
+    seed: int = 1,
+) -> List[float]:
+    """IPC measured over consecutive fixed-size instruction windows.
+
+    Each window is timed as its own region with everything before it
+    fast-forwarded as warm-up, so the list of per-window IPCs exposes
+    phase behaviour — and the danger of sampling only one window
+    (the paper's section 2.3 argument against partial simulation).
+    """
+    from ..core.processor import Processor
+
+    if window < 1 or windows < 1:
+        raise WorkloadError("window and windows must be >= 1")
+    results: List[float] = []
+    for index in range(windows):
+        processor = Processor(machine, label=f"{workload.name}/w{index}")
+        result = processor.run(
+            workload.stream(seed=seed, max_instructions=(index + 1) * window),
+            max_instructions=window,
+            warmup_instructions=index * window,
+        )
+        results.append(result.ipc)
+    return results

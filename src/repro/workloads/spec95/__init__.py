@@ -1,0 +1,75 @@
+"""Calibrated synthetic models of the paper's ten SPEC95 benchmarks.
+
+Each module documents which program behaviours its kernels stand in for;
+:mod:`.calibration` holds the published targets (Table 2, Figure 3, and
+the 16-port ILP ceilings from Table 3) the models are tuned against.
+
+Use :func:`spec95_workload` to get a fresh, independently-streamable
+model instance::
+
+    from repro.workloads import spec95_workload
+    swim = spec95_workload("swim")
+    for instr in swim.stream(seed=1, max_instructions=10_000):
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ...common.errors import WorkloadError
+from ..mixes import KernelMix
+from . import (
+    compress,
+    gcc,
+    go,
+    hydro2d,
+    li,
+    mgrid,
+    perl,
+    su2cor,
+    swim,
+    wave5,
+)
+from .calibration import (
+    ALL_NAMES,
+    PAPER_TARGETS,
+    SPECFP_NAMES,
+    SPECINT_NAMES,
+    TOLERANCES,
+    BenchmarkTargets,
+    suite_of,
+)
+
+_BUILDERS: Dict[str, Callable[[], KernelMix]] = {
+    module.NAME: module.build
+    for module in (compress, gcc, go, li, perl, hydro2d, mgrid, su2cor, swim, wave5)
+}
+
+
+def spec95_workload(name: str) -> KernelMix:
+    """Build a fresh instance of one of the ten benchmark models."""
+    builder = _BUILDERS.get(name)
+    if builder is None:
+        raise WorkloadError(
+            f"unknown benchmark {name!r}; choose from {sorted(_BUILDERS)}"
+        )
+    return builder()
+
+
+def all_benchmarks() -> Dict[str, KernelMix]:
+    """Fresh instances of all ten models, in the paper's table order."""
+    return {name: spec95_workload(name) for name in ALL_NAMES}
+
+
+__all__ = [
+    "ALL_NAMES",
+    "BenchmarkTargets",
+    "PAPER_TARGETS",
+    "SPECFP_NAMES",
+    "SPECINT_NAMES",
+    "TOLERANCES",
+    "all_benchmarks",
+    "spec95_workload",
+    "suite_of",
+]

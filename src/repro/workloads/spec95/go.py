@@ -1,0 +1,72 @@
+"""Model of SPECint95 ``go`` (game-tree search for the game of Go).
+
+go is branchy board evaluation over medium-sized board/state arrays:
+the *lowest* memory fraction of the integer suite (28.7%), few stores
+(0.36 stores per load), and the weakest same-line clustering of the
+integer codes — board scans touch scattered points with some strided
+row walks.
+"""
+
+from __future__ import annotations
+
+from ..base import RegisterPool
+from ..kernels import (
+    HashTableKernel,
+    PointerChaseKernel,
+    RegionAllocator,
+    SameLineBurstKernel,
+    SequentialWalkKernel,
+)
+from ..mixes import KernelMix
+from .calibration import PAPER_TARGETS
+
+NAME = "go"
+
+
+def build() -> KernelMix:
+    targets = PAPER_TARGETS[NAME]
+    registers = RegisterPool()
+    regions = RegionAllocator()
+    kernels = [
+        # board neighbourhood evaluation: records spanning two lines
+        (
+            SameLineBurstKernel(
+                registers, regions, region_bytes=8 * 1024,
+                refs_per_line=3, stores_per_line=1, span_lines=2,
+                consume_ops=2,
+            ),
+            0.8,
+        ),
+        # scattered liberty/group lookups across game state
+        (
+            HashTableKernel(
+                registers, regions, region_bytes=256 * 1024,
+                second_load_prob=0.5, update_prob=0.15, consume_ops=2,
+            ),
+            0.10,
+        ),
+        # group-list chasing (nodes larger than a line)
+        (
+            PointerChaseKernel(
+                registers, regions, region_bytes=6 * 1024,
+                chase_loads=1, extra_field_loads=1, store_every=3,
+                field_offset=40, consume_ops=2,
+            ),
+            0.40,
+        ),
+        # row-strided board sweeps: the B-diff-line component
+        (
+            SequentialWalkKernel(
+                registers, regions, region_bytes=10 * 1024,
+                stride=1024, refs_per_burst=2, consume_ops=2,
+            ),
+            0.30,
+        ),
+    ]
+    return KernelMix(
+        NAME,
+        kernels,
+        registers,
+        target_mem_fraction=targets.mem_fraction,
+        target_ipc=targets.ipc_ceiling,
+    )

@@ -1,0 +1,91 @@
+"""Model of SPECint95 ``li`` (xlisp interpreter).
+
+li is the extreme of the integer suite: nearly half of all instructions
+are memory references (47.6%) — cons-cell reads, environment lookups and
+GC bookkeeping — with an almost perfectly resident heap (0.84% miss
+rate, the lowest of the ten) and very strong same-line clustering
+(cons cells are two words; car/cdr pairs share a line).
+"""
+
+from __future__ import annotations
+
+from ..base import RegisterPool
+from ..kernels import (
+    PointerChaseKernel,
+    RegionAllocator,
+    SameLineBurstKernel,
+    SequentialWalkKernel,
+    StackFrameKernel,
+)
+from ..mixes import KernelMix
+from .calibration import PAPER_TARGETS
+
+NAME = "li"
+
+
+def build() -> KernelMix:
+    targets = PAPER_TARGETS[NAME]
+    registers = RegisterPool()
+    regions = RegionAllocator()
+    kernels = [
+        # cons-cell and environment-frame clusters (strong same-line)
+        (
+            SameLineBurstKernel(
+                registers, regions, region_bytes=8 * 1024,
+                refs_per_line=4, stores_per_line=2, span_lines=2,
+                consume_ops=1,
+            ),
+            1.0,
+        ),
+        # hot car/cdr pairs in a single line
+        (
+            SameLineBurstKernel(
+                registers, regions, region_bytes=4 * 1024,
+                refs_per_line=3, stores_per_line=1, consume_ops=1,
+            ),
+            0.45,
+        ),
+        # heap allocation frontier: sequential initializing stores
+        (
+            SequentialWalkKernel(
+                registers, regions, region_bytes=4 * 1024,
+                stride=8, refs_per_burst=3, store_every=3, consume_ops=1,
+            ),
+            0.40,
+        ),
+        # list traversal (cdr chains) within the resident heap
+        (
+            PointerChaseKernel(
+                registers, regions, region_bytes=6 * 1024,
+                chase_loads=1, extra_field_loads=1, store_every=4,
+                field_offset=40, consume_ops=1,
+            ),
+            0.30,
+        ),
+        # evaluator stack
+        (StackFrameKernel(registers, regions, frames=10,
+                          spills_per_burst=1, fills_per_burst=1), 0.35),
+        # cold heap growth: the (tiny) miss source
+        (
+            SameLineBurstKernel(
+                registers, regions, region_bytes=512 * 1024,
+                refs_per_line=3, stores_per_line=1, consume_ops=1,
+            ),
+            0.022,
+        ),
+        # occasional vector scans: small B-diff-line component
+        (
+            SequentialWalkKernel(
+                registers, regions, region_bytes=6 * 1024,
+                stride=1024, refs_per_burst=2, consume_ops=1,
+            ),
+            0.15,
+        ),
+    ]
+    return KernelMix(
+        NAME,
+        kernels,
+        registers,
+        target_mem_fraction=targets.mem_fraction,
+        target_ipc=targets.ipc_ceiling,
+    )

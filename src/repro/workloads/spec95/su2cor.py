@@ -1,0 +1,74 @@
+"""Model of SPECfp95 ``su2cor`` (quantum physics: quark-gluon Monte Carlo).
+
+su2cor has the *highest* miss rate of the ten (13.1%): lattice sweeps
+over large SU(2) gauge fields with scattered site updates, mixing
+unit-stride matrix loads with randomized site indexing and lock-step
+multi-field access.
+"""
+
+from __future__ import annotations
+
+from ..base import RegisterPool
+from ..kernels import (
+    SameLineBurstKernel,
+    MultiArrayWalkKernel,
+    RegionAllocator,
+    ReductionKernel,
+    SameLineBurstKernel,
+    TiledWalkKernel,
+)
+from ..mixes import KernelMix
+from .calibration import PAPER_TARGETS
+
+NAME = "su2cor"
+
+
+def build() -> KernelMix:
+    targets = PAPER_TARGETS[NAME]
+    registers = RegisterPool()
+    regions = RegionAllocator()
+    kernels = [
+        # lattice link-matrix sweeps: stride 16, low reuse (2 passes)
+        (
+            TiledWalkKernel(
+                registers, regions, region_bytes=4 * 1024 * 1024,
+                window_lines=16, passes=11, refs_per_burst=4,
+                store_every=4, stride=24, fp=True, consume_ops=3,
+            ),
+            1.0,
+        ),
+        # gauge-field components accessed in lock step (padded arrays)
+        (
+            MultiArrayWalkKernel(
+                registers, regions, arrays=3, array_bytes=192 * 1024,
+                window_lines=16, passes=2, store_every=6, fp=True,
+                consume_ops=2,
+            ),
+            0.40,
+        ),
+        # randomized site access (Monte Carlo site selection): 2 refs
+        # per site record, scattered over a large lattice - misses
+        (
+            SameLineBurstKernel(
+                registers, regions, region_bytes=768 * 1024,
+                refs_per_line=2, stores_per_line=1, fp=True, consume_ops=2,
+            ),
+            0.40,
+        ),
+        # plaquette-average reductions
+        (
+            ReductionKernel(
+                registers, regions, region_bytes=8 * 1024,
+                stride=8, refs_per_burst=2, consume_ops=1,
+            ),
+            0.2,
+        ),
+    ]
+    return KernelMix(
+        NAME,
+        kernels,
+        registers,
+        target_mem_fraction=targets.mem_fraction,
+        target_ipc=targets.ipc_ceiling,
+        pad_fp_fraction=0.5,
+    )

@@ -1,0 +1,76 @@
+"""Model of SPECfp95 ``swim`` (shallow-water finite differences).
+
+swim is the paper's showcase bank-conflict victim: 33.8% of consecutive
+references map to the *same bank on a different line* (the largest
+B-diff-line mass of the suite), because its inner loops read many
+512x512 arrays (U, V, P, UNEW, ...) in lock step and the power-of-two
+array spacing aliases every array to the same bank.  Traditional
+multi-banking barely helps it (Bank-16 IPC 6.90 vs ideal 13.6 in
+Table 3) while LBIC combining recovers the unit-stride component.
+"""
+
+from __future__ import annotations
+
+from ..base import RegisterPool
+from ..kernels import (
+    MultiArrayWalkKernel,
+    RegionAllocator,
+    ReductionKernel,
+    TiledWalkKernel,
+)
+from ..mixes import KernelMix
+from .calibration import PAPER_TARGETS
+
+NAME = "swim"
+
+
+def build() -> KernelMix:
+    targets = PAPER_TARGETS[NAME]
+    registers = RegisterPool()
+    regions = RegionAllocator()
+    kernels = [
+        # the finite-difference update: 4 arrays in lock step, spaced by
+        # a power-of-two pitch -> B-diff-line on every array switch
+        (
+            MultiArrayWalkKernel(
+                registers, regions, arrays=4, array_bytes=512 * 1024,
+                window_lines=16, passes=4, store_every=4, fp=True,
+                consume_ops=3,
+            ),
+            0.70,
+        ),
+        # single-array relaxation passes: stride 24, long bursts
+        (
+            TiledWalkKernel(
+                registers, regions, region_bytes=2 * 1024 * 1024,
+                window_lines=16, passes=12, refs_per_burst=4,
+                store_every=4, stride=24, fp=True, consume_ops=3,
+            ),
+            1.0,
+        ),
+        # unit-stride copy loops: the same-line component
+        (
+            TiledWalkKernel(
+                registers, regions, region_bytes=1024 * 1024,
+                window_lines=16, passes=4, refs_per_burst=2,
+                store_every=4, stride=8, fp=True, consume_ops=2,
+            ),
+            0.55,
+        ),
+        # checksum/energy reductions
+        (
+            ReductionKernel(
+                registers, regions, region_bytes=8 * 1024,
+                stride=8, refs_per_burst=2, consume_ops=1,
+            ),
+            0.18,
+        ),
+    ]
+    return KernelMix(
+        NAME,
+        kernels,
+        registers,
+        target_mem_fraction=targets.mem_fraction,
+        target_ipc=targets.ipc_ceiling,
+        pad_fp_fraction=0.5,
+    )

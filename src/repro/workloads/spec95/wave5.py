@@ -1,0 +1,74 @@
+"""Model of SPECfp95 ``wave5`` (plasma particle-in-cell simulation).
+
+wave5 pushes particles through electromagnetic field grids: lock-step
+multi-field access (24.7% B-diff-line in Figure 3), scattered
+particle-record gathers/scatters (11% miss rate), and a store ratio
+(0.39) on the high side for an FP code — every pushed particle writes
+its state back.
+"""
+
+from __future__ import annotations
+
+from ..base import RegisterPool
+from ..kernels import (
+    SameLineBurstKernel,
+    MultiArrayWalkKernel,
+    RegionAllocator,
+    ReductionKernel,
+    SameLineBurstKernel,
+    TiledWalkKernel,
+)
+from ..mixes import KernelMix
+from .calibration import PAPER_TARGETS
+
+NAME = "wave5"
+
+
+def build() -> KernelMix:
+    targets = PAPER_TARGETS[NAME]
+    registers = RegisterPool()
+    regions = RegionAllocator()
+    kernels = [
+        # field arrays (Ex, Ey, B) read in lock step at the particle cell
+        (
+            MultiArrayWalkKernel(
+                registers, regions, arrays=3, array_bytes=256 * 1024,
+                window_lines=16, passes=2, store_every=5, fp=True,
+                consume_ops=2,
+            ),
+            0.62,
+        ),
+        # particle-list sweep: stride 16 over the particle arrays
+        (
+            TiledWalkKernel(
+                registers, regions, region_bytes=2 * 1024 * 1024,
+                window_lines=16, passes=10, refs_per_burst=4,
+                store_every=3, stride=24, fp=True, consume_ops=2,
+            ),
+            1.0,
+        ),
+        # scattered particle gathers/updates (sorting, boundary exchange)
+        (
+            SameLineBurstKernel(
+                registers, regions, region_bytes=768 * 1024,
+                refs_per_line=2, stores_per_line=1, fp=True, consume_ops=2,
+            ),
+            0.18,
+        ),
+        # field-energy reductions
+        (
+            ReductionKernel(
+                registers, regions, region_bytes=8 * 1024,
+                stride=8, refs_per_burst=2, consume_ops=1,
+            ),
+            0.18,
+        ),
+    ]
+    return KernelMix(
+        NAME,
+        kernels,
+        registers,
+        target_mem_fraction=targets.mem_fraction,
+        target_ipc=targets.ipc_ceiling,
+        pad_fp_fraction=0.5,
+    )

@@ -1,0 +1,116 @@
+"""A fully parametric statistical workload.
+
+:class:`StatisticalWorkload` draws each instruction independently from
+configured probabilities — no kernel structure, no calibration.  It is
+the null model: useful for unit tests (known expectations), for stress
+tests (sweep any single parameter), and as a baseline to show how much
+the structured SPEC95 models matter (an independent random stream has no
+same-line clustering for the LBIC to combine, so LBIC gains collapse
+toward plain banking on it — the paper's "uniform, independent reference
+stream" thought experiment in section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..common.errors import WorkloadError
+from ..common.rng import RngStream
+from ..isa.instruction import DynInstr
+from ..isa.opcodes import OpClass
+from .base import Workload
+
+
+class StatisticalWorkload(Workload):
+    """Independent random instructions with a controllable profile."""
+
+    def __init__(
+        self,
+        name: str = "statistical",
+        mem_fraction: float = 0.33,
+        store_fraction: float = 0.3,
+        fp_fraction: float = 0.0,
+        working_set_bytes: int = 64 * 1024,
+        same_line_burst: float = 0.0,
+        dependency_degree: int = 4,
+        region_base: int = 0x20_0000,
+    ) -> None:
+        """Args:
+            mem_fraction: probability an instruction is a load/store.
+            store_fraction: probability a memory op is a store.
+            fp_fraction: probability a non-memory op is floating point.
+            working_set_bytes: addresses are uniform over this region.
+            same_line_burst: probability that a memory op reuses the
+                previous op's cache line (adds tunable spatial locality).
+            dependency_degree: number of rotating destination registers;
+                smaller = more serial, larger = more ILP.
+        """
+        if not 0.0 < mem_fraction < 1.0:
+            raise WorkloadError("mem_fraction must be in (0, 1)")
+        if not 0.0 <= store_fraction <= 1.0:
+            raise WorkloadError("store_fraction must be in [0, 1]")
+        if not 0.0 <= fp_fraction <= 1.0:
+            raise WorkloadError("fp_fraction must be in [0, 1]")
+        if not 0.0 <= same_line_burst < 1.0:
+            raise WorkloadError("same_line_burst must be in [0, 1)")
+        if working_set_bytes < 64:
+            raise WorkloadError("working set must be >= 64 bytes")
+        if not 1 <= dependency_degree <= 16:
+            raise WorkloadError("dependency_degree must be in [1, 16]")
+        self.name = name
+        self.mem_fraction = mem_fraction
+        self.store_fraction = store_fraction
+        self.fp_fraction = fp_fraction
+        self.working_set_bytes = working_set_bytes
+        self.same_line_burst = same_line_burst
+        self.dependency_degree = dependency_degree
+        self.region_base = region_base
+
+    def stream(
+        self, seed: int = 0, max_instructions: Optional[int] = None
+    ) -> Iterator[DynInstr]:
+        rng = RngStream.for_component(seed, "statistical", self.name)
+        words = self.working_set_bytes // 8
+        int_regs = list(range(1, 1 + self.dependency_degree))
+        fp_regs = list(range(32, 32 + self.dependency_degree))
+        base_reg = 29
+        prev_line_addr = self.region_base
+        emitted = 0
+        budget = max_instructions if max_instructions is not None else -1
+        rot = 0
+        while emitted != budget:
+            rot = (rot + 1) % self.dependency_degree
+            if rng.random() < self.mem_fraction:
+                if self.same_line_burst and rng.random() < self.same_line_burst:
+                    addr = (prev_line_addr & ~31) | (rng.randrange(4) * 8)
+                else:
+                    addr = self.region_base + rng.randrange(words) * 8
+                prev_line_addr = addr
+                if rng.random() < self.store_fraction:
+                    instr = DynInstr(
+                        OpClass.STORE,
+                        srcs=(base_reg, int_regs[rot]),
+                        addr=addr,
+                        addr_src_count=1,
+                    )
+                else:
+                    instr = DynInstr(
+                        OpClass.LOAD,
+                        dest=int_regs[rot],
+                        srcs=(base_reg,),
+                        addr=addr,
+                    )
+            elif rng.random() < self.fp_fraction:
+                instr = DynInstr(
+                    OpClass.FADD,
+                    dest=fp_regs[rot],
+                    srcs=(fp_regs[(rot + 1) % self.dependency_degree],),
+                )
+            else:
+                instr = DynInstr(
+                    OpClass.IALU,
+                    dest=int_regs[rot],
+                    srcs=(int_regs[(rot + 1) % self.dependency_degree],),
+                )
+            yield instr
+            emitted += 1

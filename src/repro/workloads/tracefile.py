@@ -1,0 +1,125 @@
+"""Binary trace files.
+
+Dynamic instruction streams can be captured to disk and replayed, so an
+expensive generation step (or an externally produced trace) feeds many
+simulator runs.  The format is a small versioned binary record stream:
+
+* 8-byte magic ``REPROTRC``, 2-byte version, 6 reserved bytes;
+* per instruction: 1 byte opclass, 1 byte dest (0xFF = none), 1 byte
+  source count, then the sources (1 byte each), then for memory ops an
+  8-byte little-endian address.
+
+Everything is written through :mod:`struct`; no third-party formats.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from pathlib import Path
+from typing import BinaryIO, Iterable, Iterator, List, Union
+
+from ..common.errors import TraceFormatError
+from ..isa.instruction import DynInstr
+from ..isa.opcodes import OpClass
+from .base import IterableWorkload, Workload
+
+MAGIC = b"REPROTRC"
+VERSION = 1
+_HEADER = struct.Struct("<8sH6x")
+_ADDR = struct.Struct("<Q")
+_NO_DEST = 0xFF
+
+PathLike = Union[str, Path]
+
+
+def write_header(fh: BinaryIO) -> None:
+    fh.write(_HEADER.pack(MAGIC, VERSION))
+
+
+def read_header(fh: BinaryIO) -> int:
+    raw = fh.read(_HEADER.size)
+    if len(raw) != _HEADER.size:
+        raise TraceFormatError("truncated trace header")
+    magic, version = _HEADER.unpack(raw)
+    if magic != MAGIC:
+        raise TraceFormatError(f"bad trace magic {magic!r}")
+    if version != VERSION:
+        raise TraceFormatError(f"unsupported trace version {version}")
+    return version
+
+
+def write_instr(fh: BinaryIO, instr: DynInstr) -> None:
+    dest = _NO_DEST if instr.dest is None else instr.dest
+    srcs = instr.srcs
+    fh.write(bytes((instr.opclass, dest, len(srcs))))
+    if srcs:
+        fh.write(bytes(srcs))
+    if instr.is_mem:
+        fh.write(_ADDR.pack(instr.addr))
+
+
+def read_instr(fh: BinaryIO) -> DynInstr:
+    head = fh.read(3)
+    if not head:
+        raise EOFError
+    if len(head) != 3:
+        raise TraceFormatError("truncated instruction record")
+    opclass_value, dest, src_count = head
+    try:
+        opclass = OpClass(opclass_value)
+    except ValueError:
+        raise TraceFormatError(f"bad opclass byte {opclass_value}") from None
+    srcs = fh.read(src_count)
+    if len(srcs) != src_count:
+        raise TraceFormatError("truncated source list")
+    addr = None
+    if opclass.is_mem:
+        raw = fh.read(_ADDR.size)
+        if len(raw) != _ADDR.size:
+            raise TraceFormatError("truncated address")
+        (addr,) = _ADDR.unpack(raw)
+    return DynInstr(
+        opclass,
+        dest=None if dest == _NO_DEST else dest,
+        srcs=tuple(srcs),
+        addr=addr,
+    )
+
+
+def save_trace(path: PathLike, instructions: Iterable[DynInstr]) -> int:
+    """Write a stream to ``path``; returns the number of records written."""
+    count = 0
+    with open(path, "wb") as raw:
+        fh = io.BufferedWriter(raw)
+        write_header(fh)
+        for instr in instructions:
+            write_instr(fh, instr)
+            count += 1
+        fh.flush()
+    return count
+
+
+def iter_trace(path: PathLike) -> Iterator[DynInstr]:
+    """Lazily read a trace file."""
+    with open(path, "rb") as raw:
+        fh = io.BufferedReader(raw)
+        read_header(fh)
+        while True:
+            try:
+                yield read_instr(fh)
+            except EOFError:
+                return
+
+
+def load_trace(path: PathLike) -> Workload:
+    """Wrap a trace file as a replayable :class:`Workload`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceFormatError(f"trace file not found: {path}")
+    return IterableWorkload(lambda: iter_trace(path), name=path.stem)
+
+
+def load_trace_list(path: PathLike) -> List[DynInstr]:
+    """Read an entire trace into memory (small traces, tests)."""
+    return list(iter_trace(path))

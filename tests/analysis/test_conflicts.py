@@ -1,0 +1,78 @@
+"""Bandwidth-report tests."""
+
+import pytest
+
+from conftest import BASE, load, store
+from repro.analysis.conflicts import BandwidthReport, compare_reports
+from repro.common.config import IdealPortConfig, LBICConfig, paper_machine
+from repro.core.processor import Processor
+
+
+def run(stream, ports):
+    processor = Processor(paper_machine(ports), label="report-test")
+    result = processor.run(list(stream))
+    return processor, result
+
+
+class TestBandwidthReport:
+    def test_basic_accounting(self):
+        stream = [load(BASE + 8 * i, dest=1 + i % 8) for i in range(32)]
+        processor, result = run(stream, IdealPortConfig(2))
+        report = BandwidthReport.from_processor(processor, result)
+        assert report.accepted_loads == 32
+        assert report.cycles == result.cycles
+        assert 0 < report.utilization <= 1.0
+        assert report.accesses_per_cycle == pytest.approx(
+            32 / result.cycles
+        )
+
+    def test_lbic_combining_stats_present(self):
+        stream = [load(BASE)] + [
+            load(BASE + 8 * (i % 4), dest=1 + i % 8) for i in range(32)
+        ]
+        processor, result = run(stream, LBICConfig(banks=4, buffer_ports=4))
+        report = BandwidthReport.from_processor(processor, result)
+        assert report.combining_groups
+        assert report.mean_group_size > 1.0
+        assert report.combining_fraction > 0.0
+
+    def test_store_coalescing_counted(self):
+        stream = [store(BASE + 8 * (i % 4)) for i in range(8)]
+        processor, result = run(stream, LBICConfig(banks=4, buffer_ports=4))
+        report = BandwidthReport.from_processor(processor, result)
+        assert report.coalesced_stores > 0
+
+    def test_refusal_share(self):
+        report = BandwidthReport(
+            label="x", cycles=10, peak_accesses_per_cycle=2,
+            accepted_loads=5, accepted_stores=0, forwarded_loads=0,
+            refusals={"bank_conflict": 3, "port_limit": 1},
+        )
+        assert report.total_refusals == 4
+        assert report.refusal_share("bank_conflict") == pytest.approx(0.75)
+        assert report.refusal_share("mshr_full") == 0.0
+
+    def test_empty_report_is_safe(self):
+        report = BandwidthReport(
+            label="empty", cycles=0, peak_accesses_per_cycle=4,
+            accepted_loads=0, accepted_stores=0, forwarded_loads=0,
+        )
+        assert report.utilization == 0.0
+        assert report.mean_group_size == 0.0
+        assert report.combining_fraction == 0.0
+        assert "empty" in report.render()
+
+    def test_render_mentions_refusals(self):
+        stream = [load(BASE + 128 * i, dest=1 + i % 8) for i in range(64)]
+        processor, result = run(stream, IdealPortConfig(1))
+        report = BandwidthReport.from_processor(processor, result)
+        assert "refusal" in report.render()
+
+    def test_compare_reports_table(self):
+        stream = [load(BASE + 8 * i, dest=1 + i % 8) for i in range(16)]
+        reports = []
+        for ports in (IdealPortConfig(1), IdealPortConfig(4)):
+            processor, result = run(stream, ports)
+            reports.append(BandwidthReport.from_processor(processor, result))
+        table = compare_reports(reports)
+        assert "acc/cyc" in table

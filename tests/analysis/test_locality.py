@@ -1,0 +1,143 @@
+"""Locality metric tests: run lengths, reuse distances, working sets."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.locality import (
+    COLD,
+    analyze_locality,
+    miss_rate_for_cache_lines,
+    reuse_distances,
+    same_line_runs,
+    working_set_sizes,
+)
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import OpClass
+
+
+def line(i, offset=0):
+    return i * 32 + offset
+
+
+class TestSameLineRuns:
+    def test_simple_runs(self):
+        addrs = [line(0), line(0, 8), line(0, 16), line(1), line(1, 8), line(2)]
+        runs = same_line_runs(addrs)
+        assert dict(runs.items()) == {1: 1, 2: 1, 3: 1}
+
+    def test_alternating_lines_all_singletons(self):
+        addrs = [line(0), line(1), line(0), line(1)]
+        runs = same_line_runs(addrs)
+        assert dict(runs.items()) == {1: 4}
+
+    def test_empty(self):
+        assert same_line_runs([]).total == 0
+
+    def test_single_reference(self):
+        assert dict(same_line_runs([64]).items()) == {1: 1}
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**20), max_size=200))
+    @settings(max_examples=50)
+    def test_run_lengths_sum_to_reference_count(self, addrs):
+        runs = same_line_runs(addrs)
+        assert sum(k * v for k, v in runs.buckets.items()) == len(addrs)
+
+
+class TestReuseDistances:
+    def test_cold_misses(self):
+        distances = reuse_distances([line(0), line(1), line(2)])
+        assert dict(distances.items()) == {COLD: 3}
+
+    def test_immediate_reuse_is_zero(self):
+        distances = reuse_distances([line(0), line(0, 8)])
+        assert distances.buckets[0] == 1
+
+    def test_classic_example(self):
+        # lines: A B C A -> A's reuse distance is 2 (B and C in between)
+        distances = reuse_distances([line(0), line(1), line(2), line(0)])
+        assert distances.buckets[2] == 1
+
+    def test_repeated_line_does_not_inflate_distance(self):
+        # A B B B A: distinct lines between the two A's is 1
+        addrs = [line(0), line(1), line(1), line(1), line(0)]
+        distances = reuse_distances(addrs)
+        assert distances.buckets[1] == 1
+
+    def test_matches_naive_stack_distance(self):
+        """Fenwick implementation agrees with an O(n^2) reference."""
+        rng = random.Random(5)
+        addrs = [line(rng.randrange(30), rng.randrange(4) * 8) for _ in range(300)]
+
+        def naive(addresses):
+            out = []
+            lines_seen = []
+            for addr in addresses:
+                this = addr // 32
+                if this in lines_seen:
+                    index = lines_seen.index(this)
+                    out.append(len(lines_seen) - 1 - index)
+                    lines_seen.pop(index)
+                else:
+                    out.append(COLD)
+                lines_seen.append(this)
+            return sorted(out)
+
+        fast = reuse_distances(addrs)
+        flattened = sorted(
+            d for d, c in fast.buckets.items() for _ in range(c)
+        )
+        assert flattened == naive(addrs)
+
+    def test_lru_miss_rate_prediction(self):
+        """Cyclic sweep over W lines: an LRU cache of >= W lines hits
+        everything after the cold pass; a smaller one misses everything."""
+        working_set = 16
+        addrs = [line(i % working_set) for i in range(160)]
+        distances = reuse_distances(addrs)
+        big = miss_rate_for_cache_lines(distances, working_set)
+        small = miss_rate_for_cache_lines(distances, working_set - 1)
+        assert big == pytest.approx(working_set / 160)  # compulsory only
+        assert small == 1.0  # LRU thrashes on a cyclic sweep
+
+    def test_empty(self):
+        assert reuse_distances([]).total == 0
+
+
+class TestWorkingSets:
+    def test_window_counting(self):
+        addrs = [line(i % 4) for i in range(10)]
+        ws = working_set_sizes(addrs, window=5)
+        assert dict(ws.items()) == {4: 2}
+
+    def test_partial_tail_window(self):
+        ws = working_set_sizes([line(0), line(1), line(2)], window=2)
+        assert ws.total == 2  # one full window + the tail
+
+
+class TestLocalityReport:
+    def _stream(self, n=500):
+        for i in range(n):
+            yield DynInstr(OpClass.LOAD, dest=1, srcs=(2,), addr=line(i % 8, (i % 4) * 8))
+
+    def test_report_fields(self):
+        report = analyze_locality(self._stream())
+        assert report.references == 500
+        assert 0 <= report.combinable_fraction <= 1
+        assert report.mean_run_length >= 1.0
+
+    def test_predicted_miss_rate_monotone_in_size(self):
+        report = analyze_locality(self._stream())
+        small = report.predicted_miss_rate(1024)
+        big = report.predicted_miss_rate(64 * 1024)
+        assert big <= small
+
+    def test_render(self):
+        text = analyze_locality(self._stream()).render()
+        assert "combinable" in text and "KB" in text
+
+    def test_non_mem_ignored(self):
+        stream = [DynInstr(OpClass.IALU, dest=1)] * 10
+        assert analyze_locality(stream).references == 0

@@ -1,0 +1,131 @@
+"""Figure 3 analysis tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.reference_stream import (
+    DIFF_LINE,
+    SAME_LINE,
+    ReferenceMappingAnalyzer,
+    analyze_addresses,
+    analyze_stream,
+    bank_delta_label,
+    categories,
+)
+from repro.common.errors import AnalysisError
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import OpClass
+
+
+class TestCategories:
+    def test_four_bank_labels(self):
+        assert categories(4) == (
+            SAME_LINE, DIFF_LINE, "(B+1)", "(B+2)", "(B+3)",
+        )
+
+    def test_two_bank_labels(self):
+        assert categories(2) == (SAME_LINE, DIFF_LINE, "(B+1)")
+
+    def test_label_helper(self):
+        assert bank_delta_label(3) == "(B+3)"
+
+
+class TestClassification:
+    def test_same_line(self):
+        result = analyze_addresses([0, 8, 16])
+        assert result.counts[SAME_LINE] == 2
+        assert result.pairs == 2
+
+    def test_same_bank_diff_line(self):
+        # lines 0 and 4 are both bank 0 with 4 banks
+        result = analyze_addresses([0, 4 * 32])
+        assert result.counts[DIFF_LINE] == 1
+
+    def test_next_banks(self):
+        result = analyze_addresses([0, 32, 32 + 64, 32 + 64 + 96])
+        assert result.counts["(B+1)"] == 1
+        assert result.counts["(B+2)"] == 1
+        assert result.counts["(B+3)"] == 1
+
+    def test_wraparound_delta(self):
+        # bank 3 -> bank 0 is (B+1)
+        result = analyze_addresses([3 * 32, 4 * 32])
+        assert result.counts["(B+1)"] == 1
+
+    def test_backwards_stride(self):
+        # bank 2 -> bank 1 is delta -1 = (B+3) mod 4
+        result = analyze_addresses([2 * 32, 1 * 32])
+        assert result.counts["(B+3)"] == 1
+
+    def test_single_reference_no_pairs(self):
+        assert analyze_addresses([100]).pairs == 0
+
+    def test_stream_filter_skips_non_mem(self):
+        stream = [
+            DynInstr(OpClass.LOAD, dest=1, srcs=(2,), addr=0),
+            DynInstr(OpClass.IALU, dest=1),
+            DynInstr(OpClass.STORE, srcs=(2, 3), addr=8, addr_src_count=1),
+        ]
+        result = analyze_stream(stream)
+        assert result.counts[SAME_LINE] == 1
+
+
+class TestDerivedMetrics:
+    def test_fractions_sum_to_one(self):
+        result = analyze_addresses(list(range(0, 3200, 8)))
+        assert sum(result.fraction(c) for c in categories(4)) == pytest.approx(1.0)
+
+    def test_same_bank_fraction(self):
+        result = analyze_addresses([0, 8, 4 * 32, 32])
+        # pairs: same-line, diff-line, (B+1)
+        assert result.same_bank_fraction() == pytest.approx(2 / 3)
+
+    def test_combinable_conflict_fraction(self):
+        result = analyze_addresses([0, 8, 4 * 32])
+        assert result.combinable_conflict_fraction() == pytest.approx(0.5)
+
+    def test_empty_metrics(self):
+        result = analyze_addresses([])
+        assert result.same_bank_fraction() == 0.0
+        assert result.combinable_conflict_fraction() == 0.0
+
+    def test_as_row_order(self):
+        result = analyze_addresses([0, 8])
+        row = result.as_row()
+        assert row[0] == 1.0 and sum(row) == 1.0
+
+    def test_distribution_export(self):
+        result = analyze_addresses([0, 8, 16])
+        assert result.distribution()[SAME_LINE] == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_rejects_single_bank(self):
+        with pytest.raises(AnalysisError):
+            ReferenceMappingAnalyzer(banks=1)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(AnalysisError):
+            ReferenceMappingAnalyzer(banks=6)
+        with pytest.raises(AnalysisError):
+            ReferenceMappingAnalyzer(banks=4, line_size=40)
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=2**24), min_size=2, max_size=300))
+    @settings(max_examples=50)
+    def test_counts_total_pairs(self, addresses):
+        result = analyze_addresses(addresses)
+        assert sum(result.counts.values()) == len(addresses) - 1
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**24), min_size=2, max_size=100),
+        st.sampled_from([2, 4, 8]),
+    )
+    @settings(max_examples=50)
+    def test_unit_stride_never_diff_line(self, _, banks):
+        """A pure 8-byte-stride stream never produces B-diff-line."""
+        addresses = list(range(0, 8 * 200, 8))
+        result = analyze_addresses(addresses, banks=banks)
+        assert result.counts[DIFF_LINE] == 0

@@ -1,0 +1,90 @@
+"""Trace characterization tests."""
+
+import pytest
+
+from repro.analysis.traces import FunctionalCache, TraceStats, characterize
+from repro.common.config import CacheGeometry
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import OpClass
+
+
+def load(addr):
+    return DynInstr(OpClass.LOAD, dest=1, srcs=(2,), addr=addr)
+
+
+def store(addr):
+    return DynInstr(OpClass.STORE, srcs=(2, 3), addr=addr, addr_src_count=1)
+
+
+def alu():
+    return DynInstr(OpClass.IALU, dest=1)
+
+
+class TestFunctionalCache:
+    def test_fill_on_miss(self):
+        cache = FunctionalCache()
+        assert not cache.access(0x1000, is_write=False)
+        assert cache.access(0x1000, is_write=False)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+    def test_default_geometry_is_paper_l1(self):
+        cache = FunctionalCache()
+        assert cache.geometry.size_bytes == 32 * 1024
+        assert cache.geometry.line_size == 32
+        assert cache.geometry.associativity == 1
+
+    def test_custom_geometry(self):
+        tiny = FunctionalCache(CacheGeometry(1024, 32, 1))
+        addresses = [i * 32 for i in range(64)]  # 2x the capacity
+        for addr in addresses:
+            tiny.access(addr, is_write=False)
+        for addr in addresses:
+            tiny.access(addr, is_write=False)
+        # cyclic thrash on a DM cache: everything keeps missing
+        assert tiny.miss_rate == 1.0
+
+
+class TestCharacterize:
+    def test_counts(self):
+        stream = [alu(), load(0), store(8), alu(), load(64)]
+        stats = characterize(stream)
+        assert stats.instructions == 5
+        assert stats.loads == 2
+        assert stats.stores == 1
+        assert stats.mem_fraction == pytest.approx(3 / 5)
+        assert stats.store_to_load_ratio == pytest.approx(0.5)
+
+    def test_miss_rate_with_reuse(self):
+        stream = [load(0), load(8), load(0), load(64 * 32)]
+        stats = characterize(stream)
+        assert stats.miss_rate == pytest.approx(0.5)  # 2 misses / 4
+
+    def test_warmup_skip(self):
+        stream = [load(0)] * 10
+        stats = characterize(stream, skip_warmup=1)
+        assert stats.cache_accesses == 9
+        assert stats.cache_misses == 0  # the cold miss was in warm-up
+
+    def test_opclass_histogram(self):
+        stream = [alu(), alu(), load(0)]
+        stats = characterize(stream)
+        assert stats.opclass_counts == {"IALU": 2, "LOAD": 1}
+
+    def test_fp_fraction(self):
+        stream = [DynInstr(OpClass.FADD, dest=33), alu()]
+        stats = characterize(stream)
+        assert stats.fp_fraction == pytest.approx(0.5)
+
+    def test_mapping_included(self):
+        stream = [load(0), load(8)]
+        stats = characterize(stream)
+        assert stats.mapping.fraction("B-same-line") == 1.0
+
+    def test_empty_stream(self):
+        stats = characterize([])
+        assert stats.instructions == 0
+        assert stats.mem_fraction == 0.0
+        assert stats.miss_rate == 0.0
+
+    def test_summary_string(self):
+        assert "mem=" in characterize([load(0)]).summary()

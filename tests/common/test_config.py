@@ -1,0 +1,207 @@
+"""Configuration validation and derived-property tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.config import (
+    BankedPortConfig,
+    CacheGeometry,
+    CoreConfig,
+    FuPoolConfig,
+    FuTiming,
+    IdealPortConfig,
+    L1Config,
+    L2Config,
+    LBICConfig,
+    MachineConfig,
+    MainMemoryConfig,
+    PAPER_FU_TIMINGS,
+    ReplicatedPortConfig,
+    is_power_of_two,
+    log2_exact,
+    paper_machine,
+    small_machine,
+)
+from repro.common.errors import ConfigError
+
+
+class TestPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100):
+            assert not is_power_of_two(value)
+
+    def test_log2_exact(self):
+        assert log2_exact(1) == 0
+        assert log2_exact(32) == 5
+        assert log2_exact(1 << 17) == 17
+
+    def test_log2_rejects_non_power(self):
+        with pytest.raises(ConfigError):
+            log2_exact(12)
+
+
+class TestCacheGeometry:
+    def test_paper_l1_geometry(self):
+        geometry = CacheGeometry(size_bytes=32 * 1024, line_size=32, associativity=1)
+        assert geometry.num_lines == 1024
+        assert geometry.num_sets == 1024
+        assert geometry.offset_bits == 5
+        assert geometry.index_bits == 10
+
+    def test_paper_l2_geometry(self):
+        geometry = CacheGeometry(size_bytes=512 * 1024, line_size=64, associativity=4)
+        assert geometry.num_lines == 8192
+        assert geometry.num_sets == 2048
+        assert geometry.offset_bits == 6
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(size_bytes=3000, line_size=32, associativity=1)
+
+    def test_rejects_tiny_lines(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(size_bytes=1024, line_size=2, associativity=1)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(size_bytes=4096, line_size=32, associativity=3)
+
+    def test_fully_associative_allowed(self):
+        geometry = CacheGeometry(size_bytes=1024, line_size=32, associativity=32)
+        assert geometry.num_sets == 1
+
+    def test_zero_associativity_rejected(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(size_bytes=1024, line_size=32, associativity=0)
+
+
+class TestFuTimings:
+    def test_paper_latencies(self):
+        assert PAPER_FU_TIMINGS["IALU"] == FuTiming(1, 1)
+        assert PAPER_FU_TIMINGS["IMULT"] == FuTiming(3, 1)
+        assert PAPER_FU_TIMINGS["IDIV"] == FuTiming(12, 12)
+        assert PAPER_FU_TIMINGS["FADD"] == FuTiming(2, 1)
+        assert PAPER_FU_TIMINGS["FMULT"] == FuTiming(4, 1)
+        assert PAPER_FU_TIMINGS["FDIV"] == FuTiming(12, 12)
+
+    def test_issue_interval_bounds(self):
+        with pytest.raises(ConfigError):
+            FuTiming(total=2, issue=3)
+        with pytest.raises(ConfigError):
+            FuTiming(total=1, issue=0)
+
+    def test_pool_lookup(self):
+        pool = FuPoolConfig()
+        assert pool.timing("FADD").total == 2
+        with pytest.raises(ConfigError):
+            pool.timing("BOGUS")
+
+
+class TestCoreConfig:
+    def test_paper_defaults(self):
+        core = CoreConfig()
+        assert core.fetch_width == 64
+        assert core.issue_width == 64
+        assert core.commit_width == 64
+        assert core.ruu_size == 1024
+        assert core.lsq_size == 512
+
+    def test_lsq_cannot_exceed_ruu(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(ruu_size=32, lsq_size=64)
+
+    def test_rejects_zero_widths(self):
+        with pytest.raises(ConfigError):
+            CoreConfig(fetch_width=0)
+        with pytest.raises(ConfigError):
+            CoreConfig(issue_width=0)
+
+
+class TestPortConfigs:
+    def test_ideal_peak(self):
+        assert IdealPortConfig(ports=8).peak_accesses_per_cycle == 8
+        assert IdealPortConfig(ports=8).kind == "ideal"
+
+    def test_replicated_peak(self):
+        assert ReplicatedPortConfig(ports=4).peak_accesses_per_cycle == 4
+
+    def test_banked_peak(self):
+        assert BankedPortConfig(banks=16).peak_accesses_per_cycle == 16
+
+    def test_lbic_peak_is_m_times_n(self):
+        assert LBICConfig(banks=4, buffer_ports=4).peak_accesses_per_cycle == 16
+        assert LBICConfig(banks=8, buffer_ports=2).peak_accesses_per_cycle == 16
+
+    def test_bank_count_must_be_power_of_two(self):
+        with pytest.raises(ConfigError):
+            BankedPortConfig(banks=3)
+        with pytest.raises(ConfigError):
+            LBICConfig(banks=6, buffer_ports=2)
+
+    def test_lbic_validation(self):
+        with pytest.raises(ConfigError):
+            LBICConfig(banks=4, buffer_ports=0)
+        with pytest.raises(ConfigError):
+            LBICConfig(banks=4, buffer_ports=2, store_queue_depth=0)
+        with pytest.raises(ConfigError):
+            LBICConfig(banks=4, buffer_ports=2, combining_policy="bogus")
+        with pytest.raises(ConfigError):
+            LBICConfig(banks=4, buffer_ports=2, bank_function="bogus")
+
+    def test_describe_strings(self):
+        assert "4x2 LBIC" in LBICConfig(banks=4, buffer_ports=2).describe()
+        assert "8-bank" in BankedPortConfig(banks=8).describe()
+        assert "2-port ideal" == IdealPortConfig(2).describe()
+        assert "replicated" in ReplicatedPortConfig(2).describe()
+
+
+class TestMachineConfig:
+    def test_paper_machine_description(self):
+        machine = paper_machine()
+        assert "64-wide" in machine.describe()
+        assert "RUU=1024" in machine.describe()
+
+    def test_ls_units_follow_port_model(self):
+        assert paper_machine(IdealPortConfig(4)).ls_units == 4
+        assert paper_machine(LBICConfig(banks=4, buffer_ports=4)).ls_units == 16
+
+    def test_explicit_ls_units_override(self):
+        machine = dataclasses.replace(
+            paper_machine(),
+            core=CoreConfig(fu=FuPoolConfig(ls_units=7)),
+        )
+        assert machine.ls_units == 7
+
+    def test_with_ports_swaps_only_ports(self):
+        base = paper_machine()
+        swapped = base.with_ports(BankedPortConfig(banks=8))
+        assert swapped.core == base.core
+        assert swapped.ports == BankedPortConfig(banks=8)
+
+    def test_banks_must_divide_sets(self):
+        tiny_l1 = L1Config(
+            geometry=CacheGeometry(size_bytes=256, line_size=32, associativity=1)
+        )
+        with pytest.raises(ConfigError):
+            MachineConfig(l1=tiny_l1, ports=BankedPortConfig(banks=16))
+
+    def test_l2_line_must_cover_l1_line(self):
+        big_line_l1 = L1Config(
+            geometry=CacheGeometry(size_bytes=32 * 1024, line_size=128, associativity=1)
+        )
+        with pytest.raises(ConfigError):
+            MachineConfig(l1=big_line_l1)
+
+    def test_small_machine_is_valid_and_smaller(self):
+        machine = small_machine()
+        assert machine.core.ruu_size < paper_machine().core.ruu_size
+        assert machine.l1.geometry.size_bytes == 8 * 1024
+
+    def test_memory_latency_default(self):
+        assert MainMemoryConfig().access_latency == 10
+        assert L2Config().access_latency == 4

@@ -1,0 +1,88 @@
+"""Deterministic RNG stream tests (including hypothesis properties)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "a", "b") == derive_seed(42, "a", "b")
+
+    def test_differs_by_name(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_differs_by_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_path_structure_matters(self):
+        assert derive_seed(1, "ab", "c") != derive_seed(1, "a", "bc")
+
+    @given(st.integers(min_value=0, max_value=2**63), st.text(max_size=20))
+    @settings(max_examples=50)
+    def test_always_64_bit(self, seed, name):
+        value = derive_seed(seed, name)
+        assert 0 <= value < 2**64
+
+
+class TestRngStream:
+    def test_same_component_same_sequence(self):
+        a = RngStream.for_component(7, "swim", "addresses")
+        b = RngStream.for_component(7, "swim", "addresses")
+        assert [a.random() for _ in range(20)] == [b.random() for _ in range(20)]
+
+    def test_different_components_diverge(self):
+        a = RngStream.for_component(7, "swim")
+        b = RngStream.for_component(7, "mgrid")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_child_streams_independent_of_parent_draws(self):
+        parent = RngStream.for_component(3, "root")
+        child_before = parent.child("x")
+        parent.random()
+        child_after = RngStream.for_component(3, "root").child("x")
+        assert [child_before.random() for _ in range(5)] == [
+            child_after.random() for _ in range(5)
+        ]
+
+    def test_geometric_minimum_is_one(self):
+        rng = RngStream.for_component(1, "g")
+        assert all(rng.geometric(1.0) == 1 for _ in range(50))
+        assert all(rng.geometric(0.5) == 1 for _ in range(50))
+
+    def test_geometric_mean_approximation(self):
+        rng = RngStream.for_component(1, "g2")
+        samples = [rng.geometric(4.0) for _ in range(20000)]
+        mean = sum(samples) / len(samples)
+        assert 3.6 < mean < 4.4
+
+    def test_weighted_index_respects_zero_weights(self):
+        rng = RngStream.for_component(1, "w")
+        draws = {rng.weighted_index([0.0, 1.0, 0.0]) for _ in range(100)}
+        assert draws == {1}
+
+    def test_weighted_index_distribution(self):
+        rng = RngStream.for_component(1, "w2")
+        counts = [0, 0]
+        for _ in range(10000):
+            counts[rng.weighted_index([3.0, 1.0])] += 1
+        assert 0.70 < counts[0] / 10000 < 0.80
+
+    def test_weighted_index_rejects_negative(self):
+        rng = RngStream.for_component(1, "w3")
+        with pytest.raises(ValueError):
+            rng.weighted_index([1.0, -0.5])
+
+    def test_weighted_index_rejects_zero_sum(self):
+        rng = RngStream.for_component(1, "w4")
+        with pytest.raises(ValueError):
+            rng.weighted_index([0.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=10), min_size=1, max_size=8))
+    @settings(max_examples=50)
+    def test_weighted_index_in_range(self, weights):
+        rng = RngStream.for_component(9, "prop")
+        for _ in range(20):
+            assert 0 <= rng.weighted_index(weights) < len(weights)

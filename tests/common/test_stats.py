@@ -1,0 +1,164 @@
+"""Statistics primitive tests."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.stats import (
+    Counter,
+    Distribution,
+    Histogram,
+    RunningMean,
+    StatGroup,
+    geometric_mean,
+    harmonic_mean,
+    weighted_average,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter("x").value == 0
+
+    def test_add(self):
+        counter = Counter("x")
+        counter.add()
+        counter.add(5)
+        assert counter.value == 6
+        assert int(counter) == 6
+
+
+class TestHistogram:
+    def test_record_and_total(self):
+        histogram = Histogram("h")
+        histogram.record(2)
+        histogram.record(2)
+        histogram.record(5, count=3)
+        assert histogram.total == 5
+        assert dict(histogram.items()) == {2: 2, 5: 3}
+
+    def test_mean(self):
+        histogram = Histogram("h")
+        histogram.record(1, 3)
+        histogram.record(5, 1)
+        assert histogram.mean() == pytest.approx(2.0)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h").mean() == 0.0
+
+    def test_fraction_at_least(self):
+        histogram = Histogram("h")
+        histogram.record(1, 6)
+        histogram.record(4, 4)
+        assert histogram.fraction_at_least(2) == pytest.approx(0.4)
+        assert histogram.fraction_at_least(5) == 0.0
+
+    def test_max(self):
+        histogram = Histogram("h")
+        assert histogram.max() == 0
+        histogram.record(7)
+        histogram.record(3)
+        assert histogram.max() == 7
+
+
+class TestRunningMean:
+    def test_mean_and_variance(self):
+        stat = RunningMean("m")
+        for value in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            stat.record(value)
+        assert stat.mean == pytest.approx(5.0)
+        assert stat.variance == pytest.approx(32 / 7)
+
+    def test_empty(self):
+        stat = RunningMean("m")
+        assert stat.mean == 0.0
+        assert stat.variance == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=50))
+    @settings(max_examples=50)
+    def test_matches_direct_computation(self, values):
+        stat = RunningMean("m")
+        for value in values:
+            stat.record(value)
+        mean = sum(values) / len(values)
+        assert stat.mean == pytest.approx(mean, abs=1e-6)
+
+
+class TestStatGroup:
+    def test_counter_identity(self):
+        group = StatGroup()
+        assert group.counter("a") is group.counter("a")
+
+    def test_nested_value_lookup(self):
+        group = StatGroup()
+        group.group("lsq").counter("forwards").add(3)
+        assert group.value("lsq/forwards") == 3
+
+    def test_ratio(self):
+        group = StatGroup()
+        group.counter("hits").add(3)
+        group.counter("accesses").add(4)
+        assert group.ratio("hits", "accesses") == pytest.approx(0.75)
+
+    def test_ratio_zero_denominator(self):
+        group = StatGroup()
+        group.counter("hits")
+        group.counter("accesses")
+        assert group.ratio("hits", "accesses") == 0.0
+
+    def test_as_dict_round_trip(self):
+        group = StatGroup()
+        group.counter("n").add(2)
+        group.histogram("h").record(1)
+        group.group("child").counter("c").add(1)
+        data = group.as_dict()
+        assert data["n"] == 2
+        assert data["h"] == {1: 1}
+        assert data["child"] == {"c": 1}
+
+
+class TestDistribution:
+    def test_normalized(self):
+        dist = Distribution({"a": 2.0, "b": 2.0}).normalized()
+        assert dist["a"] == pytest.approx(0.5)
+
+    def test_missing_key_is_zero(self):
+        assert Distribution({"a": 1.0})["b"] == 0.0
+
+    def test_tvd_identical_is_zero(self):
+        dist = Distribution({"a": 1.0, "b": 3.0})
+        assert dist.total_variation_distance(dist) == pytest.approx(0.0)
+
+    def test_tvd_disjoint_is_one(self):
+        a = Distribution({"a": 1.0})
+        b = Distribution({"b": 1.0})
+        assert a.total_variation_distance(b) == pytest.approx(1.0)
+
+    def test_from_counts(self):
+        dist = Distribution.from_counts({"x": 3, "y": 1}).normalized()
+        assert dist["x"] == pytest.approx(0.75)
+
+
+class TestMeans:
+    def test_weighted_average(self):
+        assert weighted_average([(1.0, 1.0), (3.0, 3.0)]) == pytest.approx(2.5)
+
+    def test_weighted_average_empty(self):
+        assert weighted_average([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_harmonic_mean(self):
+        assert harmonic_mean([2.0, 2.0]) == pytest.approx(2.0)
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+
+    def test_harmonic_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([-1.0])

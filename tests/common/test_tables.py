@@ -1,0 +1,83 @@
+"""Text-table rendering tests."""
+
+import pytest
+
+from repro.common.tables import Table, format_cell, side_by_side
+
+
+class TestFormatCell:
+    def test_none(self):
+        assert format_cell(None) == "-"
+
+    def test_float_precision(self):
+        assert format_cell(3.14159, precision=2) == "3.14"
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_int_and_str(self):
+        assert format_cell(42) == "42"
+        assert format_cell("x") == "x"
+
+
+class TestTable:
+    def test_alignment(self):
+        table = Table(["name", "value"])
+        table.add_row(["a", 1])
+        table.add_row(["longer", 2])
+        lines = table.render().splitlines()
+        assert all(len(line) <= len(max(lines, key=len)) for line in lines)
+        assert "longer" in lines[-1]
+
+    def test_wrong_column_count_rejected(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_title(self):
+        table = Table(["a"], title="My Table")
+        table.add_row([1])
+        assert table.render().splitlines()[0] == "My Table"
+
+    def test_separator_renders_rule(self):
+        table = Table(["a"])
+        table.add_row([1])
+        table.add_separator()
+        table.add_row([2])
+        lines = table.render().splitlines()
+        rules = [line for line in lines if set(line) <= {"-", "+"}]
+        assert len(rules) == 2  # header rule + separator
+
+    def test_markdown_mode(self):
+        table = Table(["a", "b"])
+        table.add_row([1, 2.5])
+        markdown = table.render(markdown=True)
+        for line in markdown.splitlines():
+            assert line.startswith("|") and line.endswith("|")
+
+    def test_str_dunder(self):
+        table = Table(["a"])
+        table.add_row([1])
+        assert str(table) == table.render()
+
+    def test_precision_applied(self):
+        table = Table(["x"], precision=1)
+        table.add_row([2.55])
+        assert "2.5" in table.render() or "2.6" in table.render()
+
+
+class TestSideBySide:
+    def test_two_tables(self):
+        left = Table(["l"])
+        left.add_row([1])
+        right = Table(["r"])
+        right.add_row([2])
+        right.add_row([3])
+        combined = side_by_side([left, right])
+        lines = combined.splitlines()
+        assert "l" in lines[0] and "r" in lines[0]
+        assert len(lines) == 4  # height of the taller table
+
+    def test_empty(self):
+        assert side_by_side([]) == ""

@@ -1,0 +1,70 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import pytest
+
+from repro.common.config import (
+    BankedPortConfig,
+    IdealPortConfig,
+    LBICConfig,
+    MachineConfig,
+    PortModelConfig,
+    ReplicatedPortConfig,
+    paper_machine,
+    small_machine,
+)
+from repro.core.processor import Processor
+from repro.core.results import SimResult
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import OpClass
+
+#: A base address inside the data segment used by hand-built streams.
+BASE = 0x10_0000
+
+
+def load(addr: int, dest: int = 1, srcs: Sequence[int] = (29,)) -> DynInstr:
+    """A load with an always-ready base register by default."""
+    return DynInstr(OpClass.LOAD, dest=dest, srcs=tuple(srcs), addr=addr)
+
+
+def store(addr: int, data: int = 1, base: int = 29) -> DynInstr:
+    """A store whose address operand is always ready by default."""
+    return DynInstr(
+        OpClass.STORE, srcs=(base, data), addr=addr, addr_src_count=1
+    )
+
+
+def alu(dest: int, srcs: Sequence[int] = ()) -> DynInstr:
+    return DynInstr(OpClass.IALU, dest=dest, srcs=tuple(srcs))
+
+
+def run_stream(
+    instructions: Iterable[DynInstr],
+    ports: Optional[PortModelConfig] = None,
+    machine: Optional[MachineConfig] = None,
+    label: str = "test",
+) -> SimResult:
+    """Simulate a hand-built stream on the paper machine."""
+    if machine is None:
+        machine = paper_machine(ports or IdealPortConfig(ports=1))
+    elif ports is not None:
+        machine = machine.with_ports(ports)
+    return Processor(machine, label=label).run(list(instructions))
+
+
+def line_addr(line_index: int, offset: int = 0, line_size: int = 32) -> int:
+    """Byte address of ``offset`` within line ``line_index`` of the segment."""
+    return BASE + line_index * line_size + offset
+
+
+@pytest.fixture
+def machine() -> MachineConfig:
+    return paper_machine()
+
+
+@pytest.fixture
+def small() -> MachineConfig:
+    return small_machine()

@@ -1,0 +1,50 @@
+"""Fetch unit tests."""
+
+import pytest
+
+from repro.core.fetch import FetchUnit
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import OpClass
+
+
+def instrs(n):
+    return [DynInstr(OpClass.IALU, dest=1) for _ in range(n)]
+
+
+class TestFetch:
+    def test_peek_take_sequence(self):
+        fetch = FetchUnit(instrs(2))
+        first = fetch.peek()
+        assert fetch.take() is first
+        assert fetch.fetched == 1
+
+    def test_peek_is_idempotent(self):
+        fetch = FetchUnit(instrs(1))
+        assert fetch.peek() is fetch.peek()
+        assert fetch.fetched == 0
+
+    def test_exhaustion(self):
+        fetch = FetchUnit(instrs(1))
+        fetch.take()
+        assert fetch.peek() is None
+        assert fetch.exhausted
+
+    def test_budget_cap(self):
+        fetch = FetchUnit(instrs(10), max_instructions=3)
+        taken = 0
+        while fetch.peek() is not None:
+            fetch.take()
+            taken += 1
+        assert taken == 3
+
+    def test_take_after_exhaustion_raises(self):
+        fetch = FetchUnit([])
+        with pytest.raises(StopIteration):
+            fetch.take()
+
+    def test_consumes_generators(self):
+        def gen():
+            yield from instrs(5)
+
+        fetch = FetchUnit(gen())
+        assert fetch.peek() is not None

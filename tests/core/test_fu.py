@@ -1,0 +1,80 @@
+"""Functional-unit pool tests (paper Table 1 latencies)."""
+
+import pytest
+
+from repro.common.config import FuPoolConfig
+from repro.common.errors import SimulationError
+from repro.common.stats import StatGroup
+from repro.core.fu import FuPools
+from repro.isa.opcodes import OpClass
+
+
+def pools(**kwargs) -> FuPools:
+    return FuPools(FuPoolConfig(**kwargs), StatGroup("fu"))
+
+
+class TestLatencies:
+    def test_paper_completion_times(self):
+        fu = pools()
+        fu.begin_cycle()
+        assert fu.try_issue(OpClass.IALU, 10) == 11
+        assert fu.try_issue(OpClass.IMULT, 10) == 13
+        assert fu.try_issue(OpClass.IDIV, 10) == 22
+        assert fu.try_issue(OpClass.FADD, 10) == 12
+        assert fu.try_issue(OpClass.FMULT, 10) == 14
+        assert fu.try_issue(OpClass.FDIV, 10) == 22
+
+    def test_latency_lookup(self):
+        fu = pools()
+        assert fu.latency(OpClass.FMULT) == 4
+        assert fu.latency(OpClass.LOAD) == 1
+
+
+class TestIssueLimits:
+    def test_per_cycle_pool_width(self):
+        fu = pools(ialu=2)
+        fu.begin_cycle()
+        assert fu.try_issue(OpClass.IALU, 0) > 0
+        assert fu.try_issue(OpClass.IALU, 0) > 0
+        assert fu.try_issue(OpClass.IALU, 0) == -1
+
+    def test_width_resets_each_cycle(self):
+        fu = pools(ialu=1)
+        fu.begin_cycle()
+        assert fu.try_issue(OpClass.IALU, 0) > 0
+        fu.begin_cycle()
+        assert fu.try_issue(OpClass.IALU, 1) > 0
+
+    def test_pipelined_units_accept_every_cycle(self):
+        fu = pools(fmult=1)
+        for cycle in range(5):
+            fu.begin_cycle()
+            assert fu.try_issue(OpClass.FMULT, cycle) == cycle + 4
+
+    def test_unpipelined_divider_blocks(self):
+        fu = pools(imult=1)
+        fu.begin_cycle()
+        assert fu.try_issue(OpClass.IDIV, 0) == 12
+        fu.begin_cycle()
+        # the single shared int-mult/div unit is busy for 12 cycles
+        assert fu.try_issue(OpClass.IDIV, 1) == -1
+        assert fu.try_issue(OpClass.IMULT, 1) == -1  # shares the pool
+        fu.begin_cycle()
+        assert fu.try_issue(OpClass.IDIV, 12) == 24
+
+    def test_int_div_and_mult_share_pool(self):
+        fu = pools(imult=2)
+        fu.begin_cycle()
+        assert fu.try_issue(OpClass.IDIV, 0) > 0
+        assert fu.try_issue(OpClass.IMULT, 0) > 0
+        assert fu.try_issue(OpClass.IMULT, 0) == -1
+
+
+class TestErrors:
+    def test_memory_ops_rejected(self):
+        fu = pools()
+        fu.begin_cycle()
+        with pytest.raises(SimulationError):
+            fu.try_issue(OpClass.LOAD, 0)
+        with pytest.raises(SimulationError):
+            fu.try_issue(OpClass.STORE, 0)

@@ -1,0 +1,168 @@
+"""LSQ tests: disambiguation, forwarding, release ordering."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.common.stats import StatGroup
+from repro.core.lsq import LOAD_BLOCKED, LOAD_FORWARD, LOAD_TO_CACHE, Lsq
+from repro.core.ruu import RuuEntry
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import OpClass
+
+
+def make_load(seq, addr):
+    return RuuEntry(seq, DynInstr(OpClass.LOAD, dest=1, srcs=(2,), addr=addr))
+
+
+def make_store(seq, addr):
+    return RuuEntry(
+        seq, DynInstr(OpClass.STORE, srcs=(2, 3), addr=addr, addr_src_count=1)
+    )
+
+
+def lsq(size=16):
+    return Lsq(size, StatGroup("lsq"))
+
+
+class TestDisambiguation:
+    def test_load_with_no_stores_goes_to_cache(self):
+        q = lsq()
+        load = make_load(0, 0x1000)
+        q.dispatch(load)
+        assert q.load_address_ready(load) == LOAD_TO_CACHE
+
+    def test_load_blocked_by_earlier_unknown_store(self):
+        q = lsq()
+        st = make_store(0, 0x2000)
+        load = make_load(1, 0x1000)
+        q.dispatch(st)
+        q.dispatch(load)
+        assert q.load_address_ready(load) == LOAD_BLOCKED
+
+    def test_load_released_when_store_resolves(self):
+        q = lsq()
+        st = make_store(0, 0x2000)
+        load = make_load(1, 0x1000)
+        q.dispatch(st)
+        q.dispatch(load)
+        q.load_address_ready(load)
+        released = q.store_address_ready(st)
+        assert released == [load]
+
+    def test_release_in_age_order(self):
+        q = lsq()
+        st = make_store(0, 0x3000)
+        loads = [make_load(i, 0x1000 + i * 64) for i in (2, 1, 3)]
+        q.dispatch(st)
+        for load in loads:
+            q.dispatch(load)
+            q.load_address_ready(load)
+        released = q.store_address_ready(st)
+        assert [e.seq for e in released] == [1, 2, 3]
+
+    def test_younger_unknown_store_does_not_block(self):
+        q = lsq()
+        load = make_load(0, 0x1000)
+        st = make_store(1, 0x2000)
+        q.dispatch(load)
+        q.dispatch(st)
+        assert q.load_address_ready(load) == LOAD_TO_CACHE
+
+    def test_nested_stores_release_progressively(self):
+        q = lsq()
+        st1 = make_store(0, 0x2000)
+        load1 = make_load(1, 0x1000)
+        st2 = make_store(2, 0x3000)
+        load2 = make_load(3, 0x1100)
+        for entry in (st1, load1, st2, load2):
+            q.dispatch(entry)
+        assert q.load_address_ready(load1) == LOAD_BLOCKED
+        assert q.load_address_ready(load2) == LOAD_BLOCKED
+        # resolving the younger store releases nothing (st1 still unknown)
+        assert q.store_address_ready(st2) == []
+        # resolving the older store releases both
+        released = q.store_address_ready(st1)
+        assert [e.seq for e in released] == [1, 3]
+
+
+class TestForwarding:
+    def test_same_word_forwards(self):
+        q = lsq()
+        st = make_store(0, 0x1000)
+        load = make_load(1, 0x1000)
+        q.dispatch(st)
+        q.dispatch(load)
+        q.store_address_ready(st)
+        assert q.load_address_ready(load) == LOAD_FORWARD
+        assert load.forwarded
+        assert q.forwards == 1
+
+    def test_word_granularity(self):
+        q = lsq()
+        st = make_store(0, 0x1000)
+        near = make_load(1, 0x1004)  # same 8-byte word
+        far = make_load(2, 0x1008)   # next word
+        for entry in (st, near, far):
+            q.dispatch(entry)
+        q.store_address_ready(st)
+        assert q.load_address_ready(near) == LOAD_FORWARD
+        assert q.load_address_ready(far) == LOAD_TO_CACHE
+
+    def test_store_younger_than_load_does_not_forward(self):
+        q = lsq()
+        load = make_load(0, 0x1000)
+        st = make_store(1, 0x1000)
+        q.dispatch(load)
+        q.dispatch(st)
+        q.store_address_ready(st)
+        assert q.load_address_ready(load) == LOAD_TO_CACHE
+
+    def test_committed_store_stops_forwarding(self):
+        q = lsq()
+        st = make_store(0, 0x1000)
+        q.dispatch(st)
+        q.store_address_ready(st)
+        q.commit(st)
+        load = make_load(1, 0x1000)
+        q.dispatch(load)
+        assert q.load_address_ready(load) == LOAD_TO_CACHE
+
+
+class TestCapacityAndErrors:
+    def test_full(self):
+        q = lsq(size=1)
+        q.dispatch(make_load(0, 0x0))
+        assert q.full
+        with pytest.raises(SimulationError):
+            q.dispatch(make_load(1, 0x8))
+
+    def test_commit_frees_slot(self):
+        q = lsq(size=1)
+        load = make_load(0, 0x0)
+        q.dispatch(load)
+        q.commit(load)
+        assert not q.full
+
+    def test_commit_underflow(self):
+        q = lsq()
+        with pytest.raises(SimulationError):
+            q.commit(make_load(0, 0x0))
+
+    def test_double_store_resolution_rejected(self):
+        q = lsq()
+        st = make_store(0, 0x1000)
+        q.dispatch(st)
+        q.store_address_ready(st)
+        with pytest.raises(SimulationError):
+            q.store_address_ready(st)
+
+    def test_wrong_kinds_rejected(self):
+        q = lsq()
+        load = make_load(0, 0x0)
+        st = make_store(1, 0x8)
+        q.dispatch(load)
+        q.dispatch(st)
+        with pytest.raises(SimulationError):
+            q.store_address_ready(load)
+        with pytest.raises(SimulationError):
+            q.load_address_ready(st)

@@ -1,0 +1,270 @@
+"""Cycle-level processor tests: exact timing on hand-built streams.
+
+Pipeline timing reference (paper machine, all caches warm unless noted):
+an instruction dispatched in cycle c issues in c+1 and, with 1-cycle
+latency, writes back and commits in c+2 — so a lone instruction takes 3
+cycles, a dependent 1-cycle chain sustains 1 IPC, and wide independent
+work saturates the configured widths.
+"""
+
+import dataclasses
+
+import pytest
+
+from conftest import BASE, alu, line_addr, load, run_stream, store
+from repro.common.config import (
+    BankedPortConfig,
+    CoreConfig,
+    IdealPortConfig,
+    LBICConfig,
+    ReplicatedPortConfig,
+    paper_machine,
+)
+from repro.common.errors import SimulationError
+from repro.core.processor import Processor
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import OpClass
+
+
+class TestBasicTiming:
+    def test_single_instruction_takes_three_cycles(self):
+        result = run_stream([alu(dest=1)])
+        assert result.cycles == 3
+
+    def test_independent_alus_saturate_width(self):
+        result = run_stream([alu(dest=1 + (i % 8)) for i in range(640)])
+        # 640 instructions / 64-wide: ~10 cycles + pipeline fill
+        assert result.cycles == pytest.approx(12, abs=1)
+
+    def test_dependent_chain_is_one_ipc(self):
+        n = 100
+        result = run_stream([alu(dest=1, srcs=(1,)) for _ in range(n)])
+        assert result.cycles == n + 2
+
+    def test_fp_add_chain_is_two_cycles_per_op(self):
+        n = 50
+        chain = [DynInstr(OpClass.FADD, dest=33, srcs=(33,)) for _ in range(n)]
+        result = run_stream(chain)
+        assert result.cycles == 2 * n + 2
+
+    def test_divide_chain_uses_full_latency(self):
+        n = 10
+        chain = [DynInstr(OpClass.IDIV, dest=1, srcs=(1,)) for _ in range(n)]
+        result = run_stream(chain)
+        assert result.cycles == 12 * n + 2
+
+    def test_empty_stream(self):
+        result = run_stream([])
+        assert result.cycles == 0
+        assert result.instructions == 0
+        assert result.ipc == 0.0
+
+    def test_processor_runs_once(self):
+        processor = Processor(paper_machine())
+        processor.run([alu(dest=1)])
+        with pytest.raises(SimulationError):
+            processor.run([alu(dest=1)])
+
+
+class TestLoadTiming:
+    def test_load_hit(self):
+        # the second load depends on the first, so it issues after the
+        # fill has landed and hits in one cycle
+        stream = [load(BASE, dest=1), load(BASE + 8, dest=2, srcs=(1,))]
+        result = run_stream(stream)
+        assert result.l1_hits == 1
+        assert result.l1_misses == 1
+        assert result.cycles == 18  # 17 for the cold miss + 1-cycle hit
+
+    def test_cold_load_miss_latency(self):
+        result = run_stream([load(BASE)])
+        # dispatch@1, issue@2, L1 lookup 1 + L2 4 + memory 10 -> ready 17
+        assert result.cycles == 17
+
+    def test_pointer_chase_is_one_load_per_cycle(self):
+        n = 64
+        # serial loads, all to the same warm line
+        chain = [load(BASE)] + [
+            load(BASE + 8, dest=1, srcs=(1,)) for _ in range(n)
+        ]
+        result = run_stream(chain)
+        # ~17 cold cycles, then 1 load/cycle
+        assert result.cycles == pytest.approx(17 + n, abs=2)
+
+    def test_parallel_loads_use_ports(self):
+        addrs = [line_addr(i % 4, offset=8 * ((i // 4) % 4)) for i in range(128)]
+        warm = [load(a) for a in addrs[:4]]
+        stream = warm + [load(a, dest=1 + (i % 8)) for i, a in enumerate(addrs)]
+        one = run_stream(stream, IdealPortConfig(1))
+        four = run_stream(stream, IdealPortConfig(4))
+        assert four.cycles < one.cycles
+        assert one.ipc < 1.2  # port-bound
+
+
+class TestStoreHandling:
+    def test_store_commits_through_port(self):
+        result = run_stream([store(BASE)])
+        assert result.accepted_stores == 1
+        assert result.stores == 1
+
+    def test_store_to_load_forwarding(self):
+        stream = [store(BASE), load(BASE, dest=3)]
+        result = run_stream(stream)
+        assert result.forwarded_loads == 1
+        # the forwarded load never reaches the cache
+        assert result.accepted_loads == 0
+
+    def test_forwarding_matches_word_granularity(self):
+        stream = [store(BASE), load(BASE + 8, dest=3)]
+        result = run_stream(stream)
+        assert result.forwarded_loads == 0
+
+    def test_disambiguation_blocks_load_behind_unknown_store(self):
+        """A store whose *address* operand is late blocks younger loads."""
+        slow_addr = [
+            DynInstr(OpClass.IDIV, dest=5, srcs=(5,)),  # 12-cycle producer
+            DynInstr(
+                OpClass.STORE, srcs=(5, 6), addr=BASE + 64, addr_src_count=1
+            ),
+            load(BASE, dest=2),
+        ]
+        blocked = run_stream(slow_addr)
+        free = run_stream([alu(dest=5), slow_addr[1], slow_addr[2]])
+        assert blocked.cycles > free.cycles
+
+    def test_store_data_dependence_does_not_block_loads(self):
+        """STA/STD split: late *data* does not hold up disambiguation."""
+        stream = [
+            DynInstr(OpClass.IDIV, dest=5, srcs=(5,)),  # slow data producer
+            DynInstr(
+                OpClass.STORE, srcs=(29, 5), addr=BASE + 64, addr_src_count=1
+            ),
+            load(BASE, dest=2),
+        ]
+        result = run_stream(stream)
+        # the load misses cold and completes long before the divide ends:
+        # total is bounded by the divide + store commit, not serialized
+        assert result.cycles <= 12 + 6
+
+
+class TestPortModelIntegration:
+    def _bandwidth_stream(self, n=256):
+        # independent loads spread over 4 lines/banks, all warm
+        addrs = [line_addr(i % 4, offset=8 * ((i // 4) % 4)) for i in range(16)]
+        warm = [load(a) for a in addrs]
+        body = [load(addrs[i % 16], dest=1 + i % 8) for i in range(n)]
+        return warm + body
+
+    def test_more_ideal_ports_more_ipc(self):
+        stream = self._bandwidth_stream()
+        ipcs = [
+            run_stream(stream, IdealPortConfig(p)).ipc for p in (1, 2, 4)
+        ]
+        assert ipcs[0] < ipcs[1] < ipcs[2]
+
+    def test_replicated_store_serialization_costs(self):
+        mixed = []
+        for i in range(100):
+            mixed.append(store(line_addr(i % 4, offset=8 * (i % 4))))
+            mixed.append(load(line_addr((i + 1) % 4), dest=1 + i % 8))
+        repl = run_stream(mixed, ReplicatedPortConfig(4))
+        ideal = run_stream(mixed, IdealPortConfig(4))
+        assert repl.cycles > ideal.cycles
+
+    def test_banked_conflict_stream_serializes(self):
+        same_bank = [load(line_addr(4 * i)) for i in range(8)]  # warm
+        body = [
+            load(line_addr(4 * (i % 8)), dest=1 + i % 8) for i in range(64)
+        ]
+        banked = run_stream(same_bank + body, BankedPortConfig(banks=4))
+        ideal = run_stream(same_bank + body, IdealPortConfig(4))
+        assert banked.cycles > ideal.cycles
+
+    def test_lbic_combines_same_line_stream(self):
+        same_line = [load(BASE + 8 * (i % 4), dest=1 + i % 8) for i in range(64)]
+        warm = [load(BASE)]
+        lbic = run_stream(warm + same_line, LBICConfig(banks=4, buffer_ports=4))
+        banked = run_stream(warm + same_line, BankedPortConfig(banks=4))
+        assert lbic.cycles < banked.cycles
+        assert lbic.combined_accesses > 0
+
+    def test_lbic_drains_stores_after_stream_ends(self):
+        result = run_stream(
+            [store(BASE + 8 * i) for i in range(4)],
+            LBICConfig(banks=4, buffer_ports=4),
+        )
+        assert result.accepted_stores == 4
+
+
+class TestStructuralLimits:
+    def test_small_ruu_throttles(self):
+        smaller = dataclasses.replace(
+            paper_machine(),
+            core=CoreConfig(ruu_size=4, lsq_size=2),
+        )
+        stream = [alu(dest=1 + i % 8) for i in range(256)]
+        throttled = run_stream(stream, machine=smaller)
+        full = run_stream(stream)
+        assert throttled.cycles > full.cycles
+
+    def test_lsq_full_blocks_dispatch(self):
+        smaller = dataclasses.replace(
+            paper_machine(), core=CoreConfig(ruu_size=64, lsq_size=2)
+        )
+        # many loads waiting on one long-latency address producer
+        stream = [DynInstr(OpClass.IDIV, dest=5, srcs=(5,))] + [
+            load(BASE + 64 * i, dest=6, srcs=(5,)) for i in range(8)
+        ]
+        result = run_stream(stream, machine=smaller)
+        assert result.instructions == 9  # completes despite the pressure
+
+    def test_issue_width_limits(self):
+        narrow = dataclasses.replace(
+            paper_machine(), core=CoreConfig(issue_width=2)
+        )
+        stream = [alu(dest=1 + i % 8) for i in range(200)]
+        result = run_stream(stream, machine=narrow)
+        assert result.ipc <= 2.001
+
+
+class TestWarmup:
+    def test_warmup_removes_cold_misses(self):
+        addrs = [line_addr(i) for i in range(8)]
+        body = [load(a, dest=1 + i % 8) for i, a in enumerate(addrs)]
+        warm_stream = body + body  # first pass warms, second is timed
+        processor = Processor(paper_machine(IdealPortConfig(4)))
+        result = processor.run(warm_stream, warmup_instructions=len(body))
+        assert result.instructions == len(body)
+        assert result.l1_misses == 0
+
+    def test_warmup_counts_nothing(self):
+        processor = Processor(paper_machine())
+        result = processor.run([load(BASE)] * 4, warmup_instructions=2)
+        assert result.instructions == 2
+        assert result.loads == 2
+
+    def test_warmup_larger_than_stream(self):
+        processor = Processor(paper_machine())
+        result = processor.run([load(BASE)] * 3, warmup_instructions=10)
+        assert result.instructions == 0
+
+
+class TestResultRecord:
+    def test_counts_are_consistent(self):
+        stream = [alu(dest=1), load(BASE), store(BASE + 64), alu(dest=2)]
+        result = run_stream(stream)
+        assert result.instructions == 4
+        assert result.loads == 1
+        assert result.stores == 1
+        assert result.mem_fraction == pytest.approx(0.5)
+        assert result.store_to_load_ratio == pytest.approx(1.0)
+
+    def test_speedup_over(self):
+        stream = [alu(dest=1 + i % 8) for i in range(100)]
+        a = run_stream(stream)
+        b = run_stream(stream)
+        assert a.speedup_over(b) == pytest.approx(1.0)
+
+    def test_summary_text(self):
+        result = run_stream([alu(dest=1)], label="x")
+        assert "IPC" in result.summary()

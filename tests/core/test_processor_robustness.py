@@ -1,0 +1,115 @@
+"""Robustness tests: watchdog, degenerate configurations, edge streams."""
+
+import dataclasses
+
+import pytest
+
+from conftest import BASE, alu, load, run_stream, store
+from repro.common.config import CoreConfig, IdealPortConfig, paper_machine
+from repro.common.errors import SimulationError
+from repro.core.processor import Processor
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import OpClass
+
+
+class _NeverAcceptPorts:
+    """A pathological port model used to prove the watchdog fires."""
+
+    IN_ORDER = True
+    REASONS = ("port_limit",)
+    peak_accesses_per_cycle = 1
+
+    def begin_cycle(self, cycle):
+        pass
+
+    def end_cycle(self):
+        pass
+
+    def try_load(self, addr):
+        return None
+
+    def try_store(self, addr):
+        return False
+
+    def note_fills(self, lines):
+        pass
+
+    def pending_work(self):
+        return False
+
+    def refusal_count(self, reason):
+        return 0
+
+
+class TestWatchdog:
+    def test_deadlock_raises_instead_of_hanging(self):
+        processor = Processor(paper_machine(IdealPortConfig(1)))
+        processor.ports = _NeverAcceptPorts()
+        # the no-progress stall limit fires even without an instruction
+        # budget (the cycle watchdog alone would spin for ~2e9 cycles)
+        with pytest.raises(SimulationError, match="deadlock"):
+            processor.run([load(BASE)])
+
+    def test_stall_limit_tunable(self):
+        processor = Processor(paper_machine(IdealPortConfig(1)))
+        processor.ports = _NeverAcceptPorts()
+        processor.STALL_LIMIT = 500
+        with pytest.raises(SimulationError, match="500 cycles"):
+            processor.run([load(BASE)])
+
+
+class TestDegenerateConfigs:
+    def test_width_one_machine(self):
+        narrow = dataclasses.replace(
+            paper_machine(),
+            core=CoreConfig(fetch_width=1, issue_width=1, commit_width=1,
+                            ruu_size=4, lsq_size=2),
+        )
+        stream = [alu(dest=1 + i % 4) for i in range(50)]
+        result = run_stream(stream, machine=narrow)
+        assert result.instructions == 50
+        assert result.ipc <= 1.0
+
+    def test_minimum_ruu(self):
+        tiny = dataclasses.replace(
+            paper_machine(), core=CoreConfig(ruu_size=2, lsq_size=1)
+        )
+        stream = [load(BASE), store(BASE + 64), alu(dest=1)]
+        result = run_stream(stream, machine=tiny)
+        assert result.instructions == 3
+
+    def test_single_store_only_stream(self):
+        result = run_stream([store(BASE)] * 20)
+        assert result.stores == 20
+        assert result.accepted_stores == 20
+
+    def test_all_divides(self):
+        stream = [DynInstr(OpClass.IDIV, dest=1 + i % 4, srcs=())
+                  for i in range(30)]
+        result = run_stream(stream)
+        assert result.instructions == 30
+
+
+class TestStreamEdgeCases:
+    def test_self_dependent_first_instruction(self):
+        # reads a register no one has written: ready immediately
+        result = run_stream([alu(dest=1, srcs=(1,))])
+        assert result.cycles == 3
+
+    def test_store_with_all_sources_ready(self):
+        result = run_stream([store(BASE)])
+        assert result.cycles >= 3
+
+    def test_wide_fan_out(self):
+        producer = alu(dest=1)
+        consumers = [alu(dest=2 + i % 8, srcs=(1,)) for i in range(100)]
+        result = run_stream([producer] + consumers)
+        assert result.instructions == 101
+        # all consumers wake together and flow at issue width
+        assert result.cycles < 12
+
+    def test_deep_fan_in(self):
+        producers = [alu(dest=1 + i) for i in range(8)]
+        consumer = DynInstr(OpClass.IALU, dest=9, srcs=tuple(range(1, 9)))
+        result = run_stream(producers + [consumer])
+        assert result.instructions == 9

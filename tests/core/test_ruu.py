@@ -1,0 +1,151 @@
+"""RUU tests: dispatch, renaming/dependences, wakeup, commit order."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.core.ruu import COMPLETED, DISPATCHED, Ruu
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import OpClass
+
+
+def ialu(dest=None, srcs=()):
+    return DynInstr(OpClass.IALU, dest=dest, srcs=tuple(srcs))
+
+
+def store(srcs, addr=0x1000, addr_src_count=1):
+    return DynInstr(
+        OpClass.STORE, srcs=tuple(srcs), addr=addr, addr_src_count=addr_src_count
+    )
+
+
+class TestDispatch:
+    def test_no_sources_means_ready(self):
+        ruu = Ruu(8)
+        entry = ruu.dispatch(0, ialu(dest=1))
+        assert entry.remaining_deps == 0
+
+    def test_raw_dependence_tracked(self):
+        ruu = Ruu(8)
+        producer = ruu.dispatch(0, ialu(dest=1))
+        consumer = ruu.dispatch(1, ialu(dest=2, srcs=(1,)))
+        assert consumer.remaining_deps == 1
+        assert consumer in producer.consumers
+
+    def test_completed_producer_imposes_no_dependence(self):
+        ruu = Ruu(8)
+        producer = ruu.dispatch(0, ialu(dest=1))
+        ruu.complete(producer)
+        consumer = ruu.dispatch(1, ialu(dest=2, srcs=(1,)))
+        assert consumer.remaining_deps == 0
+
+    def test_latest_writer_wins(self):
+        """Renaming: only the most recent producer matters (no WAW)."""
+        ruu = Ruu(8)
+        ruu.dispatch(0, ialu(dest=1))
+        second = ruu.dispatch(1, ialu(dest=1))
+        consumer = ruu.dispatch(2, ialu(dest=2, srcs=(1,)))
+        assert consumer.remaining_deps == 1
+        assert consumer in second.consumers
+
+    def test_zero_register_never_a_dependence(self):
+        ruu = Ruu(8)
+        ruu.dispatch(0, ialu(dest=0))  # writes r0 - discarded
+        consumer = ruu.dispatch(1, ialu(dest=2, srcs=(0,)))
+        assert consumer.remaining_deps == 0
+
+    def test_two_sources_two_deps(self):
+        ruu = Ruu(8)
+        ruu.dispatch(0, ialu(dest=1))
+        ruu.dispatch(1, ialu(dest=2))
+        consumer = ruu.dispatch(2, ialu(dest=3, srcs=(1, 2)))
+        assert consumer.remaining_deps == 2
+
+    def test_full_ruu_rejects_dispatch(self):
+        ruu = Ruu(2)
+        ruu.dispatch(0, ialu(dest=1))
+        ruu.dispatch(1, ialu(dest=2))
+        with pytest.raises(SimulationError):
+            ruu.dispatch(2, ialu(dest=3))
+
+
+class TestStoreAddressSplit:
+    def test_store_addr_deps_separate_from_data(self):
+        ruu = Ruu(8)
+        base_producer = ruu.dispatch(0, ialu(dest=1))
+        data_producer = ruu.dispatch(1, ialu(dest=2))
+        st = ruu.dispatch(2, store(srcs=(1, 2)))
+        assert st.remaining_deps == 2
+        assert st.remaining_addr_deps == 1  # only the base register
+        ready, addr_ready = ruu.complete(base_producer)
+        assert st in addr_ready
+        assert st not in ready
+        ready, addr_ready = ruu.complete(data_producer)
+        assert st in ready
+        assert addr_ready == []
+
+    def test_store_with_ready_base(self):
+        ruu = Ruu(8)
+        data_producer = ruu.dispatch(0, ialu(dest=2))
+        st = ruu.dispatch(1, store(srcs=(1, 2)))
+        assert st.remaining_addr_deps == 0  # address known at dispatch
+        assert st.remaining_deps == 1
+
+
+class TestWakeup:
+    def test_complete_wakes_consumers(self):
+        ruu = Ruu(8)
+        producer = ruu.dispatch(0, ialu(dest=1))
+        a = ruu.dispatch(1, ialu(dest=2, srcs=(1,)))
+        b = ruu.dispatch(2, ialu(dest=3, srcs=(1,)))
+        ready, _ = ruu.complete(producer)
+        assert ready == [a, b]
+
+    def test_partial_wakeup(self):
+        ruu = Ruu(8)
+        p1 = ruu.dispatch(0, ialu(dest=1))
+        p2 = ruu.dispatch(1, ialu(dest=2))
+        consumer = ruu.dispatch(2, ialu(dest=3, srcs=(1, 2)))
+        ready, _ = ruu.complete(p1)
+        assert ready == []
+        ready, _ = ruu.complete(p2)
+        assert ready == [consumer]
+
+    def test_double_completion_rejected(self):
+        ruu = Ruu(8)
+        entry = ruu.dispatch(0, ialu(dest=1))
+        ruu.complete(entry)
+        with pytest.raises(SimulationError):
+            ruu.complete(entry)
+
+
+class TestCommit:
+    def test_commit_in_order(self):
+        ruu = Ruu(8)
+        first = ruu.dispatch(0, ialu(dest=1))
+        second = ruu.dispatch(1, ialu(dest=2))
+        ruu.complete(first)
+        ruu.complete(second)
+        assert ruu.commit_head() is first
+        assert ruu.commit_head() is second
+        assert ruu.committed == 2
+        assert ruu.empty()
+
+    def test_cannot_commit_incomplete(self):
+        ruu = Ruu(8)
+        ruu.dispatch(0, ialu(dest=1))
+        with pytest.raises(SimulationError):
+            ruu.commit_head()
+
+    def test_commit_clears_writer_link(self):
+        ruu = Ruu(8)
+        producer = ruu.dispatch(0, ialu(dest=1))
+        ruu.complete(producer)
+        ruu.commit_head()
+        consumer = ruu.dispatch(1, ialu(dest=2, srcs=(1,)))
+        assert consumer.remaining_deps == 0
+
+    def test_head_peek(self):
+        ruu = Ruu(8)
+        assert ruu.head() is None
+        entry = ruu.dispatch(0, ialu(dest=1))
+        assert ruu.head() is entry

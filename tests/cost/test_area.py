@@ -1,0 +1,111 @@
+"""Die-area model tests, including the paper's quantitative cost claims."""
+
+import pytest
+
+from repro.common.config import (
+    BankedPortConfig,
+    CacheGeometry,
+    IdealPortConfig,
+    L1Config,
+    LBICConfig,
+    ReplicatedPortConfig,
+)
+from repro.common.errors import ConfigError
+from repro.cost.area import area_ratio, cache_area, port_area_factor
+
+L1 = L1Config()
+
+
+class TestPortAreaFactor:
+    def test_single_port_is_unity(self):
+        assert port_area_factor(1) == 1.0
+
+    def test_grows_quadratically(self):
+        assert port_area_factor(2) == pytest.approx(2.25)  # (1.5)^2
+        assert port_area_factor(3) == pytest.approx(4.0)   # (2.0)^2
+
+    def test_monotonic(self):
+        factors = [port_area_factor(p) for p in range(1, 9)]
+        assert factors == sorted(factors)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigError):
+            port_area_factor(0)
+
+
+class TestOrganizationAreas:
+    def test_replication_is_linear_in_copies(self):
+        one = cache_area(ReplicatedPortConfig(1), L1)
+        four = cache_area(ReplicatedPortConfig(4), L1)
+        assert four.data_array == pytest.approx(4 * one.data_array)
+
+    def test_ideal_multiporting_is_superlinear(self):
+        """True multi-porting costs more than replication at equal port
+        count — why nobody builds it (paper section 1)."""
+        ideal = cache_area(IdealPortConfig(4), L1).total
+        replicated = cache_area(ReplicatedPortConfig(4), L1).total
+        assert ideal > replicated
+
+    def test_banking_is_nearly_free(self):
+        banked = cache_area(BankedPortConfig(banks=4), L1).total
+        single = cache_area(IdealPortConfig(1), L1).total
+        assert banked < 1.15 * single
+
+    def test_lbic_slightly_above_banked(self):
+        """The LBIC's economy claim: cost close to traditional banking."""
+        lbic = cache_area(LBICConfig(banks=4, buffer_ports=4), L1).total
+        banked = cache_area(BankedPortConfig(banks=4), L1).total
+        assert banked < lbic < 1.2 * banked
+
+    def test_breakdown_sums(self):
+        area = cache_area(LBICConfig(banks=4, buffer_ports=2), L1)
+        assert area.total == pytest.approx(
+            area.data_array + area.tag_array + area.interconnect
+            + area.buffers + area.bank_overhead
+        )
+
+    def test_unknown_config_rejected(self):
+        from repro.common.config import PortModelConfig
+
+        class Bogus(PortModelConfig):
+            pass
+
+        with pytest.raises(ConfigError):
+            cache_area(Bogus(), L1)
+
+    def test_accepts_raw_geometry(self):
+        geometry = CacheGeometry(32 * 1024, 32, 1)
+        assert cache_area(IdealPortConfig(1), geometry).total > 0
+
+
+class TestPaperCostClaims:
+    def test_replicated_2port_roughly_twice_2x2_lbic(self):
+        """Paper section 6: 'a large 2-port replicated cache costs about
+        twice the 2x2 LBIC in die area'."""
+        ratio = area_ratio(
+            ReplicatedPortConfig(2), LBICConfig(banks=2, buffer_ports=2)
+        )
+        assert 1.6 < ratio < 2.4
+
+    def test_crossbar_grows_superlinearly(self):
+        """Paper section 1: crossbar cost grows superlinearly with banks."""
+        def interconnect(banks):
+            return cache_area(BankedPortConfig(banks=banks), L1).interconnect
+
+        assert interconnect(8) > 2 * interconnect(4) > 4 * interconnect(2)
+
+    def test_lbic_cheaper_than_ideal_at_equal_bandwidth(self):
+        """4x4 LBIC (peak 16) vs ideal 4-port: cheaper despite the higher
+        peak bandwidth — the paper's cost-effectiveness argument."""
+        lbic = cache_area(LBICConfig(banks=4, buffer_ports=4), L1).total
+        ideal4 = cache_area(IdealPortConfig(4), L1).total
+        assert lbic < ideal4
+
+    def test_store_queue_depth_costs_area(self):
+        shallow = cache_area(
+            LBICConfig(banks=4, buffer_ports=2, store_queue_depth=2), L1
+        ).total
+        deep = cache_area(
+            LBICConfig(banks=4, buffer_ports=2, store_queue_depth=32), L1
+        ).total
+        assert deep > shallow

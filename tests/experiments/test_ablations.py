@@ -1,0 +1,97 @@
+"""Unit tests for the ablation sweep functions (tiny settings)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    SweepResult,
+    ablate_bank_function,
+    ablate_bank_porting,
+    ablate_combining_policy,
+    ablate_crossbar_latency,
+    ablate_fill_port,
+    ablate_interleaving,
+    ablate_line_size,
+    ablate_lsq_depth,
+    ablate_memory_latency,
+    ablate_store_queue,
+    cost_performance,
+    render_cost_performance,
+)
+from repro.experiments.runner import RunSettings
+
+TINY = RunSettings(
+    instructions=800, warmup_instructions=3000, benchmarks=("li",)
+)
+
+
+class TestSweepResult:
+    def test_average(self):
+        sweep = SweepResult("X", "p", [1, 2], {"a": [1.0, 3.0], "b": [3.0, 5.0]})
+        assert sweep.average() == [2.0, 4.0]
+
+    def test_render_contains_values(self):
+        sweep = SweepResult("X", "p", ["low", "high"], {"a": [1.0, 2.0]})
+        text = sweep.render()
+        assert "low" in text and "Average" in text
+
+
+class TestSweepsRun:
+    def test_lsq_depth(self):
+        sweep = ablate_lsq_depth(TINY, depths=(8, 64))
+        assert len(sweep.ipcs["li"]) == 2
+        assert sweep.ipcs["li"][1] >= sweep.ipcs["li"][0] * 0.9
+
+    def test_bank_function(self):
+        banked, lbic = ablate_bank_function(TINY)
+        assert len(banked.ipcs["li"]) == 3
+        assert len(lbic.ipcs["li"]) == 3
+
+    def test_store_queue(self):
+        sweep = ablate_store_queue(TINY, depths=(1, 8))
+        assert all(v > 0 for v in sweep.ipcs["li"])
+
+    def test_combining_policy(self):
+        sweep = ablate_combining_policy(TINY)
+        assert sweep.values == ["leading-request", "largest-group"]
+
+    def test_interleaving(self):
+        sweep = ablate_interleaving(TINY)
+        assert sweep.values == ["line", "word"]
+        line, word = sweep.ipcs["li"]
+        assert word >= line * 0.9
+
+    def test_bank_porting(self):
+        sweep = ablate_bank_porting(TINY)
+        assert len(sweep.values) == 3
+
+    def test_line_size(self):
+        sweep = ablate_line_size(TINY, line_sizes=(32, 64))
+        assert all(v > 0 for v in sweep.ipcs["li"])
+
+    def test_memory_latency(self):
+        results = ablate_memory_latency(TINY, latencies=(10, 100), benchmark="li")
+        assert set(results) == {"ideal-4", "repl-4", "bank-4", "lbic-4x4"}
+        for row in results.values():
+            assert len(row) == 2
+
+    def test_crossbar_latency(self):
+        banked, lbic = ablate_crossbar_latency(TINY, latencies=(0, 2))
+        assert len(banked.ipcs["li"]) == 2
+        assert len(lbic.ipcs["li"]) == 2
+
+    def test_fill_port(self):
+        sweep = ablate_fill_port(TINY)
+        assert sweep.values == ["dedicated", "steals-bank"]
+
+
+class TestCostPerformance:
+    def test_points_and_rendering(self):
+        points = cost_performance(
+            TINY,
+            configs=None,
+        )
+        assert len(points) == 9
+        text = render_cost_performance(points)
+        assert "area" in text and "lbic-4x4" in text
+        for point in points:
+            assert point.area_rbe > 0

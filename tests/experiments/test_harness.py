@@ -1,0 +1,110 @@
+"""Experiment-harness structure tests (small, fast configurations)."""
+
+import pytest
+
+from repro.common.config import IdealPortConfig, LBICConfig
+from repro.experiments.figure3 import run_figure3
+from repro.experiments.runner import ExperimentRunner, RunSettings
+from repro.experiments.table2 import run_table2
+from repro.experiments.table3 import port_config, run_table3
+from repro.experiments.table4 import lbic_config, run_table4
+
+FAST = RunSettings(
+    instructions=1500,
+    warmup_instructions=4000,
+    characterization_instructions=20_000,
+    benchmarks=("li", "swim"),
+)
+
+
+class TestRunSettings:
+    def test_defaults(self):
+        settings = RunSettings()
+        assert settings.instructions == 20_000
+        assert len(settings.benchmarks) == 10
+
+    def test_rejects_unknown_benchmarks(self):
+        with pytest.raises(ValueError):
+            RunSettings(benchmarks=("li", "doom"))
+
+
+class TestRunner:
+    def test_memoization(self):
+        runner = ExperimentRunner(FAST)
+        first = runner.result("li", IdealPortConfig(2))
+        second = runner.result("li", IdealPortConfig(2))
+        assert first is second
+
+    def test_distinct_configs_not_shared(self):
+        runner = ExperimentRunner(FAST)
+        a = runner.result("li", IdealPortConfig(2))
+        b = runner.result("li", IdealPortConfig(4))
+        assert a is not b
+        assert b.ipc >= a.ipc * 0.9
+
+    def test_suite_averages(self):
+        runner = ExperimentRunner(FAST)
+        config = IdealPortConfig(2)
+        int_avg = runner.specint_average(config)
+        assert int_avg == pytest.approx(runner.ipc("li", config))
+
+    def test_benchmark_partition(self):
+        runner = ExperimentRunner(FAST)
+        assert runner.int_benchmarks == ["li"]
+        assert runner.fp_benchmarks == ["swim"]
+
+
+class TestPortConfigHelpers:
+    def test_table3_port_config(self):
+        assert port_config("true", 4) == IdealPortConfig(4)
+        assert port_config("bank", 8).banks == 8
+        assert port_config("repl", 2).ports == 2
+        with pytest.raises(ValueError):
+            port_config("bogus", 2)
+
+    def test_table4_config(self):
+        config = lbic_config(4, 2)
+        assert isinstance(config, LBICConfig)
+        assert (config.banks, config.buffer_ports) == (4, 2)
+
+
+class TestTableRuns:
+    def test_table2_structure(self):
+        result = run_table2(FAST)
+        assert set(result.rows) == {"li", "swim"}
+        rendered = result.render()
+        assert "li" in rendered and "Miss rate" in rendered
+
+    def test_table3_structure(self):
+        runner = ExperimentRunner(FAST)
+        result = run_table3(runner)
+        assert result.ipc("li", "true", 2) > 0
+        assert result.ipc("li", "bank", 16) > 0
+        assert "SPECint Ave." in result.averages
+        rendered = result.render()
+        assert "(paper)" in rendered
+
+    def test_table3_single_port_column(self):
+        runner = ExperimentRunner(FAST)
+        result = run_table3(runner)
+        assert result.ipc("li", "true", 1) == result.rows["li"]["1"]
+
+    def test_table4_structure(self):
+        runner = ExperimentRunner(FAST)
+        result = run_table4(runner)
+        assert result.ipc("swim", 4, 4) > 0
+        assert "SPECfp Ave." in result.averages
+        assert "4x4" in result.render()
+
+    def test_figure3_structure(self):
+        result = run_figure3(FAST)
+        assert set(result.rows) == {"li", "swim"}
+        assert result.rows["li"].pairs > 0
+        rendered = result.render()
+        assert "B-same-line" in rendered
+        assert "legend" in rendered
+
+    def test_figure3_fractions_normalized(self):
+        result = run_figure3(FAST)
+        for name, mapping in result.rows.items():
+            assert sum(mapping.as_row()) == pytest.approx(1.0)

@@ -1,0 +1,85 @@
+"""Sanity checks on the transcribed paper data."""
+
+import pytest
+
+from repro.experiments.paper_data import (
+    TABLE3,
+    TABLE3_AVERAGES,
+    TABLE3_PORTS,
+    TABLE4,
+    TABLE4_AVERAGES,
+    TABLE4_CONFIGS,
+)
+from repro.workloads.spec95 import ALL_NAMES
+
+
+class TestTable3Data:
+    def test_all_benchmarks_present(self):
+        assert set(TABLE3) == set(ALL_NAMES)
+
+    def test_every_cell_present(self):
+        for name, row in TABLE3.items():
+            assert "1" in row
+            for ports in TABLE3_PORTS:
+                for kind in ("true", "repl", "bank"):
+                    assert (kind, ports) in row, (name, kind, ports)
+
+    def test_ideal_dominates_its_row(self):
+        """In the paper, True >= Repl and True >= Bank at every width."""
+        for name, row in TABLE3.items():
+            for ports in TABLE3_PORTS:
+                assert row[("true", ports)] >= row[("repl", ports)] - 1e-9
+                assert row[("true", ports)] >= row[("bank", ports)] - 1e-9
+
+    def test_ideal_monotonic_in_ports(self):
+        for name, row in TABLE3.items():
+            values = [row["1"]] + [row[("true", p)] for p in TABLE3_PORTS]
+            assert values == sorted(values), name
+
+    def test_known_values(self):
+        assert TABLE3["li"]["1"] == pytest.approx(2.10)
+        assert TABLE3["mgrid"][("true", 16)] == pytest.approx(18.6)
+        assert TABLE3["swim"][("bank", 4)] == pytest.approx(6.19)
+        assert TABLE3_AVERAGES["SPECint Ave."][("bank", 16)] == pytest.approx(6.20)
+
+    def test_paper_quoted_percentages(self):
+        """Section 3.1: '89% and 92% performance improvements for the
+        average SPECint and SPECfp programs' going from 1 to 2 ports."""
+        int_avg = TABLE3_AVERAGES["SPECint Ave."]
+        fp_avg = TABLE3_AVERAGES["SPECfp Ave."]
+        assert int_avg[("true", 2)] / int_avg["1"] - 1 == pytest.approx(0.89, abs=0.02)
+        assert fp_avg[("true", 2)] / fp_avg["1"] - 1 == pytest.approx(0.92, abs=0.02)
+
+
+class TestTable4Data:
+    def test_all_benchmarks_present(self):
+        assert set(TABLE4) == set(ALL_NAMES)
+
+    def test_all_configs_present(self):
+        for name, row in TABLE4.items():
+            assert set(row) == set(TABLE4_CONFIGS)
+
+    def test_known_values(self):
+        assert TABLE4["mgrid"][(8, 4)] == pytest.approx(16.582)
+        assert TABLE4["li"][(2, 2)] == pytest.approx(5.805)
+        assert TABLE4_AVERAGES["SPECfp Ave."][(4, 4)] == pytest.approx(9.736)
+
+    def test_paper_section6_comparisons_hold_in_data(self):
+        """The 4x4 LBIC beats the 8-bank cache in the paper's own data."""
+        int44 = TABLE4_AVERAGES["SPECint Ave."][(4, 4)]
+        int_bank8 = TABLE3_AVERAGES["SPECint Ave."][("bank", 8)]
+        assert int44 > int_bank8
+        fp44 = TABLE4_AVERAGES["SPECfp Ave."][(4, 4)]
+        fp_bank8 = TABLE3_AVERAGES["SPECfp Ave."][("bank", 8)]
+        assert fp44 > fp_bank8
+
+    def test_lbic_2x2_beats_ideal2_except_compress(self):
+        """Paper section 6: 'With the exception of compress, the 2x2 LBIC
+        outperforms the 2-port ideal cache.'"""
+        for name in ALL_NAMES:
+            lbic = TABLE4[name][(2, 2)]
+            ideal2 = TABLE3[name][("true", 2)]
+            if name == "compress":
+                assert lbic < ideal2
+            else:
+                assert lbic > ideal2, name

@@ -1,0 +1,59 @@
+"""Markdown report generator tests."""
+
+import pytest
+
+from repro.experiments.ablations import ablate_interleaving
+from repro.experiments.report import ReproductionReport, build_report
+from repro.experiments.runner import RunSettings
+
+FAST = RunSettings(
+    instructions=1200,
+    warmup_instructions=4000,
+    characterization_instructions=15_000,
+    benchmarks=("li", "swim"),
+)
+
+
+@pytest.fixture(scope="module")
+def report() -> ReproductionReport:
+    sweep = ablate_interleaving(
+        RunSettings(instructions=1200, warmup_instructions=4000,
+                    benchmarks=("li",))
+    )
+    return build_report(FAST, sweeps=[sweep])
+
+
+class TestReport:
+    def test_contains_all_sections(self, report):
+        markdown = report.to_markdown()
+        for heading in (
+            "# Reproduction report",
+            "## Table 2",
+            "## Figure 3",
+            "## Table 3",
+            "## Table 4",
+            "## Claim checklist",
+            "## Ablation A6",
+        ):
+            assert heading in markdown
+
+    def test_pairs_measured_with_paper(self, report):
+        markdown = report.to_markdown()
+        # li's single-port paper value appears as the second half of a pair
+        assert "/ 2.10" in markdown
+
+    def test_every_benchmark_has_rows(self, report):
+        markdown = report.to_markdown()
+        assert markdown.count("| li |") >= 4  # one per table
+        assert markdown.count("| swim |") >= 4
+
+    def test_settings_recorded(self, report):
+        assert "1200 timed instructions" in report.to_markdown()
+
+    def test_markdown_tables_are_well_formed(self, report):
+        for line in report.to_markdown().splitlines():
+            if line.startswith("|"):
+                assert line.rstrip().endswith("|"), line
+
+    def test_claims_present(self, report):
+        assert len(report.claims.checks) >= 5

@@ -1,0 +1,142 @@
+"""Assembler tests: parsing, labels, errors, round trips."""
+
+import pytest
+
+from repro.common.errors import AssemblyError
+from repro.isa.assembler import assemble
+from repro.isa.opcodes import Operation
+from repro.isa.registers import fp_reg, int_reg
+
+
+class TestBasicParsing:
+    def test_three_register_alu(self):
+        program = assemble("add r1, r2, r3")
+        (instr,) = program.instructions
+        assert instr.op is Operation.ADD
+        assert (instr.dest, instr.src1, instr.src2) == (1, 2, 3)
+
+    def test_immediate_forms(self):
+        program = assemble("li r1, 0x100\naddi r2, r1, -8\nsll r3, r2, 4")
+        li, addi, sll = program.instructions
+        assert li.imm == 256
+        assert addi.imm == -8
+        assert sll.imm == 4
+
+    def test_load_store_operands(self):
+        program = assemble("ld r1, 8(r2)\nst r3, -16(r4)")
+        ld, st = program.instructions
+        assert (ld.dest, ld.src1, ld.imm) == (1, 2, 8)
+        # store: src2 carries the data, src1 the base
+        assert (st.src2, st.src1, st.imm) == (3, 4, -16)
+
+    def test_fp_forms(self):
+        program = assemble("fld f1, 0(r2)\nfmul f3, f1, f2\nfst f3, 8(r2)")
+        fld, fmul, fst = program.instructions
+        assert fld.dest == fp_reg(1)
+        assert fmul.op is Operation.FMUL
+        assert fst.src2 == fp_reg(3)
+
+    def test_comments_and_blank_lines(self):
+        source = """
+        # a comment
+        add r1, r2, r3   ; trailing
+        // c++ style
+
+        nop
+        """
+        assert len(assemble(source)) == 2
+
+    def test_spaces_in_memory_operand(self):
+        program = assemble("ld r1, 8( r2 )")
+        assert program.instructions[0].src1 == int_reg(2)
+
+
+class TestLabels:
+    def test_branch_to_label(self):
+        program = assemble("""
+        loop:
+            addi r1, r1, 1
+            bne r1, r2, loop
+        """)
+        assert program.labels["loop"] == 0
+        assert program.instructions[1].target == 0
+
+    def test_forward_reference(self):
+        program = assemble("""
+            beq r1, r0, done
+            addi r1, r1, 1
+        done:
+            halt
+        """)
+        assert program.instructions[0].target == 2
+
+    def test_label_at_end(self):
+        program = assemble("j end\nend:")
+        assert program.labels["end"] == 1
+
+    def test_numeric_target(self):
+        program = assemble("j 0")
+        assert program.instructions[0].target == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\nnop\na:\nnop")
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("j nowhere")
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate r1, r2, r3")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2")
+        with pytest.raises(AssemblyError):
+            assemble("nop r1")
+
+    def test_malformed_memory_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("ld r1, r2")
+        with pytest.raises(AssemblyError):
+            assemble("ld r1, 8[r2]")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2, r99")
+
+    def test_error_mentions_line_number(self):
+        with pytest.raises(AssemblyError, match="line 2"):
+            assemble("nop\nbogus r1")
+
+
+class TestRoundTrip:
+    SOURCE = """
+    start:
+        li r1, 64
+        li r2, 0x1000
+    loop:
+        ld r3, 0(r2)
+        add r4, r3, r3
+        st r4, 8(r2)
+        addi r2, r2, 32
+        addi r1, r1, -1
+        bne r1, r0, loop
+        fld f1, 0(r2)
+        fadd f2, f1, f1
+        fst f2, 16(r2)
+        halt
+    """
+
+    def test_disassemble_reassemble_identical(self):
+        first = assemble(self.SOURCE)
+        second = assemble(first.disassemble())
+        assert first.instructions == second.instructions
+
+    def test_disassembly_contains_labels(self):
+        text = assemble(self.SOURCE).disassemble()
+        assert "loop:" in text
+        assert "bne r1, r0, loop" in text

@@ -1,0 +1,135 @@
+"""Binary program-encoding tests."""
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import AssemblyError, TraceFormatError
+from repro.isa.assembler import assemble
+from repro.isa.encoding import (
+    decode_instruction,
+    encode_instruction,
+    load_program,
+    read_program,
+    roundtrip,
+    save_program,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Operation
+
+SOURCE = """
+start:
+    li   r1, 100
+    li   r2, 0x1000
+loop:
+    ld   r3, 0(r2)
+    add  r4, r3, r3
+    st   r4, 8(r2)
+    fld  f1, 16(r2)
+    fadd f2, f1, f1
+    addi r2, r2, 32
+    addi r1, r1, -1
+    bne  r1, r0, loop
+    halt
+"""
+
+
+class TestInstructionCodec:
+    def test_record_is_fixed_width(self):
+        instr = Instruction(op=Operation.ADD, dest=1, src1=2, src2=3)
+        assert len(encode_instruction(instr)) == 12
+
+    def test_roundtrip_all_forms(self):
+        import dataclasses
+
+        program = assemble(SOURCE)
+        for instr in program.instructions:
+            # the 12-byte record carries no label text; the program-level
+            # codec restores it from the label table
+            expected = dataclasses.replace(instr, label=None)
+            assert decode_instruction(encode_instruction(instr)) == expected
+
+    def test_negative_immediate(self):
+        instr = Instruction(op=Operation.ADDI, dest=1, src1=1, imm=-12345)
+        assert decode_instruction(encode_instruction(instr)).imm == -12345
+
+    def test_immediate_range_checked(self):
+        instr = Instruction(op=Operation.LI, dest=1, imm=2**40)
+        with pytest.raises(AssemblyError):
+            encode_instruction(instr)
+
+    def test_bad_opcode_rejected(self):
+        raw = bytes((250, 0xFF, 0xFF, 0xFF)) + struct.pack("<iI", 0, 0xFFFFFFFF)
+        with pytest.raises(TraceFormatError):
+            decode_instruction(raw)
+
+    def test_truncated_record_rejected(self):
+        with pytest.raises(TraceFormatError):
+            decode_instruction(b"\x00\x01")
+
+    @given(
+        st.sampled_from(list(Operation)),
+        st.one_of(st.none(), st.integers(0, 63)),
+        st.one_of(st.none(), st.integers(0, 63)),
+        st.integers(-(2**31), 2**31 - 1),
+    )
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, op, dest, src1, imm):
+        instr = Instruction(op=op, dest=dest, src1=src1, imm=imm)
+        assert decode_instruction(encode_instruction(instr)) == instr
+
+
+class TestProgramCodec:
+    def test_memory_roundtrip(self):
+        program = assemble(SOURCE)
+        restored = roundtrip(program)
+        assert restored.instructions == program.instructions
+        assert restored.labels == program.labels
+
+    def test_file_roundtrip(self, tmp_path):
+        program = assemble(SOURCE)
+        path = tmp_path / "kernel.rbin"
+        save_program(path, program)
+        restored = load_program(path)
+        assert restored.instructions == program.instructions
+        assert restored.name == "kernel"
+
+    def test_restored_program_executes_identically(self):
+        from repro.isa.program import run_program
+
+        program = assemble(SOURCE)
+        original = list(run_program(program, max_instructions=5000))
+        restored = list(run_program(roundtrip(program), max_instructions=5000))
+        assert original == restored
+
+    def test_bad_magic(self):
+        with pytest.raises(TraceFormatError):
+            read_program(io.BytesIO(b"NOTAPROG" + b"\x00" * 8))
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceFormatError):
+            read_program(io.BytesIO(b"REP"))
+
+    def test_bad_version(self):
+        raw = struct.pack("<8sHHI", b"REPROBIN", 99, 0, 0)
+        with pytest.raises(TraceFormatError):
+            read_program(io.BytesIO(raw))
+
+    def test_truncated_label_table(self):
+        program = assemble("x: nop")
+        buffer = io.BytesIO()
+        from repro.isa.encoding import write_program
+
+        write_program(buffer, program)
+        data = buffer.getvalue()[:-2]
+        with pytest.raises(TraceFormatError):
+            read_program(io.BytesIO(data))
+
+    def test_empty_program(self):
+        from repro.isa.program import Program
+
+        restored = roundtrip(Program(instructions=[], labels={}))
+        assert restored.instructions == []

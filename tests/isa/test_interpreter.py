@@ -1,0 +1,205 @@
+"""Functional interpreter tests: architectural results and emitted streams."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.isa.assembler import assemble
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import OpClass
+from repro.isa.program import Interpreter, run_program
+from repro.isa.registers import fp_reg, int_reg
+
+
+def run(source: str, max_instructions: int = 100_000):
+    interp = Interpreter(assemble(source), max_instructions=max_instructions)
+    trace = list(interp.run())
+    return interp, trace
+
+
+class TestArithmetic:
+    def test_add_sub_mul_div(self):
+        interp, _ = run("""
+            li r1, 20
+            li r2, 6
+            add r3, r1, r2
+            sub r4, r1, r2
+            mul r5, r1, r2
+            div r6, r1, r2
+            halt
+        """)
+        regs = interp.registers
+        assert regs.read(int_reg(3)) == 26
+        assert regs.read(int_reg(4)) == 14
+        assert regs.read(int_reg(5)) == 120
+        assert regs.read(int_reg(6)) == 3
+
+    def test_division_by_zero_yields_zero(self):
+        interp, _ = run("li r1, 5\ndiv r2, r1, r0\nhalt")
+        assert interp.registers.read(int_reg(2)) == 0
+
+    def test_bitwise_and_shifts(self):
+        interp, _ = run("""
+            li r1, 0b1100
+            li r2, 0b1010
+            and r3, r1, r2
+            or r4, r1, r2
+            xor r5, r1, r2
+            sll r6, r1, 2
+            srl r7, r1, 2
+            halt
+        """)
+        regs = interp.registers
+        assert regs.read(int_reg(3)) == 0b1000
+        assert regs.read(int_reg(4)) == 0b1110
+        assert regs.read(int_reg(5)) == 0b0110
+        assert regs.read(int_reg(6)) == 0b110000
+        assert regs.read(int_reg(7)) == 0b11
+
+    def test_fp_arithmetic(self):
+        interp, _ = run("""
+            li r1, 3
+            li r2, 2
+            st r1, 0(r0)
+            st r2, 8(r0)
+            fld f1, 0(r0)
+            fld f2, 8(r0)
+            fdiv f3, f1, f2
+            fmul f4, f1, f2
+            halt
+        """)
+        assert interp.registers.read(fp_reg(3)) == pytest.approx(1.5)
+        assert interp.registers.read(fp_reg(4)) == pytest.approx(6.0)
+
+
+class TestMemory:
+    def test_store_then_load(self):
+        interp, _ = run("""
+            li r1, 42
+            li r2, 0x1000
+            st r1, 16(r2)
+            ld r3, 16(r2)
+            halt
+        """)
+        assert interp.registers.read(int_reg(3)) == 42
+
+    def test_untouched_memory_reads_zero(self):
+        interp, _ = run("li r2, 0x2000\nld r1, 0(r2)\nhalt")
+        assert interp.registers.read(int_reg(1)) == 0
+
+    def test_word_aligned_aliasing(self):
+        """Addresses within one 8-byte word alias (word granularity)."""
+        interp, _ = run("""
+            li r1, 7
+            st r1, 0(r0)
+            ld r2, 4(r0)
+            halt
+        """)
+        assert interp.registers.read(int_reg(2)) == 7
+
+    def test_negative_address_raises(self):
+        from repro.common.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            run("li r1, -64\nld r2, 0(r1)\nhalt")
+
+
+class TestControlFlow:
+    def test_loop_executes_n_times(self):
+        interp, trace = run("""
+            li r1, 10
+        loop:
+            addi r2, r2, 3
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """)
+        assert interp.registers.read(int_reg(2)) == 30
+
+    def test_all_branch_conditions(self):
+        interp, _ = run("""
+            li r1, 5
+            li r2, 5
+            beq r1, r2, t1
+            li r10, 1
+        t1: li r3, 4
+            blt r3, r1, t2
+            li r11, 1
+        t2: bge r1, r3, t3
+            li r12, 1
+        t3: bne r1, r3, done
+            li r13, 1
+        done: halt
+        """)
+        regs = interp.registers
+        assert regs.read(int_reg(10)) == 0  # skipped
+        assert regs.read(int_reg(11)) == 0
+        assert regs.read(int_reg(12)) == 0
+        assert regs.read(int_reg(13)) == 0
+
+    def test_unconditional_jump(self):
+        interp, _ = run("j skip\nli r1, 1\nskip: halt")
+        assert interp.registers.read(int_reg(1)) == 0
+
+    def test_falls_off_end(self):
+        interp, trace = run("addi r1, r1, 1")
+        assert interp.halted
+        assert len(trace) == 1
+
+    def test_max_instructions_cap(self):
+        interp, trace = run("loop: j loop", max_instructions=25)
+        assert len(trace) == 25
+
+    def test_max_instructions_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            Interpreter(assemble("nop"), max_instructions=0)
+
+
+class TestEmittedStream:
+    def test_dyninstr_kinds_and_addresses(self):
+        _, trace = run("""
+            li r2, 0x1000
+            ld r1, 8(r2)
+            st r1, 16(r2)
+            halt
+        """)
+        kinds = [instr.opclass for instr in trace]
+        assert kinds == [OpClass.IALU, OpClass.LOAD, OpClass.STORE, OpClass.IALU]
+        assert trace[1].addr == 0x1008
+        assert trace[2].addr == 0x1010
+
+    def test_store_has_no_dest_and_split_addr_srcs(self):
+        _, trace = run("li r2, 64\nst r2, 0(r2)\nhalt")
+        store = trace[1]
+        assert store.dest is None
+        assert store.addr_src_count == 1
+        assert store.srcs[0] == int_reg(2)
+
+    def test_branch_emits_ialu_with_sources(self):
+        _, trace = run("li r1, 1\nbne r1, r0, 0\nhalt", max_instructions=10)
+        branch = trace[1]
+        assert branch.opclass is OpClass.IALU
+        assert branch.dest is None
+
+    def test_run_program_helper(self):
+        trace = list(run_program(assemble("nop\nhalt")))
+        assert len(trace) == 2
+
+    def test_stream_feeds_timing_simulator(self):
+        """End to end: assemble -> interpret -> simulate."""
+        from repro import simulate, small_machine
+
+        source = """
+            li r2, 0x1000
+            li r1, 200
+        loop:
+            ld r3, 0(r2)
+            add r4, r3, r3
+            st r4, 8(r2)
+            addi r2, r2, 32
+            addi r1, r1, -1
+            bne r1, r0, loop
+            halt
+        """
+        result = simulate(small_machine(), run_program(assemble(source)))
+        assert result.instructions == 2 + 200 * 6 + 1
+        assert result.ipc > 1.0

@@ -1,0 +1,55 @@
+"""Operation-class and mnemonic table tests."""
+
+from repro.isa.opcodes import MNEMONICS, OpClass, Operation
+
+
+class TestOpClass:
+    def test_memory_predicates(self):
+        assert OpClass.LOAD.is_load and OpClass.LOAD.is_mem
+        assert OpClass.STORE.is_store and OpClass.STORE.is_mem
+        assert not OpClass.LOAD.is_store
+        assert not OpClass.IALU.is_mem
+
+    def test_fu_pool_mapping(self):
+        assert OpClass.IALU.fu_pool == "ialu"
+        assert OpClass.IMULT.fu_pool == "imult"
+        assert OpClass.IDIV.fu_pool == "imult"  # shared pool
+        assert OpClass.FADD.fu_pool == "fadd"
+        assert OpClass.FDIV.fu_pool == "fmult"  # shared pool
+        assert OpClass.LOAD.fu_pool == "ls"
+
+    def test_every_class_has_a_pool(self):
+        for opclass in OpClass:
+            assert opclass.fu_pool
+
+
+class TestOperation:
+    def test_opclass_mapping(self):
+        assert Operation.ADD.opclass is OpClass.IALU
+        assert Operation.MUL.opclass is OpClass.IMULT
+        assert Operation.DIV.opclass is OpClass.IDIV
+        assert Operation.FMUL.opclass is OpClass.FMULT
+        assert Operation.LD.opclass is OpClass.LOAD
+        assert Operation.FST.opclass is OpClass.STORE
+
+    def test_branches_time_as_ialu(self):
+        """Perfect prediction: branches are 1-cycle integer ops."""
+        for op in (Operation.BEQ, Operation.BNE, Operation.BLT,
+                   Operation.BGE, Operation.J):
+            assert op.is_branch
+            assert op.opclass is OpClass.IALU
+
+    def test_memory_predicates(self):
+        assert Operation.LD.is_load and not Operation.LD.is_store
+        assert Operation.ST.is_store and not Operation.ST.is_load
+        assert Operation.FLD.is_mem and Operation.FST.is_mem
+        assert not Operation.ADD.is_mem
+
+    def test_every_operation_classified(self):
+        for op in Operation:
+            assert op.opclass in OpClass
+
+    def test_mnemonic_table_complete(self):
+        assert set(MNEMONICS.values()) == set(Operation)
+        assert MNEMONICS["add"] is Operation.ADD
+        assert MNEMONICS["fld"] is Operation.FLD

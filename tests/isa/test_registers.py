@@ -1,0 +1,79 @@
+"""Register model tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.common.errors import AssemblyError
+from repro.isa.registers import (
+    FP_BASE,
+    NUM_REGS,
+    ZERO_REG,
+    RegisterState,
+    fp_reg,
+    int_reg,
+    is_fp,
+    parse_reg,
+    reg_name,
+)
+
+
+class TestIndices:
+    def test_int_range(self):
+        assert int_reg(0) == 0
+        assert int_reg(31) == 31
+        with pytest.raises(AssemblyError):
+            int_reg(32)
+        with pytest.raises(AssemblyError):
+            int_reg(-1)
+
+    def test_fp_range(self):
+        assert fp_reg(0) == FP_BASE
+        assert fp_reg(31) == FP_BASE + 31
+        with pytest.raises(AssemblyError):
+            fp_reg(32)
+
+    def test_is_fp(self):
+        assert not is_fp(int_reg(5))
+        assert is_fp(fp_reg(5))
+
+    @given(st.integers(min_value=0, max_value=NUM_REGS - 1))
+    def test_name_parse_roundtrip(self, index):
+        assert parse_reg(reg_name(index)) == index
+
+    def test_parse_rejects_garbage(self):
+        for text in ("x1", "r", "f", "r1x", "rr1", "", "r-1"):
+            with pytest.raises(AssemblyError):
+                parse_reg(text)
+
+    def test_parse_is_case_insensitive(self):
+        assert parse_reg("R5") == 5
+        assert parse_reg("F2") == FP_BASE + 2
+
+    def test_reg_name_bounds(self):
+        with pytest.raises(AssemblyError):
+            reg_name(NUM_REGS)
+
+
+class TestRegisterState:
+    def test_zero_register_reads_zero(self):
+        state = RegisterState()
+        state.write(ZERO_REG, 99)
+        assert state.read(ZERO_REG) == 0
+
+    def test_int_write_truncates_to_int(self):
+        state = RegisterState()
+        state.write(int_reg(3), 7.9)
+        assert state.read(int_reg(3)) == 7
+
+    def test_fp_write_keeps_float(self):
+        state = RegisterState()
+        state.write(fp_reg(3), 2.5)
+        assert state.read(fp_reg(3)) == 2.5
+
+    def test_snapshot_is_copy(self):
+        state = RegisterState()
+        state.write(int_reg(1), 10)
+        snap = state.snapshot()
+        state.write(int_reg(1), 20)
+        assert snap[int_reg(1)] == 10

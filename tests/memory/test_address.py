@@ -1,0 +1,98 @@
+"""Address decomposition tests (paper Figure 2c), incl. property tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.memory.address import AddressMap
+
+PAPER_MAP = AddressMap(line_size=32, banks=4, num_sets=1024)
+
+
+class TestFields:
+    def test_line_offset(self):
+        assert PAPER_MAP.line_offset(0x1000) == 0
+        assert PAPER_MAP.line_offset(0x101F) == 31
+        assert PAPER_MAP.line_offset(0x1008) == 8
+
+    def test_bank_is_bits_above_offset(self):
+        # line-interleaved: consecutive lines hit consecutive banks
+        for line in range(8):
+            assert PAPER_MAP.bank(line * 32) == line % 4
+
+    def test_line_address(self):
+        assert PAPER_MAP.line_address(0) == 0
+        assert PAPER_MAP.line_address(31) == 0
+        assert PAPER_MAP.line_address(32) == 1
+
+    def test_set_index_wraps(self):
+        assert PAPER_MAP.set_index(0) == 0
+        assert PAPER_MAP.set_index(1024 * 32) == 0  # 32 KB later, same set
+
+    def test_same_line(self):
+        assert PAPER_MAP.same_line(0x1000, 0x101F)
+        assert not PAPER_MAP.same_line(0x1000, 0x1020)
+
+    def test_decompose_fields(self):
+        addr = 0xABCD0
+        tag, ls, bank, lo = PAPER_MAP.decompose(addr)
+        assert lo == addr & 31
+        assert bank == (addr >> 5) & 3
+        assert tag == addr >> 15  # 5 offset + 10 index bits
+
+    def test_single_bank_map(self):
+        unbanked = AddressMap(line_size=32, banks=1, num_sets=1024)
+        assert unbanked.bank(0xDEADBEEF) == 0
+        assert unbanked.bank_bits == 0
+
+
+class TestValidation:
+    def test_rejects_more_banks_than_sets(self):
+        with pytest.raises(ConfigError):
+            AddressMap(line_size=32, banks=16, num_sets=8)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigError):
+            AddressMap(line_size=24, banks=4, num_sets=64)
+        with pytest.raises(ConfigError):
+            AddressMap(line_size=32, banks=3, num_sets=64)
+
+    def test_compose_rejects_out_of_range(self):
+        with pytest.raises(ConfigError):
+            PAPER_MAP.compose(0, 0, 7, 0)
+        with pytest.raises(ConfigError):
+            PAPER_MAP.compose(0, 0, 0, 32)
+        with pytest.raises(ConfigError):
+            PAPER_MAP.compose(0, 1 << 9, 0, 0)
+
+
+class TestRoundTrip:
+    @given(st.integers(min_value=0, max_value=2**40 - 1))
+    @settings(max_examples=300)
+    def test_decompose_compose_identity(self, addr):
+        assert PAPER_MAP.compose(*PAPER_MAP.decompose(addr)) == addr
+
+    @given(
+        st.integers(min_value=0, max_value=2**40 - 1),
+        st.sampled_from([32, 64, 128]),
+        st.sampled_from([1, 2, 4, 8]),
+    )
+    @settings(max_examples=200)
+    def test_roundtrip_across_geometries(self, addr, line_size, banks):
+        amap = AddressMap(line_size=line_size, banks=banks, num_sets=512)
+        assert amap.compose(*amap.decompose(addr)) == addr
+
+    @given(st.integers(min_value=0, max_value=2**40 - 1))
+    @settings(max_examples=200)
+    def test_field_widths(self, addr):
+        tag, ls, bank, lo = PAPER_MAP.decompose(addr)
+        assert 0 <= lo < 32
+        assert 0 <= bank < 4
+        assert 0 <= ls < 1024 // 4
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=100)
+    def test_bank_consistent_with_set_index(self, addr):
+        """The bank bits are the low bits of the global set index."""
+        assert PAPER_MAP.set_index(addr) % 4 == PAPER_MAP.bank(addr)

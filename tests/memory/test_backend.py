@@ -1,0 +1,72 @@
+"""L2/main-memory backend timing tests (paper Table 1 parameters)."""
+
+import pytest
+
+from repro.common.config import L2Config, MainMemoryConfig
+from repro.memory.backend import MemoryBackend
+
+
+def backend(max_outstanding: int = 64) -> MemoryBackend:
+    return MemoryBackend(
+        L2Config(max_outstanding=max_outstanding), MainMemoryConfig()
+    )
+
+
+class TestLatencies:
+    def test_l2_miss_then_hit(self):
+        b = backend()
+        # cold: L2 miss -> 4 (L2) + 10 (memory)
+        assert b.request_fill(0x1000, cycle=0) == 14
+        # same line now resident in L2: 4 cycles, issued next slot
+        assert b.request_fill(0x1000, cycle=20) == 24
+
+    def test_l2_line_granularity_is_64_bytes(self):
+        b = backend()
+        b.request_fill(0x1000, cycle=0)
+        # 0x1020 shares the 64-byte L2 line with 0x1000
+        assert b.request_fill(0x1020, cycle=20) == 24
+        # 0x1040 does not
+        assert b.request_fill(0x1040, cycle=40) == 54
+
+
+class TestPipelining:
+    def test_one_request_per_cycle(self):
+        b = backend()
+        first = b.request_fill(0x0, cycle=5)
+        second = b.request_fill(0x40, cycle=5)  # same cycle: issues at 6
+        assert first == 5 + 14
+        assert second == 6 + 14
+
+    def test_requests_do_not_wait_for_each_other(self):
+        b = backend()
+        completions = [b.request_fill(i * 64, cycle=0) for i in range(8)]
+        # fully pipelined: completions 1 cycle apart, not 14 apart
+        deltas = [b - a for a, b in zip(completions, completions[1:])]
+        assert deltas == [1] * 7
+
+    def test_outstanding_window_blocks(self):
+        b = backend(max_outstanding=2)
+        first = b.request_fill(0x0, cycle=0)      # completes 14
+        second = b.request_fill(0x40, cycle=1)    # completes 15
+        third = b.request_fill(0x80, cycle=2)     # must wait for a slot
+        assert third >= first + 14  # issued only once the first completed
+
+
+class TestWritebacks:
+    def test_writeback_installs_dirty_in_l2(self):
+        b = backend()
+        b.writeback(line_addr=0x2000 // 32, line_size=32)
+        # line now an L2 hit
+        assert b.request_fill(0x2000, cycle=0) == 4
+
+    def test_writeback_has_no_timing_effect(self):
+        b = backend()
+        for i in range(10):
+            b.writeback(i, 32)
+        assert b.request_fill(0x10_0000, cycle=0) == 14
+
+    def test_l2_miss_rate(self):
+        b = backend()
+        b.request_fill(0x0, cycle=0)
+        b.request_fill(0x0, cycle=20)
+        assert b.l2_miss_rate() == pytest.approx(0.5)

@@ -1,0 +1,92 @@
+"""Bank-selection function tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigError
+from repro.memory.banking import (
+    available_bank_functions,
+    bit_select,
+    fibonacci,
+    make_bank_selector,
+    xor_fold,
+)
+
+
+class TestBitSelect:
+    def test_line_interleaving(self):
+        select = bit_select(banks=4, offset_bits=5)
+        for line in range(16):
+            assert select(line * 32) == line % 4
+
+    def test_offset_does_not_matter(self):
+        select = bit_select(banks=4, offset_bits=5)
+        assert select(0x1000) == select(0x101F)
+
+
+class TestXorFold:
+    def test_in_range(self):
+        select = xor_fold(banks=8, offset_bits=5)
+        for addr in range(0, 1 << 16, 101):
+            assert 0 <= select(addr) < 8
+
+    def test_breaks_power_of_two_stride_aliasing(self):
+        """A 1024-byte stride aliases every access to one bank under bit
+        selection; xor-fold spreads it."""
+        bits = bit_select(banks=4, offset_bits=5)
+        fold = xor_fold(banks=4, offset_bits=5)
+        addresses = [i * 1024 for i in range(64)]
+        assert len({bits(a) for a in addresses}) == 1
+        assert len({fold(a) for a in addresses}) == 4
+
+
+class TestFibonacci:
+    def test_in_range(self):
+        select = fibonacci(banks=16, offset_bits=5)
+        for addr in range(0, 1 << 16, 97):
+            assert 0 <= select(addr) < 16
+
+    def test_spreads_strided_stream(self):
+        select = fibonacci(banks=4, offset_bits=5)
+        addresses = [i * 1024 for i in range(256)]
+        counts = [0] * 4
+        for addr in addresses:
+            counts[select(addr)] += 1
+        assert min(counts) > 256 // 4 // 3  # no starved bank
+
+    def test_same_line_same_bank(self):
+        select = fibonacci(banks=8, offset_bits=5)
+        assert select(0x2000) == select(0x201F)
+
+
+class TestFactory:
+    def test_known_functions(self):
+        assert set(available_bank_functions()) == {
+            "bit-select", "xor-fold", "fibonacci",
+        }
+
+    def test_single_bank_always_zero(self):
+        select = make_bank_selector("fibonacci", banks=1, offset_bits=5)
+        assert select(0xDEADBEEF) == 0
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigError):
+            make_bank_selector("nope", banks=4, offset_bits=5)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ConfigError):
+            make_bank_selector("bit-select", banks=6, offset_bits=5)
+
+    @given(
+        st.sampled_from(["bit-select", "xor-fold", "fibonacci"]),
+        st.sampled_from([2, 4, 8, 16]),
+        st.integers(min_value=0, max_value=2**40),
+    )
+    @settings(max_examples=200)
+    def test_all_functions_in_range_and_line_stable(self, name, banks, addr):
+        select = make_bank_selector(name, banks, offset_bits=5)
+        bank = select(addr)
+        assert 0 <= bank < banks
+        # every byte of a line maps to the same bank (line interleaving)
+        assert select(addr & ~31) == select(addr | 31)

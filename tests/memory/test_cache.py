@@ -1,0 +1,154 @@
+"""Cache array tests: lookup, fill, LRU, dirty state, invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import CacheGeometry
+from repro.memory.cache import CacheArray
+
+DM = CacheGeometry(size_bytes=1024, line_size=32, associativity=1)  # 32 sets
+SA4 = CacheGeometry(size_bytes=4096, line_size=32, associativity=4)  # 32 sets
+
+
+def dm_cache() -> CacheArray:
+    return CacheArray(DM)
+
+
+class TestBasics:
+    def test_empty_cache_misses(self):
+        cache = dm_cache()
+        assert not cache.access(0x1000, is_write=False)
+        assert not cache.probe(0x1000).hit
+
+    def test_fill_then_hit(self):
+        cache = dm_cache()
+        cache.fill(0x1000)
+        assert cache.access(0x1000, is_write=False)
+        assert cache.access(0x101F, is_write=False)  # same line
+
+    def test_line_granularity(self):
+        cache = dm_cache()
+        cache.fill(0x1000)
+        assert not cache.access(0x1020, is_write=False)  # next line
+
+    def test_probe_does_not_change_state(self):
+        cache = CacheArray(SA4)
+        cache.fill(0x0)
+        cache.fill(32 * 32)   # same set (32 sets of 32B)
+        for _ in range(10):
+            cache.probe(0x0)
+        # probing never updates LRU; filling two more lines then a third
+        # new one must evict line 0x0's set-mate deterministically
+        assert cache.contains(0x0)
+
+    def test_direct_mapped_conflict_eviction(self):
+        cache = dm_cache()
+        a = 0x0
+        b = 1024  # same set, different tag
+        cache.fill(a)
+        cache.fill(b)
+        assert cache.contains(b)
+        assert not cache.contains(a)
+
+
+class TestDirtyAndWritebacks:
+    def test_write_sets_dirty(self):
+        cache = dm_cache()
+        cache.fill(0x40)
+        cache.access(0x40, is_write=True)
+        assert cache.dirty_lines() == [0x40 // 32]
+
+    def test_fill_dirty(self):
+        cache = dm_cache()
+        cache.fill(0x40, dirty=True)
+        assert cache.dirty_lines() == [0x40 // 32]
+
+    def test_eviction_of_dirty_line_reports_writeback(self):
+        cache = dm_cache()
+        cache.fill(0x0, dirty=True)
+        result = cache.fill(1024)  # conflicts
+        assert result.writeback_line_addr == 0
+
+    def test_eviction_of_clean_line_is_silent(self):
+        cache = dm_cache()
+        cache.fill(0x0)
+        result = cache.fill(1024)
+        assert result.writeback_line_addr is None
+
+    def test_refill_merges_dirty(self):
+        cache = dm_cache()
+        cache.fill(0x0, dirty=True)
+        cache.fill(0x0, dirty=False)
+        assert cache.dirty_lines() == [0]
+
+
+class TestLru:
+    def test_lru_victim_selection(self):
+        cache = CacheArray(SA4)
+        set_stride = 32 * 32  # lines mapping to set 0
+        lines = [i * set_stride for i in range(4)]
+        for addr in lines:
+            cache.fill(addr)
+        cache.access(lines[0], is_write=False)  # make line 0 MRU
+        cache.fill(4 * set_stride)  # evicts LRU = lines[1]
+        assert cache.contains(lines[0])
+        assert not cache.contains(lines[1])
+        assert cache.contains(lines[2])
+
+    def test_invalid_way_preferred_over_eviction(self):
+        cache = CacheArray(SA4)
+        cache.fill(0x0)
+        cache.fill(32 * 32)
+        assert len(cache.resident_lines()) == 2  # no evictions yet
+
+    def test_invalidate(self):
+        cache = dm_cache()
+        cache.fill(0x40)
+        assert cache.invalidate(0x40)
+        assert not cache.contains(0x40)
+        assert not cache.invalidate(0x40)
+
+
+class TestInvariants:
+    @given(st.lists(st.integers(min_value=0, max_value=2**20), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_capacity_never_exceeded(self, addresses):
+        cache = CacheArray(SA4)
+        for addr in addresses:
+            if not cache.access(addr, is_write=False):
+                cache.fill(addr)
+        assert len(cache.resident_lines()) <= SA4.num_lines
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**20), max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_fill_implies_hit(self, addresses):
+        cache = CacheArray(SA4)
+        for addr in addresses:
+            cache.fill(addr)
+            assert cache.contains(addr)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=2**16), st.booleans()),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_dirty_lines_subset_of_resident(self, operations):
+        cache = dm_cache()
+        for addr, is_write in operations:
+            if not cache.access(addr, is_write):
+                cache.fill(addr, dirty=is_write)
+        assert set(cache.dirty_lines()) <= set(cache.resident_lines())
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=100)
+    def test_working_set_smaller_than_cache_always_hits_after_warmup(self, base):
+        cache = CacheArray(SA4)
+        addresses = [base + i * 32 for i in range(SA4.num_lines // 2)]
+        for addr in addresses:
+            if not cache.access(addr, is_write=False):
+                cache.fill(addr)
+        for addr in addresses:
+            assert cache.access(addr, is_write=False)

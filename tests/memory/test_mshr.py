@@ -1,0 +1,82 @@
+"""MSHR file tests."""
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.memory.mshr import MshrFile
+
+
+class TestAllocation:
+    def test_allocate_and_lookup(self):
+        mshrs = MshrFile(entries=4)
+        mshr = mshrs.allocate(line_addr=10, fill_cycle=50, is_write=False)
+        assert mshrs.lookup(10) is mshr
+        assert mshrs.occupancy == 1
+
+    def test_duplicate_allocation_rejected(self):
+        mshrs = MshrFile(entries=4)
+        mshrs.allocate(10, 50, False)
+        with pytest.raises(SimulationError):
+            mshrs.allocate(10, 60, False)
+
+    def test_full(self):
+        mshrs = MshrFile(entries=2)
+        mshrs.allocate(1, 10, False)
+        mshrs.allocate(2, 10, False)
+        assert mshrs.full
+        with pytest.raises(SimulationError):
+            mshrs.allocate(3, 10, False)
+
+    def test_needs_at_least_one_entry(self):
+        with pytest.raises(SimulationError):
+            MshrFile(entries=0)
+
+
+class TestMerging:
+    def test_merge_counts_requests(self):
+        mshrs = MshrFile(entries=4)
+        mshrs.allocate(5, 30, False)
+        mshr = mshrs.merge(5, is_write=False)
+        assert mshr.merged_requests == 2
+
+    def test_merge_write_marks_line_dirty_on_fill(self):
+        mshrs = MshrFile(entries=4)
+        mshrs.allocate(5, 30, is_write=False)
+        mshr = mshrs.merge(5, is_write=True)
+        assert mshr.is_write
+
+    def test_merge_missing_line_rejected(self):
+        mshrs = MshrFile(entries=4)
+        with pytest.raises(SimulationError):
+            mshrs.merge(99, False)
+
+
+class TestRetirement:
+    def test_retire_ready_by_cycle(self):
+        mshrs = MshrFile(entries=4)
+        mshrs.allocate(1, fill_cycle=10, is_write=False)
+        mshrs.allocate(2, fill_cycle=20, is_write=False)
+        ready = mshrs.retire_ready(cycle=15)
+        assert [m.line_addr for m in ready] == [1]
+        assert mshrs.occupancy == 1
+        assert mshrs.lookup(1) is None
+
+    def test_retire_nothing_early(self):
+        mshrs = MshrFile(entries=4)
+        mshrs.allocate(1, fill_cycle=10, is_write=False)
+        assert mshrs.retire_ready(cycle=9) == []
+
+    def test_drain_all(self):
+        mshrs = MshrFile(entries=4)
+        mshrs.allocate(1, 10, False)
+        mshrs.allocate(2, 20, False)
+        drained = mshrs.drain_all()
+        assert len(drained) == 2
+        assert mshrs.occupancy == 0
+
+    def test_reallocation_after_retire(self):
+        mshrs = MshrFile(entries=1)
+        mshrs.allocate(1, 10, False)
+        mshrs.retire_ready(cycle=10)
+        mshrs.allocate(1, 30, False)  # same line again is fine now
+        assert mshrs.occupancy == 1

@@ -1,0 +1,297 @@
+"""Port-model arbitration tests for all four organizations.
+
+Addresses are pre-warmed so the tests isolate *arbitration* behaviour
+from miss handling (covered in test_hierarchy).
+"""
+
+import pytest
+
+from repro.common.config import (
+    BankedPortConfig,
+    IdealPortConfig,
+    L1Config,
+    L2Config,
+    LBICConfig,
+    MainMemoryConfig,
+    ReplicatedPortConfig,
+)
+from repro.common.errors import SimulationError
+from repro.common.stats import StatGroup
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.ports import (
+    BankedCache,
+    IdealMultiPorted,
+    LBICache,
+    ReplicatedMultiPorted,
+    make_port_model,
+)
+
+BASE = 0x10_0000  # line-aligned, bank 0 for 4 banks
+
+
+def make(config, warm=()):
+    hierarchy = MemoryHierarchy(L1Config(), L2Config(), MainMemoryConfig())
+    stats = StatGroup("ports")
+    port = make_port_model(config, hierarchy, stats)
+    for addr in warm:
+        hierarchy.warm(addr, is_write=False)
+    port.begin_cycle(1)
+    return hierarchy, port
+
+
+def lines(*indices, offset=0):
+    return [BASE + 32 * i + offset for i in indices]
+
+
+class TestFactory:
+    def test_dispatch(self):
+        assert isinstance(make(IdealPortConfig(2))[1], IdealMultiPorted)
+        assert isinstance(make(ReplicatedPortConfig(2))[1], ReplicatedMultiPorted)
+        assert isinstance(make(BankedPortConfig(banks=4))[1], BankedCache)
+        assert isinstance(make(LBICConfig(banks=4, buffer_ports=2))[1], LBICache)
+
+    def test_unknown_config_rejected(self):
+        from repro.common.config import PortModelConfig
+        from repro.common.errors import ConfigError
+
+        class Bogus(PortModelConfig):
+            pass
+
+        hierarchy = MemoryHierarchy(L1Config(), L2Config(), MainMemoryConfig())
+        with pytest.raises(ConfigError):
+            make_port_model(Bogus(), hierarchy, StatGroup("x"))
+
+    def test_begin_cycle_must_advance(self):
+        _, port = make(IdealPortConfig(1))
+        with pytest.raises(SimulationError):
+            port.begin_cycle(1)  # same cycle again
+
+
+class TestIdeal:
+    def test_accepts_up_to_p_any_addresses(self):
+        addrs = lines(0, 1, 2, 3)
+        _, port = make(IdealPortConfig(4), warm=addrs)
+        assert all(port.try_load(a) is not None for a in addrs)
+        assert port.try_load(addrs[0]) is None  # 5th refused
+        assert port.refusal_count("port_limit") == 1
+
+    def test_same_address_twice_is_fine(self):
+        addr = lines(0)[0]
+        _, port = make(IdealPortConfig(2), warm=[addr])
+        assert port.try_load(addr) is not None
+        assert port.try_load(addr) is not None
+
+    def test_stores_and_loads_share_ports(self):
+        addrs = lines(0, 1)
+        _, port = make(IdealPortConfig(2), warm=addrs)
+        assert port.try_store(addrs[0])
+        assert port.try_load(addrs[1]) is not None
+        assert not port.try_store(addrs[0])
+
+    def test_ports_free_next_cycle(self):
+        addr = lines(0)[0]
+        _, port = make(IdealPortConfig(1), warm=[addr])
+        assert port.try_load(addr) is not None
+        assert port.try_load(addr) is None
+        port.end_cycle()
+        port.begin_cycle(2)
+        assert port.try_load(addr) is not None
+
+    def test_hit_completes_next_cycle(self):
+        addr = lines(0)[0]
+        _, port = make(IdealPortConfig(1), warm=[addr])
+        assert port.try_load(addr) == 2  # begin_cycle(1) + 1-cycle hit
+
+
+class TestReplicated:
+    def test_loads_fill_all_ports(self):
+        addrs = lines(0, 1)
+        _, port = make(ReplicatedPortConfig(2), warm=addrs)
+        assert port.try_load(addrs[0]) is not None
+        assert port.try_load(addrs[1]) is not None
+        assert port.try_load(addrs[0]) is None
+
+    def test_store_blocks_everything_after_it(self):
+        addrs = lines(0, 1)
+        _, port = make(ReplicatedPortConfig(4), warm=addrs)
+        assert port.try_store(addrs[0])
+        assert port.try_load(addrs[1]) is None
+        assert not port.try_store(addrs[1])
+        assert port.refusal_count("store_serialization") >= 1
+
+    def test_store_after_load_refused(self):
+        addrs = lines(0, 1)
+        _, port = make(ReplicatedPortConfig(4), warm=addrs)
+        assert port.try_load(addrs[0]) is not None
+        assert not port.try_store(addrs[1])
+
+    def test_store_alone_next_cycle(self):
+        addrs = lines(0, 1)
+        _, port = make(ReplicatedPortConfig(4), warm=addrs)
+        port.try_load(addrs[0])
+        port.end_cycle()
+        port.begin_cycle(2)
+        assert port.try_store(addrs[1])
+
+
+class TestBanked:
+    def test_distinct_banks_proceed(self):
+        addrs = lines(0, 1, 2, 3)  # four consecutive lines = four banks
+        _, port = make(BankedPortConfig(banks=4), warm=addrs)
+        assert all(port.try_load(a) is not None for a in addrs)
+
+    def test_same_bank_conflicts(self):
+        conflict = lines(0, 4)  # 4 lines apart = same bank, different line
+        _, port = make(BankedPortConfig(banks=4), warm=conflict)
+        assert port.try_load(conflict[0]) is not None
+        assert port.try_load(conflict[1]) is None
+        assert port.refusal_count("bank_conflict") == 1
+
+    def test_same_line_also_conflicts(self):
+        """The traditional bank cannot combine same-line accesses —
+        exactly what the LBIC fixes (paper section 4)."""
+        same_line = [BASE, BASE + 8]
+        _, port = make(BankedPortConfig(banks=4), warm=same_line)
+        assert port.try_load(same_line[0]) is not None
+        assert port.try_load(same_line[1]) is None
+        stats_value = port.stats.value("same_line_bank_conflicts")
+        assert stats_value == 1
+
+    def test_in_order_stall_after_refusal(self):
+        """Conventional organizations serve an age-ordered prefix: after
+        one refusal, younger requests are refused even to free banks."""
+        addrs = lines(0, 4, 1)  # conflict on the second
+        _, port = make(BankedPortConfig(banks=4), warm=addrs)
+        assert port.try_load(addrs[0]) is not None
+        assert port.try_load(addrs[1]) is None
+        assert port.try_load(addrs[2]) is None  # bank 1 free, still refused
+        assert port.refusal_count("in_order_stall") == 1
+
+    def test_store_refusal_does_not_close_loads(self):
+        addrs = lines(0, 4, 1)
+        _, port = make(BankedPortConfig(banks=4), warm=addrs)
+        assert port.try_store(addrs[0])
+        assert not port.try_store(addrs[1])  # same-bank store stalls commit
+        assert port.try_load(addrs[2]) is not None  # loads unaffected
+
+    def test_bank_function_respected(self):
+        config = BankedPortConfig(banks=4, bank_function="fibonacci")
+        _, port = make(config)
+        assert port.bank_of(BASE) == port.bank_of(BASE + 31)
+
+
+class TestLbic:
+    def test_same_line_combining_up_to_n(self):
+        addrs = [BASE, BASE + 8, BASE + 16, BASE + 24]
+        _, port = make(LBICConfig(banks=4, buffer_ports=4), warm=addrs)
+        assert all(port.try_load(a) is not None for a in addrs)
+
+    def test_buffer_port_limit(self):
+        addrs = [BASE, BASE + 8, BASE + 16]
+        _, port = make(LBICConfig(banks=4, buffer_ports=2), warm=addrs)
+        assert port.try_load(addrs[0]) is not None
+        assert port.try_load(addrs[1]) is not None
+        assert port.try_load(addrs[2]) is None
+        assert port.refusal_count("port_limit") == 1
+
+    def test_different_line_same_bank_conflicts(self):
+        conflict = lines(0, 4)
+        _, port = make(LBICConfig(banks=4, buffer_ports=4), warm=conflict)
+        assert port.try_load(conflict[0]) is not None
+        assert port.try_load(conflict[1]) is None
+        assert port.refusal_count("line_conflict") == 1
+
+    def test_no_global_in_order_stall(self):
+        """Per-bank LSQ queues: a conflict in bank 0 does not stall
+        service in bank 1 (unlike the traditional banked cache)."""
+        addrs = lines(0, 4, 1)
+        _, port = make(LBICConfig(banks=4, buffer_ports=2), warm=addrs)
+        assert port.try_load(addrs[0]) is not None
+        assert port.try_load(addrs[1]) is None
+        assert port.try_load(addrs[2]) is not None
+
+    def test_paper_figure_4c_example(self):
+        """Fig 4c: st bank0/line12, ld bank1/line10, ld bank1/line10,
+        st bank0/line12 — all four accepted in one cycle by a 2x2 LBIC.
+        Line numbers in the figure are per-bank line selectors."""
+        line12_bank0 = BASE + (12 * 2 + 0) * 32
+        line10_bank1 = BASE + (10 * 2 + 1) * 32
+        warm = [line12_bank0, line10_bank1]
+        _, port = make(LBICConfig(banks=2, buffer_ports=2), warm=warm)
+        assert port.bank_of(line12_bank0) != port.bank_of(line10_bank1)
+        assert port.try_store(line12_bank0 + 0)
+        assert port.try_load(line10_bank1 + 4) is not None
+        assert port.try_load(line10_bank1 + 8) is not None
+        assert port.try_store(line12_bank0 + 12)
+
+    def test_store_enters_queue_without_array_access(self):
+        hierarchy, port = make(LBICConfig(banks=4, buffer_ports=2))
+        assert port.try_store(BASE)
+        assert hierarchy.accesses == 0  # queued, not yet written
+        assert port.pending_work()
+
+    def test_store_queue_drains_on_idle_cycle(self):
+        hierarchy, port = make(LBICConfig(banks=4, buffer_ports=2), warm=[BASE])
+        port.try_store(BASE)
+        port.end_cycle()  # bank was busy (the store used it)... next cycle:
+        port.begin_cycle(2)
+        port.end_cycle()  # idle -> drain
+        assert not port.pending_work()
+        assert hierarchy.stats.value("store_accesses") == 1
+
+    def test_store_queue_coalesces_same_line(self):
+        hierarchy, port = make(
+            LBICConfig(banks=4, buffer_ports=4), warm=[BASE]
+        )
+        assert port.try_store(BASE)
+        assert port.try_store(BASE + 8)
+        assert port.try_store(BASE + 16)
+        assert port.store_queue_occupancy()[0] == 1  # merged into one entry
+        port.end_cycle()
+        port.begin_cycle(2)
+        port.end_cycle()  # one drain clears everything
+        assert not port.pending_work()
+
+    def test_store_queue_full_backpressure(self):
+        config = LBICConfig(banks=4, buffer_ports=4, store_queue_depth=1)
+        _, port = make(config, warm=lines(0, 4, 8))
+        assert port.try_store(BASE)  # occupies the 1-deep queue of bank 0
+        port.end_cycle()  # bank was busy: no drain happens
+        port.begin_cycle(2)
+        # leading store to a *different* line of bank 0: queue still full
+        assert not port.try_store(BASE + 4 * 32)
+        assert port.refusal_count("store_queue_full") == 1
+
+    def test_full_queue_still_coalesces(self):
+        config = LBICConfig(banks=4, buffer_ports=4, store_queue_depth=1)
+        _, port = make(config, warm=[BASE])
+        assert port.try_store(BASE)
+        assert port.try_store(BASE + 8)  # same line: coalesces despite full
+
+    def test_combining_rate(self):
+        addrs = [BASE, BASE + 8]
+        _, port = make(LBICConfig(banks=4, buffer_ports=2), warm=addrs)
+        port.try_load(addrs[0])
+        port.try_load(addrs[1])
+        port.end_cycle()
+        assert port.combining_rate() == pytest.approx(0.5)
+
+    def test_leading_store_gates_line_for_loads(self):
+        """A committing store and a load to the same line share a cycle
+        ('a load followed by a store to the same memory location...')."""
+        _, port = make(LBICConfig(banks=2, buffer_ports=2), warm=[BASE])
+        assert port.try_store(BASE)
+        assert port.try_load(BASE + 8) is not None
+
+
+class TestUtilization:
+    def test_utilization_math(self):
+        addrs = lines(0, 1)
+        _, port = make(IdealPortConfig(2), warm=addrs)
+        port.try_load(addrs[0])
+        port.end_cycle()
+        assert port.utilization(cycles=1) == pytest.approx(0.5)
+
+    def test_zero_cycles(self):
+        _, port = make(IdealPortConfig(2))
+        assert port.utilization(0) == 0.0

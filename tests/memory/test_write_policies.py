@@ -1,0 +1,155 @@
+"""Write-policy tests: write-back/write-allocate (paper baseline) vs
+write-through and no-write-allocate."""
+
+import pytest
+
+from repro.common.config import L1Config, L2Config, MainMemoryConfig
+from repro.memory.hierarchy import MemoryHierarchy
+
+ADDR = 0x10_0000
+
+
+def hierarchy(writeback=True, write_allocate=True) -> MemoryHierarchy:
+    return MemoryHierarchy(
+        L1Config(writeback=writeback, write_allocate=write_allocate),
+        L2Config(),
+        MainMemoryConfig(),
+    )
+
+
+class TestWriteBackWriteAllocate:
+    """The paper's configuration — the reference behaviour."""
+
+    def test_store_hit_dirties_line(self):
+        h = hierarchy()
+        h.warm(ADDR, is_write=False)
+        h.access(ADDR, is_write=True, cycle=0)
+        assert h.l1_array.dirty_lines() == [ADDR // 32]
+
+    def test_store_miss_allocates(self):
+        h = hierarchy()
+        outcome = h.access(ADDR, is_write=True, cycle=0)
+        assert not outcome.hit
+        assert h.mshrs.occupancy == 1
+        h.tick(outcome.complete_cycle)
+        assert h.l1_array.contains(ADDR)
+
+    def test_no_write_through_traffic(self):
+        h = hierarchy()
+        h.warm(ADDR, is_write=False)
+        h.access(ADDR, is_write=True, cycle=0)
+        assert h.stats.group("backend").value("write_throughs") == 0
+
+
+class TestWriteThrough:
+    def test_store_hit_stays_clean_and_updates_l2(self):
+        h = hierarchy(writeback=False)
+        h.warm(ADDR, is_write=False)
+        h.access(ADDR, is_write=True, cycle=0)
+        assert h.l1_array.dirty_lines() == []
+        assert h.stats.group("backend").value("write_throughs") == 1
+
+    def test_eviction_is_silent(self):
+        h = hierarchy(writeback=False)
+        h.warm(ADDR, is_write=False)
+        h.access(ADDR, is_write=True, cycle=0)
+        # evict via a conflicting line
+        outcome = h.access(ADDR + 32 * 1024, is_write=False, cycle=1)
+        h.tick(outcome.complete_cycle)
+        assert h.stats.group("backend").value("writebacks") == 0
+
+    def test_store_miss_with_allocate_fills_clean(self):
+        h = hierarchy(writeback=False, write_allocate=True)
+        outcome = h.access(ADDR, is_write=True, cycle=0)
+        h.tick(outcome.complete_cycle)
+        assert h.l1_array.contains(ADDR)
+        assert h.l1_array.dirty_lines() == []
+        assert h.stats.group("backend").value("write_throughs") == 1
+
+    def test_every_store_produces_l2_traffic(self):
+        h = hierarchy(writeback=False)
+        h.warm(ADDR, is_write=False)
+        for i in range(10):
+            h.access(ADDR + 8 * (i % 4), is_write=True, cycle=i)
+        assert h.stats.group("backend").value("write_throughs") == 10
+
+
+class TestNoWriteAllocate:
+    def test_store_miss_does_not_install(self):
+        h = hierarchy(write_allocate=False)
+        outcome = h.access(ADDR, is_write=True, cycle=0)
+        assert not outcome.hit
+        assert outcome.complete_cycle == 1  # retires through the buffer
+        assert h.mshrs.occupancy == 0
+        assert not h.l1_array.contains(ADDR)
+
+    def test_store_miss_reaches_l2(self):
+        h = hierarchy(write_allocate=False)
+        h.access(ADDR, is_write=True, cycle=0)
+        # the written line is now an L2 hit for a later load miss
+        outcome = h.access(ADDR, is_write=False, cycle=10)
+        assert outcome.complete_cycle == 10 + 1 + 4
+
+    def test_store_hit_behaves_normally(self):
+        h = hierarchy(write_allocate=False)
+        h.warm(ADDR, is_write=False)
+        outcome = h.access(ADDR, is_write=True, cycle=0)
+        assert outcome.hit
+        assert h.l1_array.dirty_lines() == [ADDR // 32]
+
+    def test_load_misses_still_allocate(self):
+        h = hierarchy(write_allocate=False)
+        outcome = h.access(ADDR, is_write=False, cycle=0)
+        h.tick(outcome.complete_cycle)
+        assert h.l1_array.contains(ADDR)
+
+    def test_warm_respects_policy(self):
+        h = hierarchy(write_allocate=False)
+        h.warm(ADDR, is_write=True)
+        assert not h.l1_array.contains(ADDR)
+
+
+class TestEndToEnd:
+    def test_simulation_runs_under_each_policy(self):
+        import dataclasses
+
+        from repro import paper_machine
+        from repro.core.processor import Processor
+        from repro.workloads import spec95_workload
+
+        for writeback, allocate in ((True, True), (False, True), (True, False),
+                                    (False, False)):
+            base = paper_machine()
+            machine = dataclasses.replace(
+                base,
+                l1=dataclasses.replace(
+                    base.l1, writeback=writeback, write_allocate=allocate
+                ),
+            )
+            result = Processor(machine).run(
+                spec95_workload("compress").stream(seed=1, max_instructions=1500)
+            )
+            assert result.instructions == 1500
+
+    def test_write_through_generates_more_l2_traffic(self):
+        import dataclasses
+
+        from repro import paper_machine
+        from repro.core.processor import Processor
+        from repro.workloads import spec95_workload
+
+        traffic = {}
+        for writeback in (True, False):
+            base = paper_machine()
+            machine = dataclasses.replace(
+                base, l1=dataclasses.replace(base.l1, writeback=writeback)
+            )
+            processor = Processor(machine)
+            processor.run(
+                spec95_workload("compress").stream(seed=1, max_instructions=4000)
+            )
+            backend = processor.stats.group("memory").group("backend")
+            traffic[writeback] = (
+                backend.value("write_throughs") + backend.value("writebacks")
+            )
+        assert traffic[False] > 2 * traffic[True]

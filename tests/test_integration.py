@@ -1,0 +1,128 @@
+"""End-to-end integration tests: the paper's qualitative results on
+small (fast) runs.
+
+These complement the full-size checks in ``benchmarks/``: they use
+reduced instruction budgets so the whole suite stays quick, and assert
+only robust orderings.
+"""
+
+import pytest
+
+from repro import (
+    BankedPortConfig,
+    IdealPortConfig,
+    LBICConfig,
+    ReplicatedPortConfig,
+    paper_machine,
+    simulate,
+)
+from repro.workloads import spec95_workload
+
+N = 6_000
+WARM = 25_000
+
+
+def ipc(name: str, ports) -> float:
+    workload = spec95_workload(name)
+    result = simulate(
+        paper_machine(ports),
+        workload.stream(seed=1, max_instructions=N + WARM),
+        max_instructions=N,
+        warmup_instructions=WARM,
+        label=f"{name}",
+    )
+    return result.ipc
+
+
+@pytest.fixture(scope="module")
+def li():
+    return {
+        "t1": ipc("li", IdealPortConfig(1)),
+        "t4": ipc("li", IdealPortConfig(4)),
+        "r4": ipc("li", ReplicatedPortConfig(4)),
+        "b4": ipc("li", BankedPortConfig(banks=4)),
+        "l44": ipc("li", LBICConfig(banks=4, buffer_ports=4)),
+    }
+
+
+@pytest.fixture(scope="module")
+def swim():
+    return {
+        "t4": ipc("swim", IdealPortConfig(4)),
+        "r4": ipc("swim", ReplicatedPortConfig(4)),
+        "b4": ipc("swim", BankedPortConfig(banks=4)),
+        "l44": ipc("swim", LBICConfig(banks=4, buffer_ports=4)),
+        "l22": ipc("swim", LBICConfig(banks=2, buffer_ports=2)),
+        "t2": ipc("swim", IdealPortConfig(2)),
+    }
+
+
+class TestPortScaling:
+    def test_li_single_port_matches_paper(self):
+        """li runs at the 1-port bandwidth limit: paper IPC 2.10."""
+        assert ipc("li", IdealPortConfig(1)) == pytest.approx(2.10, abs=0.2)
+
+    def test_ports_scale_ipc(self, li):
+        assert li["t4"] > 1.8 * li["t1"]
+
+
+class TestOrganizationOrdering:
+    def test_ideal_beats_everything(self, li):
+        assert li["t4"] >= li["r4"]
+        assert li["t4"] >= li["b4"]
+
+    def test_lbic_beats_banked_and_replicated(self, li):
+        assert li["l44"] > li["b4"]
+        assert li["l44"] > li["r4"]
+
+    def test_lbic_close_to_ideal(self, li):
+        assert li["l44"] >= 0.85 * li["t4"]
+
+    def test_swim_bank_conflicts_hurt(self, swim):
+        """swim's power-of-two array aliasing wrecks traditional banking
+        (paper: bank-4 6.19 vs ideal-4 10.0)."""
+        assert swim["b4"] < 0.60 * swim["t4"]
+
+    def test_swim_lbic_recovers(self, swim):
+        assert swim["l44"] > 1.5 * swim["b4"]
+
+    def test_swim_2x2_lbic_beats_2port_ideal(self, swim):
+        """Table 4 vs Table 3: swim 2x2 LBIC 8.28 > ideal-2 6.36."""
+        assert swim["l22"] > swim["t2"]
+
+
+class TestStoreIntensity:
+    def test_replication_hurts_store_heavy_compress(self):
+        t4 = ipc("compress", IdealPortConfig(4))
+        r4 = ipc("compress", ReplicatedPortConfig(4))
+        assert r4 < 0.75 * t4
+
+    def test_replication_fine_for_storeless_mgrid(self):
+        t4 = ipc("mgrid", IdealPortConfig(4))
+        r4 = ipc("mgrid", ReplicatedPortConfig(4))
+        assert r4 > 0.85 * t4
+
+
+class TestCombiningPolicy:
+    def test_largest_group_at_least_leading_request(self):
+        leading = ipc("swim", LBICConfig(banks=4, buffer_ports=4))
+        largest = ipc(
+            "swim",
+            LBICConfig(banks=4, buffer_ports=4, combining_policy="largest-group"),
+        )
+        assert largest >= 0.95 * leading
+
+
+class TestSeedRobustness:
+    def test_ipc_stable_across_seeds(self):
+        values = [
+            simulate(
+                paper_machine(IdealPortConfig(4)),
+                spec95_workload("gcc").stream(seed=seed, max_instructions=N + WARM),
+                max_instructions=N,
+                warmup_instructions=WARM,
+            ).ipc
+            for seed in (1, 2, 3)
+        ]
+        spread = (max(values) - min(values)) / (sum(values) / 3)
+        assert spread < 0.15

@@ -1,0 +1,118 @@
+"""Calibration tests: every SPEC95 model within tolerance of Table 2 and
+the Figure 3 targets.
+
+These are the contract that makes the reproduction meaningful: if a
+model drifts (for example after a kernel change), these tests fail with
+the measured-vs-target values.
+"""
+
+import pytest
+
+from repro.analysis.traces import characterize
+from repro.workloads.spec95 import ALL_NAMES, PAPER_TARGETS, TOLERANCES, spec95_workload
+
+INSTRUCTIONS = 60_000
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    results = {}
+    for name in ALL_NAMES:
+        workload = spec95_workload(name)
+        results[name] = characterize(
+            workload.stream(seed=1, max_instructions=INSTRUCTIONS),
+            skip_warmup=INSTRUCTIONS // 10,
+        )
+    return results
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestTable2Calibration:
+    def test_mem_fraction(self, measurements, name):
+        target = PAPER_TARGETS[name].mem_fraction
+        measured = measurements[name].mem_fraction
+        assert measured == pytest.approx(target, abs=TOLERANCES["mem_fraction"])
+
+    def test_store_to_load_ratio(self, measurements, name):
+        target = PAPER_TARGETS[name].store_to_load
+        measured = measurements[name].store_to_load_ratio
+        assert measured == pytest.approx(target, abs=TOLERANCES["store_to_load"])
+
+    def test_miss_rate(self, measurements, name):
+        target = PAPER_TARGETS[name].miss_rate
+        measured = measurements[name].miss_rate
+        assert measured == pytest.approx(target, abs=TOLERANCES["miss_rate"])
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+class TestFigure3Calibration:
+    def test_same_line_fraction(self, measurements, name):
+        target = PAPER_TARGETS[name].fig3_same_line
+        measured = measurements[name].mapping.fraction("B-same-line")
+        assert measured == pytest.approx(target, abs=TOLERANCES["fig3_same_line"])
+
+    def test_diff_line_fraction(self, measurements, name):
+        target = PAPER_TARGETS[name].fig3_diff_line
+        measured = measurements[name].mapping.fraction("B-diff-line")
+        assert measured == pytest.approx(target, abs=TOLERANCES["fig3_diff_line"])
+
+
+class TestSuiteLevelShapes:
+    def test_int_suite_skews_same_line(self, measurements):
+        """SPECint: most same-bank mass is combinable (same line)."""
+        from repro.workloads.spec95 import SPECINT_NAMES
+
+        sl = sum(
+            measurements[n].mapping.fraction("B-same-line") for n in SPECINT_NAMES
+        ) / 5
+        dl = sum(
+            measurements[n].mapping.fraction("B-diff-line") for n in SPECINT_NAMES
+        ) / 5
+        assert sl > 2 * dl
+
+    def test_fp_suite_has_more_diff_line(self, measurements):
+        from repro.workloads.spec95 import SPECFP_NAMES, SPECINT_NAMES
+
+        fp_dl = sum(
+            measurements[n].mapping.fraction("B-diff-line") for n in SPECFP_NAMES
+        ) / 5
+        int_dl = sum(
+            measurements[n].mapping.fraction("B-diff-line") for n in SPECINT_NAMES
+        ) / 5
+        assert fp_dl > int_dl
+
+    def test_swim_is_the_conflict_extreme(self, measurements):
+        dl = {
+            n: measurements[n].mapping.fraction("B-diff-line") for n in ALL_NAMES
+        }
+        assert max(dl, key=dl.get) == "swim"
+
+    def test_li_has_lowest_miss_rate(self, measurements):
+        rates = {n: measurements[n].miss_rate for n in ALL_NAMES}
+        assert min(rates, key=rates.get) == "li"
+
+    def test_mgrid_has_fewest_stores(self, measurements):
+        ratios = {n: measurements[n].store_to_load_ratio for n in ALL_NAMES}
+        assert min(ratios, key=ratios.get) == "mgrid"
+
+    def test_li_has_highest_mem_fraction(self, measurements):
+        fractions = {n: measurements[n].mem_fraction for n in ALL_NAMES}
+        assert max(fractions, key=fractions.get) == "li"
+
+
+class TestConvergence:
+    def test_characteristics_stationary(self):
+        """The models are stationary: doubling the stream length moves the
+        steady-state mem fraction by very little (validates short runs)."""
+        workload = spec95_workload("gcc")
+        short = characterize(
+            workload.stream(seed=1, max_instructions=20_000), skip_warmup=2_000
+        )
+        workload2 = spec95_workload("gcc")
+        long = characterize(
+            workload2.stream(seed=1, max_instructions=40_000), skip_warmup=2_000
+        )
+        assert short.mem_fraction == pytest.approx(long.mem_fraction, abs=0.01)
+        assert short.store_to_load_ratio == pytest.approx(
+            long.store_to_load_ratio, abs=0.05
+        )

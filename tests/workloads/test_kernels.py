@@ -1,0 +1,284 @@
+"""Burst-kernel tests: signatures, state, register discipline."""
+
+import pytest
+
+from repro.analysis.reference_stream import analyze_addresses
+from repro.common.errors import WorkloadError
+from repro.common.rng import RngStream
+from repro.workloads.base import RegisterPool
+from repro.workloads.kernels import (
+    HashTableKernel,
+    MultiArrayWalkKernel,
+    PointerChaseKernel,
+    RegionAllocator,
+    ReductionKernel,
+    SameLineBurstKernel,
+    SequentialWalkKernel,
+    StackFrameKernel,
+    TiledWalkKernel,
+)
+
+
+def collect_addresses(kernel, bursts=200, seed=3):
+    rng = RngStream.for_component(seed, "kernel-test")
+    addresses = []
+    for _ in range(bursts):
+        out = []
+        kernel.burst(rng, out)
+        addresses.extend(i.addr for i in out if i.is_mem)
+    return addresses
+
+
+def fresh():
+    return RegisterPool(), RegionAllocator()
+
+
+class TestRegionAllocator:
+    def test_disjoint_regions(self):
+        regions = RegionAllocator()
+        a = regions.allocate(1024)
+        b = regions.allocate(1024)
+        assert b >= a + 1024
+
+    def test_line_alignment(self):
+        regions = RegionAllocator()
+        assert regions.allocate(100) % 32 == 0
+        assert regions.allocate(100) % 32 == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            RegionAllocator().allocate(0)
+
+
+class TestSequentialWalk:
+    def test_unit_stride_signature(self):
+        regs, regions = fresh()
+        kernel = SequentialWalkKernel(regs, regions, region_bytes=64 * 1024,
+                                      stride=8, refs_per_burst=4)
+        result = analyze_addresses(collect_addresses(kernel))
+        assert result.fraction("B-same-line") > 0.70
+
+    def test_bank_aliased_stride_signature(self):
+        regs, regions = fresh()
+        kernel = SequentialWalkKernel(regs, regions, region_bytes=64 * 1024,
+                                      stride=1024, refs_per_burst=4)
+        result = analyze_addresses(collect_addresses(kernel))
+        assert result.fraction("B-diff-line") > 0.95
+
+    def test_addresses_stay_in_region(self):
+        regs, regions = fresh()
+        kernel = SequentialWalkKernel(regs, regions, region_bytes=4096, stride=8)
+        for addr in collect_addresses(kernel, bursts=400):
+            assert kernel.region_base <= addr < kernel.region_base + 4096
+
+    def test_store_every(self):
+        regs, regions = fresh()
+        kernel = SequentialWalkKernel(regs, regions, region_bytes=4096,
+                                      stride=8, refs_per_burst=4, store_every=2)
+        rng = RngStream.for_component(1, "x")
+        out = []
+        kernel.burst(rng, out)
+        stores = [i for i in out if i.is_store]
+        loads = [i for i in out if i.is_load]
+        assert len(stores) == 2 and len(loads) == 2
+
+    def test_reset_replays(self):
+        regs, regions = fresh()
+        kernel = SequentialWalkKernel(regs, regions, region_bytes=4096, stride=8)
+        first = collect_addresses(kernel, bursts=10)
+        kernel.reset()
+        second = collect_addresses(kernel, bursts=10)
+        assert first == second
+
+    def test_rejects_bad_params(self):
+        regs, regions = fresh()
+        with pytest.raises(WorkloadError):
+            SequentialWalkKernel(regs, regions, 4096, stride=0)
+        with pytest.raises(WorkloadError):
+            SequentialWalkKernel(regs, regions, 4096, refs_per_burst=0)
+
+
+class TestTiledWalk:
+    def test_miss_rate_scales_with_passes(self):
+        from repro.analysis.traces import FunctionalCache
+
+        for passes, expected in ((1, 0.25), (4, 0.0625)):
+            regs, regions = fresh()
+            kernel = TiledWalkKernel(regs, regions, region_bytes=2 * 1024 * 1024,
+                                     window_lines=16, passes=passes,
+                                     refs_per_burst=4, stride=8)
+            cache = FunctionalCache()
+            for addr in collect_addresses(kernel, bursts=2000):
+                cache.access(addr, is_write=False)
+            assert cache.miss_rate == pytest.approx(expected, rel=0.25)
+
+    def test_stride_validation(self):
+        regs, regions = fresh()
+        with pytest.raises(WorkloadError):
+            TiledWalkKernel(regs, regions, 4096, stride=12)
+
+    def test_window_must_fit(self):
+        regs, regions = fresh()
+        with pytest.raises(WorkloadError):
+            TiledWalkKernel(regs, regions, region_bytes=256, window_lines=16)
+
+
+class TestMultiArrayWalk:
+    def test_aliased_spacing_gives_diff_line(self):
+        regs, regions = fresh()
+        kernel = MultiArrayWalkKernel(regs, regions, arrays=3,
+                                      array_bytes=64 * 1024, window_lines=16,
+                                      passes=2)
+        result = analyze_addresses(collect_addresses(kernel, bursts=500))
+        assert result.fraction("B-diff-line") > 0.5
+
+    def test_default_spacing_avoids_dm_set_aliasing(self):
+        regs, regions = fresh()
+        kernel = MultiArrayWalkKernel(regs, regions, arrays=2,
+                                      array_bytes=32 * 1024)
+        # spacing is bank-aliased (mod 512 == 0) but not 32 KB-aliased
+        assert kernel.array_spacing % 512 == 0
+        assert kernel.array_spacing % (32 * 1024) != 0
+
+    def test_validation(self):
+        regs, regions = fresh()
+        with pytest.raises(WorkloadError):
+            MultiArrayWalkKernel(regs, regions, arrays=1)
+        with pytest.raises(WorkloadError):
+            MultiArrayWalkKernel(regs, regions, arrays=2, array_bytes=1024,
+                                 array_spacing=512)
+        with pytest.raises(WorkloadError):
+            MultiArrayWalkKernel(regs, regions, arrays=2, array_bytes=1024,
+                                 array_spacing=1040)  # not line-aligned
+
+
+class TestSameLineBurst:
+    def test_single_line_cluster_signature(self):
+        regs, regions = fresh()
+        kernel = SameLineBurstKernel(regs, regions, region_bytes=64 * 1024,
+                                     refs_per_line=4, stores_per_line=0)
+        result = analyze_addresses(collect_addresses(kernel, bursts=500))
+        assert result.fraction("B-same-line") > 0.70
+
+    def test_parallel_lines_remove_same_line_mass(self):
+        regs, regions = fresh()
+        kernel = SameLineBurstKernel(regs, regions, region_bytes=256 * 1024,
+                                     refs_per_line=4, stores_per_line=0,
+                                     parallel_lines=2)
+        result = analyze_addresses(collect_addresses(kernel, bursts=500))
+        assert result.fraction("B-same-line") < 0.10
+
+    def test_parallel_lines_double_refs(self):
+        regs, regions = fresh()
+        kernel = SameLineBurstKernel(regs, regions, region_bytes=4096,
+                                     refs_per_line=3, parallel_lines=2)
+        assert kernel.mem_refs_per_burst() == 6
+
+    def test_span_and_parallel_exclusive(self):
+        regs, regions = fresh()
+        with pytest.raises(WorkloadError):
+            SameLineBurstKernel(regs, regions, 4096, span_lines=2,
+                                parallel_lines=2)
+
+    def test_stores_bounded_by_refs(self):
+        regs, regions = fresh()
+        with pytest.raises(WorkloadError):
+            SameLineBurstKernel(regs, regions, 4096, refs_per_line=2,
+                                stores_per_line=3)
+
+
+class TestPointerChase:
+    def test_serial_dependence(self):
+        regs, regions = fresh()
+        kernel = PointerChaseKernel(regs, regions, region_bytes=8 * 1024)
+        rng = RngStream.for_component(1, "c")
+        out = []
+        kernel.burst(rng, out)
+        chase = out[0]
+        assert chase.dest in chase.srcs  # load feeds its own next address
+
+    def test_field_offset_controls_line(self):
+        regs, regions = fresh()
+        kernel = PointerChaseKernel(regs, regions, region_bytes=8 * 1024,
+                                    extra_field_loads=1, field_offset=40)
+        rng = RngStream.for_component(1, "c")
+        out = []
+        kernel.burst(rng, out)
+        node, field = [i for i in out if i.is_mem][:2]
+        assert field.addr // 32 != node.addr // 32  # next line
+
+    def test_uniform_bank_spread(self):
+        regs, regions = fresh()
+        kernel = PointerChaseKernel(regs, regions, region_bytes=512 * 1024,
+                                    extra_field_loads=0)
+        result = analyze_addresses(collect_addresses(kernel, bursts=2000))
+        for category in ("(B+1)", "(B+2)", "(B+3)"):
+            assert 0.15 < result.fraction(category) < 0.35
+
+
+class TestStackFrame:
+    def test_same_frame_line(self):
+        regs, regions = fresh()
+        kernel = StackFrameKernel(regs, regions, frames=8,
+                                  spills_per_burst=2, fills_per_burst=2)
+        rng = RngStream.for_component(1, "s")
+        out = []
+        kernel.burst(rng, out)
+        mem = [i for i in out if i.is_mem]
+        assert len({i.addr // 32 for i in mem}) == 1
+
+    def test_store_then_load_order(self):
+        regs, regions = fresh()
+        kernel = StackFrameKernel(regs, regions, frames=8)
+        rng = RngStream.for_component(1, "s")
+        out = []
+        kernel.burst(rng, out)
+        mem = [i for i in out if i.is_mem]
+        assert mem[0].is_store and mem[-1].is_load
+
+
+class TestReductionAndHash:
+    def test_reduction_chain_through_accumulator(self):
+        regs, regions = fresh()
+        kernel = ReductionKernel(regs, regions, region_bytes=4096)
+        rng = RngStream.for_component(1, "r")
+        out = []
+        kernel.burst(rng, out)
+        fadds = [i for i in out if i.opclass.name == "FADD"]
+        assert all(kernel.acc in i.srcs and i.dest == kernel.acc for i in fadds)
+
+    def test_hash_refs_expectation(self):
+        regs, regions = fresh()
+        kernel = HashTableKernel(regs, regions, region_bytes=64 * 1024,
+                                 second_load_prob=0.5, update_prob=0.5)
+        rng = RngStream.for_component(1, "h")
+        total = 0
+        for _ in range(2000):
+            out = []
+            kernel.burst(rng, out)
+            total += sum(1 for i in out if i.is_mem)
+        assert total / 2000 == pytest.approx(kernel.mem_refs_per_burst(), rel=0.1)
+
+
+class TestRegisterDiscipline:
+    def test_kernels_use_disjoint_registers(self):
+        regs, regions = fresh()
+        a = SequentialWalkKernel(regs, regions, 4096)
+        b = SequentialWalkKernel(regs, regions, 4096)
+        a_regs = {a.base_reg, *a.data_regs, *a.acc_regs}
+        b_regs = {b.base_reg, *b.data_regs, *b.acc_regs}
+        assert not a_regs & b_regs
+
+    def test_pool_never_hands_out_reserved(self):
+        pool = RegisterPool()
+        taken = pool.take_int(20)
+        assert pool.chain_reg not in taken
+        assert pool.pad_reg not in taken
+        assert 0 not in taken
+
+    def test_pool_exhaustion(self):
+        pool = RegisterPool()
+        with pytest.raises(WorkloadError):
+            pool.take_int(40)
+        with pytest.raises(WorkloadError):
+            pool.take_fp(40)

@@ -1,0 +1,96 @@
+"""KernelMix tests: padding math, determinism, targets by construction."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.base import RegisterPool
+from repro.workloads.kernels import RegionAllocator, SequentialWalkKernel
+from repro.workloads.mixes import KernelMix
+
+
+def simple_mix(target_mem_fraction=0.35, target_ipc=6.0, weights=(1.0, 0.5)):
+    registers = RegisterPool()
+    regions = RegionAllocator()
+    kernels = [
+        (SequentialWalkKernel(registers, regions, 8 * 1024, stride=8,
+                              refs_per_burst=4), weights[0]),
+        (SequentialWalkKernel(registers, regions, 8 * 1024, stride=1024,
+                              refs_per_burst=2), weights[1]),
+    ]
+    return KernelMix("test-mix", kernels, registers,
+                     target_mem_fraction=target_mem_fraction,
+                     target_ipc=target_ipc)
+
+
+class TestConstruction:
+    def test_padding_plan_is_consistent(self):
+        mix = simple_mix()
+        assert mix.expected_burst_size > 0
+        assert mix.chain_per_burst >= 0
+        assert mix.pad_per_burst >= 0
+
+    def test_mem_fraction_achieved(self):
+        mix = simple_mix(target_mem_fraction=0.30)
+        instrs = list(mix.stream(seed=1, max_instructions=40_000))
+        mem = sum(1 for i in instrs if i.is_mem)
+        assert mem / len(instrs) == pytest.approx(0.30, abs=0.02)
+
+    def test_unreachable_mem_fraction_rejected(self):
+        with pytest.raises(WorkloadError):
+            simple_mix(target_mem_fraction=0.95)
+
+    def test_validation(self):
+        registers = RegisterPool()
+        with pytest.raises(WorkloadError):
+            KernelMix("x", [], registers, 0.3, 5.0)
+        with pytest.raises(WorkloadError):
+            simple_mix(target_mem_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            simple_mix(target_ipc=0)
+        with pytest.raises(WorkloadError):
+            simple_mix(weights=(1.0, -1.0))
+
+    def test_describe(self):
+        assert "test-mix" in simple_mix().describe()
+
+
+class TestStream:
+    def test_deterministic_per_seed(self):
+        mix = simple_mix()
+        first = list(mix.stream(seed=5, max_instructions=500))
+        second = list(mix.stream(seed=5, max_instructions=500))
+        assert first == second
+
+    def test_seed_changes_stream(self):
+        mix = simple_mix()
+        a = list(mix.stream(seed=1, max_instructions=500))
+        b = list(mix.stream(seed=2, max_instructions=500))
+        assert a != b
+
+    def test_exact_instruction_budget(self):
+        mix = simple_mix()
+        assert len(list(mix.stream(seed=1, max_instructions=777))) == 777
+
+    def test_ilp_ceiling_enforced_by_chain(self):
+        """The serial chain caps IPC near the target on an unconstrained
+        machine (16 ideal ports, everything warm)."""
+        from repro import IdealPortConfig, paper_machine, simulate
+
+        mix = simple_mix(target_ipc=4.0)
+        result = simulate(
+            paper_machine(IdealPortConfig(16)),
+            mix.stream(seed=1, max_instructions=22_000),
+            warmup_instructions=6_000,
+            max_instructions=16_000,
+        )
+        assert result.ipc == pytest.approx(4.0, rel=0.15)
+
+    def test_chain_register_serializes(self):
+        mix = simple_mix(target_ipc=2.0)
+        instrs = list(mix.stream(seed=1, max_instructions=2000))
+        chain_ops = [
+            i for i in instrs
+            if i.dest == mix.registers.chain_reg and i.srcs == (mix.registers.chain_reg,)
+        ]
+        expected = 2000 / mix.expected_burst_size * mix.chain_per_burst
+        assert len(chain_ops) == pytest.approx(expected, rel=0.2)

@@ -1,0 +1,88 @@
+"""Phased-workload tests."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.phased import Phase, PhasedWorkload, windowed_ipc
+from repro.workloads.synthetic import StatisticalWorkload
+
+
+def two_phase(a_mem=0.6, b_mem=0.05, n=500):
+    a = StatisticalWorkload("a", mem_fraction=a_mem)
+    b = StatisticalWorkload("b", mem_fraction=b_mem)
+    return PhasedWorkload.of((a, n), (b, n), name="ab")
+
+
+class TestConstruction:
+    def test_period(self):
+        assert two_phase(n=500).period == 1000
+
+    def test_phase_at(self):
+        phased = two_phase(n=500)
+        assert phased.phase_at(0) == 0
+        assert phased.phase_at(499) == 0
+        assert phased.phase_at(500) == 1
+        assert phased.phase_at(1000) == 0  # wraps
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            PhasedWorkload([])
+
+    def test_zero_length_phase_rejected(self):
+        with pytest.raises(WorkloadError):
+            Phase(StatisticalWorkload(), 0)
+
+
+class TestStream:
+    def test_phase_boundaries_respected(self):
+        phased = two_phase(n=300)
+        instrs = list(phased.stream(seed=1, max_instructions=600))
+        first = instrs[:300]
+        second = instrs[300:]
+        mem_first = sum(1 for i in first if i.is_mem) / 300
+        mem_second = sum(1 for i in second if i.is_mem) / 300
+        assert mem_first > 0.45
+        assert mem_second < 0.15
+
+    def test_repeats_cyclically(self):
+        phased = two_phase(n=200)
+        instrs = list(phased.stream(seed=1, max_instructions=800))
+        mem_third = sum(1 for i in instrs[400:600] if i.is_mem) / 200
+        assert mem_third > 0.45  # back in phase a
+
+    def test_deterministic(self):
+        phased = two_phase()
+        a = list(phased.stream(seed=4, max_instructions=1500))
+        b = list(phased.stream(seed=4, max_instructions=1500))
+        assert a == b
+
+    def test_repetitions_differ(self):
+        """Each repetition of a phase gets a fresh (but reproducible)
+        sub-stream, not a verbatim replay."""
+        phased = two_phase(n=200)
+        instrs = list(phased.stream(seed=1, max_instructions=800))
+        assert instrs[:200] != instrs[400:600]
+
+    def test_exact_budget(self):
+        phased = two_phase(n=300)
+        assert len(list(phased.stream(seed=1, max_instructions=777))) == 777
+
+
+class TestWindowedIpc:
+    def test_windows_expose_phases(self):
+        from repro import IdealPortConfig, paper_machine
+
+        phased = two_phase(a_mem=0.6, b_mem=0.05, n=1000)
+        ipcs = windowed_ipc(
+            phased, paper_machine(IdealPortConfig(1)), window=1000, windows=4
+        )
+        assert len(ipcs) == 4
+        # odd windows (compute phase) run much faster on a 1-port cache
+        assert ipcs[1] > 1.5 * ipcs[0]
+        assert ipcs[3] > 1.5 * ipcs[2]
+
+    def test_validation(self):
+        from repro import paper_machine
+
+        with pytest.raises(WorkloadError):
+            windowed_ipc(two_phase(), paper_machine(), window=0)

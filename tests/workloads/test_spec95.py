@@ -1,0 +1,101 @@
+"""SPEC95 model registry and structural tests."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.spec95 import (
+    ALL_NAMES,
+    PAPER_TARGETS,
+    SPECFP_NAMES,
+    SPECINT_NAMES,
+    all_benchmarks,
+    spec95_workload,
+    suite_of,
+)
+
+
+class TestRegistry:
+    def test_ten_benchmarks(self):
+        assert len(ALL_NAMES) == 10
+        assert len(SPECINT_NAMES) == 5
+        assert len(SPECFP_NAMES) == 5
+
+    def test_paper_order(self):
+        assert ALL_NAMES == (
+            "compress", "gcc", "go", "li", "perl",
+            "hydro2d", "mgrid", "su2cor", "swim", "wave5",
+        )
+
+    def test_every_model_builds(self):
+        for name in ALL_NAMES:
+            workload = spec95_workload(name)
+            assert workload.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(WorkloadError):
+            spec95_workload("specfp2000")
+
+    def test_all_benchmarks_fresh_instances(self):
+        first = all_benchmarks()
+        second = all_benchmarks()
+        assert first["swim"] is not second["swim"]
+
+    def test_suite_of(self):
+        assert suite_of("gcc") == "int"
+        assert suite_of("swim") == "fp"
+
+
+class TestTargets:
+    def test_suite_averages_match_paper_text(self):
+        """The interpolated Figure 3 targets must reproduce every number
+        the paper states: same-line averages 35.4% (int) / 21.8% (fp),
+        diff-line averages 12.85% / 21.42%."""
+        int_sl = sum(PAPER_TARGETS[n].fig3_same_line for n in SPECINT_NAMES) / 5
+        fp_sl = sum(PAPER_TARGETS[n].fig3_same_line for n in SPECFP_NAMES) / 5
+        int_dl = sum(PAPER_TARGETS[n].fig3_diff_line for n in SPECINT_NAMES) / 5
+        fp_dl = sum(PAPER_TARGETS[n].fig3_diff_line for n in SPECFP_NAMES) / 5
+        assert int_sl == pytest.approx(0.354, abs=0.01)
+        assert fp_sl == pytest.approx(0.218, abs=0.01)
+        assert int_dl == pytest.approx(0.1285, abs=0.01)
+        assert fp_dl == pytest.approx(0.2142, abs=0.01)
+
+    def test_individual_published_values(self):
+        assert PAPER_TARGETS["swim"].fig3_diff_line == pytest.approx(0.338)
+        assert PAPER_TARGETS["wave5"].fig3_diff_line == pytest.approx(0.247)
+        for name in ("gcc", "li", "perl"):
+            assert PAPER_TARGETS[name].fig3_same_line >= 0.40
+
+    def test_table2_values_transcribed(self):
+        target = PAPER_TARGETS["compress"]
+        assert target.mem_fraction == pytest.approx(0.374)
+        assert target.store_to_load == pytest.approx(0.81)
+        assert target.miss_rate == pytest.approx(0.0542)
+        assert target.instr_count_millions == pytest.approx(35.69)
+
+    def test_ipc_ceilings_from_table3(self):
+        assert PAPER_TARGETS["mgrid"].ipc_ceiling == pytest.approx(18.6)
+        assert PAPER_TARGETS["li"].ipc_ceiling == pytest.approx(6.58)
+
+
+class TestStreams:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_stream_deterministic(self, name):
+        workload = spec95_workload(name)
+        a = list(workload.stream(seed=9, max_instructions=300))
+        b = list(workload.stream(seed=9, max_instructions=300))
+        assert a == b
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_stream_has_valid_instructions(self, name):
+        workload = spec95_workload(name)
+        for instr in workload.stream(seed=1, max_instructions=500):
+            if instr.is_mem:
+                assert instr.addr is not None and instr.addr >= 0
+            else:
+                assert instr.addr is None
+
+    def test_memory_references_helper(self):
+        workload = spec95_workload("swim")
+        refs = list(workload.memory_references(seed=1, max_instructions=1000))
+        assert refs
+        assert all(i.is_mem for i in refs)

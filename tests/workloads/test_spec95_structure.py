@@ -1,0 +1,102 @@
+"""Structural tests: each SPEC95 model is built the way its module
+docstring says it is.
+
+These guard the *narrative* of the models — if someone re-tunes swim
+without a lock-step multi-array kernel, the calibration numbers might
+still pass while the bank-conflict story silently disappears.
+"""
+
+import pytest
+
+from repro.workloads.kernels import (
+    HashTableKernel,
+    MultiArrayWalkKernel,
+    PointerChaseKernel,
+    ReductionKernel,
+    SameLineBurstKernel,
+    SequentialWalkKernel,
+    StackFrameKernel,
+    TiledWalkKernel,
+)
+from repro.workloads.spec95 import ALL_NAMES, SPECFP_NAMES, spec95_workload
+
+
+def kernel_types(name):
+    return [type(kernel) for kernel in spec95_workload(name).kernels]
+
+
+class TestIntegerModels:
+    def test_compress_has_hash_table(self):
+        """compress's miss and store source is the LZW string table."""
+        assert HashTableKernel in kernel_types("compress")
+
+    def test_pointer_codes_chase(self):
+        for name in ("gcc", "go", "li", "perl"):
+            assert PointerChaseKernel in kernel_types(name), name
+
+    def test_interpreters_have_stack_traffic(self):
+        for name in ("gcc", "li", "perl"):
+            assert StackFrameKernel in kernel_types(name), name
+
+    def test_integer_clustering(self):
+        """The >40% same-line codes are built on record clusters."""
+        for name in ("gcc", "li", "perl"):
+            assert SameLineBurstKernel in kernel_types(name), name
+
+
+class TestFpModels:
+    def test_all_fp_models_sweep(self):
+        for name in SPECFP_NAMES:
+            kinds = kernel_types(name)
+            assert TiledWalkKernel in kinds or MultiArrayWalkKernel in kinds, name
+
+    def test_swim_is_multi_array_dominated(self):
+        """The 33.8% B-diff-line signature requires lock-step sweeps of
+        bank-aliased arrays."""
+        workload = spec95_workload("swim")
+        multi = [k for k in workload.kernels
+                 if isinstance(k, MultiArrayWalkKernel)]
+        assert multi
+        assert multi[0].arrays >= 4
+        assert multi[0].array_spacing % 512 == 0
+
+    def test_fp_models_have_reductions(self):
+        for name in SPECFP_NAMES:
+            assert ReductionKernel in kernel_types(name), name
+
+    def test_mgrid_is_nearly_storeless(self):
+        """s/l = 0.04: the stencil kernel stores at most every 25th ref."""
+        workload = spec95_workload("mgrid")
+        tiled = [k for k in workload.kernels if isinstance(k, TiledWalkKernel)]
+        assert tiled and tiled[0].store_every >= 20
+
+
+class TestGlobalStructure:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_ilp_target_is_papers_ceiling(self, name):
+        from repro.workloads.spec95 import PAPER_TARGETS
+
+        workload = spec95_workload(name)
+        assert workload.target_ipc == pytest.approx(
+            PAPER_TARGETS[name].ipc_ceiling
+        )
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_mem_target_is_papers_table2(self, name):
+        from repro.workloads.spec95 import PAPER_TARGETS
+
+        workload = spec95_workload(name)
+        assert workload.target_mem_fraction == pytest.approx(
+            PAPER_TARGETS[name].mem_fraction
+        )
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_every_model_has_multiple_kernels(self, name):
+        assert len(spec95_workload(name).kernels) >= 3
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_padding_plan_is_feasible(self, name):
+        workload = spec95_workload(name)
+        assert workload.chain_per_burst >= 0
+        assert workload.pad_per_burst >= 0
+        assert workload.expected_burst_size > 1

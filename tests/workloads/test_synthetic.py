@@ -1,0 +1,67 @@
+"""StatisticalWorkload tests."""
+
+import pytest
+
+from repro.common.errors import WorkloadError
+from repro.workloads.synthetic import StatisticalWorkload
+
+
+class TestProfile:
+    def test_mem_fraction(self):
+        workload = StatisticalWorkload(mem_fraction=0.4)
+        instrs = list(workload.stream(seed=1, max_instructions=20_000))
+        mem = sum(1 for i in instrs if i.is_mem)
+        assert mem / len(instrs) == pytest.approx(0.4, abs=0.02)
+
+    def test_store_fraction(self):
+        workload = StatisticalWorkload(store_fraction=0.5)
+        instrs = [i for i in workload.stream(seed=1, max_instructions=20_000) if i.is_mem]
+        stores = sum(1 for i in instrs if i.is_store)
+        assert stores / len(instrs) == pytest.approx(0.5, abs=0.04)
+
+    def test_addresses_within_working_set(self):
+        workload = StatisticalWorkload(working_set_bytes=4096)
+        for instr in workload.stream(seed=1, max_instructions=5000):
+            if instr.is_mem:
+                assert workload.region_base <= instr.addr < workload.region_base + 4096
+
+    def test_same_line_burst_adds_locality(self):
+        from repro.analysis.reference_stream import analyze_stream
+
+        plain = StatisticalWorkload(same_line_burst=0.0)
+        bursty = StatisticalWorkload(same_line_burst=0.6)
+        plain_sl = analyze_stream(
+            plain.stream(seed=1, max_instructions=30_000)
+        ).fraction("B-same-line")
+        bursty_sl = analyze_stream(
+            bursty.stream(seed=1, max_instructions=30_000)
+        ).fraction("B-same-line")
+        assert bursty_sl > plain_sl + 0.3
+
+    def test_determinism(self):
+        workload = StatisticalWorkload()
+        a = list(workload.stream(seed=3, max_instructions=1000))
+        b = list(workload.stream(seed=3, max_instructions=1000))
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            StatisticalWorkload(mem_fraction=0.0)
+        with pytest.raises(WorkloadError):
+            StatisticalWorkload(store_fraction=1.5)
+        with pytest.raises(WorkloadError):
+            StatisticalWorkload(working_set_bytes=8)
+        with pytest.raises(WorkloadError):
+            StatisticalWorkload(dependency_degree=0)
+        with pytest.raises(WorkloadError):
+            StatisticalWorkload(same_line_burst=1.0)
+
+    def test_simulates_end_to_end(self):
+        from repro import paper_machine, simulate
+
+        workload = StatisticalWorkload()
+        result = simulate(
+            paper_machine(), workload.stream(seed=1, max_instructions=3000)
+        )
+        assert result.instructions == 3000
+        assert result.ipc > 0

@@ -1,0 +1,137 @@
+"""Trace-file round-trip and format-robustness tests."""
+
+import io
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import TraceFormatError
+from repro.isa.instruction import DynInstr
+from repro.isa.opcodes import OpClass
+from repro.workloads.synthetic import StatisticalWorkload
+from repro.workloads.tracefile import (
+    iter_trace,
+    load_trace,
+    load_trace_list,
+    read_header,
+    read_instr,
+    save_trace,
+    write_header,
+    write_instr,
+)
+
+
+def dyninstr_strategy():
+    mem = st.builds(
+        lambda opclass, dest, addr: DynInstr(
+            opclass,
+            dest=dest if opclass is OpClass.LOAD else None,
+            srcs=(2,) if opclass is OpClass.LOAD else (2, 3),
+            addr=addr,
+            addr_src_count=None if opclass is OpClass.LOAD else 1,
+        ),
+        st.sampled_from([OpClass.LOAD, OpClass.STORE]),
+        st.integers(min_value=1, max_value=63),
+        st.integers(min_value=0, max_value=2**40),
+    )
+    compute = st.builds(
+        lambda opclass, dest, nsrcs: DynInstr(
+            opclass, dest=dest, srcs=tuple(range(1, 1 + nsrcs))
+        ),
+        st.sampled_from([OpClass.IALU, OpClass.FADD, OpClass.FMULT, OpClass.IDIV]),
+        st.integers(min_value=1, max_value=63),
+        st.integers(min_value=0, max_value=3),
+    )
+    return st.one_of(mem, compute)
+
+
+class TestRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        workload = StatisticalWorkload()
+        original = list(workload.stream(seed=7, max_instructions=500))
+        path = tmp_path / "trace.trc"
+        count = save_trace(path, original)
+        assert count == 500
+        assert load_trace_list(path) == original
+
+    def test_loaded_trace_is_replayable_workload(self, tmp_path):
+        workload = StatisticalWorkload()
+        path = tmp_path / "trace.trc"
+        save_trace(path, workload.stream(seed=7, max_instructions=200))
+        wrapped = load_trace(path)
+        first = list(wrapped.stream())
+        second = list(wrapped.stream())
+        assert first == second
+        assert len(first) == 200
+
+    def test_loaded_trace_simulates(self, tmp_path):
+        from repro import paper_machine, simulate
+
+        workload = StatisticalWorkload()
+        path = tmp_path / "trace.trc"
+        save_trace(path, workload.stream(seed=7, max_instructions=300))
+        result = simulate(paper_machine(), load_trace(path).stream())
+        assert result.instructions == 300
+
+    @given(st.lists(dyninstr_strategy(), max_size=60))
+    @settings(max_examples=50, deadline=None)
+    def test_buffer_round_trip(self, instrs):
+        buffer = io.BytesIO()
+        write_header(buffer)
+        for instr in instrs:
+            write_instr(buffer, instr)
+        buffer.seek(0)
+        read_header(buffer)
+        restored = []
+        while True:
+            try:
+                restored.append(read_instr(buffer))
+            except EOFError:
+                break
+        # addr_src_count is not serialized; compare the serialized fields
+        assert [
+            (i.opclass, i.dest, i.srcs, i.addr) for i in restored
+        ] == [(i.opclass, i.dest, i.srcs, i.addr) for i in instrs]
+
+
+class TestFormatErrors:
+    def test_bad_magic(self):
+        buffer = io.BytesIO(b"NOTATRACE" + b"\x00" * 7)
+        with pytest.raises(TraceFormatError):
+            read_header(buffer)
+
+    def test_truncated_header(self):
+        with pytest.raises(TraceFormatError):
+            read_header(io.BytesIO(b"REP"))
+
+    def test_bad_version(self):
+        import struct
+
+        buffer = io.BytesIO(struct.pack("<8sH6x", b"REPROTRC", 99))
+        with pytest.raises(TraceFormatError):
+            read_header(buffer)
+
+    def test_truncated_record(self):
+        buffer = io.BytesIO()
+        write_header(buffer)
+        write_instr(buffer, DynInstr(OpClass.LOAD, dest=1, srcs=(2,), addr=64))
+        data = buffer.getvalue()[:-4]  # chop the address
+        stream = io.BytesIO(data)
+        read_header(stream)
+        with pytest.raises(TraceFormatError):
+            while True:
+                read_instr(stream)
+
+    def test_bad_opclass_byte(self):
+        buffer = io.BytesIO()
+        write_header(buffer)
+        buffer.write(bytes((200, 1, 0)))
+        buffer.seek(0)
+        read_header(buffer)
+        with pytest.raises(TraceFormatError):
+            read_instr(buffer)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            load_trace(tmp_path / "nope.trc")

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Calibration report: measured vs paper targets for every SPEC95 model.
+
+Run while tuning kernel weights/parameters in repro.workloads.spec95.
+"""
+
+import argparse
+import sys
+
+from repro.common.tables import Table
+from repro.workloads.spec95 import ALL_NAMES, PAPER_TARGETS, spec95_workload
+from repro.analysis.traces import characterize
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("-n", type=int, default=120_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("names", nargs="*", default=list(ALL_NAMES))
+    args = parser.parse_args()
+
+    table = Table(
+        [
+            "prog",
+            "mem%", "tgt",
+            "s/l", "tgt",
+            "miss", "tgt",
+            "sl", "tgt",
+            "dl", "tgt",
+        ],
+        precision=3,
+    )
+    for name in args.names:
+        t = PAPER_TARGETS[name]
+        wl = spec95_workload(name)
+        stats = characterize(
+            wl.stream(seed=args.seed, max_instructions=args.n),
+            skip_warmup=args.n // 10,
+        )
+        m = stats.mapping
+        table.add_row([
+            name,
+            stats.mem_fraction, t.mem_fraction,
+            stats.store_to_load_ratio, t.store_to_load,
+            stats.miss_rate, t.miss_rate,
+            m.fraction("B-same-line"), t.fig3_same_line,
+            m.fraction("B-diff-line"), t.fig3_diff_line,
+        ])
+    print(table.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

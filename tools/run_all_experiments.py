@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Regenerate every paper artifact and the claim checklist in one pass."""
+import sys
+import time
+
+from repro.experiments import (
+    ExperimentRunner,
+    RunSettings,
+    check_claims,
+    run_figure3,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from repro.experiments.ablations import (
+    ablate_bank_function,
+    ablate_bank_porting,
+    ablate_combining_policy,
+    ablate_crossbar_latency,
+    ablate_fill_port,
+    ablate_interleaving,
+    ablate_line_size,
+    ablate_lsq_depth,
+    ablate_memory_latency,
+    ablate_store_queue,
+    cost_performance,
+    render_cost_performance,
+)
+
+
+def main() -> int:
+    n = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    settings = RunSettings(instructions=n)
+    runner = ExperimentRunner(settings)
+    t0 = time.time()
+
+    print(run_table2(settings).render(), flush=True)
+    print()
+    figure3 = run_figure3(settings)
+    print(figure3.render(), flush=True)
+    print()
+    table3 = run_table3(runner)
+    print(table3.render(), flush=True)
+    print()
+    table4 = run_table4(runner)
+    print(table4.render(), flush=True)
+    print()
+    report = check_claims(table3, table4, figure3)
+    print(report.render(), flush=True)
+    print()
+
+    small = RunSettings(instructions=max(4000, n // 4))
+    print(ablate_lsq_depth(small).render(), flush=True)
+    print()
+    banked, lbic = ablate_bank_function(small)
+    print(banked.render())
+    print()
+    print(lbic.render(), flush=True)
+    print()
+    print(ablate_store_queue(small).render(), flush=True)
+    print()
+    print(ablate_combining_policy(small).render(), flush=True)
+    print()
+    print(render_cost_performance(cost_performance(small)), flush=True)
+    print()
+    print(ablate_interleaving(small).render(), flush=True)
+    print()
+    print(ablate_bank_porting(small).render(), flush=True)
+    print()
+    tiny = RunSettings(
+        instructions=max(3000, n // 6),
+        benchmarks=("li", "gcc", "swim", "mgrid"),
+    )
+    print(ablate_line_size(tiny).render(), flush=True)
+    print()
+    latencies = (10, 30, 100)
+    results = ablate_memory_latency(tiny, latencies=latencies)
+    print("Ablation A9: swim IPC vs main-memory latency")
+    for label, row in results.items():
+        print(f"  {label:10s} " + " ".join(f"{v:6.2f}" for v in row))
+    print()
+    banked_xb, lbic_xb = ablate_crossbar_latency(tiny)
+    print(banked_xb.render())
+    print()
+    print(lbic_xb.render(), flush=True)
+    print()
+    print(ablate_fill_port(tiny).render(), flush=True)
+    print()
+    print(f"total wall time: {time.time() - t0:.0f}s")
+    return 0 if report.all_passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

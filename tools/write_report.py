@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Regenerate the markdown reproduction report.
+
+Usage: python tools/write_report.py [out.md] [instructions]
+"""
+
+import sys
+
+from repro.experiments.ablations import ablate_interleaving, ablate_lsq_depth
+from repro.experiments.report import build_report
+from repro.experiments.runner import RunSettings
+
+
+def main() -> int:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "results/report.md"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 10_000
+    settings = RunSettings(instructions=instructions)
+    sweep_settings = RunSettings(
+        instructions=max(2000, instructions // 2),
+        benchmarks=("li", "gcc", "swim", "mgrid"),
+    )
+    sweeps = [
+        ablate_lsq_depth(sweep_settings, depths=(8, 32, 128, 512)),
+        ablate_interleaving(sweep_settings),
+    ]
+    report = build_report(settings, sweeps=sweeps)
+    with open(out_path, "w") as fh:
+        fh.write(report.to_markdown())
+    print(f"wrote {out_path}")
+    return 0 if report.claims.all_passed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

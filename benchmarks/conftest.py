@@ -10,6 +10,8 @@ Knobs (environment variables):
   (default 10000; the models converge quickly, see the convergence
   test).  Raise for smoother numbers.
 * ``REPRO_BENCH_SEED`` — workload seed (default 1).
+* ``REPRO_BENCH_JOBS`` — parallel simulation workers (default 1, i.e.
+  inline; results are seed-deterministic either way).
 
 Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
 """
@@ -18,10 +20,12 @@ import os
 
 import pytest
 
-from repro.experiments.runner import ExperimentRunner, RunSettings
+from repro.engine import RunSettings, SimulationEngine
+from repro.experiments.runner import ExperimentRunner
 
 BENCH_INSTRUCTIONS = int(os.environ.get("REPRO_BENCH_INSTRUCTIONS", "10000"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 
 def bench_settings(**overrides) -> RunSettings:
@@ -39,10 +43,17 @@ def settings() -> RunSettings:
 
 
 @pytest.fixture(scope="session")
-def runner(settings) -> ExperimentRunner:
-    """One memoizing runner shared by Table 3, Table 4 and the claim
-    checks, so common configurations simulate once per session."""
-    return ExperimentRunner(settings)
+def engine(settings) -> SimulationEngine:
+    """One memoizing engine shared by Table 3, Table 4 and the claim
+    checks, so common configurations simulate once per session.  No
+    persistent store: benchmark timings must measure real simulations."""
+    return SimulationEngine(settings, jobs=BENCH_JOBS)
+
+
+@pytest.fixture(scope="session")
+def runner(engine) -> ExperimentRunner:
+    """Backwards-compatible wrapper over the session engine."""
+    return ExperimentRunner(engine=engine)
 
 
 def once(benchmark, func):

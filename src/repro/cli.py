@@ -12,6 +12,11 @@ sweep ablations, and manage traces::
     repro-lbic ablation lsq-depth
     repro-lbic trace swim out.trc -n 50000
     repro-lbic list
+
+Every timing subcommand accepts ``--jobs N`` (parallel workers; default:
+all cores) and ``--no-cache`` (skip the persistent result store under
+``results/cache/``).  ``repro-lbic cache info`` / ``cache clear``
+inspect and empty the store.
 """
 
 from __future__ import annotations
@@ -65,11 +70,36 @@ def parse_ports(text: str) -> PortModelConfig:
 
 
 def _settings(args: argparse.Namespace):
-    from .experiments.runner import RunSettings
+    from .engine import RunSettings
 
     benchmarks = tuple(args.benchmarks) if args.benchmarks else ALL_NAMES
     return RunSettings(
         instructions=args.instructions, seed=args.seed, benchmarks=benchmarks
+    )
+
+
+def _engine(args: argparse.Namespace, settings=None):
+    """The simulation engine for one CLI invocation: parallel across
+    ``--jobs`` workers, persisting to ``results/cache`` unless
+    ``--no-cache``."""
+    from .engine import ResultStore, SimulationEngine
+
+    store = None if getattr(args, "no_cache", False) else ResultStore()
+    return SimulationEngine(
+        settings if settings is not None else _settings(args),
+        jobs=getattr(args, "jobs", None),
+        store=store,
+    )
+
+
+def _add_engine_opts(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="parallel simulation workers (default: all cores)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the persistent result cache",
     )
 
 
@@ -83,6 +113,7 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "-b", "--benchmarks", nargs="*", choices=sorted(ALL_NAMES),
         help="subset of benchmarks (default: all ten)",
     )
+    _add_engine_opts(parser)
 
 
 def cmd_table2(args) -> int:
@@ -95,14 +126,14 @@ def cmd_table2(args) -> int:
 def cmd_table3(args) -> int:
     from .experiments.table3 import run_table3
 
-    print(run_table3(settings=_settings(args)).render(include_paper=not args.no_paper))
+    print(run_table3(engine=_engine(args)).render(include_paper=not args.no_paper))
     return 0
 
 
 def cmd_table4(args) -> int:
     from .experiments.table4 import run_table4
 
-    print(run_table4(settings=_settings(args)).render(include_paper=not args.no_paper))
+    print(run_table4(engine=_engine(args)).render(include_paper=not args.no_paper))
     return 0
 
 
@@ -120,31 +151,34 @@ def cmd_figure3(args) -> int:
 def cmd_claims(args) -> int:
     from .experiments.comparisons import run_claim_checks
 
-    report = run_claim_checks(_settings(args))
+    report = run_claim_checks(engine=_engine(args))
     print(report.render())
     return 0 if report.all_passed else 1
 
 
 def cmd_compare(args) -> int:
     from .experiments.comparisons import render_section6_table
-    from .experiments.runner import ExperimentRunner
     from .experiments.table3 import run_table3
     from .experiments.table4 import run_table4
 
-    runner = ExperimentRunner(_settings(args))
-    table3 = run_table3(runner)
-    table4 = run_table4(runner)
+    engine = _engine(args)
+    table3 = run_table3(engine=engine)
+    table4 = run_table4(engine=engine)
     print(render_section6_table(table3, table4, banks=args.banks))
     return 0
 
 
 def cmd_run(args) -> int:
-    workload = spec95_workload(args.benchmark)
-    machine = paper_machine(args.ports)
-    processor = Processor(machine, label=args.benchmark)
-    result = processor.run(
-        workload.stream(seed=args.seed), max_instructions=args.instructions
+    from .engine import RunSettings
+
+    settings = RunSettings(
+        instructions=args.instructions,
+        seed=args.seed,
+        benchmarks=(args.benchmark,),
+        warmup_instructions=0,
     )
+    engine = _engine(args, settings=settings)
+    result = engine.result(args.benchmark, ports=args.ports)
     print(result.summary())
     print(f"  machine: {result.machine_description}")
     print(f"  accepted: {result.accepted_loads} loads, {result.accepted_stores} stores")
@@ -159,38 +193,38 @@ def cmd_run(args) -> int:
 def cmd_ablation(args) -> int:
     from .experiments import ablations
 
-    settings = _settings(args)
+    engine = _engine(args)
     if args.which == "lsq-depth":
-        print(ablations.ablate_lsq_depth(settings).render())
+        print(ablations.ablate_lsq_depth(engine=engine).render())
     elif args.which == "bank-function":
-        banked, lbic = ablations.ablate_bank_function(settings)
+        banked, lbic = ablations.ablate_bank_function(engine=engine)
         print(banked.render())
         print()
         print(lbic.render())
     elif args.which == "store-queue":
-        print(ablations.ablate_store_queue(settings).render())
+        print(ablations.ablate_store_queue(engine=engine).render())
     elif args.which == "policy":
-        print(ablations.ablate_combining_policy(settings).render())
+        print(ablations.ablate_combining_policy(engine=engine).render())
     elif args.which == "cost":
-        points = ablations.cost_performance(settings)
+        points = ablations.cost_performance(engine=engine)
         print(ablations.render_cost_performance(points))
     elif args.which == "interleaving":
-        print(ablations.ablate_interleaving(settings).render())
+        print(ablations.ablate_interleaving(engine=engine).render())
     elif args.which == "bank-porting":
-        print(ablations.ablate_bank_porting(settings).render())
+        print(ablations.ablate_bank_porting(engine=engine).render())
     elif args.which == "line-size":
-        print(ablations.ablate_line_size(settings).render())
+        print(ablations.ablate_line_size(engine=engine).render())
     elif args.which == "associativity":
-        print(ablations.ablate_associativity(settings).render())
+        print(ablations.ablate_associativity(engine=engine).render())
     elif args.which == "crossbar-latency":
-        banked, lbic = ablations.ablate_crossbar_latency(settings)
+        banked, lbic = ablations.ablate_crossbar_latency(engine=engine)
         print(banked.render())
         print()
         print(lbic.render())
     elif args.which == "fill-port":
-        print(ablations.ablate_fill_port(settings).render())
+        print(ablations.ablate_fill_port(engine=engine).render())
     elif args.which == "memory-latency":
-        results = ablations.ablate_memory_latency(settings)
+        results = ablations.ablate_memory_latency(engine=engine)
         from .common.tables import Table
 
         table = Table(
@@ -235,6 +269,34 @@ def cmd_trace(args) -> int:
         workload.stream(seed=args.seed, max_instructions=args.instructions),
     )
     print(f"wrote {count} instructions to {args.output}")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .experiments.report import build_report
+
+    engine = _engine(args)
+    report = build_report(engine=engine)
+    markdown = report.to_markdown()
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(markdown)
+        print(f"wrote report to {args.output}")
+    else:
+        print(markdown, end="")
+    print(engine.render_summary(), file=sys.stderr)
+    return 0
+
+
+def cmd_cache(args) -> int:
+    from .engine import ResultStore
+
+    store = ResultStore()
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) from {store.root}")
+    else:
+        print(store.info().render())
     return 0
 
 
@@ -294,6 +356,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="ideal:N | repl:N | bank:M | lbic:MxN[:sqD]")
     p.add_argument("-n", "--instructions", type=int, default=20_000)
     p.add_argument("--seed", type=int, default=1)
+    _add_engine_opts(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("ablation", help="run a design-choice sweep")
@@ -322,6 +385,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--instructions", type=int, default=50_000)
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "report", help="run every core experiment and emit a markdown report"
+    )
+    _add_common(p)
+    p.add_argument("-o", "--output", help="write the report to a file")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("cache", help="inspect or clear the persistent result cache")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("info", help="show entry counts and version stamps")
+    cache_sub.add_parser("clear", help="delete every cached result")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("list", help="list the benchmark models and their targets")
     p.set_defaults(func=cmd_list)

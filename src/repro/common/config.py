@@ -17,10 +17,11 @@ processor/memory model (Table 1 of the paper):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Tuple
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Dict, Optional, Tuple
 
 from .errors import ConfigError
+from .serialize import fingerprint_of
 
 
 def _require(condition: bool, message: str) -> None:
@@ -58,6 +59,9 @@ class FuTiming:
     def __post_init__(self) -> None:
         _require(self.total >= 1, "total latency must be >= 1")
         _require(1 <= self.issue <= self.total, "issue interval must be in [1, total]")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"total": self.total, "issue": self.issue}
 
 
 #: Operation-class timing from Table 1 of the paper.
@@ -107,6 +111,19 @@ class FuPoolConfig:
                 return timing
         raise ConfigError(f"no timing configured for op class {opclass_name!r}")
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ialu": self.ialu,
+            "imult": self.imult,
+            "fadd": self.fadd,
+            "fmult": self.fmult,
+            "ls_units": self.ls_units,
+            "timings": [
+                [name, timing.to_dict()]
+                for name, timing in sorted(self.timings)
+            ],
+        }
+
 
 # ---------------------------------------------------------------------------
 # Core
@@ -134,6 +151,16 @@ class CoreConfig:
             self.lsq_size <= self.ruu_size,
             "lsq_size cannot exceed ruu_size (every LSQ entry has an RUU entry)",
         )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "fetch_width": self.fetch_width,
+            "issue_width": self.issue_width,
+            "commit_width": self.commit_width,
+            "ruu_size": self.ruu_size,
+            "lsq_size": self.lsq_size,
+            "fu": self.fu.to_dict(),
+        }
 
 
 # ---------------------------------------------------------------------------
@@ -180,6 +207,13 @@ class CacheGeometry:
     def index_bits(self) -> int:
         return log2_exact(self.num_sets)
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "size_bytes": self.size_bytes,
+            "line_size": self.line_size,
+            "associativity": self.associativity,
+        }
+
 
 @dataclass(frozen=True)
 class L1Config:
@@ -197,6 +231,15 @@ class L1Config:
         _require(self.hit_latency >= 1, "hit latency must be >= 1")
         _require(self.mshr_entries >= 1, "must have at least one MSHR")
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "geometry": self.geometry.to_dict(),
+            "hit_latency": self.hit_latency,
+            "mshr_entries": self.mshr_entries,
+            "writeback": self.writeback,
+            "write_allocate": self.write_allocate,
+        }
+
 
 @dataclass(frozen=True)
 class L2Config:
@@ -212,6 +255,13 @@ class L2Config:
         _require(self.access_latency >= 1, "L2 latency must be >= 1")
         _require(self.max_outstanding >= 1, "L2 must allow >= 1 outstanding request")
 
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "geometry": self.geometry.to_dict(),
+            "access_latency": self.access_latency,
+            "max_outstanding": self.max_outstanding,
+        }
+
 
 @dataclass(frozen=True)
 class MainMemoryConfig:
@@ -222,6 +272,9 @@ class MainMemoryConfig:
 
     def __post_init__(self) -> None:
         _require(self.access_latency >= 1, "memory latency must be >= 1")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"access_latency": self.access_latency}
 
 
 # ---------------------------------------------------------------------------
@@ -247,6 +300,18 @@ class PortModelConfig:
 
     def describe(self) -> str:
         raise NotImplementedError
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical plain-data form: every field plus a ``kind`` tag."""
+        data: Dict[str, Any] = {"kind": self.kind}
+        data.update(asdict(self))
+        return data
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this port model (see
+        :mod:`repro.common.serialize`); the cache key component that
+        replaces the old order- and formatting-fragile ``repr()``."""
+        return fingerprint_of(self.to_dict())
 
 
 @dataclass(frozen=True)
@@ -451,12 +516,102 @@ class MachineConfig:
         """Return a copy of this machine with a different port model."""
         return replace(self, ports=ports)
 
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless plain-data form (see :func:`machine_config_from_dict`)."""
+        return {
+            "core": self.core.to_dict(),
+            "l1": self.l1.to_dict(),
+            "l2": self.l2.to_dict(),
+            "memory": self.memory.to_dict(),
+            "ports": self.ports.to_dict(),
+        }
+
+    def fingerprint(self) -> str:
+        """Stable content hash over every knob of the machine."""
+        return fingerprint_of(self.to_dict())
+
     def describe(self) -> str:
         return (
             f"{self.core.issue_width}-wide core, RUU={self.core.ruu_size}, "
             f"LSQ={self.core.lsq_size}, L1={self.l1.geometry.size_bytes // 1024}KB/"
             f"{self.l1.geometry.line_size}B, ports={self.ports.describe()}"
         )
+
+
+# ---------------------------------------------------------------------------
+# Reconstruction from plain data (the inverse of the ``to_dict`` methods).
+# The forms accepted are exactly what ``to_dict`` emits, before or after a
+# JSON round trip (tuples come back as lists), so configs can cross process
+# boundaries and live in the on-disk result cache.
+# ---------------------------------------------------------------------------
+
+_PORT_MODEL_CLASSES: Dict[str, type] = {}
+
+
+def _register_port_models() -> None:
+    for cls in (IdealPortConfig, ReplicatedPortConfig, BankedPortConfig, LBICConfig):
+        _PORT_MODEL_CLASSES[cls().kind] = cls
+
+
+def port_model_from_dict(data: Dict[str, Any]) -> PortModelConfig:
+    """Rebuild a :class:`PortModelConfig` from its ``to_dict()`` form."""
+    if not _PORT_MODEL_CLASSES:
+        _register_port_models()
+    fields = dict(data)
+    kind = fields.pop("kind", None)
+    cls = _PORT_MODEL_CLASSES.get(kind)
+    if cls is None:
+        raise ConfigError(f"unknown port model kind {kind!r}")
+    try:
+        return cls(**fields)
+    except TypeError as error:
+        raise ConfigError(f"bad {kind} port model data: {error}") from None
+
+
+def _fu_pool_from_dict(data: Dict[str, Any]) -> FuPoolConfig:
+    timings = tuple(
+        (name, FuTiming(**timing)) for name, timing in data["timings"]
+    )
+    return FuPoolConfig(
+        ialu=data["ialu"],
+        imult=data["imult"],
+        fadd=data["fadd"],
+        fmult=data["fmult"],
+        ls_units=data["ls_units"],
+        timings=timings,
+    )
+
+
+def machine_config_from_dict(data: Dict[str, Any]) -> MachineConfig:
+    """Rebuild a :class:`MachineConfig` from its ``to_dict()`` form."""
+    try:
+        core = data["core"]
+        return MachineConfig(
+            core=CoreConfig(
+                fetch_width=core["fetch_width"],
+                issue_width=core["issue_width"],
+                commit_width=core["commit_width"],
+                ruu_size=core["ruu_size"],
+                lsq_size=core["lsq_size"],
+                fu=_fu_pool_from_dict(core["fu"]),
+            ),
+            l1=L1Config(
+                geometry=CacheGeometry(**data["l1"]["geometry"]),
+                hit_latency=data["l1"]["hit_latency"],
+                mshr_entries=data["l1"]["mshr_entries"],
+                writeback=data["l1"]["writeback"],
+                write_allocate=data["l1"]["write_allocate"],
+            ),
+            l2=L2Config(
+                geometry=CacheGeometry(**data["l2"]["geometry"]),
+                access_latency=data["l2"]["access_latency"],
+                max_outstanding=data["l2"]["max_outstanding"],
+            ),
+            memory=MainMemoryConfig(**data["memory"]),
+            ports=port_model_from_dict(data["ports"]),
+        )
+    except (KeyError, TypeError) as error:
+        raise ConfigError(f"bad machine config data: {error!r}") from None
 
 
 def paper_machine(ports: Optional[PortModelConfig] = None) -> MachineConfig:

@@ -1,0 +1,33 @@
+"""Canonical serialization and fingerprinting primitives.
+
+The engine caches simulation results on disk keyed by a *fingerprint* of
+everything that determines the run: the machine configuration, the
+benchmark, and the run settings.  A fingerprint must be stable across
+processes and Python versions, insensitive to dict insertion order, and
+sensitive to every field value — properties ``repr()`` does not give
+(it depends on field *order* and formatting, and silently collides when
+a ``__repr__`` omits a field).
+
+Fingerprints are the sha256 hex digest of the canonical JSON encoding:
+sorted keys, no whitespace, and tuples normalized to lists (JSON has no
+tuple type, so ``(1, 2)`` and ``[1, 2]`` must hash identically or a
+round trip through the on-disk cache would change the key).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def canonical_json(data: Any) -> str:
+    """Encode ``data`` as deterministic JSON (sorted keys, no spaces)."""
+    return json.dumps(
+        data, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+
+
+def fingerprint_of(data: Any) -> str:
+    """The sha256 hex digest of the canonical JSON encoding of ``data``."""
+    return hashlib.sha256(canonical_json(data).encode("ascii")).hexdigest()

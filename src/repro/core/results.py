@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, Optional
 
 
 @dataclass
@@ -58,6 +58,39 @@ class SimResult:
         if baseline.ipc == 0:
             return 0.0
         return self.ipc / baseline.ipc
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless plain-data form, JSON-safe for the on-disk result
+        cache and for crossing process boundaries in parallel sweeps.
+
+        ``refusals`` and ``extra`` are shallow-copied so mutating the
+        dict does not alias the result (and vice versa).  ``extra``
+        values must themselves be JSON-representable.
+        """
+        return {
+            "label": self.label,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "loads": self.loads,
+            "stores": self.stores,
+            "forwarded_loads": self.forwarded_loads,
+            "l1_accesses": self.l1_accesses,
+            "l1_hits": self.l1_hits,
+            "l1_misses": self.l1_misses,
+            "accepted_loads": self.accepted_loads,
+            "accepted_stores": self.accepted_stores,
+            "refusals": dict(self.refusals),
+            "combined_accesses": self.combined_accesses,
+            "machine_description": self.machine_description,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimResult":
+        """Inverse of :meth:`to_dict`; ignores unknown keys so newer
+        cache files degrade gracefully under older code."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
     def summary(self) -> str:
         return (

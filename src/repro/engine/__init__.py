@@ -1,0 +1,47 @@
+"""The simulation engine: canonical fingerprints, a persistent result
+store, and parallel sweep execution.
+
+Every experiment artifact (Tables 3-4, the section 6 comparisons, the
+ablations, the full report) routes its timing simulations through one
+:class:`SimulationEngine`, which deduplicates identical (benchmark,
+machine, budget, seed) work units, restores previously computed results
+from ``results/cache/``, and fans the remainder across worker processes.
+See ``docs/engine.md`` for the cache layout, invalidation rules and the
+parallelism model.
+"""
+
+from .executor import (
+    ProgressCallback,
+    RunEvent,
+    SimulationEngine,
+    WorkUnit,
+    default_jobs,
+    simulate_payload,
+)
+from .settings import RunSettings
+from .store import (
+    DEFAULT_CACHE_DIR,
+    SCHEMA_VERSION,
+    ResultStore,
+    StoreInfo,
+    compute_code_version,
+)
+
+#: Backwards-friendly alias: the engine *is* the sweep executor.
+SweepExecutor = SimulationEngine
+
+__all__ = [
+    "DEFAULT_CACHE_DIR",
+    "ProgressCallback",
+    "ResultStore",
+    "RunEvent",
+    "RunSettings",
+    "SCHEMA_VERSION",
+    "SimulationEngine",
+    "StoreInfo",
+    "SweepExecutor",
+    "WorkUnit",
+    "compute_code_version",
+    "default_jobs",
+    "simulate_payload",
+]

@@ -1,0 +1,345 @@
+"""The simulation engine: cached, parallel execution of timing runs.
+
+One :class:`SimulationEngine` owns three layers that every experiment
+shares:
+
+1. an in-process memo (fingerprint -> :class:`SimResult`), so repeated
+   queries within one invocation are free and return the *same object*;
+2. an optional persistent :class:`~repro.engine.store.ResultStore`, so
+   results survive across invocations (``repro-lbic report`` after
+   ``repro-lbic table3`` re-simulates nothing);
+3. a :class:`~concurrent.futures.ProcessPoolExecutor` fan-out over the
+   work units that remain, with ``jobs`` workers.
+
+Determinism: a work unit is simulated by a pure function of its plain-
+data payload — the machine config, benchmark name, instruction budgets
+and seed — and every unit carries its own seed, so results are
+bit-identical whether a unit runs inline, in a worker process, or is
+restored from the cache.  Scheduling order cannot leak into results.
+
+Instrumentation: cache hits/misses and per-run wall clock land in a
+:class:`~repro.common.stats.StatGroup` (``cache/*``, ``runs/*``), and an
+optional ``progress`` callback observes every unit as it resolves.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..common.config import (
+    IdealPortConfig,
+    MachineConfig,
+    PortModelConfig,
+    machine_config_from_dict,
+    paper_machine,
+)
+from ..common.serialize import fingerprint_of
+from ..common.stats import StatGroup
+from ..core.processor import Processor
+from ..core.results import SimResult
+from ..workloads.spec95 import SPECFP_NAMES, SPECINT_NAMES, spec95_workload
+from .settings import RunSettings
+from .store import ResultStore
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One timing simulation: a benchmark on a machine for a budget."""
+
+    benchmark: str
+    machine: MachineConfig
+    instructions: int
+    warmup_instructions: int
+    seed: int
+
+    @classmethod
+    def build(
+        cls,
+        benchmark: str,
+        machine: MachineConfig,
+        settings: RunSettings,
+    ) -> "WorkUnit":
+        return cls(
+            benchmark=benchmark,
+            machine=machine,
+            instructions=settings.instructions,
+            warmup_instructions=settings.warmup_instructions,
+            seed=settings.seed,
+        )
+
+    @property
+    def label(self) -> str:
+        return f"{self.benchmark}/{self.machine.ports.describe()}"
+
+    def key(self) -> Dict[str, Any]:
+        """Everything that determines the result, as plain data."""
+        return {
+            "benchmark": self.benchmark,
+            "machine": self.machine.to_dict(),
+            "instructions": self.instructions,
+            "warmup_instructions": self.warmup_instructions,
+            "seed": self.seed,
+        }
+
+    @cached_property
+    def fingerprint(self) -> str:
+        return fingerprint_of(self.key())
+
+    def payload(self) -> Dict[str, Any]:
+        """JSON-safe form shipped to worker processes."""
+        data = self.key()
+        data["label"] = self.label
+        return data
+
+
+def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one work-unit payload; the process-pool worker entry.
+
+    Pure function of the payload (the workload stream is deterministic
+    in the seed), so parallel and serial execution agree bit-for-bit.
+    """
+    machine = machine_config_from_dict(payload["machine"])
+    workload = spec95_workload(payload["benchmark"])
+    processor = Processor(machine, label=payload["label"])
+    start = time.perf_counter()
+    result = processor.run(
+        workload.stream(seed=payload["seed"]),
+        max_instructions=payload["instructions"],
+        warmup_instructions=payload["warmup_instructions"],
+    )
+    return {
+        "result": result.to_dict(),
+        "wall_time": time.perf_counter() - start,
+    }
+
+
+@dataclass(frozen=True)
+class RunEvent:
+    """One resolved work unit, reported to the progress callback."""
+
+    label: str
+    fingerprint: str
+    #: where the result came from: "memory", "disk" or "simulated"
+    source: str
+    wall_time: float
+    index: int
+    total: int
+
+
+ProgressCallback = Callable[[RunEvent], None]
+
+
+def default_jobs() -> int:
+    """The default worker count: every core the machine has."""
+    return os.cpu_count() or 1
+
+
+class SimulationEngine:
+    """Cached, parallel front end to the timing simulator.
+
+    ``jobs=None`` uses every core; ``jobs=1`` runs inline (no worker
+    processes).  ``store=None`` disables the persistent cache; pass a
+    :class:`ResultStore` (or use :meth:`with_default_store`) to make
+    results survive across invocations.
+    """
+
+    def __init__(
+        self,
+        settings: Optional[RunSettings] = None,
+        *,
+        jobs: Optional[int] = 1,
+        store: Optional[ResultStore] = None,
+        progress: Optional[ProgressCallback] = None,
+        stats: Optional[StatGroup] = None,
+    ) -> None:
+        self.settings = settings or RunSettings()
+        self.jobs = max(1, jobs if jobs is not None else default_jobs())
+        self.store = store
+        self.progress = progress
+        self.stats = stats or StatGroup("engine")
+        self._cache_stats = self.stats.group("cache")
+        self._run_stats = self.stats.group("runs")
+        self._memory: Dict[str, SimResult] = {}
+        self._sim_seconds = 0.0
+
+    @classmethod
+    def with_default_store(
+        cls, settings: Optional[RunSettings] = None, **kwargs: Any
+    ) -> "SimulationEngine":
+        """An engine persisting to the default ``results/cache`` store."""
+        kwargs.setdefault("store", ResultStore())
+        return cls(settings, **kwargs)
+
+    # -- building work units ----------------------------------------------
+
+    def unit(
+        self,
+        benchmark: str,
+        ports: Optional[PortModelConfig] = None,
+        machine: Optional[MachineConfig] = None,
+        settings: Optional[RunSettings] = None,
+    ) -> WorkUnit:
+        """A work unit for ``benchmark`` on the paper machine with
+        ``ports`` (or an explicit ``machine``), under ``settings``
+        (default: the engine's)."""
+        if machine is None:
+            machine = paper_machine(ports or IdealPortConfig(ports=1))
+        elif ports is not None:
+            machine = machine.with_ports(ports)
+        return WorkUnit.build(benchmark, machine, settings or self.settings)
+
+    # -- execution --------------------------------------------------------
+
+    def run_units(self, units: Iterable[WorkUnit]) -> List[SimResult]:
+        """Resolve every unit — memo, then disk, then simulation — and
+        return results in unit order.  Unresolved units are deduplicated
+        and fanned out across ``jobs`` worker processes."""
+        units = list(units)
+        total = len(units)
+        results: List[Optional[SimResult]] = [None] * total
+        pending: Dict[str, WorkUnit] = {}
+        pending_indices: Dict[str, List[int]] = {}
+
+        for index, unit in enumerate(units):
+            fingerprint = unit.fingerprint
+            cached = self._memory.get(fingerprint)
+            if cached is not None:
+                self._cache_stats.counter("memory_hits").add()
+                results[index] = cached
+                self._emit(unit, "memory", 0.0, index, total)
+                continue
+            if fingerprint in pending:
+                pending_indices[fingerprint].append(index)
+                continue
+            if self.store is not None:
+                restored = self.store.get(fingerprint)
+                if restored is not None:
+                    self._memory[fingerprint] = restored
+                    self._cache_stats.counter("disk_hits").add()
+                    results[index] = restored
+                    self._emit(unit, "disk", 0.0, index, total)
+                    continue
+            self._cache_stats.counter("misses").add()
+            pending[fingerprint] = unit
+            pending_indices[fingerprint] = [index]
+
+        if pending:
+            ordered = list(pending.items())
+            for (fingerprint, unit), outcome in zip(
+                ordered, self._execute([u for _, u in ordered])
+            ):
+                result = SimResult.from_dict(outcome["result"])
+                wall = outcome["wall_time"]
+                self._memory[fingerprint] = result
+                self._run_stats.counter("simulated").add()
+                self._run_stats.running_mean("wall_clock").record(wall)
+                self._sim_seconds += wall
+                if self.store is not None:
+                    self.store.put(fingerprint, unit.key(), result, wall)
+                for index in pending_indices[fingerprint]:
+                    results[index] = result
+                    self._emit(unit, "simulated", wall, index, total)
+
+        return [result for result in results if result is not None]
+
+    def _execute(
+        self, units: Sequence[WorkUnit]
+    ) -> Iterable[Dict[str, Any]]:
+        """Simulate ``units``, inline or across the process pool."""
+        payloads = [unit.payload() for unit in units]
+        if self.jobs == 1 or len(payloads) == 1:
+            return [simulate_payload(payload) for payload in payloads]
+        workers = min(self.jobs, len(payloads))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(simulate_payload, payloads))
+
+    def _emit(
+        self, unit: WorkUnit, source: str, wall: float, index: int, total: int
+    ) -> None:
+        if self.progress is not None:
+            self.progress(
+                RunEvent(
+                    label=unit.label,
+                    fingerprint=unit.fingerprint,
+                    source=source,
+                    wall_time=wall,
+                    index=index,
+                    total=total,
+                )
+            )
+
+    # -- single-result conveniences ---------------------------------------
+
+    def result(
+        self,
+        benchmark: str,
+        ports: Optional[PortModelConfig] = None,
+        machine: Optional[MachineConfig] = None,
+        settings: Optional[RunSettings] = None,
+    ) -> SimResult:
+        """Simulate (or recall) one benchmark/configuration pair."""
+        return self.run_units([self.unit(benchmark, ports, machine, settings)])[0]
+
+    def ipc(
+        self,
+        benchmark: str,
+        ports: Optional[PortModelConfig] = None,
+        machine: Optional[MachineConfig] = None,
+        settings: Optional[RunSettings] = None,
+    ) -> float:
+        return self.result(benchmark, ports, machine, settings).ipc
+
+    # -- aggregation ------------------------------------------------------
+
+    def suite_average(
+        self, ports: PortModelConfig, names: Iterable[str]
+    ) -> float:
+        """Arithmetic-mean IPC over a benchmark suite (the paper's Ave.)."""
+        names = list(names)
+        results = self.run_units([self.unit(name, ports) for name in names])
+        return sum(r.ipc for r in results) / len(results) if results else 0.0
+
+    def specint_average(self, ports: PortModelConfig) -> float:
+        return self.suite_average(ports, self.int_benchmarks)
+
+    def specfp_average(self, ports: PortModelConfig) -> float:
+        return self.suite_average(ports, self.fp_benchmarks)
+
+    @property
+    def int_benchmarks(self) -> List[str]:
+        return [n for n in self.settings.benchmarks if n in SPECINT_NAMES]
+
+    @property
+    def fp_benchmarks(self) -> List[str]:
+        return [n for n in self.settings.benchmarks if n in SPECFP_NAMES]
+
+    # -- instrumentation --------------------------------------------------
+
+    def cache_summary(self) -> Dict[str, float]:
+        """Hit/miss counters and simulation wall clock, as plain data."""
+        cache = self._cache_stats
+        return {
+            "memory_hits": cache.counter("memory_hits").value,
+            "disk_hits": cache.counter("disk_hits").value,
+            "misses": cache.counter("misses").value,
+            "simulated": self._run_stats.counter("simulated").value,
+            "sim_seconds": self._sim_seconds,
+        }
+
+    def render_summary(self) -> str:
+        """One-line human summary of the engine's cache behaviour."""
+        summary = self.cache_summary()
+        hits = summary["memory_hits"] + summary["disk_hits"]
+        return (
+            f"engine: {summary['simulated']:.0f} simulations "
+            f"({summary['sim_seconds']:.1f}s), "
+            f"{hits:.0f} cache hits "
+            f"({summary['memory_hits']:.0f} memory / "
+            f"{summary['disk_hits']:.0f} disk), "
+            f"{summary['misses']:.0f} misses, jobs={self.jobs}"
+        )

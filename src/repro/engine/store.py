@@ -1,0 +1,209 @@
+"""Persistent on-disk cache of simulation results.
+
+Layout: one JSON file per completed timing run, at
+``<root>/<fingerprint>.json`` (default root ``results/cache/``,
+overridable with ``REPRO_CACHE_DIR``).  The fingerprint is the sha256 of
+the canonical work-unit key — benchmark, full machine config, timed and
+warm-up instruction budgets, and seed — so any change to any knob lands
+in a different file.
+
+Every entry is stamped with:
+
+* ``schema_version`` — bumped when the envelope or the
+  :class:`~repro.core.results.SimResult` field set changes shape;
+* ``code_version`` — a content hash of the simulator's own source
+  (core, memory, ISA, workload and common packages), so editing the
+  simulator silently invalidates every stale result.
+
+Invalidation is *safe by construction*: a stale, corrupt or truncated
+entry reads as a miss (and is overwritten on the next store), never as
+wrong data.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..core.results import SimResult
+
+#: Bump when the on-disk envelope or SimResult schema changes shape.
+SCHEMA_VERSION = 1
+
+#: Default cache directory, relative to the working directory (the repo
+#: root in normal use); override with the ``REPRO_CACHE_DIR`` env var.
+DEFAULT_CACHE_DIR = "results/cache"
+
+#: Subpackages whose source defines simulation semantics.  Editing any
+#: file under these directories changes the code version and therefore
+#: invalidates every cached result.  Rendering/harness-only packages
+#: (experiments, analysis, cost, cli) are deliberately excluded.
+_SEMANTIC_PACKAGES = ("common", "core", "isa", "memory", "workloads")
+
+_code_version_cache: Optional[str] = None
+
+
+def compute_code_version() -> str:
+    """Content hash of the simulator's semantic source files."""
+    global _code_version_cache
+    if _code_version_cache is not None:
+        return _code_version_cache
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for package in _SEMANTIC_PACKAGES:
+        base = package_root / package
+        for path in sorted(base.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+@dataclass
+class StoreInfo:
+    """Summary of a cache directory's contents."""
+
+    root: str
+    entries: int
+    valid_entries: int
+    stale_entries: int
+    total_bytes: int
+    schema_version: int
+    code_version: str
+
+    def render(self) -> str:
+        lines = [
+            f"cache root:     {self.root}",
+            f"entries:        {self.entries} "
+            f"({self.valid_entries} valid, {self.stale_entries} stale)",
+            f"total size:     {self.total_bytes / 1024:.1f} KiB",
+            f"schema version: {self.schema_version}",
+            f"code version:   {self.code_version}",
+        ]
+        return "\n".join(lines)
+
+
+class ResultStore:
+    """Fingerprint-addressed persistent store of :class:`SimResult`s."""
+
+    def __init__(
+        self,
+        root: Union[str, Path, None] = None,
+        code_version: Optional[str] = None,
+    ) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR)
+        self.root = Path(root)
+        self.code_version = code_version or compute_code_version()
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> Optional[SimResult]:
+        """The cached result for ``fingerprint``, or None on any miss
+        (absent, unreadable, corrupt, or stamped by other code)."""
+        path = self.path_for(fingerprint)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                envelope = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(envelope, dict):
+            return None
+        if envelope.get("schema_version") != SCHEMA_VERSION:
+            return None
+        if envelope.get("code_version") != self.code_version:
+            return None
+        try:
+            return SimResult.from_dict(envelope["result"])
+        except (KeyError, TypeError):
+            return None
+
+    def put(
+        self,
+        fingerprint: str,
+        key: Dict[str, Any],
+        result: SimResult,
+        wall_time: float = 0.0,
+    ) -> Path:
+        """Persist ``result`` atomically (write-temp-then-rename); the
+        human-readable ``key`` is stored alongside for debuggability."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "schema_version": SCHEMA_VERSION,
+            "code_version": self.code_version,
+            "fingerprint": fingerprint,
+            "created": time.time(),
+            "wall_time": wall_time,
+            "key": key,
+            "result": result.to_dict(),
+        }
+        path = self.path_for(fingerprint)
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            encoding="utf-8",
+            dir=str(self.root),
+            prefix=".tmp-",
+            suffix=".json",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(envelope, handle, indent=1, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def entries(self):
+        """All ``<fingerprint>.json`` paths currently in the store."""
+        if not self.root.is_dir():
+            return []
+        return sorted(
+            p for p in self.root.glob("*.json") if not p.name.startswith(".")
+        )
+
+    def info(self) -> StoreInfo:
+        """Count entries, splitting valid from stale (wrong stamps)."""
+        paths = self.entries()
+        valid = 0
+        total_bytes = 0
+        for path in paths:
+            try:
+                total_bytes += path.stat().st_size
+            except OSError:
+                continue
+            if self.get(path.stem) is not None:
+                valid += 1
+        return StoreInfo(
+            root=str(self.root),
+            entries=len(paths),
+            valid_entries=valid,
+            stale_entries=len(paths) - valid,
+            total_bytes=total_bytes,
+            schema_version=SCHEMA_VERSION,
+            code_version=self.code_version,
+        )
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        for path in self.entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -28,13 +28,12 @@
 from __future__ import annotations
 
 import dataclasses
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..common.config import (
     BANK_FUNCTIONS,
     BankedPortConfig,
-    CoreConfig,
     IdealPortConfig,
     LBICConfig,
     MachineConfig,
@@ -43,10 +42,10 @@ from ..common.config import (
     paper_machine,
 )
 from ..common.tables import Table
-from ..core.processor import Processor
 from ..cost.area import cache_area
-from ..workloads.spec95 import ALL_NAMES, spec95_workload
-from .runner import ExperimentRunner, RunSettings
+from ..engine import SimulationEngine
+from ..workloads.spec95 import SPECFP_NAMES, SPECINT_NAMES
+from .runner import RunSettings
 
 
 @dataclass
@@ -79,35 +78,53 @@ class SweepResult:
         return table.render()
 
 
-def _run(machine: MachineConfig, benchmark: str, settings: RunSettings) -> float:
-    workload = spec95_workload(benchmark)
-    processor = Processor(machine, label=f"{benchmark}/ablation")
-    result = processor.run(
-        workload.stream(seed=settings.seed),
-        max_instructions=settings.instructions,
-        warmup_instructions=settings.warmup_instructions,
+def _resolve(
+    settings: Optional[RunSettings], engine: Optional[SimulationEngine]
+) -> Tuple[RunSettings, SimulationEngine]:
+    """Ablation entry points accept either handle; engine wins, and an
+    explicit ``settings`` overrides the engine's default budgets."""
+    if engine is None:
+        engine = SimulationEngine(settings, jobs=1)
+    return settings or engine.settings, engine
+
+
+def _sweep_ipcs(
+    engine: SimulationEngine,
+    settings: RunSettings,
+    machines: Sequence[MachineConfig],
+    benchmarks: Sequence[str],
+) -> Dict[str, List[float]]:
+    """IPC of every (benchmark, machine) pair, submitted as one batch so
+    the engine can fan it out and deduplicate against its caches."""
+    results = engine.run_units(
+        engine.unit(benchmark, machine=machine, settings=settings)
+        for benchmark in benchmarks
+        for machine in machines
     )
-    return result.ipc
+    cursor = iter(results)
+    return {
+        benchmark: [next(cursor).ipc for _ in machines]
+        for benchmark in benchmarks
+    }
 
 
 def ablate_lsq_depth(
     settings: Optional[RunSettings] = None,
     depths: Sequence[int] = (8, 16, 32, 64, 128, 256, 512),
     ports: Optional[PortModelConfig] = None,
+    engine: Optional[SimulationEngine] = None,
 ) -> SweepResult:
     """A1 — sweep LSQ depth on a 4x4 LBIC machine."""
-    settings = settings or RunSettings()
+    settings, engine = _resolve(settings, engine)
     ports = ports or LBICConfig(banks=4, buffer_ports=4)
-    ipcs: Dict[str, List[float]] = {}
-    for benchmark in settings.benchmarks:
-        row = []
-        for depth in depths:
-            base = paper_machine(ports)
-            machine = dataclasses.replace(
-                base, core=dataclasses.replace(base.core, lsq_size=depth)
-            )
-            row.append(_run(machine, benchmark, settings))
-        ipcs[benchmark] = row
+    base = paper_machine(ports)
+    machines = [
+        dataclasses.replace(
+            base, core=dataclasses.replace(base.core, lsq_size=depth)
+        )
+        for depth in depths
+    ]
+    ipcs = _sweep_ipcs(engine, settings, machines, settings.benchmarks)
     return SweepResult("A1", "LSQ depth", list(depths), ipcs)
 
 
@@ -115,30 +132,30 @@ def ablate_bank_function(
     settings: Optional[RunSettings] = None,
     banks: int = 4,
     functions: Sequence[str] = BANK_FUNCTIONS,
+    engine: Optional[SimulationEngine] = None,
 ) -> Tuple[SweepResult, SweepResult]:
     """A2 — sweep the bank-selection function for Banked and LBIC."""
-    settings = settings or RunSettings()
-    banked_ipcs: Dict[str, List[float]] = {}
-    lbic_ipcs: Dict[str, List[float]] = {}
-    for benchmark in settings.benchmarks:
-        banked_ipcs[benchmark] = [
-            _run(
-                paper_machine(BankedPortConfig(banks=banks, bank_function=fn)),
-                benchmark,
-                settings,
+    settings, engine = _resolve(settings, engine)
+    banked_ipcs = _sweep_ipcs(
+        engine,
+        settings,
+        [
+            paper_machine(BankedPortConfig(banks=banks, bank_function=fn))
+            for fn in functions
+        ],
+        settings.benchmarks,
+    )
+    lbic_ipcs = _sweep_ipcs(
+        engine,
+        settings,
+        [
+            paper_machine(
+                LBICConfig(banks=banks, buffer_ports=2, bank_function=fn)
             )
             for fn in functions
-        ]
-        lbic_ipcs[benchmark] = [
-            _run(
-                paper_machine(
-                    LBICConfig(banks=banks, buffer_ports=2, bank_function=fn)
-                ),
-                benchmark,
-                settings,
-            )
-            for fn in functions
-        ]
+        ],
+        settings.benchmarks,
+    )
     return (
         SweepResult("A2 (banked)", "bank function", list(functions), banked_ipcs),
         SweepResult("A2 (LBIC)", "bank function", list(functions), lbic_ipcs),
@@ -148,21 +165,17 @@ def ablate_bank_function(
 def ablate_store_queue(
     settings: Optional[RunSettings] = None,
     depths: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    engine: Optional[SimulationEngine] = None,
 ) -> SweepResult:
     """A3 — sweep the LBIC per-bank store-queue depth."""
-    settings = settings or RunSettings()
-    ipcs: Dict[str, List[float]] = {}
-    for benchmark in settings.benchmarks:
-        ipcs[benchmark] = [
-            _run(
-                paper_machine(
-                    LBICConfig(banks=4, buffer_ports=4, store_queue_depth=depth)
-                ),
-                benchmark,
-                settings,
-            )
-            for depth in depths
-        ]
+    settings, engine = _resolve(settings, engine)
+    machines = [
+        paper_machine(
+            LBICConfig(banks=4, buffer_ports=4, store_queue_depth=depth)
+        )
+        for depth in depths
+    ]
+    ipcs = _sweep_ipcs(engine, settings, machines, settings.benchmarks)
     return SweepResult("A3", "store-queue depth", list(depths), ipcs)
 
 
@@ -170,32 +183,29 @@ def ablate_combining_policy(
     settings: Optional[RunSettings] = None,
     banks: int = 4,
     buffer_ports: int = 4,
+    engine: Optional[SimulationEngine] = None,
 ) -> SweepResult:
     """A4 — leading-request vs largest-group LSQ selection (section 5.2)."""
-    settings = settings or RunSettings()
+    settings, engine = _resolve(settings, engine)
     policies = ["leading-request", "largest-group"]
-    ipcs: Dict[str, List[float]] = {}
-    for benchmark in settings.benchmarks:
-        ipcs[benchmark] = [
-            _run(
-                paper_machine(
-                    LBICConfig(
-                        banks=banks,
-                        buffer_ports=buffer_ports,
-                        combining_policy=policy,
-                    )
-                ),
-                benchmark,
-                settings,
+    machines = [
+        paper_machine(
+            LBICConfig(
+                banks=banks,
+                buffer_ports=buffer_ports,
+                combining_policy=policy,
             )
-            for policy in policies
-        ]
+        )
+        for policy in policies
+    ]
+    ipcs = _sweep_ipcs(engine, settings, machines, settings.benchmarks)
     return SweepResult("A4", "combining policy", policies, ipcs)
 
 
 def ablate_interleaving(
     settings: Optional[RunSettings] = None,
     banks: int = 4,
+    engine: Optional[SimulationEngine] = None,
 ) -> SweepResult:
     """A6 — line- vs word-interleaved banking (paper section 3.2).
 
@@ -204,41 +214,35 @@ def ablate_interleaving(
     replicated tag store (see :func:`repro.cost.area.cache_area`) and
     cannot fix power-of-two array aliasing (swim).
     """
-    settings = settings or RunSettings()
+    settings, engine = _resolve(settings, engine)
     variants = ["line", "word"]
-    ipcs: Dict[str, List[float]] = {}
-    for benchmark in settings.benchmarks:
-        ipcs[benchmark] = [
-            _run(
-                paper_machine(
-                    BankedPortConfig(banks=banks, interleave=interleave)
-                ),
-                benchmark,
-                settings,
-            )
-            for interleave in variants
-        ]
+    machines = [
+        paper_machine(BankedPortConfig(banks=banks, interleave=interleave))
+        for interleave in variants
+    ]
+    ipcs = _sweep_ipcs(engine, settings, machines, settings.benchmarks)
     return SweepResult("A6", f"{banks}-bank interleaving granularity",
                        variants, ipcs)
 
 
 def ablate_bank_porting(
     settings: Optional[RunSettings] = None,
+    engine: Optional[SimulationEngine] = None,
 ) -> SweepResult:
     """A7 — equal peak bandwidth (8/cycle), different structure:
     8 single-ported banks vs 4 dual-ported banks vs a 4x2 LBIC."""
-    settings = settings or RunSettings()
+    settings, engine = _resolve(settings, engine)
     variants: List[Tuple[str, PortModelConfig]] = [
         ("8x1-bank", BankedPortConfig(banks=8)),
         ("4x2-port-bank", BankedPortConfig(banks=4, ports_per_bank=2)),
         ("4x2-LBIC", LBICConfig(banks=4, buffer_ports=2)),
     ]
-    ipcs: Dict[str, List[float]] = {}
-    for benchmark in settings.benchmarks:
-        ipcs[benchmark] = [
-            _run(paper_machine(config), benchmark, settings)
-            for _, config in variants
-        ]
+    ipcs = _sweep_ipcs(
+        engine,
+        settings,
+        [paper_machine(config) for _, config in variants],
+        settings.benchmarks,
+    )
     return SweepResult(
         "A7", "structure at peak 8 accesses/cycle",
         [label for label, _ in variants], ipcs,
@@ -249,6 +253,7 @@ def ablate_line_size(
     settings: Optional[RunSettings] = None,
     line_sizes: Sequence[int] = (16, 32, 64),
     ports: Optional[PortModelConfig] = None,
+    engine: Optional[SimulationEngine] = None,
 ) -> SweepResult:
     """A8 — L1 line size under a 2x2 LBIC.
 
@@ -257,21 +262,18 @@ def ablate_line_size(
     already sits at the ILP ceiling, where line size only moves the
     miss rate).
     """
-    settings = settings or RunSettings()
+    settings, engine = _resolve(settings, engine)
     ports = ports or LBICConfig(banks=2, buffer_ports=2)
-    ipcs: Dict[str, List[float]] = {}
-    for benchmark in settings.benchmarks:
-        row = []
-        for line_size in line_sizes:
-            base = paper_machine(ports)
-            geometry = dataclasses.replace(
-                base.l1.geometry, line_size=line_size
-            )
-            machine = dataclasses.replace(
+    base = paper_machine(ports)
+    machines = []
+    for line_size in line_sizes:
+        geometry = dataclasses.replace(base.l1.geometry, line_size=line_size)
+        machines.append(
+            dataclasses.replace(
                 base, l1=dataclasses.replace(base.l1, geometry=geometry)
             )
-            row.append(_run(machine, benchmark, settings))
-        ipcs[benchmark] = row
+        )
+    ipcs = _sweep_ipcs(engine, settings, machines, settings.benchmarks)
     return SweepResult("A8", "L1 line size (bytes)", list(line_sizes), ipcs)
 
 
@@ -279,6 +281,7 @@ def ablate_memory_latency(
     settings: Optional[RunSettings] = None,
     latencies: Sequence[int] = (10, 30, 100),
     benchmark: str = "swim",
+    engine: Optional[SimulationEngine] = None,
 ) -> Dict[str, List[float]]:
     """A9 — organizational ordering vs main-memory latency.
 
@@ -286,32 +289,40 @@ def ablate_memory_latency(
     memory isolates bandwidth effects; this shows the who-wins ordering
     survives realistic latencies.
     """
-    settings = settings or RunSettings()
+    settings, engine = _resolve(settings, engine)
     organizations: List[Tuple[str, PortModelConfig]] = [
         ("ideal-4", IdealPortConfig(4)),
         ("repl-4", ReplicatedPortConfig(4)),
         ("bank-4", BankedPortConfig(banks=4)),
         ("lbic-4x4", LBICConfig(banks=4, buffer_ports=4)),
     ]
-    results: Dict[str, List[float]] = {}
-    for label, ports in organizations:
-        row = []
+    machines = []
+    for _, ports in organizations:
+        base = paper_machine(ports)
         for latency in latencies:
-            base = paper_machine(ports)
-            machine = dataclasses.replace(
-                base,
-                memory=dataclasses.replace(
-                    base.memory, access_latency=latency
-                ),
+            machines.append(
+                dataclasses.replace(
+                    base,
+                    memory=dataclasses.replace(
+                        base.memory, access_latency=latency
+                    ),
+                )
             )
-            row.append(_run(machine, benchmark, settings))
-        results[label] = row
-    return results
+    sim = engine.run_units(
+        engine.unit(benchmark, machine=machine, settings=settings)
+        for machine in machines
+    )
+    cursor = iter(sim)
+    return {
+        label: [next(cursor).ipc for _ in latencies]
+        for label, _ in organizations
+    }
 
 
 def ablate_crossbar_latency(
     settings: Optional[RunSettings] = None,
     latencies: Sequence[int] = (0, 1, 2),
+    engine: Optional[SimulationEngine] = None,
 ) -> Tuple[SweepResult, SweepResult]:
     """A10 — interconnect latency sensitivity (paper section 3.2).
 
@@ -320,31 +331,27 @@ def ablate_crossbar_latency(
     this sweep prices un-hidden latency for the banked cache and the
     LBIC.
     """
-    settings = settings or RunSettings()
-    banked_ipcs: Dict[str, List[float]] = {}
-    lbic_ipcs: Dict[str, List[float]] = {}
-    for benchmark in settings.benchmarks:
-        banked_ipcs[benchmark] = [
-            _run(
-                paper_machine(
-                    BankedPortConfig(banks=4, crossbar_latency=latency)
-                ),
-                benchmark,
-                settings,
+    settings, engine = _resolve(settings, engine)
+    banked_ipcs = _sweep_ipcs(
+        engine,
+        settings,
+        [
+            paper_machine(BankedPortConfig(banks=4, crossbar_latency=latency))
+            for latency in latencies
+        ],
+        settings.benchmarks,
+    )
+    lbic_ipcs = _sweep_ipcs(
+        engine,
+        settings,
+        [
+            paper_machine(
+                LBICConfig(banks=4, buffer_ports=4, crossbar_latency=latency)
             )
             for latency in latencies
-        ]
-        lbic_ipcs[benchmark] = [
-            _run(
-                paper_machine(
-                    LBICConfig(banks=4, buffer_ports=4,
-                               crossbar_latency=latency)
-                ),
-                benchmark,
-                settings,
-            )
-            for latency in latencies
-        ]
+        ],
+        settings.benchmarks,
+    )
     return (
         SweepResult("A10 (banked)", "crossbar latency (cycles)",
                     list(latencies), banked_ipcs),
@@ -355,27 +362,22 @@ def ablate_crossbar_latency(
 
 def ablate_fill_port(
     settings: Optional[RunSettings] = None,
+    engine: Optional[SimulationEngine] = None,
 ) -> SweepResult:
     """A11 — dedicated fill port vs fills stealing bank cycles.
 
     Prices the baseline's documented simplification (fills land for
     free) on a 4x4 LBIC.
     """
-    settings = settings or RunSettings()
+    settings, engine = _resolve(settings, engine)
     variants = ["dedicated", "steals-bank"]
-    ipcs: Dict[str, List[float]] = {}
-    for benchmark in settings.benchmarks:
-        ipcs[benchmark] = [
-            _run(
-                paper_machine(
-                    LBICConfig(banks=4, buffer_ports=4,
-                               fills_occupy_bank=steals)
-                ),
-                benchmark,
-                settings,
-            )
-            for steals in (False, True)
-        ]
+    machines = [
+        paper_machine(
+            LBICConfig(banks=4, buffer_ports=4, fills_occupy_bank=steals)
+        )
+        for steals in (False, True)
+    ]
+    ipcs = _sweep_ipcs(engine, settings, machines, settings.benchmarks)
     return SweepResult("A11", "fill-port arbitration", variants, ipcs)
 
 
@@ -383,6 +385,7 @@ def ablate_associativity(
     settings: Optional[RunSettings] = None,
     associativities: Sequence[int] = (1, 2, 4),
     ports: Optional[PortModelConfig] = None,
+    engine: Optional[SimulationEngine] = None,
 ) -> SweepResult:
     """A12 — L1 associativity at fixed 32 KB capacity.
 
@@ -393,21 +396,20 @@ def ablate_associativity(
     direct-mapped choice is not load-bearing for any conclusion — which
     is exactly what this sweep documents.
     """
-    settings = settings or RunSettings()
+    settings, engine = _resolve(settings, engine)
     ports = ports or IdealPortConfig(1)
-    ipcs: Dict[str, List[float]] = {}
-    for benchmark in settings.benchmarks:
-        row = []
-        for associativity in associativities:
-            base = paper_machine(ports)
-            geometry = dataclasses.replace(
-                base.l1.geometry, associativity=associativity
-            )
-            machine = dataclasses.replace(
+    base = paper_machine(ports)
+    machines = []
+    for associativity in associativities:
+        geometry = dataclasses.replace(
+            base.l1.geometry, associativity=associativity
+        )
+        machines.append(
+            dataclasses.replace(
                 base, l1=dataclasses.replace(base.l1, geometry=geometry)
             )
-            row.append(_run(machine, benchmark, settings))
-        ipcs[benchmark] = row
+        )
+    ipcs = _sweep_ipcs(engine, settings, machines, settings.benchmarks)
     return SweepResult(
         "A12", "L1 associativity (32 KB)", list(associativities), ipcs
     )
@@ -425,10 +427,10 @@ class CostPerformancePoint:
 def cost_performance(
     settings: Optional[RunSettings] = None,
     configs: Optional[Sequence[Tuple[str, PortModelConfig]]] = None,
+    engine: Optional[SimulationEngine] = None,
 ) -> List[CostPerformancePoint]:
     """A5 — the cost/performance frontier of sections 1 and 6."""
-    settings = settings or RunSettings()
-    runner = ExperimentRunner(settings)
+    settings, engine = _resolve(settings, engine)
     if configs is None:
         configs = [
             ("ideal-2", IdealPortConfig(2)),
@@ -441,15 +443,29 @@ def cost_performance(
             ("lbic-4x2", LBICConfig(banks=4, buffer_ports=2)),
             ("lbic-4x4", LBICConfig(banks=4, buffer_ports=4)),
         ]
+    int_names = [n for n in settings.benchmarks if n in SPECINT_NAMES]
+    fp_names = [n for n in settings.benchmarks if n in SPECFP_NAMES]
+    ipcs = _sweep_ipcs(
+        engine,
+        settings,
+        [paper_machine(config) for _, config in configs],
+        settings.benchmarks,
+    )
+
+    def average(names: Sequence[str], index: int) -> float:
+        if not names:
+            return 0.0
+        return sum(ipcs[name][index] for name in names) / len(names)
+
     points = []
-    for label, config in configs:
+    for index, (label, config) in enumerate(configs):
         points.append(
             CostPerformancePoint(
                 label=label,
                 config=config,
                 area_rbe=cache_area(config, paper_machine().l1).total,
-                specint_ipc=runner.specint_average(config),
-                specfp_ipc=runner.specfp_average(config),
+                specint_ipc=average(int_names, index),
+                specfp_ipc=average(fp_names, index),
             )
         )
     return points

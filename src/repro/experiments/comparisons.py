@@ -12,8 +12,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..common.tables import Table
+from ..engine import SimulationEngine
 from .figure3 import Figure3Result, run_figure3
-from .runner import ExperimentRunner, RunSettings
+from .runner import RunSettings, resolve_engine
 from .table3 import Table3Result, run_table3
 from .table4 import Table4Result, run_table4
 
@@ -266,10 +267,13 @@ def _suite(name: str) -> str:
     return suite_of(name)
 
 
-def run_claim_checks(settings: Optional[RunSettings] = None) -> ClaimReport:
+def run_claim_checks(
+    settings: Optional[RunSettings] = None,
+    engine: Optional[SimulationEngine] = None,
+) -> ClaimReport:
     """Run everything needed for the claim checklist and evaluate it."""
-    runner = ExperimentRunner(settings)
-    table3 = run_table3(runner)
-    table4 = run_table4(runner)
-    figure3 = run_figure3(runner.settings)
+    engine = resolve_engine(settings=settings, engine=engine)
+    table3 = run_table3(engine=engine)
+    table4 = run_table4(engine=engine)
+    figure3 = run_figure3(engine.settings)
     return check_claims(table3, table4, figure3)

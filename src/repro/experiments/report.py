@@ -12,12 +12,13 @@ import io
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from ..engine import SimulationEngine
 from ..workloads.spec95 import PAPER_TARGETS, SPECFP_NAMES, SPECINT_NAMES
 from .ablations import SweepResult
 from .comparisons import ClaimReport, check_claims
 from .figure3 import Figure3Result, run_figure3
 from .paper_data import TABLE3, TABLE3_AVERAGES, TABLE4, TABLE4_AVERAGES, TABLE4_CONFIGS
-from .runner import ExperimentRunner, RunSettings
+from .runner import RunSettings, resolve_engine
 from .table2 import Table2Result, run_table2
 from .table3 import KINDS, Table3Result, run_table3
 from .table4 import Table4Result, run_table4
@@ -159,12 +160,18 @@ def _pair(measured: float, paper: Optional[float]) -> str:
 def build_report(
     settings: Optional[RunSettings] = None,
     sweeps: Optional[List[SweepResult]] = None,
+    engine: Optional[SimulationEngine] = None,
 ) -> ReproductionReport:
-    """Run every core experiment and assemble the report."""
-    settings = settings or RunSettings()
-    runner = ExperimentRunner(settings)
-    table3 = run_table3(runner)
-    table4 = run_table4(runner)
+    """Run every core experiment and assemble the report.
+
+    All timing simulations go through one engine, so a report built
+    right after (say) ``repro-lbic table3`` with a persistent store
+    re-simulates nothing the tables already computed.
+    """
+    engine = resolve_engine(settings=settings, engine=engine)
+    settings = engine.settings
+    table3 = run_table3(engine=engine)
+    table4 = run_table4(engine=engine)
     figure3 = run_figure3(settings)
     return ReproductionReport(
         settings=settings,

@@ -1,76 +1,51 @@
-"""Shared sweep machinery for the paper-reproduction experiments.
+"""Backwards-compatible front end to the simulation engine.
 
-An :class:`ExperimentRunner` owns the run settings (instruction budget,
-seed, benchmark list) and memoizes simulation results, so Table 3,
-Table 4 and the section 6 cross-comparisons share runs of the same
-configuration instead of re-simulating.
+:class:`ExperimentRunner` predates :mod:`repro.engine`; it used to own a
+private in-memory cache keyed by the fragile ``repr(ports)`` string.  It
+is now a thin shim over a :class:`~repro.engine.SimulationEngine` —
+results are memoized by canonical config fingerprint, shared with every
+other consumer of the same engine, and optionally persisted/parallel.
+New code should talk to the engine directly; this class stays so
+external callers (and the benchmark harness) keep working unchanged.
+
+:class:`~repro.engine.RunSettings` also moved to the engine layer and is
+re-exported here for compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional
 
-from ..common.config import MachineConfig, PortModelConfig, paper_machine
-from ..common.stats import weighted_average
-from ..core.processor import Processor
+from ..common.config import PortModelConfig
 from ..core.results import SimResult
-from ..workloads.spec95 import ALL_NAMES, SPECFP_NAMES, SPECINT_NAMES, spec95_workload
+from ..engine import RunSettings, SimulationEngine
 
-
-@dataclass(frozen=True)
-class RunSettings:
-    """How much to simulate.
-
-    The paper runs up to 1.5 G instructions per benchmark; the models
-    here are stationary synthetics whose IPC converges within a few tens
-    of thousands of instructions (see the convergence test), so the
-    default budget keeps a full table under a few minutes of wall clock.
-    """
-
-    instructions: int = 20_000
-    seed: int = 1
-    benchmarks: Tuple[str, ...] = ALL_NAMES
-    #: instructions fast-forwarded before timing begins (cache warm-up);
-    #: sized to tour the largest resident working set of the models.
-    warmup_instructions: int = 30_000
-    #: budget for trace-level (functional) analyses - Table 2 and
-    #: Figure 3 - which run ~50x faster than timing simulation and need
-    #: longer streams to amortize cold-start misses.
-    characterization_instructions: int = 120_000
-
-    def __post_init__(self) -> None:
-        unknown = set(self.benchmarks) - set(ALL_NAMES)
-        if unknown:
-            raise ValueError(f"unknown benchmarks: {sorted(unknown)}")
+__all__ = ["ExperimentRunner", "RunSettings", "resolve_engine"]
 
 
 class ExperimentRunner:
-    """Runs (benchmark, port-config) simulations with memoization."""
+    """Runs (benchmark, port-config) simulations with memoization.
 
-    def __init__(self, settings: Optional[RunSettings] = None) -> None:
-        self.settings = settings or RunSettings()
-        self._cache: Dict[Tuple[str, str], SimResult] = {}
+    A thin shim over :class:`SimulationEngine`: pass ``engine`` to share
+    caches (and parallelism/persistence policy) with other consumers, or
+    let it build a private in-memory serial engine from ``settings`` —
+    the original behaviour, minus the ``repr()``-keyed cache.
+    """
+
+    def __init__(
+        self,
+        settings: Optional[RunSettings] = None,
+        engine: Optional[SimulationEngine] = None,
+    ) -> None:
+        self.engine = engine or SimulationEngine(settings, jobs=1)
+        self.settings = self.engine.settings
 
     def result(self, benchmark: str, ports: PortModelConfig) -> SimResult:
         """Simulate one benchmark on the paper machine with ``ports``."""
-        key = (benchmark, repr(ports))
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        machine = paper_machine(ports)
-        workload = spec95_workload(benchmark)
-        processor = Processor(machine, label=f"{benchmark}/{ports.describe()}")
-        result = processor.run(
-            workload.stream(seed=self.settings.seed),
-            max_instructions=self.settings.instructions,
-            warmup_instructions=self.settings.warmup_instructions,
-        )
-        self._cache[key] = result
-        return result
+        return self.engine.result(benchmark, ports=ports)
 
     def ipc(self, benchmark: str, ports: PortModelConfig) -> float:
-        return self.result(benchmark, ports).ipc
+        return self.engine.ipc(benchmark, ports=ports)
 
     # -- aggregation -----------------------------------------------------------
 
@@ -78,21 +53,32 @@ class ExperimentRunner:
         self, ports: PortModelConfig, names: Iterable[str]
     ) -> float:
         """Arithmetic-mean IPC over a benchmark suite (the paper's Ave.)."""
-        ipcs = [self.ipc(name, ports) for name in names]
-        return sum(ipcs) / len(ipcs) if ipcs else 0.0
+        return self.engine.suite_average(ports, names)
 
     def specint_average(self, ports: PortModelConfig) -> float:
-        names = [n for n in self.settings.benchmarks if n in SPECINT_NAMES]
-        return self.suite_average(ports, names)
+        return self.engine.specint_average(ports)
 
     def specfp_average(self, ports: PortModelConfig) -> float:
-        names = [n for n in self.settings.benchmarks if n in SPECFP_NAMES]
-        return self.suite_average(ports, names)
+        return self.engine.specfp_average(ports)
 
     @property
     def int_benchmarks(self) -> List[str]:
-        return [n for n in self.settings.benchmarks if n in SPECINT_NAMES]
+        return self.engine.int_benchmarks
 
     @property
     def fp_benchmarks(self) -> List[str]:
-        return [n for n in self.settings.benchmarks if n in SPECFP_NAMES]
+        return self.engine.fp_benchmarks
+
+
+def resolve_engine(
+    runner: Optional[ExperimentRunner] = None,
+    settings: Optional[RunSettings] = None,
+    engine: Optional[SimulationEngine] = None,
+) -> SimulationEngine:
+    """The engine to use given any of the three handles an experiment
+    entry point may receive (newest wins: engine > runner > settings)."""
+    if engine is not None:
+        return engine
+    if runner is not None:
+        return runner.engine
+    return SimulationEngine(settings, jobs=1)

@@ -18,8 +18,9 @@ from ..common.config import (
     ReplicatedPortConfig,
 )
 from ..common.tables import Table
+from ..engine import SimulationEngine
 from .paper_data import TABLE3, TABLE3_AVERAGES, TABLE3_PORTS
-from .runner import ExperimentRunner, RunSettings
+from .runner import ExperimentRunner, RunSettings, resolve_engine
 
 KINDS = ("true", "repl", "bank")
 
@@ -87,23 +88,34 @@ class Table3Result:
 def run_table3(
     runner: Optional[ExperimentRunner] = None,
     settings: Optional[RunSettings] = None,
+    engine: Optional[SimulationEngine] = None,
 ) -> Table3Result:
-    """Run the full Table 3 sweep (13 configurations per benchmark)."""
-    runner = runner or ExperimentRunner(settings)
+    """Run the full Table 3 sweep (13 configurations per benchmark).
+
+    All (benchmark, config) cells are submitted to the engine as one
+    batch, so they fan out across its worker pool and hit its caches.
+    """
+    engine = resolve_engine(runner, settings, engine)
+    configs = [("1", IdealPortConfig(ports=1))] + [
+        ((kind, ports), port_config(kind, ports))
+        for ports in TABLE3_PORTS
+        for kind in KINDS
+    ]
+    benchmarks = engine.settings.benchmarks
+    results = engine.run_units(
+        engine.unit(name, ports=config)
+        for name in benchmarks
+        for _, config in configs
+    )
     rows: Dict[str, Dict[CellKey, float]] = {}
-    for name in runner.settings.benchmarks:
-        row: Dict[CellKey, float] = {
-            "1": runner.ipc(name, IdealPortConfig(ports=1))
-        }
-        for ports in TABLE3_PORTS:
-            for kind in KINDS:
-                row[(kind, ports)] = runner.ipc(name, port_config(kind, ports))
-        rows[name] = row
+    cursor = iter(results)
+    for name in benchmarks:
+        rows[name] = {key: next(cursor).ipc for key, _ in configs}
 
     averages: Dict[str, Dict[CellKey, float]] = {}
     for label, names in (
-        ("SPECint Ave.", runner.int_benchmarks),
-        ("SPECfp Ave.", runner.fp_benchmarks),
+        ("SPECint Ave.", engine.int_benchmarks),
+        ("SPECfp Ave.", engine.fp_benchmarks),
     ):
         if not names:
             continue
@@ -116,4 +128,4 @@ def run_table3(
                     rows[n][(kind, ports)] for n in names
                 ) / len(names)
         averages[label] = avg
-    return Table3Result(rows=rows, averages=averages, settings=runner.settings)
+    return Table3Result(rows=rows, averages=averages, settings=engine.settings)

@@ -11,8 +11,9 @@ from typing import Dict, List, Optional, Tuple
 
 from ..common.config import LBICConfig
 from ..common.tables import Table
+from ..engine import SimulationEngine
 from .paper_data import TABLE4, TABLE4_AVERAGES, TABLE4_CONFIGS
-from .runner import ExperimentRunner, RunSettings
+from .runner import ExperimentRunner, RunSettings, resolve_engine
 
 
 def lbic_config(banks: int, buffer_ports: int) -> LBICConfig:
@@ -57,19 +58,29 @@ class Table4Result:
 def run_table4(
     runner: Optional[ExperimentRunner] = None,
     settings: Optional[RunSettings] = None,
+    engine: Optional[SimulationEngine] = None,
 ) -> Table4Result:
-    """Run the full Table 4 sweep (six LBIC configs per benchmark)."""
-    runner = runner or ExperimentRunner(settings)
-    rows: Dict[str, Dict[Tuple[int, int], float]] = {}
-    for name in runner.settings.benchmarks:
-        rows[name] = {
-            (m, n): runner.ipc(name, lbic_config(m, n))
-            for m, n in TABLE4_CONFIGS
-        }
+    """Run the full Table 4 sweep (six LBIC configs per benchmark).
+
+    All (benchmark, config) cells are submitted to the engine as one
+    batch, so they fan out across its worker pool and hit its caches.
+    """
+    engine = resolve_engine(runner, settings, engine)
+    benchmarks = engine.settings.benchmarks
+    results = engine.run_units(
+        engine.unit(name, ports=lbic_config(m, n))
+        for name in benchmarks
+        for m, n in TABLE4_CONFIGS
+    )
+    cursor = iter(results)
+    rows: Dict[str, Dict[Tuple[int, int], float]] = {
+        name: {(m, n): next(cursor).ipc for m, n in TABLE4_CONFIGS}
+        for name in benchmarks
+    }
     averages: Dict[str, Dict[Tuple[int, int], float]] = {}
     for label, names in (
-        ("SPECint Ave.", runner.int_benchmarks),
-        ("SPECfp Ave.", runner.fp_benchmarks),
+        ("SPECint Ave.", engine.int_benchmarks),
+        ("SPECfp Ave.", engine.fp_benchmarks),
     ):
         if not names:
             continue
@@ -77,4 +88,4 @@ def run_table4(
             config: sum(rows[n][config] for n in names) / len(names)
             for config in TABLE4_CONFIGS
         }
-    return Table4Result(rows=rows, averages=averages, settings=runner.settings)
+    return Table4Result(rows=rows, averages=averages, settings=engine.settings)

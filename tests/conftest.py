@@ -60,6 +60,14 @@ def line_addr(line_index: int, offset: int = 0, line_size: int = 32) -> int:
     return BASE + line_index * line_size + offset
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Keep tests out of the repo's ``results/cache`` store: anything that
+    builds a default :class:`~repro.engine.ResultStore` (the CLI, engine
+    tests) reads and writes a throwaway directory instead."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))
+
+
 @pytest.fixture
 def machine() -> MachineConfig:
     return paper_machine()

@@ -1,0 +1,182 @@
+"""The simulation engine: determinism across execution modes (inline,
+process pool, cache-restored), deduplication, memoization identity, and
+hit/miss instrumentation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import BankedPortConfig, IdealPortConfig, LBICConfig
+from repro.engine import (
+    ResultStore,
+    RunSettings,
+    SimulationEngine,
+    SweepExecutor,
+    WorkUnit,
+    default_jobs,
+    simulate_payload,
+)
+
+SETTINGS = RunSettings(
+    instructions=1_500,
+    warmup_instructions=500,
+    benchmarks=("compress", "swim"),
+)
+
+CONFIGS = [
+    IdealPortConfig(ports=1),
+    IdealPortConfig(ports=4),
+    BankedPortConfig(banks=4),
+    LBICConfig(banks=4, buffer_ports=2),
+]
+
+
+def all_units(engine):
+    return [
+        engine.unit(name, ports=config)
+        for name in SETTINGS.benchmarks
+        for config in CONFIGS
+    ]
+
+
+def test_serial_and_parallel_results_are_identical():
+    serial = SimulationEngine(SETTINGS, jobs=1)
+    parallel = SimulationEngine(SETTINGS, jobs=2)
+    serial_results = serial.run_units(all_units(serial))
+    parallel_results = parallel.run_units(all_units(parallel))
+    assert [r.to_dict() for r in serial_results] == [
+        r.to_dict() for r in parallel_results
+    ]
+    assert parallel.cache_summary()["simulated"] == len(CONFIGS) * 2
+
+
+def test_cache_restored_results_are_identical(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    cold = SimulationEngine(SETTINGS, jobs=1, store=store)
+    cold_results = cold.run_units(all_units(cold))
+    assert cold.cache_summary()["simulated"] == len(CONFIGS) * 2
+
+    warm = SimulationEngine(SETTINGS, jobs=1, store=store)
+    warm_results = warm.run_units(all_units(warm))
+    assert [r.to_dict() for r in warm_results] == [
+        r.to_dict() for r in cold_results
+    ]
+    summary = warm.cache_summary()
+    assert summary["simulated"] == 0
+    assert summary["misses"] == 0
+    assert summary["disk_hits"] == len(CONFIGS) * 2
+
+
+def test_memory_memo_returns_the_same_object():
+    engine = SimulationEngine(SETTINGS, jobs=1)
+    first = engine.result("swim", ports=IdealPortConfig(ports=4))
+    second = engine.result("swim", ports=IdealPortConfig(ports=4))
+    assert first is second
+    summary = engine.cache_summary()
+    assert summary["simulated"] == 1
+    assert summary["memory_hits"] == 1
+
+
+def test_duplicate_units_in_one_batch_simulate_once():
+    engine = SimulationEngine(SETTINGS, jobs=1)
+    unit = engine.unit("swim", ports=IdealPortConfig(ports=2))
+    results = engine.run_units([unit, unit, unit])
+    assert len(results) == 3
+    assert results[0] is results[1] is results[2]
+    assert engine.cache_summary()["simulated"] == 1
+
+
+def test_results_come_back_in_unit_order():
+    engine = SimulationEngine(SETTINGS, jobs=1)
+    units = all_units(engine)
+    results = engine.run_units(units)
+    assert [r.label for r in results] == [u.label for u in units]
+
+
+def test_per_unit_settings_override_engine_settings():
+    engine = SimulationEngine(SETTINGS, jobs=1)
+    longer = RunSettings(
+        instructions=3_000, warmup_instructions=500, benchmarks=("swim",)
+    )
+    short = engine.result("swim", ports=IdealPortConfig(ports=2))
+    long = engine.result("swim", ports=IdealPortConfig(ports=2), settings=longer)
+    assert short.instructions == 1_500
+    assert long.instructions == 3_000
+    assert engine.cache_summary()["simulated"] == 2
+
+
+def test_progress_callback_sees_every_unit():
+    events = []
+    engine = SimulationEngine(SETTINGS, jobs=1, progress=events.append)
+    unit = engine.unit("compress", ports=IdealPortConfig(ports=1))
+    engine.run_units([unit])
+    engine.run_units([unit])
+    assert [e.source for e in events] == ["simulated", "memory"]
+    assert all(e.label == "compress/1-port ideal" for e in events)
+    assert all(e.total == 1 for e in events)
+
+
+def test_fingerprint_distinguishes_benchmark_seed_and_budget():
+    engine = SimulationEngine(SETTINGS, jobs=1)
+    base = engine.unit("swim", ports=IdealPortConfig(ports=2))
+    variants = [
+        engine.unit("compress", ports=IdealPortConfig(ports=2)),
+        engine.unit("swim", ports=IdealPortConfig(ports=4)),
+        engine.unit(
+            "swim",
+            ports=IdealPortConfig(ports=2),
+            settings=RunSettings(
+                instructions=1_500, warmup_instructions=500,
+                benchmarks=("swim",), seed=2,
+            ),
+        ),
+        engine.unit(
+            "swim",
+            ports=IdealPortConfig(ports=2),
+            settings=RunSettings(
+                instructions=2_000, warmup_instructions=500, benchmarks=("swim",)
+            ),
+        ),
+    ]
+    fingerprints = {base.fingerprint} | {u.fingerprint for u in variants}
+    assert len(fingerprints) == len(variants) + 1
+
+
+def test_simulate_payload_matches_engine_result():
+    engine = SimulationEngine(SETTINGS, jobs=1)
+    unit = engine.unit("compress", ports=LBICConfig(banks=4, buffer_ports=2))
+    direct = simulate_payload(unit.payload())
+    via_engine = engine.result("compress", ports=LBICConfig(banks=4, buffer_ports=2))
+    assert direct["result"] == via_engine.to_dict()
+    assert direct["wall_time"] > 0
+
+
+def test_engine_store_integration_skips_disk_when_disabled(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "default-cache"))
+    engine = SimulationEngine(SETTINGS, jobs=1, store=None)
+    engine.result("swim", ports=IdealPortConfig(ports=1))
+    assert not (tmp_path / "default-cache").exists()
+
+
+def test_suite_averages_follow_benchmark_suites():
+    engine = SimulationEngine(SETTINGS, jobs=1)
+    assert engine.int_benchmarks == ["compress"]
+    assert engine.fp_benchmarks == ["swim"]
+    average = engine.specint_average(IdealPortConfig(ports=2))
+    direct = engine.ipc("compress", ports=IdealPortConfig(ports=2))
+    assert average == pytest.approx(direct)
+
+
+def test_work_unit_build_copies_settings_budgets():
+    unit = WorkUnit.build(
+        "swim", SimulationEngine(SETTINGS).unit("swim").machine, SETTINGS
+    )
+    assert unit.instructions == SETTINGS.instructions
+    assert unit.warmup_instructions == SETTINGS.warmup_instructions
+    assert unit.seed == SETTINGS.seed
+
+
+def test_default_jobs_and_alias():
+    assert default_jobs() >= 1
+    assert SweepExecutor is SimulationEngine
+    assert SimulationEngine(SETTINGS, jobs=None).jobs == default_jobs()

@@ -1,0 +1,258 @@
+"""Canonical fingerprints: stable across dict ordering and process
+boundaries, sensitive to every configuration field, and invertible
+(``from_dict(to_dict())`` round trips, including through JSON)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.common.config import (
+    BankedPortConfig,
+    CacheGeometry,
+    CoreConfig,
+    IdealPortConfig,
+    L1Config,
+    L2Config,
+    LBICConfig,
+    MachineConfig,
+    MainMemoryConfig,
+    ReplicatedPortConfig,
+    machine_config_from_dict,
+    paper_machine,
+    port_model_from_dict,
+)
+from repro.common.errors import ConfigError
+from repro.common.serialize import canonical_json, fingerprint_of
+from repro.core.results import SimResult
+from repro.engine import RunSettings
+
+ALL_PORT_CONFIGS = [
+    IdealPortConfig(ports=4),
+    ReplicatedPortConfig(ports=2),
+    BankedPortConfig(banks=8, bank_function="xor-fold", crossbar_latency=1),
+    LBICConfig(banks=4, buffer_ports=4, store_queue_depth=16,
+               combining_policy="largest-group", fills_occupy_bank=True),
+]
+
+
+# ---------------------------------------------------------------------------
+# Canonical serialization
+# ---------------------------------------------------------------------------
+
+
+def test_canonical_json_is_insensitive_to_dict_ordering():
+    forward = {"a": 1, "b": {"x": [1, 2], "y": "s"}}
+    backward = {"b": {"y": "s", "x": [1, 2]}, "a": 1}
+    assert canonical_json(forward) == canonical_json(backward)
+    assert fingerprint_of(forward) == fingerprint_of(backward)
+
+
+def test_fingerprint_is_a_sha256_hexdigest():
+    value = fingerprint_of({"a": 1})
+    assert len(value) == 64
+    assert set(value) <= set("0123456789abcdef")
+
+
+def test_machine_fingerprint_ignores_to_dict_key_order():
+    machine = paper_machine(LBICConfig(banks=4, buffer_ports=2))
+    data = machine.to_dict()
+    shuffled = dict(reversed(list(data.items())))
+    shuffled["ports"] = dict(reversed(list(data["ports"].items())))
+    assert fingerprint_of(shuffled) == machine.fingerprint()
+
+
+def test_machine_fingerprint_survives_json_round_trip():
+    machine = paper_machine(BankedPortConfig(banks=4))
+    data = json.loads(json.dumps(machine.to_dict()))
+    assert fingerprint_of(data) == machine.fingerprint()
+    assert machine_config_from_dict(data) == machine
+
+
+# ---------------------------------------------------------------------------
+# Sensitivity: every field of every config must move the fingerprint
+# ---------------------------------------------------------------------------
+
+_STRING_CANDIDATES = (
+    "xor-fold", "fibonacci", "bit-select", "word", "line",
+    "largest-group", "leading-request",
+)
+
+
+def _perturbations(value):
+    """Candidate replacement values for one dataclass field (never the
+    current value itself)."""
+    if isinstance(value, bool):
+        return [not value]
+    if isinstance(value, int):
+        return [c for c in (value * 2, value + 1, value - 1, max(1, value // 2))
+                if c != value]
+    if isinstance(value, float):
+        return [value * 2 + 1.0]
+    if isinstance(value, str):
+        return [c for c in _STRING_CANDIDATES if c != value] + [value + "x"]
+    if isinstance(value, tuple):
+        candidates = [value[:-1], value[1:]] if len(value) > 1 else []
+        if (
+            value
+            and isinstance(value[0], tuple)
+            and len(value[0]) == 2
+            and dataclasses.is_dataclass(value[0][1])
+        ):
+            # tuple of (name, config) pairs: perturb the first config
+            name, inner = value[0]
+            for variant in _perturbations(inner):
+                candidates.insert(0, ((name, variant),) + value[1:])
+                break
+        return candidates
+    if dataclasses.is_dataclass(value):
+        return [v for v in _field_variants(value) if v != value]
+    return []
+
+
+def _field_variants(config):
+    """Every valid single-field perturbation of a config dataclass."""
+    for f in dataclasses.fields(config):
+        current = getattr(config, f.name)
+        for candidate in _perturbations(current):
+            try:
+                yield dataclasses.replace(config, **{f.name: candidate})
+            except (ConfigError, ValueError):
+                continue
+            break
+        else:
+            if _perturbations(current):
+                raise AssertionError(
+                    f"no valid perturbation for {type(config).__name__}.{f.name}"
+                )
+
+
+@pytest.mark.parametrize("config", [
+    CoreConfig(),
+    CacheGeometry(size_bytes=32 * 1024, line_size=32, associativity=2),
+    L1Config(),
+    L2Config(),
+    MainMemoryConfig(),
+    *ALL_PORT_CONFIGS,
+    RunSettings(),
+], ids=lambda c: type(c).__name__)
+def test_every_field_moves_the_fingerprint(config):
+    base = fingerprint_of(config.to_dict())
+    variants = list(_field_variants(config))
+    assert variants, f"{type(config).__name__} produced no field variants"
+    for variant in variants:
+        assert fingerprint_of(variant.to_dict()) != base, (
+            f"fingerprint of {type(config).__name__} blind to change: "
+            f"{config} vs {variant}"
+        )
+
+
+def test_machine_fingerprint_sees_every_subsystem():
+    machine = paper_machine(LBICConfig(banks=4, buffer_ports=2))
+    base = machine.fingerprint()
+    variants = [
+        dataclasses.replace(
+            machine,
+            core=dataclasses.replace(machine.core, lsq_size=machine.core.lsq_size // 2),
+        ),
+        dataclasses.replace(
+            machine, l1=dataclasses.replace(machine.l1, hit_latency=2)
+        ),
+        dataclasses.replace(
+            machine, l2=dataclasses.replace(machine.l2, access_latency=8)
+        ),
+        dataclasses.replace(
+            machine, memory=dataclasses.replace(machine.memory, access_latency=30)
+        ),
+        machine.with_ports(LBICConfig(banks=4, buffer_ports=4)),
+    ]
+    fingerprints = {base} | {m.fingerprint() for m in variants}
+    assert len(fingerprints) == len(variants) + 1
+
+
+def test_port_kinds_with_same_fields_do_not_collide():
+    assert (
+        IdealPortConfig(ports=2).fingerprint()
+        != ReplicatedPortConfig(ports=2).fingerprint()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Round trips
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("ports", ALL_PORT_CONFIGS, ids=lambda p: p.kind)
+def test_port_model_round_trips_through_json(ports):
+    data = json.loads(json.dumps(ports.to_dict()))
+    rebuilt = port_model_from_dict(data)
+    assert rebuilt == ports
+    assert type(rebuilt) is type(ports)
+
+
+@pytest.mark.parametrize("ports", ALL_PORT_CONFIGS, ids=lambda p: p.kind)
+def test_machine_config_round_trips_through_json(ports):
+    machine = paper_machine(ports)
+    rebuilt = machine_config_from_dict(json.loads(json.dumps(machine.to_dict())))
+    assert rebuilt == machine
+    assert rebuilt.fingerprint() == machine.fingerprint()
+
+
+def test_machine_config_from_dict_rejects_garbage():
+    with pytest.raises(ConfigError):
+        machine_config_from_dict({"ports": {"kind": "no-such-model"}})
+    with pytest.raises(ConfigError):
+        machine_config_from_dict({"ports": []})
+
+
+def test_run_settings_round_trip_and_json_stability():
+    settings = RunSettings(instructions=5_000, seed=7, benchmarks=("swim", "gcc"))
+    data = json.loads(json.dumps(settings.to_dict()))
+    assert RunSettings(**{**data, "benchmarks": tuple(data["benchmarks"])}) == settings
+    assert fingerprint_of(data) == settings.fingerprint()
+
+
+def test_sim_result_round_trips_losslessly():
+    result = SimResult(
+        label="swim/test",
+        instructions=1000,
+        cycles=250,
+        loads=200,
+        stores=80,
+        forwarded_loads=12,
+        l1_accesses=268,
+        l1_hits=250,
+        l1_misses=18,
+        accepted_loads=188,
+        accepted_stores=80,
+        refusals={"bank_conflict": 3},
+        combined_accesses=17,
+        machine_description="test machine",
+        extra={"note": "x"},
+    )
+    rebuilt = SimResult.from_dict(json.loads(json.dumps(result.to_dict())))
+    assert rebuilt == result
+    assert rebuilt.ipc == result.ipc
+
+
+def test_sim_result_from_dict_ignores_unknown_fields():
+    data = SimResult(
+        label="x", instructions=10, cycles=5, loads=1, stores=1,
+        forwarded_loads=0, l1_accesses=2, l1_hits=2, l1_misses=0,
+        accepted_loads=1, accepted_stores=1,
+    ).to_dict()
+    data["future_field"] = 123
+    assert SimResult.from_dict(data).label == "x"
+
+
+def test_to_dict_does_not_alias_mutable_fields():
+    result = SimResult(
+        label="x", instructions=10, cycles=5, loads=1, stores=1,
+        forwarded_loads=0, l1_accesses=2, l1_hits=2, l1_misses=0,
+        accepted_loads=1, accepted_stores=1, refusals={"p": 1},
+    )
+    data = result.to_dict()
+    data["refusals"]["p"] = 99
+    assert result.refusals["p"] == 1

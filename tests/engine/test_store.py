@@ -1,0 +1,123 @@
+"""The persistent result store: round trips, version stamps, and
+safe-by-construction invalidation (anything suspicious reads as a miss)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.results import SimResult
+from repro.engine import ResultStore
+from repro.engine.store import SCHEMA_VERSION, compute_code_version
+
+
+def make_result(label: str = "swim/test", cycles: int = 250) -> SimResult:
+    return SimResult(
+        label=label,
+        instructions=1000,
+        cycles=cycles,
+        loads=200,
+        stores=80,
+        forwarded_loads=12,
+        l1_accesses=268,
+        l1_hits=250,
+        l1_misses=18,
+        accepted_loads=188,
+        accepted_stores=80,
+        refusals={"bank_conflict": 3},
+        combined_accesses=17,
+    )
+
+
+def test_put_then_get_round_trips(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    result = make_result()
+    path = store.put("f" * 64, {"benchmark": "swim"}, result, wall_time=1.5)
+    assert path.is_file()
+    restored = store.get("f" * 64)
+    assert restored == result
+    assert restored.ipc == result.ipc
+
+
+def test_missing_entry_is_a_miss(tmp_path):
+    assert ResultStore(tmp_path / "cache").get("0" * 64) is None
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put("a" * 64, {}, make_result())
+    store.path_for("a" * 64).write_text("{ not json", encoding="utf-8")
+    assert store.get("a" * 64) is None
+    store.path_for("b" * 64).write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+    assert store.get("b" * 64) is None
+
+
+def test_schema_version_mismatch_is_a_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    path = store.put("a" * 64, {}, make_result())
+    envelope = json.loads(path.read_text(encoding="utf-8"))
+    envelope["schema_version"] = SCHEMA_VERSION + 1
+    path.write_text(json.dumps(envelope), encoding="utf-8")
+    assert store.get("a" * 64) is None
+
+
+def test_code_version_mismatch_is_a_miss(tmp_path):
+    writer = ResultStore(tmp_path, code_version="deadbeefdeadbeef")
+    writer.put("a" * 64, {}, make_result())
+    assert writer.get("a" * 64) is not None
+    reader = ResultStore(tmp_path)  # real code version
+    assert reader.get("a" * 64) is None
+
+
+def test_envelope_records_key_and_stamps(tmp_path):
+    store = ResultStore(tmp_path)
+    path = store.put("a" * 64, {"benchmark": "swim", "seed": 3}, make_result(), 2.0)
+    envelope = json.loads(path.read_text(encoding="utf-8"))
+    assert envelope["schema_version"] == SCHEMA_VERSION
+    assert envelope["code_version"] == compute_code_version()
+    assert envelope["fingerprint"] == "a" * 64
+    assert envelope["key"] == {"benchmark": "swim", "seed": 3}
+    assert envelope["wall_time"] == 2.0
+
+
+def test_put_overwrites_atomically(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put("a" * 64, {}, make_result(cycles=250))
+    store.put("a" * 64, {}, make_result(cycles=500))
+    assert store.get("a" * 64).cycles == 500
+    assert len(store.entries()) == 1
+    leftovers = [p for p in (tmp_path).iterdir() if p.name.startswith(".tmp-")]
+    assert leftovers == []
+
+
+def test_info_counts_valid_and_stale(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put("a" * 64, {}, make_result())
+    ResultStore(tmp_path, code_version="deadbeefdeadbeef").put(
+        "b" * 64, {}, make_result()
+    )
+    info = store.info()
+    assert info.entries == 2
+    assert info.valid_entries == 1
+    assert info.stale_entries == 1
+    assert info.total_bytes > 0
+    assert str(tmp_path) in info.render()
+
+
+def test_clear_removes_everything(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put("a" * 64, {}, make_result())
+    store.put("b" * 64, {}, make_result())
+    assert store.clear() == 2
+    assert store.entries() == []
+    assert store.info().entries == 0
+
+
+def test_code_version_is_stable_within_a_process():
+    assert compute_code_version() == compute_code_version()
+    assert len(compute_code_version()) == 16
+
+
+def test_env_var_overrides_default_root(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    store = ResultStore()
+    assert store.root == tmp_path / "elsewhere"

@@ -1,11 +1,18 @@
 #!/usr/bin/env python
-"""Regenerate every paper artifact and the claim checklist in one pass."""
+"""Regenerate every paper artifact and the claim checklist in one pass.
+
+All timing simulations flow through one shared
+:class:`~repro.engine.SimulationEngine`, so the whole pass fans out
+across ``--jobs`` worker processes and persists results to the
+``results/cache/`` store — a warm second pass re-simulates nothing, and
+the closing summary proves it (hit/miss counters + wall clock).
+"""
+import argparse
 import sys
 import time
 
+from repro.engine import ResultStore, RunSettings, SimulationEngine
 from repro.experiments import (
-    ExperimentRunner,
-    RunSettings,
     check_claims,
     run_figure3,
     run_table2,
@@ -28,10 +35,29 @@ from repro.experiments.ablations import (
 )
 
 
-def main() -> int:
-    n = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+def parse_args(argv=None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "instructions", nargs="?", type=int, default=20_000,
+        help="timed instructions per table configuration (default 20000)",
+    )
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="parallel simulation workers (default: all cores)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the persistent result cache",
+    )
+    return parser.parse_args(argv)
+
+
+def main(argv=None) -> int:
+    args = parse_args(argv)
+    n = args.instructions
     settings = RunSettings(instructions=n)
-    runner = ExperimentRunner(settings)
+    store = None if args.no_cache else ResultStore()
+    engine = SimulationEngine(settings, jobs=args.jobs, store=store)
     t0 = time.time()
 
     print(run_table2(settings).render(), flush=True)
@@ -39,10 +65,10 @@ def main() -> int:
     figure3 = run_figure3(settings)
     print(figure3.render(), flush=True)
     print()
-    table3 = run_table3(runner)
+    table3 = run_table3(engine=engine)
     print(table3.render(), flush=True)
     print()
-    table4 = run_table4(runner)
+    table4 = run_table4(engine=engine)
     print(table4.render(), flush=True)
     print()
     report = check_claims(table3, table4, figure3)
@@ -50,42 +76,44 @@ def main() -> int:
     print()
 
     small = RunSettings(instructions=max(4000, n // 4))
-    print(ablate_lsq_depth(small).render(), flush=True)
+    print(ablate_lsq_depth(small, engine=engine).render(), flush=True)
     print()
-    banked, lbic = ablate_bank_function(small)
+    banked, lbic = ablate_bank_function(small, engine=engine)
     print(banked.render())
     print()
     print(lbic.render(), flush=True)
     print()
-    print(ablate_store_queue(small).render(), flush=True)
+    print(ablate_store_queue(small, engine=engine).render(), flush=True)
     print()
-    print(ablate_combining_policy(small).render(), flush=True)
+    print(ablate_combining_policy(small, engine=engine).render(), flush=True)
     print()
-    print(render_cost_performance(cost_performance(small)), flush=True)
+    print(render_cost_performance(cost_performance(small, engine=engine)),
+          flush=True)
     print()
-    print(ablate_interleaving(small).render(), flush=True)
+    print(ablate_interleaving(small, engine=engine).render(), flush=True)
     print()
-    print(ablate_bank_porting(small).render(), flush=True)
+    print(ablate_bank_porting(small, engine=engine).render(), flush=True)
     print()
     tiny = RunSettings(
         instructions=max(3000, n // 6),
         benchmarks=("li", "gcc", "swim", "mgrid"),
     )
-    print(ablate_line_size(tiny).render(), flush=True)
+    print(ablate_line_size(tiny, engine=engine).render(), flush=True)
     print()
     latencies = (10, 30, 100)
-    results = ablate_memory_latency(tiny, latencies=latencies)
+    results = ablate_memory_latency(tiny, latencies=latencies, engine=engine)
     print("Ablation A9: swim IPC vs main-memory latency")
     for label, row in results.items():
         print(f"  {label:10s} " + " ".join(f"{v:6.2f}" for v in row))
     print()
-    banked_xb, lbic_xb = ablate_crossbar_latency(tiny)
+    banked_xb, lbic_xb = ablate_crossbar_latency(tiny, engine=engine)
     print(banked_xb.render())
     print()
     print(lbic_xb.render(), flush=True)
     print()
-    print(ablate_fill_port(tiny).render(), flush=True)
+    print(ablate_fill_port(tiny, engine=engine).render(), flush=True)
     print()
+    print(engine.render_summary())
     print(f"total wall time: {time.time() - t0:.0f}s")
     return 0 if report.all_passed else 1
 

@@ -6,27 +6,29 @@ Usage: python tools/write_report.py [out.md] [instructions]
 
 import sys
 
+from repro.engine import ResultStore, RunSettings, SimulationEngine
 from repro.experiments.ablations import ablate_interleaving, ablate_lsq_depth
 from repro.experiments.report import build_report
-from repro.experiments.runner import RunSettings
 
 
 def main() -> int:
     out_path = sys.argv[1] if len(sys.argv) > 1 else "results/report.md"
     instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 10_000
     settings = RunSettings(instructions=instructions)
+    engine = SimulationEngine(settings, jobs=None, store=ResultStore())
     sweep_settings = RunSettings(
         instructions=max(2000, instructions // 2),
         benchmarks=("li", "gcc", "swim", "mgrid"),
     )
     sweeps = [
-        ablate_lsq_depth(sweep_settings, depths=(8, 32, 128, 512)),
-        ablate_interleaving(sweep_settings),
+        ablate_lsq_depth(sweep_settings, depths=(8, 32, 128, 512), engine=engine),
+        ablate_interleaving(sweep_settings, engine=engine),
     ]
-    report = build_report(settings, sweeps=sweeps)
+    report = build_report(engine=engine, sweeps=sweeps)
     with open(out_path, "w") as fh:
         fh.write(report.to_markdown())
     print(f"wrote {out_path}")
+    print(engine.render_summary())
     return 0 if report.claims.all_passed else 1
 
 

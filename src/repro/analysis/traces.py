@@ -41,7 +41,11 @@ class TraceStats:
 
     @property
     def store_to_load_ratio(self) -> float:
-        return self.stores / self.loads if self.loads else 0.0
+        """Stores per load; NaN when stores exist but loads do not (the
+        same sentinel convention as :class:`repro.core.results.SimResult`)."""
+        if self.loads:
+            return self.stores / self.loads
+        return float("nan") if self.stores else 0.0
 
     @property
     def miss_rate(self) -> float:

@@ -10,7 +10,9 @@ sweep ablations, and manage traces::
     repro-lbic claims                 # C1-C6 checklist
     repro-lbic run swim --ports lbic:4x4
     repro-lbic ablation lsq-depth
-    repro-lbic trace swim out.trc -n 50000
+    repro-lbic stalls swim --ports bank:4   # where every cycle went
+    repro-lbic trace swim out.trc -n 50000  # workload trace (replayable)
+    repro-lbic trace swim --ports bank:4 events.jsonl   # timing events
     repro-lbic list
 
 Every timing subcommand accepts ``--jobs N`` (parallel workers; default:
@@ -263,12 +265,84 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    workload = spec95_workload(args.benchmark)
-    count = save_trace(
-        args.output,
-        workload.stream(seed=args.seed, max_instructions=args.instructions),
+    if args.ports is None:
+        # Legacy mode: capture the workload's instruction stream to a
+        # replayable trace file.
+        if not args.output:
+            print(
+                "error: an output file is required to capture a workload "
+                "trace (pass --ports for a timing event trace)",
+                file=sys.stderr,
+            )
+            return 2
+        workload = spec95_workload(args.benchmark)
+        count = save_trace(
+            args.output,
+            workload.stream(seed=args.seed, max_instructions=args.instructions),
+        )
+        print(f"wrote {count} instructions to {args.output}")
+        return 0
+
+    # Event-trace mode: run a timing simulation with tracing on and dump
+    # the structured events (JSONL to a file, or the tail to stdout).
+    from .engine import RunSettings
+    from .obs import format_events, write_events_jsonl
+
+    settings = RunSettings(
+        instructions=args.instructions,
+        seed=args.seed,
+        benchmarks=(args.benchmark,),
+        warmup_instructions=args.warmup,
+        trace=True,
+        trace_capacity=args.capacity,
+        trace_sample=args.sample,
     )
-    print(f"wrote {count} instructions to {args.output}")
+    engine = _engine(args, settings=settings)
+    result = engine.result(args.benchmark, ports=args.ports)
+    events = result.extra.get("trace_events", [])
+    summary = result.extra.get("trace_summary", {})
+    if args.output:
+        count = write_events_jsonl(args.output, events)
+        print(f"wrote {count} events to {args.output}")
+    elif events:
+        print(format_events(events[-args.last:]))
+    print(
+        f"trace: {summary.get('offered', 0)} offered, "
+        f"{summary.get('recorded', 0)} recorded, "
+        f"{summary.get('kept', 0)} kept "
+        f"(capacity {summary.get('capacity', args.capacity)}, "
+        f"sample 1/{summary.get('sample_period', args.sample)})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_stalls(args) -> int:
+    """Stall attribution: charge every cycle of a run to one bucket."""
+    from .engine import RunSettings
+    from .obs import render_stalls, verify_stall_invariant
+
+    settings = RunSettings(
+        instructions=args.instructions,
+        seed=args.seed,
+        benchmarks=(args.benchmark,),
+        warmup_instructions=args.warmup,
+        observe=True,
+    )
+    engine = _engine(args, settings=settings)
+    result = engine.result(args.benchmark, ports=args.ports)
+    stalls = result.extra.get("stalls")
+    if stalls is None:
+        print("error: the result carries no stall attribution", file=sys.stderr)
+        return 2
+    try:
+        verify_stall_invariant(stalls, result.cycles)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(result.summary())
+    print()
+    print(render_stalls(stalls, title=f"cycle attribution - {result.label}"))
     return 0
 
 
@@ -379,12 +453,48 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(func=cmd_analyze)
 
-    p = sub.add_parser("trace", help="capture a workload trace to a file")
+    p = sub.add_parser(
+        "trace",
+        help="capture a workload trace to a file, or (with --ports) a "
+             "structured timing event trace",
+    )
     p.add_argument("benchmark", choices=sorted(ALL_NAMES))
-    p.add_argument("output")
+    p.add_argument(
+        "output", nargs="?",
+        help="output file: replayable trace (workload mode) or JSONL "
+             "(event mode; omit to print the tail to stdout)",
+    )
     p.add_argument("-n", "--instructions", type=int, default=50_000)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--ports", type=parse_ports, default=None,
+        help="event-trace mode: simulate on this port model and record "
+             "dispatch/issue/forward/blocked/refusal/fill events",
+    )
+    p.add_argument("--warmup", type=int, default=0,
+                   help="warm-up instructions before timing (event mode)")
+    p.add_argument("--sample", type=int, default=1,
+                   help="record every Nth offered event (event mode)")
+    p.add_argument("--capacity", type=int, default=4096,
+                   help="event ring size; the most recent events survive")
+    p.add_argument("--last", type=int, default=32,
+                   help="events printed when no output file is given")
+    _add_engine_opts(p)
     p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser(
+        "stalls",
+        help="attribute every cycle of a run to a stall bucket",
+    )
+    p.add_argument("benchmark", choices=sorted(ALL_NAMES))
+    p.add_argument("--ports", type=parse_ports,
+                   default=LBICConfig(banks=4, buffer_ports=4),
+                   help="ideal:N | repl:N | bank:M | lbic:MxN[:sqD]")
+    p.add_argument("-n", "--instructions", type=int, default=20_000)
+    p.add_argument("--warmup", type=int, default=30_000)
+    p.add_argument("--seed", type=int, default=1)
+    _add_engine_opts(p)
+    p.set_defaults(func=cmd_stalls)
 
     p = sub.add_parser(
         "report", help="run every core experiment and emit a markdown report"

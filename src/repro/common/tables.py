@@ -7,18 +7,22 @@ identically in CI logs and terminals.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Optional, Sequence, Union
 
 Cell = Union[str, int, float, None]
 
 
 def format_cell(value: Cell, precision: int = 3) -> str:
-    """Format a table cell: floats to fixed precision, None as '-'."""
+    """Format a table cell: floats to fixed precision, None as '-',
+    NaN (an undefined ratio, e.g. a zero denominator) as 'n/a'."""
     if value is None:
         return "-"
     if isinstance(value, bool):
         return "yes" if value else "no"
     if isinstance(value, float):
+        if math.isnan(value):
+            return "n/a"
         return f"{value:.{precision}f}"
     return str(value)
 

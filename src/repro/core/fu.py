@@ -69,6 +69,12 @@ class FuPools:
             for opclass in OpClass
         }
         self._structural_stalls = stats.counter("fu_structural_stalls")
+        self._observer = None
+
+    def attach_observer(self, observer) -> None:
+        """Attach a :class:`repro.obs.Observer` (or None to detach); the
+        accountant learns about structural FU stalls."""
+        self._observer = observer
 
     def begin_cycle(self) -> None:
         for pool in self._pools.values():
@@ -88,6 +94,8 @@ class FuPools:
         pool = self._pools[opclass.fu_pool]
         if pool.available(cycle) <= 0:
             self._structural_stalls.add()
+            if self._observer is not None:
+                self._observer.accountant.note_fu_stall()
             return -1
         timing = self._timings[opclass]
         pool.reserve(cycle, timing.issue)

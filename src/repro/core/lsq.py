@@ -57,6 +57,13 @@ class Lsq:
         self._forwards = stats.counter("forwards")
         self._blocked_events = stats.counter("loads_blocked")
         self._peak = stats.counter("peak_occupancy")
+        self._observer = None
+
+    def attach_observer(self, observer) -> None:
+        """Attach a :class:`repro.obs.Observer` (or None to detach); the
+        accountant learns about disambiguation stalls and the trace (when
+        enabled) records blocked/forwarded loads."""
+        self._observer = observer
 
     @property
     def full(self) -> bool:
@@ -97,25 +104,40 @@ class Lsq:
         self._store_words[entry.seq] = word
         return self._release_unblocked()
 
-    def load_address_ready(self, entry: RuuEntry) -> str:
+    def load_address_ready(self, entry: RuuEntry, cycle: int = 0) -> str:
         """Classify a load whose operands (hence address) are now ready.
 
         Returns one of :data:`LOAD_BLOCKED` (parked inside the LSQ until
         earlier stores resolve), :data:`LOAD_FORWARD` (satisfied by an
         earlier in-flight store), or :data:`LOAD_TO_CACHE` (must access
-        the data cache).
+        the data cache).  ``cycle`` stamps observability events only.
         """
         if not entry.is_load:
             raise SimulationError(f"{entry!r} is not a load")
         entry.addr_known = True
+        observer = self._observer
         oldest_unknown = self._oldest_unknown_store()
         if oldest_unknown is not None and oldest_unknown < entry.seq:
             heapq.heappush(self._blocked_loads, (entry.seq, entry))
             self._blocked_events.add()
+            if observer is not None:
+                observer.accountant.note_load_blocked()
+                if observer.trace is not None:
+                    observer.trace.record(
+                        cycle,
+                        "blocked",
+                        seq=entry.seq,
+                        addr=entry.addr,
+                        detail=f"store {oldest_unknown} unresolved",
+                    )
             return LOAD_BLOCKED
         if self._has_forwarding_store(entry):
             self._forwards.add()
             entry.forwarded = True
+            if observer is not None and observer.trace is not None:
+                observer.trace.record(
+                    cycle, "forward", seq=entry.seq, addr=entry.addr
+                )
             return LOAD_FORWARD
         return LOAD_TO_CACHE
 
@@ -161,4 +183,50 @@ class Lsq:
             return False
         # Any store older than the load forwards (the youngest such store
         # in real hardware; existence is all that matters for timing).
+        #
+        # ``seqs[0]`` is the oldest surviving store to this word *only*
+        # because the list is kept sorted everywhere it is touched:
+        # :meth:`store_address_ready` inserts with ``insort`` (stores may
+        # resolve their addresses out of order) and :meth:`commit`
+        # removes with an exact ``bisect_left`` hit, both of which
+        # preserve ascending seq order.  :meth:`verify_invariants` checks
+        # this ordering (tests exercise it across interleaved commits);
+        # if a future change breaks it, replace this with ``min(seqs)``.
         return seqs[0] < load.seq
+
+    # -- debugging / test support --------------------------------------------
+
+    def verify_invariants(self) -> None:
+        """Raise :class:`SimulationError` if internal state is inconsistent.
+
+        Checks the ordering assumption :meth:`_has_forwarding_store`
+        relies on — every per-word store list stays sorted oldest-first
+        (no duplicates) across out-of-order address resolution and
+        commit-time removals — and that the seq->word map and the
+        per-word lists agree exactly.  O(stores in flight); intended for
+        tests and assertions, not the per-cycle hot path.
+        """
+        seen: Set[int] = set()
+        for word, seqs in self._stores_by_word.items():
+            if not seqs:
+                raise SimulationError(
+                    f"empty store list left behind for word {word:#x}"
+                )
+            if any(a >= b for a, b in zip(seqs, seqs[1:])):
+                raise SimulationError(
+                    f"store list for word {word:#x} lost oldest-first "
+                    f"order: {seqs}"
+                )
+            for seq in seqs:
+                if self._store_words.get(seq) != word:
+                    raise SimulationError(
+                        f"store {seq} listed under word {word:#x} but "
+                        f"mapped to {self._store_words.get(seq)!r}"
+                    )
+                seen.add(seq)
+        extra = set(self._store_words) - seen
+        if extra:
+            raise SimulationError(
+                f"stores {sorted(extra)} mapped to a word but missing "
+                f"from its list"
+            )

@@ -60,6 +60,7 @@ class Processor:
         config: MachineConfig,
         label: str = "run",
         stats: Optional[StatGroup] = None,
+        observer=None,
     ) -> None:
         self.config = config
         self.label = label
@@ -80,12 +81,24 @@ class Processor:
         self._loads = 0
         self._stores = 0
         self._last_commit_cycle = 0
+        self._warmed = 0
+        self._warmup_requested = 0
         self._offset_bits = config.l1.geometry.offset_bits
+        self._line_size = 1 << self._offset_bits
         self._largest_group = (
             isinstance(config.ports, LBICConfig)
             and config.ports.combining_policy == "largest-group"
         )
         self._ran = False
+        # An optional repro.obs.Observer: a cycle accountant plus an
+        # optional event trace.  All hook sites guard on ``is not None``
+        # so an unobserved run pays (almost) nothing.
+        self._observer = observer
+        if observer is not None:
+            self.ports.attach_observer(observer)
+            self.fus.attach_observer(observer)
+            self.lsq.attach_observer(observer)
+        self._bank_of = getattr(self.ports, "bank_of", None)
 
     # -- public API ------------------------------------------------------------
 
@@ -105,6 +118,7 @@ class Processor:
         if self._ran:
             raise SimulationError("a Processor instance runs exactly once")
         self._ran = True
+        self._warmup_requested = warmup_instructions
         if warmup_instructions:
             stream = iter(stream)
             warm = self.hierarchy.warm
@@ -113,6 +127,7 @@ class Processor:
                     instr = next(stream)
                 except StopIteration:
                     break
+                self._warmed += 1
                 if instr.is_mem:
                     warm(instr.addr, instr.is_store)
         fetch = FetchUnit(stream, max_instructions)
@@ -142,22 +157,54 @@ class Processor:
                 )
             self._step(fetch)
 
+        if warmup_instructions and self._seq == 0:
+            raise SimulationError(
+                f"warm-up consumed the whole stream ({self.label}): "
+                f"{self._warmed} of {warmup_instructions} requested warm-up "
+                f"instructions were available and nothing was left to time; "
+                f"shorten warmup_instructions or lengthen the stream"
+            )
         return self._build_result()
 
     # -- one cycle ------------------------------------------------------------
 
     def _step(self, fetch: FetchUnit) -> None:
         cycle = self.cycle
+        observer = self._observer
+        if observer is not None:
+            observer.accountant.begin_cycle()
         self.fus.begin_cycle()
         self.ports.begin_cycle(cycle)
         filled = self.hierarchy.tick(cycle)
         if filled:
             self.ports.note_fills(filled)
+            if observer is not None and observer.trace is not None:
+                for line in filled:
+                    addr = line * self._line_size
+                    observer.trace.record(
+                        cycle,
+                        "fill",
+                        addr=addr,
+                        bank=self._bank_of(addr) if self._bank_of else None,
+                    )
         self._writeback(cycle)
-        self._commit()
+        committed = self._commit()
         self._issue(cycle)
         self._dispatch(fetch)
         self.ports.end_cycle()
+        if observer is not None:
+            head = self.ruu.entries[0] if self.ruu.entries else None
+            mem_wait = (
+                head is not None
+                and head.state == ISSUED
+                and head.opclass.is_mem
+            )
+            observer.accountant.close_cycle(
+                committed,
+                head is None,
+                mem_wait,
+                self.hierarchy.mshrs.occupancy > 0,
+            )
 
     def _writeback(self, cycle: int) -> None:
         for entry in self._completion_wheel.pop(cycle, ()):
@@ -168,7 +215,7 @@ class Processor:
             for ready in woken:
                 heapq.heappush(self._ready, (ready.seq, ready))
 
-    def _commit(self) -> None:
+    def _commit(self) -> int:
         committed = 0
         width = self.config.core.commit_width
         entries = self.ruu.entries
@@ -186,6 +233,7 @@ class Processor:
             committed += 1
         if committed:
             self._last_commit_cycle = self.cycle
+        return committed
 
     def _issue(self, cycle: int) -> None:
         budget = self.config.core.issue_width
@@ -236,7 +284,7 @@ class Processor:
         re-releases it), or ``"refused"`` (the port model had no capacity
         this cycle; the scheduler retries next cycle).
         """
-        verdict = self.lsq.load_address_ready(entry)
+        verdict = self.lsq.load_address_ready(entry, cycle)
         if verdict == LOAD_BLOCKED:
             return "parked"
         if verdict == LOAD_FORWARD:
@@ -248,6 +296,15 @@ class Processor:
             return "refused"
         entry.state = ISSUED
         self._schedule_completion(entry, max(complete, cycle + 1))
+        observer = self._observer
+        if observer is not None and observer.trace is not None:
+            observer.trace.record(
+                cycle,
+                "issue",
+                seq=entry.seq,
+                addr=entry.addr,
+                bank=self._bank_of(entry.addr) if self._bank_of else None,
+            )
         return "issued"
 
     def _issue_store(self, entry: RuuEntry, cycle: int) -> None:
@@ -265,13 +322,18 @@ class Processor:
 
     def _dispatch(self, fetch: FetchUnit) -> None:
         width = self.config.core.fetch_width
+        observer = self._observer
         for _ in range(width):
-            if self.ruu.full:
-                break
             instr = fetch.peek()
             if instr is None:
                 break
+            if self.ruu.full:
+                if observer is not None:
+                    observer.accountant.note_dispatch_block("ruu_full")
+                break
             if instr.is_mem and self.lsq.full:
+                if observer is not None:
+                    observer.accountant.note_dispatch_block("lsq_full")
                 break
             fetch.take()
             entry = self.ruu.dispatch(self._seq, instr)
@@ -284,6 +346,10 @@ class Processor:
                     self._stores += 1
                     if entry.remaining_addr_deps == 0:
                         self._resolve_store_address(entry)
+                if observer is not None and observer.trace is not None:
+                    observer.trace.record(
+                        self.cycle, "dispatch", seq=entry.seq, addr=instr.addr
+                    )
             if entry.remaining_deps == 0:
                 entry.state = READY
                 heapq.heappush(self._ready, (entry.seq, entry))
@@ -336,6 +402,21 @@ class Processor:
             combined = (
                 ports.value("combined_loads") + ports.value("combined_stores")
             )
+        extra: Dict[str, object] = {
+            "warmup_requested": self._warmup_requested,
+            "warmed_instructions": self._warmed,
+            "timed_instructions": self.ruu.committed,
+        }
+        observer = self._observer
+        if observer is not None:
+            # ``stalls`` sums exactly to ``cycles`` (the accountant
+            # snapshots at the last commit); ``stalls_all_cycles`` also
+            # covers the drain tail after the final commit.
+            extra["stalls"] = observer.accountant.stalls()
+            extra["stalls_all_cycles"] = observer.accountant.all_cycles()
+            if observer.trace is not None:
+                extra["trace_events"] = observer.trace.events()
+                extra["trace_summary"] = observer.trace.summary()
         return SimResult(
             label=self.label,
             instructions=self.ruu.committed,
@@ -351,6 +432,7 @@ class Processor:
             refusals=refusals,
             combined_accesses=combined,
             machine_description=self.config.describe(),
+            extra=extra,
         )
 
 
@@ -360,8 +442,15 @@ def simulate(
     max_instructions: Optional[int] = None,
     label: str = "run",
     warmup_instructions: int = 0,
+    observer=None,
 ) -> SimResult:
-    """Convenience one-shot simulation of ``stream`` on ``config``."""
-    return Processor(config, label=label).run(
+    """Convenience one-shot simulation of ``stream`` on ``config``.
+
+    Pass a :class:`repro.obs.Observer` as ``observer`` to collect a
+    per-cycle stall attribution (and, when the observer carries an
+    :class:`~repro.obs.EventTrace`, a structured event trace); both land
+    in ``SimResult.extra``.
+    """
+    return Processor(config, label=label, observer=observer).run(
         stream, max_instructions, warmup_instructions=warmup_instructions
     )

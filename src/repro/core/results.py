@@ -48,15 +48,21 @@ class SimResult:
 
     @property
     def store_to_load_ratio(self) -> float:
-        return self.stores / self.loads if self.loads else 0.0
+        """Stores per load; NaN when there are stores but no loads (an
+        undefined ratio must not masquerade as a real 0.0 in tables)."""
+        if self.loads:
+            return self.stores / self.loads
+        return float("nan") if self.stores else 0.0
 
     @property
     def forwarding_rate(self) -> float:
         return self.forwarded_loads / self.loads if self.loads else 0.0
 
     def speedup_over(self, baseline: "SimResult") -> float:
+        """IPC ratio against ``baseline``; NaN when the baseline never
+        committed anything (a zero-IPC baseline has no defined speedup)."""
         if baseline.ipc == 0:
-            return 0.0
+            return float("nan")
         return self.ipc / baseline.ipc
 
     def to_dict(self) -> Dict[str, Any]:

@@ -56,6 +56,13 @@ class WorkUnit:
     instructions: int
     warmup_instructions: int
     seed: int
+    #: observability: stall attribution (observe) and event tracing
+    #: (trace, which implies observe).  Part of the cache key — an
+    #: observed result carries extra data, so it is a different artifact.
+    observe: bool = False
+    trace: bool = False
+    trace_capacity: int = 4096
+    trace_sample: int = 1
 
     @classmethod
     def build(
@@ -70,6 +77,10 @@ class WorkUnit:
             instructions=settings.instructions,
             warmup_instructions=settings.warmup_instructions,
             seed=settings.seed,
+            observe=settings.observe or settings.trace,
+            trace=settings.trace,
+            trace_capacity=settings.trace_capacity,
+            trace_sample=settings.trace_sample,
         )
 
     @property
@@ -84,6 +95,10 @@ class WorkUnit:
             "instructions": self.instructions,
             "warmup_instructions": self.warmup_instructions,
             "seed": self.seed,
+            "observe": self.observe,
+            "trace": self.trace,
+            "trace_capacity": self.trace_capacity,
+            "trace_sample": self.trace_sample,
         }
 
     @cached_property
@@ -105,7 +120,18 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     """
     machine = machine_config_from_dict(payload["machine"])
     workload = spec95_workload(payload["benchmark"])
-    processor = Processor(machine, label=payload["label"])
+    observer = None
+    if payload.get("observe") or payload.get("trace"):
+        from ..obs import EventTrace, Observer
+
+        trace = None
+        if payload.get("trace"):
+            trace = EventTrace(
+                capacity=payload.get("trace_capacity", 4096),
+                sample_period=payload.get("trace_sample", 1),
+            )
+        observer = Observer(trace=trace)
+    processor = Processor(machine, label=payload["label"], observer=observer)
     start = time.perf_counter()
     result = processor.run(
         workload.stream(seed=payload["seed"]),

@@ -35,11 +35,24 @@ class RunSettings:
     #: Figure 3 - which run ~50x faster than timing simulation and need
     #: longer streams to amortize cold-start misses.
     characterization_instructions: int = 120_000
+    #: attach a cycle accountant to every run (stall attribution lands
+    #: in ``SimResult.extra["stalls"]``); implied by :attr:`trace`.
+    observe: bool = False
+    #: also collect a structured event trace (implies :attr:`observe`).
+    trace: bool = False
+    #: event-trace ring size (most recent events kept).
+    trace_capacity: int = 4096
+    #: record every Nth offered event (1 = record everything).
+    trace_sample: int = 1
 
     def __post_init__(self) -> None:
         unknown = set(self.benchmarks) - set(ALL_NAMES)
         if unknown:
             raise ValueError(f"unknown benchmarks: {sorted(unknown)}")
+        if self.trace_capacity < 1:
+            raise ValueError("trace_capacity must be >= 1")
+        if self.trace_sample < 1:
+            raise ValueError("trace_sample must be >= 1")
 
     def to_dict(self) -> Dict[str, Any]:
         """Canonical plain-data form of every field."""
@@ -49,6 +62,10 @@ class RunSettings:
             "benchmarks": list(self.benchmarks),
             "warmup_instructions": self.warmup_instructions,
             "characterization_instructions": self.characterization_instructions,
+            "observe": self.observe,
+            "trace": self.trace,
+            "trace_capacity": self.trace_capacity,
+            "trace_sample": self.trace_sample,
         }
 
     def fingerprint(self) -> str:

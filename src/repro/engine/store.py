@@ -34,7 +34,9 @@ from typing import Any, Dict, Optional, Union
 from ..core.results import SimResult
 
 #: Bump when the on-disk envelope or SimResult schema changes shape.
-SCHEMA_VERSION = 1
+#: 2: SimResult grew ``extra`` (warm-up accounting, stall attribution,
+#: event traces); version-1 entries read as misses and re-simulate.
+SCHEMA_VERSION = 2
 
 #: Default cache directory, relative to the working directory (the repo
 #: root in normal use); override with the ``REPRO_CACHE_DIR`` env var.

@@ -9,7 +9,7 @@ scratch with one call (or ``tools/write_report.py``).
 from __future__ import annotations
 
 import io
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Tuple
 
 from ..engine import SimulationEngine
@@ -35,6 +35,9 @@ class ReproductionReport:
     table4: Table4Result
     claims: ClaimReport
     sweeps: List[SweepResult] = field(default_factory=list)
+    #: stall attribution per configuration label: benchmark -> bucket ->
+    #: cycles (see :mod:`repro.obs`; buckets sum to the run's cycles).
+    stalls: Dict[str, Dict[str, Dict[str, int]]] = field(default_factory=dict)
 
     def to_markdown(self) -> str:
         out = io.StringIO()
@@ -87,6 +90,32 @@ class ReproductionReport:
             write(f"| {check.claim_id} {check.description} | {status} "
                   f"| {check.details} |\n")
         write("\n")
+
+        if self.stalls:
+            write("## Stall attribution — where the cycles go\n\n")
+            write(
+                "Every timed cycle is charged to exactly one bucket "
+                "(shares of total cycles; rows sum to 100%). `refusal:*` "
+                "buckets are cycles lost to the port model turning an "
+                "access away for that reason.\n\n"
+            )
+            for label, per_bench in self.stalls.items():
+                mass: Dict[str, int] = {}
+                for stalls in per_bench.values():
+                    for bucket, cycles in stalls.items():
+                        mass[bucket] = mass.get(bucket, 0) + cycles
+                buckets = sorted(mass, key=lambda b: (-mass[b], b))
+                write(f"### {label}\n\n")
+                write("| program | " + " | ".join(buckets) + " |\n")
+                write("|---" * (len(buckets) + 1) + "|\n")
+                for name, stalls in per_bench.items():
+                    total = sum(stalls.values()) or 1
+                    cells = [
+                        f"{100 * stalls.get(bucket, 0) / total:.1f}"
+                        for bucket in buckets
+                    ]
+                    write(f"| {name} | " + " | ".join(cells) + " |\n")
+                write("\n")
 
         for sweep in self.sweeps:
             write(f"## Ablation {sweep.name} — {sweep.parameter}\n\n")
@@ -157,6 +186,30 @@ def _pair(measured: float, paper: Optional[float]) -> str:
     return f"{measured:.2f} / {paper:.2f}"
 
 
+def run_stall_breakdown(
+    engine: SimulationEngine,
+) -> Dict[str, Dict[str, Dict[str, int]]]:
+    """Observed runs of every benchmark on the report's two headline
+    organizations; verifies the sum-to-cycles invariant on each."""
+    from ..common.config import BankedPortConfig, LBICConfig
+    from ..obs import verify_stall_invariant
+
+    observed = replace(engine.settings, observe=True)
+    breakdown: Dict[str, Dict[str, Dict[str, int]]] = {}
+    for label, ports in (
+        ("4-bank interleaved", BankedPortConfig(banks=4)),
+        ("4x4 LBIC", LBICConfig(banks=4, buffer_ports=4)),
+    ):
+        per_bench: Dict[str, Dict[str, int]] = {}
+        for name in engine.settings.benchmarks:
+            result = engine.result(name, ports=ports, settings=observed)
+            stalls = result.extra.get("stalls", {})
+            verify_stall_invariant(stalls, result.cycles)
+            per_bench[name] = stalls
+        breakdown[label] = per_bench
+    return breakdown
+
+
 def build_report(
     settings: Optional[RunSettings] = None,
     sweeps: Optional[List[SweepResult]] = None,
@@ -181,4 +234,5 @@ def build_report(
         table4=table4,
         claims=check_claims(table3, table4, figure3),
         sweeps=sweeps or [],
+        stalls=run_stall_breakdown(engine),
     )

@@ -42,6 +42,10 @@ def bit_select(banks: int, offset_bits: int) -> BankSelector:
 def xor_fold(banks: int, offset_bits: int) -> BankSelector:
     """Bank = XOR of successive bank-width fields of the line address."""
     bank_bits = log2_exact(banks)
+    if bank_bits == 0:
+        # A single bank has zero bank bits: the fold loop would shift the
+        # line address by 0 forever.  Degenerate to the only bank.
+        return lambda addr: 0
     mask = banks - 1
 
     def select(addr: int) -> int:
@@ -58,6 +62,11 @@ def xor_fold(banks: int, offset_bits: int) -> BankSelector:
 def fibonacci(banks: int, offset_bits: int) -> BankSelector:
     """Bank = top bits of a multiplicative hash of the line address."""
     bank_bits = log2_exact(banks)
+    if bank_bits == 0:
+        # Zero bank bits would shift the 64-bit hash fully out (always 0,
+        # but only by accident of the masking); make the degenerate
+        # single-bank case explicit like the other selectors.
+        return lambda addr: 0
     shift = 64 - bank_bits
 
     def select(addr: int) -> int:

@@ -70,10 +70,10 @@ class BankedCache(PortModel):
     def _try_access(self, addr: int, is_store: bool) -> Optional[int]:
         bank = self._select_bank(addr)
         if bank in self._fill_busy:
-            self._refuse("fill_port")
+            self._refuse("fill_port", addr)
             return None
         if self._bank_uses.get(bank, 0) >= self.config.ports_per_bank:
-            self._refuse("bank_conflict")
+            self._refuse("bank_conflict", addr)
             # Track how many bank conflicts were same-line conflicts: this
             # is the combinable fraction the LBIC exploits (paper section 4).
             if self._bank_of_busy_line.get(bank) == addr >> self._offset_bits:

@@ -66,6 +66,16 @@ class PortModel(abc.ABC):
             reason: stats.counter(f"refused_{reason}") for reason in self.REASONS
         }
         self._accepted_this_cycle = 0
+        self._observer = None
+
+    def attach_observer(self, observer) -> None:
+        """Attach a :class:`repro.obs.Observer` (or None to detach).
+
+        Refusals then feed the cycle accountant (per-reason stall
+        buckets) and, when tracing, land in the event trace with the
+        refused address and its bank.
+        """
+        self._observer = observer
 
     # -- cycle protocol ------------------------------------------------------
 
@@ -98,7 +108,7 @@ class PortModel(abc.ABC):
     def try_load(self, addr: int) -> Optional[int]:
         """Offer a ready load; return its data-ready cycle or ``None``."""
         if self._closed:
-            self._refuse("in_order_stall")
+            self._refuse("in_order_stall", addr)
             return None
         outcome = self._try_access(addr, is_store=False)
         if outcome is None:
@@ -116,7 +126,7 @@ class PortModel(abc.ABC):
         issue time, a separate pipeline from the commit-stage store path.
         """
         if self._closed:
-            self._refuse("in_order_stall")
+            self._refuse("in_order_stall", addr)
             return False
         outcome = self._try_access(addr, is_store=True)
         if outcome is None:
@@ -139,14 +149,26 @@ class PortModel(abc.ABC):
 
     # -- shared helpers --------------------------------------------------------
 
-    def _refuse(self, reason: str) -> None:
+    def _refuse(self, reason: str, addr: Optional[int] = None) -> None:
         self._refusals[reason].add()
+        observer = self._observer
+        if observer is not None:
+            observer.accountant.note_refusal(reason)
+            if observer.trace is not None:
+                bank_of = getattr(self, "bank_of", None)
+                observer.trace.record(
+                    self._cycle,
+                    "refusal",
+                    addr=addr,
+                    bank=bank_of(addr) if bank_of and addr is not None else None,
+                    detail=reason,
+                )
 
     def _access_hierarchy(self, addr: int, is_store: bool) -> Optional[int]:
         """Perform the L1 access; ``None`` means an MSHR-full refusal."""
         outcome = self.hierarchy.access(addr, is_write=is_store, cycle=self._cycle)
         if outcome is None:
-            self._refuse("mshr_full")
+            self._refuse("mshr_full", addr)
             return None
         return outcome.complete_cycle
 

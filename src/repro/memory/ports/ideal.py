@@ -35,7 +35,7 @@ class IdealMultiPorted(PortModel):
 
     def _try_access(self, addr: int, is_store: bool) -> Optional[int]:
         if self._ports_used >= self.config.ports:
-            self._refuse("port_limit")
+            self._refuse("port_limit", addr)
             return None
         complete = self._access_hierarchy(addr, is_store)
         if complete is None:

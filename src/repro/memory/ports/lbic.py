@@ -132,17 +132,17 @@ class LBICache(PortModel):
         line = addr >> self._offset_bits
 
         if bank_index in self._fill_busy:
-            self._refuse("fill_port")
+            self._refuse("fill_port", addr)
             return None
         if bank.gated_line is None:
             return self._accept_leading(bank_index, bank, addr, line, is_store)
 
         if bank.gated_line != line:
             # Same bank, different line: the classic residual conflict.
-            self._refuse("line_conflict")
+            self._refuse("line_conflict", addr)
             return None
         if bank.ports_used >= self.config.buffer_ports:
-            self._refuse("port_limit")
+            self._refuse("port_limit", addr)
             return None
         return self._accept_combining(bank_index, bank, addr, is_store)
 
@@ -157,7 +157,7 @@ class LBICache(PortModel):
         """The first request to a bank this cycle gates its line."""
         if is_store:
             if not self._store_has_room(bank_index, addr):
-                self._refuse("store_queue_full")
+                self._refuse("store_queue_full", addr)
                 return None
             self._enqueue_store(bank_index, addr)
             bank.gated_line = line
@@ -180,7 +180,7 @@ class LBICache(PortModel):
         """A same-line request rides the already-gated line buffer."""
         if is_store:
             if not self._store_has_room(bank_index, addr):
-                self._refuse("store_queue_full")
+                self._refuse("store_queue_full", addr)
                 return None
             self._enqueue_store(bank_index, addr)
             bank.ports_used += 1
@@ -188,7 +188,7 @@ class LBICache(PortModel):
             return self._cycle
         outcome = self.hierarchy.access(addr, is_write=False, cycle=self._cycle)
         if outcome is None:
-            self._refuse("mshr_full")
+            self._refuse("mshr_full", addr)
             return None
         bank.ports_used += 1
         self._combined_loads.add()

@@ -40,12 +40,12 @@ class ReplicatedMultiPorted(PortModel):
     def _try_access(self, addr: int, is_store: bool) -> Optional[int]:
         if self._store_cycle:
             # A broadcast store already owns this cycle.
-            self._refuse("store_serialization")
+            self._refuse("store_serialization", addr)
             return None
         if is_store:
             if self._ports_used > 0:
                 # The store would have to broadcast while copies are busy.
-                self._refuse("store_serialization")
+                self._refuse("store_serialization", addr)
                 return None
             complete = self._access_hierarchy(addr, is_store=True)
             if complete is None:
@@ -54,7 +54,7 @@ class ReplicatedMultiPorted(PortModel):
             self._ports_used = self.config.ports  # broadcast occupies every copy
             return complete
         if self._ports_used >= self.config.ports:
-            self._refuse("port_limit")
+            self._refuse("port_limit", addr)
             return None
         complete = self._access_hierarchy(addr, is_store=False)
         if complete is None:

@@ -1,0 +1,35 @@
+"""``repro.obs`` — opt-in observability for the timing core.
+
+Two instruments, both carried by an :class:`Observer` passed to
+:class:`~repro.core.processor.Processor`:
+
+* :class:`CycleAccountant` — charges every simulated cycle to exactly
+  one stall bucket (commit, per-reason port refusals, RUU/LSQ pressure,
+  FU starvation, MSHR wait, front-end drain, execution wait); the
+  buckets sum exactly to ``SimResult.cycles``.
+* :class:`EventTrace` — a sampling ring buffer of structured
+  dispatch/issue/forward/refusal/fill events with JSONL export.
+
+Both surface through ``SimResult.extra`` (keys ``stalls``,
+``trace_events``, ``trace_summary``), so observed results flow
+unchanged through the persistent result store and the parallel
+executor.  See ``docs/observability.md``.
+"""
+
+from .accountant import BASE_BUCKETS, REFUSAL_PREFIX, CycleAccountant
+from .events import EventTrace, format_events, write_events_jsonl
+from .observer import Observer
+from .render import render_stalls, stall_fractions, verify_stall_invariant
+
+__all__ = [
+    "BASE_BUCKETS",
+    "CycleAccountant",
+    "EventTrace",
+    "Observer",
+    "REFUSAL_PREFIX",
+    "format_events",
+    "render_stalls",
+    "stall_fractions",
+    "verify_stall_invariant",
+    "write_events_jsonl",
+]

@@ -1,0 +1,155 @@
+"""Cycle-exact stall attribution.
+
+A :class:`CycleAccountant` charges **every simulated cycle to exactly
+one bucket**, so the question "where did the bandwidth go?" has a
+numeric answer whose parts sum to the run's cycle count (the invariant
+the tests enforce).  The buckets mirror the paper's discussion of lost
+bandwidth (sections 3-5): port refusals broken down by reason (port
+limits, bank conflicts, same-bank/different-line conflicts, store
+serialization, store-queue and MSHR structural stalls), window and LSQ
+pressure, functional-unit starvation, memory-wait, and the front end
+running dry.
+
+One cycle is classified by a fixed precedence, most-diagnostic first:
+
+1. ``commit`` — at least one instruction committed (forward progress).
+2. ``frontend_drained`` — the window is empty: nothing in flight, so
+   nothing could commit (end-of-stream / drain cycles).
+3. ``refusal:<reason>`` — the port model refused at least one access
+   this cycle; charged to the *first* refusal reason seen (the oldest
+   refused access, since the core offers requests oldest-first).
+4. ``ruu_full`` / ``lsq_full`` — dispatch was blocked by a full window
+   or a full load/store queue.
+5. ``fu_starve`` — a ready operation found no free functional unit.
+6. ``disambiguation`` — a ready load was parked behind an unresolved
+   earlier store address this cycle.
+7. ``mshr_wait`` — the window head is a memory operation in flight and
+   misses are outstanding: the cycle is spent waiting on a fill.
+8. ``exec_wait`` — everything else: execution latency and true
+   dependences.
+
+The accountant reports totals *as of the last commit*, matching
+``SimResult.cycles`` (the simulator does not count trailing drain
+cycles after the final commit), so ``sum(stalls.values())`` equals the
+result's cycle count exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+#: Non-refusal buckets, in classification precedence order.  Refusal
+#: buckets are named ``refusal:<reason>`` after the port model's reason
+#: labels (see ``repro.memory.ports.base.PortModel.REASONS``).
+BASE_BUCKETS = (
+    "commit",
+    "frontend_drained",
+    "ruu_full",
+    "lsq_full",
+    "fu_starve",
+    "disambiguation",
+    "mshr_wait",
+    "exec_wait",
+)
+
+#: Prefix of the per-reason port-refusal buckets.
+REFUSAL_PREFIX = "refusal:"
+
+
+class CycleAccountant:
+    """Charges each simulated cycle to exactly one stall bucket."""
+
+    __slots__ = (
+        "_totals",
+        "_at_last_commit",
+        "cycles_seen",
+        "_refusal_reason",
+        "_dispatch_block",
+        "_fu_stall",
+        "_load_blocked",
+    )
+
+    def __init__(self) -> None:
+        self._totals: Dict[str, int] = {}
+        # Snapshot of the totals at the most recent commit cycle.  The
+        # run's reported cycle count stops at the last commit, so this
+        # snapshot is what must sum to ``SimResult.cycles``.
+        self._at_last_commit: Dict[str, int] = {}
+        self.cycles_seen = 0
+        self._refusal_reason: Optional[str] = None
+        self._dispatch_block: Optional[str] = None
+        self._fu_stall = False
+        self._load_blocked = False
+
+    # -- per-cycle signals (called by the instrumented components) --------
+
+    def begin_cycle(self) -> None:
+        self._refusal_reason = None
+        self._dispatch_block = None
+        self._fu_stall = False
+        self._load_blocked = False
+
+    def note_refusal(self, reason: str) -> None:
+        """A port refusal happened; the first reason of the cycle wins
+        (requests are offered oldest-first)."""
+        if self._refusal_reason is None:
+            self._refusal_reason = reason
+
+    def note_dispatch_block(self, which: str) -> None:
+        """Dispatch stopped on a full structure (``ruu_full``/``lsq_full``)."""
+        if self._dispatch_block is None:
+            self._dispatch_block = which
+
+    def note_fu_stall(self) -> None:
+        """A ready non-memory operation found every unit of its class busy."""
+        self._fu_stall = True
+
+    def note_load_blocked(self) -> None:
+        """A ready load was parked behind an unresolved earlier store
+        address (memory disambiguation)."""
+        self._load_blocked = True
+
+    def close_cycle(
+        self,
+        committed: int,
+        ruu_empty: bool,
+        mem_wait: bool,
+        misses_outstanding: bool,
+    ) -> str:
+        """Classify the cycle that just ended; returns the bucket charged."""
+        if committed:
+            bucket = "commit"
+        elif ruu_empty:
+            bucket = "frontend_drained"
+        elif self._refusal_reason is not None:
+            bucket = REFUSAL_PREFIX + self._refusal_reason
+        elif self._dispatch_block is not None:
+            bucket = self._dispatch_block
+        elif self._fu_stall:
+            bucket = "fu_starve"
+        elif self._load_blocked:
+            bucket = "disambiguation"
+        elif mem_wait and misses_outstanding:
+            bucket = "mshr_wait"
+        else:
+            bucket = "exec_wait"
+        self._totals[bucket] = self._totals.get(bucket, 0) + 1
+        self.cycles_seen += 1
+        if committed:
+            self._at_last_commit = dict(self._totals)
+        return bucket
+
+    # -- reading ----------------------------------------------------------
+
+    def stalls(self) -> Dict[str, int]:
+        """Bucket totals as of the last commit — sums exactly to the
+        run's reported cycle count."""
+        return dict(self._at_last_commit)
+
+    def all_cycles(self) -> Dict[str, int]:
+        """Bucket totals over *every* simulated cycle, including the
+        drain tail after the final commit."""
+        return dict(self._totals)
+
+    def total(self) -> int:
+        return sum(self._at_last_commit.values())

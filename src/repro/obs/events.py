@@ -1,0 +1,145 @@
+"""Structured event tracing for the timing core.
+
+An :class:`EventTrace` is a bounded ring buffer of simulator events —
+dispatch / issue / forward / refusal / fill — each stamped with the
+cycle it happened in, the instruction sequence number (when one is
+involved), the byte address, and the cache bank (when the port model
+defines a bank mapping).  The trace is deliberately lossy in two ways
+so it can stay attached to long runs:
+
+* **capacity** — only the most recent ``capacity`` recorded events are
+  kept (the ring overwrites the oldest);
+* **sample_period** — only every ``sample_period``-th offered event is
+  recorded (1 records everything), so the recording cost itself can be
+  dialled down on hot runs.
+
+Events are plain JSON-safe dicts end to end: they ride inside
+``SimResult.extra`` through the result store and the parallel executor,
+and :func:`write_events_jsonl` dumps any event list — live or restored
+from the cache — one JSON object per line.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..common.errors import SimulationError
+
+#: Event kinds recorded by the instrumented core.
+KINDS = ("dispatch", "issue", "forward", "blocked", "refusal", "fill")
+
+_Event = Tuple[int, str, Optional[int], Optional[int], Optional[int], Optional[str]]
+
+
+class EventTrace:
+    """A sampling ring buffer of simulator events."""
+
+    __slots__ = ("capacity", "sample_period", "_events", "_offered", "_recorded")
+
+    def __init__(self, capacity: int = 4096, sample_period: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError("EventTrace capacity must be >= 1")
+        if sample_period < 1:
+            raise SimulationError("EventTrace sample_period must be >= 1")
+        self.capacity = capacity
+        self.sample_period = sample_period
+        self._events: Deque[_Event] = deque(maxlen=capacity)
+        self._offered = 0   # events presented to the trace
+        self._recorded = 0  # events that passed the sampling filter
+
+    def record(
+        self,
+        cycle: int,
+        kind: str,
+        seq: Optional[int] = None,
+        addr: Optional[int] = None,
+        bank: Optional[int] = None,
+        detail: Optional[str] = None,
+    ) -> None:
+        """Offer one event; it is kept if it passes the sampling filter."""
+        offered = self._offered
+        self._offered = offered + 1
+        if offered % self.sample_period:
+            return
+        self._recorded += 1
+        self._events.append((cycle, kind, seq, addr, bank, detail))
+
+    # -- reading ----------------------------------------------------------
+
+    @property
+    def offered(self) -> int:
+        """Events presented to the trace (before sampling)."""
+        return self._offered
+
+    @property
+    def recorded(self) -> int:
+        """Events that passed the sampling filter (before ring eviction)."""
+        return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        """Recorded events later overwritten by the ring buffer."""
+        return self._recorded - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[Dict[str, Union[int, str, None]]]:
+        """The surviving events, oldest first, as JSON-safe dicts."""
+        out = []
+        for cycle, kind, seq, addr, bank, detail in self._events:
+            event: Dict[str, Union[int, str, None]] = {
+                "cycle": cycle,
+                "kind": kind,
+                "seq": seq,
+                "addr": addr,
+                "bank": bank,
+            }
+            if detail is not None:
+                event["detail"] = detail
+            out.append(event)
+        return out
+
+    def summary(self) -> Dict[str, int]:
+        """Bookkeeping counters, JSON-safe."""
+        return {
+            "offered": self._offered,
+            "recorded": self._recorded,
+            "kept": len(self._events),
+            "capacity": self.capacity,
+            "sample_period": self.sample_period,
+        }
+
+
+def write_events_jsonl(path, events: Iterable[Dict[str, object]]) -> int:
+    """Write ``events`` (dicts, e.g. from :meth:`EventTrace.events` or a
+    restored ``SimResult.extra['trace_events']``) as JSON Lines; returns
+    the number of lines written."""
+    import json
+
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def format_events(events: Iterable[Dict[str, object]]) -> str:
+    """Render events as an aligned plain-text listing (CLI output)."""
+    lines = []
+    for event in events:
+        addr = event.get("addr")
+        seq = event.get("seq")
+        bank = event.get("bank")
+        detail = event.get("detail")
+        lines.append(
+            f"{event.get('cycle', 0):>8}  {str(event.get('kind', '?')):<8} "
+            f"seq={'-' if seq is None else seq:<8} "
+            f"addr={'-' if addr is None else hex(addr):<12} "
+            f"bank={'-' if bank is None else bank}"
+            + (f"  [{detail}]" if detail else "")
+        )
+    return "\n".join(lines)

@@ -1,0 +1,38 @@
+"""The observer handle threaded through the timing core.
+
+An :class:`Observer` bundles the two observability instruments — the
+:class:`~repro.obs.accountant.CycleAccountant` (always on when an
+observer is attached) and an optional
+:class:`~repro.obs.events.EventTrace` — behind one object the
+simulator components null-check on their hot paths.  With no observer
+attached (the default) the entire layer costs one ``is None`` test per
+hook site.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .accountant import CycleAccountant
+from .events import EventTrace
+
+
+class Observer:
+    """Stall attribution plus (optionally) event tracing for one run."""
+
+    __slots__ = ("accountant", "trace")
+
+    def __init__(
+        self,
+        accountant: Optional[CycleAccountant] = None,
+        trace: Optional[EventTrace] = None,
+    ) -> None:
+        self.accountant = accountant if accountant is not None else CycleAccountant()
+        self.trace = trace
+
+    @classmethod
+    def tracing(
+        cls, capacity: int = 4096, sample_period: int = 1
+    ) -> "Observer":
+        """An observer with event tracing enabled."""
+        return cls(trace=EventTrace(capacity=capacity, sample_period=sample_period))

@@ -1,0 +1,55 @@
+"""Rendering and validation helpers for stall-attribution data.
+
+These operate on the plain ``{bucket: cycles}`` dicts found in
+``SimResult.extra["stalls"]`` so they work identically on live results
+and results restored from the persistent store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..common.errors import SimulationError
+from ..common.tables import Table
+
+
+def verify_stall_invariant(stalls: Mapping[str, int], cycles: int) -> None:
+    """Raise :class:`SimulationError` unless the buckets sum to ``cycles``.
+
+    This is the accountant's core guarantee: every cycle is charged to
+    exactly one bucket, so the attribution is a complete decomposition
+    of the run, not a sampling of it.
+    """
+    total = sum(stalls.values())
+    if total != cycles:
+        raise SimulationError(
+            f"stall buckets sum to {total}, result has {cycles} cycles "
+            f"(buckets: {dict(stalls)})"
+        )
+
+
+def stall_fractions(stalls: Mapping[str, int]) -> Dict[str, float]:
+    """Each bucket's share of the total, largest first."""
+    total = sum(stalls.values())
+    if not total:
+        return {}
+    ordered = sorted(stalls.items(), key=lambda item: (-item[1], item[0]))
+    return {bucket: count / total for bucket, count in ordered}
+
+
+def render_stalls(stalls: Mapping[str, int], title: str = "") -> str:
+    """A cycles/percent breakdown table, largest bucket first."""
+    table = Table(
+        ["bucket", "cycles", "share"],
+        precision=1,
+        title=title or None,
+    )
+    total = sum(stalls.values())
+    for bucket, count in sorted(
+        stalls.items(), key=lambda item: (-item[1], item[0])
+    ):
+        share = 100.0 * count / total if total else 0.0
+        table.add_row([bucket, count, f"{share:.1f}%"])
+    table.add_separator()
+    table.add_row(["total", total, "100.0%" if total else "0.0%"])
+    return table.render()

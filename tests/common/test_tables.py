@@ -20,6 +20,17 @@ class TestFormatCell:
         assert format_cell(42) == "42"
         assert format_cell("x") == "x"
 
+    def test_nan_renders_as_na(self):
+        # An undefined ratio (e.g. stores with zero loads) must not
+        # masquerade as a real 0.0 in rendered tables.
+        assert format_cell(float("nan")) == "n/a"
+        assert format_cell(float("nan"), precision=1) == "n/a"
+
+    def test_nan_in_table_row(self):
+        table = Table(["name", "ratio"], precision=2)
+        table.add_row(["x", float("nan")])
+        assert "n/a" in table.render()
+
 
 class TestTable:
     def test_alignment(self):

@@ -166,3 +166,66 @@ class TestCapacityAndErrors:
             q.store_address_ready(load)
         with pytest.raises(SimulationError):
             q.load_address_ready(st)
+
+
+class TestStoreListOrdering:
+    """`_has_forwarding_store` answers "does an older store exist?" by
+    reading ``seqs[0]`` of the per-word store list, so that list must
+    stay sorted oldest-first under out-of-order address resolution and
+    interleaved commits.  :meth:`Lsq.verify_invariants` checks exactly
+    that; these tests drive the interleavings that would break a naive
+    append-based implementation."""
+
+    WORD = 0x1000
+
+    def test_out_of_order_resolution_keeps_lists_sorted(self):
+        q = lsq()
+        stores = [make_store(seq, self.WORD) for seq in range(6)]
+        for st in stores:
+            q.dispatch(st)
+        # resolve addresses youngest-first: worst case for a list that
+        # relied on resolution order
+        for st in reversed(stores):
+            q.store_address_ready(st)
+        q.verify_invariants()
+        late_load = make_load(6, self.WORD)
+        q.dispatch(late_load)
+        assert q.load_address_ready(late_load) == LOAD_FORWARD
+
+    def test_interleaved_commits_preserve_order_and_forwarding(self):
+        q = lsq()
+        stores = [make_store(seq, self.WORD) for seq in range(5)]
+        for st in stores:
+            q.dispatch(st)
+        for st in (stores[2], stores[0], stores[4], stores[1], stores[3]):
+            q.store_address_ready(st)
+        q.verify_invariants()
+        # commit out of the middle and off both ends, verifying after each
+        for st in (stores[2], stores[0], stores[4]):
+            q.commit(st)
+            q.verify_invariants()
+        # stores 1 and 3 survive; a younger load must still forward and a
+        # load older than both must not
+        young = make_load(9, self.WORD)
+        q.dispatch(young)
+        assert q.load_address_ready(young) == LOAD_FORWARD
+        q.commit(stores[1])
+        q.commit(stores[3])
+        q.verify_invariants()
+        assert self.WORD & ~7 not in q._stores_by_word
+
+    def test_verify_invariants_detects_corruption(self):
+        q = lsq()
+        stores = [make_store(seq, self.WORD) for seq in range(3)]
+        for st in stores:
+            q.dispatch(st)
+            q.store_address_ready(st)
+        q.verify_invariants()
+        word = self.WORD & ~7
+        q._stores_by_word[word].reverse()  # simulate a lost sort order
+        with pytest.raises(SimulationError, match="oldest-first"):
+            q.verify_invariants()
+        q._stores_by_word[word].reverse()
+        q._store_words[99] = word  # mapped but not listed
+        with pytest.raises(SimulationError, match="missing"):
+            q.verify_invariants()

@@ -243,10 +243,20 @@ class TestWarmup:
         assert result.instructions == 2
         assert result.loads == 2
 
-    def test_warmup_larger_than_stream(self):
+    def test_warmup_accounting_in_extra(self):
         processor = Processor(paper_machine())
-        result = processor.run([load(BASE)] * 3, warmup_instructions=10)
-        assert result.instructions == 0
+        result = processor.run([load(BASE)] * 5, warmup_instructions=2)
+        assert result.extra["warmup_requested"] == 2
+        assert result.extra["warmed_instructions"] == 2
+        assert result.extra["timed_instructions"] == 3
+
+    def test_warmup_larger_than_stream_raises(self):
+        # A warm-up that swallows the whole stream used to return a
+        # silent empty result (0 instructions, 0 cycles) that poisoned
+        # downstream averages; it is now a hard configuration error.
+        processor = Processor(paper_machine())
+        with pytest.raises(SimulationError, match="warm-up consumed"):
+            processor.run([load(BASE)] * 3, warmup_instructions=10)
 
 
 class TestResultRecord:
@@ -264,6 +274,37 @@ class TestResultRecord:
         a = run_stream(stream)
         b = run_stream(stream)
         assert a.speedup_over(b) == pytest.approx(1.0)
+
+    def test_store_to_load_ratio_with_no_loads_is_nan(self):
+        # Regression: stores but zero loads used to report 0.0, which is
+        # a real (and wrong) value; the undefined ratio is now NaN.
+        import math
+
+        from repro.core.results import SimResult
+
+        def result(loads, stores):
+            return SimResult(
+                label="x", instructions=10, cycles=10, loads=loads,
+                stores=stores, forwarded_loads=0, l1_accesses=0, l1_hits=0,
+                l1_misses=0, accepted_loads=0, accepted_stores=0,
+            )
+
+        assert math.isnan(result(loads=0, stores=5).store_to_load_ratio)
+        assert result(loads=0, stores=0).store_to_load_ratio == 0.0
+        assert result(loads=4, stores=2).store_to_load_ratio == 0.5
+
+    def test_speedup_over_zero_ipc_baseline_is_nan(self):
+        import math
+
+        from repro.core.results import SimResult
+
+        dead = SimResult(
+            label="dead", instructions=0, cycles=0, loads=0, stores=0,
+            forwarded_loads=0, l1_accesses=0, l1_hits=0, l1_misses=0,
+            accepted_loads=0, accepted_stores=0,
+        )
+        live = run_stream([alu(dest=1)])
+        assert math.isnan(live.speedup_over(dead))
 
     def test_summary_text(self):
         result = run_stream([alu(dest=1)], label="x")

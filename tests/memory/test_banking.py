@@ -60,6 +60,34 @@ class TestFibonacci:
         assert select(0x2000) == select(0x201F)
 
 
+class TestSingleBankDegenerate:
+    """Regression: ``xor_fold(banks=1, ...)`` used to loop forever (a
+    zero-bit fold shifts the line address by 0), so any direct factory
+    call — bypassing :func:`make_bank_selector`'s banks==1 short-circuit
+    — hung on the first nonzero address."""
+
+    @pytest.mark.parametrize(
+        "factory", [bit_select, xor_fold, fibonacci],
+        ids=lambda f: f.__name__,
+    )
+    def test_direct_factory_single_bank_terminates(self, factory):
+        select = factory(banks=1, offset_bits=5)
+        for addr in (0, 1, 32, 0x1234, 0xDEADBEEF, (1 << 40) - 1):
+            assert select(addr) == 0
+
+    @pytest.mark.parametrize("name", sorted(["bit-select", "xor-fold", "fibonacci"]))
+    @pytest.mark.parametrize("banks", [1, 2, 4, 8])
+    def test_every_selector_in_range_at_every_bank_count(self, name, banks):
+        select = make_bank_selector(name, banks=banks, offset_bits=5)
+        seen = set()
+        for addr in range(0, 1 << 14, 37):
+            bank = select(addr)
+            assert 0 <= bank < banks
+            seen.add(bank)
+        if banks == 1:
+            assert seen == {0}
+
+
 class TestFactory:
     def test_known_functions(self):
         assert set(available_bank_functions()) == {

@@ -1,0 +1,118 @@
+"""CycleAccountant unit tests: classification precedence and the
+snapshot-at-last-commit bookkeeping."""
+
+from repro.obs import BASE_BUCKETS, REFUSAL_PREFIX, CycleAccountant
+
+
+def close_idle(acct, **kwargs):
+    defaults = dict(
+        committed=0, ruu_empty=False, mem_wait=False, misses_outstanding=False
+    )
+    defaults.update(kwargs)
+    return acct.close_cycle(**defaults)
+
+
+class TestClassification:
+    def test_commit_wins_over_everything(self):
+        acct = CycleAccountant()
+        acct.begin_cycle()
+        acct.note_refusal("bank_conflict")
+        acct.note_dispatch_block("ruu_full")
+        acct.note_fu_stall()
+        acct.note_load_blocked()
+        assert close_idle(acct, committed=3, mem_wait=True,
+                          misses_outstanding=True) == "commit"
+
+    def test_frontend_drained(self):
+        acct = CycleAccountant()
+        acct.begin_cycle()
+        assert close_idle(acct, ruu_empty=True) == "frontend_drained"
+
+    def test_first_refusal_reason_wins(self):
+        acct = CycleAccountant()
+        acct.begin_cycle()
+        acct.note_refusal("bank_conflict")
+        acct.note_refusal("port_limit")
+        assert close_idle(acct) == REFUSAL_PREFIX + "bank_conflict"
+
+    def test_refusal_beats_dispatch_block(self):
+        acct = CycleAccountant()
+        acct.begin_cycle()
+        acct.note_dispatch_block("lsq_full")
+        acct.note_refusal("mshr_full")
+        assert close_idle(acct) == REFUSAL_PREFIX + "mshr_full"
+
+    def test_dispatch_block_beats_fu_starve(self):
+        acct = CycleAccountant()
+        acct.begin_cycle()
+        acct.note_fu_stall()
+        acct.note_dispatch_block("ruu_full")
+        assert close_idle(acct) == "ruu_full"
+
+    def test_fu_starve_beats_disambiguation(self):
+        acct = CycleAccountant()
+        acct.begin_cycle()
+        acct.note_load_blocked()
+        acct.note_fu_stall()
+        assert close_idle(acct) == "fu_starve"
+
+    def test_mshr_wait_requires_both_signals(self):
+        acct = CycleAccountant()
+        acct.begin_cycle()
+        assert close_idle(acct, mem_wait=True) == "exec_wait"
+        acct.begin_cycle()
+        assert close_idle(acct, misses_outstanding=True) == "exec_wait"
+        acct.begin_cycle()
+        assert close_idle(acct, mem_wait=True,
+                          misses_outstanding=True) == "mshr_wait"
+
+    def test_flags_reset_each_cycle(self):
+        acct = CycleAccountant()
+        acct.begin_cycle()
+        acct.note_refusal("port_limit")
+        close_idle(acct)
+        acct.begin_cycle()
+        assert close_idle(acct) == "exec_wait"
+
+    def test_base_buckets_are_exactly_the_classifier_outputs(self):
+        assert set(BASE_BUCKETS) == {
+            "commit", "frontend_drained", "ruu_full", "lsq_full",
+            "fu_starve", "disambiguation", "mshr_wait", "exec_wait",
+        }
+
+
+class TestSnapshot:
+    def test_stalls_stop_at_last_commit(self):
+        acct = CycleAccountant()
+        # 2 commit cycles, 1 stall, 1 commit, then 3 drain cycles
+        for _ in range(2):
+            acct.begin_cycle()
+            close_idle(acct, committed=1)
+        acct.begin_cycle()
+        close_idle(acct)
+        acct.begin_cycle()
+        close_idle(acct, committed=1)
+        for _ in range(3):
+            acct.begin_cycle()
+            close_idle(acct, ruu_empty=True)
+        assert acct.stalls() == {"commit": 3, "exec_wait": 1}
+        assert acct.total() == 4
+        assert acct.all_cycles() == {
+            "commit": 3, "exec_wait": 1, "frontend_drained": 3,
+        }
+        assert acct.cycles_seen == 7
+
+    def test_no_commit_means_empty_snapshot(self):
+        acct = CycleAccountant()
+        acct.begin_cycle()
+        close_idle(acct)
+        assert acct.stalls() == {}
+        assert acct.total() == 0
+
+    def test_snapshot_is_a_copy(self):
+        acct = CycleAccountant()
+        acct.begin_cycle()
+        close_idle(acct, committed=1)
+        snap = acct.stalls()
+        snap["commit"] = 999
+        assert acct.stalls() == {"commit": 1}

@@ -1,0 +1,77 @@
+"""EventTrace tests: ring eviction, sampling, JSONL export."""
+
+import json
+
+import pytest
+
+from repro.common.errors import SimulationError
+from repro.obs import EventTrace, format_events, write_events_jsonl
+
+
+class TestRing:
+    def test_keeps_most_recent_events(self):
+        trace = EventTrace(capacity=3)
+        for cycle in range(10):
+            trace.record(cycle, "issue", seq=cycle)
+        events = trace.events()
+        assert [e["cycle"] for e in events] == [7, 8, 9]
+        assert trace.offered == 10
+        assert trace.recorded == 10
+        assert trace.dropped == 7
+        assert len(trace) == 3
+
+    def test_sampling_keeps_every_nth_offered(self):
+        trace = EventTrace(capacity=100, sample_period=3)
+        for cycle in range(9):
+            trace.record(cycle, "issue")
+        assert [e["cycle"] for e in trace.events()] == [0, 3, 6]
+        assert trace.offered == 9
+        assert trace.recorded == 3
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            EventTrace(capacity=0)
+        with pytest.raises(SimulationError):
+            EventTrace(sample_period=0)
+
+    def test_events_are_json_safe(self):
+        trace = EventTrace()
+        trace.record(5, "refusal", addr=0x1000, bank=2, detail="bank_conflict")
+        trace.record(6, "fill", addr=0x2000)
+        payload = json.dumps(trace.events())
+        restored = json.loads(payload)
+        assert restored[0]["detail"] == "bank_conflict"
+        assert restored[1]["addr"] == 0x2000
+        assert restored[1]["seq"] is None
+
+    def test_summary(self):
+        trace = EventTrace(capacity=2, sample_period=2)
+        for cycle in range(8):
+            trace.record(cycle, "dispatch")
+        assert trace.summary() == {
+            "offered": 8,
+            "recorded": 4,
+            "kept": 2,
+            "capacity": 2,
+            "sample_period": 2,
+        }
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        trace = EventTrace()
+        trace.record(1, "dispatch", seq=0, addr=0x40)
+        trace.record(2, "issue", seq=0, addr=0x40, bank=1)
+        path = tmp_path / "events.jsonl"
+        count = write_events_jsonl(path, trace.events())
+        assert count == 2
+        lines = path.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == trace.events()
+
+    def test_format_events_renders_all_fields(self):
+        trace = EventTrace()
+        trace.record(3, "refusal", seq=7, addr=0x80, bank=0, detail="port_limit")
+        text = format_events(trace.events())
+        assert "refusal" in text
+        assert "0x80" in text
+        assert "port_limit" in text

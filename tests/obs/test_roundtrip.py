@@ -1,0 +1,92 @@
+"""Observed results through the engine: cache keys, the persistent
+store, and the parallel executor must carry stall attributions and
+event traces bit-identically."""
+
+import json
+
+from repro.common.config import BankedPortConfig, LBICConfig
+from repro.engine import ResultStore, RunSettings, SimulationEngine, WorkUnit
+from repro.engine.store import SCHEMA_VERSION
+from repro.obs import verify_stall_invariant
+
+SETTINGS = RunSettings(
+    instructions=1_500,
+    warmup_instructions=500,
+    benchmarks=("swim", "compress"),
+    observe=True,
+    trace=True,
+    trace_capacity=256,
+    trace_sample=2,
+)
+
+
+def all_units(engine):
+    return [
+        engine.unit(name, ports=ports)
+        for name in SETTINGS.benchmarks
+        for ports in (BankedPortConfig(banks=4), LBICConfig(banks=4, buffer_ports=2))
+    ]
+
+
+def test_observability_knobs_move_the_fingerprint():
+    plain = RunSettings(instructions=1_500, warmup_instructions=500,
+                        benchmarks=("swim",))
+    variants = [
+        plain,
+        RunSettings(**{**plain.to_dict(), "benchmarks": ("swim",),
+                       "observe": True}),
+        RunSettings(**{**plain.to_dict(), "benchmarks": ("swim",),
+                       "trace": True}),
+        RunSettings(**{**plain.to_dict(), "benchmarks": ("swim",),
+                       "trace": True, "trace_sample": 4}),
+        RunSettings(**{**plain.to_dict(), "benchmarks": ("swim",),
+                       "trace": True, "trace_capacity": 64}),
+    ]
+    machine = SimulationEngine(plain).unit("swim").machine
+    units = [WorkUnit.build("swim", machine, v) for v in variants]
+    fingerprints = {u.fingerprint for u in units}
+    assert len(fingerprints) == len(variants)
+
+
+def test_store_round_trip_is_bit_identical(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    cold = SimulationEngine(SETTINGS, jobs=1, store=store)
+    cold_results = cold.run_units(all_units(cold))
+    assert cold.cache_summary()["simulated"] == 4
+
+    warm = SimulationEngine(SETTINGS, jobs=1, store=store)
+    warm_results = warm.run_units(all_units(warm))
+    assert warm.cache_summary()["simulated"] == 0
+    assert [r.to_dict() for r in warm_results] == [
+        r.to_dict() for r in cold_results
+    ]
+    for result in warm_results:
+        stalls = result.extra["stalls"]
+        verify_stall_invariant(stalls, result.cycles)
+        assert result.extra["trace_summary"]["sample_period"] == 2
+        assert len(result.extra["trace_events"]) <= 256
+
+
+def test_parallel_executor_round_trips_observed_extras():
+    serial = SimulationEngine(SETTINGS, jobs=1)
+    parallel = SimulationEngine(SETTINGS, jobs=2)
+    serial_results = serial.run_units(all_units(serial))
+    parallel_results = parallel.run_units(all_units(parallel))
+    assert [r.to_dict() for r in serial_results] == [
+        r.to_dict() for r in parallel_results
+    ]
+    for result in parallel_results:
+        verify_stall_invariant(result.extra["stalls"], result.cycles)
+
+
+def test_old_schema_entries_read_as_misses(tmp_path):
+    store = ResultStore(tmp_path / "cache")
+    engine = SimulationEngine(SETTINGS, jobs=1, store=store)
+    unit = all_units(engine)[0]
+    engine.run_units([unit])
+    path = store.path_for(unit.fingerprint)
+    envelope = json.loads(path.read_text())
+    assert envelope["schema_version"] == SCHEMA_VERSION >= 2
+    envelope["schema_version"] = 1  # a pre-`extra` cache entry
+    path.write_text(json.dumps(envelope))
+    assert store.get(unit.fingerprint) is None

@@ -1,0 +1,85 @@
+"""The accountant's core guarantee, end to end: on real simulations the
+stall buckets sum *exactly* to ``SimResult.cycles``, across every port
+model, and attaching an observer never perturbs timing."""
+
+import pytest
+
+from repro.common.config import (
+    BankedPortConfig,
+    IdealPortConfig,
+    LBICConfig,
+    ReplicatedPortConfig,
+    paper_machine,
+)
+from repro.core.processor import simulate
+from repro.obs import BASE_BUCKETS, REFUSAL_PREFIX, Observer, verify_stall_invariant
+from repro.workloads import spec95_workload
+
+PORTS = [
+    IdealPortConfig(1),
+    IdealPortConfig(4),
+    ReplicatedPortConfig(4),
+    BankedPortConfig(banks=4),
+    BankedPortConfig(banks=8, bank_function="xor-fold"),
+    LBICConfig(banks=4, buffer_ports=4),
+    LBICConfig(banks=2, buffer_ports=2),
+]
+
+N = 3_000
+WARM = 1_000
+
+
+def observed_run(name, ports, observer):
+    workload = spec95_workload(name)
+    return simulate(
+        paper_machine(ports),
+        workload.stream(seed=1, max_instructions=N + WARM),
+        max_instructions=N,
+        warmup_instructions=WARM,
+        label=f"{name}/{ports.describe()}",
+        observer=observer,
+    )
+
+
+@pytest.mark.parametrize("ports", PORTS, ids=lambda p: p.describe())
+@pytest.mark.parametrize("name", ["li", "swim", "compress"])
+def test_buckets_sum_exactly_to_cycles(name, ports):
+    observer = Observer()
+    result = observed_run(name, ports, observer)
+    stalls = result.extra["stalls"]
+    verify_stall_invariant(stalls, result.cycles)  # raises on violation
+    assert sum(stalls.values()) == result.cycles
+    assert all(count >= 0 for count in stalls.values())
+    assert stalls.get("commit", 0) > 0
+    known = set(BASE_BUCKETS)
+    for bucket in stalls:
+        assert bucket in known or bucket.startswith(REFUSAL_PREFIX)
+
+
+@pytest.mark.parametrize(
+    "ports",
+    [BankedPortConfig(banks=4), LBICConfig(banks=4, buffer_ports=4)],
+    ids=lambda p: p.describe(),
+)
+def test_observer_does_not_perturb_timing(ports):
+    baseline = observed_run("swim", ports, None)
+    observed = observed_run("swim", ports, Observer.tracing(capacity=128))
+    plain = baseline.to_dict()
+    traced = observed.to_dict()
+    # identical except for the observability payload in ``extra``
+    plain.pop("extra")
+    traced.pop("extra")
+    assert traced == plain
+
+
+def test_trace_events_reference_real_cycles():
+    observer = Observer.tracing(capacity=512, sample_period=1)
+    result = observed_run("swim", BankedPortConfig(banks=4), observer)
+    events = result.extra["trace_events"]
+    assert events, "a timed run must generate events"
+    kinds = {event["kind"] for event in events}
+    assert "issue" in kinds or "dispatch" in kinds
+    for event in events:
+        assert 1 <= event["cycle"]
+    banked = [e for e in events if e["bank"] is not None]
+    assert all(0 <= e["bank"] < 4 for e in banked)

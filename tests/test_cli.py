@@ -64,11 +64,50 @@ class TestCommands:
 
         assert len(load_trace_list(path)) == 500
 
+    def test_trace_event_mode_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        code = main([
+            "trace", "swim", str(path), "--ports", "bank:4",
+            "-n", "1200", "--no-cache",
+        ])
+        assert code == 0
+        assert "wrote" in capsys.readouterr().out
+        import json
+
+        events = [json.loads(line) for line in path.read_text().splitlines()]
+        assert events
+        assert {"cycle", "kind", "seq", "addr", "bank"} <= set(events[0])
+
+    def test_trace_event_mode_prints_tail_without_output(self, capsys):
+        code = main([
+            "trace", "swim", "--ports", "lbic:2x2", "-n", "1200",
+            "--sample", "2", "--capacity", "64", "--last", "5",
+            "--no-cache",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.strip(), "event tail should be printed"
+
+    def test_trace_workload_mode_without_output_errors(self, capsys):
+        assert main(["trace", "li", "-n", "200"]) == 2
+        assert "output file is required" in capsys.readouterr().err
+
+    def test_stalls_command_verifies_and_renders(self, capsys):
+        code = main([
+            "stalls", "swim", "--ports", "bank:4", "-n", "1500",
+            "--warmup", "500", "--no-cache",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cycle attribution" in out
+        assert "commit" in out
+        assert "100.0%" in out
+
     def test_parser_has_all_subcommands(self):
         parser = build_parser()
         text = parser.format_help()
         for command in ("table2", "table3", "table4", "figure3", "claims",
-                        "run", "ablation", "trace", "list"):
+                        "run", "ablation", "trace", "stalls", "list"):
             assert command in text
 
     def test_benchmark_choice_validated(self):

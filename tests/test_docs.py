@@ -32,7 +32,7 @@ class TestReadme:
         text = read("README.md")
         for path in ("DESIGN.md", "EXPERIMENTS.md", "docs/simulator.md",
                      "docs/port-models.md", "docs/workload-calibration.md",
-                     "docs/api.md"):
+                     "docs/observability.md", "docs/api.md"):
             assert path in text
             assert (ROOT / path).exists(), path
 

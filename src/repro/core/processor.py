@@ -22,11 +22,24 @@ The pipeline per cycle, in order:
 The scheduler is event-driven (ready heaps plus a completion wheel), so
 simulation cost scales with instructions executed, not with the sizes of
 the 1024-entry RUU or 512-entry LSQ.
+
+**Event-horizon cycle skipping.**  When a cycle ends with nothing able to
+make progress — the ready heap empty (so no issue and no port retries),
+the window head not completed (so no commit), and dispatch blocked or the
+stream drained — every following cycle is identical until the next
+*event*: a completion-wheel entry, an MSHR fill landing, or a port-model
+self-event (an LBIC store-queue drain).  The clock then jumps straight to
+the cycle before that event instead of ticking through the idle span.
+Skipping is an execution-speed optimization only: it is bit-exact by
+construction (see ``docs/performance.md``), disabled with
+``cycle_skipping=False``, and the skipped span is bulk-charged to the
+same stall bucket per-cycle accounting would have chosen.
 """
 
 from __future__ import annotations
 
 import heapq
+from heapq import heappush
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from ..common.config import LBICConfig, MachineConfig
@@ -45,9 +58,13 @@ from .ruu import COMPLETED, ISSUED, READY, Ruu, RuuEntry
 class Processor:
     """One simulated machine instance; use :meth:`run` once per instance."""
 
-    #: Cycles without a single commit (while work is in flight) after
-    #: which the simulation is declared deadlocked.  The longest legal
-    #: stall is a full miss chain (tens of cycles); 100k is pure safety.
+    #: Cycles without a single commit after which the simulation is
+    #: declared deadlocked.  The watchdog is expressed purely in progress
+    #: terms — its deadline is always ``last commit + STALL_LIMIT`` — so
+    #: it is invariant to how the clock advances (unit steps or event-
+    #: horizon skips) and never fires while commits keep landing, no
+    #: matter how slowly.  The longest legal commit gap is a full miss
+    #: chain (backend queueing included); 100k is pure safety.
     STALL_LIMIT = 100_000
 
     #: How many ready-queue entries the memory scheduler examines per cycle.
@@ -61,6 +78,7 @@ class Processor:
         label: str = "run",
         stats: Optional[StatGroup] = None,
         observer=None,
+        cycle_skipping: bool = True,
     ) -> None:
         self.config = config
         self.label = label
@@ -81,15 +99,27 @@ class Processor:
         self._loads = 0
         self._stores = 0
         self._last_commit_cycle = 0
+        self._deadline = self.STALL_LIMIT
         self._warmed = 0
         self._warmup_requested = 0
         self._offset_bits = config.l1.geometry.offset_bits
         self._line_size = 1 << self._offset_bits
+        core = config.core
+        self._fetch_width = core.fetch_width
+        self._issue_width = core.issue_width
+        self._commit_width = core.commit_width
         self._largest_group = (
             isinstance(config.ports, LBICConfig)
             and config.ports.combining_policy == "largest-group"
         )
         self._ran = False
+        #: event-horizon cycle skipping on/off (results are bit-identical
+        #: either way; off is mainly for the equivalence tests and for
+        #: debugging with per-cycle granularity)
+        self.cycle_skipping = cycle_skipping
+        #: cycles the clock jumped over instead of simulating one-by-one
+        #: (an execution statistic; deliberately *not* part of SimResult)
+        self.skipped_cycles = 0
         # An optional repro.obs.Observer: a cycle accountant plus an
         # optional event trace.  All hook sites guard on ``is not None``
         # so an unobserved run pays (almost) nothing.
@@ -99,6 +129,9 @@ class Processor:
             self.fus.attach_observer(observer)
             self.lsq.attach_observer(observer)
         self._bank_of = getattr(self.ports, "bank_of", None)
+        # The port model's optional event-horizon leg (duck-typed so test
+        # stand-ins without the method still work).
+        self._ports_next_event = getattr(self.ports, "next_event_cycle", None)
 
     # -- public API ------------------------------------------------------------
 
@@ -131,31 +164,34 @@ class Processor:
                 if instr.is_mem:
                     warm(instr.addr, instr.is_store)
         fetch = FetchUnit(stream, max_instructions)
-        watchdog = self._watchdog_limit(max_instructions)
+        self._deadline = self._watchdog_limit(max_instructions)
+        # Tests may swap ``self.ports`` after construction: re-resolve the
+        # duck-typed port hooks against whatever is installed now.
+        self._bank_of = getattr(self.ports, "bank_of", None)
+        self._ports_next_event = getattr(self.ports, "next_event_cycle", None)
 
+        # Hot loop: every per-cycle attribute lookup hoisted to a local.
+        peek = fetch.peek
+        ruu_entries = self.ruu.entries
+        pending_work = self.ports.pending_work
+        step = self._step
+        skip = self._skip_idle_cycles if self.cycle_skipping else None
         while True:
-            if (
-                fetch.peek() is None
-                and self.ruu.empty()
-                and not self.ports.pending_work()
-            ):
+            if peek() is None and not ruu_entries and not pending_work():
                 break
-            self.cycle += 1
-            if self.cycle > watchdog:
-                raise SimulationError(
-                    f"watchdog: {self.cycle} cycles for {self._seq} instructions "
-                    f"({self.label}); the machine is likely deadlocked"
-                )
-            if (
-                not self.ruu.empty()
-                and self.cycle - self._last_commit_cycle > self.STALL_LIMIT
-            ):
+            cycle = self.cycle + 1
+            self.cycle = cycle
+            if cycle > self._deadline:
                 raise SimulationError(
                     f"no instruction committed for {self.STALL_LIMIT} cycles "
                     f"at cycle {self.cycle} ({self.label}); the machine is "
                     f"deadlocked"
                 )
-            self._step(fetch)
+            step(fetch)
+            # Guard inline: with work in the ready heap (the common busy
+            # case) skipping is impossible, so don't even pay the call.
+            if skip is not None and not self._ready:
+                skip(fetch)
 
         if warmup_instructions and self._seq == 0:
             raise SimulationError(
@@ -174,10 +210,11 @@ class Processor:
         if observer is not None:
             observer.accountant.begin_cycle()
         self.fus.begin_cycle()
-        self.ports.begin_cycle(cycle)
+        ports = self.ports
+        ports.begin_cycle(cycle)
         filled = self.hierarchy.tick(cycle)
         if filled:
-            self.ports.note_fills(filled)
+            ports.note_fills(filled)
             if observer is not None and observer.trace is not None:
                 for line in filled:
                     addr = line * self._line_size
@@ -189,9 +226,10 @@ class Processor:
                     )
         self._writeback(cycle)
         committed = self._commit()
-        self._issue(cycle)
+        if self._ready:
+            self._issue(cycle)
         self._dispatch(fetch)
-        self.ports.end_cycle()
+        ports.end_cycle()
         if observer is not None:
             head = self.ruu.entries[0] if self.ruu.entries else None
             mem_wait = (
@@ -207,74 +245,108 @@ class Processor:
             )
 
     def _writeback(self, cycle: int) -> None:
-        for entry in self._completion_wheel.pop(cycle, ()):
+        done = self._completion_wheel.pop(cycle, None)
+        if done is None:
+            return
+        ready = self._ready
+        complete = self.ruu.complete
+        resolve = self._resolve_store_address
+        for entry in done:
             entry.complete_cycle = cycle
-            woken, addr_ready_stores = self.ruu.complete(entry)
+            woken, addr_ready_stores = complete(entry)
             for store in addr_ready_stores:
-                self._resolve_store_address(store)
-            for ready in woken:
-                heapq.heappush(self._ready, (ready.seq, ready))
+                resolve(store)
+            for waked in woken:
+                heappush(ready, (waked.seq, waked))
 
     def _commit(self) -> int:
-        committed = 0
-        width = self.config.core.commit_width
         entries = self.ruu.entries
+        if not entries or entries[0].state != COMPLETED:
+            return 0
+        committed = 0
+        width = self._commit_width
+        ruu_commit = self.ruu.commit_head
+        lsq_commit = self.lsq.commit
+        try_store = self.ports.try_store
         while committed < width and entries:
             head = entries[0]
             if head.state != COMPLETED:
                 break
             if head.is_store:
-                if not self.ports.try_store(head.addr):
+                if not try_store(head.addr):
                     break
-                self.lsq.commit(head)
+                lsq_commit(head)
             elif head.is_load:
-                self.lsq.commit(head)
-            self.ruu.commit_head()
+                lsq_commit(head)
+            ruu_commit()
             committed += 1
         if committed:
-            self._last_commit_cycle = self.cycle
+            cycle = self.cycle
+            self._last_commit_cycle = cycle
+            self._deadline = cycle + self.STALL_LIMIT
         return committed
 
     def _issue(self, cycle: int) -> None:
-        budget = self.config.core.issue_width
-        candidates: List[Tuple[int, RuuEntry]] = []
-        scan = min(self.SCHED_SCAN_LIMIT, len(self._ready))
-        for _ in range(scan):
-            candidates.append(heapq.heappop(self._ready))
+        budget = self._issue_width
+        ready = self._ready
+        if len(ready) <= self.SCHED_SCAN_LIMIT:
+            # Common case: the whole heap fits in the scan window.  A
+            # drained heap yields entries in seq order, which for a list
+            # is just a sort — far cheaper than len(ready) pop/push pairs.
+            ready.sort()
+            candidates = ready
+            self._ready = []
+        else:
+            candidates = [
+                heapq.heappop(ready) for _ in range(self.SCHED_SCAN_LIMIT)
+            ]
         if self._largest_group:
             candidates = self._order_by_group(candidates)
 
         deferred: List[Tuple[int, RuuEntry]] = []
+        defer = deferred.append
+        issue_load = self._issue_load
+        fus_try = self.fus.try_issue
         mem_stalled = False  # the port accepts an age-ordered prefix only
+        in_order = self.ports.IN_ORDER
         for item in candidates:
             if budget <= 0:
-                deferred.append(item)
+                defer(item)
                 continue
-            _, entry = item
+            entry = item[1]
             if entry.is_load:
                 if mem_stalled:
-                    deferred.append(item)
+                    defer(item)
                     continue
-                verdict = self._issue_load(entry, cycle)
+                verdict = issue_load(entry, cycle)
                 if verdict == "issued":
                     budget -= 1
                 elif verdict == "refused":
-                    deferred.append(item)
-                    mem_stalled = self.ports.IN_ORDER
+                    defer(item)
+                    mem_stalled = in_order
                 # parked loads wait inside the LSQ: not re-pushed here
             elif entry.is_store:
                 self._issue_store(entry, cycle)
                 budget -= 1
             else:
-                done = self.fus.try_issue(entry.opclass, cycle)
+                done = fus_try(entry.opclass, cycle)
                 if done < 0:
-                    deferred.append(item)
+                    defer(item)
                     continue
                 entry.state = ISSUED
                 self._schedule_completion(entry, done)
                 budget -= 1
-        for item in deferred:
-            heapq.heappush(self._ready, item)
+        ready = self._ready
+        if ready:
+            # Something landed in the rebuilt heap mid-issue (defensive;
+            # no current path does) — merge the deferrals into it.
+            for item in deferred:
+                heappush(ready, item)
+        else:
+            if self._largest_group:
+                # group ordering may have permuted the seq order
+                heapq.heapify(deferred)
+            self._ready = deferred
 
     def _issue_load(self, entry: RuuEntry, cycle: int) -> str:
         """Try to issue a ready load.
@@ -317,29 +389,40 @@ class Processor:
     def _resolve_store_address(self, entry: RuuEntry) -> None:
         """A store's effective address became known: update the LSQ and
         re-release any loads it was blocking."""
+        ready = self._ready
         for released in self.lsq.store_address_ready(entry):
-            heapq.heappush(self._ready, (released.seq, released))
+            heappush(ready, (released.seq, released))
 
     def _dispatch(self, fetch: FetchUnit) -> None:
-        width = self.config.core.fetch_width
+        instr = fetch.peek()
+        if instr is None:
+            return
         observer = self._observer
-        for _ in range(width):
-            instr = fetch.peek()
+        ruu = self.ruu
+        ruu_entries = ruu.entries
+        ruu_size = ruu.size
+        ruu_dispatch = ruu.dispatch
+        lsq = self.lsq
+        ready = self._ready
+        take = fetch.take
+        peek = fetch.peek
+        seq = self._seq
+        for _ in range(self._fetch_width):
             if instr is None:
                 break
-            if self.ruu.full:
+            if len(ruu_entries) >= ruu_size:
                 if observer is not None:
                     observer.accountant.note_dispatch_block("ruu_full")
                 break
-            if instr.is_mem and self.lsq.full:
+            if instr.is_mem and lsq.full:
                 if observer is not None:
                     observer.accountant.note_dispatch_block("lsq_full")
                 break
-            fetch.take()
-            entry = self.ruu.dispatch(self._seq, instr)
-            self._seq += 1
+            take()
+            entry = ruu_dispatch(seq, instr)
+            seq += 1
             if instr.is_mem:
-                self.lsq.dispatch(entry)
+                lsq.dispatch(entry)
                 if instr.is_load:
                     self._loads += 1
                 else:
@@ -352,7 +435,77 @@ class Processor:
                     )
             if entry.remaining_deps == 0:
                 entry.state = READY
-                heapq.heappush(self._ready, (entry.seq, entry))
+                heappush(ready, (entry.seq, entry))
+            instr = peek()
+        self._seq = seq
+
+    # -- event-horizon cycle skipping ------------------------------------------
+
+    def _skip_idle_cycles(self, fetch: FetchUnit) -> None:
+        """Jump the clock over a span of provably idle cycles.
+
+        Called after a settled cycle.  If nothing can make progress —
+        no ready operation (hence no issue and no port retry), no
+        committable head, no dispatchable instruction — the machine
+        state is frozen until the next event.  The horizon is the
+        earliest of: the next completion-wheel cycle, the next MSHR
+        fill, and the port model's own next event; the watchdog deadline
+        caps the jump so a deadlocked machine still raises at exactly
+        the same cycle as a per-cycle run would.
+        """
+        if self._ready:
+            return  # something issues (or retries a refused port) next cycle
+        entries = self.ruu.entries
+        if not entries:
+            # Empty window: the run is ending, dispatch refills it next
+            # cycle, or an LBIC drain is due next cycle — never a gap.
+            return
+        head = entries[0]
+        if head.state == COMPLETED:
+            return  # commit makes progress next cycle
+        instr = fetch.peek()
+        if instr is not None and len(entries) < self.ruu.size and not (
+            instr.is_mem and self.lsq.full
+        ):
+            return  # dispatch makes progress next cycle
+
+        cycle = self.cycle
+        wheel = self._completion_wheel
+        horizon: Optional[int] = min(wheel) if wheel else None
+        fill = self.hierarchy.next_event_cycle()
+        if fill is not None and (horizon is None or fill < horizon):
+            horizon = fill
+        if self._ports_next_event is not None:
+            port_event = self._ports_next_event(cycle)
+            if port_event is not None and (horizon is None or port_event < horizon):
+                horizon = port_event
+        # Never jump past the watchdog: with no event at all (a genuine
+        # deadlock) the skip lands exactly on the deadline and the next
+        # loop iteration raises, as the unskipped machine would.
+        deadline = self._deadline + 1
+        target = deadline if horizon is None else min(horizon, deadline)
+        skipped = target - cycle - 1
+        if skipped <= 0:
+            return
+        self.cycle = cycle + skipped
+        self.skipped_cycles += skipped
+        observer = self._observer
+        if observer is not None:
+            # Charge the span to the bucket per-cycle accounting would
+            # pick: its inputs are all frozen until the horizon.
+            if instr is not None:
+                bucket = (
+                    "ruu_full" if len(entries) >= self.ruu.size else "lsq_full"
+                )
+            elif (
+                head.state == ISSUED
+                and head.opclass.is_mem
+                and self.hierarchy.mshrs.occupancy > 0
+            ):
+                bucket = "mshr_wait"
+            else:
+                bucket = "exec_wait"
+            observer.accountant.skip_cycles(skipped, bucket)
 
     # -- helpers -----------------------------------------------------------------
 
@@ -361,36 +514,57 @@ class Processor:
             raise SimulationError(
                 f"completion scheduled in the past ({cycle} <= {self.cycle})"
             )
-        self._completion_wheel.setdefault(cycle, []).append(entry)
+        wheel = self._completion_wheel
+        slot = wheel.get(cycle)
+        if slot is None:
+            wheel[cycle] = [entry]
+        else:
+            slot.append(entry)
 
     def _order_by_group(
         self, candidates: List[Tuple[int, RuuEntry]]
     ) -> List[Tuple[int, RuuEntry]]:
         """The paper's section 5.2 enhancement: prefer the largest group of
         combinable ready loads over strict age order (A4 ablation)."""
-        bank_of = getattr(self.ports, "bank_of", None)
+        bank_of = self._bank_of
         if bank_of is None:
             return candidates
+        offset_bits = self._offset_bits
         groups: Dict[Tuple[int, int], int] = {}
         for _, entry in candidates:
             if entry.is_load and entry.addr is not None:
-                key = (bank_of(entry.addr), entry.addr >> self._offset_bits)
+                key = (bank_of(entry.addr), entry.addr >> offset_bits)
                 groups[key] = groups.get(key, 0) + 1
 
         def sort_key(item: Tuple[int, RuuEntry]):
             seq, entry = item
             if entry.is_load and entry.addr is not None:
-                key = (bank_of(entry.addr), entry.addr >> self._offset_bits)
+                key = (bank_of(entry.addr), entry.addr >> offset_bits)
                 return (-groups[key], seq)
             return (0, seq)
 
         return sorted(candidates, key=sort_key)
 
-    def _watchdog_limit(self, max_instructions: Optional[int]) -> int:
-        budget = max_instructions or 10_000_000
-        return budget * 200 + 100_000
+    def _watchdog_limit(self, max_instructions: Optional[int] = None) -> int:
+        """The absolute cycle after which the watchdog fires, given progress.
+
+        Expressed in *progress* terms: the deadline is always
+        ``STALL_LIMIT`` cycles past the most recent commit, re-armed on
+        every commit.  That makes it invariant to event-horizon skips (a
+        skip never jumps past the current deadline, and no skip spans a
+        commit), keeps it from firing while commits keep landing however
+        slowly, and keeps it from *loosening* with the requested budget —
+        the historical formula ``max_instructions * 200 + 100_000``
+        tolerated ~2e9 idle cycles on an unbounded run.
+        ``max_instructions`` is accepted for API compatibility and
+        intentionally unused.
+        """
+        return self._last_commit_cycle + self.STALL_LIMIT
 
     def _build_result(self) -> SimResult:
+        flush = getattr(self.ports, "flush_stats", None)
+        if flush is not None:
+            flush()
         ports = self.stats.group("ports")
         memory = self.stats.group("memory")
         refusals = {
@@ -443,14 +617,16 @@ def simulate(
     label: str = "run",
     warmup_instructions: int = 0,
     observer=None,
+    cycle_skipping: bool = True,
 ) -> SimResult:
     """Convenience one-shot simulation of ``stream`` on ``config``.
 
     Pass a :class:`repro.obs.Observer` as ``observer`` to collect a
     per-cycle stall attribution (and, when the observer carries an
     :class:`~repro.obs.EventTrace`, a structured event trace); both land
-    in ``SimResult.extra``.
+    in ``SimResult.extra``.  ``cycle_skipping=False`` forces the clock
+    through every idle cycle (results are bit-identical either way).
     """
-    return Processor(config, label=label, observer=observer).run(
-        stream, max_instructions, warmup_instructions=warmup_instructions
-    )
+    return Processor(
+        config, label=label, observer=observer, cycle_skipping=cycle_skipping
+    ).run(stream, max_instructions, warmup_instructions=warmup_instructions)

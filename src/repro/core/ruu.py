@@ -46,11 +46,14 @@ class RuuEntry:
         "complete_cycle",
         "addr_known",
         "forwarded",
+        "is_load",
+        "is_store",
     )
 
     def __init__(self, seq: int, instr: DynInstr) -> None:
         self.seq = seq
-        self.opclass = instr.opclass
+        opclass = instr.opclass
+        self.opclass = opclass
         self.dest = instr.dest
         self.addr = instr.addr
         self.state = DISPATCHED
@@ -61,14 +64,10 @@ class RuuEntry:
         self.complete_cycle = -1
         self.addr_known = False   # meaningful for memory ops
         self.forwarded = False    # load satisfied by an in-LSQ store
-
-    @property
-    def is_load(self) -> bool:
-        return self.opclass is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opclass is OpClass.STORE
+        # Plain attributes, not properties: the scheduler tests these
+        # several times per instruction on the hot path.
+        self.is_load = opclass is OpClass.LOAD
+        self.is_store = opclass is OpClass.STORE
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = ("DISP", "READY", "ISSUED", "DONE")[self.state]

@@ -43,7 +43,17 @@ class DynInstr:
             sources as address operands.
     """
 
-    __slots__ = ("opclass", "dest", "srcs", "addr", "size", "addr_src_count")
+    __slots__ = (
+        "opclass",
+        "dest",
+        "srcs",
+        "addr",
+        "size",
+        "addr_src_count",
+        "is_load",
+        "is_store",
+        "is_mem",
+    )
 
     def __init__(
         self,
@@ -60,18 +70,14 @@ class DynInstr:
         self.addr = addr
         self.size = size
         self.addr_src_count = len(srcs) if addr_src_count is None else addr_src_count
-
-    @property
-    def is_load(self) -> bool:
-        return self.opclass is OpClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.opclass is OpClass.STORE
-
-    @property
-    def is_mem(self) -> bool:
-        return self.opclass is OpClass.LOAD or self.opclass is OpClass.STORE
+        # Plain attributes rather than properties: the dispatcher and the
+        # trace analyses test these once or more per instruction, and
+        # tens of millions of DynInstrs flow through per simulation.
+        is_load = opclass is OpClass.LOAD
+        is_store = opclass is OpClass.STORE
+        self.is_load = is_load
+        self.is_store = is_store
+        self.is_mem = is_load or is_store
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, DynInstr):

@@ -107,6 +107,16 @@ class MemoryBackend:
         """Number of fills still in flight (pruned lazily on request)."""
         return len(self._outstanding)
 
+    def next_completion_cycle(self) -> Optional[int]:
+        """Earliest completion cycle among in-flight fills, or ``None``.
+
+        Part of the event-horizon interface.  Every backend fill is
+        mirrored by an L1 MSHR, so for cycle skipping this is subsumed by
+        :meth:`MemoryHierarchy.next_event_cycle`; it is exposed so the
+        backend can be reasoned about (and tested) in isolation.
+        """
+        return self._outstanding[0] if self._outstanding else None
+
     def l2_miss_rate(self) -> float:
         total = self._l2_hits.value + self._l2_misses.value
         return self._l2_misses.value / total if total else 0.0

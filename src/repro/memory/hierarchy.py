@@ -83,6 +83,17 @@ class MemoryHierarchy:
                 self.backend.writeback(fill.writeback_line_addr, line_size)
         return landed
 
+    def next_event_cycle(self) -> Optional[int]:
+        """The earliest future cycle at which the hierarchy acts on its own.
+
+        That is the next outstanding fill completion (``None`` when no
+        miss is in flight).  Together with the processor's completion
+        wheel and the port model's own horizon this bounds how far the
+        clock may skip without changing any simulated outcome: between
+        now and this cycle the hierarchy's observable state is frozen.
+        """
+        return self.mshrs.next_fill_cycle()
+
     # -- the access path -----------------------------------------------------
 
     def access(self, addr: int, is_write: bool, cycle: int) -> Optional[AccessOutcome]:
@@ -102,19 +113,19 @@ class MemoryHierarchy:
             self.l1_array.access(addr, is_write and config.writeback)
             if is_write and not config.writeback:
                 self.backend.write_through(addr)
-            self._accesses.add()
-            self._hits.add()
+            self._accesses.value += 1
+            self._hits.value += 1
             if is_write:
-                self._store_accesses.add()
+                self._store_accesses.value += 1
             return AccessOutcome(hit=True, complete_cycle=cycle + config.hit_latency)
 
         if is_write and not config.write_allocate:
             # no-write-allocate: the store bypasses the L1 entirely and
             # retires through the write buffer into the L2
             self.backend.write_through(addr)
-            self._accesses.add()
-            self._primary_misses.add()
-            self._store_accesses.add()
+            self._accesses.value += 1
+            self._primary_misses.value += 1
+            self._store_accesses.value += 1
             return AccessOutcome(
                 hit=False, complete_cycle=cycle + config.hit_latency
             )
@@ -123,15 +134,15 @@ class MemoryHierarchy:
         pending = self.mshrs.lookup(line_addr)
         if pending is not None:
             self.mshrs.merge(line_addr, is_write and config.writeback)
-            self._accesses.add()
-            self._secondary_misses.add()
+            self._accesses.value += 1
+            self._secondary_misses.value += 1
             if is_write:
-                self._store_accesses.add()
+                self._store_accesses.value += 1
             complete = max(pending.fill_cycle, cycle + self.l1_config.hit_latency)
             return AccessOutcome(hit=False, complete_cycle=complete, merged=True)
 
         if self.mshrs.full:
-            self._mshr_refusals.add()
+            self._mshr_refusals.value += 1
             return None
 
         # Primary miss: the miss is detected after the L1 lookup, then the
@@ -144,10 +155,10 @@ class MemoryHierarchy:
         self.mshrs.allocate(
             line_addr, fill_cycle, is_write and config.writeback
         )
-        self._accesses.add()
-        self._primary_misses.add()
+        self._accesses.value += 1
+        self._primary_misses.value += 1
         if is_write:
-            self._store_accesses.add()
+            self._store_accesses.value += 1
         return AccessOutcome(hit=False, complete_cycle=fill_cycle)
 
     def warm(self, addr: int, is_write: bool) -> None:

@@ -34,6 +34,11 @@ class MshrFile:
             raise SimulationError("MSHR file needs at least one entry")
         self.entries = entries
         self._pending: Dict[int, Mshr] = {}
+        # Earliest fill cycle among pending MSHRs (an over-approximation
+        # is never stored: allocate lowers it, retire/drain recompute it).
+        # Gives retire_ready an O(1) nothing-to-do fast path and answers
+        # next_fill_cycle() for event-horizon cycle skipping.
+        self._min_fill: Optional[int] = None
         stats = stats or StatGroup("mshr")
         self._allocations = stats.counter("allocations")
         self._merges = stats.counter("merges")
@@ -53,6 +58,15 @@ class MshrFile:
     def full(self) -> bool:
         return len(self._pending) >= self.entries
 
+    def next_fill_cycle(self) -> Optional[int]:
+        """The earliest cycle at which a pending fill completes.
+
+        ``None`` when no miss is outstanding.  This is one leg of the
+        simulator's event horizon: with no other work possible, the clock
+        may jump straight to this cycle without changing any outcome.
+        """
+        return self._min_fill
+
     # -- lifecycle -------------------------------------------------------------
 
     def allocate(self, line_addr: int, fill_cycle: int, is_write: bool) -> Mshr:
@@ -68,6 +82,8 @@ class MshrFile:
             raise SimulationError("MSHR file is full")
         mshr = Mshr(line_addr=line_addr, fill_cycle=fill_cycle, is_write=is_write)
         self._pending[line_addr] = mshr
+        if self._min_fill is None or fill_cycle < self._min_fill:
+            self._min_fill = fill_cycle
         self._allocations.add()
         if len(self._pending) > self._peak.value:
             self._peak.value = len(self._pending)
@@ -88,14 +104,26 @@ class MshrFile:
         self._full_refusals.add()
 
     def retire_ready(self, cycle: int) -> List[Mshr]:
-        """Remove and return every MSHR whose fill has completed by ``cycle``."""
+        """Remove and return every MSHR whose fill has completed by ``cycle``.
+
+        Retirement order is the allocation (dict insertion) order of the
+        ready entries — downstream fill/eviction behaviour depends on it,
+        so the ``_min_fill`` fast path must not reorder anything.
+        """
+        if self._min_fill is None or cycle < self._min_fill:
+            return []
         ready = [m for m in self._pending.values() if m.fill_cycle <= cycle]
         for mshr in ready:
             del self._pending[mshr.line_addr]
+        pending = self._pending
+        self._min_fill = (
+            min(m.fill_cycle for m in pending.values()) if pending else None
+        )
         return ready
 
     def drain_all(self) -> List[Mshr]:
         """Remove and return all pending MSHRs (end of simulation)."""
         remaining = list(self._pending.values())
         self._pending.clear()
+        self._min_fill = None
         return remaining

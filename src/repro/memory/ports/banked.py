@@ -51,6 +51,9 @@ class BankedCache(PortModel):
         )
         self._offset_bits = hierarchy.l1_config.geometry.offset_bits
         self._line_size = hierarchy.l1_config.geometry.line_size
+        self._ports_per_bank = config.ports_per_bank
+        self._crossbar_latency = config.crossbar_latency
+        self._fills_occupy_bank = config.fills_occupy_bank
         self._bank_uses: Dict[int, int] = {}
         self._fill_busy: Set[int] = set()
         self._same_line_conflicts = stats.counter("same_line_bank_conflicts")
@@ -62,7 +65,7 @@ class BankedCache(PortModel):
         self._fill_busy.clear()
 
     def note_fills(self, line_addrs) -> None:
-        if not self.config.fills_occupy_bank:
+        if not self._fills_occupy_bank:
             return
         for line_addr in line_addrs:
             self._fill_busy.add(self._select_bank(line_addr * self._line_size))
@@ -72,18 +75,18 @@ class BankedCache(PortModel):
         if bank in self._fill_busy:
             self._refuse("fill_port", addr)
             return None
-        if self._bank_uses.get(bank, 0) >= self.config.ports_per_bank:
+        if self._bank_uses.get(bank, 0) >= self._ports_per_bank:
             self._refuse("bank_conflict", addr)
             # Track how many bank conflicts were same-line conflicts: this
             # is the combinable fraction the LBIC exploits (paper section 4).
             if self._bank_of_busy_line.get(bank) == addr >> self._offset_bits:
-                self._same_line_conflicts.add()
+                self._same_line_conflicts.value += 1
             return None
         complete = self._access_hierarchy(addr, is_store)
         if complete is None:
             return None
-        if not is_store and self.config.crossbar_latency:
-            complete += self.config.crossbar_latency
+        if not is_store and self._crossbar_latency:
+            complete += self._crossbar_latency
         self._bank_uses[bank] = self._bank_uses.get(bank, 0) + 1
         self._bank_of_busy_line[bank] = addr >> self._offset_bits
         return complete

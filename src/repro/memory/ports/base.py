@@ -58,6 +58,16 @@ class PortModel(abc.ABC):
         self.stats = stats
         self._cycle = -1
         self._closed = False
+        # Hot-path event counts are plain ints; the StatGroup objects
+        # below are the durable, discoverable mirrors that
+        # :meth:`flush_stats` synchronizes (the simulator flushes once
+        # when it builds its result, instead of paying a bound-method
+        # call per accepted access and per busy cycle).
+        self._n_loads = 0
+        self._n_stores = 0
+        self._n_busy_cycles = 0
+        self._occupancy_counts: dict = {}
+        self._refusal_counts = {reason: 0 for reason in self.REASONS}
         self._accepted_loads = stats.counter("accepted_loads")
         self._accepted_stores = stats.counter("accepted_stores")
         self._busy_cycles = stats.counter("busy_cycles")
@@ -90,9 +100,11 @@ class PortModel(abc.ABC):
         self._reset_cycle_state()
 
     def end_cycle(self) -> None:
-        if self._accepted_this_cycle:
-            self._busy_cycles.add()
-            self._cycle_occupancy.record(self._accepted_this_cycle)
+        accepted = self._accepted_this_cycle
+        if accepted:
+            self._n_busy_cycles += 1
+            counts = self._occupancy_counts
+            counts[accepted] = counts.get(accepted, 0) + 1
         self._finish_cycle_state()
 
     # -- requests -------------------------------------------------------------
@@ -114,7 +126,7 @@ class PortModel(abc.ABC):
         if outcome is None:
             self._closed = self.IN_ORDER
             return None
-        self._accepted_loads.add()
+        self._n_loads += 1
         self._accepted_this_cycle += 1
         return outcome
 
@@ -131,7 +143,7 @@ class PortModel(abc.ABC):
         outcome = self._try_access(addr, is_store=True)
         if outcome is None:
             return False
-        self._accepted_stores.add()
+        self._n_stores += 1
         self._accepted_this_cycle += 1
         return True
 
@@ -150,7 +162,7 @@ class PortModel(abc.ABC):
     # -- shared helpers --------------------------------------------------------
 
     def _refuse(self, reason: str, addr: Optional[int] = None) -> None:
-        self._refusals[reason].add()
+        self._refusal_counts[reason] += 1
         observer = self._observer
         if observer is not None:
             observer.accountant.note_refusal(reason)
@@ -183,6 +195,19 @@ class PortModel(abc.ABC):
         """Whether buffered work remains (LBIC store queues); default no."""
         return False
 
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest future cycle at which this model acts *on its own*.
+
+        The default organizations (ideal, replicated, banked) hold no
+        state that evolves without a request — their per-cycle state is
+        rebuilt from the incoming requests and the fill notifications,
+        both of which have their own horizon legs — so they return
+        ``None`` ("no autonomous event").  The LBIC overrides this: its
+        store queues drain on idle cycles, which is an event the clock
+        must not skip over.
+        """
+        return None
+
     def note_fills(self, line_addrs) -> None:
         """Inform the model of fills landing this cycle.
 
@@ -190,12 +215,28 @@ class PortModel(abc.ABC):
         the default (a dedicated fill port) ignores the notification.
         """
 
+    def flush_stats(self) -> None:
+        """Synchronize the StatGroup mirrors with the hot-path counts.
+
+        Idempotent; callers that read this model's activity through its
+        :attr:`stats` group (reports, analyses) must flush first.  The
+        simulator does so once per run when building its result.
+        """
+        self._accepted_loads.value = self._n_loads
+        self._accepted_stores.value = self._n_stores
+        self._busy_cycles.value = self._n_busy_cycles
+        buckets = self._cycle_occupancy.buckets
+        buckets.clear()
+        buckets.update(self._occupancy_counts)
+        for reason, count in self._refusal_counts.items():
+            self._refusals[reason].value = count
+
     @property
     def accepted_accesses(self) -> int:
-        return self._accepted_loads.value + self._accepted_stores.value
+        return self._n_loads + self._n_stores
 
     def refusal_count(self, reason: str) -> int:
-        return self._refusals[reason].value
+        return self._refusal_counts[reason]
 
     def utilization(self, cycles: int) -> float:
         """Mean fraction of peak bandwidth actually used."""

@@ -28,13 +28,14 @@ class IdealMultiPorted(PortModel):
     ) -> None:
         super().__init__(hierarchy, stats)
         self.config = config
+        self._port_count = config.ports  # hoisted off the hot path
         self._ports_used = 0
 
     def _reset_cycle_state(self) -> None:
         self._ports_used = 0
 
     def _try_access(self, addr: int, is_store: bool) -> Optional[int]:
-        if self._ports_used >= self.config.ports:
+        if self._ports_used >= self._port_count:
             self._refuse("port_limit", addr)
             return None
         complete = self._access_hierarchy(addr, is_store)

@@ -68,6 +68,10 @@ class LBICache(PortModel):
             config.bank_function, config.banks, geometry.offset_bits
         )
         self._line_size = geometry.line_size
+        self._buffer_ports = config.buffer_ports
+        self._crossbar_latency = config.crossbar_latency
+        self._store_queue_depth = config.store_queue_depth
+        self._fills_occupy_bank = config.fills_occupy_bank
         self._banks = [_BankCycleState() for _ in range(config.banks)]
         self._fill_busy: set = set()
         self._store_queues: List[Deque[int]] = [deque() for _ in range(config.banks)]
@@ -87,10 +91,16 @@ class LBICache(PortModel):
         self._fill_busy.clear()
 
     def note_fills(self, line_addrs) -> None:
-        if not self.config.fills_occupy_bank:
+        if not self._fills_occupy_bank:
             return
         for line_addr in line_addrs:
             self._fill_busy.add(self._select_bank(line_addr * self._line_size))
+
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Store queues drain one line per idle bank per cycle, so while
+        any queue holds data the very next cycle is an event — the clock
+        may never skip over a pending drain."""
+        return cycle + 1 if any(self._store_queues) else None
 
     def _finish_cycle_state(self) -> None:
         # Record combining-group sizes, then drain store queues on idle banks.
@@ -116,11 +126,11 @@ class LBICache(PortModel):
         outcome = self.hierarchy.access(addr, is_write=True, cycle=self._cycle)
         if outcome is None:
             # MSHR full: retry on the next idle cycle.
-            self._drain_retries.add()
+            self._drain_retries.value += 1
             return
         line = addr >> self._offset_bits
         survivors = [a for a in queue if (a >> self._offset_bits) != line]
-        self._drained_stores.add(len(queue) - len(survivors))
+        self._drained_stores.value += len(queue) - len(survivors)
         queue.clear()
         queue.extend(survivors)
 
@@ -141,7 +151,7 @@ class LBICache(PortModel):
             # Same bank, different line: the classic residual conflict.
             self._refuse("line_conflict", addr)
             return None
-        if bank.ports_used >= self.config.buffer_ports:
+        if bank.ports_used >= self._buffer_ports:
             self._refuse("port_limit", addr)
             return None
         return self._accept_combining(bank_index, bank, addr, is_store)
@@ -168,7 +178,7 @@ class LBICache(PortModel):
             return None
         bank.gated_line = line
         bank.ports_used = 1
-        return complete + self.config.crossbar_latency
+        return complete + self._crossbar_latency
 
     def _accept_combining(
         self,
@@ -184,15 +194,15 @@ class LBICache(PortModel):
                 return None
             self._enqueue_store(bank_index, addr)
             bank.ports_used += 1
-            self._combined_stores.add()
+            self._combined_stores.value += 1
             return self._cycle
         outcome = self.hierarchy.access(addr, is_write=False, cycle=self._cycle)
         if outcome is None:
             self._refuse("mshr_full", addr)
             return None
         bank.ports_used += 1
-        self._combined_loads.add()
-        return outcome.complete_cycle + self.config.crossbar_latency
+        self._combined_loads.value += 1
+        return outcome.complete_cycle + self._crossbar_latency
 
     # -- store queues ---------------------------------------------------------
 
@@ -200,7 +210,7 @@ class LBICache(PortModel):
         """Room exists if the queue is not full *or* the store coalesces
         into an entry already queued for its line."""
         queue = self._store_queues[bank_index]
-        if len(queue) < self.config.store_queue_depth:
+        if len(queue) < self._store_queue_depth:
             return True
         line = addr >> self._offset_bits
         return any((a >> self._offset_bits) == line for a in queue)
@@ -213,7 +223,7 @@ class LBICache(PortModel):
         line = addr >> self._offset_bits
         for queued in queue:
             if (queued >> self._offset_bits) == line:
-                self._coalesced_stores.add()
+                self._coalesced_stores.value += 1
                 return
         queue.append(addr)
         if len(queue) > self._sq_peak.value:

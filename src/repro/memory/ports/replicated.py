@@ -30,6 +30,7 @@ class ReplicatedMultiPorted(PortModel):
     ) -> None:
         super().__init__(hierarchy, stats)
         self.config = config
+        self._port_count = config.ports  # hoisted off the hot path
         self._ports_used = 0
         self._store_cycle = False
 
@@ -51,9 +52,9 @@ class ReplicatedMultiPorted(PortModel):
             if complete is None:
                 return None
             self._store_cycle = True
-            self._ports_used = self.config.ports  # broadcast occupies every copy
+            self._ports_used = self._port_count  # broadcast occupies every copy
             return complete
-        if self._ports_used >= self.config.ports:
+        if self._ports_used >= self._port_count:
             self._refuse("port_limit", addr)
             return None
         complete = self._access_hierarchy(addr, is_store=False)

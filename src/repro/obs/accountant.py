@@ -139,6 +139,22 @@ class CycleAccountant:
             self._at_last_commit = dict(self._totals)
         return bucket
 
+    def skip_cycles(self, count: int, bucket: str) -> None:
+        """Bulk-charge ``count`` cycles to ``bucket`` in one step.
+
+        Used by the simulator's event-horizon cycle skipping: when no
+        instruction can make progress until a known future event, the
+        clock jumps there and the skipped span is charged here.  Every
+        skipped cycle is by construction a zero-commit cycle whose
+        classification is constant across the span, so one bulk charge
+        is exactly equivalent to ``count`` begin/close pairs — the
+        sum-to-cycles invariant is preserved bit-for-bit.
+        """
+        if count <= 0:
+            return
+        self._totals[bucket] = self._totals.get(bucket, 0) + count
+        self.cycles_seen += count
+
     # -- reading ----------------------------------------------------------
 
     def stalls(self) -> Dict[str, int]:

@@ -12,7 +12,7 @@ from .kernels import (
     StackFrameKernel,
     TiledWalkKernel,
 )
-from .mixes import KernelMix
+from .mixes import KernelMix, miss_heavy_mix
 from .phased import Phase, PhasedWorkload, windowed_ipc
 from .spec95 import (
     ALL_NAMES,
@@ -51,6 +51,7 @@ __all__ = [
     "Workload",
     "all_benchmarks",
     "load_trace",
+    "miss_heavy_mix",
     "save_trace",
     "spec95_workload",
     "windowed_ipc",

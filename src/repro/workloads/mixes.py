@@ -155,3 +155,47 @@ def _dither(value: float, rng: RngStream) -> int:
     if rng.random() < value - base:
         base += 1
     return base
+
+
+def miss_heavy_mix(
+    region_bytes: int = 8 * 1024 * 1024,
+    target_mem_fraction: float = 0.3,
+    target_ipc: float = 1.0,
+) -> KernelMix:
+    """A deliberately miss-dominated, low-MLP workload.
+
+    Pure serial pointer chasing over a region much larger than the L2
+    (default 8 MB vs the paper machine's 512 KB), so nearly every chase
+    load misses all the way to memory and each load's address depends on
+    the previous load's value — the machine spends most of its cycles
+    idle waiting on a single outstanding miss.  This is the stress
+    pattern for which event-horizon cycle skipping exists, and the
+    standard "miss-heavy" case in the speed benchmarks
+    (``benchmarks/test_simulator_speed.py``, ``tools/bench_speed.py``).
+    Not a SPEC model: it bounds simulator behaviour, not paper figures.
+    """
+    from .kernels import PointerChaseKernel, RegionAllocator
+
+    registers = RegisterPool()
+    regions = RegionAllocator()
+    kernels: Sequence[Tuple[BurstKernel, float]] = [
+        (
+            PointerChaseKernel(
+                registers,
+                regions,
+                region_bytes=region_bytes,
+                chase_loads=1,
+                extra_field_loads=0,
+                store_every=0,
+                consume_ops=1,
+            ),
+            1.0,
+        )
+    ]
+    return KernelMix(
+        "miss_heavy",
+        kernels,
+        registers,
+        target_mem_fraction=target_mem_fraction,
+        target_ipc=target_ipc,
+    )

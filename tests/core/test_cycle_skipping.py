@@ -1,0 +1,145 @@
+"""Event-horizon cycle skipping: bit-exact equivalence and the watchdog.
+
+Cycle skipping is an execution-speed optimization only, so its contract
+is *bit-identical results*: every field of ``SimResult.to_dict()`` —
+cycle counts, port statistics, and the full stall-attribution breakdown
+in ``extra["stalls"]`` — must match a per-cycle run on every port model
+and workload.  The matrix here is tier-1: it runs without the benchmark
+harness and covers all four port model families.
+"""
+
+import dataclasses
+
+import pytest
+
+from conftest import BASE, load
+from repro.common.config import (
+    BankedPortConfig,
+    IdealPortConfig,
+    LBICConfig,
+    MainMemoryConfig,
+    ReplicatedPortConfig,
+    paper_machine,
+)
+from repro.common.errors import SimulationError
+from repro.core.processor import Processor
+from repro.obs import Observer
+from repro.workloads import miss_heavy_mix, spec95_workload
+
+PORT_CONFIGS = {
+    "ideal:1": IdealPortConfig(1),
+    "ideal:4": IdealPortConfig(4),
+    "repl:2": ReplicatedPortConfig(2),
+    "bank:4": BankedPortConfig(banks=4),
+    "lbic:2x2": LBICConfig(banks=2, buffer_ports=2),
+    "lbic:4x4": LBICConfig(banks=4, buffer_ports=4),
+    "lbic:8x4": LBICConfig(banks=8, buffer_ports=4),
+}
+
+WORKLOADS = ("gcc", "swim", "li")
+
+N = 5_000
+
+_streams = {}
+
+
+def workload_stream(name):
+    """One instruction list per workload, shared across the matrix."""
+    if name not in _streams:
+        _streams[name] = list(
+            spec95_workload(name).stream(seed=7, max_instructions=N)
+        )
+    return _streams[name]
+
+
+def run_observed(config, stream, cycle_skipping, max_instructions=N):
+    processor = Processor(
+        config, observer=Observer(), cycle_skipping=cycle_skipping
+    )
+    result = processor.run(iter(stream), max_instructions=max_instructions)
+    return processor, result
+
+
+class TestBitExactEquivalence:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    @pytest.mark.parametrize("ports", sorted(PORT_CONFIGS))
+    def test_skip_matches_per_cycle_run(self, workload, ports):
+        stream = workload_stream(workload)
+        config = paper_machine(PORT_CONFIGS[ports])
+        _, skipped = run_observed(config, stream, cycle_skipping=True)
+        _, stepped = run_observed(config, stream, cycle_skipping=False)
+        assert skipped.to_dict() == stepped.to_dict()
+
+    @pytest.mark.parametrize("ports", ["ideal:4", "lbic:4x4"])
+    def test_stalls_sum_to_cycles_with_skipping(self, ports):
+        config = paper_machine(PORT_CONFIGS[ports])
+        _, result = run_observed(config, workload_stream("gcc"), True)
+        stalls = result.extra["stalls"]
+        assert sum(stalls.values()) == result.cycles
+
+    def test_miss_heavy_equivalence(self):
+        # The configuration skipping is for: serial misses to slow memory
+        # make the clock jump thousands of cycles at a time.
+        config = dataclasses.replace(
+            paper_machine(IdealPortConfig(4)),
+            memory=MainMemoryConfig(access_latency=500),
+        )
+        stream = list(miss_heavy_mix().stream(seed=3, max_instructions=800))
+        fast, skipped = run_observed(config, stream, True, 800)
+        slow, stepped = run_observed(config, stream, False, 800)
+        assert fast.skipped_cycles > 0
+        assert slow.skipped_cycles == 0
+        assert skipped.to_dict() == stepped.to_dict()
+
+    def test_skipped_cycles_counts_only_jumped_cycles(self):
+        config = paper_machine(IdealPortConfig(4))
+        stream = workload_stream("gcc")
+        fast, result = run_observed(config, stream, True)
+        assert 0 <= fast.skipped_cycles < fast.cycle
+        # skipping never invents or drops clock ticks
+        slow, _ = run_observed(config, stream, False)
+        assert fast.cycle == slow.cycle
+
+
+class TestWatchdog:
+    def test_long_idle_miss_chain_does_not_trip_watchdog(self):
+        # Regression: a progress-based watchdog must tolerate legitimate
+        # commit gaps of thousands of idle cycles (a serial miss chain to
+        # very slow memory), with and without skipping.  The historical
+        # absolute-cycle watchdog was immune only because it scaled with
+        # the instruction budget.
+        config = dataclasses.replace(
+            paper_machine(IdealPortConfig(1)),
+            memory=MainMemoryConfig(access_latency=5_000),
+        )
+        stream = list(miss_heavy_mix().stream(seed=3, max_instructions=300))
+        for cycle_skipping in (True, False):
+            processor, result = run_observed(
+                config, stream, cycle_skipping, max_instructions=300
+            )
+            assert result.instructions == 300
+            assert result.cycles > 5_000  # the gaps really were long
+
+    def test_deadlock_fires_at_identical_cycle_with_skipping(self):
+        # A genuine deadlock (completion scheduled past the no-progress
+        # deadline) must raise at exactly the same cycle either way: the
+        # skip is capped at the watchdog deadline.
+        config = dataclasses.replace(
+            paper_machine(IdealPortConfig(1)),
+            memory=MainMemoryConfig(access_latency=10_000),
+        )
+        cycles_at_error = {}
+        for cycle_skipping in (True, False):
+            processor = Processor(config, cycle_skipping=cycle_skipping)
+            processor.STALL_LIMIT = 600
+            with pytest.raises(SimulationError, match="600 cycles"):
+                processor.run([load(BASE + 16 * 1024 * 1024)])
+            cycles_at_error[cycle_skipping] = processor.cycle
+        assert cycles_at_error[True] == cycles_at_error[False]
+
+    def test_watchdog_deadline_ignores_instruction_budget(self):
+        # The deadline must not loosen with max_instructions (the old
+        # formula allowed ~200 idle cycles per budgeted instruction).
+        processor = Processor(paper_machine(IdealPortConfig(1)))
+        assert processor._watchdog_limit(10**9) == processor.STALL_LIMIT
+        assert processor._watchdog_limit(None) == processor.STALL_LIMIT

@@ -116,3 +116,56 @@ class TestSnapshot:
         snap = acct.stalls()
         snap["commit"] = 999
         assert acct.stalls() == {"commit": 1}
+
+
+class TestSkipCycles:
+    """Bulk charging used by event-horizon cycle skipping: one
+    ``skip_cycles(n, bucket)`` must be indistinguishable from ``n``
+    begin/close pairs that classify to ``bucket``."""
+
+    def test_bulk_charge_equals_per_cycle_charge(self):
+        bulk, stepped = CycleAccountant(), CycleAccountant()
+        bulk.skip_cycles(5, "mshr_wait")
+        for _ in range(5):
+            stepped.begin_cycle()
+            close_idle(stepped, mem_wait=True, misses_outstanding=True)
+        assert bulk.all_cycles() == stepped.all_cycles()
+        assert bulk.cycles_seen == stepped.cycles_seen == 5
+
+    def test_skipped_cycles_land_in_the_requested_bucket(self):
+        acct = CycleAccountant()
+        acct.begin_cycle()
+        close_idle(acct, committed=1)
+        acct.skip_cycles(7, "exec_wait")
+        acct.skip_cycles(2, "ruu_full")
+        assert acct.all_cycles() == {"commit": 1, "exec_wait": 7, "ruu_full": 2}
+        assert acct.cycles_seen == 10
+
+    def test_sum_to_cycles_invariant_spans_skips(self):
+        # skipped cycles count before the *next* commit's snapshot,
+        # exactly like per-cycle charges would
+        acct = CycleAccountant()
+        acct.begin_cycle()
+        close_idle(acct, committed=1)
+        acct.skip_cycles(9, "mshr_wait")
+        acct.begin_cycle()
+        close_idle(acct, committed=1)
+        assert acct.stalls() == {"commit": 2, "mshr_wait": 9}
+        assert sum(acct.stalls().values()) == acct.cycles_seen == 11
+
+    def test_trailing_skip_stays_out_of_the_commit_snapshot(self):
+        # a skip after the final commit is drain tail: visible in
+        # all_cycles(), absent from stalls()
+        acct = CycleAccountant()
+        acct.begin_cycle()
+        close_idle(acct, committed=1)
+        acct.skip_cycles(4, "frontend_drained")
+        assert acct.stalls() == {"commit": 1}
+        assert acct.all_cycles() == {"commit": 1, "frontend_drained": 4}
+
+    def test_non_positive_counts_are_no_ops(self):
+        acct = CycleAccountant()
+        acct.skip_cycles(0, "exec_wait")
+        acct.skip_cycles(-3, "exec_wait")
+        assert acct.all_cycles() == {}
+        assert acct.cycles_seen == 0

@@ -1,0 +1,240 @@
+#!/usr/bin/env python
+"""Simulator speed benchmark: instructions/second per (workload x ports).
+
+Runs a fixed grid of simulations, measures wall-clock throughput, and
+*appends* one run record to ``BENCH_speed.json`` (a JSON list — the file
+is a growing history, so speed changes are visible across commits).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_speed.py              # full grid
+    PYTHONPATH=src python tools/bench_speed.py --quick      # CI smoke subset
+    PYTHONPATH=src python tools/bench_speed.py --quick --check-regression
+
+``--check-regression`` compares this run against the most recent
+*comparable* record already in the file (same quick flag, instruction
+count, and cycle-skipping setting) and exits non-zero if any shared case
+got more than ``--threshold`` (default 30%) slower — the CI speed-smoke
+gate.  ``--no-skip`` disables event-horizon cycle skipping to measure
+the per-cycle baseline (results are bit-identical either way; only the
+wall-clock differs).
+
+The grid includes ``miss_heavy`` — serial pointer chasing over an
+8 MB region with 200-cycle memory — because that idle-dominated pattern
+is where cycle skipping matters most; see ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.common.config import (  # noqa: E402
+    BankedPortConfig,
+    IdealPortConfig,
+    LBICConfig,
+    MachineConfig,
+    MainMemoryConfig,
+    ReplicatedPortConfig,
+    paper_machine,
+)
+from repro.core.processor import Processor  # noqa: E402
+from repro.workloads import miss_heavy_mix, spec95_workload  # noqa: E402
+
+PORT_MODELS = {
+    "ideal:1": IdealPortConfig(1),
+    "ideal:4": IdealPortConfig(4),
+    "repl:2": ReplicatedPortConfig(2),
+    "bank:4": BankedPortConfig(banks=4),
+    "lbic:2x2": LBICConfig(banks=2, buffer_ports=2),
+    "lbic:4x4": LBICConfig(banks=4, buffer_ports=4),
+    "lbic:8x4": LBICConfig(banks=8, buffer_ports=4),
+}
+
+#: miss_heavy runs against slow memory so idle spans dominate
+MISS_HEAVY_MEMORY = MainMemoryConfig(access_latency=200)
+
+FULL_WORKLOADS = ["gcc", "swim", "li", "miss_heavy"]
+QUICK_CASES = [
+    ("gcc", "ideal:4"),
+    ("swim", "lbic:4x4"),
+    ("miss_heavy", "ideal:4"),
+]
+
+
+def make_stream(workload: str, instructions: int, seed: int) -> list:
+    if workload == "miss_heavy":
+        mix = miss_heavy_mix()
+    else:
+        mix = spec95_workload(workload)
+    return list(mix.stream(seed=seed, max_instructions=instructions))
+
+
+def make_config(workload: str, ports: str) -> MachineConfig:
+    config = paper_machine(PORT_MODELS[ports])
+    if workload == "miss_heavy":
+        config = replace(config, memory=MISS_HEAVY_MEMORY)
+    return config
+
+
+def bench_case(
+    workload: str,
+    ports: str,
+    instructions: int,
+    seed: int,
+    rounds: int,
+    cycle_skipping: bool,
+) -> Dict[str, object]:
+    stream = make_stream(workload, instructions, seed)
+    config = make_config(workload, ports)
+    best = 0.0
+    cycles = skipped = 0
+    for _ in range(rounds):
+        processor = Processor(config, cycle_skipping=cycle_skipping)
+        start = time.perf_counter()
+        result = processor.run(iter(stream), max_instructions=instructions)
+        elapsed = time.perf_counter() - start
+        best = max(best, result.instructions / elapsed)
+        cycles = result.cycles
+        skipped = processor.skipped_cycles
+    return {
+        "workload": workload,
+        "ports": ports,
+        "instr_per_sec": round(best, 1),
+        "cycles": cycles,
+        "skipped_cycles": skipped,
+    }
+
+
+def git_revision() -> Optional[str]:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except OSError:
+        return None
+    return out.stdout.strip() or None
+
+
+def load_history(path: Path) -> List[dict]:
+    if not path.exists():
+        return []
+    try:
+        history = json.loads(path.read_text())
+    except json.JSONDecodeError:
+        return []
+    return history if isinstance(history, list) else []
+
+
+def find_baseline(history: List[dict], record: dict) -> Optional[dict]:
+    """Most recent prior record with the same measurement conditions."""
+    keys = ("quick", "instructions", "cycle_skipping")
+    for prior in reversed(history):
+        if all(prior.get(k) == record[k] for k in keys):
+            return prior
+    return None
+
+
+def check_regression(baseline: dict, record: dict, threshold: float) -> List[str]:
+    old = {(c["workload"], c["ports"]): c["instr_per_sec"] for c in baseline["cases"]}
+    failures = []
+    for case in record["cases"]:
+        key = (case["workload"], case["ports"])
+        if key not in old or old[key] <= 0:
+            continue
+        ratio = case["instr_per_sec"] / old[key]
+        if ratio < 1.0 - threshold:
+            failures.append(
+                f"{key[0]} x {key[1]}: {case['instr_per_sec']:.0f} instr/s vs "
+                f"{old[key]:.0f} baseline ({(1 - ratio) * 100:.0f}% slower)"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small subset + fewer instructions (CI smoke)")
+    parser.add_argument("--instructions", type=int, default=None,
+                        help="timed instructions per case (default 20000, quick 10000)")
+    parser.add_argument("--rounds", type=int, default=None,
+                        help="measurement rounds, best-of (default 3, quick 2)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--no-skip", dest="skip", action="store_false",
+                        help="disable event-horizon cycle skipping")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_speed.json")
+    parser.add_argument("--check-regression", action="store_true",
+                        help="fail if a case regresses vs the last comparable record")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional slowdown for --check-regression")
+    parser.add_argument("--note", default="", help="free-text tag for the record")
+    args = parser.parse_args(argv)
+
+    instructions = args.instructions or (10_000 if args.quick else 20_000)
+    rounds = args.rounds or (2 if args.quick else 3)
+    if args.quick:
+        cases = QUICK_CASES
+    else:
+        cases = [(w, p) for w in FULL_WORKLOADS for p in PORT_MODELS]
+
+    measured = []
+    for workload, ports in cases:
+        case = bench_case(workload, ports, instructions, args.seed, rounds, args.skip)
+        measured.append(case)
+        print(
+            f"{workload:>10s} x {ports:<8s} {case['instr_per_sec']:>10,.0f} instr/s"
+            f"   ({case['cycles']:,} cycles, {case['skipped_cycles']:,} skipped)"
+        )
+
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "git_rev": git_revision(),
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "instructions": instructions,
+        "rounds": rounds,
+        "seed": args.seed,
+        "cycle_skipping": args.skip,
+        "note": args.note,
+        "cases": measured,
+    }
+
+    history = load_history(args.output)
+    baseline = find_baseline(history, record)
+    history.append(record)
+    args.output.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"\nappended record #{len(history)} to {args.output}")
+
+    if args.check_regression:
+        if baseline is None:
+            print("no comparable baseline record; regression check skipped")
+            return 0
+        failures = check_regression(baseline, record, args.threshold)
+        if failures:
+            print(f"\nSPEED REGRESSION (> {args.threshold:.0%} vs {baseline['timestamp']}"
+                  f" @ {baseline.get('git_rev')}):")
+            for failure in failures:
+                print(" ", failure)
+            return 1
+        print(f"no regression > {args.threshold:.0%} vs {baseline['timestamp']}"
+              f" @ {baseline.get('git_rev')}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

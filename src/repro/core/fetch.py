@@ -53,3 +53,10 @@ class FetchUnit:
         self._lookahead = None
         self.fetched += 1
         return instr
+
+    def consume(self) -> None:
+        """Consume the lookahead from an immediately preceding successful
+        :meth:`peek` (the dispatcher's hot path: it already holds the
+        instruction, so the re-peek inside :meth:`take` is pure waste)."""
+        self._lookahead = None
+        self.fetched += 1

@@ -68,6 +68,20 @@ class FuPools:
             opclass: config.timing(opclass.name)
             for opclass in OpClass
         }
+        # Hot-path routing table: opclass -> (pool, issue interval, total
+        # latency).  Memory classes are deliberately absent — their timing
+        # comes from the cache port model, and looking them up here is a
+        # programming error.
+        self._route: Dict[OpClass, tuple] = {
+            opclass: (
+                self._pools[opclass.fu_pool],
+                self._timings[opclass].issue,
+                self._timings[opclass].total,
+            )
+            for opclass in OpClass
+            if not opclass.is_mem
+        }
+        self._pool_list = list(self._pools.values())
         self._structural_stalls = stats.counter("fu_structural_stalls")
         self._observer = None
 
@@ -77,8 +91,8 @@ class FuPools:
         self._observer = observer
 
     def begin_cycle(self) -> None:
-        for pool in self._pools.values():
-            pool.reset_cycle()
+        for pool in self._pool_list:
+            pool.issued_this_cycle = 0
 
     def latency(self, opclass: OpClass) -> int:
         return self._timings[opclass].total
@@ -89,14 +103,14 @@ class FuPools:
         Memory operations must not be issued here — their timing comes
         from the cache.
         """
-        if opclass.is_mem:
+        route = self._route.get(opclass)
+        if route is None:
             raise SimulationError("memory ops are issued through the port model")
-        pool = self._pools[opclass.fu_pool]
+        pool, issue, total = route
         if pool.available(cycle) <= 0:
             self._structural_stalls.add()
             if self._observer is not None:
                 self._observer.accountant.note_fu_stall()
             return -1
-        timing = self._timings[opclass]
-        pool.reserve(cycle, timing.issue)
-        return cycle + timing.total
+        pool.reserve(cycle, issue)
+        return cycle + total

@@ -19,12 +19,12 @@ The pipeline per cycle, in order:
 6. **Port end-of-cycle** — the LBIC drains per-bank store queues on idle
    banks.
 
-The scheduler is event-driven (ready heaps plus a completion wheel), so
-simulation cost scales with instructions executed, not with the sizes of
-the 1024-entry RUU or 512-entry LSQ.
+The scheduler is event-driven (a seq-sorted ready list plus a completion
+wheel), so simulation cost scales with instructions executed, not with
+the sizes of the 1024-entry RUU or 512-entry LSQ.
 
 **Event-horizon cycle skipping.**  When a cycle ends with nothing able to
-make progress — the ready heap empty (so no issue and no port retries),
+make progress — the ready list empty (so no issue and no port retries),
 the window head not completed (so no commit), and dispatch blocked or the
 stream drained — every following cycle is identical until the next
 *event*: a completion-wheel entry, an MSHR fill landing, or a port-model
@@ -38,9 +38,7 @@ same stall bucket per-cycle accounting would have chosen.
 
 from __future__ import annotations
 
-import heapq
-from heapq import heappush
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..common.config import LBICConfig, MachineConfig
 from ..common.errors import SimulationError
@@ -140,6 +138,7 @@ class Processor:
         stream: Iterable[DynInstr],
         max_instructions: Optional[int] = None,
         warmup_instructions: int = 0,
+        warm_state: Optional[Dict[str, Any]] = None,
     ) -> SimResult:
         """Simulate the machine over ``stream`` and return the results.
 
@@ -147,12 +146,22 @@ class Processor:
         references functionally warm the caches (no cycles pass, nothing
         is counted), so a short timed region measures steady-state
         behaviour — the standard fast-forward methodology.
+
+        ``warm_state`` short-circuits that walk with a checkpoint captured
+        by :meth:`~repro.memory.hierarchy.MemoryHierarchy.capture_warm_state`
+        after an identical warm-up on the same cache configuration: the
+        hierarchy state is restored directly and ``stream`` must already be
+        positioned at the first *timed* instruction.  ``warmup_instructions``
+        still carries the requested count so results report identically.
         """
         if self._ran:
             raise SimulationError("a Processor instance runs exactly once")
         self._ran = True
         self._warmup_requested = warmup_instructions
-        if warmup_instructions:
+        if warm_state is not None:
+            self.hierarchy.restore_warm_state(warm_state["hierarchy"])
+            self._warmed = warm_state["warmed"]
+        elif warmup_instructions:
             stream = iter(stream)
             warm = self.hierarchy.warm
             for _ in range(warmup_instructions):
@@ -188,7 +197,7 @@ class Processor:
                     f"deadlocked"
                 )
             step(fetch)
-            # Guard inline: with work in the ready heap (the common busy
+            # Guard inline: with work in the ready list (the common busy
             # case) skipping is impossible, so don't even pay the call.
             if skip is not None and not self._ready:
                 skip(fetch)
@@ -248,7 +257,7 @@ class Processor:
         done = self._completion_wheel.pop(cycle, None)
         if done is None:
             return
-        ready = self._ready
+        wake = self._ready.append
         complete = self.ruu.complete
         resolve = self._resolve_store_address
         for entry in done:
@@ -257,7 +266,7 @@ class Processor:
             for store in addr_ready_stores:
                 resolve(store)
             for waked in woken:
-                heappush(ready, (waked.seq, waked))
+                wake((waked.seq, waked))
 
     def _commit(self) -> int:
         entries = self.ruu.entries
@@ -289,17 +298,23 @@ class Processor:
     def _issue(self, cycle: int) -> None:
         budget = self._issue_width
         ready = self._ready
-        if len(ready) <= self.SCHED_SCAN_LIMIT:
-            # Common case: the whole heap fits in the scan window.  A
-            # drained heap yields entries in seq order, which for a list
-            # is just a sort — far cheaper than len(ready) pop/push pairs.
-            ready.sort()
+        # The ready list is only ever *consumed* here, so it needs no
+        # standing order: wakeups append out of order and one Timsort per
+        # cycle restores seq order, exploiting the already-sorted prefix
+        # left by the previous cycle's deferrals.  This replaces the old
+        # heap discipline, which paid a pop/push pair per scanned entry
+        # per cycle (128 pops + ~120 pushes every cycle on wide windows).
+        ready.sort()
+        limit = self.SCHED_SCAN_LIMIT
+        if len(ready) <= limit:
             candidates = ready
-            self._ready = []
+            rest: List[Tuple[int, RuuEntry]] = []
         else:
-            candidates = [
-                heapq.heappop(ready) for _ in range(self.SCHED_SCAN_LIMIT)
-            ]
+            # Scan-window bound: only the oldest `limit` entries are
+            # examined, exactly as the heap version popped them.
+            candidates = ready[:limit]
+            rest = ready[limit:]
+        self._ready = []
         if self._largest_group:
             candidates = self._order_by_group(candidates)
 
@@ -309,10 +324,13 @@ class Processor:
         fus_try = self.fus.try_issue
         mem_stalled = False  # the port accepts an age-ordered prefix only
         in_order = self.ports.IN_ORDER
-        for item in candidates:
+        for index, item in enumerate(candidates):
             if budget <= 0:
-                defer(item)
-                continue
+                # Issue width exhausted: every remaining candidate defers
+                # unchanged, so splice them over in one C-level extend
+                # instead of touching each in Python.
+                deferred.extend(candidates[index:])
+                break
             entry = item[1]
             if entry.is_load:
                 if mem_stalled:
@@ -336,17 +354,12 @@ class Processor:
                 entry.state = ISSUED
                 self._schedule_completion(entry, done)
                 budget -= 1
-        ready = self._ready
-        if ready:
-            # Something landed in the rebuilt heap mid-issue (defensive;
-            # no current path does) — merge the deferrals into it.
-            for item in deferred:
-                heappush(ready, item)
-        else:
-            if self._largest_group:
-                # group ordering may have permuted the seq order
-                heapq.heapify(deferred)
-            self._ready = deferred
+        deferred.extend(rest)
+        if self._ready:
+            # Something landed in the emptied list mid-issue (defensive;
+            # no current path does) — carry it into next cycle's sort.
+            deferred.extend(self._ready)
+        self._ready = deferred
 
     def _issue_load(self, entry: RuuEntry, cycle: int) -> str:
         """Try to issue a ready load.
@@ -389,9 +402,9 @@ class Processor:
     def _resolve_store_address(self, entry: RuuEntry) -> None:
         """A store's effective address became known: update the LSQ and
         re-release any loads it was blocking."""
-        ready = self._ready
+        wake = self._ready.append
         for released in self.lsq.store_address_ready(entry):
-            heappush(ready, (released.seq, released))
+            wake((released.seq, released))
 
     def _dispatch(self, fetch: FetchUnit) -> None:
         instr = fetch.peek()
@@ -404,7 +417,7 @@ class Processor:
         ruu_dispatch = ruu.dispatch
         lsq = self.lsq
         ready = self._ready
-        take = fetch.take
+        consume = fetch.consume
         peek = fetch.peek
         seq = self._seq
         for _ in range(self._fetch_width):
@@ -418,7 +431,7 @@ class Processor:
                 if observer is not None:
                     observer.accountant.note_dispatch_block("lsq_full")
                 break
-            take()
+            consume()
             entry = ruu_dispatch(seq, instr)
             seq += 1
             if instr.is_mem:
@@ -435,7 +448,7 @@ class Processor:
                     )
             if entry.remaining_deps == 0:
                 entry.state = READY
-                heappush(ready, (entry.seq, entry))
+                ready.append((entry.seq, entry))
             instr = peek()
         self._seq = seq
 

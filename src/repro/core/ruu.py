@@ -102,22 +102,40 @@ class Ruu:
         sources) are tracked separately so the effective address can
         resolve before the store data arrives (STA/STD split).
         """
-        if self.full:
+        if len(self.entries) >= self.size:
             raise SimulationError("dispatch into a full RUU")
         entry = RuuEntry(seq, instr)
-        track_addr = instr.opclass is OpClass.STORE
-        for index, src in enumerate(instr.srcs):
-            if src == ZERO_REG:
-                continue
-            producer = self._latest_writer[src]
-            if producer is not None and producer.state != COMPLETED:
-                producer.consumers.append(entry)
-                entry.remaining_deps += 1
-                if track_addr and index < instr.addr_src_count:
-                    producer.addr_consumers.append(entry)
-                    entry.remaining_addr_deps += 1
-        if entry.dest is not None and entry.dest != ZERO_REG:
-            self._latest_writer[entry.dest] = entry
+        latest = self._latest_writer
+        if entry.is_store:
+            addr_count = instr.addr_src_count
+            deps = addr_deps = 0
+            for index, src in enumerate(instr.srcs):
+                if src == ZERO_REG:
+                    continue
+                producer = latest[src]
+                if producer is not None and producer.state != COMPLETED:
+                    producer.consumers.append(entry)
+                    deps += 1
+                    if index < addr_count:
+                        producer.addr_consumers.append(entry)
+                        addr_deps += 1
+            entry.remaining_deps = deps
+            entry.remaining_addr_deps = addr_deps
+        else:
+            # Non-stores track no separate address operands: one tight
+            # loop without the per-source index bookkeeping.
+            deps = 0
+            for src in instr.srcs:
+                if src == ZERO_REG:
+                    continue
+                producer = latest[src]
+                if producer is not None and producer.state != COMPLETED:
+                    producer.consumers.append(entry)
+                    deps += 1
+            entry.remaining_deps = deps
+        dest = entry.dest
+        if dest is not None and dest != ZERO_REG:
+            latest[dest] = entry
         self.entries.append(entry)
         self.dispatched += 1
         return entry

@@ -10,6 +10,14 @@ See ``docs/engine.md`` for the cache layout, invalidation rules and the
 parallelism model.
 """
 
+from .amortize import (
+    clear_registries,
+    get_trace,
+    get_warm_state,
+    prepare,
+    trace_key,
+    warm_key,
+)
 from .executor import (
     ProgressCallback,
     RunEvent,
@@ -41,7 +49,13 @@ __all__ = [
     "StoreInfo",
     "SweepExecutor",
     "WorkUnit",
+    "clear_registries",
     "compute_code_version",
     "default_jobs",
+    "get_trace",
+    "get_warm_state",
+    "prepare",
     "simulate_payload",
+    "trace_key",
+    "warm_key",
 ]

@@ -1,0 +1,168 @@
+"""Sweep-level amortization: share traces and warm-up state across units.
+
+A port-model sweep (Table 3, Figure 4, ...) runs the *same* workload at
+the *same* seed and budgets against many machine configurations.  Two
+pieces of per-unit work are invariant across such a sweep and this module
+amortizes both:
+
+* **Stream generation.**  :func:`get_trace` materializes each
+  ``(workload, seed, length)`` span once into a
+  :class:`~repro.workloads.materialize.MaterializedWorkload` and keeps it
+  in a module-level registry; subsequent units replay the frozen list.
+  With a persistent store enabled the trace also lands on disk under
+  ``results/cache/traces/`` so later invocations skip generation too.
+
+* **Warm-up.**  :func:`get_warm_state` fast-forwards the warm-up prefix
+  through a throwaway :class:`~repro.memory.hierarchy.MemoryHierarchy`
+  once per ``(workload, seed, warmup, cache-config)`` and checkpoints the
+  result; every port model sharing the cache hierarchy restores the
+  snapshot instead of re-walking the prefix.  The key covers only the L1
+  and L2 configs — warming never touches main memory or port state — so
+  e.g. all seven Table 3 port configurations share one warm-up.
+
+The registries are module-level *by design*: the engine populates them in
+the parent process before creating its fork-based worker pool, so workers
+inherit the shared traces copy-on-write instead of regenerating them.
+(If a worker ever misses — e.g. under a spawn start method — it falls
+back to building locally; results are identical either way, just slower.)
+
+Correctness: amortization is a pure execution strategy.  Replayed
+instructions are the generator's own output and the warm snapshot
+captures exactly the state the warm walk would have produced, so a unit
+resolves to a bit-identical :class:`~repro.core.results.SimResult`
+whether amortization is on or off — which is why none of this appears in
+:meth:`WorkUnit.key() <repro.engine.executor.WorkUnit.key>`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from ..common.config import MachineConfig
+from ..common.serialize import fingerprint_of
+from ..memory.hierarchy import MemoryHierarchy
+from ..workloads.materialize import (
+    MaterializedWorkload,
+    load_trace,
+    materialize,
+    save_trace,
+)
+from ..workloads.spec95 import spec95_workload
+
+TraceKey = Tuple[str, int, int]
+
+_TRACES: Dict[TraceKey, MaterializedWorkload] = {}
+_WARM_STATES: Dict[str, Dict[str, Any]] = {}
+
+
+def trace_key(benchmark: str, seed: int, length: int) -> TraceKey:
+    return (benchmark, seed, length)
+
+
+def warm_key(
+    benchmark: str, seed: int, warmup: int, machine: MachineConfig
+) -> str:
+    """Identity of one warm-up checkpoint.
+
+    Deliberately covers only the workload span and the L1/L2 configs:
+    :meth:`MemoryHierarchy.warm` never touches main-memory or port-model
+    state, so machines differing only there share a checkpoint.
+    """
+    return fingerprint_of(
+        {
+            "benchmark": benchmark,
+            "seed": seed,
+            "warmup": warmup,
+            "l1": machine.l1.to_dict(),
+            "l2": machine.l2.to_dict(),
+        }
+    )
+
+
+def get_trace(
+    benchmark: str,
+    seed: int,
+    length: int,
+    trace_root: Optional[str] = None,
+) -> Tuple[MaterializedWorkload, str]:
+    """The materialized trace for one span, building it at most once.
+
+    Returns ``(trace, source)`` where source is ``"memory"``, ``"disk"``
+    or ``"built"``.  ``trace_root`` names the on-disk trace directory
+    (the engine uses ``<result store root>/traces``); ``None`` keeps the
+    trace in memory only — engines without a result store stay entirely
+    off the filesystem.
+    """
+    key = trace_key(benchmark, seed, length)
+    trace = _TRACES.get(key)
+    if trace is not None:
+        return trace, "memory"
+    if trace_root is not None:
+        trace = load_trace(benchmark, seed, length, root=trace_root)
+        if trace is not None:
+            _TRACES[key] = trace
+            return trace, "disk"
+    trace = materialize(spec95_workload(benchmark), seed, length)
+    _TRACES[key] = trace
+    if trace_root is not None:
+        save_trace(trace, root=trace_root)
+    return trace, "built"
+
+
+def get_warm_state(
+    trace: MaterializedWorkload,
+    warmup_instructions: int,
+    machine: MachineConfig,
+) -> Tuple[Dict[str, Any], str]:
+    """The post-warm-up checkpoint for ``trace`` on ``machine``'s caches.
+
+    Computed by walking the warm-up prefix through a fresh throwaway
+    hierarchy — the exact walk :meth:`Processor.run` would perform — then
+    captured via :meth:`MemoryHierarchy.capture_warm_state`.  Returns
+    ``(state, source)`` with source ``"memory"`` or ``"built"``; the state
+    dict carries ``hierarchy`` (the snapshot) and ``warmed`` (how many
+    instructions the prefix actually held, which is where replay resumes).
+    """
+    key = warm_key(trace.name, trace.seed, warmup_instructions, machine)
+    state = _WARM_STATES.get(key)
+    if state is not None:
+        return state, "memory"
+    hierarchy = MemoryHierarchy(machine.l1, machine.l2, machine.memory)
+    warm = hierarchy.warm
+    warmed = 0
+    for instr in trace.instructions[:warmup_instructions]:
+        warmed += 1
+        if instr.is_mem:
+            warm(instr.addr, instr.is_store)
+    state = {
+        "hierarchy": hierarchy.capture_warm_state(),
+        "warmed": warmed,
+    }
+    _WARM_STATES[key] = state
+    return state, "built"
+
+
+def prepare(
+    unit: Any, trace_root: Optional[str] = None
+) -> Dict[str, Optional[str]]:
+    """Populate the registries for one work unit (parent-side, pre-fork).
+
+    Returns where each artifact came from so the engine can count hits:
+    ``{"trace": "memory"|"disk"|"built", "warm": None|"memory"|"built"}``.
+    """
+    length = unit.warmup_instructions + unit.instructions
+    trace, trace_source = get_trace(
+        unit.benchmark, unit.seed, length, trace_root=trace_root
+    )
+    warm_source: Optional[str] = None
+    if unit.warmup_instructions:
+        _, warm_source = get_warm_state(
+            trace, unit.warmup_instructions, unit.machine
+        )
+    return {"trace": trace_source, "warm": warm_source}
+
+
+def clear_registries() -> None:
+    """Drop all in-memory traces and warm checkpoints (tests, benchmarks)."""
+    _TRACES.clear()
+    _WARM_STATES.clear()

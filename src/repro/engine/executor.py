@@ -117,9 +117,13 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
 
     Pure function of the payload (the workload stream is deterministic
     in the seed), so parallel and serial execution agree bit-for-bit.
+
+    When the payload carries ``amortize``, the stream is replayed from
+    the shared materialized trace and warm-up restores from a checkpoint
+    (see :mod:`repro.engine.amortize`) — an execution strategy, not part
+    of the unit's identity, so the result is bit-identical either way.
     """
     machine = machine_config_from_dict(payload["machine"])
-    workload = spec95_workload(payload["benchmark"])
     observer = None
     if payload.get("observe") or payload.get("trace"):
         from ..obs import EventTrace, Observer
@@ -132,12 +136,37 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             )
         observer = Observer(trace=trace)
     processor = Processor(machine, label=payload["label"], observer=observer)
-    start = time.perf_counter()
-    result = processor.run(
-        workload.stream(seed=payload["seed"]),
-        max_instructions=payload["instructions"],
-        warmup_instructions=payload["warmup_instructions"],
-    )
+    warmup = payload["warmup_instructions"]
+    if payload.get("amortize"):
+        from .amortize import get_trace, get_warm_state
+
+        length = warmup + payload["instructions"]
+        materialized, _ = get_trace(
+            payload["benchmark"],
+            payload["seed"],
+            length,
+            trace_root=payload.get("trace_root"),
+        )
+        warm_state = None
+        warmed = 0
+        if warmup:
+            warm_state, _ = get_warm_state(materialized, warmup, machine)
+            warmed = warm_state["warmed"]
+        start = time.perf_counter()
+        result = processor.run(
+            materialized.suffix(warmed),
+            max_instructions=payload["instructions"],
+            warmup_instructions=warmup,
+            warm_state=warm_state,
+        )
+    else:
+        workload = spec95_workload(payload["benchmark"])
+        start = time.perf_counter()
+        result = processor.run(
+            workload.stream(seed=payload["seed"]),
+            max_instructions=payload["instructions"],
+            warmup_instructions=warmup,
+        )
     return {
         "result": result.to_dict(),
         "wall_time": time.perf_counter() - start,
@@ -182,11 +211,13 @@ class SimulationEngine:
         store: Optional[ResultStore] = None,
         progress: Optional[ProgressCallback] = None,
         stats: Optional[StatGroup] = None,
+        amortize: bool = True,
     ) -> None:
         self.settings = settings or RunSettings()
         self.jobs = max(1, jobs if jobs is not None else default_jobs())
         self.store = store
         self.progress = progress
+        self.amortize = amortize
         self.stats = stats or StatGroup("engine")
         self._cache_stats = self.stats.group("cache")
         self._run_stats = self.stats.group("runs")
@@ -255,6 +286,8 @@ class SimulationEngine:
             pending_indices[fingerprint] = [index]
 
         if pending:
+            if self.amortize:
+                self._prepare_amortization(pending.values())
             ordered = list(pending.items())
             for (fingerprint, unit), outcome in zip(
                 ordered, self._execute([u for _, u in ordered])
@@ -273,11 +306,49 @@ class SimulationEngine:
 
         return [result for result in results if result is not None]
 
+    def _trace_root(self) -> Optional[str]:
+        """On-disk trace directory: rides with the result store's root
+        (``<root>/traces``), or ``None`` when persistence is disabled."""
+        if self.store is None:
+            return None
+        return str(self.store.root / "traces")
+
+    def _prepare_amortization(self, units: Iterable[WorkUnit]) -> None:
+        """Materialize traces and warm checkpoints for ``units`` once,
+        parent-side, so forked workers inherit them (see
+        :mod:`repro.engine.amortize`).  Counts land next to the result
+        cache counters: ``trace_hits`` / ``traces_materialized`` and
+        ``warmup_hits`` / ``warmups_computed``."""
+        from .amortize import prepare
+
+        cache = self._cache_stats
+        trace_root = self._trace_root()
+        for unit in units:
+            sources = prepare(unit, trace_root=trace_root)
+            if sources["trace"] == "built":
+                cache.counter("traces_materialized").add()
+            else:
+                cache.counter("trace_hits").add()
+            if sources["warm"] == "built":
+                cache.counter("warmups_computed").add()
+            elif sources["warm"] is not None:
+                cache.counter("warmup_hits").add()
+
     def _execute(
         self, units: Sequence[WorkUnit]
     ) -> Iterable[Dict[str, Any]]:
-        """Simulate ``units``, inline or across the process pool."""
+        """Simulate ``units``, inline or across the process pool.
+
+        Amortization flags ride on the payload, not the unit key: they
+        change how a result is computed, never what it is, so cached and
+        fresh results stay interchangeable.
+        """
         payloads = [unit.payload() for unit in units]
+        if self.amortize:
+            trace_root = self._trace_root()
+            for payload in payloads:
+                payload["amortize"] = True
+                payload["trace_root"] = trace_root
         if self.jobs == 1 or len(payloads) == 1:
             return [simulate_payload(payload) for payload in payloads]
         workers = min(self.jobs, len(payloads))
@@ -353,6 +424,10 @@ class SimulationEngine:
             "memory_hits": cache.counter("memory_hits").value,
             "disk_hits": cache.counter("disk_hits").value,
             "misses": cache.counter("misses").value,
+            "trace_hits": cache.counter("trace_hits").value,
+            "traces_materialized": cache.counter("traces_materialized").value,
+            "warmup_hits": cache.counter("warmup_hits").value,
+            "warmups_computed": cache.counter("warmups_computed").value,
             "simulated": self._run_stats.counter("simulated").value,
             "sim_seconds": self._sim_seconds,
         }
@@ -361,7 +436,7 @@ class SimulationEngine:
         """One-line human summary of the engine's cache behaviour."""
         summary = self.cache_summary()
         hits = summary["memory_hits"] + summary["disk_hits"]
-        return (
+        line = (
             f"engine: {summary['simulated']:.0f} simulations "
             f"({summary['sim_seconds']:.1f}s), "
             f"{hits:.0f} cache hits "
@@ -369,3 +444,10 @@ class SimulationEngine:
             f"{summary['disk_hits']:.0f} disk), "
             f"{summary['misses']:.0f} misses, jobs={self.jobs}"
         )
+        reused = summary["trace_hits"] + summary["warmup_hits"]
+        if reused:
+            line += (
+                f", amortized {summary['trace_hits']:.0f} traces + "
+                f"{summary['warmup_hits']:.0f} warm-ups"
+            )
+        return line

@@ -102,6 +102,20 @@ class MemoryBackend:
         if not self.l2_array.access(addr, is_write=True):
             self.l2_array.fill(addr, dirty=True)
 
+    def warm_state(self) -> dict:
+        """Everything :meth:`MemoryHierarchy.warm` can touch in the backend:
+        the L2 content and the writeback counter.  Timing state (pipeline
+        cursor, outstanding window) is untouched by warming and therefore
+        not captured."""
+        return {
+            "l2": self.l2_array.snapshot(),
+            "writebacks": self._writebacks.value,
+        }
+
+    def restore_warm_state(self, state: dict) -> None:
+        self.l2_array.restore(state["l2"])
+        self._writebacks.value = state["writebacks"]
+
     @property
     def outstanding(self) -> int:
         """Number of fills still in flight (pruned lazily on request)."""

@@ -91,6 +91,27 @@ class CacheArray:
                 return ProbeResult(hit=True, set_index=set_index, tag=tag)
         return ProbeResult(hit=False, set_index=set_index, tag=tag)
 
+    def reference_hit(self, addr: int, is_write: bool) -> bool:
+        """Probe and touch in one scan (the demand-access hot path).
+
+        Semantically :meth:`probe` followed, on a hit, by :meth:`access`:
+        the LRU stamp, dirty bit and hit counter update exactly as that
+        pair would.  On a miss *nothing* changes — no LRU tick and no
+        miss count — matching the probe-only behaviour the timing
+        hierarchy wants (its misses are tracked at the MSHR level).
+        """
+        set_index = (addr >> self._offset_bits) & self._index_mask
+        tag = addr >> (self._offset_bits + self._index_bits)
+        for way in self._sets[set_index]:
+            if way.valid and way.tag == tag:
+                self._tick += 1
+                way.lru = self._tick
+                if is_write:
+                    way.dirty = True
+                self._hits.add()
+                return True
+        return False
+
     def access(self, addr: int, is_write: bool) -> bool:
         """Reference ``addr``: update LRU and dirty state; return hit/miss.
 
@@ -147,6 +168,53 @@ class CacheArray:
         victim.dirty = dirty
         victim.lru = self._tick
         return FillResult(writeback_line_addr=writeback)
+
+    # -- checkpointing -------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Capture the complete array state (tags, LRU, counters).
+
+        The snapshot is a plain picklable dict so warmed cache contents
+        can be cached per workload and restored into fresh arrays (see
+        :meth:`restore`), instead of replaying the warm-up reference
+        stream once per machine configuration.
+        """
+        ways = []
+        for set_index, line in enumerate(self._sets):
+            for slot, way in enumerate(line):
+                if way.valid:
+                    ways.append((set_index, slot, way.tag, way.dirty, way.lru))
+        return {
+            "tick": self._tick,
+            "ways": ways,
+            "counters": {
+                "hits": self._hits.value,
+                "misses": self._misses.value,
+                "evictions": self._evictions.value,
+                "writebacks": self._writebacks.value,
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore a :meth:`snapshot` into this array (geometry must match)."""
+        for line in self._sets:
+            for way in line:
+                way.valid = False
+                way.dirty = False
+                way.tag = 0
+                way.lru = 0
+        for set_index, slot, tag, dirty, lru in state["ways"]:
+            way = self._sets[set_index][slot]
+            way.valid = True
+            way.tag = tag
+            way.dirty = dirty
+            way.lru = lru
+        self._tick = state["tick"]
+        counters = state["counters"]
+        self._hits.value = counters["hits"]
+        self._misses.value = counters["misses"]
+        self._evictions.value = counters["evictions"]
+        self._writebacks.value = counters["writebacks"]
 
     def invalidate(self, addr: int) -> bool:
         """Drop the line containing ``addr``; return whether it was present."""

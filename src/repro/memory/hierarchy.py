@@ -106,11 +106,9 @@ class MemoryHierarchy:
         if addr < 0:
             raise SimulationError(f"negative address {addr}")
         config = self.l1_config
-        probe = self.l1_array.probe(addr)
-        if probe.hit:
-            # a write dirties the line only under a write-back policy;
-            # write-through sends the data to the L2 immediately
-            self.l1_array.access(addr, is_write and config.writeback)
+        # a write dirties the line only under a write-back policy;
+        # write-through sends the data to the L2 immediately
+        if self.l1_array.reference_hit(addr, is_write and config.writeback):
             if is_write and not config.writeback:
                 self.backend.write_through(addr)
             self._accesses.value += 1
@@ -189,6 +187,27 @@ class MemoryHierarchy:
         l2 = self.backend.l2_array
         if not l2.access(addr, is_write=False):
             l2.fill(addr, dirty=False)
+
+    def capture_warm_state(self) -> dict:
+        """Snapshot everything :meth:`warm` can have touched.
+
+        The warm-up walk is purely functional — it installs lines in the
+        L1 and L2 arrays and counts writebacks; it never touches MSHRs,
+        the backend request pipeline, or timing state.  The snapshot is
+        therefore small and restoring it into a *fresh* hierarchy with the
+        same L1/L2 geometry reproduces the post-warm-up state exactly,
+        which is what lets one warm-up serve every port model sharing a
+        cache configuration.
+        """
+        return {
+            "l1": self.l1_array.snapshot(),
+            "backend": self.backend.warm_state(),
+        }
+
+    def restore_warm_state(self, state: dict) -> None:
+        """Restore a :meth:`capture_warm_state` snapshot (same geometry)."""
+        self.l1_array.restore(state["l1"])
+        self.backend.restore_warm_state(state["backend"])
 
     # -- bookkeeping ---------------------------------------------------------
 

@@ -1,6 +1,7 @@
 """Workloads: burst kernels, benchmark mixes, SPEC95 models, traces."""
 
 from .base import BurstKernel, IterableWorkload, RegisterPool, Workload
+from .materialize import TRACE_SCHEMA_VERSION, MaterializedWorkload, materialize
 from .kernels import (
     HashTableKernel,
     MultiArrayWalkKernel,
@@ -33,6 +34,7 @@ __all__ = [
     "HashTableKernel",
     "IterableWorkload",
     "KernelMix",
+    "MaterializedWorkload",
     "MultiArrayWalkKernel",
     "Phase",
     "PhasedWorkload",
@@ -47,10 +49,12 @@ __all__ = [
     "SequentialWalkKernel",
     "StackFrameKernel",
     "StatisticalWorkload",
+    "TRACE_SCHEMA_VERSION",
     "TiledWalkKernel",
     "Workload",
     "all_benchmarks",
     "load_trace",
+    "materialize",
     "miss_heavy_mix",
     "save_trace",
     "spec95_workload",

@@ -17,6 +17,7 @@ are such mixes, calibrated against the paper's Table 2 and Figure 3.
 from __future__ import annotations
 
 import abc
+import inspect
 import itertools
 from typing import Iterable, Iterator, List, Optional
 
@@ -54,21 +55,52 @@ class Workload(abc.ABC):
 
 class IterableWorkload(Workload):
     """Wrap a replayable iterable (e.g. a list of instructions or a
-    factory of interpreter runs) as a workload."""
+    factory of interpreter runs) as a workload.
+
+    Determinism contract: if the factory is seedable (it accepts a
+    ``seed`` keyword, or ``**kwargs``), :meth:`stream` forwards its
+    ``seed`` and the factory must return an identical iterable for an
+    identical seed.  A no-argument factory (a frozen list, a trace file
+    reader) is treated as seed-independent: every seed replays the same
+    stream, which is the correct reading for fixed-content sources —
+    the seed is *not* silently meaningful-but-ignored.
+    """
 
     def __init__(self, factory, name: str = "custom") -> None:
-        """``factory`` is called with no arguments and must return a fresh
-        iterable of :class:`DynInstr` each time."""
+        """``factory`` returns a fresh iterable of :class:`DynInstr` each
+        call.  It may accept a ``seed`` keyword argument; whether it does
+        is inspected once, here."""
         self.name = name
         self._factory = factory
+        self._seedable = _accepts_seed(factory)
 
     def stream(
         self, seed: int = 0, max_instructions: Optional[int] = None
     ) -> Iterator[DynInstr]:
-        iterator = iter(self._factory())
+        if self._seedable:
+            iterator = iter(self._factory(seed=seed))
+        else:
+            iterator = iter(self._factory())
         if max_instructions is not None:
             iterator = itertools.islice(iterator, max_instructions)
         return iterator
+
+
+def _accepts_seed(factory) -> bool:
+    """Whether ``factory`` can be called as ``factory(seed=...)``."""
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return False
+    for parameter in signature.parameters.values():
+        if parameter.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if parameter.name == "seed" and parameter.kind in (
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        ):
+            return True
+    return False
 
 
 class RegisterPool:

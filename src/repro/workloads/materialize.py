@@ -1,0 +1,283 @@
+"""Trace materialization: capture a dynamic instruction stream once,
+replay it many times.
+
+Every experiment sweep replays the *same* workload stream against many
+machine configurations, yet a plain :class:`~repro.workloads.base.Workload`
+regenerates the stream — kernel bursts, RNG draws, padding dithers —
+instruction by instruction for every run.  :func:`materialize` walks the
+generator once and freezes the result into a :class:`MaterializedWorkload`
+whose :meth:`~MaterializedWorkload.stream` replays the captured
+instructions bit-for-bit.  The captured :class:`DynInstr` objects are
+immutable as far as the simulator is concerned (the core copies their
+fields into its own RUU entries), so one trace can back any number of
+concurrent or sequential simulations, including forked worker processes.
+
+Traces can also persist on disk (default ``results/cache/traces/``,
+rooted at ``$REPRO_CACHE_DIR`` when set) in a compact flat-array format.
+Each file is stamped with :data:`TRACE_SCHEMA_VERSION` and a content hash
+of the stream-defining source packages (``workloads``, ``isa``,
+``common``), so editing any code that could change a stream invalidates
+every stored trace; a stale, truncated or corrupt file reads as a miss
+and is rebuilt, never replayed wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from array import array
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from ..common.errors import WorkloadError
+from ..common.serialize import fingerprint_of
+from ..isa.instruction import DynInstr
+from ..isa.opcodes import OpClass
+from .base import Workload
+
+#: Bump when the on-disk trace encoding changes shape.
+TRACE_SCHEMA_VERSION = 1
+
+#: Trace directory relative to the cache root (see :func:`trace_dir`).
+TRACES_SUBDIR = "traces"
+
+_MAGIC = b"REPROTRACE\n"
+
+#: Source packages whose code determines stream content.  Editing any
+#: file under these invalidates every stored trace (the timing packages
+#: — core, memory — deliberately do not: they consume streams, they
+#: cannot change them).
+_STREAM_PACKAGES = ("workloads", "isa", "common")
+
+_code_version_cache: Optional[str] = None
+
+
+def trace_code_version() -> str:
+    """Content hash of the stream-defining source packages."""
+    global _code_version_cache
+    if _code_version_cache is not None:
+        return _code_version_cache
+    package_root = Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for package in _STREAM_PACKAGES:
+        base = package_root / package
+        for path in sorted(base.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+            digest.update(b"\0")
+    _code_version_cache = digest.hexdigest()[:16]
+    return _code_version_cache
+
+
+def trace_dir(root: Union[str, Path, None] = None) -> Path:
+    """The on-disk trace directory.
+
+    Defaults to ``<cache root>/traces`` where the cache root honours the
+    ``REPRO_CACHE_DIR`` environment variable (the same root the engine's
+    :class:`~repro.engine.store.ResultStore` uses).
+    """
+    if root is not None:
+        return Path(root)
+    base = os.environ.get("REPRO_CACHE_DIR", "results/cache")
+    return Path(base) / TRACES_SUBDIR
+
+
+def trace_fingerprint(workload_name: str, seed: int, length: int) -> str:
+    """Stable identity of one materialized span (the file name)."""
+    return fingerprint_of(
+        {"workload": workload_name, "seed": seed, "length": length}
+    )
+
+
+class MaterializedWorkload(Workload):
+    """A workload frozen into a concrete instruction list.
+
+    Satisfies the :class:`Workload` API bit-for-bit *for the seed it was
+    materialized with*: ``stream(seed=s)`` yields exactly the
+    instructions the source workload's ``stream(seed=s)`` yielded when
+    the trace was captured.  Asking for a different seed, or for more
+    instructions than were captured, raises :class:`WorkloadError`
+    instead of silently diverging from the source.
+    """
+
+    def __init__(
+        self, name: str, seed: int, instructions: List[DynInstr]
+    ) -> None:
+        self.name = name
+        self.seed = seed
+        #: the captured dynamic instructions, in program order
+        self.instructions = instructions
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def stream(
+        self, seed: int = 0, max_instructions: Optional[int] = None
+    ) -> Iterator[DynInstr]:
+        if seed != self.seed:
+            raise WorkloadError(
+                f"trace {self.name!r} was materialized with seed "
+                f"{self.seed}, not {seed}; materialize a trace per seed"
+            )
+        if max_instructions is not None:
+            if max_instructions > len(self.instructions):
+                raise WorkloadError(
+                    f"trace {self.name!r} holds {len(self.instructions)} "
+                    f"instructions; {max_instructions} requested"
+                )
+            return iter(self.instructions[:max_instructions])
+        return iter(self.instructions)
+
+    def suffix(self, start: int) -> Iterator[DynInstr]:
+        """Replay from instruction ``start`` onward (e.g. past a warmed
+        prefix).  Plain list slicing: O(1) to begin, no regeneration."""
+        return iter(self.instructions[start:])
+
+
+def materialize(
+    workload: Workload, seed: int, length: int
+) -> MaterializedWorkload:
+    """Walk ``workload.stream(seed, length)`` once and freeze the result."""
+    instructions = list(workload.stream(seed, length))
+    return MaterializedWorkload(workload.name, seed, instructions)
+
+
+# -- on-disk codec -----------------------------------------------------------
+#
+# Layout: magic line, one JSON header line, then seven little-endian
+# int64 flat arrays back to back (their element counts are in the
+# header).  ``None`` fields encode as -1.  A final sha256 of the array
+# bytes guards against truncation.
+
+
+def save_trace(
+    trace: MaterializedWorkload,
+    root: Union[str, Path, None] = None,
+) -> Optional[Path]:
+    """Persist ``trace`` atomically; returns the path, or ``None`` if the
+    write failed (a trace store is an optimization, never a hard error)."""
+    directory = trace_dir(root)
+    instrs = trace.instructions
+    ops = array("q", (i.opclass for i in instrs))
+    dests = array("q", (-1 if i.dest is None else i.dest for i in instrs))
+    addrs = array("q", (-1 if i.addr is None else i.addr for i in instrs))
+    sizes = array("q", (i.size for i in instrs))
+    addr_counts = array("q", (i.addr_src_count for i in instrs))
+    nsrcs = array("q", (len(i.srcs) for i in instrs))
+    srcs = array("q")
+    for i in instrs:
+        srcs.extend(i.srcs)
+    blobs = [ops, dests, addrs, sizes, addr_counts, nsrcs, srcs]
+    payload = b"".join(blob.tobytes() for blob in blobs)
+    header = {
+        "schema": TRACE_SCHEMA_VERSION,
+        "code_version": trace_code_version(),
+        "workload": trace.name,
+        "seed": trace.seed,
+        "length": len(instrs),
+        "srcs_length": len(srcs),
+        "sha256": hashlib.sha256(payload).hexdigest(),
+    }
+    path = directory / f"{trace_fingerprint(trace.name, trace.seed, len(instrs))}.trace"
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "wb", dir=str(directory), prefix=".tmp-", suffix=".trace",
+            delete=False,
+        )
+        with handle:
+            handle.write(_MAGIC)
+            handle.write(json.dumps(header, sort_keys=True).encode("ascii"))
+            handle.write(b"\n")
+            handle.write(payload)
+        os.replace(handle.name, path)
+    except OSError:
+        try:
+            os.unlink(handle.name)
+        except (OSError, UnboundLocalError):
+            pass
+        return None
+    return path
+
+
+def load_trace(
+    workload_name: str,
+    seed: int,
+    length: int,
+    root: Union[str, Path, None] = None,
+) -> Optional[MaterializedWorkload]:
+    """Load a stored trace, or ``None`` on *any* mismatch.
+
+    Invalidation is safe by construction: a missing file, a schema or
+    code-version bump, a truncated payload or a checksum mismatch all
+    read as a miss — the caller re-materializes and overwrites.
+    """
+    path = trace_dir(root) / f"{trace_fingerprint(workload_name, seed, length)}.trace"
+    try:
+        raw = path.read_bytes()
+    except OSError:
+        return None
+    if not raw.startswith(_MAGIC):
+        return None
+    try:
+        newline = raw.index(b"\n", len(_MAGIC))
+        header = json.loads(raw[len(_MAGIC):newline])
+    except (ValueError, TypeError):
+        return None
+    if not isinstance(header, dict):
+        return None
+    if header.get("schema") != TRACE_SCHEMA_VERSION:
+        return None
+    if header.get("code_version") != trace_code_version():
+        return None
+    if (
+        header.get("workload") != workload_name
+        or header.get("seed") != seed
+        or header.get("length") != length
+    ):
+        return None
+    payload = raw[newline + 1:]
+    if hashlib.sha256(payload).hexdigest() != header.get("sha256"):
+        return None
+    n = length
+    n_srcs = header.get("srcs_length")
+    if not isinstance(n_srcs, int):
+        return None
+    expected = (6 * n + n_srcs) * 8
+    if len(payload) != expected:
+        return None
+    flat = array("q")
+    flat.frombytes(payload)
+    ops = flat[0:n]
+    dests = flat[n:2 * n]
+    addrs = flat[2 * n:3 * n]
+    sizes = flat[3 * n:4 * n]
+    addr_counts = flat[4 * n:5 * n]
+    nsrcs = flat[5 * n:6 * n]
+    srcs = flat[6 * n:]
+    instructions: List[DynInstr] = []
+    append = instructions.append
+    cursor = 0
+    try:
+        opclasses = [OpClass(op) for op in ops]
+    except ValueError:
+        return None
+    for index in range(n):
+        count = nsrcs[index]
+        dest = dests[index]
+        addr = addrs[index]
+        append(
+            DynInstr(
+                opclasses[index],
+                dest=None if dest < 0 else dest,
+                srcs=tuple(srcs[cursor:cursor + count]),
+                addr=None if addr < 0 else addr,
+                size=sizes[index],
+                addr_src_count=addr_counts[index],
+            )
+        )
+        cursor += count
+    return MaterializedWorkload(workload_name, seed, instructions)

@@ -1,0 +1,146 @@
+"""Sweep-level amortization: bit-identical results with trace replay and
+warm-up checkpoint restore, counter accounting, persistence, and
+invalidation."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro.common.config import (
+    BankedPortConfig,
+    IdealPortConfig,
+    LBICConfig,
+    ReplicatedPortConfig,
+    paper_machine,
+)
+from repro.core.processor import Processor
+from repro.engine import (
+    ResultStore,
+    RunSettings,
+    SimulationEngine,
+    clear_registries,
+    get_warm_state,
+)
+from repro.workloads import materialize
+from repro.workloads.mixes import miss_heavy_mix
+
+SETTINGS = RunSettings(instructions=1_500, warmup_instructions=1_000)
+
+PORT_MODELS = [
+    IdealPortConfig(ports=2),
+    ReplicatedPortConfig(ports=2),
+    BankedPortConfig(banks=4),
+    LBICConfig(banks=2, buffer_ports=2),
+]
+
+BENCHMARKS = ("gcc", "swim", "li")
+
+
+@pytest.fixture(autouse=True)
+def _fresh_registries():
+    clear_registries()
+    yield
+    clear_registries()
+
+
+def run_matrix(**engine_kwargs):
+    engine = SimulationEngine(SETTINGS, **engine_kwargs)
+    units = [
+        engine.unit(name, ports=ports)
+        for name in BENCHMARKS
+        for ports in PORT_MODELS
+    ]
+    return engine, [r.to_dict() for r in engine.run_units(units)]
+
+
+def test_amortized_matrix_is_bit_identical():
+    """The acceptance matrix: every (benchmark, port model) pair resolves
+    to the same SimResult — every field, including extras — with
+    amortization on or off."""
+    _, fresh = run_matrix(amortize=False)
+    _, amortized = run_matrix(amortize=True)
+    assert fresh == amortized
+
+
+def test_amortized_matrix_matches_in_parallel():
+    _, fresh = run_matrix(amortize=False)
+    _, amortized = run_matrix(amortize=True, jobs=2)
+    assert fresh == amortized
+
+
+@pytest.mark.parametrize("ports", PORT_MODELS, ids=lambda p: p.kind)
+def test_miss_heavy_warm_restore_is_bit_identical(ports):
+    """Processor-level equivalence for a non-SPEC workload: a run restored
+    from a warm checkpoint equals a run that walked the warm-up itself."""
+    warmup, timed = 1_000, 1_500
+    machine = paper_machine(ports)
+    trace = materialize(miss_heavy_mix(), seed=9, length=warmup + timed)
+
+    fresh = Processor(machine, label="miss_heavy").run(
+        trace.stream(seed=9),
+        max_instructions=timed,
+        warmup_instructions=warmup,
+    )
+    state, source = get_warm_state(trace, warmup, machine)
+    assert source == "built"
+    restored = Processor(machine, label="miss_heavy").run(
+        trace.suffix(state["warmed"]),
+        max_instructions=timed,
+        warmup_instructions=warmup,
+        warm_state=state,
+    )
+    assert fresh.to_dict() == restored.to_dict()
+
+
+def test_warm_checkpoint_shared_across_port_models():
+    """One warm-up per (workload, cache config), not per port model."""
+    engine, _ = run_matrix(amortize=True)
+    summary = engine.cache_summary()
+    assert summary["traces_materialized"] == len(BENCHMARKS)
+    assert summary["warmups_computed"] == len(BENCHMARKS)
+    assert summary["trace_hits"] == len(BENCHMARKS) * (len(PORT_MODELS) - 1)
+    assert summary["warmup_hits"] == len(BENCHMARKS) * (len(PORT_MODELS) - 1)
+
+
+def test_traces_persist_with_the_result_store(tmp_path):
+    store_dir = tmp_path / "cache"
+    engine = SimulationEngine(SETTINGS, store=ResultStore(store_dir))
+    engine.run_units([engine.unit("gcc", ports=IdealPortConfig(ports=2))])
+    traces = list((store_dir / "traces").glob("*.trace"))
+    assert len(traces) == 1
+
+    # A fresh process (registries cleared) with a cold *result* memo but
+    # the same store reads the trace back instead of regenerating it.
+    clear_registries()
+    second = SimulationEngine(SETTINGS, store=ResultStore(store_dir))
+    second.run_units(
+        [second.unit("gcc", ports=ReplicatedPortConfig(ports=2))]
+    )
+    assert second.cache_summary()["trace_hits"] == 1
+    assert second.cache_summary()["traces_materialized"] == 0
+
+
+def test_stale_trace_cache_is_rebuilt_not_reused(tmp_path, monkeypatch):
+    store_dir = tmp_path / "cache"
+    engine = SimulationEngine(SETTINGS, store=ResultStore(store_dir))
+    engine.run_units([engine.unit("gcc", ports=IdealPortConfig(ports=2))])
+
+    clear_registries()
+    materialize_module = importlib.import_module("repro.workloads.materialize")
+    monkeypatch.setattr(
+        materialize_module, "trace_code_version", lambda: "bumped"
+    )
+    second = SimulationEngine(SETTINGS, store=ResultStore(store_dir))
+    second.run_units([second.unit("gcc", ports=ReplicatedPortConfig(ports=2))])
+    summary = second.cache_summary()
+    assert summary["trace_hits"] == 0
+    assert summary["traces_materialized"] == 1
+
+
+def test_no_store_means_no_filesystem(tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    engine = SimulationEngine(SETTINGS, store=None)
+    engine.run_units([engine.unit("li", ports=IdealPortConfig(ports=2))])
+    assert not (tmp_path / "results").exists()

@@ -1,0 +1,109 @@
+"""Materialized traces: bit-exact replay, the seed/length contract, the
+on-disk codec round trip, and stale-cache invalidation."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+materialize_module = importlib.import_module("repro.workloads.materialize")
+
+from repro.common.errors import WorkloadError
+from repro.workloads import MaterializedWorkload, materialize, spec95_workload
+from repro.workloads.materialize import (
+    TRACE_SCHEMA_VERSION,
+    load_trace,
+    save_trace,
+    trace_dir,
+)
+from repro.workloads.mixes import miss_heavy_mix
+
+LENGTH = 2_000
+
+
+def instrs_equal(a, b):
+    fields = ("opclass", "dest", "srcs", "addr", "size", "addr_src_count")
+    return len(a) == len(b) and all(
+        getattr(x, f) == getattr(y, f) for x, y in zip(a, b) for f in fields
+    )
+
+
+@pytest.mark.parametrize("name", ["gcc", "swim"])
+def test_replay_matches_fresh_stream(name):
+    workload = spec95_workload(name)
+    trace = materialize(workload, seed=7, length=LENGTH)
+    fresh = list(spec95_workload(name).stream(seed=7, max_instructions=LENGTH))
+    assert instrs_equal(trace.instructions, fresh)
+    assert instrs_equal(list(trace.stream(seed=7)), fresh)
+    assert instrs_equal(list(trace.stream(seed=7, max_instructions=500)), fresh[:500])
+
+
+def test_suffix_resumes_mid_stream():
+    trace = materialize(miss_heavy_mix(), seed=3, length=LENGTH)
+    assert instrs_equal(list(trace.suffix(1_200)), trace.instructions[1_200:])
+
+
+def test_wrong_seed_raises():
+    trace = materialize(spec95_workload("li"), seed=5, length=200)
+    with pytest.raises(WorkloadError):
+        trace.stream(seed=6)
+
+
+def test_overlong_request_raises():
+    trace = materialize(spec95_workload("li"), seed=5, length=200)
+    with pytest.raises(WorkloadError):
+        trace.stream(seed=5, max_instructions=201)
+
+
+def test_disk_round_trip(tmp_path):
+    trace = materialize(spec95_workload("compress"), seed=2, length=LENGTH)
+    path = save_trace(trace, root=tmp_path)
+    assert path is not None and path.parent == tmp_path
+    loaded = load_trace("compress", 2, LENGTH, root=tmp_path)
+    assert isinstance(loaded, MaterializedWorkload)
+    assert loaded.seed == 2
+    assert instrs_equal(loaded.instructions, trace.instructions)
+
+
+def test_missing_and_mismatched_reads_are_misses(tmp_path):
+    trace = materialize(spec95_workload("compress"), seed=2, length=500)
+    save_trace(trace, root=tmp_path)
+    assert load_trace("compress", 3, 500, root=tmp_path) is None
+    assert load_trace("compress", 2, 400, root=tmp_path) is None
+    assert load_trace("gcc", 2, 500, root=tmp_path) is None
+
+
+def test_schema_bump_invalidates(tmp_path, monkeypatch):
+    trace = materialize(spec95_workload("li"), seed=1, length=300)
+    save_trace(trace, root=tmp_path)
+    assert load_trace("li", 1, 300, root=tmp_path) is not None
+    monkeypatch.setattr(
+        materialize_module, "TRACE_SCHEMA_VERSION", TRACE_SCHEMA_VERSION + 1
+    )
+    assert load_trace("li", 1, 300, root=tmp_path) is None
+
+
+def test_code_version_bump_invalidates(tmp_path, monkeypatch):
+    trace = materialize(spec95_workload("li"), seed=1, length=300)
+    save_trace(trace, root=tmp_path)
+    monkeypatch.setattr(
+        materialize_module, "trace_code_version", lambda: "different-version"
+    )
+    assert load_trace("li", 1, 300, root=tmp_path) is None
+
+
+def test_corrupt_payload_invalidates(tmp_path):
+    trace = materialize(spec95_workload("li"), seed=1, length=300)
+    path = save_trace(trace, root=tmp_path)
+    raw = bytearray(path.read_bytes())
+    raw[-5] ^= 0xFF  # flip a bit in the instruction arrays
+    path.write_bytes(bytes(raw))
+    assert load_trace("li", 1, 300, root=tmp_path) is None
+    path.write_bytes(b"not a trace at all")
+    assert load_trace("li", 1, 300, root=tmp_path) is None
+
+
+def test_trace_dir_honours_cache_env(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert trace_dir() == tmp_path / "elsewhere" / "traces"

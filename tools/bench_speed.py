@@ -10,6 +10,12 @@ Usage::
     PYTHONPATH=src python tools/bench_speed.py              # full grid
     PYTHONPATH=src python tools/bench_speed.py --quick      # CI smoke subset
     PYTHONPATH=src python tools/bench_speed.py --quick --check-regression
+    PYTHONPATH=src python tools/bench_speed.py --sweep      # end-to-end sweep
+
+``--sweep`` measures one full port-model sweep (every workload x every
+port model, cold engine, no persistent cache) twice — amortization off,
+then on — and records the wall time of each; this is the number that
+tracks what a Table 3 regeneration actually costs.
 
 ``--check-regression`` compares this run against the most recent
 *comparable* record already in the file (same quick flag, instruction
@@ -49,7 +55,12 @@ from repro.common.config import (  # noqa: E402
     paper_machine,
 )
 from repro.core.processor import Processor  # noqa: E402
-from repro.workloads import miss_heavy_mix, spec95_workload  # noqa: E402
+from repro.engine import (  # noqa: E402
+    RunSettings,
+    SimulationEngine,
+    clear_registries,
+)
+from repro.workloads import ALL_NAMES, miss_heavy_mix, spec95_workload  # noqa: E402
 
 PORT_MODELS = {
     "ideal:1": IdealPortConfig(1),
@@ -70,6 +81,10 @@ QUICK_CASES = [
     ("swim", "lbic:4x4"),
     ("miss_heavy", "ideal:4"),
 ]
+
+#: --sweep workload sets: the full Table-3 suite, or a quick subset
+SWEEP_WORKLOADS = list(ALL_NAMES)
+SWEEP_QUICK_WORKLOADS = ["gcc", "swim", "li"]
 
 
 def make_stream(workload: str, instructions: int, seed: int) -> list:
@@ -116,6 +131,56 @@ def bench_case(
     }
 
 
+def bench_sweep(
+    workloads: List[str],
+    instructions: int,
+    warmup: int,
+    seed: int,
+    jobs: int,
+) -> List[Dict[str, object]]:
+    """Wall time for one full port-model sweep, amortized vs fresh.
+
+    Every workload runs against every port model through a cold
+    :class:`SimulationEngine` (no persistent store, registries cleared),
+    so the measurement is end-to-end sweep cost: stream generation,
+    warm-up, and timed simulation.  ``instr_per_sec`` counts *timed*
+    instructions so the two modes gate against each other and against
+    history through the same regression check as the per-case grid.
+    """
+    settings = RunSettings(
+        instructions=instructions,
+        warmup_instructions=warmup,
+        seed=seed,
+        benchmarks=tuple(workloads),
+    )
+    total_instructions = instructions * len(workloads) * len(PORT_MODELS)
+    cases = []
+    for mode, amortize in (("fresh", False), ("amortized", True)):
+        clear_registries()
+        engine = SimulationEngine(
+            settings, jobs=jobs, store=None, amortize=amortize
+        )
+        units = [
+            engine.unit(workload, ports=config)
+            for workload in workloads
+            for config in PORT_MODELS.values()
+        ]
+        start = time.perf_counter()
+        engine.run_units(units)
+        wall = time.perf_counter() - start
+        cases.append(
+            {
+                "workload": "sweep",
+                "ports": mode,
+                "instr_per_sec": round(total_instructions / wall, 1),
+                "wall_seconds": round(wall, 3),
+                "units": len(units),
+            }
+        )
+    clear_registries()
+    return cases
+
+
 def git_revision() -> Optional[str]:
     try:
         out = subprocess.run(
@@ -142,9 +207,9 @@ def load_history(path: Path) -> List[dict]:
 
 def find_baseline(history: List[dict], record: dict) -> Optional[dict]:
     """Most recent prior record with the same measurement conditions."""
-    keys = ("quick", "instructions", "cycle_skipping")
+    keys = ("quick", "instructions", "cycle_skipping", "sweep")
     for prior in reversed(history):
-        if all(prior.get(k) == record[k] for k in keys):
+        if all(prior.get(k) == record.get(k) for k in keys):
             return prior
     return None
 
@@ -174,6 +239,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--rounds", type=int, default=None,
                         help="measurement rounds, best-of (default 3, quick 2)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--sweep", action="store_true",
+                        help="benchmark one end-to-end port-model sweep "
+                             "(all workloads x all port models through a cold "
+                             "engine), amortized vs fresh, instead of the "
+                             "per-case grid")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="sweep warm-up instructions "
+                             "(default 30000, quick 6000)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="sweep engine worker processes (default 1)")
     parser.add_argument("--no-skip", dest="skip", action="store_false",
                         help="disable event-horizon cycle skipping")
     parser.add_argument("--output", type=Path,
@@ -185,21 +260,42 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--note", default="", help="free-text tag for the record")
     args = parser.parse_args(argv)
 
-    instructions = args.instructions or (10_000 if args.quick else 20_000)
-    rounds = args.rounds or (2 if args.quick else 3)
-    if args.quick:
-        cases = QUICK_CASES
-    else:
-        cases = [(w, p) for w in FULL_WORKLOADS for p in PORT_MODELS]
-
-    measured = []
-    for workload, ports in cases:
-        case = bench_case(workload, ports, instructions, args.seed, rounds, args.skip)
-        measured.append(case)
-        print(
-            f"{workload:>10s} x {ports:<8s} {case['instr_per_sec']:>10,.0f} instr/s"
-            f"   ({case['cycles']:,} cycles, {case['skipped_cycles']:,} skipped)"
+    if args.sweep:
+        instructions = args.instructions or (4_000 if args.quick else 20_000)
+        warmup = args.warmup if args.warmup is not None else (
+            6_000 if args.quick else 30_000
         )
+        workloads = SWEEP_QUICK_WORKLOADS if args.quick else SWEEP_WORKLOADS
+        rounds = 1
+        measured = bench_sweep(
+            workloads, instructions, warmup, args.seed, args.jobs
+        )
+        for case in measured:
+            print(
+                f"{case['workload']:>10s} x {case['ports']:<10s}"
+                f" {case['wall_seconds']:>8.2f}s wall"
+                f"   ({case['instr_per_sec']:,.0f} timed instr/s,"
+                f" {case['units']} units)"
+            )
+        fresh, amortized = measured[0], measured[1]
+        speedup = fresh["wall_seconds"] / amortized["wall_seconds"]
+        print(f"sweep amortization speedup: {speedup:.2f}x")
+    else:
+        instructions = args.instructions or (10_000 if args.quick else 20_000)
+        rounds = args.rounds or (2 if args.quick else 3)
+        if args.quick:
+            cases = QUICK_CASES
+        else:
+            cases = [(w, p) for w in FULL_WORKLOADS for p in PORT_MODELS]
+
+        measured = []
+        for workload, ports in cases:
+            case = bench_case(workload, ports, instructions, args.seed, rounds, args.skip)
+            measured.append(case)
+            print(
+                f"{workload:>10s} x {ports:<8s} {case['instr_per_sec']:>10,.0f} instr/s"
+                f"   ({case['cycles']:,} cycles, {case['skipped_cycles']:,} skipped)"
+            )
 
     record = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -213,6 +309,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "note": args.note,
         "cases": measured,
     }
+    if args.sweep:
+        record["sweep"] = True
+        record["warmup_instructions"] = warmup
+        record["jobs"] = args.jobs
+        # the engine always runs with cycle skipping on
+        record["cycle_skipping"] = True
 
     history = load_history(args.output)
     baseline = find_baseline(history, record)

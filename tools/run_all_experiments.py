@@ -49,6 +49,12 @@ def parse_args(argv=None) -> argparse.Namespace:
         "--no-cache", action="store_true",
         help="do not read or write the persistent result cache",
     )
+    parser.add_argument(
+        "--no-amortize", action="store_true",
+        help="disable sweep-level amortization (shared materialized "
+             "traces and warm-up checkpoints); every unit then "
+             "regenerates its stream and re-walks its warm-up",
+    )
     return parser.parse_args(argv)
 
 
@@ -57,7 +63,9 @@ def main(argv=None) -> int:
     n = args.instructions
     settings = RunSettings(instructions=n)
     store = None if args.no_cache else ResultStore()
-    engine = SimulationEngine(settings, jobs=args.jobs, store=store)
+    engine = SimulationEngine(
+        settings, jobs=args.jobs, store=store, amortize=not args.no_amortize
+    )
     t0 = time.time()
 
     print(run_table2(settings).render(), flush=True)

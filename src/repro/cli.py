@@ -11,14 +11,17 @@ sweep ablations, and manage traces::
     repro-lbic run swim --ports lbic:4x4
     repro-lbic ablation lsq-depth
     repro-lbic stalls swim --ports bank:4   # where every cycle went
+    repro-lbic metrics swim --ports lbic:4x4  # occupancy + bank utilization
     repro-lbic trace swim out.trc -n 50000  # workload trace (replayable)
     repro-lbic trace swim --ports bank:4 events.jsonl   # timing events
     repro-lbic list
 
 Every timing subcommand accepts ``--jobs N`` (parallel workers; default:
-all cores) and ``--no-cache`` (skip the persistent result store under
-``results/cache/``).  ``repro-lbic cache info`` / ``cache clear``
-inspect and empty the store.
+all cores), ``--no-cache`` (skip the persistent result store under
+``results/cache/``) and ``--progress`` (live ``[done/total]`` line with
+an ETA on stderr).  ``repro-lbic cache info`` / ``cache clear`` inspect
+and empty the store, including the engine-telemetry JSONL exported under
+``results/cache/telemetry/``.
 """
 
 from __future__ import annotations
@@ -83,15 +86,24 @@ def _settings(args: argparse.Namespace):
 def _engine(args: argparse.Namespace, settings=None):
     """The simulation engine for one CLI invocation: parallel across
     ``--jobs`` workers, persisting to ``results/cache`` unless
-    ``--no-cache``."""
-    from .engine import ResultStore, SimulationEngine
+    ``--no-cache``, with a live progress line under ``--progress``."""
+    from .engine import ProgressPrinter, ResultStore, SimulationEngine
 
     store = None if getattr(args, "no_cache", False) else ResultStore()
+    progress = ProgressPrinter() if getattr(args, "progress", False) else None
     return SimulationEngine(
         settings if settings is not None else _settings(args),
         jobs=getattr(args, "jobs", None),
         store=store,
+        progress=progress,
     )
+
+
+def _finish(engine, code: int = 0) -> int:
+    """Flush engine telemetry (a no-op for store-less engines) and pass
+    the exit code through, so every command ends the same way."""
+    engine.flush_telemetry()
+    return code
 
 
 def _add_engine_opts(parser: argparse.ArgumentParser) -> None:
@@ -102,6 +114,10 @@ def _add_engine_opts(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="do not read or write the persistent result cache",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="live [done/total] progress line with an ETA (stderr)",
     )
 
 
@@ -128,15 +144,17 @@ def cmd_table2(args) -> int:
 def cmd_table3(args) -> int:
     from .experiments.table3 import run_table3
 
-    print(run_table3(engine=_engine(args)).render(include_paper=not args.no_paper))
-    return 0
+    engine = _engine(args)
+    print(run_table3(engine=engine).render(include_paper=not args.no_paper))
+    return _finish(engine)
 
 
 def cmd_table4(args) -> int:
     from .experiments.table4 import run_table4
 
-    print(run_table4(engine=_engine(args)).render(include_paper=not args.no_paper))
-    return 0
+    engine = _engine(args)
+    print(run_table4(engine=engine).render(include_paper=not args.no_paper))
+    return _finish(engine)
 
 
 def cmd_figure3(args) -> int:
@@ -153,9 +171,10 @@ def cmd_figure3(args) -> int:
 def cmd_claims(args) -> int:
     from .experiments.comparisons import run_claim_checks
 
-    report = run_claim_checks(engine=_engine(args))
+    engine = _engine(args)
+    report = run_claim_checks(engine=engine)
     print(report.render())
-    return 0 if report.all_passed else 1
+    return _finish(engine, 0 if report.all_passed else 1)
 
 
 def cmd_compare(args) -> int:
@@ -167,7 +186,7 @@ def cmd_compare(args) -> int:
     table3 = run_table3(engine=engine)
     table4 = run_table4(engine=engine)
     print(render_section6_table(table3, table4, banks=args.banks))
-    return 0
+    return _finish(engine)
 
 
 def cmd_run(args) -> int:
@@ -189,7 +208,7 @@ def cmd_run(args) -> int:
     refusals = {k: v for k, v in result.refusals.items() if v}
     if refusals:
         print(f"  refusals: {refusals}")
-    return 0
+    return _finish(engine)
 
 
 def cmd_ablation(args) -> int:
@@ -237,7 +256,7 @@ def cmd_ablation(args) -> int:
         for label, row in results.items():
             table.add_row([label] + list(row))
         print(table.render())
-    return 0
+    return _finish(engine)
 
 
 def cmd_analyze(args) -> int:
@@ -314,7 +333,7 @@ def cmd_trace(args) -> int:
         f"sample 1/{summary.get('sample_period', args.sample)})",
         file=sys.stderr,
     )
-    return 0
+    return _finish(engine)
 
 
 def cmd_stalls(args) -> int:
@@ -343,7 +362,41 @@ def cmd_stalls(args) -> int:
     print(result.summary())
     print()
     print(render_stalls(stalls, title=f"cycle attribution - {result.label}"))
-    return 0
+    return _finish(engine)
+
+
+def cmd_metrics(args) -> int:
+    """Structure-utilization metrics: occupancy histograms and per-bank
+    utilization for one benchmark/configuration pair."""
+    import json
+
+    from .engine import RunSettings
+    from .obs import prometheus_metrics, render_metrics
+
+    settings = RunSettings(
+        instructions=args.instructions,
+        seed=args.seed,
+        benchmarks=(args.benchmark,),
+        warmup_instructions=args.warmup,
+        observe=True,
+        metrics=True,
+    )
+    engine = _engine(args, settings=settings)
+    result = engine.result(args.benchmark, ports=args.ports)
+    metrics = result.extra.get("metrics")
+    if metrics is None:
+        print("error: the result carries no utilization metrics", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(metrics, indent=1, sort_keys=True))
+    elif args.prom:
+        labels = {"benchmark": args.benchmark, "ports": args.ports.describe()}
+        print(prometheus_metrics(metrics, labels=labels), end="")
+    else:
+        print(result.summary())
+        print()
+        print(render_metrics(metrics, title=f"resource utilization - {result.label}"))
+    return _finish(engine)
 
 
 def cmd_report(args) -> int:
@@ -359,18 +412,24 @@ def cmd_report(args) -> int:
     else:
         print(markdown, end="")
     print(engine.render_summary(), file=sys.stderr)
-    return 0
+    return _finish(engine)
 
 
 def cmd_cache(args) -> int:
-    from .engine import ResultStore
+    from .engine import ResultStore, clear_telemetry, render_telemetry_info
 
     store = ResultStore()
     if args.cache_command == "clear":
         removed = store.clear()
         print(f"removed {removed} cached result(s) from {store.root}")
+        removed_telemetry = clear_telemetry(store.root)
+        if removed_telemetry:
+            print(f"removed {removed_telemetry} telemetry file(s)")
     else:
         print(store.info().render())
+        telemetry = render_telemetry_info(store.root)
+        if telemetry is not None:
+            print(telemetry)
     return 0
 
 
@@ -495,6 +554,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=1)
     _add_engine_opts(p)
     p.set_defaults(func=cmd_stalls)
+
+    p = sub.add_parser(
+        "metrics",
+        help="structure-utilization metrics: RUU/LSQ/MSHR occupancy and "
+             "per-bank utilization histograms",
+    )
+    p.add_argument("benchmark", choices=sorted(ALL_NAMES))
+    p.add_argument("--ports", type=parse_ports,
+                   default=LBICConfig(banks=4, buffer_ports=4),
+                   help="ideal:N | repl:N | bank:M | lbic:MxN[:sqD]")
+    p.add_argument("-n", "--instructions", type=int, default=20_000)
+    p.add_argument("--warmup", type=int, default=30_000)
+    p.add_argument("--seed", type=int, default=1)
+    fmt = p.add_mutually_exclusive_group()
+    fmt.add_argument("--json", action="store_true",
+                     help="dump the raw metrics payload as JSON")
+    fmt.add_argument("--prom", action="store_true",
+                     help="emit Prometheus text-exposition gauges")
+    _add_engine_opts(p)
+    p.set_defaults(func=cmd_metrics)
 
     p = sub.add_parser(
         "report", help="run every core experiment and emit a markdown report"

@@ -49,9 +49,53 @@ class Histogram:
     def record(self, value: int, count: int = 1) -> None:
         self.buckets[value] = self.buckets.get(value, 0) + count
 
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold ``other``'s buckets into this histogram and return ``self``.
+
+        Merging is associative and commutative, so per-shard histograms
+        (one per worker, one per run) can be folded in any order.
+        """
+        record = self.record
+        for value, count in other.buckets.items():
+            record(value, count)
+        return self
+
+    @classmethod
+    def from_buckets(cls, name: str, buckets: Mapping[object, int]) -> "Histogram":
+        """Build a histogram from a plain bucket mapping.
+
+        Accepts string bucket keys (the JSON round-trip through
+        ``SimResult.extra`` stringifies int keys) and coerces them back.
+        """
+        histogram = cls(name)
+        for value, count in buckets.items():
+            histogram.record(int(value), int(count))
+        return histogram
+
     @property
     def total(self) -> int:
         return sum(self.buckets.values())
+
+    def percentile(self, p: float) -> int:
+        """Smallest recorded value covering at least ``p`` percent of mass.
+
+        ``p`` is clamped to [0, 100]; an empty histogram reports 0.  The
+        result is monotonically non-decreasing in ``p``, with
+        ``percentile(0)`` the minimum recorded value and
+        ``percentile(100)`` the maximum.
+        """
+        total = self.total
+        if total == 0:
+            return 0
+        p = min(max(p, 0.0), 100.0)
+        needed = max(1, math.ceil(total * p / 100.0))
+        cumulative = 0
+        value = 0
+        for value, count in sorted(self.buckets.items()):
+            cumulative += count
+            if cumulative >= needed:
+                return value
+        return value
 
     def mean(self) -> float:
         total = self.total
@@ -106,12 +150,27 @@ class RunningMean:
         return math.sqrt(self.variance)
 
 
+class StatNameCollision(ValueError):
+    """A stat name is already registered under a different kind.
+
+    ``StatGroup.as_dict()`` flattens counters, histograms, means and
+    child groups into one namespace; allowing a counter and a histogram
+    to share a name would make one silently overwrite the other in the
+    serialized form.
+    """
+
+
 class StatGroup:
     """A named registry of statistics with nested sub-groups.
 
     Components create their stats once at construction time and bump them
     on the hot path; the registry makes every stat discoverable for
     reporting without the components knowing about the reporter.
+
+    Names are unique across all four kinds (counter, histogram, running
+    mean, child group) because :meth:`as_dict` flattens them into a
+    single mapping; registering the same name under two kinds raises
+    :class:`StatNameCollision`.
     """
 
     def __init__(self, name: str = "root") -> None:
@@ -121,28 +180,41 @@ class StatGroup:
         self._means: Dict[str, RunningMean] = {}
         self._children: Dict[str, "StatGroup"] = {}
 
+    def _claim(self, name: str, kind: Dict[str, object]) -> None:
+        for other in (self._counters, self._histograms, self._means, self._children):
+            if other is not kind and name in other:
+                raise StatNameCollision(
+                    f"stat name {name!r} in group {self.name!r} is already "
+                    "registered under a different kind; as_dict() would "
+                    "silently drop one of them"
+                )
+
     def counter(self, name: str) -> Counter:
         """Return the counter called ``name``, creating it if needed."""
         stat = self._counters.get(name)
         if stat is None:
+            self._claim(name, self._counters)
             stat = self._counters[name] = Counter(name)
         return stat
 
     def histogram(self, name: str) -> Histogram:
         stat = self._histograms.get(name)
         if stat is None:
+            self._claim(name, self._histograms)
             stat = self._histograms[name] = Histogram(name)
         return stat
 
     def running_mean(self, name: str) -> RunningMean:
         stat = self._means.get(name)
         if stat is None:
+            self._claim(name, self._means)
             stat = self._means[name] = RunningMean(name)
         return stat
 
     def group(self, name: str) -> "StatGroup":
         child = self._children.get(name)
         if child is None:
+            self._claim(name, self._children)
             child = self._children[name] = StatGroup(name)
         return child
 

@@ -130,6 +130,7 @@ class Processor:
         # The port model's optional event-horizon leg (duck-typed so test
         # stand-ins without the method still work).
         self._ports_next_event = getattr(self.ports, "next_event_cycle", None)
+        self._bank_sample = getattr(self.ports, "bank_accesses_this_cycle", None)
 
     # -- public API ------------------------------------------------------------
 
@@ -178,6 +179,7 @@ class Processor:
         # duck-typed port hooks against whatever is installed now.
         self._bank_of = getattr(self.ports, "bank_of", None)
         self._ports_next_event = getattr(self.ports, "next_event_cycle", None)
+        self._bank_sample = getattr(self.ports, "bank_accesses_this_cycle", None)
 
         # Hot loop: every per-cycle attribute lookup hoisted to a local.
         peek = fetch.peek
@@ -246,12 +248,25 @@ class Processor:
                 and head.state == ISSUED
                 and head.opclass.is_mem
             )
+            mshr_occupancy = self.hierarchy.mshrs.occupancy
             observer.accountant.close_cycle(
                 committed,
                 head is None,
                 mem_wait,
-                self.hierarchy.mshrs.occupancy > 0,
+                mshr_occupancy > 0,
             )
+            metrics = observer.metrics
+            if metrics is not None:
+                # Sampled at the settled end of the cycle: port per-cycle
+                # state persists until the next begin_cycle, and no fill
+                # can land between here and then.
+                bank_sample = self._bank_sample
+                metrics.record_cycle(
+                    len(self.ruu.entries),
+                    self.lsq.occupancy,
+                    mshr_occupancy,
+                    bank_sample() if bank_sample is not None else (),
+                )
 
     def _writeback(self, cycle: int) -> None:
         done = self._completion_wheel.pop(cycle, None)
@@ -519,6 +534,17 @@ class Processor:
             else:
                 bucket = "exec_wait"
             observer.accountant.skip_cycles(skipped, bucket)
+            metrics = observer.metrics
+            if metrics is not None:
+                # The skip precondition freezes all three occupancies and
+                # idles every bank until the horizon, so bulk-charging the
+                # span reproduces per-cycle sampling bit-for-bit.
+                metrics.record_skip(
+                    skipped,
+                    len(entries),
+                    self.lsq.occupancy,
+                    self.hierarchy.mshrs.occupancy,
+                )
 
     # -- helpers -----------------------------------------------------------------
 
@@ -604,6 +630,8 @@ class Processor:
             if observer.trace is not None:
                 extra["trace_events"] = observer.trace.events()
                 extra["trace_summary"] = observer.trace.summary()
+            if observer.metrics is not None:
+                extra["metrics"] = observer.metrics.as_extra(self.ports)
         return SimResult(
             label=self.label,
             instructions=self.ruu.committed,

@@ -34,6 +34,14 @@ from .store import (
     StoreInfo,
     compute_code_version,
 )
+from .telemetry import (
+    ProgressPrinter,
+    SweepTelemetry,
+    clear_telemetry,
+    render_telemetry_info,
+    telemetry_files,
+    write_telemetry_jsonl,
+)
 
 #: Backwards-friendly alias: the engine *is* the sweep executor.
 SweepExecutor = SimulationEngine
@@ -41,6 +49,7 @@ SweepExecutor = SimulationEngine
 __all__ = [
     "DEFAULT_CACHE_DIR",
     "ProgressCallback",
+    "ProgressPrinter",
     "ResultStore",
     "RunEvent",
     "RunSettings",
@@ -48,14 +57,19 @@ __all__ = [
     "SimulationEngine",
     "StoreInfo",
     "SweepExecutor",
+    "SweepTelemetry",
     "WorkUnit",
     "clear_registries",
+    "clear_telemetry",
     "compute_code_version",
     "default_jobs",
     "get_trace",
     "get_warm_state",
     "prepare",
+    "render_telemetry_info",
     "simulate_payload",
+    "telemetry_files",
     "trace_key",
     "warm_key",
+    "write_telemetry_jsonl",
 ]

@@ -45,6 +45,7 @@ from ..core.results import SimResult
 from ..workloads.spec95 import SPECFP_NAMES, SPECINT_NAMES, spec95_workload
 from .settings import RunSettings
 from .store import ResultStore
+from .telemetry import SweepTelemetry, flush_telemetry
 
 
 @dataclass(frozen=True)
@@ -63,6 +64,12 @@ class WorkUnit:
     trace: bool = False
     trace_capacity: int = 4096
     trace_sample: int = 1
+    #: structure-utilization metrics (implies observe).  Deliberately
+    #: *not* part of the cache key: metrics enrich an observed result
+    #: without changing any of its fields, so a metrics-carrying cached
+    #: result satisfies a plain observed request (the engine re-runs
+    #: only when metrics are requested and the cached entry lacks them).
+    metrics: bool = False
 
     @classmethod
     def build(
@@ -77,10 +84,11 @@ class WorkUnit:
             instructions=settings.instructions,
             warmup_instructions=settings.warmup_instructions,
             seed=settings.seed,
-            observe=settings.observe or settings.trace,
+            observe=settings.observe or settings.trace or settings.metrics,
             trace=settings.trace,
             trace_capacity=settings.trace_capacity,
             trace_sample=settings.trace_sample,
+            metrics=settings.metrics,
         )
 
     @property
@@ -106,10 +114,21 @@ class WorkUnit:
         return fingerprint_of(self.key())
 
     def payload(self) -> Dict[str, Any]:
-        """JSON-safe form shipped to worker processes."""
+        """JSON-safe form shipped to worker processes.
+
+        Carries the knobs that ride *outside* the fingerprint (metrics,
+        and the amortization flags the engine adds): they change how the
+        run executes or what extras it carries, never the timing result.
+        """
         data = self.key()
         data["label"] = self.label
+        data["metrics"] = self.metrics
         return data
+
+    def satisfied_by(self, result: SimResult) -> bool:
+        """Whether a cached ``result`` under this fingerprint serves this
+        unit — i.e. it carries metrics whenever this unit wants them."""
+        return not self.metrics or "metrics" in result.extra
 
 
 def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -122,11 +141,20 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     the shared materialized trace and warm-up restores from a checkpoint
     (see :mod:`repro.engine.amortize`) — an execution strategy, not part
     of the unit's identity, so the result is bit-identical either way.
+
+    The outcome carries a ``phases`` dict — worker-side wall-clock spans
+    (``materialize`` / ``warmup`` / ``simulate``) that the engine's
+    telemetry folds into the sweep roll-up.  The spans partition this
+    function's whole execution, so a jobs=1 sweep's span totals account
+    for (nearly) all of its wall time.  ``wall_time`` keeps its original
+    meaning: the simulation span only.
     """
+    entered = time.perf_counter()
+    phases: Dict[str, float] = {}
     machine = machine_config_from_dict(payload["machine"])
     observer = None
-    if payload.get("observe") or payload.get("trace"):
-        from ..obs import EventTrace, Observer
+    if payload.get("observe") or payload.get("trace") or payload.get("metrics"):
+        from ..obs import EventTrace, MetricsCollector, Observer
 
         trace = None
         if payload.get("trace"):
@@ -134,24 +162,29 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
                 capacity=payload.get("trace_capacity", 4096),
                 sample_period=payload.get("trace_sample", 1),
             )
-        observer = Observer(trace=trace)
+        metrics = MetricsCollector() if payload.get("metrics") else None
+        observer = Observer(trace=trace, metrics=metrics)
     processor = Processor(machine, label=payload["label"], observer=observer)
     warmup = payload["warmup_instructions"]
     if payload.get("amortize"):
         from .amortize import get_trace, get_warm_state
 
         length = warmup + payload["instructions"]
+        mark = time.perf_counter()
         materialized, _ = get_trace(
             payload["benchmark"],
             payload["seed"],
             length,
             trace_root=payload.get("trace_root"),
         )
+        phases["materialize"] = time.perf_counter() - mark
         warm_state = None
         warmed = 0
         if warmup:
+            mark = time.perf_counter()
             warm_state, _ = get_warm_state(materialized, warmup, machine)
             warmed = warm_state["warmed"]
+            phases["warmup"] = time.perf_counter() - mark
         start = time.perf_counter()
         result = processor.run(
             materialized.suffix(warmed),
@@ -167,9 +200,19 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             max_instructions=payload["instructions"],
             warmup_instructions=warmup,
         )
+    wall = time.perf_counter() - start
+    # Everything not spent materializing or warming counts as simulate:
+    # config parsing, the timed run, and result serialization.
+    phases["simulate"] = (
+        time.perf_counter()
+        - entered
+        - phases.get("materialize", 0.0)
+        - phases.get("warmup", 0.0)
+    )
     return {
         "result": result.to_dict(),
-        "wall_time": time.perf_counter() - start,
+        "wall_time": wall,
+        "phases": phases,
     }
 
 
@@ -223,6 +266,11 @@ class SimulationEngine:
         self._run_stats = self.stats.group("runs")
         self._memory: Dict[str, SimResult] = {}
         self._sim_seconds = 0.0
+        #: phase spans, savings and progress accounting for this engine
+        self.telemetry = SweepTelemetry()
+        #: original wall time per fingerprint, so memo hits can report
+        #: what the cache saved (populated on simulate and disk restore)
+        self._wall_by_fingerprint: Dict[str, float] = {}
 
     @classmethod
     def with_default_store(
@@ -255,35 +303,64 @@ class SimulationEngine:
     def run_units(self, units: Iterable[WorkUnit]) -> List[SimResult]:
         """Resolve every unit — memo, then disk, then simulation — and
         return results in unit order.  Unresolved units are deduplicated
-        and fanned out across ``jobs`` worker processes."""
+        and fanned out across ``jobs`` worker processes.
+
+        Metrics ride outside the fingerprint: a cached result satisfies
+        a metrics-requesting unit only if it already carries metrics;
+        otherwise that unit re-simulates and the enriched result
+        overwrites the cache entry (it remains valid for plain requests).
+        """
+        sweep_started = time.perf_counter()
+        telemetry = self.telemetry
         units = list(units)
         total = len(units)
         results: List[Optional[SimResult]] = [None] * total
         pending: Dict[str, WorkUnit] = {}
         pending_indices: Dict[str, List[int]] = {}
 
+        probe_started = time.perf_counter()
         for index, unit in enumerate(units):
             fingerprint = unit.fingerprint
             cached = self._memory.get(fingerprint)
-            if cached is not None:
+            if cached is not None and unit.satisfied_by(cached):
                 self._cache_stats.counter("memory_hits").add()
                 results[index] = cached
+                telemetry.note_savings(
+                    self._wall_by_fingerprint.get(fingerprint, 0.0)
+                )
+                telemetry.add_unit(unit.label, fingerprint, "memory", 0.0)
                 self._emit(unit, "memory", 0.0, index, total)
                 continue
             if fingerprint in pending:
+                if unit.metrics and not pending[fingerprint].metrics:
+                    # Upgrade the batch's unit so one simulation serves
+                    # both the plain and the metrics request.
+                    pending[fingerprint] = unit
                 pending_indices[fingerprint].append(index)
                 continue
-            if self.store is not None:
-                restored = self.store.get(fingerprint)
-                if restored is not None:
-                    self._memory[fingerprint] = restored
-                    self._cache_stats.counter("disk_hits").add()
-                    results[index] = restored
-                    self._emit(unit, "disk", 0.0, index, total)
-                    continue
+            stale = cached is not None  # memo entry lacks requested metrics
+            if self.store is not None and cached is None:
+                entry = self.store.get_entry(fingerprint)
+                if entry is not None:
+                    if unit.satisfied_by(entry[0]):
+                        restored, stored_wall = entry
+                        self._memory[fingerprint] = restored
+                        self._wall_by_fingerprint[fingerprint] = stored_wall
+                        self._cache_stats.counter("disk_hits").add()
+                        results[index] = restored
+                        telemetry.note_savings(stored_wall)
+                        telemetry.add_unit(unit.label, fingerprint, "disk", 0.0)
+                        self._emit(unit, "disk", 0.0, index, total)
+                        continue
+                    stale = True
+            if stale:
+                # A cached result exists but lacks the requested metrics:
+                # re-simulate once and overwrite it with the superset.
+                self._cache_stats.counter("metrics_refreshes").add()
             self._cache_stats.counter("misses").add()
             pending[fingerprint] = unit
             pending_indices[fingerprint] = [index]
+        telemetry.add_phase("probe", time.perf_counter() - probe_started)
 
         if pending:
             if self.amortize:
@@ -292,18 +369,29 @@ class SimulationEngine:
             for (fingerprint, unit), outcome in zip(
                 ordered, self._execute([u for _, u in ordered])
             ):
+                mark = time.perf_counter()
                 result = SimResult.from_dict(outcome["result"])
+                restore_span = time.perf_counter() - mark
                 wall = outcome["wall_time"]
                 self._memory[fingerprint] = result
+                self._wall_by_fingerprint[fingerprint] = wall
                 self._run_stats.counter("simulated").add()
                 self._run_stats.running_mean("wall_clock").record(wall)
                 self._sim_seconds += wall
+                spans = dict(outcome.get("phases", {}))
+                spans["restore"] = restore_span
                 if self.store is not None:
+                    mark = time.perf_counter()
                     self.store.put(fingerprint, unit.key(), result, wall)
+                    spans["store"] = time.perf_counter() - mark
+                telemetry.add_unit(
+                    unit.label, fingerprint, "simulated", wall, spans
+                )
                 for index in pending_indices[fingerprint]:
                     results[index] = result
                     self._emit(unit, "simulated", wall, index, total)
 
+        telemetry.note_sweep(time.perf_counter() - sweep_started, self.jobs)
         return [result for result in results if result is not None]
 
     def _trace_root(self) -> Optional[str]:
@@ -319,20 +407,32 @@ class SimulationEngine:
         :mod:`repro.engine.amortize`).  Counts land next to the result
         cache counters: ``trace_hits`` / ``traces_materialized`` and
         ``warmup_hits`` / ``warmups_computed``."""
-        from .amortize import prepare
+        from .amortize import get_trace, get_warm_state
 
         cache = self._cache_stats
+        telemetry = self.telemetry
         trace_root = self._trace_root()
         for unit in units:
-            sources = prepare(unit, trace_root=trace_root)
-            if sources["trace"] == "built":
+            length = unit.warmup_instructions + unit.instructions
+            mark = time.perf_counter()
+            materialized, trace_source = get_trace(
+                unit.benchmark, unit.seed, length, trace_root=trace_root
+            )
+            telemetry.add_phase("materialize", time.perf_counter() - mark)
+            if trace_source == "built":
                 cache.counter("traces_materialized").add()
             else:
                 cache.counter("trace_hits").add()
-            if sources["warm"] == "built":
-                cache.counter("warmups_computed").add()
-            elif sources["warm"] is not None:
-                cache.counter("warmup_hits").add()
+            if unit.warmup_instructions:
+                mark = time.perf_counter()
+                _, warm_source = get_warm_state(
+                    materialized, unit.warmup_instructions, unit.machine
+                )
+                telemetry.add_phase("warmup", time.perf_counter() - mark)
+                if warm_source == "built":
+                    cache.counter("warmups_computed").add()
+                else:
+                    cache.counter("warmup_hits").add()
 
     def _execute(
         self, units: Sequence[WorkUnit]
@@ -350,10 +450,16 @@ class SimulationEngine:
                 payload["amortize"] = True
                 payload["trace_root"] = trace_root
         if self.jobs == 1 or len(payloads) == 1:
-            return [simulate_payload(payload) for payload in payloads]
+            for payload in payloads:
+                yield simulate_payload(payload)
+            return
         workers = min(self.jobs, len(payloads))
+        # Stream outcomes as the pool produces them (pool.map yields in
+        # submission order) so progress callbacks and telemetry observe
+        # units as they finish, not after the whole batch completes.
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(simulate_payload, payloads))
+            for outcome in pool.map(simulate_payload, payloads):
+                yield outcome
 
     def _emit(
         self, unit: WorkUnit, source: str, wall: float, index: int, total: int
@@ -424,16 +530,18 @@ class SimulationEngine:
             "memory_hits": cache.counter("memory_hits").value,
             "disk_hits": cache.counter("disk_hits").value,
             "misses": cache.counter("misses").value,
+            "metrics_refreshes": cache.counter("metrics_refreshes").value,
             "trace_hits": cache.counter("trace_hits").value,
             "traces_materialized": cache.counter("traces_materialized").value,
             "warmup_hits": cache.counter("warmup_hits").value,
             "warmups_computed": cache.counter("warmups_computed").value,
             "simulated": self._run_stats.counter("simulated").value,
             "sim_seconds": self._sim_seconds,
+            "saved_seconds": self.telemetry.saved_seconds,
         }
 
     def render_summary(self) -> str:
-        """One-line human summary of the engine's cache behaviour."""
+        """Human summary: cache behaviour plus the telemetry roll-up."""
         summary = self.cache_summary()
         hits = summary["memory_hits"] + summary["disk_hits"]
         line = (
@@ -450,4 +558,21 @@ class SimulationEngine:
                 f", amortized {summary['trace_hits']:.0f} traces + "
                 f"{summary['warmup_hits']:.0f} warm-ups"
             )
+        if self.telemetry.units:
+            line += "\n" + self.telemetry.render()
         return line
+
+    def flush_telemetry(self):
+        """Export accumulated telemetry under ``<store root>/telemetry/``.
+
+        Returns the JSONL path, or ``None`` when the engine has no
+        persistent store (store-less engines touch no filesystem) or
+        nothing was recorded.  Safe to call repeatedly — each call
+        appends this invocation's records to the same file.
+        """
+        if self.store is None:
+            return None
+        path = flush_telemetry(self.store.root, self.telemetry)
+        if path is not None:
+            self.telemetry = SweepTelemetry()
+        return path

@@ -36,7 +36,8 @@ class RunSettings:
     #: longer streams to amortize cold-start misses.
     characterization_instructions: int = 120_000
     #: attach a cycle accountant to every run (stall attribution lands
-    #: in ``SimResult.extra["stalls"]``); implied by :attr:`trace`.
+    #: in ``SimResult.extra["stalls"]``); implied by :attr:`trace` and
+    #: :attr:`metrics`.
     observe: bool = False
     #: also collect a structured event trace (implies :attr:`observe`).
     trace: bool = False
@@ -44,6 +45,14 @@ class RunSettings:
     trace_capacity: int = 4096
     #: record every Nth offered event (1 = record everything).
     trace_sample: int = 1
+    #: also collect structure-utilization metrics — RUU/LSQ/MSHR
+    #: occupancy and per-bank utilization histograms in
+    #: ``SimResult.extra["metrics"]`` (implies :attr:`observe`).  Rides
+    #: the work-unit *payload*, not its fingerprint: metrics enrich an
+    #: observed result without changing its identity, so cached results
+    #: stay interchangeable (a metrics-carrying result satisfies a plain
+    #: observed request; the reverse triggers one re-simulation).
+    metrics: bool = False
 
     def __post_init__(self) -> None:
         unknown = set(self.benchmarks) - set(ALL_NAMES)
@@ -66,6 +75,7 @@ class RunSettings:
             "trace": self.trace,
             "trace_capacity": self.trace_capacity,
             "trace_sample": self.trace_sample,
+            "metrics": self.metrics,
         }
 
     def fingerprint(self) -> str:

@@ -29,7 +29,7 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Optional, Tuple, Union
 
 from ..core.results import SimResult
 
@@ -112,6 +112,15 @@ class ResultStore:
     def get(self, fingerprint: str) -> Optional[SimResult]:
         """The cached result for ``fingerprint``, or None on any miss
         (absent, unreadable, corrupt, or stamped by other code)."""
+        entry = self.get_entry(fingerprint)
+        return entry[0] if entry is not None else None
+
+    def get_entry(
+        self, fingerprint: str
+    ) -> Optional[Tuple[SimResult, float]]:
+        """Like :meth:`get`, plus the wall time the run originally took
+        (0.0 for entries stored without one).  The telemetry layer uses
+        the wall time to account what a cache hit saved."""
         path = self.path_for(fingerprint)
         try:
             with path.open("r", encoding="utf-8") as handle:
@@ -125,9 +134,11 @@ class ResultStore:
         if envelope.get("code_version") != self.code_version:
             return None
         try:
-            return SimResult.from_dict(envelope["result"])
+            result = SimResult.from_dict(envelope["result"])
         except (KeyError, TypeError):
             return None
+        wall = envelope.get("wall_time")
+        return result, float(wall) if isinstance(wall, (int, float)) else 0.0
 
     def put(
         self,

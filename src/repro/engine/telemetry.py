@@ -1,0 +1,301 @@
+"""Engine telemetry: phase spans per unit, sweep roll-ups, live progress.
+
+Every unit the :class:`~repro.engine.executor.SimulationEngine` resolves
+passes through a handful of phases — cache **probe**, trace
+**materialize**, **warmup** (checkpoint build or restore), **simulate**,
+result **restore** (JSON → :class:`SimResult`), and **store** (persist).
+A :class:`SweepTelemetry` accumulates one record per unit plus per-phase
+wall-clock totals, so a sweep can explain where its time went, how much
+the cache saved, and how well the worker pool was utilized.
+
+Everything is plain JSON-safe data.  :func:`write_telemetry_jsonl`
+exports the records one JSON object per line (via the same incremental
+JSONL writer the event traces use) under ``<cache root>/telemetry/``;
+the export only happens when the engine has a persistent store, so
+store-less engines keep touching no filesystem.
+
+:class:`ProgressPrinter` is a ready-made
+:data:`~repro.engine.executor.ProgressCallback` that renders a live
+``[done/total]`` line with an ETA while a sweep runs (the CLI's
+``--progress`` flag).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, TextIO
+
+from ..obs.events import write_events_jsonl
+
+#: Phase names in canonical reporting order.  ``probe`` / ``restore`` /
+#: ``store`` are spent in the parent process; ``materialize`` /
+#: ``warmup`` / ``simulate`` are the worker-side phases that a parallel
+#: sweep overlaps across jobs.
+PHASES = ("probe", "materialize", "warmup", "simulate", "restore", "store")
+
+#: Worker-side phases — the numerator of parallel efficiency.
+WORKER_PHASES = ("materialize", "warmup", "simulate")
+
+#: How many telemetry JSONL files to keep under ``<root>/telemetry``.
+KEEP_FILES = 32
+
+
+class SweepTelemetry:
+    """Accumulated phase spans and unit records for one engine."""
+
+    def __init__(self) -> None:
+        self.units: List[Dict[str, object]] = []
+        self.phase_seconds: Dict[str, float] = {}
+        #: wall clock accumulated across ``run_units`` calls
+        self.elapsed_seconds = 0.0
+        self.jobs = 1
+        #: stored wall time of runs served from cache instead of re-run
+        self.saved_seconds = 0.0
+        self.simulated = 0
+        self.cache_hits = 0
+
+    def add_phase(self, phase: str, seconds: float) -> None:
+        """Charge ``seconds`` of wall clock to ``phase``."""
+        self.phase_seconds[phase] = self.phase_seconds.get(phase, 0.0) + seconds
+
+    def add_unit(
+        self,
+        label: str,
+        fingerprint: str,
+        source: str,
+        wall_time: float,
+        phases: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        """Record one resolved unit and fold its spans into the totals."""
+        record: Dict[str, object] = {
+            "kind": "unit",
+            "label": label,
+            "fingerprint": fingerprint,
+            "source": source,
+            "wall_time": wall_time,
+            "phases": dict(phases or {}),
+        }
+        self.units.append(record)
+        if source == "simulated":
+            self.simulated += 1
+        else:
+            self.cache_hits += 1
+        for phase, seconds in (phases or {}).items():
+            self.add_phase(phase, seconds)
+
+    def note_savings(self, seconds: float) -> None:
+        """A cache hit skipped a run that originally took ``seconds``."""
+        self.saved_seconds += seconds
+
+    def note_sweep(self, elapsed: float, jobs: int) -> None:
+        """Account one completed ``run_units`` call."""
+        self.elapsed_seconds += elapsed
+        self.jobs = jobs
+
+    # -- roll-up -----------------------------------------------------------
+
+    def span_seconds(self) -> float:
+        """Total wall clock attributed to any phase."""
+        return sum(self.phase_seconds.values())
+
+    def parallel_efficiency(self) -> Optional[float]:
+        """Worker-phase seconds over ``elapsed x jobs``; None if idle.
+
+        1.0 means every job slot was busy simulating for the whole
+        sweep; a cache-served sweep (nothing simulated) reports None.
+        """
+        busy = sum(self.phase_seconds.get(phase, 0.0) for phase in WORKER_PHASES)
+        if busy <= 0.0 or self.elapsed_seconds <= 0.0:
+            return None
+        return busy / (self.elapsed_seconds * max(1, self.jobs))
+
+    def summary(self) -> Dict[str, object]:
+        """The sweep roll-up, JSON-safe (the JSONL's final line)."""
+        return {
+            "kind": "sweep_summary",
+            "units": len(self.units),
+            "simulated": self.simulated,
+            "cache_hits": self.cache_hits,
+            "elapsed_seconds": self.elapsed_seconds,
+            "span_seconds": self.span_seconds(),
+            "phase_seconds": {
+                phase: self.phase_seconds[phase]
+                for phase in PHASES
+                if phase in self.phase_seconds
+            },
+            "saved_seconds": self.saved_seconds,
+            "jobs": self.jobs,
+            "parallel_efficiency": self.parallel_efficiency(),
+        }
+
+    def records(self) -> List[Dict[str, object]]:
+        """Unit records plus the trailing sweep summary."""
+        return self.units + [self.summary()]
+
+    def render(self) -> str:
+        """One-line human roll-up for sweep summaries and ``cache info``."""
+        summary = self.summary()
+        phases = summary["phase_seconds"]
+        parts = [
+            f"{phase} {seconds:.2f}s" for phase, seconds in phases.items()  # type: ignore[union-attr]
+        ]
+        line = (
+            f"telemetry: {summary['elapsed_seconds']:.2f}s elapsed, "
+            f"spans [{', '.join(parts) if parts else 'none'}]"
+        )
+        if self.saved_seconds:
+            line += f", cache saved {self.saved_seconds:.2f}s"
+        efficiency = summary["parallel_efficiency"]
+        if efficiency is not None:
+            line += (
+                f", parallel efficiency {100.0 * efficiency:.0f}% "  # type: ignore[operator]
+                f"(jobs={summary['jobs']})"
+            )
+        return line
+
+
+def write_telemetry_jsonl(
+    path, telemetry: SweepTelemetry, append: bool = True
+) -> int:
+    """Export a telemetry snapshot as JSON Lines; returns lines written."""
+    return write_events_jsonl(path, telemetry.records(), append=append)
+
+
+def flush_telemetry(store_root, telemetry: SweepTelemetry) -> Optional[Path]:
+    """Write ``telemetry`` under ``<store_root>/telemetry/`` and prune.
+
+    One file per process invocation (timestamp + pid); repeated flushes
+    from the same invocation append to the same file.  Returns the path,
+    or ``None`` when there is nothing to write.
+    """
+    if not telemetry.units and not telemetry.phase_seconds:
+        return None
+    root = Path(store_root) / "telemetry"
+    root.mkdir(parents=True, exist_ok=True)
+    name = f"{time.strftime('%Y%m%d-%H%M%S')}-{os.getpid()}.jsonl"
+    path = root / name
+    write_telemetry_jsonl(path, telemetry, append=True)
+    for stale in telemetry_files(root)[:-KEEP_FILES]:
+        try:
+            stale.unlink()
+        except OSError:
+            pass
+    return path
+
+
+def telemetry_files(root) -> List[Path]:
+    """Telemetry JSONL files under ``root``, oldest first."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("*.jsonl"))
+
+
+def clear_telemetry(store_root) -> int:
+    """Delete exported telemetry under ``<store_root>/telemetry``."""
+    removed = 0
+    for path in telemetry_files(Path(store_root) / "telemetry"):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+def render_telemetry_info(store_root) -> Optional[str]:
+    """Summarize exported telemetry for ``cache info``; None when empty."""
+    root = Path(store_root) / "telemetry"
+    files = telemetry_files(root)
+    if not files:
+        return None
+    total_bytes = 0
+    for path in files:
+        try:
+            total_bytes += path.stat().st_size
+        except OSError:
+            pass
+    lines = [
+        f"telemetry:      {len(files)} file(s), "
+        f"{total_bytes / 1024:.1f} KiB under {root}",
+    ]
+    last = _last_summary(files[-1])
+    if last is not None:
+        phases = last.get("phase_seconds", {})
+        rendered = ", ".join(
+            f"{phase} {phases[phase]:.2f}s"
+            for phase in PHASES
+            if phase in phases
+        )
+        line = (
+            f"last sweep:     {last.get('simulated', 0)} simulated, "
+            f"{last.get('cache_hits', 0)} cache hits, "
+            f"{last.get('elapsed_seconds', 0.0):.2f}s elapsed"
+        )
+        if last.get("saved_seconds"):
+            line += f", saved {last['saved_seconds']:.2f}s"
+        lines.append(line)
+        if rendered:
+            lines.append(f"last spans:     {rendered}")
+    return "\n".join(lines)
+
+
+def _last_summary(path: Path) -> Optional[Dict[str, object]]:
+    """The final ``sweep_summary`` record in a telemetry JSONL file."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+    for line in reversed(text.splitlines()):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict) and record.get("kind") == "sweep_summary":
+            return record
+    return None
+
+
+class ProgressPrinter:
+    """A :data:`ProgressCallback` rendering a live ``[done/total]`` line.
+
+    Counts resolved units (cache hits and simulations alike), estimates
+    the remaining time from the observed completion rate, and rewrites a
+    single carriage-returned line on ``stream`` (stderr by default, so
+    piped table output stays clean).  Prints a newline when the batch
+    completes; a fresh batch restarts the count.
+    """
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+        self._done = 0
+        self._started: Optional[float] = None
+
+    def __call__(self, event) -> None:
+        if self._started is None:
+            self._started = time.perf_counter()
+        self._done += 1
+        done, total = self._done, event.total
+        elapsed = time.perf_counter() - self._started
+        if done < total and elapsed > 0.0:
+            rate = done / elapsed
+            eta = f", ETA {max(0.0, (total - done) / rate):.1f}s"
+        else:
+            eta = ""
+        line = (
+            f"\r[{done}/{total}] {event.source:<9} {event.label}"
+            f" ({elapsed:.1f}s elapsed{eta})"
+        )
+        self.stream.write(f"{line:<78}")
+        if done >= total:
+            self.stream.write("\n")
+            self._done = 0
+            self._started = None
+        self.stream.flush()

@@ -38,6 +38,13 @@ class ReproductionReport:
     #: stall attribution per configuration label: benchmark -> bucket ->
     #: cycles (see :mod:`repro.obs`; buckets sum to the run's cycles).
     stalls: Dict[str, Dict[str, Dict[str, int]]] = field(default_factory=dict)
+    #: structure-utilization summary per configuration label:
+    #: benchmark -> {ruu_p90, lsq_p90, mshr_p90, bank_utilization}
+    #: (occupancy percentiles and mean fraction of peak bank bandwidth;
+    #: see :mod:`repro.obs.metrics`).
+    utilization: Dict[str, Dict[str, Dict[str, float]]] = field(
+        default_factory=dict
+    )
 
     def to_markdown(self) -> str:
         out = io.StringIO()
@@ -117,6 +124,31 @@ class ReproductionReport:
                     write(f"| {name} | " + " | ".join(cells) + " |\n")
                 write("\n")
 
+        if self.utilization:
+            write("## Resource utilization — how full the structures run\n\n")
+            write(
+                "Occupancy percentiles of the window (RUU), the load/store "
+                "queue, and the outstanding-miss file, plus the mean "
+                "fraction of peak bank bandwidth actually used.  A "
+                "structure pinned at its capacity explains the matching "
+                "stall bucket above; bank utilization far below 100% on a "
+                "stalled configuration is the paper's under-porting "
+                "signature.\n\n"
+            )
+            for label, per_bench in self.utilization.items():
+                write(f"### {label}\n\n")
+                write(
+                    "| program | RUU p90 | LSQ p90 | MSHR p90 "
+                    "| bank utilization |\n|---|---|---|---|---|\n"
+                )
+                for name, row in per_bench.items():
+                    write(
+                        f"| {name} | {row['ruu_p90']:.0f} | "
+                        f"{row['lsq_p90']:.0f} | {row['mshr_p90']:.0f} | "
+                        f"{100 * row['bank_utilization']:.1f}% |\n"
+                    )
+                write("\n")
+
         for sweep in self.sweeps:
             write(f"## Ablation {sweep.name} — {sweep.parameter}\n\n")
             write("| program | " + " | ".join(str(v) for v in sweep.values)
@@ -186,28 +218,55 @@ def _pair(measured: float, paper: Optional[float]) -> str:
     return f"{measured:.2f} / {paper:.2f}"
 
 
-def run_stall_breakdown(
+def run_observability(
     engine: SimulationEngine,
-) -> Dict[str, Dict[str, Dict[str, int]]]:
-    """Observed runs of every benchmark on the report's two headline
-    organizations; verifies the sum-to-cycles invariant on each."""
+) -> Tuple[
+    Dict[str, Dict[str, Dict[str, int]]],
+    Dict[str, Dict[str, Dict[str, float]]],
+]:
+    """One observed-and-metered pass of every benchmark over the report's
+    two headline organizations: stall attribution (invariant-checked) and
+    the structure-utilization summary, from the same runs."""
     from ..common.config import BankedPortConfig, LBICConfig
-    from ..obs import verify_stall_invariant
+    from ..obs import (
+        mean_bank_utilization,
+        occupancy_stats,
+        verify_stall_invariant,
+    )
 
-    observed = replace(engine.settings, observe=True)
+    observed = replace(engine.settings, observe=True, metrics=True)
     breakdown: Dict[str, Dict[str, Dict[str, int]]] = {}
+    utilization: Dict[str, Dict[str, Dict[str, float]]] = {}
     for label, ports in (
         ("4-bank interleaved", BankedPortConfig(banks=4)),
         ("4x4 LBIC", LBICConfig(banks=4, buffer_ports=4)),
     ):
         per_bench: Dict[str, Dict[str, int]] = {}
+        per_bench_util: Dict[str, Dict[str, float]] = {}
         for name in engine.settings.benchmarks:
             result = engine.result(name, ports=ports, settings=observed)
             stalls = result.extra.get("stalls", {})
             verify_stall_invariant(stalls, result.cycles)
             per_bench[name] = stalls
+            metrics = result.extra.get("metrics")
+            if metrics is not None:
+                occupancy = occupancy_stats(metrics)
+                per_bench_util[name] = {
+                    "ruu_p90": occupancy["ruu"]["p90"],
+                    "lsq_p90": occupancy["lsq"]["p90"],
+                    "mshr_p90": occupancy["mshr"]["p90"],
+                    "bank_utilization": mean_bank_utilization(metrics),
+                }
         breakdown[label] = per_bench
-    return breakdown
+        utilization[label] = per_bench_util
+    return breakdown, utilization
+
+
+def run_stall_breakdown(
+    engine: SimulationEngine,
+) -> Dict[str, Dict[str, Dict[str, int]]]:
+    """Stall attribution alone (see :func:`run_observability`)."""
+    return run_observability(engine)[0]
 
 
 def build_report(
@@ -226,6 +285,7 @@ def build_report(
     table3 = run_table3(engine=engine)
     table4 = run_table4(engine=engine)
     figure3 = run_figure3(settings)
+    stalls, utilization = run_observability(engine)
     return ReproductionReport(
         settings=settings,
         table2=run_table2(settings),
@@ -234,5 +294,6 @@ def build_report(
         table4=table4,
         claims=check_claims(table3, table4, figure3),
         sweeps=sweeps or [],
-        stalls=run_stall_breakdown(engine),
+        stalls=stalls,
+        utilization=utilization,
     )

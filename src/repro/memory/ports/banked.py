@@ -95,6 +95,17 @@ class BankedCache(PortModel):
     def peak_accesses_per_cycle(self) -> int:
         return self.config.banks * self.config.ports_per_bank
 
+    @property
+    def bank_count(self) -> int:
+        return self.config.banks
+
+    @property
+    def ports_per_bank(self) -> int:
+        return self.config.ports_per_bank
+
+    def bank_accesses_this_cycle(self):
+        return self._bank_uses.items()
+
     def bank_of(self, addr: int) -> int:
         """Expose the bank mapping (used by analyses and tests)."""
         return self._select_bank(addr)

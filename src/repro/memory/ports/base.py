@@ -23,7 +23,7 @@ the paper.
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Iterable, Optional, Tuple
 
 from ...common.errors import SimulationError
 from ...common.stats import StatGroup
@@ -190,6 +190,29 @@ class PortModel(abc.ABC):
     @abc.abstractmethod
     def peak_accesses_per_cycle(self) -> int:
         """Structural upper bound on accesses accepted per cycle."""
+
+    @property
+    def bank_count(self) -> int:
+        """Independently arbitrated banks (1 for single-structure models)."""
+        return 1
+
+    @property
+    def ports_per_bank(self) -> int:
+        """Peak accesses one bank can accept in a cycle."""
+        return self.peak_accesses_per_cycle
+
+    def bank_accesses_this_cycle(self) -> Iterable[Tuple[int, int]]:
+        """``(bank, accesses accepted this cycle)`` for the busy banks.
+
+        Metrics sampling hook: valid between :meth:`end_cycle` and the
+        next :meth:`begin_cycle` (per-cycle arbitration state is reset
+        at the *top* of the cycle, precisely so this read works).  Banks
+        that accepted nothing are omitted; the collector infers idle
+        cycles from its own cycle count.  The returned view may alias
+        live state — callers must not mutate or retain it.
+        """
+        accepted = self._accepted_this_cycle
+        return ((0, accepted),) if accepted else ()
 
     def pending_work(self) -> bool:
         """Whether buffered work remains (LBIC store queues); default no."""

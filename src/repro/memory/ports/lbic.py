@@ -242,6 +242,25 @@ class LBICache(PortModel):
     def peak_accesses_per_cycle(self) -> int:
         return self.config.banks * self.config.buffer_ports
 
+    @property
+    def bank_count(self) -> int:
+        return self.config.banks
+
+    @property
+    def ports_per_bank(self) -> int:
+        return self.config.buffer_ports
+
+    def bank_accesses_this_cycle(self):
+        return [
+            (index, bank.ports_used)
+            for index, bank in enumerate(self._banks)
+            if bank.ports_used
+        ]
+
+    def combining_width_buckets(self):
+        """Accesses-per-gated-line distribution (busy bank-cycles only)."""
+        return dict(self._group_sizes.buckets)
+
     def bank_of(self, addr: int) -> int:
         return self._select_bank(addr)
 

@@ -9,15 +9,26 @@ Two instruments, both carried by an :class:`Observer` passed to
   buckets sum exactly to ``SimResult.cycles``.
 * :class:`EventTrace` — a sampling ring buffer of structured
   dispatch/issue/forward/refusal/fill events with JSONL export.
+* :class:`MetricsCollector` — per-cycle RUU/LSQ/MSHR occupancy and
+  per-bank utilization histograms (plus LBIC combining widths), with
+  table, JSON, and Prometheus-text export.
 
-Both surface through ``SimResult.extra`` (keys ``stalls``,
-``trace_events``, ``trace_summary``), so observed results flow
-unchanged through the persistent result store and the parallel
+All surface through ``SimResult.extra`` (keys ``stalls``,
+``trace_events``, ``trace_summary``, ``metrics``), so observed results
+flow unchanged through the persistent result store and the parallel
 executor.  See ``docs/observability.md``.
 """
 
 from .accountant import BASE_BUCKETS, REFUSAL_PREFIX, CycleAccountant
 from .events import EventTrace, format_events, write_events_jsonl
+from .metrics import (
+    MetricsCollector,
+    bank_stats,
+    mean_bank_utilization,
+    occupancy_stats,
+    prometheus_metrics,
+    render_metrics,
+)
 from .observer import Observer
 from .render import render_stalls, stall_fractions, verify_stall_invariant
 
@@ -25,9 +36,15 @@ __all__ = [
     "BASE_BUCKETS",
     "CycleAccountant",
     "EventTrace",
+    "MetricsCollector",
     "Observer",
     "REFUSAL_PREFIX",
+    "bank_stats",
     "format_events",
+    "mean_bank_utilization",
+    "occupancy_stats",
+    "prometheus_metrics",
+    "render_metrics",
     "render_stalls",
     "stall_fractions",
     "verify_stall_invariant",

@@ -21,6 +21,7 @@ from the cache — one JSON object per line.
 
 from __future__ import annotations
 
+import json
 from collections import deque
 from typing import Deque, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -112,14 +113,19 @@ class EventTrace:
         }
 
 
-def write_events_jsonl(path, events: Iterable[Dict[str, object]]) -> int:
+def write_events_jsonl(
+    path, events: Iterable[Dict[str, object]], append: bool = False
+) -> int:
     """Write ``events`` (dicts, e.g. from :meth:`EventTrace.events` or a
     restored ``SimResult.extra['trace_events']``) as JSON Lines; returns
-    the number of lines written."""
-    import json
+    the number of lines written.
 
+    With ``append=True`` the lines are added to an existing file instead
+    of replacing it, so incremental exports (per-sweep telemetry, rolling
+    traces) can grow one file across several calls.
+    """
     count = 0
-    with open(path, "w", encoding="utf-8") as handle:
+    with open(path, "a" if append else "w", encoding="utf-8") as handle:
         for event in events:
             handle.write(json.dumps(event, sort_keys=True))
             handle.write("\n")

@@ -1,0 +1,320 @@
+"""Structure-utilization metrics for the timing core.
+
+A :class:`MetricsCollector` samples, once per simulated cycle, the
+occupancy of the three structures whose pressure explains the paper's
+shapes — the RUU, the LSQ, and the MSHR file — plus the number of
+accesses each cache bank accepted that cycle.  The samples accumulate
+into sparse ``{value: cycles}`` histograms, so a multi-million-cycle run
+costs a handful of dict increments per cycle and a few hundred bytes of
+state.
+
+Design constraints, shared with the rest of ``repro.obs``:
+
+* **Off path stays one test.**  The collector rides the
+  :class:`~repro.obs.observer.Observer`; with no observer (or no
+  metrics) attached the simulator pays one ``is None`` check per cycle.
+* **Cycle skipping is invisible.**  During a skipped idle span the
+  structure occupancies are provably frozen and the ports are idle, so
+  :meth:`MetricsCollector.record_skip` bulk-charges the span and the
+  histograms come out bit-identical with skipping on or off.
+* **JSON-safe end to end.**  :meth:`MetricsCollector.as_extra` emits
+  plain dicts with *string* bucket keys, so a live result and one
+  restored from the JSON result store compare equal.
+
+The metrics cover every simulated cycle, warmup excluded but the
+post-last-commit drain tail included — the same convention as the stall
+accountant's ``all_cycles`` view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..common.stats import Histogram
+from ..common.tables import Table
+
+#: The structures sampled per cycle, in rendering order.
+STRUCTURES = ("ruu", "lsq", "mshr")
+
+#: Percentiles reported by the summary views.
+PERCENTILES = (50, 90, 99)
+
+
+class MetricsCollector:
+    """Per-cycle occupancy and bank-utilization histograms for one run."""
+
+    __slots__ = ("cycles", "_ruu", "_lsq", "_mshr", "_banks")
+
+    def __init__(self) -> None:
+        self.cycles = 0
+        self._ruu: Dict[int, int] = {}
+        self._lsq: Dict[int, int] = {}
+        self._mshr: Dict[int, int] = {}
+        #: bank index -> {accesses accepted that cycle: cycle count};
+        #: only nonzero samples are stored — idle cycles are inferred
+        #: from :attr:`cycles` when the histograms are exported.
+        self._banks: Dict[int, Dict[int, int]] = {}
+
+    def record_cycle(
+        self,
+        ruu: int,
+        lsq: int,
+        mshr: int,
+        bank_sample: Iterable[Tuple[int, int]],
+    ) -> None:
+        """Charge one simulated cycle.
+
+        ``bank_sample`` yields ``(bank, accesses accepted this cycle)``
+        pairs for the banks that accepted anything (see
+        :meth:`repro.memory.ports.base.PortModel.bank_accesses_this_cycle`).
+        """
+        self.cycles += 1
+        buckets = self._ruu
+        buckets[ruu] = buckets.get(ruu, 0) + 1
+        buckets = self._lsq
+        buckets[lsq] = buckets.get(lsq, 0) + 1
+        buckets = self._mshr
+        buckets[mshr] = buckets.get(mshr, 0) + 1
+        banks = self._banks
+        for bank, accesses in bank_sample:
+            if not accesses:
+                continue
+            per_bank = banks.get(bank)
+            if per_bank is None:
+                per_bank = banks[bank] = {}
+            per_bank[accesses] = per_bank.get(accesses, 0) + 1
+
+    def record_skip(self, count: int, ruu: int, lsq: int, mshr: int) -> None:
+        """Charge a skipped idle span of ``count`` cycles in one step.
+
+        The skip precondition guarantees the occupancies are frozen and
+        no bank accepts anything for the whole span, so this reproduces
+        ``count`` calls to :meth:`record_cycle` with an empty bank
+        sample exactly.
+        """
+        self.cycles += count
+        buckets = self._ruu
+        buckets[ruu] = buckets.get(ruu, 0) + count
+        buckets = self._lsq
+        buckets[lsq] = buckets.get(lsq, 0) + count
+        buckets = self._mshr
+        buckets[mshr] = buckets.get(mshr, 0) + count
+
+    # -- export ------------------------------------------------------------
+
+    def as_extra(self, ports) -> Dict[str, object]:
+        """The JSON-safe ``SimResult.extra['metrics']`` payload.
+
+        ``ports`` (the run's :class:`~repro.memory.ports.base.PortModel`)
+        supplies the bank geometry so idle bank-cycles can be inferred
+        and rendering can compute utilization against peak bandwidth.
+        """
+        cycles = self.cycles
+        per_bank: Dict[str, Dict[str, int]] = {}
+        for bank in range(ports.bank_count):
+            buckets = dict(self._banks.get(bank, {}))
+            idle = cycles - sum(buckets.values())
+            if idle:
+                buckets[0] = idle
+            per_bank[str(bank)] = {
+                str(value): count for value, count in sorted(buckets.items())
+            }
+        config = getattr(ports, "config", None)
+        out: Dict[str, object] = {
+            "cycles": cycles,
+            "occupancy": {
+                "ruu": _stringify(self._ruu),
+                "lsq": _stringify(self._lsq),
+                "mshr": _stringify(self._mshr),
+            },
+            "ports": {
+                "kind": getattr(config, "kind", "unknown"),
+                "banks": ports.bank_count,
+                "ports_per_bank": ports.ports_per_bank,
+                "per_bank": per_bank,
+            },
+        }
+        widths = getattr(ports, "combining_width_buckets", None)
+        if widths is not None:
+            out["combining_width"] = _stringify(widths())
+        return out
+
+
+def _stringify(buckets: Mapping[int, int]) -> Dict[str, int]:
+    return {str(value): count for value, count in sorted(buckets.items())}
+
+
+# -- summary views over the plain extra dict ------------------------------
+#
+# Everything below operates on the JSON-safe ``extra["metrics"]`` payload
+# so it works identically on live results and results restored from the
+# persistent store (the same convention as ``repro.obs.render``).
+
+
+def occupancy_histogram(metrics: Mapping[str, object], structure: str) -> Histogram:
+    """The occupancy histogram of ``structure`` ("ruu"/"lsq"/"mshr")."""
+    buckets = metrics["occupancy"][structure]  # type: ignore[index]
+    return Histogram.from_buckets(structure, buckets)
+
+
+def bank_histogram(metrics: Mapping[str, object], bank: int) -> Histogram:
+    """Accesses-per-cycle histogram of one bank (idle cycles included)."""
+    buckets = metrics["ports"]["per_bank"][str(bank)]  # type: ignore[index]
+    return Histogram.from_buckets(f"bank{bank}", buckets)
+
+
+def occupancy_stats(metrics: Mapping[str, object]) -> Dict[str, Dict[str, float]]:
+    """Mean / percentile / max summary per structure."""
+    out: Dict[str, Dict[str, float]] = {}
+    for structure in STRUCTURES:
+        histogram = occupancy_histogram(metrics, structure)
+        row: Dict[str, float] = {"mean": histogram.mean()}
+        for p in PERCENTILES:
+            row[f"p{p}"] = float(histogram.percentile(p))
+        row["max"] = float(histogram.max())
+        out[structure] = row
+    return out
+
+
+def bank_stats(metrics: Mapping[str, object]) -> List[Dict[str, float]]:
+    """Per-bank mean accesses, busy fraction, and utilization vs peak."""
+    ports = metrics["ports"]  # type: ignore[index]
+    ports_per_bank = max(1, int(ports["ports_per_bank"]))
+    out: List[Dict[str, float]] = []
+    for bank in range(int(ports["banks"])):
+        histogram = bank_histogram(metrics, bank)
+        mean = histogram.mean()
+        out.append(
+            {
+                "bank": float(bank),
+                "mean_accesses": mean,
+                "busy_fraction": histogram.fraction_at_least(1),
+                "utilization": mean / ports_per_bank,
+            }
+        )
+    return out
+
+
+def mean_bank_utilization(metrics: Mapping[str, object]) -> float:
+    """Mean fraction of peak bank bandwidth used, averaged over banks."""
+    rows = bank_stats(metrics)
+    if not rows:
+        return 0.0
+    return sum(row["utilization"] for row in rows) / len(rows)
+
+
+def render_metrics(metrics: Mapping[str, object], title: str = "") -> str:
+    """Occupancy percentiles + per-bank utilization as aligned tables."""
+    occupancy = Table(
+        ["structure", "mean", "p50", "p90", "p99", "max"],
+        precision=2,
+        title=title or None,
+    )
+    for structure, row in occupancy_stats(metrics).items():
+        occupancy.add_row(
+            [
+                structure,
+                row["mean"],
+                int(row["p50"]),
+                int(row["p90"]),
+                int(row["p99"]),
+                int(row["max"]),
+            ]
+        )
+
+    ports = metrics["ports"]  # type: ignore[index]
+    banks = Table(
+        ["bank", "accesses/cycle", "busy", "utilization"],
+        precision=2,
+        title=(
+            f"per-bank bandwidth ({ports['kind']}, "
+            f"{ports['banks']}x{ports['ports_per_bank']} over "
+            f"{metrics['cycles']} cycles)"
+        ),
+    )
+    for row in bank_stats(metrics):
+        banks.add_row(
+            [
+                int(row["bank"]),
+                row["mean_accesses"],
+                f"{100.0 * row['busy_fraction']:.1f}%",
+                f"{100.0 * row['utilization']:.1f}%",
+            ]
+        )
+
+    sections = [occupancy.render(), banks.render()]
+    widths = metrics.get("combining_width")
+    if widths:
+        histogram = Histogram.from_buckets("combining_width", widths)
+        combining = Table(
+            ["width", "bank-cycles", "share"],
+            precision=2,
+            title="LBIC combining width (accesses per gated line)",
+        )
+        total = histogram.total
+        for value, count in histogram.items():
+            combining.add_row([value, count, f"{100.0 * count / total:.1f}%"])
+        sections.append(combining.render())
+    return "\n\n".join(sections)
+
+
+def prometheus_metrics(
+    metrics: Mapping[str, object], labels: Optional[Mapping[str, str]] = None
+) -> str:
+    """Render the metrics in the Prometheus text exposition format.
+
+    Gauges only (the payload is a finished run, not a live process), one
+    ``# TYPE`` header per metric family, ``labels`` appended to every
+    sample.  The output parses with any Prometheus text-format parser.
+    """
+    base = dict(labels or {})
+    lines: List[str] = []
+
+    def sample(name: str, value: float, **extra: str) -> None:
+        merged = {**base, **extra}
+        rendered = ",".join(
+            f'{key}="{_escape_label(val)}"' for key, val in sorted(merged.items())
+        )
+        body = f"{{{rendered}}}" if rendered else ""
+        lines.append(f"{name}{body} {_format_value(value)}")
+
+    lines.append("# TYPE repro_cycles gauge")
+    sample("repro_cycles", float(metrics["cycles"]))  # type: ignore[arg-type]
+
+    lines.append("# TYPE repro_occupancy gauge")
+    for structure, row in occupancy_stats(metrics).items():
+        for stat, value in row.items():
+            sample("repro_occupancy", value, structure=structure, stat=stat)
+
+    rows = bank_stats(metrics)
+    lines.append("# TYPE repro_bank_utilization gauge")
+    for row in rows:
+        sample(
+            "repro_bank_utilization",
+            row["utilization"],
+            bank=str(int(row["bank"])),
+        )
+    lines.append("# TYPE repro_bank_busy_fraction gauge")
+    for row in rows:
+        sample(
+            "repro_bank_busy_fraction",
+            row["busy_fraction"],
+            bank=str(int(row["bank"])),
+        )
+
+    widths = metrics.get("combining_width")
+    if widths:
+        histogram = Histogram.from_buckets("combining_width", widths)
+        lines.append("# TYPE repro_combining_width_mean gauge")
+        sample("repro_combining_width_mean", histogram.mean())
+    return "\n".join(lines) + "\n"
+
+
+def _escape_label(value: str) -> str:
+    return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))

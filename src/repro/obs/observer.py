@@ -1,9 +1,10 @@
 """The observer handle threaded through the timing core.
 
-An :class:`Observer` bundles the two observability instruments — the
+An :class:`Observer` bundles the observability instruments — the
 :class:`~repro.obs.accountant.CycleAccountant` (always on when an
-observer is attached) and an optional
-:class:`~repro.obs.events.EventTrace` — behind one object the
+observer is attached), an optional
+:class:`~repro.obs.events.EventTrace`, and an optional
+:class:`~repro.obs.metrics.MetricsCollector` — behind one object the
 simulator components null-check on their hot paths.  With no observer
 attached (the default) the entire layer costs one ``is None`` test per
 hook site.
@@ -15,20 +16,23 @@ from typing import Optional
 
 from .accountant import CycleAccountant
 from .events import EventTrace
+from .metrics import MetricsCollector
 
 
 class Observer:
-    """Stall attribution plus (optionally) event tracing for one run."""
+    """Stall attribution plus optional event tracing and metrics."""
 
-    __slots__ = ("accountant", "trace")
+    __slots__ = ("accountant", "trace", "metrics")
 
     def __init__(
         self,
         accountant: Optional[CycleAccountant] = None,
         trace: Optional[EventTrace] = None,
+        metrics: Optional[MetricsCollector] = None,
     ) -> None:
         self.accountant = accountant if accountant is not None else CycleAccountant()
         self.trace = trace
+        self.metrics = metrics
 
     @classmethod
     def tracing(
@@ -36,3 +40,8 @@ class Observer:
     ) -> "Observer":
         """An observer with event tracing enabled."""
         return cls(trace=EventTrace(capacity=capacity, sample_period=sample_period))
+
+    @classmethod
+    def with_metrics(cls) -> "Observer":
+        """An observer with structure-utilization metrics enabled."""
+        return cls(metrics=MetricsCollector())

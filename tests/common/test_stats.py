@@ -162,3 +162,116 @@ class TestMeans:
     def test_harmonic_mean_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             harmonic_mean([-1.0])
+
+
+class TestHistogramMerge:
+    def test_merge_folds_buckets(self):
+        a = Histogram("a")
+        a.record(1, 2)
+        a.record(3, 1)
+        b = Histogram("b")
+        b.record(1, 1)
+        b.record(5, 4)
+        assert a.merge(b) is a
+        assert dict(a.items()) == {1: 3, 3: 1, 5: 4}
+        # the source is untouched
+        assert dict(b.items()) == {1: 1, 5: 4}
+
+    def test_merge_empty_is_identity(self):
+        a = Histogram("a")
+        a.record(2, 3)
+        before = dict(a.items())
+        a.merge(Histogram("empty"))
+        assert dict(a.items()) == before
+
+    def test_from_buckets_coerces_string_keys(self):
+        histogram = Histogram.from_buckets("h", {"2": 3, "10": 1})
+        assert dict(histogram.items()) == {2: 3, 10: 1}
+
+    @given(
+        st.lists(
+            st.dictionaries(
+                st.integers(0, 40), st.integers(1, 50), max_size=8
+            ),
+            min_size=2,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=50)
+    def test_merge_is_order_independent(self, bucket_sets):
+        def build(order):
+            merged = Histogram("m")
+            for buckets in order:
+                merged.merge(Histogram.from_buckets("x", buckets))
+            return dict(merged.items())
+
+        assert build(bucket_sets) == build(list(reversed(bucket_sets)))
+
+    @given(st.dictionaries(st.integers(0, 100), st.integers(1, 40), min_size=1))
+    @settings(max_examples=50)
+    def test_percentile_is_monotone_and_bounded(self, buckets):
+        histogram = Histogram.from_buckets("h", buckets)
+        values = sorted(buckets)
+        previous = values[0]
+        for p in (0, 10, 25, 50, 75, 90, 99, 100):
+            value = histogram.percentile(p)
+            assert value >= previous
+            assert values[0] <= value <= values[-1]
+            previous = value
+        assert histogram.percentile(100) == histogram.max()
+
+    def test_percentile_of_empty_is_zero(self):
+        assert Histogram("h").percentile(50) == 0
+
+    def test_percentile_known_values(self):
+        histogram = Histogram("h")
+        histogram.record(1, 50)
+        histogram.record(10, 49)
+        histogram.record(100, 1)
+        assert histogram.percentile(50) == 1
+        assert histogram.percentile(90) == 10
+        assert histogram.percentile(99) == 10
+        assert histogram.percentile(100) == 100
+
+
+class TestStatNameCollision:
+    def test_counter_then_histogram_raises(self):
+        from repro.common.stats import StatNameCollision
+
+        group = StatGroup()
+        group.counter("x")
+        with pytest.raises(StatNameCollision):
+            group.histogram("x")
+
+    def test_group_then_counter_raises(self):
+        from repro.common.stats import StatNameCollision
+
+        group = StatGroup()
+        group.group("child")
+        with pytest.raises(StatNameCollision):
+            group.counter("child")
+
+    def test_running_mean_then_group_raises(self):
+        from repro.common.stats import StatNameCollision
+
+        group = StatGroup()
+        group.running_mean("m")
+        with pytest.raises(StatNameCollision):
+            group.group("m")
+
+    def test_same_kind_reuse_is_fine(self):
+        group = StatGroup()
+        assert group.histogram("h") is group.histogram("h")
+        assert group.group("g") is group.group("g")
+
+    def test_as_dict_never_collides(self):
+        from repro.common.stats import StatNameCollision
+
+        group = StatGroup()
+        group.counter("n").add(1)
+        group.histogram("h").record(2)
+        group.group("child")
+        with pytest.raises(StatNameCollision):
+            group.histogram("n")
+        data = group.as_dict()
+        assert set(data) == {"n", "h", "child"}

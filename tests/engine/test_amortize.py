@@ -45,8 +45,8 @@ def _fresh_registries():
     clear_registries()
 
 
-def run_matrix(**engine_kwargs):
-    engine = SimulationEngine(SETTINGS, **engine_kwargs)
+def run_matrix(settings=SETTINGS, **engine_kwargs):
+    engine = SimulationEngine(settings, **engine_kwargs)
     units = [
         engine.unit(name, ports=ports)
         for name in BENCHMARKS
@@ -144,3 +144,53 @@ def test_no_store_means_no_filesystem(tmp_path, monkeypatch):
     engine = SimulationEngine(SETTINGS, store=None)
     engine.run_units([engine.unit("li", ports=IdealPortConfig(ports=2))])
     assert not (tmp_path / "results").exists()
+
+
+# -- metrics equivalence ----------------------------------------------------
+#
+# Structure-utilization metrics ride the work-unit payload, outside the
+# fingerprint.  The acceptance matrix for that design: with metrics off
+# nothing changes anywhere (stall attribution included), and with
+# metrics on the timing result — IPC, cycles, stalls, every field but
+# the new ``extra["metrics"]`` payload — is bit-identical.
+
+from dataclasses import replace as _replace
+
+OBSERVED = _replace(SETTINGS, observe=True)
+METERED = _replace(SETTINGS, observe=True, metrics=True)
+
+
+def test_metrics_off_observed_matrix_is_bit_identical():
+    _, serial = run_matrix(settings=OBSERVED)
+    clear_registries()
+    _, parallel = run_matrix(settings=OBSERVED, jobs=2)
+    assert serial == parallel
+    for result in serial:
+        assert "stalls" in result["extra"]
+        assert "metrics" not in result["extra"]
+
+
+def test_metrics_on_leaves_timing_and_stalls_unchanged():
+    _, observed = run_matrix(settings=OBSERVED)
+    clear_registries()
+    _, metered = run_matrix(settings=METERED)
+    assert len(observed) == len(metered)
+    for plain, with_metrics in zip(observed, metered):
+        extra = dict(with_metrics["extra"])
+        metrics = extra.pop("metrics")
+        # metrics cover the drain tail too — the all-cycles convention
+        assert metrics["cycles"] == sum(extra["stalls_all_cycles"].values())
+        stripped = dict(with_metrics)
+        stripped["extra"] = extra
+        assert stripped == plain
+
+
+def test_metrics_does_not_change_the_fingerprint():
+    observed = SimulationEngine(OBSERVED)
+    metered = SimulationEngine(METERED)
+    for name in BENCHMARKS:
+        for ports in PORT_MODELS:
+            assert (
+                observed.unit(name, ports=ports).fingerprint
+                == metered.unit(name, ports=ports).fingerprint
+            )

@@ -1,0 +1,245 @@
+"""Engine telemetry: phase spans account for the sweep's wall time,
+records export as JSONL under the store root, cache hits report their
+savings, metrics-refresh bookkeeping, and the live progress line."""
+
+from __future__ import annotations
+
+import io
+import json
+from dataclasses import replace
+
+from repro.common.config import BankedPortConfig, IdealPortConfig, LBICConfig
+from repro.engine import (
+    ProgressPrinter,
+    ResultStore,
+    RunEvent,
+    RunSettings,
+    SimulationEngine,
+    SweepTelemetry,
+    clear_registries,
+    clear_telemetry,
+    render_telemetry_info,
+    telemetry_files,
+)
+from repro.engine.telemetry import PHASES
+
+SETTINGS = RunSettings(
+    instructions=1_500,
+    warmup_instructions=1_000,
+    benchmarks=("compress", "swim"),
+)
+
+CONFIGS = [
+    IdealPortConfig(ports=2),
+    BankedPortConfig(banks=4),
+    LBICConfig(banks=2, buffer_ports=2),
+]
+
+
+def all_units(engine):
+    return [
+        engine.unit(name, ports=config)
+        for name in SETTINGS.benchmarks
+        for config in CONFIGS
+    ]
+
+
+def run_sweep(tmp_path, **kwargs):
+    clear_registries()
+    kwargs.setdefault("store", ResultStore(tmp_path / "cache"))
+    engine = SimulationEngine(SETTINGS, jobs=1, **kwargs)
+    engine.run_units(all_units(engine))
+    return engine
+
+
+class TestSpans:
+    def test_span_totals_account_for_the_sweep(self, tmp_path):
+        engine = run_sweep(tmp_path)
+        telemetry = engine.telemetry
+        assert telemetry.simulated == len(SETTINGS.benchmarks) * len(CONFIGS)
+        assert telemetry.cache_hits == 0
+        # at jobs=1 nothing overlaps, so the phase spans must cover the
+        # measured elapsed wall clock to within the 5% acceptance bound
+        assert telemetry.span_seconds() >= 0.95 * telemetry.elapsed_seconds
+        assert telemetry.span_seconds() <= 1.05 * telemetry.elapsed_seconds
+        for phase in telemetry.phase_seconds:
+            assert phase in PHASES
+
+    def test_every_unit_carries_its_phases(self, tmp_path):
+        engine = run_sweep(tmp_path)
+        for record in engine.telemetry.units:
+            assert record["kind"] == "unit"
+            assert record["source"] == "simulated"
+            assert record["phases"]["simulate"] > 0.0
+
+    def test_summary_shape(self, tmp_path):
+        engine = run_sweep(tmp_path)
+        summary = engine.telemetry.summary()
+        assert summary["kind"] == "sweep_summary"
+        assert summary["units"] == summary["simulated"]
+        assert summary["jobs"] == 1
+        efficiency = summary["parallel_efficiency"]
+        assert efficiency is not None and 0.0 < efficiency <= 1.05
+
+
+class TestSavings:
+    def test_disk_hits_report_what_the_cache_saved(self, tmp_path):
+        cold = run_sweep(tmp_path)
+        cold_summary = cold.cache_summary()
+        assert cold_summary["saved_seconds"] == 0.0
+        warm = run_sweep(tmp_path)
+        telemetry = warm.telemetry
+        assert telemetry.simulated == 0
+        assert telemetry.cache_hits == len(SETTINGS.benchmarks) * len(CONFIGS)
+        assert warm.cache_summary()["saved_seconds"] > 0.0
+
+    def test_memo_hits_report_savings_too(self):
+        clear_registries()
+        engine = SimulationEngine(SETTINGS, jobs=1)
+        unit = engine.unit("swim", ports=IdealPortConfig(ports=2))
+        engine.run_units([unit])
+        engine.run_units([unit])
+        assert engine.telemetry.cache_hits == 1
+        assert engine.telemetry.saved_seconds > 0.0
+
+
+class TestMetricsRefresh:
+    def test_metrics_request_refreshes_a_plain_entry(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        observed = replace(SETTINGS, observe=True)
+        metered = replace(SETTINGS, observe=True, metrics=True)
+        ports = LBICConfig(banks=2, buffer_ports=2)
+
+        clear_registries()
+        first = SimulationEngine(observed, jobs=1, store=store)
+        first.result("swim", ports=ports)
+
+        second = SimulationEngine(metered, jobs=1, store=store)
+        result = second.result("swim", ports=ports)
+        assert "metrics" in result.extra
+        summary = second.cache_summary()
+        assert summary["metrics_refreshes"] == 1
+        assert summary["simulated"] == 1
+
+        # the enriched entry now serves plain observed requests from disk
+        third = SimulationEngine(observed, jobs=1, store=store)
+        again = third.result("swim", ports=ports)
+        assert third.cache_summary()["disk_hits"] == 1
+        assert "metrics" in again.extra
+
+    def test_metrics_entry_satisfies_metrics_request(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        metered = replace(SETTINGS, observe=True, metrics=True)
+        ports = BankedPortConfig(banks=4)
+        clear_registries()
+        SimulationEngine(metered, jobs=1, store=store).result("swim", ports=ports)
+        warm = SimulationEngine(metered, jobs=1, store=store)
+        warm.result("swim", ports=ports)
+        summary = warm.cache_summary()
+        assert summary["disk_hits"] == 1
+        assert summary["metrics_refreshes"] == 0
+
+
+class TestExport:
+    def test_flush_writes_jsonl_under_the_store_root(self, tmp_path):
+        engine = run_sweep(tmp_path)
+        path = engine.flush_telemetry()
+        assert path is not None
+        assert path.parent == tmp_path / "cache" / "telemetry"
+        records = [
+            json.loads(line) for line in path.read_text().splitlines()
+        ]
+        units = [r for r in records if r["kind"] == "unit"]
+        assert len(units) == len(SETTINGS.benchmarks) * len(CONFIGS)
+        assert records[-1]["kind"] == "sweep_summary"
+        # flushing resets the accumulator; nothing new -> no second write
+        assert engine.telemetry.units == []
+        assert engine.flush_telemetry() is None
+
+    def test_storeless_engine_flush_is_a_noop(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        clear_registries()
+        engine = SimulationEngine(SETTINGS, jobs=1, store=None)
+        engine.run_units([engine.unit("swim", ports=IdealPortConfig(ports=2))])
+        assert engine.flush_telemetry() is None
+        assert not (tmp_path / "results").exists()
+
+    def test_telemetry_files_and_clear(self, tmp_path):
+        engine = run_sweep(tmp_path)
+        engine.flush_telemetry()
+        root = tmp_path / "cache"
+        assert len(telemetry_files(root / "telemetry")) == 1
+        info = render_telemetry_info(root)
+        assert info is not None
+        assert "telemetry:" in info and "last sweep:" in info
+        assert clear_telemetry(root) == 1
+        assert telemetry_files(root / "telemetry") == []
+        assert render_telemetry_info(root) is None
+
+    def test_render_mentions_savings_and_efficiency(self, tmp_path):
+        engine = run_sweep(tmp_path)
+        line = engine.telemetry.render()
+        assert "telemetry:" in line
+        assert "parallel efficiency" in line
+        warm = run_sweep(tmp_path)
+        assert "cache saved" in warm.telemetry.render()
+
+
+class TestProgressPrinter:
+    @staticmethod
+    def event(index, total, source="simulated"):
+        return RunEvent(
+            label=f"unit{index}",
+            fingerprint="f" * 8,
+            source=source,
+            wall_time=0.1,
+            index=index,
+            total=total,
+        )
+
+    def test_counts_and_finishes_with_newline(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer(self.event(0, 2))
+        printer(self.event(1, 2))
+        output = stream.getvalue()
+        assert "[1/2]" in output and "[2/2]" in output
+        assert output.endswith("\n")
+
+    def test_resets_between_batches(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer(self.event(0, 1))
+        printer(self.event(0, 1, source="memory"))
+        assert stream.getvalue().count("[1/1]") == 2
+
+    def test_eta_appears_mid_batch(self):
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer(self.event(0, 3))
+        assert "ETA" in stream.getvalue()
+
+    def test_engine_integration(self, tmp_path):
+        stream = io.StringIO()
+        clear_registries()
+        engine = SimulationEngine(
+            SETTINGS, jobs=1, progress=ProgressPrinter(stream=stream)
+        )
+        engine.run_units([engine.unit("swim", ports=IdealPortConfig(ports=2))])
+        assert "[1/1]" in stream.getvalue()
+        assert "swim/2-port ideal" in stream.getvalue()
+
+
+def test_sweep_telemetry_accumulates_across_runs():
+    telemetry = SweepTelemetry()
+    telemetry.add_unit("a", "f1", "simulated", 1.0, {"simulate": 1.0})
+    telemetry.add_unit("b", "f2", "disk", 0.0)
+    telemetry.note_savings(2.5)
+    telemetry.note_sweep(2.0, jobs=2)
+    summary = telemetry.summary()
+    assert summary["units"] == 2
+    assert summary["simulated"] == 1
+    assert summary["cache_hits"] == 1
+    assert summary["saved_seconds"] == 2.5
+    assert summary["phase_seconds"] == {"simulate": 1.0}
+    assert summary["parallel_efficiency"] == 0.25

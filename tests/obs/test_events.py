@@ -68,6 +68,17 @@ class TestExport:
         lines = path.read_text().splitlines()
         assert [json.loads(line) for line in lines] == trace.events()
 
+    def test_jsonl_append_mode(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        write_events_jsonl(path, [{"kind": "a"}])
+        write_events_jsonl(path, [{"kind": "b"}], append=True)
+        kinds = [json.loads(line)["kind"] for line in path.read_text().splitlines()]
+        assert kinds == ["a", "b"]
+        # default mode truncates
+        write_events_jsonl(path, [{"kind": "c"}])
+        assert [json.loads(line)["kind"]
+                for line in path.read_text().splitlines()] == ["c"]
+
     def test_format_events_renders_all_fields(self):
         trace = EventTrace()
         trace.record(3, "refusal", seq=7, addr=0x80, bank=0, detail="port_limit")

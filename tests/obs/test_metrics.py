@@ -1,0 +1,205 @@
+"""Structure-utilization metrics, end to end: the per-cycle histograms
+cover every metered cycle on every port model, cycle skipping is
+invisible, collecting metrics never perturbs timing, and the export
+surfaces (tables, JSON, Prometheus text) agree with the payload."""
+
+import json
+import re
+
+import pytest
+
+from repro.common.config import (
+    BankedPortConfig,
+    IdealPortConfig,
+    LBICConfig,
+    ReplicatedPortConfig,
+    paper_machine,
+)
+from repro.core.processor import simulate
+from repro.obs import (
+    MetricsCollector,
+    Observer,
+    bank_stats,
+    mean_bank_utilization,
+    occupancy_stats,
+    prometheus_metrics,
+    render_metrics,
+)
+from repro.workloads import spec95_workload
+
+PORTS = [
+    IdealPortConfig(2),
+    ReplicatedPortConfig(2),
+    BankedPortConfig(banks=4),
+    LBICConfig(banks=4, buffer_ports=4),
+]
+
+N = 3_000
+WARM = 1_000
+
+
+def metered_run(name, ports, cycle_skipping=True, observer="metrics"):
+    workload = spec95_workload(name)
+    if observer == "metrics":
+        observer = Observer.with_metrics()
+    return simulate(
+        paper_machine(ports),
+        workload.stream(seed=1, max_instructions=N + WARM),
+        max_instructions=N,
+        warmup_instructions=WARM,
+        label=f"{name}/{ports.describe()}",
+        observer=observer,
+        cycle_skipping=cycle_skipping,
+    )
+
+
+@pytest.mark.parametrize("ports", PORTS, ids=lambda p: p.describe())
+def test_histograms_cover_every_cycle(ports):
+    result = metered_run("swim", ports)
+    metrics = result.extra["metrics"]
+    cycles = metrics["cycles"]
+    # every metered cycle, drain tail included (the all-cycles view)
+    assert cycles >= result.cycles
+    for structure, buckets in metrics["occupancy"].items():
+        assert sum(buckets.values()) == cycles, structure
+    per_bank = metrics["ports"]["per_bank"]
+    assert len(per_bank) == metrics["ports"]["banks"]
+    for bank, buckets in per_bank.items():
+        assert sum(buckets.values()) == cycles, f"bank {bank}"
+        for accesses in buckets:
+            assert 0 <= int(accesses) <= metrics["ports"]["ports_per_bank"]
+
+
+def test_port_geometry_matches_config():
+    result = metered_run("swim", LBICConfig(banks=4, buffer_ports=2))
+    ports = result.extra["metrics"]["ports"]
+    assert ports["banks"] == 4
+    assert ports["ports_per_bank"] == 2
+    assert "combining_width" in result.extra["metrics"]
+    result = metered_run("swim", BankedPortConfig(banks=8))
+    ports = result.extra["metrics"]["ports"]
+    assert ports["banks"] == 8
+    assert ports["ports_per_bank"] == 1
+    assert "combining_width" not in result.extra["metrics"]
+
+
+@pytest.mark.parametrize(
+    "ports",
+    [IdealPortConfig(2), LBICConfig(banks=4, buffer_ports=4)],
+    ids=lambda p: p.describe(),
+)
+def test_cycle_skipping_is_invisible(ports):
+    skipped = metered_run("li", ports, cycle_skipping=True)
+    stepped = metered_run("li", ports, cycle_skipping=False)
+    assert skipped.extra["metrics"] == stepped.extra["metrics"]
+    assert skipped.to_dict() == stepped.to_dict()
+
+
+def test_metrics_do_not_perturb_timing():
+    ports = LBICConfig(banks=4, buffer_ports=4)
+    plain = metered_run("swim", ports, observer=None).to_dict()
+    metered = metered_run("swim", ports).to_dict()
+    plain.pop("extra")
+    metered.pop("extra")
+    assert metered == plain
+
+
+def test_payload_survives_json_round_trip():
+    metrics = metered_run("swim", BankedPortConfig(banks=4)).extra["metrics"]
+    restored = json.loads(json.dumps(metrics))
+    assert restored == metrics
+    assert occupancy_stats(restored) == occupancy_stats(metrics)
+    assert bank_stats(restored) == bank_stats(metrics)
+
+
+class TestSummaries:
+    @pytest.fixture(scope="class")
+    def metrics(self):
+        return metered_run(
+            "swim", LBICConfig(banks=4, buffer_ports=4)
+        ).extra["metrics"]
+
+    def test_occupancy_stats_shape(self, metrics):
+        stats = occupancy_stats(metrics)
+        for structure in ("ruu", "lsq", "mshr"):
+            row = stats[structure]
+            assert row["mean"] <= row["max"]
+            assert row["p50"] <= row["p90"] <= row["p99"] <= row["max"]
+
+    def test_bank_stats_bounds(self, metrics):
+        rows = bank_stats(metrics)
+        assert len(rows) == 4
+        for row in rows:
+            assert 0.0 <= row["busy_fraction"] <= 1.0
+            assert 0.0 <= row["utilization"] <= 1.0
+            assert row["mean_accesses"] <= 4.0
+        assert 0.0 < mean_bank_utilization(metrics) <= 1.0
+
+    def test_render_metrics_tables(self, metrics):
+        text = render_metrics(metrics, title="resource utilization - test")
+        assert "resource utilization - test" in text
+        assert "structure" in text
+        assert "per-bank bandwidth" in text
+        assert "LBIC combining width" in text
+
+    def test_prometheus_format_parses(self, metrics):
+        text = prometheus_metrics(
+            metrics, labels={"benchmark": "swim", "ports": 'odd"label\\x'}
+        )
+        assert text.endswith("\n")
+        sample = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*'
+            r'(\{[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"'
+            r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})? '
+            r'-?[0-9.eE+-]+$'
+        )
+        current_family = None
+        families = []
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                _, _, name, kind = line.split()
+                assert kind == "gauge"
+                assert name not in families, "family declared twice"
+                families.append(name)
+                current_family = name
+                continue
+            assert sample.match(line), line
+            name = line.split("{", 1)[0].split(" ", 1)[0]
+            # samples stay grouped under their family's TYPE header
+            assert name == current_family, line
+        assert "repro_cycles" in families
+        assert "repro_occupancy" in families
+        assert "repro_bank_utilization" in families
+
+    def test_prometheus_labels_are_escaped(self, metrics):
+        text = prometheus_metrics(metrics, labels={"ports": 'a"b\\c'})
+        assert 'ports="a\\"b\\\\c"' in text
+
+
+class _StubPorts:
+    """The slice of the PortModel surface ``as_extra`` reads."""
+
+    def __init__(self, banks, ports_per_bank):
+        self.bank_count = banks
+        self.ports_per_bank = ports_per_bank
+        self.config = None
+
+
+class TestCollector:
+    def test_record_skip_matches_record_cycle(self):
+        stepped = MetricsCollector()
+        for _ in range(5):
+            stepped.record_cycle(7, 3, 2, ())
+        skipped = MetricsCollector()
+        skipped.record_skip(5, 7, 3, 2)
+        ports = _StubPorts(banks=1, ports_per_bank=2)
+        assert stepped.as_extra(ports) == skipped.as_extra(ports)
+
+    def test_idle_bank_cycles_are_inferred(self):
+        collector = MetricsCollector()
+        collector.record_cycle(1, 1, 0, [(0, 2)])
+        collector.record_cycle(1, 1, 0, ())
+        collector.record_cycle(1, 1, 0, [(0, 1)])
+        extra = collector.as_extra(_StubPorts(banks=2, ports_per_bank=2))
+        assert extra["ports"]["per_bank"]["0"] == {"0": 1, "1": 1, "2": 1}
+        assert extra["ports"]["per_bank"]["1"] == {"0": 3}

@@ -135,3 +135,68 @@ class TestCommands:
     def test_ablation_interleaving_runs(self, capsys):
         assert main(["ablation", "interleaving", "-n", "1200", "-b", "li"]) == 0
         assert "word" in capsys.readouterr().out
+
+    def test_metrics_command_renders_tables(self, capsys):
+        code = main([
+            "metrics", "swim", "--ports", "lbic:4x4", "-n", "1500",
+            "--warmup", "500", "--no-cache",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resource utilization" in out
+        assert "structure" in out
+        assert "per-bank bandwidth" in out
+        assert "LBIC combining width" in out
+
+    def test_metrics_command_json(self, capsys):
+        code = main([
+            "metrics", "li", "--ports", "bank:4", "-n", "1500",
+            "--warmup", "500", "--no-cache", "--json",
+        ])
+        assert code == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ports"]["banks"] == 4
+        assert sum(payload["occupancy"]["ruu"].values()) == payload["cycles"]
+
+    def test_metrics_command_prom(self, capsys):
+        code = main([
+            "metrics", "li", "--ports", "ideal:2", "-n", "1500",
+            "--warmup", "500", "--no-cache", "--prom",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_cycles gauge" in out
+        assert 'benchmark="li"' in out
+
+    def test_metrics_json_and_prom_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            main(["metrics", "li", "--json", "--prom"])
+
+    def test_progress_flag_renders_live_line(self, capsys):
+        code = main([
+            "run", "li", "--ports", "ideal:2", "-n", "1200",
+            "--no-cache", "--progress",
+        ])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "[1/1]" in err
+        assert "li/2-port ideal" in err
+
+    def test_cache_info_reports_telemetry(self, capsys):
+        assert main(["run", "li", "--ports", "ideal:2", "-n", "1200"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry:" in out
+        assert "last sweep:" in out
+
+    def test_cache_clear_removes_telemetry(self, capsys):
+        assert main(["run", "li", "--ports", "ideal:2", "-n", "1200"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear"]) == 0
+        out = capsys.readouterr().out
+        assert "telemetry file(s)" in out
+        assert main(["cache", "info"]) == 0
+        assert "telemetry:" not in capsys.readouterr().out

@@ -109,13 +109,21 @@ def bench_case(
     seed: int,
     rounds: int,
     cycle_skipping: bool,
+    metrics: bool = False,
 ) -> Dict[str, object]:
     stream = make_stream(workload, instructions, seed)
     config = make_config(workload, ports)
     best = 0.0
     cycles = skipped = 0
     for _ in range(rounds):
-        processor = Processor(config, cycle_skipping=cycle_skipping)
+        observer = None
+        if metrics:
+            from repro.obs import Observer
+
+            observer = Observer.with_metrics()
+        processor = Processor(
+            config, cycle_skipping=cycle_skipping, observer=observer
+        )
         start = time.perf_counter()
         result = processor.run(iter(stream), max_instructions=instructions)
         elapsed = time.perf_counter() - start
@@ -207,9 +215,10 @@ def load_history(path: Path) -> List[dict]:
 
 def find_baseline(history: List[dict], record: dict) -> Optional[dict]:
     """Most recent prior record with the same measurement conditions."""
-    keys = ("quick", "instructions", "cycle_skipping", "sweep")
+    keys = ("quick", "instructions", "cycle_skipping", "sweep", "metrics")
     for prior in reversed(history):
-        if all(prior.get(k) == record.get(k) for k in keys):
+        # records written before a key existed read as False (flag unset)
+        if all(prior.get(k, False) == record.get(k, False) for k in keys):
             return prior
     return None
 
@@ -251,6 +260,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="sweep engine worker processes (default 1)")
     parser.add_argument("--no-skip", dest="skip", action="store_false",
                         help="disable event-horizon cycle skipping")
+    parser.add_argument("--metrics", action="store_true",
+                        help="attach structure-utilization metrics to every "
+                             "run (measures the metrics-on overhead; records "
+                             "only compare against other --metrics records)")
     parser.add_argument("--output", type=Path,
                         default=REPO_ROOT / "BENCH_speed.json")
     parser.add_argument("--check-regression", action="store_true",
@@ -290,7 +303,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         measured = []
         for workload, ports in cases:
-            case = bench_case(workload, ports, instructions, args.seed, rounds, args.skip)
+            case = bench_case(workload, ports, instructions, args.seed, rounds,
+                              args.skip, metrics=args.metrics)
             measured.append(case)
             print(
                 f"{workload:>10s} x {ports:<8s} {case['instr_per_sec']:>10,.0f} instr/s"
@@ -306,6 +320,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "rounds": rounds,
         "seed": args.seed,
         "cycle_skipping": args.skip,
+        "metrics": args.metrics,
         "note": args.note,
         "cases": measured,
     }

@@ -14,6 +14,7 @@ sweep ablations, and manage traces::
     repro-lbic metrics swim --ports lbic:4x4  # occupancy + bank utilization
     repro-lbic trace swim out.trc -n 50000  # workload trace (replayable)
     repro-lbic trace swim --ports bank:4 events.jsonl   # timing events
+    repro-lbic pack run replacement-policies --quick    # declarative sweep
     repro-lbic list
 
 Every timing subcommand accepts ``--jobs N`` (parallel workers; default:
@@ -433,6 +434,25 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_pack(args) -> int:
+    from .experiments.packs import available_packs, load_pack, run_pack
+
+    if args.pack_command == "list":
+        for name in available_packs():
+            pack = load_pack(name)
+            print(f"{name:<26s} {len(pack.variants):>3d} variants  {pack.title}")
+        return 0
+    pack = load_pack(args.name)
+    if args.pack_command == "show":
+        print(pack.describe())
+        return 0
+    engine = _engine(args, settings=pack.run_settings(quick=args.quick))
+    outcome = run_pack(pack, engine=engine, quick=args.quick)
+    print(outcome.render())
+    print(engine.render_summary(), file=sys.stderr)
+    return _finish(engine)
+
+
 def cmd_list(args) -> int:
     print("benchmark  suite  mem%   s/l    miss    ILP(16-port IPC)")
     for name in ALL_NAMES:
@@ -587,6 +607,22 @@ def build_parser() -> argparse.ArgumentParser:
     cache_sub.add_parser("info", help="show entry counts and version stamps")
     cache_sub.add_parser("clear", help="delete every cached result")
     p.set_defaults(func=cmd_cache)
+
+    p = sub.add_parser("pack", help="run declarative experiment packs")
+    pack_sub = p.add_subparsers(dest="pack_command", required=True)
+    pack_sub.add_parser("list", help="list the shipped packs")
+    ps = pack_sub.add_parser(
+        "show", help="describe one pack's settings and variants"
+    )
+    ps.add_argument("name", help="pack name or path to a .json pack file")
+    pr = pack_sub.add_parser("run", help="execute one pack through the engine")
+    pr.add_argument("name", help="pack name or path to a .json pack file")
+    pr.add_argument(
+        "--quick", action="store_true",
+        help="apply the pack's quick overlay (smaller budget and workloads)",
+    )
+    _add_engine_opts(pr)
+    p.set_defaults(func=cmd_pack)
 
     p = sub.add_parser("list", help="list the benchmark models and their targets")
     p.set_defaults(func=cmd_list)

@@ -18,9 +18,11 @@ processor/memory model (Table 1 of the paper):
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, replace
+from functools import partial
 from typing import Any, Dict, Optional, Tuple
 
 from .errors import ConfigError
+from .registry import config_from_dict, mechanism, register_mechanism
 from .serialize import fingerprint_of
 
 
@@ -37,6 +39,17 @@ def log2_exact(value: int) -> int:
     if not is_power_of_two(value):
         raise ConfigError(f"{value} is not a power of two")
     return value.bit_length() - 1
+
+
+def _validate_replacement(name: str) -> None:
+    """A cache level's ``replacement`` must be a registered mechanism.
+
+    Routed through the registry, so an unknown name fails eagerly at
+    config construction with the list of valid choices (the policy
+    implementations themselves live in :mod:`repro.memory.replacement`
+    and load lazily on first lookup).
+    """
+    mechanism("replacement_policy", name)
 
 
 # ---------------------------------------------------------------------------
@@ -226,10 +239,15 @@ class L1Config:
     mshr_entries: int = 64
     writeback: bool = True
     write_allocate: bool = True
+    #: replacement-policy mechanism name (see
+    #: :mod:`repro.memory.replacement`); part of the fingerprint, so
+    #: results under different policies never collide in the cache.
+    replacement: str = "lru"
 
     def __post_init__(self) -> None:
         _require(self.hit_latency >= 1, "hit latency must be >= 1")
         _require(self.mshr_entries >= 1, "must have at least one MSHR")
+        _validate_replacement(self.replacement)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -238,6 +256,7 @@ class L1Config:
             "mshr_entries": self.mshr_entries,
             "writeback": self.writeback,
             "write_allocate": self.write_allocate,
+            "replacement": self.replacement,
         }
 
 
@@ -250,16 +269,20 @@ class L2Config:
     )
     access_latency: int = 4
     max_outstanding: int = 64
+    #: replacement-policy mechanism name (see :class:`L1Config`).
+    replacement: str = "lru"
 
     def __post_init__(self) -> None:
         _require(self.access_latency >= 1, "L2 latency must be >= 1")
         _require(self.max_outstanding >= 1, "L2 must allow >= 1 outstanding request")
+        _validate_replacement(self.replacement)
 
     def to_dict(self) -> Dict[str, Any]:
         return {
             "geometry": self.geometry.to_dict(),
             "access_latency": self.access_latency,
             "max_outstanding": self.max_outstanding,
+            "replacement": self.replacement,
         }
 
 
@@ -539,33 +562,74 @@ class MachineConfig:
 
 
 # ---------------------------------------------------------------------------
+# Mechanism registrations.  Port models register under their ``kind`` tag;
+# cache geometries register as named presets (``functools.partial`` over
+# :class:`CacheGeometry`, so call-site keywords override the preset's), so
+# experiment packs can name a geometry instead of spelling out its fields.
+# ---------------------------------------------------------------------------
+
+register_mechanism("port_model", "ideal", IdealPortConfig)
+register_mechanism("port_model", "replicated", ReplicatedPortConfig)
+register_mechanism("port_model", "banked", BankedPortConfig)
+register_mechanism("port_model", "lbic", LBICConfig)
+
+register_mechanism("cache_geometry", "custom", CacheGeometry)
+register_mechanism(
+    "cache_geometry",
+    "paper-l1",
+    partial(CacheGeometry, size_bytes=32 * 1024, line_size=32, associativity=1),
+)
+register_mechanism(
+    "cache_geometry",
+    "paper-l2",
+    partial(CacheGeometry, size_bytes=512 * 1024, line_size=64, associativity=4),
+)
+register_mechanism(
+    "cache_geometry",
+    "small-l1",
+    partial(CacheGeometry, size_bytes=8 * 1024, line_size=32, associativity=1),
+)
+register_mechanism(
+    "cache_geometry",
+    "small-4way-l1",
+    partial(CacheGeometry, size_bytes=4 * 1024, line_size=32, associativity=4),
+)
+
+
+# ---------------------------------------------------------------------------
 # Reconstruction from plain data (the inverse of the ``to_dict`` methods).
 # The forms accepted are exactly what ``to_dict`` emits, before or after a
 # JSON round trip (tuples come back as lists), so configs can cross process
 # boundaries and live in the on-disk result cache.
 # ---------------------------------------------------------------------------
 
-_PORT_MODEL_CLASSES: Dict[str, type] = {}
-
-
-def _register_port_models() -> None:
-    for cls in (IdealPortConfig, ReplicatedPortConfig, BankedPortConfig, LBICConfig):
-        _PORT_MODEL_CLASSES[cls().kind] = cls
-
 
 def port_model_from_dict(data: Dict[str, Any]) -> PortModelConfig:
-    """Rebuild a :class:`PortModelConfig` from its ``to_dict()`` form."""
-    if not _PORT_MODEL_CLASSES:
-        _register_port_models()
+    """Rebuild a :class:`PortModelConfig` from its ``to_dict()`` form.
+
+    Routed through the mechanism registry (see
+    :func:`repro.common.registry.config_from_dict`): an unknown ``kind``
+    raises :class:`ConfigError` naming the registered alternatives.
+    """
+    return config_from_dict("port_model", data)
+
+
+def geometry_from_dict(data: Dict[str, Any]) -> CacheGeometry:
+    """Build a :class:`CacheGeometry` from plain data.
+
+    Accepts either raw geometry fields (the ``to_dict()`` form) or a
+    registry reference — ``{"mechanism": "paper-l1", ...overrides}`` —
+    where remaining keys override the preset's parameters.
+    """
     fields = dict(data)
-    kind = fields.pop("kind", None)
-    cls = _PORT_MODEL_CLASSES.get(kind)
-    if cls is None:
-        raise ConfigError(f"unknown port model kind {kind!r}")
+    name = fields.pop("mechanism", "custom")
+    factory = mechanism("cache_geometry", name)
     try:
-        return cls(**fields)
+        return factory(**fields)
     except TypeError as error:
-        raise ConfigError(f"bad {kind} port model data: {error}") from None
+        raise ConfigError(
+            f"bad parameters for cache_geometry {name!r}: {error}"
+        ) from None
 
 
 def _fu_pool_from_dict(data: Dict[str, Any]) -> FuPoolConfig:
@@ -596,16 +660,18 @@ def machine_config_from_dict(data: Dict[str, Any]) -> MachineConfig:
                 fu=_fu_pool_from_dict(core["fu"]),
             ),
             l1=L1Config(
-                geometry=CacheGeometry(**data["l1"]["geometry"]),
+                geometry=geometry_from_dict(data["l1"]["geometry"]),
                 hit_latency=data["l1"]["hit_latency"],
                 mshr_entries=data["l1"]["mshr_entries"],
                 writeback=data["l1"]["writeback"],
                 write_allocate=data["l1"]["write_allocate"],
+                replacement=data["l1"].get("replacement", "lru"),
             ),
             l2=L2Config(
-                geometry=CacheGeometry(**data["l2"]["geometry"]),
+                geometry=geometry_from_dict(data["l2"]["geometry"]),
                 access_latency=data["l2"]["access_latency"],
                 max_outstanding=data["l2"]["max_outstanding"],
+                replacement=data["l2"].get("replacement", "lru"),
             ),
             memory=MainMemoryConfig(**data["memory"]),
             ports=port_model_from_dict(data["ports"]),

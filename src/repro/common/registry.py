@@ -1,0 +1,155 @@
+"""Declarative mechanism registry: named, typed building blocks.
+
+A *mechanism* is one interchangeable implementation choice of the
+simulated machine — a cache port model, a replacement policy, a cache
+geometry preset.  Mechanisms register under a ``(category, name)`` pair
+with a factory whose signature *is* the typed parameter schema (frozen
+dataclasses with eager validation, or :func:`functools.partial` presets
+over one)::
+
+    @register_mechanism("port_model", "lbic")
+    class LBICConfig(PortModelConfig):
+        ...
+
+    register_mechanism("cache_geometry", "paper-l1",
+                       partial(CacheGeometry, size_bytes=32 * 1024, ...))
+
+Lookups go through :func:`mechanism` / :func:`build`; an unknown name
+raises :class:`~repro.common.errors.ConfigError` listing the registered
+alternatives, and a duplicate registration raises immediately — two
+mechanisms may never silently shadow each other.
+
+The registry is intentionally import-cycle-free: it depends only on
+:mod:`repro.common.errors`.  Categories whose implementations live in
+heavier modules (e.g. replacement policies under :mod:`repro.memory`)
+are *lazy*: the first lookup imports the providing module, which
+registers its mechanisms as a side effect of import.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from .errors import ConfigError
+
+#: category -> name -> factory (a class or any callable taking keyword
+#: params and returning the configured mechanism value).
+_REGISTRY: Dict[str, Dict[str, Callable[..., Any]]] = {}
+
+#: Lazy providers: importing the module registers the category's
+#: mechanisms.  Kept here (not in the providing modules) so a lookup
+#: can succeed before anything else has imported them.
+_PROVIDERS: Dict[str, str] = {
+    "port_model": "repro.common.config",
+    "cache_geometry": "repro.common.config",
+    "replacement_policy": "repro.memory.replacement",
+}
+
+
+def register_mechanism(
+    category: str, name: str, factory: Optional[Callable[..., Any]] = None
+):
+    """Register ``factory`` as mechanism ``name`` in ``category``.
+
+    Usable directly (``register_mechanism(cat, name, cls)``) or as a
+    class decorator (``@register_mechanism(cat, name)``).  Registering a
+    name twice in one category raises :class:`ConfigError`.
+    """
+
+    def _register(target: Callable[..., Any]) -> Callable[..., Any]:
+        table = _REGISTRY.setdefault(category, {})
+        if name in table:
+            raise ConfigError(
+                f"mechanism {name!r} is already registered in category "
+                f"{category!r} (as {table[name]!r})"
+            )
+        table[name] = target
+        return target
+
+    if factory is None:
+        return _register
+    return _register(factory)
+
+
+def unregister_mechanism(category: str, name: str) -> None:
+    """Remove one registration (test hygiene; no-op if absent)."""
+    _REGISTRY.get(category, {}).pop(name, None)
+
+
+def _table(category: str) -> Dict[str, Callable[..., Any]]:
+    table = _REGISTRY.get(category)
+    if table:
+        return table
+    provider = _PROVIDERS.get(category)
+    if provider is not None:
+        importlib.import_module(provider)
+        table = _REGISTRY.get(category)
+    if not table:
+        raise ConfigError(
+            f"unknown mechanism category {category!r}; known categories: "
+            f"{', '.join(categories())}"
+        )
+    return table
+
+
+def mechanism(category: str, name: str) -> Callable[..., Any]:
+    """The factory registered under ``(category, name)``.
+
+    Unknown names raise :class:`ConfigError` naming every registered
+    alternative, so a typo in a pack file or CLI flag is a one-line fix.
+    """
+    table = _table(category)
+    try:
+        return table[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown {category} {name!r}; registered {category} "
+            f"mechanisms: {', '.join(sorted(table))}"
+        ) from None
+
+
+def build(category: str, name: str, **params: Any) -> Any:
+    """Instantiate mechanism ``name`` with ``params``.
+
+    Parameter validation is the factory's own (the config dataclasses
+    validate eagerly in ``__post_init__``); an unexpected or missing
+    parameter surfaces as :class:`ConfigError` naming the mechanism.
+    """
+    factory = mechanism(category, name)
+    try:
+        return factory(**params)
+    except TypeError as error:
+        raise ConfigError(
+            f"bad parameters for {category} {name!r}: {error}"
+        ) from None
+
+
+def mechanism_names(category: str) -> List[str]:
+    """Sorted names registered in ``category`` (loading it if lazy)."""
+    return sorted(_table(category))
+
+
+def categories() -> List[str]:
+    """Every known category, registered or lazily providable."""
+    return sorted(set(_REGISTRY) | set(_PROVIDERS))
+
+
+def config_from_dict(
+    category: str, data: Mapping[str, Any], tag: str = "kind"
+) -> Any:
+    """Rebuild a registered mechanism from its ``to_dict()`` form.
+
+    The dict must carry the mechanism name under ``tag`` (``"kind"`` for
+    port models); remaining keys are the factory's keyword parameters.
+    Unknown names and bad parameters raise :class:`ConfigError` — never
+    a bare ``KeyError``/``TypeError``.
+    """
+    fields = dict(data)
+    name = fields.pop(tag, None)
+    if name is None:
+        raise ConfigError(
+            f"{category} data is missing its {tag!r} tag; registered "
+            f"{category} mechanisms: {', '.join(mechanism_names(category))}"
+        )
+    return build(category, name, **fields)

@@ -631,7 +631,9 @@ class Processor:
                 extra["trace_events"] = observer.trace.events()
                 extra["trace_summary"] = observer.trace.summary()
             if observer.metrics is not None:
-                extra["metrics"] = observer.metrics.as_extra(self.ports)
+                metrics = observer.metrics.as_extra(self.ports)
+                metrics["replacement"] = self.hierarchy.replacement_summary()
+                extra["metrics"] = metrics
         return SimResult(
             label=self.label,
             instructions=self.ruu.committed,

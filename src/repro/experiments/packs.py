@@ -1,0 +1,311 @@
+"""Declarative experiment packs: sweeps as data files, not code.
+
+An *experiment pack* is a JSON file that names mechanisms from the
+registry (port models by ``kind``, cache geometries by ``mechanism``
+preset, replacement policies by name), a grid of machine variants, and
+the workloads to run them on.  ``repro-lbic pack run <name>`` executes
+one through the ordinary :class:`~repro.engine.SimulationEngine`, so
+dedup, the persistent result store, amortized warm-ups and telemetry
+all apply unchanged — a pack is purely a way to *construct* work units.
+
+Pack schema (``schema: 1``)::
+
+    {
+      "schema": 1,
+      "name": "replacement-policies",
+      "title": "...",                      # table heading
+      "description": "...",               # shown by ``pack show``
+      "workloads": ["gcc", "swim", ...],  # or "all"
+      "settings":  {"instructions": ..., "warmup_instructions": ...,
+                    "seed": ..., "observe": ...},
+      "quick":     {...settings overrides..., "workloads": [...]},
+      "base":      {...machine patch applied to every variant...},
+      "variants":  [{"label": "...", "machine": {...patch...}}, ...],
+      "axes":      {"axis": [variants...], ...},   # alternative: product
+      "report":    ["ipc", "miss_rate"]
+    }
+
+Machine patches are deep-merged onto the paper baseline
+(:func:`~repro.common.config.paper_machine`), except that any sub-dict
+carrying a mechanism tag (``kind`` for port models, ``mechanism`` for
+geometry presets) *replaces* the base value wholesale — merging fields
+across two different mechanisms would produce a hybrid neither of them
+validates.  The merged dict goes through
+:func:`~repro.common.config.machine_config_from_dict`, i.e. the
+registry, so an unknown mechanism name fails with the valid choices.
+
+``axes`` is the cross-product alternative to ``variants``: one variant
+per combination, labels joined with ``/``, patches applied in axis
+order.  Exactly one of the two must be present.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from itertools import product
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..common.config import MachineConfig, machine_config_from_dict, paper_machine
+from ..common.errors import ConfigError
+from ..common.tables import Table
+from ..core.results import SimResult
+from ..engine import RunSettings, SimulationEngine, WorkUnit
+from ..workloads.spec95 import ALL_NAMES
+
+#: schema versions this loader understands.
+SUPPORTED_SCHEMAS = (1,)
+
+#: report metrics a pack may request: label -> SimResult accessor.
+REPORT_METRICS = {
+    "ipc": ("IPC", lambda r: r.ipc),
+    "miss_rate": ("L1 miss rate", lambda r: r.l1_miss_rate),
+}
+
+#: settings keys a pack (and its ``quick`` overlay) may set.
+_SETTINGS_KEYS = ("instructions", "warmup_instructions", "seed", "observe")
+
+
+def pack_dir() -> Path:
+    """The directory of shipped pack files (``experiments/packs/``)."""
+    return Path(__file__).resolve().parent / "packs"
+
+
+def available_packs() -> List[str]:
+    """Sorted names of every shipped pack."""
+    return sorted(path.stem for path in pack_dir().glob("*.json"))
+
+
+@dataclass(frozen=True)
+class ExperimentPack:
+    """One parsed pack: metadata, settings, and expanded variants."""
+
+    name: str
+    title: str
+    description: str
+    workloads: Tuple[str, ...]
+    settings: Dict[str, Any]
+    quick: Dict[str, Any]
+    #: fully expanded (label, machine) pairs, in declaration order.
+    variants: Tuple[Tuple[str, MachineConfig], ...]
+    report: Tuple[str, ...]
+
+    def run_settings(self, quick: bool = False) -> RunSettings:
+        """The engine settings for one execution of this pack."""
+        values = dict(self.settings)
+        workloads = self.workloads
+        if quick:
+            overlay = dict(self.quick)
+            workloads = tuple(overlay.pop("workloads", workloads))
+            values.update(overlay)
+        return RunSettings(benchmarks=workloads, **values)
+
+    def describe(self) -> str:
+        """Multi-line human summary (``repro-lbic pack show``)."""
+        lines = [
+            f"pack: {self.name}",
+            f"  {self.title}",
+            f"  {self.description}",
+            f"  workloads: {', '.join(self.workloads)}",
+            f"  settings: {self.settings}",
+            f"  quick: {self.quick}" if self.quick else "  quick: (none)",
+            f"  report: {', '.join(self.report)}",
+            f"  variants ({len(self.variants)}):",
+        ]
+        for label, machine in self.variants:
+            lines.append(f"    {label:<24s} {machine.describe()}")
+        return "\n".join(lines)
+
+
+def _merge(base: Any, patch: Any) -> Any:
+    """Deep-merge ``patch`` onto ``base``.
+
+    Dicts merge key-wise; anything else (and any dict carrying a
+    mechanism tag — ``kind`` or ``mechanism``) replaces the base value
+    wholesale.
+    """
+    if not isinstance(patch, Mapping) or not isinstance(base, Mapping):
+        return patch
+    if "kind" in patch or "mechanism" in patch:
+        return dict(patch)
+    merged = dict(base)
+    for key, value in patch.items():
+        merged[key] = _merge(base.get(key), value) if key in merged else value
+    return merged
+
+
+def _expand_variants(
+    data: Mapping[str, Any], base_patch: Mapping[str, Any], name: str
+) -> Tuple[Tuple[str, MachineConfig], ...]:
+    variants = data.get("variants")
+    axes = data.get("axes")
+    if (variants is None) == (axes is None):
+        raise ConfigError(
+            f"pack {name!r} must define exactly one of 'variants' or 'axes'"
+        )
+    if axes is not None:
+        combos = []
+        for combo in product(*axes.values()):
+            label = "/".join(str(v.get("label", "?")) for v in combo)
+            patch: Dict[str, Any] = {}
+            for variant in combo:
+                patch = _merge(patch, variant.get("machine", {}))
+            combos.append({"label": label, "machine": patch})
+        variants = combos
+
+    base = _merge(paper_machine().to_dict(), base_patch)
+    expanded = []
+    seen = set()
+    for index, variant in enumerate(variants):
+        label = str(variant.get("label", index))
+        if label in seen:
+            raise ConfigError(f"pack {name!r} has duplicate variant label {label!r}")
+        seen.add(label)
+        merged = _merge(base, variant.get("machine", {}))
+        expanded.append((label, machine_config_from_dict(merged)))
+    return tuple(expanded)
+
+
+def parse_pack(data: Mapping[str, Any], fallback_name: str = "pack") -> ExperimentPack:
+    """Validate and expand one pack's plain-data form."""
+    schema = data.get("schema")
+    if schema not in SUPPORTED_SCHEMAS:
+        raise ConfigError(
+            f"unsupported pack schema {schema!r} (supported: {SUPPORTED_SCHEMAS})"
+        )
+    name = str(data.get("name", fallback_name))
+
+    workloads = data.get("workloads", "all")
+    if workloads == "all":
+        workloads = ALL_NAMES
+    workloads = tuple(workloads)
+    unknown = set(workloads) - set(ALL_NAMES)
+    if unknown:
+        raise ConfigError(
+            f"pack {name!r} names unknown workloads {sorted(unknown)}; "
+            f"available: {', '.join(ALL_NAMES)}"
+        )
+
+    for scope in ("settings", "quick"):
+        allowed = set(_SETTINGS_KEYS) | ({"workloads"} if scope == "quick" else set())
+        bad = set(data.get(scope, {})) - allowed
+        if bad:
+            raise ConfigError(
+                f"pack {name!r} has unknown {scope} keys {sorted(bad)}; "
+                f"allowed: {', '.join(sorted(allowed))}"
+            )
+
+    report = tuple(data.get("report", ("ipc",)))
+    bad_metrics = set(report) - set(REPORT_METRICS)
+    if bad_metrics:
+        raise ConfigError(
+            f"pack {name!r} requests unknown report metrics "
+            f"{sorted(bad_metrics)}; available: {', '.join(sorted(REPORT_METRICS))}"
+        )
+
+    return ExperimentPack(
+        name=name,
+        title=str(data.get("title", name)),
+        description=str(data.get("description", "")),
+        workloads=workloads,
+        settings=dict(data.get("settings", {})),
+        quick=dict(data.get("quick", {})),
+        variants=_expand_variants(data, data.get("base", {}), name),
+        report=report,
+    )
+
+
+def load_pack(name: str) -> ExperimentPack:
+    """Load a shipped pack by name, or any pack file by path.
+
+    Unknown names raise :class:`ConfigError` listing the shipped packs
+    (the registry convention).
+    """
+    path = Path(name)
+    if path.suffix == ".json" and path.exists():
+        data = json.loads(path.read_text())
+        return parse_pack(data, fallback_name=path.stem)
+    candidate = pack_dir() / f"{name}.json"
+    if not candidate.exists():
+        raise ConfigError(
+            f"unknown pack {name!r}; shipped packs: "
+            f"{', '.join(available_packs())}"
+        )
+    return parse_pack(json.loads(candidate.read_text()), fallback_name=name)
+
+
+@dataclass(frozen=True)
+class PackRunOutcome:
+    """Results of one pack execution, in the pack's declared shape."""
+
+    pack: ExperimentPack
+    settings: RunSettings
+    #: workload -> variant label -> result
+    results: Dict[str, Dict[str, SimResult]]
+
+    def metric(self, name: str) -> Dict[str, Dict[str, float]]:
+        """One report metric as ``{workload: {label: value}}``."""
+        _, accessor = REPORT_METRICS[name]
+        return {
+            workload: {label: accessor(result) for label, result in row.items()}
+            for workload, row in self.results.items()
+        }
+
+    def render(self) -> str:
+        """One aligned table per requested report metric."""
+        labels = [label for label, _ in self.pack.variants]
+        sections = []
+        for metric in self.pack.report:
+            heading, accessor = REPORT_METRICS[metric]
+            table = Table(
+                ["program"] + labels,
+                precision=4 if metric == "miss_rate" else 2,
+                title=f"{self.pack.title} - {heading}",
+            )
+            for workload, row in self.results.items():
+                table.add_row(
+                    [workload] + [accessor(row[label]) for label in labels]
+                )
+            sections.append(table.render())
+        return "\n\n".join(sections)
+
+
+def pack_units(
+    pack: ExperimentPack, settings: RunSettings
+) -> List[WorkUnit]:
+    """The pack's work units: every workload x variant, in order."""
+    return [
+        WorkUnit.build(workload, machine, settings)
+        for workload in settings.benchmarks
+        for _, machine in pack.variants
+    ]
+
+
+def run_pack(
+    pack: ExperimentPack,
+    engine: Optional[SimulationEngine] = None,
+    quick: bool = False,
+) -> PackRunOutcome:
+    """Execute ``pack`` through the engine and shape the results.
+
+    ``engine`` defaults to a fresh inline engine with the pack's own
+    settings; a caller-provided engine is used as-is except that its
+    settings are replaced by the pack's (budget and workloads are the
+    pack's to define — cache, jobs, store and telemetry stay the
+    caller's).
+    """
+    settings = pack.run_settings(quick=quick)
+    if engine is None:
+        engine = SimulationEngine(settings)
+    else:
+        engine.settings = settings
+    units = pack_units(pack, settings)
+    flat = engine.run_units(units)
+    results: Dict[str, Dict[str, SimResult]] = {}
+    cursor = iter(flat)
+    for workload in settings.benchmarks:
+        results[workload] = {
+            label: next(cursor) for label, _ in pack.variants
+        }
+    return PackRunOutcome(pack=pack, settings=settings, results=results)

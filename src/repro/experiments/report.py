@@ -139,13 +139,16 @@ class ReproductionReport:
                 write(f"### {label}\n\n")
                 write(
                     "| program | RUU p90 | LSQ p90 | MSHR p90 "
-                    "| bank utilization |\n|---|---|---|---|---|\n"
+                    "| bank utilization | L1 evictions | L1 writebacks |\n"
+                    "|---|---|---|---|---|---|---|\n"
                 )
                 for name, row in per_bench.items():
                     write(
                         f"| {name} | {row['ruu_p90']:.0f} | "
                         f"{row['lsq_p90']:.0f} | {row['mshr_p90']:.0f} | "
-                        f"{100 * row['bank_utilization']:.1f}% |\n"
+                        f"{100 * row['bank_utilization']:.1f}% | "
+                        f"{row.get('l1_evictions', 0):.0f} | "
+                        f"{row.get('l1_writebacks', 0):.0f} |\n"
                     )
                 write("\n")
 
@@ -251,12 +254,19 @@ def run_observability(
             metrics = result.extra.get("metrics")
             if metrics is not None:
                 occupancy = occupancy_stats(metrics)
-                per_bench_util[name] = {
+                row = {
                     "ruu_p90": occupancy["ruu"]["p90"],
                     "lsq_p90": occupancy["lsq"]["p90"],
                     "mshr_p90": occupancy["mshr"]["p90"],
                     "bank_utilization": mean_bank_utilization(metrics),
                 }
+                # replacement evidence is absent on results cached
+                # before the counters existed
+                l1 = metrics.get("replacement", {}).get("l1")
+                if l1 is not None:
+                    row["l1_evictions"] = float(l1["evictions"])
+                    row["l1_writebacks"] = float(l1["writebacks"])
+                per_bench_util[name] = row
         breakdown[label] = per_bench
         utilization[label] = per_bench_util
     return breakdown, utilization

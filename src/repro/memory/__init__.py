@@ -21,6 +21,14 @@ from .ports import (
     ReplicatedMultiPorted,
     make_port_model,
 )
+from .replacement import (
+    LruPolicy,
+    MultiStepLruPolicy,
+    RandomPolicy,
+    ReplacementPolicy,
+    available_policies,
+    make_policy,
+)
 
 __all__ = [
     "AccessOutcome",
@@ -31,17 +39,23 @@ __all__ = [
     "FillResult",
     "IdealMultiPorted",
     "LBICache",
+    "LruPolicy",
     "MemoryBackend",
     "MemoryHierarchy",
     "Mshr",
     "MshrFile",
+    "MultiStepLruPolicy",
     "PortModel",
     "ProbeResult",
+    "RandomPolicy",
+    "ReplacementPolicy",
     "ReplicatedMultiPorted",
     "available_bank_functions",
+    "available_policies",
     "bit_select",
     "fibonacci",
     "make_bank_selector",
     "make_port_model",
+    "make_policy",
     "xor_fold",
 ]

@@ -37,7 +37,9 @@ class MemoryBackend:
         self.memory_config = memory
         stats = stats or StatGroup("backend")
         self._stats = stats
-        self.l2_array = CacheArray(l2.geometry, stats.group("l2"))
+        self.l2_array = CacheArray(
+            l2.geometry, stats.group("l2"), replacement=l2.replacement
+        )
         self._l2_hits = stats.counter("l2_hits")
         self._l2_misses = stats.counter("l2_misses")
         self._requests = stats.counter("requests")

@@ -1,18 +1,23 @@
 """Set-associative cache tag/state array.
 
 This is the content model of a cache level: tags, valid and dirty bits,
-and true-LRU replacement.  It knows nothing about time — the timing
+and pluggable replacement.  It knows nothing about time — the timing
 (hit latency, miss handling, port arbitration) lives in
-:mod:`repro.memory.hierarchy` and :mod:`repro.memory.ports`.
+:mod:`repro.memory.hierarchy` and :mod:`repro.memory.ports` — and
+nothing about victim choice beyond "prefer an invalid way": recency
+bookkeeping and the evict-which-valid-way decision belong to the
+:class:`~repro.memory.replacement.ReplacementPolicy` named at
+construction (default ``lru``, the registry's exact-LRU mechanism).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..common.config import CacheGeometry
 from ..common.stats import StatGroup
+from .replacement import make_policy
 
 
 @dataclass(frozen=True)
@@ -50,7 +55,12 @@ class CacheArray:
     models the whole cache regardless of how its ports are organized.
     """
 
-    def __init__(self, geometry: CacheGeometry, stats: Optional[StatGroup] = None) -> None:
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        stats: Optional[StatGroup] = None,
+        replacement: str = "lru",
+    ) -> None:
         self.geometry = geometry
         self._offset_bits = geometry.offset_bits
         self._index_mask = geometry.num_sets - 1
@@ -59,7 +69,11 @@ class CacheArray:
             [_Way() for _ in range(geometry.associativity)]
             for _ in range(geometry.num_sets)
         ]
-        self._tick = 0
+        self._policy = make_policy(replacement)
+        # bound methods, so the hot paths skip one attribute hop
+        self._policy_hit = self._policy.hit
+        self._policy_advance = self._policy.advance
+        self._policy_touch = self._policy.touch
         stats = stats or StatGroup("cache")
         self._hits = stats.counter("hits")
         self._misses = stats.counter("misses")
@@ -95,17 +109,17 @@ class CacheArray:
         """Probe and touch in one scan (the demand-access hot path).
 
         Semantically :meth:`probe` followed, on a hit, by :meth:`access`:
-        the LRU stamp, dirty bit and hit counter update exactly as that
-        pair would.  On a miss *nothing* changes — no LRU tick and no
-        miss count — matching the probe-only behaviour the timing
-        hierarchy wants (its misses are tracked at the MSHR level).
+        the recency stamp, dirty bit and hit counter update exactly as
+        that pair would.  On a miss *nothing* changes — no replacement
+        event and no miss count — matching the probe-only behaviour the
+        timing hierarchy wants (its misses are tracked at the MSHR
+        level).
         """
         set_index = (addr >> self._offset_bits) & self._index_mask
         tag = addr >> (self._offset_bits + self._index_bits)
         for way in self._sets[set_index]:
             if way.valid and way.tag == tag:
-                self._tick += 1
-                way.lru = self._tick
+                self._policy_hit(way)
                 if is_write:
                     way.dirty = True
                 self._hits.add()
@@ -113,7 +127,7 @@ class CacheArray:
         return False
 
     def access(self, addr: int, is_write: bool) -> bool:
-        """Reference ``addr``: update LRU and dirty state; return hit/miss.
+        """Reference ``addr``: update recency and dirty state; return hit/miss.
 
         A miss does *not* fill the line — the caller decides when the fill
         lands (see :meth:`fill`), which is what lets the hierarchy model
@@ -121,10 +135,10 @@ class CacheArray:
         """
         set_index = self.set_index_of(addr)
         tag = self.tag_of(addr)
-        self._tick += 1
+        self._policy_advance()
         for way in self._sets[set_index]:
             if way.valid and way.tag == tag:
-                way.lru = self._tick
+                self._policy_touch(way)
                 if is_write:
                     way.dirty = True
                 self._hits.add()
@@ -133,7 +147,7 @@ class CacheArray:
         return False
 
     def fill(self, addr: int, dirty: bool = False) -> FillResult:
-        """Install the line containing ``addr``, evicting LRU if needed.
+        """Install the line containing ``addr``, evicting a victim if needed.
 
         Returns the line address of a dirty victim that must be written
         back, if any.  Filling an already-present line just refreshes it.
@@ -141,21 +155,25 @@ class CacheArray:
         set_index = self.set_index_of(addr)
         tag = self.tag_of(addr)
         ways = self._sets[set_index]
-        self._tick += 1
+        self._policy_advance()
 
         for way in ways:
             if way.valid and way.tag == tag:
-                way.lru = self._tick
+                self._policy_touch(way)
                 way.dirty = way.dirty or dirty
                 return FillResult(writeback_line_addr=None)
 
-        victim = ways[0]
+        # Prefer an invalid way.  The scan order — first invalid way in
+        # ways[1:], else ways[0] — reproduces the historical inline-LRU
+        # tie-break bit-for-bit; the policy only ever chooses among
+        # fully valid sets.
+        victim = None
         for way in ways[1:]:
             if not way.valid:
                 victim = way
                 break
-            if victim.valid and way.lru < victim.lru:
-                victim = way
+        if victim is None:
+            victim = ways[0] if not ways[0].valid else self._policy.victim(ways)
 
         writeback = None
         if victim.valid:
@@ -166,18 +184,20 @@ class CacheArray:
         victim.tag = tag
         victim.valid = True
         victim.dirty = dirty
-        victim.lru = self._tick
+        self._policy_touch(victim)
         return FillResult(writeback_line_addr=writeback)
 
     # -- checkpointing -------------------------------------------------------
 
     def snapshot(self) -> dict:
-        """Capture the complete array state (tags, LRU, counters).
+        """Capture the complete array state (tags, recency, counters).
 
         The snapshot is a plain picklable dict so warmed cache contents
         can be cached per workload and restored into fresh arrays (see
         :meth:`restore`), instead of replaying the warm-up reference
-        stream once per machine configuration.
+        stream once per machine configuration.  The replacement policy's
+        own state rides along under ``"policy"``, so restored arrays
+        make the exact same victim choices the snapshotted one would.
         """
         ways = []
         for set_index, line in enumerate(self._sets):
@@ -185,8 +205,8 @@ class CacheArray:
                 if way.valid:
                     ways.append((set_index, slot, way.tag, way.dirty, way.lru))
         return {
-            "tick": self._tick,
             "ways": ways,
+            "policy": self._policy.snapshot(),
             "counters": {
                 "hits": self._hits.value,
                 "misses": self._misses.value,
@@ -196,7 +216,8 @@ class CacheArray:
         }
 
     def restore(self, state: dict) -> None:
-        """Restore a :meth:`snapshot` into this array (geometry must match)."""
+        """Restore a :meth:`snapshot` into this array (geometry and
+        replacement policy must match the snapshotted array's)."""
         for line in self._sets:
             for way in line:
                 way.valid = False
@@ -209,7 +230,7 @@ class CacheArray:
             way.tag = tag
             way.dirty = dirty
             way.lru = lru
-        self._tick = state["tick"]
+        self._policy.restore(state["policy"])
         counters = state["counters"]
         self._hits.value = counters["hits"]
         self._misses.value = counters["misses"]
@@ -246,3 +267,26 @@ class CacheArray:
                 if way.valid and way.dirty:
                     lines.append(self._line_addr_from(set_index, way.tag))
         return sorted(lines)
+
+    # -- replacement-policy evidence -----------------------------------------
+
+    @property
+    def replacement(self) -> str:
+        """Name of the replacement policy driving this array."""
+        return self._policy.name
+
+    def replacement_summary(self) -> Dict[str, object]:
+        """Per-policy eviction evidence for this array, as plain data.
+
+        Replacement-policy experiments need more than IPC: this exposes
+        the policy name alongside the hit/miss/eviction/dirty-writeback
+        counters so packs and the ``metrics`` subcommand can report what
+        the policy actually did.
+        """
+        return {
+            "policy": self._policy.name,
+            "hits": self._hits.value,
+            "misses": self._misses.value,
+            "evictions": self._evictions.value,
+            "writebacks": self._writebacks.value,
+        }

@@ -52,7 +52,9 @@ class MemoryHierarchy:
         self.l1_config = l1
         stats = stats or StatGroup("memory")
         self.stats = stats
-        self.l1_array = CacheArray(l1.geometry, stats.group("l1_array"))
+        self.l1_array = CacheArray(
+            l1.geometry, stats.group("l1_array"), replacement=l1.replacement
+        )
         self.mshrs = MshrFile(l1.mshr_entries, stats.group("mshr"))
         self.backend = MemoryBackend(l2, memory, stats.group("backend"))
         self._accesses = stats.counter("accesses")
@@ -241,3 +243,11 @@ class MemoryHierarchy:
         if self._accesses.value == 0:
             return 0.0
         return self._primary_misses.value / self._accesses.value
+
+    def replacement_summary(self) -> dict:
+        """Per-level replacement evidence (policy name + eviction and
+        dirty-writeback counters) for the metrics payload and report."""
+        return {
+            "l1": self.l1_array.replacement_summary(),
+            "l2": self.backend.l2_array.replacement_summary(),
+        }

@@ -1,0 +1,200 @@
+"""Replacement policies as first-class, registered mechanisms.
+
+:class:`~repro.memory.cache.CacheArray` delegates all recency
+bookkeeping and (all-ways-valid) victim choice to a
+:class:`ReplacementPolicy`.  The contract mirrors the array's historical
+inline LRU exactly, so the default ``lru`` policy is bit-identical to
+the pre-registry behaviour:
+
+* :meth:`~ReplacementPolicy.advance` — one reference event occurred
+  (the array calls it once per ``access``/``fill``, and per *hitting*
+  ``reference_hit``, never on a probing miss);
+* :meth:`~ReplacementPolicy.touch` — stamp one way as just-referenced;
+* :meth:`~ReplacementPolicy.victim` — pick the way to evict from a set
+  whose ways are **all valid** (the array itself prefers invalid ways,
+  so policies never see them);
+* :meth:`~ReplacementPolicy.snapshot` / :meth:`~ReplacementPolicy.restore`
+  — plain-data policy state, so warm-up checkpoints capture and
+  reproduce replacement decisions exactly.
+
+Policies stamp the per-way ``lru`` field (an opaque recency tag owned by
+the policy); stateless policies leave it alone.  Shipped mechanisms:
+
+``lru``
+    True least-recently-used — the paper's implied policy and the
+    repository default.
+``random``
+    Uniform pseudo-random victim from a deterministic xorshift64 stream
+    (``seed`` parameter), the classic low-cost baseline.
+``multi_step_lru``
+    Coarse-grained LRU after Multi-step LRU (arXiv:2112.09981): recency
+    stamps advance once every ``step`` references, so ways referenced
+    within the same step are tied and the lowest slot is evicted first.
+    ``step=1`` degenerates to exact LRU.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from ..common.config import _require
+from ..common.registry import build, mechanism_names, register_mechanism
+
+_MASK64 = (1 << 64) - 1
+
+
+class ReplacementPolicy:
+    """Recency bookkeeping + victim choice for one :class:`CacheArray`."""
+
+    #: registry name (set by subclasses).
+    name = "base"
+
+    def advance(self) -> None:
+        """One reference event happened (advance the recency clock)."""
+        raise NotImplementedError
+
+    def touch(self, way: Any) -> None:
+        """Stamp ``way`` as referenced at the current clock."""
+        raise NotImplementedError
+
+    def hit(self, way: Any) -> None:
+        """``advance`` + ``touch`` fused (the demand-hit hot path)."""
+        self.advance()
+        self.touch(way)
+
+    def victim(self, ways: Sequence[Any]) -> Any:
+        """The way to evict; every way in ``ways`` is valid."""
+        raise NotImplementedError
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-data policy state (for warm-up checkpoints)."""
+        raise NotImplementedError
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Restore a :meth:`snapshot` (per-way stamps ride the array)."""
+        raise NotImplementedError
+
+
+@register_mechanism("replacement_policy", "lru")
+class LruPolicy(ReplacementPolicy):
+    """True LRU: a monotone clock stamps every reference."""
+
+    name = "lru"
+
+    def __init__(self) -> None:
+        self._tick = 0
+
+    def advance(self) -> None:
+        self._tick += 1
+
+    def touch(self, way: Any) -> None:
+        way.lru = self._tick
+
+    def hit(self, way: Any) -> None:
+        self._tick += 1
+        way.lru = self._tick
+
+    def victim(self, ways: Sequence[Any]) -> Any:
+        victim = ways[0]
+        for way in ways[1:]:
+            if way.lru < victim.lru:
+                victim = way
+        return victim
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"tick": self._tick}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._tick = state["tick"]
+
+
+@register_mechanism("replacement_policy", "random")
+class RandomPolicy(ReplacementPolicy):
+    """Uniform random victim from a deterministic xorshift64 stream.
+
+    The generator state is a plain int, so snapshots are JSON-safe and
+    restoring one reproduces the exact victim sequence.
+    """
+
+    name = "random"
+
+    def __init__(self, seed: int = 1) -> None:
+        _require(seed >= 0, "random replacement seed must be >= 0")
+        self.seed = seed
+        # splitmix-style scramble so nearby seeds start far apart
+        self._state = ((seed + 0x9E3779B97F4A7C15) * 0xBF58476D1CE4E5B9) & _MASK64 or 1
+
+    def advance(self) -> None:
+        pass
+
+    def touch(self, way: Any) -> None:
+        pass
+
+    def hit(self, way: Any) -> None:
+        pass
+
+    def victim(self, ways: Sequence[Any]) -> Any:
+        state = self._state
+        state ^= (state << 13) & _MASK64
+        state ^= state >> 7
+        state ^= (state << 17) & _MASK64
+        self._state = state
+        return ways[state % len(ways)]
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"state": self._state}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._state = state["state"]
+
+
+@register_mechanism("replacement_policy", "multi_step_lru")
+class MultiStepLruPolicy(ReplacementPolicy):
+    """Multi-step LRU (arXiv:2112.09981): recency at ``step`` granularity.
+
+    The reference clock still advances every event, but stamps are
+    quantized to ``tick // step``, so up to ``step`` consecutive
+    references share one recency value — the cheap, batched
+    approximation of LRU the paper evaluates for set-associative
+    caches.  Ties evict the lowest way slot.
+    """
+
+    name = "multi_step_lru"
+
+    def __init__(self, step: int = 4) -> None:
+        _require(step >= 1, "multi_step_lru step must be >= 1")
+        self.step = step
+        self._tick = 0
+
+    def advance(self) -> None:
+        self._tick += 1
+
+    def touch(self, way: Any) -> None:
+        way.lru = self._tick // self.step
+
+    def hit(self, way: Any) -> None:
+        self._tick += 1
+        way.lru = self._tick // self.step
+
+    def victim(self, ways: Sequence[Any]) -> Any:
+        victim = ways[0]
+        for way in ways[1:]:
+            if way.lru < victim.lru:
+                victim = way
+        return victim
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"tick": self._tick}
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self._tick = state["tick"]
+
+
+def make_policy(name: str, **params: Any) -> ReplacementPolicy:
+    """Instantiate the replacement policy registered as ``name``."""
+    return build("replacement_policy", name, **params)
+
+
+def available_policies() -> List[str]:
+    """Sorted names of every registered replacement policy."""
+    return mechanism_names("replacement_policy")

@@ -243,6 +243,28 @@ def render_metrics(metrics: Mapping[str, object], title: str = "") -> str:
         )
 
     sections = [occupancy.render(), banks.render()]
+    replacement = metrics.get("replacement")
+    if replacement:
+        # absent on results cached before replacement evidence existed
+        evidence = Table(
+            ["level", "policy", "hits", "misses", "evictions", "writebacks"],
+            precision=0,
+            title="replacement evidence (array-level counters)",
+        )
+        for level in ("l1", "l2"):
+            row = replacement.get(level)
+            if row:
+                evidence.add_row(
+                    [
+                        level,
+                        row["policy"],
+                        row["hits"],
+                        row["misses"],
+                        row["evictions"],
+                        row["writebacks"],
+                    ]
+                )
+        sections.append(evidence.render())
     widths = metrics.get("combining_width")
     if widths:
         histogram = Histogram.from_buckets("combining_width", widths)
@@ -301,6 +323,25 @@ def prometheus_metrics(
             row["busy_fraction"],
             bank=str(int(row["bank"])),
         )
+
+    replacement = metrics.get("replacement")
+    if replacement:
+        lines.append("# TYPE repro_cache_evictions gauge")
+        for level, row in sorted(replacement.items()):
+            sample(
+                "repro_cache_evictions",
+                float(row["evictions"]),
+                level=level,
+                policy=row["policy"],
+            )
+        lines.append("# TYPE repro_cache_writebacks gauge")
+        for level, row in sorted(replacement.items()):
+            sample(
+                "repro_cache_writebacks",
+                float(row["writebacks"]),
+                level=level,
+                policy=row["policy"],
+            )
 
     widths = metrics.get("combining_width")
     if widths:

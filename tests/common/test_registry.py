@@ -1,0 +1,238 @@
+"""The mechanism registry: named, validated, discoverable mechanisms.
+
+Port models, cache geometries and replacement policies are registered
+under string names; lookups of unknown names must fail loudly with the
+valid alternatives, duplicate registration must be rejected, and every
+registered config mechanism must round-trip ``to_dict`` ->
+``config_from_dict`` -> identical fingerprint.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.config import (
+    BankedPortConfig,
+    CacheGeometry,
+    IdealPortConfig,
+    L1Config,
+    L2Config,
+    LBICConfig,
+    ReplicatedPortConfig,
+    geometry_from_dict,
+    machine_config_from_dict,
+    paper_machine,
+    port_model_from_dict,
+)
+from repro.common.errors import ConfigError
+from repro.common.registry import (
+    build,
+    categories,
+    config_from_dict,
+    mechanism,
+    mechanism_names,
+    register_mechanism,
+    unregister_mechanism,
+)
+
+
+# ---------------------------------------------------------------------------
+# Core registry behavior
+# ---------------------------------------------------------------------------
+
+
+class TestRegistry:
+    def test_categories_cover_the_three_mechanism_families(self):
+        assert {"port_model", "cache_geometry", "replacement_policy"} <= set(
+            categories()
+        )
+
+    def test_port_model_names(self):
+        assert set(mechanism_names("port_model")) == {
+            "ideal", "replicated", "banked", "lbic",
+        }
+
+    def test_unknown_name_lists_the_alternatives(self):
+        with pytest.raises(ConfigError) as excinfo:
+            mechanism("port_model", "wat")
+        message = str(excinfo.value)
+        assert "wat" in message
+        for name in ("banked", "ideal", "lbic", "replicated"):
+            assert name in message
+
+    def test_unknown_category_lists_the_categories(self):
+        with pytest.raises(ConfigError) as excinfo:
+            mechanism("no-such-category", "lru")
+        assert "replacement_policy" in str(excinfo.value)
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ConfigError) as excinfo:
+            register_mechanism("port_model", "ideal", IdealPortConfig)
+        assert "already registered" in str(excinfo.value)
+
+    def test_register_and_unregister(self):
+        register_mechanism("port_model", "test-only", IdealPortConfig)
+        try:
+            assert mechanism("port_model", "test-only") is IdealPortConfig
+            assert build("port_model", "test-only", ports=3) == IdealPortConfig(3)
+        finally:
+            unregister_mechanism("port_model", "test-only")
+        assert "test-only" not in mechanism_names("port_model")
+
+    def test_build_wraps_bad_parameters_in_config_error(self):
+        with pytest.raises(ConfigError) as excinfo:
+            build("port_model", "ideal", nonsense=1)
+        assert "ideal" in str(excinfo.value)
+
+    def test_config_from_dict_requires_the_tag(self):
+        with pytest.raises(ConfigError):
+            config_from_dict("port_model", {"ports": 2})
+
+
+# ---------------------------------------------------------------------------
+# Satellite: unknown port-model kind fails with the registered choices
+# ---------------------------------------------------------------------------
+
+
+class TestUnknownPortModelKind:
+    def test_port_model_from_dict_names_kind_and_alternatives(self):
+        with pytest.raises(ConfigError) as excinfo:
+            port_model_from_dict({"kind": "quantum", "ports": 2})
+        message = str(excinfo.value)
+        assert "quantum" in message
+        for name in ("banked", "ideal", "lbic", "replicated"):
+            assert name in message
+
+    def test_machine_config_from_dict_propagates_the_listing(self):
+        data = paper_machine().to_dict()
+        data["ports"] = {"kind": "quantum", "ports": 2}
+        with pytest.raises(ConfigError) as excinfo:
+            machine_config_from_dict(data)
+        message = str(excinfo.value)
+        assert "quantum" in message and "lbic" in message
+
+
+# ---------------------------------------------------------------------------
+# Geometry presets
+# ---------------------------------------------------------------------------
+
+
+class TestGeometryPresets:
+    def test_paper_presets_match_the_paper_machine(self):
+        machine = paper_machine()
+        assert build("cache_geometry", "paper-l1") == machine.l1.geometry
+        assert build("cache_geometry", "paper-l2") == machine.l2.geometry
+
+    def test_preset_overrides_win(self):
+        geometry = geometry_from_dict({"mechanism": "paper-l1", "associativity": 4})
+        assert geometry.associativity == 4
+        assert geometry.size_bytes == paper_machine().l1.geometry.size_bytes
+
+    def test_raw_fields_still_work(self):
+        geometry = geometry_from_dict(
+            {"size_bytes": 8192, "line_size": 32, "associativity": 2}
+        )
+        assert geometry == CacheGeometry(8192, 32, 2)
+
+    def test_unknown_preset_lists_choices(self):
+        with pytest.raises(ConfigError) as excinfo:
+            geometry_from_dict({"mechanism": "mega-l1"})
+        assert "paper-l1" in str(excinfo.value)
+
+
+# ---------------------------------------------------------------------------
+# Replacement-policy names thread through the configs
+# ---------------------------------------------------------------------------
+
+
+class TestReplacementNames:
+    def test_policy_names_registered(self):
+        assert {"lru", "random", "multi_step_lru"} <= set(
+            mechanism_names("replacement_policy")
+        )
+
+    @pytest.mark.parametrize("cls", [L1Config, L2Config])
+    def test_bad_replacement_name_lists_choices(self, cls):
+        with pytest.raises(ConfigError) as excinfo:
+            cls(replacement="belady")
+        message = str(excinfo.value)
+        assert "belady" in message and "lru" in message
+
+    def test_replacement_survives_the_dict_round_trip(self):
+        machine = paper_machine()
+        data = machine.to_dict()
+        data["l1"]["replacement"] = "random"
+        data["l2"]["replacement"] = "multi_step_lru"
+        rebuilt = machine_config_from_dict(data)
+        assert rebuilt.l1.replacement == "random"
+        assert rebuilt.l2.replacement == "multi_step_lru"
+        assert rebuilt.fingerprint() != machine.fingerprint()
+
+    def test_legacy_dicts_without_replacement_default_to_lru(self):
+        data = paper_machine().to_dict()
+        del data["l1"]["replacement"]
+        del data["l2"]["replacement"]
+        rebuilt = machine_config_from_dict(data)
+        assert rebuilt.l1.replacement == "lru"
+        assert rebuilt.l2.replacement == "lru"
+
+
+# ---------------------------------------------------------------------------
+# Property: every registered port model round-trips with a stable
+# fingerprint through the registry path
+# ---------------------------------------------------------------------------
+
+_PORT_STRATEGY = st.one_of(
+    st.builds(IdealPortConfig, ports=st.integers(1, 64)),
+    st.builds(ReplicatedPortConfig, ports=st.integers(1, 64)),
+    st.builds(
+        BankedPortConfig,
+        banks=st.sampled_from([1, 2, 4, 8, 16, 32]),
+        bank_function=st.sampled_from(["bit-select", "xor-fold", "fibonacci"]),
+        interleave=st.sampled_from(["line", "word"]),
+        ports_per_bank=st.integers(1, 4),
+        crossbar_latency=st.integers(0, 3),
+        fills_occupy_bank=st.booleans(),
+    ),
+    st.builds(
+        LBICConfig,
+        banks=st.sampled_from([1, 2, 4, 8, 16]),
+        buffer_ports=st.integers(1, 8),
+        store_queue_depth=st.integers(1, 32),
+        combining_policy=st.sampled_from(["leading-request", "largest-group"]),
+        fills_occupy_bank=st.booleans(),
+    ),
+)
+
+
+@given(ports=_PORT_STRATEGY)
+@settings(max_examples=80, deadline=None)
+def test_registry_round_trip_preserves_fingerprint(ports):
+    rebuilt = config_from_dict("port_model", ports.to_dict())
+    assert rebuilt == ports
+    assert type(rebuilt) is type(ports)
+    assert rebuilt.fingerprint() == ports.fingerprint()
+
+
+@given(
+    ports=_PORT_STRATEGY,
+    l1_replacement=st.sampled_from(["lru", "random", "multi_step_lru"]),
+    l2_replacement=st.sampled_from(["lru", "random", "multi_step_lru"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_machine_round_trip_preserves_fingerprint(
+    ports, l1_replacement, l2_replacement
+):
+    import dataclasses
+
+    machine = paper_machine(ports)
+    machine = dataclasses.replace(
+        machine,
+        l1=dataclasses.replace(machine.l1, replacement=l1_replacement),
+        l2=dataclasses.replace(machine.l2, replacement=l2_replacement),
+    )
+    rebuilt = machine_config_from_dict(machine.to_dict())
+    assert rebuilt == machine
+    assert rebuilt.fingerprint() == machine.fingerprint()

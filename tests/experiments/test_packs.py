@@ -1,0 +1,242 @@
+"""Experiment packs: schema validation, variant expansion, and the
+golden-parity guarantee that the declarative ``paper-table3`` pack is
+bit-identical to the legacy :func:`repro.experiments.table3.run_table3`
+code path — same machines, same fingerprints, same results, same stall
+attribution.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.config import IdealPortConfig, paper_machine
+from repro.common.errors import ConfigError
+from repro.engine import RunSettings, SimulationEngine, WorkUnit
+from repro.experiments.packs import (
+    available_packs,
+    load_pack,
+    pack_units,
+    parse_pack,
+    run_pack,
+)
+from repro.experiments.paper_data import TABLE3_PORTS
+from repro.experiments.table3 import KINDS, port_config
+
+PARITY_BENCHMARKS = ("gcc", "swim", "li")
+
+
+def minimal_pack(**overrides):
+    data = {
+        "schema": 1,
+        "name": "t",
+        "workloads": ["gcc"],
+        "variants": [{"label": "a", "machine": {}}],
+    }
+    data.update(overrides)
+    return data
+
+
+# ---------------------------------------------------------------------------
+# Loading and validation
+# ---------------------------------------------------------------------------
+
+
+class TestLoading:
+    def test_ships_the_three_packs(self):
+        assert {
+            "paper-table3", "replacement-policies", "l1-geometry-sensitivity"
+        } <= set(available_packs())
+
+    def test_every_shipped_pack_parses(self):
+        for name in available_packs():
+            pack = load_pack(name)
+            assert pack.variants, name
+            assert pack.workloads, name
+
+    def test_unknown_pack_lists_the_shipped_ones(self):
+        with pytest.raises(ConfigError) as excinfo:
+            load_pack("no-such-pack")
+        assert "paper-table3" in str(excinfo.value)
+
+    def test_pack_file_path_loads(self, tmp_path):
+        path = tmp_path / "mine.json"
+        path.write_text(json.dumps(minimal_pack(name="mine")))
+        assert load_pack(str(path)).name == "mine"
+
+    def test_unsupported_schema_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_pack(minimal_pack(schema=99))
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError) as excinfo:
+            parse_pack(minimal_pack(workloads=["gcc", "doom"]))
+        assert "doom" in str(excinfo.value)
+
+    def test_unknown_settings_key_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_pack(minimal_pack(settings={"instrs": 1}))
+
+    def test_unknown_report_metric_rejected(self):
+        with pytest.raises(ConfigError) as excinfo:
+            parse_pack(minimal_pack(report=["ipc", "latency"]))
+        assert "latency" in str(excinfo.value)
+
+    def test_variants_and_axes_are_exclusive(self):
+        data = minimal_pack(axes={"a": [{"label": "x", "machine": {}}]})
+        with pytest.raises(ConfigError):
+            parse_pack(data)
+        del data["variants"]
+        del data["axes"]
+        with pytest.raises(ConfigError):
+            parse_pack(data)
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_pack(
+                minimal_pack(
+                    variants=[
+                        {"label": "a", "machine": {}},
+                        {"label": "a", "machine": {}},
+                    ]
+                )
+            )
+
+    def test_unknown_mechanism_in_variant_fails_with_choices(self):
+        data = minimal_pack(
+            variants=[{"label": "a", "machine": {"ports": {"kind": "quantum"}}}]
+        )
+        with pytest.raises(ConfigError) as excinfo:
+            parse_pack(data)
+        assert "quantum" in str(excinfo.value) and "lbic" in str(excinfo.value)
+
+
+class TestExpansion:
+    def test_axes_cross_product(self):
+        pack = parse_pack(
+            minimal_pack(
+                variants=None,
+                axes={
+                    "size": [
+                        {"label": "8k", "machine": {"l1": {"geometry": {"size_bytes": 8192}}}},
+                        {"label": "16k", "machine": {"l1": {"geometry": {"size_bytes": 16384}}}},
+                    ],
+                    "assoc": [
+                        {"label": "1w", "machine": {"l1": {"geometry": {"associativity": 1}}}},
+                        {"label": "2w", "machine": {"l1": {"geometry": {"associativity": 2}}}},
+                    ],
+                },
+            )
+        )
+        labels = [label for label, _ in pack.variants]
+        assert labels == ["8k/1w", "8k/2w", "16k/1w", "16k/2w"]
+        first = dict(pack.variants)["8k/2w"]
+        assert first.l1.geometry.size_bytes == 8192
+        assert first.l1.geometry.associativity == 2
+        # untouched fields keep the paper baseline
+        assert first.l1.geometry.line_size == paper_machine().l1.geometry.line_size
+
+    def test_mechanism_tagged_patch_replaces_wholesale(self):
+        pack = parse_pack(
+            minimal_pack(
+                base={"ports": {"kind": "lbic", "banks": 8, "buffer_ports": 4}},
+                variants=[
+                    {"label": "a", "machine": {"ports": {"kind": "ideal", "ports": 2}}}
+                ],
+            )
+        )
+        ports = pack.variants[0][1].ports
+        # no LBIC fields may leak into the ideal config
+        assert ports == IdealPortConfig(ports=2)
+
+    def test_quick_overlay(self):
+        pack = load_pack("replacement-policies")
+        full = pack.run_settings()
+        quick = pack.run_settings(quick=True)
+        assert quick.instructions < max(full.instructions, 20_001)
+        assert set(quick.benchmarks) < set(full.benchmarks)
+        assert quick.observe == full.observe  # non-overridden keys persist
+
+
+# ---------------------------------------------------------------------------
+# Golden parity: the pack path is bit-identical to the legacy path
+# ---------------------------------------------------------------------------
+
+
+def legacy_table3_machines():
+    """The exact config list run_table3 builds, in its cell order."""
+    configs = [IdealPortConfig(ports=1)] + [
+        port_config(kind, ports) for ports in TABLE3_PORTS for kind in KINDS
+    ]
+    return [paper_machine(ports) for ports in configs]
+
+
+class TestGoldenParity:
+    def test_all_13_machine_fingerprints_match_legacy(self):
+        pack = load_pack("paper-table3")
+        legacy = legacy_table3_machines()
+        assert len(pack.variants) == len(legacy) == 13
+        for (label, machine), expected in zip(pack.variants, legacy):
+            assert machine == expected, label
+            assert machine.fingerprint() == expected.fingerprint(), label
+
+    def test_work_unit_fingerprints_match_legacy(self):
+        pack = load_pack("paper-table3")
+        settings = RunSettings(
+            instructions=1000, warmup_instructions=500,
+            benchmarks=PARITY_BENCHMARKS,
+        )
+        from_pack = [u.fingerprint for u in pack_units(pack, settings)]
+        from_legacy = [
+            WorkUnit.build(benchmark, machine, settings).fingerprint
+            for benchmark in PARITY_BENCHMARKS
+            for machine in legacy_table3_machines()
+        ]
+        assert from_pack == from_legacy
+
+    def test_results_and_stalls_are_bit_identical(self):
+        """Two cold, store-less engines — one fed by the pack's units,
+        one by the legacy unit construction — must produce byte-equal
+        results, including the stall attribution riding ``extra``."""
+        settings = RunSettings(
+            instructions=1000, warmup_instructions=500,
+            benchmarks=PARITY_BENCHMARKS, observe=True,
+        )
+        pack = load_pack("paper-table3")
+        pack_results = SimulationEngine(settings, store=None).run_units(
+            pack_units(pack, settings)
+        )
+
+        legacy_results = SimulationEngine(settings, store=None).run_units(
+            WorkUnit.build(benchmark, machine, settings)
+            for benchmark in PARITY_BENCHMARKS
+            for machine in legacy_table3_machines()
+        )
+        assert len(pack_results) == len(legacy_results) == 39
+        labels = [label for label, _ in pack.variants]
+        for index, (packed, legacy) in enumerate(zip(pack_results, legacy_results)):
+            where = (PARITY_BENCHMARKS[index // 13], labels[index % 13])
+            assert packed.to_dict() == legacy.to_dict(), where
+            assert packed.extra.get("stalls") == legacy.extra.get("stalls"), where
+
+
+# ---------------------------------------------------------------------------
+# The replacement pack separates the policies
+# ---------------------------------------------------------------------------
+
+
+class TestReplacementPack:
+    def test_policies_produce_distinct_miss_rates(self):
+        pack = load_pack("replacement-policies")
+        engine = SimulationEngine(store=None)
+        outcome = run_pack(pack, engine=engine, quick=True)
+        rates = outcome.metric("miss_rate")
+        # quick mode runs compress (capacity-pressured on the 4KB L1);
+        # all three policies must be visible in the reported miss rates
+        distinct = {round(rate, 9) for rate in rates["compress"].values()}
+        assert len(distinct) == 3, rates["compress"]
+        for metric in pack.report:
+            assert metric in ("ipc", "miss_rate")
+        rendered = outcome.render()
+        assert "multi_step_lru" in rendered and "miss rate" in rendered.lower()

@@ -107,7 +107,7 @@ class TestCommands:
         parser = build_parser()
         text = parser.format_help()
         for command in ("table2", "table3", "table4", "figure3", "claims",
-                        "run", "ablation", "trace", "stalls", "list"):
+                        "run", "ablation", "trace", "stalls", "pack", "list"):
             assert command in text
 
     def test_benchmark_choice_validated(self):
@@ -200,3 +200,32 @@ class TestCommands:
         assert "telemetry file(s)" in out
         assert main(["cache", "info"]) == 0
         assert "telemetry:" not in capsys.readouterr().out
+
+    def test_pack_list_names_shipped_packs(self, capsys):
+        assert main(["pack", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("paper-table3", "replacement-policies",
+                     "l1-geometry-sensitivity"):
+            assert name in out
+
+    def test_pack_show_describes_variants(self, capsys):
+        assert main(["pack", "show", "paper-table3"]) == 0
+        out = capsys.readouterr().out
+        assert "variants (13):" in out
+        assert "B16" in out
+
+    def test_pack_run_quick_renders_report_tables(self, capsys):
+        code = main([
+            "pack", "run", "replacement-policies", "--quick", "--no-cache",
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "miss rate" in captured.out.lower()
+        for label in ("lru", "random", "multi_step_lru"):
+            assert label in captured.out
+        assert "engine:" in captured.err  # telemetry summary still lands
+
+    def test_pack_run_unknown_name_errors_with_choices(self, capsys):
+        assert main(["pack", "run", "no-such-pack", "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "no-such-pack" in err and "paper-table3" in err

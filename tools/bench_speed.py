@@ -11,6 +11,7 @@ Usage::
     PYTHONPATH=src python tools/bench_speed.py --quick      # CI smoke subset
     PYTHONPATH=src python tools/bench_speed.py --quick --check-regression
     PYTHONPATH=src python tools/bench_speed.py --sweep      # end-to-end sweep
+    PYTHONPATH=src python tools/bench_speed.py --pack replacement-policies --quick
 
 ``--sweep`` measures one full port-model sweep (every workload x every
 port model, cold engine, no persistent cache) twice — amortization off,
@@ -189,6 +190,37 @@ def bench_sweep(
     return cases
 
 
+def bench_pack(name: str, quick: bool, jobs: int):
+    """Wall time for one end-to-end experiment-pack run.
+
+    The pack defines its own budget, workloads and variant grid
+    (``--quick`` applies its quick overlay); the engine is cold — no
+    persistent store, registries cleared — so this measures what
+    ``repro-lbic pack run`` actually costs.  Returns the settings used
+    and one grid-compatible case record.
+    """
+    from repro.experiments.packs import load_pack, run_pack
+
+    clear_registries()
+    pack = load_pack(name)
+    settings = pack.run_settings(quick=quick)
+    engine = SimulationEngine(settings, jobs=jobs, store=None)
+    start = time.perf_counter()
+    run_pack(pack, engine=engine, quick=quick)
+    wall = time.perf_counter() - start
+    clear_registries()
+    units = len(settings.benchmarks) * len(pack.variants)
+    timed = settings.instructions * units
+    case = {
+        "workload": f"pack:{pack.name}",
+        "ports": "all-variants",
+        "instr_per_sec": round(timed / wall, 1),
+        "wall_seconds": round(wall, 3),
+        "units": units,
+    }
+    return settings, case
+
+
 def git_revision() -> Optional[str]:
     try:
         out = subprocess.run(
@@ -215,7 +247,7 @@ def load_history(path: Path) -> List[dict]:
 
 def find_baseline(history: List[dict], record: dict) -> Optional[dict]:
     """Most recent prior record with the same measurement conditions."""
-    keys = ("quick", "instructions", "cycle_skipping", "sweep", "metrics")
+    keys = ("quick", "instructions", "cycle_skipping", "sweep", "metrics", "pack")
     for prior in reversed(history):
         # records written before a key existed read as False (flag unset)
         if all(prior.get(k, False) == record.get(k, False) for k in keys):
@@ -253,6 +285,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "(all workloads x all port models through a cold "
                              "engine), amortized vs fresh, instead of the "
                              "per-case grid")
+    parser.add_argument("--pack", default=None, metavar="NAME",
+                        help="benchmark one end-to-end experiment-pack run "
+                             "(cold engine; --quick applies the pack's quick "
+                             "overlay; records only compare against runs of "
+                             "the same pack)")
     parser.add_argument("--warmup", type=int, default=None,
                         help="sweep warm-up instructions "
                              "(default 30000, quick 6000)")
@@ -273,7 +310,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--note", default="", help="free-text tag for the record")
     args = parser.parse_args(argv)
 
-    if args.sweep:
+    if args.pack:
+        settings, case = bench_pack(args.pack, args.quick, args.jobs)
+        instructions = settings.instructions
+        rounds = 1
+        measured = [case]
+        print(
+            f"{case['workload']:>10s} x {case['ports']:<12s}"
+            f" {case['wall_seconds']:>8.2f}s wall"
+            f"   ({case['instr_per_sec']:,.0f} timed instr/s,"
+            f" {case['units']} units)"
+        )
+    elif args.sweep:
         instructions = args.instructions or (4_000 if args.quick else 20_000)
         warmup = args.warmup if args.warmup is not None else (
             6_000 if args.quick else 30_000
@@ -329,6 +377,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         record["warmup_instructions"] = warmup
         record["jobs"] = args.jobs
         # the engine always runs with cycle skipping on
+        record["cycle_skipping"] = True
+    if args.pack:
+        # written ONLY when a pack was benchmarked: records without the
+        # key are legacy grid/sweep runs and must keep matching their
+        # own baselines (find_baseline reads a missing key as False)
+        record["pack"] = args.pack
+        record["warmup_instructions"] = settings.warmup_instructions
+        record["jobs"] = args.jobs
+        record["seed"] = settings.seed
         record["cycle_skipping"] = True
 
     history = load_history(args.output)

@@ -15,6 +15,7 @@ sweep ablations, and manage traces::
     repro-lbic trace swim out.trc -n 50000  # workload trace (replayable)
     repro-lbic trace swim --ports bank:4 events.jsonl   # timing events
     repro-lbic pack run replacement-policies --quick    # declarative sweep
+    repro-lbic serve --port 8023      # HTTP simulation daemon
     repro-lbic list
 
 Every timing subcommand accepts ``--jobs N`` (parallel workers; default:
@@ -453,6 +454,20 @@ def cmd_pack(args) -> int:
     return _finish(engine)
 
 
+def cmd_serve(args) -> int:
+    """Run the simulation-as-a-service daemon (see docs/service.md)."""
+    from .service import run_server
+
+    return run_server(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        backlog=args.backlog,
+        use_store=not args.no_cache,
+        amortize=not args.no_amortize,
+    )
+
+
 def cmd_list(args) -> int:
     print("benchmark  suite  mem%   s/l    miss    ILP(16-port IPC)")
     for name in ALL_NAMES:
@@ -623,6 +638,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_engine_opts(pr)
     p.set_defaults(func=cmd_pack)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the HTTP simulation daemon (store-hit fast path, "
+             "in-flight dedup, bounded FIFO backlog)",
+    )
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default 127.0.0.1)")
+    p.add_argument("--port", type=int, default=8023,
+                   help="TCP port (default 8023; 0 picks a free port)")
+    p.add_argument(
+        "-j", "--jobs", type=int, default=None,
+        help="persistent worker-pool size (default: usable cores)",
+    )
+    p.add_argument(
+        "--backlog", type=int, default=64,
+        help="max queued cold units before requests shed with 429 "
+             "(default 64)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="do not read or write the persistent result cache",
+    )
+    p.add_argument(
+        "--no-amortize", action="store_true",
+        help="disable materialized-trace/warm-checkpoint amortization",
+    )
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("list", help="list the benchmark models and their targets")
     p.set_defaults(func=cmd_list)

@@ -91,12 +91,44 @@ class SimResult:
             "extra": dict(self.extra),
         }
 
+    #: count fields validated by :meth:`from_dict`; a corrupt on-disk
+    #: entry must raise, never round-trip a string where an int belongs.
+    _INT_FIELDS = (
+        "instructions",
+        "cycles",
+        "loads",
+        "stores",
+        "forwarded_loads",
+        "l1_accesses",
+        "l1_hits",
+        "l1_misses",
+        "accepted_loads",
+        "accepted_stores",
+        "combined_accesses",
+    )
+
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SimResult":
         """Inverse of :meth:`to_dict`; ignores unknown keys so newer
-        cache files degrade gracefully under older code."""
+        cache files degrade gracefully under older code.
+
+        Count fields are validated through ``int()`` and ``refusals``
+        through ``dict()``: a corrupt (yet valid-JSON) payload raises
+        ``ValueError`` / ``TypeError`` / ``AttributeError``, which the
+        result store's ``get_entry`` turns into a miss — the "any miss,
+        never wrong data" contract.
+        """
         known = {f.name for f in fields(cls)}
-        return cls(**{k: v for k, v in data.items() if k in known})
+        kwargs = {k: v for k, v in data.items() if k in known}
+        for name in cls._INT_FIELDS:
+            if name in kwargs:
+                kwargs[name] = int(kwargs[name])
+        if "refusals" in kwargs:
+            kwargs["refusals"] = {
+                str(reason): int(count)
+                for reason, count in kwargs["refusals"].items()
+            }
+        return cls(**kwargs)
 
     def summary(self) -> str:
         return (

@@ -22,6 +22,7 @@ from .executor import (
     ProgressCallback,
     RunEvent,
     SimulationEngine,
+    WorkerPool,
     WorkUnit,
     default_jobs,
     simulate_payload,
@@ -59,6 +60,7 @@ __all__ = [
     "SweepExecutor",
     "SweepTelemetry",
     "WorkUnit",
+    "WorkerPool",
     "clear_registries",
     "clear_telemetry",
     "compute_code_version",

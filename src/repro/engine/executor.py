@@ -25,11 +25,12 @@ optional ``progress`` callback observes every unit as it resolves.
 from __future__ import annotations
 
 import os
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..common.config import (
     IdealPortConfig,
@@ -233,8 +234,121 @@ ProgressCallback = Callable[[RunEvent], None]
 
 
 def default_jobs() -> int:
-    """The default worker count: every core the machine has."""
+    """The default worker count: every core *this process may use*.
+
+    ``os.cpu_count()`` reports the whole machine, which oversubscribes
+    cgroup- or affinity-limited environments (containers, CI runners
+    pinned to a subset of cores).  Where the platform exposes it, the
+    scheduling affinity mask is the honest answer; elsewhere the old
+    behaviour remains the fallback.
+    """
+    getter = getattr(os, "sched_getaffinity", None)
+    if getter is not None:
+        try:
+            affinity = len(getter(0))
+        except OSError:
+            affinity = 0
+        if affinity:
+            return affinity
     return os.cpu_count() or 1
+
+
+class WorkerPool:
+    """A persistent pool of work-unit payload runners.
+
+    :meth:`SimulationEngine._execute` historically created (and tore
+    down) one :class:`ProcessPoolExecutor` per ``run_units`` batch; a
+    ``WorkerPool`` is created once and reused across batches, so a
+    long-lived caller — the ``repro-lbic serve`` daemon above all — pays
+    the fork cost once at startup instead of per request.
+
+    The underlying executor is created lazily on first submit.  With the
+    default fork start method that means workers inherit whatever the
+    parent had already populated in the amortization registries
+    (:mod:`repro.engine.amortize`) at that point; traces materialized
+    *after* the fork still reach workers through the on-disk trace store
+    (``trace_root`` on the payload), so amortization keeps working for a
+    pool that outlives many batches.
+
+    ``threads=True`` runs payloads on a thread pool instead — the mode
+    the service tests use to inject instrumented runners, and a safe
+    choice when payload execution must share the caller's memory.
+
+    Instrumentation: :attr:`submitted` / :attr:`completed` counters and
+    a live :attr:`busy` gauge (``utilization()`` normalizes by ``jobs``)
+    back the daemon's pool metrics.
+    """
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        *,
+        runner: Optional[Callable[[Dict[str, Any]], Dict[str, Any]]] = None,
+        threads: bool = False,
+    ) -> None:
+        self.jobs = max(1, jobs if jobs is not None else default_jobs())
+        self.runner = runner if runner is not None else simulate_payload
+        self.threads = threads
+        self._executor: Optional[Any] = None
+        self._lock = threading.Lock()
+        self._busy = 0
+        self.submitted = 0
+        self.completed = 0
+
+    def _ensure_executor(self):
+        if self._executor is None:
+            if self.threads:
+                self._executor = ThreadPoolExecutor(max_workers=self.jobs)
+            else:
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._executor
+
+    def submit(self, payload: Dict[str, Any]) -> "Future[Dict[str, Any]]":
+        """Run one payload asynchronously; returns its outcome future."""
+        executor = self._ensure_executor()
+        with self._lock:
+            self._busy += 1
+            self.submitted += 1
+        future = executor.submit(self.runner, payload)
+        future.add_done_callback(self._note_done)
+        return future
+
+    def _note_done(self, _future: "Future[Dict[str, Any]]") -> None:
+        with self._lock:
+            self._busy -= 1
+            self.completed += 1
+
+    def map_payloads(
+        self, payloads: Sequence[Dict[str, Any]]
+    ) -> Iterator[Dict[str, Any]]:
+        """Outcomes for ``payloads`` in submission order, streamed as
+        they become available (like ``pool.map``)."""
+        futures = [self.submit(payload) for payload in payloads]
+        for future in futures:
+            yield future.result()
+
+    @property
+    def busy(self) -> int:
+        """Payloads currently submitted and not yet completed."""
+        with self._lock:
+            return self._busy
+
+    def utilization(self) -> float:
+        """Busy workers over pool size, 0.0..1.0 (may exceed 1.0 when
+        more payloads are submitted than workers exist to run them)."""
+        return self.busy / self.jobs
+
+    def close(self) -> None:
+        """Shut the executor down; safe to call repeatedly."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 class SimulationEngine:
@@ -255,8 +369,14 @@ class SimulationEngine:
         progress: Optional[ProgressCallback] = None,
         stats: Optional[StatGroup] = None,
         amortize: bool = True,
+        pool: Optional[WorkerPool] = None,
     ) -> None:
         self.settings = settings or RunSettings()
+        #: a caller-owned persistent pool; when set, every batch runs on
+        #: it (no per-``run_units`` fork cost) and ``jobs`` follows it.
+        self.pool = pool
+        if pool is not None:
+            jobs = pool.jobs
         self.jobs = max(1, jobs if jobs is not None else default_jobs())
         self.store = store
         self.progress = progress
@@ -449,6 +569,11 @@ class SimulationEngine:
             for payload in payloads:
                 payload["amortize"] = True
                 payload["trace_root"] = trace_root
+        if self.pool is not None:
+            # A persistent pool outlives this batch: no per-call
+            # executor setup/teardown, outcomes stream in order.
+            yield from self.pool.map_payloads(payloads)
+            return
         if self.jobs == 1 or len(payloads) == 1:
             for payload in payloads:
                 yield simulate_payload(payload)

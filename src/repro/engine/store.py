@@ -80,6 +80,10 @@ class StoreInfo:
     total_bytes: int
     schema_version: int
     code_version: str
+    #: ``.tmp-*.json`` files left behind by a writer that died between
+    #: temp-file creation and the atomic rename; swept by :meth:`clear`.
+    orphan_files: int = 0
+    orphan_bytes: int = 0
 
     def render(self) -> str:
         lines = [
@@ -90,6 +94,12 @@ class StoreInfo:
             f"schema version: {self.schema_version}",
             f"code version:   {self.code_version}",
         ]
+        if self.orphan_files:
+            lines.insert(
+                3,
+                f"orphans:        {self.orphan_files} interrupted write(s), "
+                f"{self.orphan_bytes / 1024:.1f} KiB (cleared by cache clear)",
+            )
         return "\n".join(lines)
 
 
@@ -135,7 +145,11 @@ class ResultStore:
             return None
         try:
             result = SimResult.from_dict(envelope["result"])
-        except (KeyError, TypeError):
+        except (AttributeError, KeyError, TypeError, ValueError):
+            # Any structural corruption of a well-formed JSON envelope —
+            # missing fields (KeyError), a non-dict result payload
+            # (AttributeError/TypeError), or field values that fail
+            # validation (ValueError) — reads as a miss, never as data.
             return None
         wall = envelope.get("wall_time")
         return result, float(wall) if isinstance(wall, (int, float)) else 0.0
@@ -188,6 +202,20 @@ class ResultStore:
             p for p in self.root.glob("*.json") if not p.name.startswith(".")
         )
 
+    def orphans(self):
+        """Leftover ``.tmp-*.json`` files from interrupted writes.
+
+        :meth:`put` is atomic (write-temp-then-rename) and unlinks its
+        temp file on any in-process failure, but a writer killed between
+        temp-file creation and the rename (SIGKILL, power loss) leaves
+        the temp behind.  :meth:`entries` deliberately skips dotfiles,
+        so without this sweep :meth:`clear` would never delete them and
+        :meth:`info` would undercount the directory forever.
+        """
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob(".tmp-*.json"))
+
     def info(self) -> StoreInfo:
         """Count entries, splitting valid from stale (wrong stamps)."""
         paths = self.entries()
@@ -200,20 +228,30 @@ class ResultStore:
                 continue
             if self.get(path.stem) is not None:
                 valid += 1
+        orphans = self.orphans()
+        orphan_bytes = 0
+        for path in orphans:
+            try:
+                orphan_bytes += path.stat().st_size
+            except OSError:
+                pass
         return StoreInfo(
             root=str(self.root),
             entries=len(paths),
             valid_entries=valid,
             stale_entries=len(paths) - valid,
-            total_bytes=total_bytes,
+            total_bytes=total_bytes + orphan_bytes,
             schema_version=SCHEMA_VERSION,
             code_version=self.code_version,
+            orphan_files=len(orphans),
+            orphan_bytes=orphan_bytes,
         )
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of files removed."""
+        """Delete every entry (and sweep interrupted-write orphans);
+        returns the number of files removed."""
         removed = 0
-        for path in self.entries():
+        for path in self.entries() + self.orphans():
             try:
                 path.unlink()
                 removed += 1

@@ -136,6 +136,28 @@ class SweepTelemetry:
         """Unit records plus the trailing sweep summary."""
         return self.units + [self.summary()]
 
+    def progress(self, total: int) -> Dict[str, object]:
+        """A live progress view over ``total`` expected units.
+
+        The service's ``GET /v1/jobs/<id>`` endpoint derives a job's
+        progress from the telemetry the job accumulates as its units
+        resolve: done counts split by source, plus the per-phase spans
+        recorded so far (the same ``phase_seconds`` families the sweep
+        summary reports).
+        """
+        return {
+            "total": total,
+            "done": len(self.units),
+            "simulated": self.simulated,
+            "cache_hits": self.cache_hits,
+            "saved_seconds": self.saved_seconds,
+            "phase_seconds": {
+                phase: self.phase_seconds[phase]
+                for phase in PHASES
+                if phase in self.phase_seconds
+            },
+        }
+
     def render(self) -> str:
         """One-line human roll-up for sweep summaries and ``cache info``."""
         summary = self.summary()

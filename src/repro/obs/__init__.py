@@ -24,9 +24,12 @@ from .events import EventTrace, format_events, write_events_jsonl
 from .metrics import (
     MetricsCollector,
     bank_stats,
+    escape_label,
+    format_sample_value,
     mean_bank_utilization,
     occupancy_stats,
     prometheus_metrics,
+    prometheus_sample,
     render_metrics,
 )
 from .observer import Observer
@@ -40,10 +43,13 @@ __all__ = [
     "Observer",
     "REFUSAL_PREFIX",
     "bank_stats",
+    "escape_label",
     "format_events",
+    "format_sample_value",
     "mean_bank_utilization",
     "occupancy_stats",
     "prometheus_metrics",
+    "prometheus_sample",
     "render_metrics",
     "render_stalls",
     "stall_fractions",

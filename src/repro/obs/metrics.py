@@ -351,11 +351,35 @@ def prometheus_metrics(
     return "\n".join(lines) + "\n"
 
 
-def _escape_label(value: str) -> str:
+def escape_label(value: str) -> str:
+    """Escape one label value for the Prometheus text format."""
     return str(value).replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
 
 
-def _format_value(value: float) -> str:
+def format_sample_value(value: float) -> str:
+    """Render one sample value (integers without a trailing ``.0``)."""
     if float(value).is_integer():
         return str(int(value))
     return repr(float(value))
+
+
+def prometheus_sample(
+    name: str, value: float, labels: Optional[Mapping[str, str]] = None
+) -> str:
+    """One text-exposition sample line: ``name{labels} value``.
+
+    Shared by :func:`prometheus_metrics` (finished-run gauges) and the
+    service daemon's live ``/metrics`` families, so every exporter in
+    the repo escapes and formats identically.
+    """
+    rendered = ",".join(
+        f'{key}="{escape_label(val)}"'
+        for key, val in sorted((labels or {}).items())
+    )
+    body = f"{{{rendered}}}" if rendered else ""
+    return f"{name}{body} {format_sample_value(value)}"
+
+
+# Backwards-friendly private aliases (pre-service internal names).
+_escape_label = escape_label
+_format_value = format_sample_value

@@ -1,0 +1,47 @@
+"""Simulation-as-a-service: the ``repro-lbic serve`` daemon.
+
+A long-lived asyncio front door over the engine's existing substrate —
+canonical config fingerprints, the content-addressed
+:class:`~repro.engine.store.ResultStore`, a persistent
+:class:`~repro.engine.executor.WorkerPool`, and
+:class:`~repro.engine.telemetry.SweepTelemetry` — exposing an HTTP/JSON
+API:
+
+* ``POST /v1/simulate`` — simulation/sweep requests (single units, pack
+  names, or inline machine configs through the mechanism registry);
+  synchronous by default, ``?wait=false`` returns a job handle.
+* ``GET /v1/jobs/<id>`` — job state with telemetry-derived progress.
+* ``GET /metrics`` — Prometheus text exposition: service families
+  (queue depth, in-flight dedup hits, request latency histogram, pool
+  utilization) plus the finished-run utilization gauges from
+  :func:`~repro.obs.metrics.prometheus_metrics`.
+* ``GET /healthz`` — liveness and a configuration snapshot.
+
+Serving discipline: store-hit requests answer directly from the result
+store without touching the worker pool; cold requests queue FIFO-fair
+onto a bounded backlog (overflow sheds with 429); identical in-flight
+requests share one simulation (dedup by fingerprint).  See
+``docs/service.md``.
+"""
+
+from .app import ServiceApp, run_server
+from .jobs import Job, JobRegistry
+from .metrics import LatencyHistogram, ServiceMetrics
+from .queue import BacklogFullError, BoundedWorkQueue
+from .service import SimulationService, UnitOutcome
+from .wire import WireError, simulate_request
+
+__all__ = [
+    "BacklogFullError",
+    "BoundedWorkQueue",
+    "Job",
+    "JobRegistry",
+    "LatencyHistogram",
+    "ServiceApp",
+    "ServiceMetrics",
+    "SimulationService",
+    "UnitOutcome",
+    "WireError",
+    "run_server",
+    "simulate_request",
+]

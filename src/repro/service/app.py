@@ -1,0 +1,306 @@
+"""The HTTP/JSON front door: a dependency-free asyncio server.
+
+The daemon speaks a deliberately small slice of HTTP/1.1 over
+``asyncio.start_server`` — request line, headers, ``Content-Length``
+body, ``Connection: close`` responses — because the toolchain ships no
+HTTP framework and the four endpoints need nothing more.  All JSON in,
+JSON out (``/metrics`` and ``/healthz`` excepted).
+
+Routes::
+
+    POST /v1/simulate[?wait=false]   simulate/sweep request
+    GET  /v1/jobs/<id>               job state + telemetry progress
+    GET  /metrics                    Prometheus text exposition
+    GET  /healthz                    liveness + config snapshot
+
+Error mapping: malformed body/spec -> 400 (:class:`WireError`), unknown
+route or job -> 404, backlog overflow -> 429
+(:class:`BacklogFullError`), failed simulation -> 500.  Every response
+is recorded in the request-latency histogram.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from ..engine import ResultStore, WorkerPool
+from .queue import BacklogFullError
+from .service import SimulationService
+from .wire import WireError, simulate_request
+
+#: request size guards.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_STATUS_TEXT = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class _HttpError(Exception):
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class ServiceApp:
+    """Bind a :class:`SimulationService` to a TCP listener."""
+
+    def __init__(
+        self,
+        service: SimulationService,
+        host: str = "127.0.0.1",
+        port: int = 8023,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        """Start the dispatchers and listen; updates :attr:`port` with
+        the bound port (useful when constructed with ``port=0``)."""
+        await self.service.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.service.stop()
+
+    async def __aenter__(self) -> "ServiceApp":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        await self.stop()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        started = time.perf_counter()
+        endpoint = "unknown"
+        status = 0
+        try:
+            try:
+                method, target, body = await self._read_request(reader)
+                endpoint, status, payload, content_type = await self._route(
+                    method, target, body
+                )
+            except _HttpError as error:
+                status = error.status
+                payload = json.dumps({"error": str(error)}) + "\n"
+                content_type = "application/json"
+            except Exception as error:  # noqa: BLE001 - server boundary
+                status = 500
+                payload = (
+                    json.dumps({"error": f"{type(error).__name__}: {error}"}) + "\n"
+                )
+                content_type = "application/json"
+            await self._write_response(writer, status, payload, content_type)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self.service.metrics.note_request(
+                endpoint, status, time.perf_counter() - started
+            )
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Tuple[str, str, bytes]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError as error:
+            raise _HttpError(413, "headers too large") from error
+        if len(head) > MAX_HEADER_BYTES:
+            raise _HttpError(413, "headers too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3:
+            raise _HttpError(400, f"malformed request line: {lines[0]!r}")
+        method, target, _version = parts
+        headers: Dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length_text = headers.get("content-length", "0")
+        try:
+            length = int(length_text)
+        except ValueError as error:
+            raise _HttpError(400, f"bad Content-Length: {length_text!r}") from error
+        if length > MAX_BODY_BYTES:
+            raise _HttpError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+        body = await reader.readexactly(length) if length else b""
+        return method, target, body
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: str,
+        content_type: str,
+    ) -> None:
+        body = payload.encode("utf-8")
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # -- routing -----------------------------------------------------------
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> Tuple[str, int, str, str]:
+        """Dispatch one request; returns (endpoint, status, body, type)."""
+        split = urlsplit(target)
+        path = split.path
+        query = parse_qs(split.query)
+        if path == "/healthz":
+            if method != "GET":
+                raise _HttpError(405, "GET only")
+            return (
+                "/healthz",
+                200,
+                json.dumps(self.service.health(), sort_keys=True) + "\n",
+                "application/json",
+            )
+        if path == "/metrics":
+            if method != "GET":
+                raise _HttpError(405, "GET only")
+            return (
+                "/metrics",
+                200,
+                self.service.render_metrics(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
+        if path == "/v1/simulate":
+            if method != "POST":
+                raise _HttpError(405, "POST only")
+            wait_values = [v.lower() for v in query.get("wait", ["true"])]
+            wait = wait_values[-1] not in ("false", "0", "no")
+            status, payload = await self._simulate(body, wait)
+            return (
+                "/v1/simulate",
+                status,
+                json.dumps(payload, sort_keys=True) + "\n",
+                "application/json",
+            )
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                raise _HttpError(405, "GET only")
+            job = self.service.jobs.get(path[len("/v1/jobs/"):])
+            if job is None:
+                raise _HttpError(404, "no such job")
+            return (
+                "/v1/jobs",
+                200,
+                json.dumps(job.to_dict(), sort_keys=True) + "\n",
+                "application/json",
+            )
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    async def _simulate(
+        self, body: bytes, wait: bool
+    ) -> Tuple[int, Dict[str, Any]]:
+        try:
+            data = json.loads(body.decode("utf-8") or "null")
+        except (UnicodeDecodeError, ValueError) as error:
+            raise _HttpError(400, f"body is not valid JSON: {error}") from error
+        try:
+            request = simulate_request(data)
+        except WireError as error:
+            raise _HttpError(400, str(error)) from error
+        try:
+            job = self.service.submit(request, wait=wait)
+        except BacklogFullError as error:
+            raise _HttpError(429, str(error)) from error
+        if not wait:
+            return 202, {
+                "job": job.id,
+                "state": job.state,
+                "total": job.total,
+                "url": f"/v1/jobs/{job.id}",
+            }
+        try:
+            await job.task
+        except Exception as error:  # noqa: BLE001 - request boundary
+            raise _HttpError(
+                500, f"simulation failed: {type(error).__name__}: {error}"
+            ) from error
+        return 200, job.to_dict()
+
+
+def run_server(
+    host: str = "127.0.0.1",
+    port: int = 8023,
+    *,
+    jobs: Optional[int] = None,
+    backlog: int = 64,
+    store: Optional[ResultStore] = None,
+    use_store: bool = True,
+    amortize: bool = True,
+) -> int:
+    """Blocking entry point for ``repro-lbic serve``.
+
+    Creates the persistent :class:`~repro.engine.executor.WorkerPool`
+    once, binds the listener, and serves until interrupted; the pool and
+    dispatchers shut down cleanly on Ctrl-C.
+    """
+    if store is None and use_store:
+        store = ResultStore()
+    pool = WorkerPool(jobs)
+    service = SimulationService(
+        store=store, pool=pool, backlog=backlog, amortize=amortize
+    )
+
+    async def _main() -> None:
+        app = ServiceApp(service, host=host, port=port)
+        async with app:
+            print(
+                f"repro-lbic serve: listening on http://{app.host}:{app.port} "
+                f"(workers={pool.jobs}, backlog={backlog}, "
+                f"store={store.root if store is not None else 'off'})",
+                flush=True,
+            )
+            await app.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        print("repro-lbic serve: shutting down", flush=True)
+    return 0

@@ -1,0 +1,115 @@
+"""Job records: every ``POST /v1/simulate`` becomes one trackable job.
+
+A job exists whether the client waits (synchronous mode) or polls
+(``?wait=false``): the handler that resolves the units is the same
+coroutine either way, so a synchronous response body and a completed
+job record carry identical data.  Progress is derived from the job's
+own :class:`~repro.engine.telemetry.SweepTelemetry` — each resolved
+unit folds its phase spans (materialize/warmup/simulate/store...) into
+the record the ``GET /v1/jobs/<id>`` endpoint reports.
+"""
+
+from __future__ import annotations
+
+import itertools
+import secrets
+import time
+from typing import Any, Dict, List, Optional
+
+from ..engine import SweepTelemetry
+
+#: finished jobs kept for polling before the registry prunes them.
+KEEP_FINISHED = 256
+
+#: job lifecycle states, in order.
+STATES = ("queued", "running", "done", "failed")
+
+
+class Job:
+    """One simulate request's lifecycle, progress, and results."""
+
+    def __init__(self, job_id: str, description: str, total: int) -> None:
+        self.id = job_id
+        self.description = description
+        self.total = total
+        self.state = "queued"
+        self.created = time.time()
+        self.finished: Optional[float] = None
+        self.error: Optional[str] = None
+        #: per-unit phase spans and sources accumulate here as units
+        #: resolve; the jobs endpoint derives progress from it.
+        self.telemetry = SweepTelemetry()
+        self.unit_records: List[Dict[str, Any]] = []
+        #: the asyncio task resolving this job's units (set by the
+        #: service); synchronous requests await it, job mode polls.
+        self.task: Optional[Any] = None
+
+    def start(self) -> None:
+        self.state = "running"
+
+    def complete(self) -> None:
+        self.state = "done"
+        self.finished = time.time()
+
+    def fail(self, error: str) -> None:
+        self.state = "failed"
+        self.error = error
+        self.finished = time.time()
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state in ("done", "failed")
+
+    def to_dict(self, include_results: bool = True) -> Dict[str, Any]:
+        """The job record the HTTP layer returns, JSON-safe."""
+        record: Dict[str, Any] = {
+            "id": self.id,
+            "state": self.state,
+            "description": self.description,
+            "created": self.created,
+            "progress": self.telemetry.progress(self.total),
+        }
+        if self.finished is not None:
+            record["elapsed_seconds"] = self.finished - self.created
+        if self.error is not None:
+            record["error"] = self.error
+        if include_results and self.state == "done":
+            record["units"] = list(self.unit_records)
+        return record
+
+
+class JobRegistry:
+    """In-memory job directory with bounded retention.
+
+    Unfinished jobs are never pruned; finished jobs are kept (newest
+    first) up to ``keep_finished`` so pollers have a grace window after
+    completion, and the registry cannot grow without bound under
+    sustained traffic.
+    """
+
+    def __init__(self, keep_finished: int = KEEP_FINISHED) -> None:
+        self.keep_finished = keep_finished
+        self._jobs: Dict[str, Job] = {}
+        self._counter = itertools.count(1)
+
+    def create(self, description: str, total: int) -> Job:
+        job_id = f"job-{next(self._counter):06d}-{secrets.token_hex(4)}"
+        job = Job(job_id, description, total)
+        self._jobs[job_id] = job
+        self._prune()
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def _prune(self) -> None:
+        finished = [job for job in self._jobs.values() if job.is_finished]
+        excess = len(finished) - self.keep_finished
+        if excess <= 0:
+            return
+        finished.sort(key=lambda job: job.finished or 0.0)
+        for job in finished[:excess]:
+            self._jobs.pop(job.id, None)

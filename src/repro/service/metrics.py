@@ -1,0 +1,163 @@
+"""Service metric families for the daemon's ``GET /metrics``.
+
+Everything renders through the same text-exposition helpers the
+finished-run gauges use (:func:`~repro.obs.metrics.prometheus_sample`),
+so one scrape combines live service counters with
+:func:`~repro.obs.metrics.prometheus_metrics` output for the most
+recent metrics-carrying result.
+
+Families:
+
+* ``repro_service_requests_total{endpoint,status}`` — counter
+* ``repro_service_units_total{source}`` — counter: how each unit resolved
+  (``memory`` / ``store`` / ``inflight`` / ``simulated`` / ``failed``)
+* ``repro_service_inflight_dedup_hits_total`` — counter
+* ``repro_service_backlog_shed_total`` — counter (429s)
+* ``repro_service_queue_depth`` / ``repro_service_inflight`` — gauges
+* ``repro_service_pool_workers`` / ``repro_service_pool_busy`` /
+  ``repro_service_pool_utilization`` — gauges
+* ``repro_service_request_seconds`` — histogram (cumulative ``le``
+  buckets, ``_sum``, ``_count``)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..obs.metrics import format_sample_value, prometheus_sample
+
+#: request-latency bucket upper bounds (seconds).  The decades span
+#: microsecond-class store hits through multi-second cold sweeps.
+LATENCY_BUCKETS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+
+class LatencyHistogram:
+    """A fixed-bucket Prometheus histogram (cumulative on render)."""
+
+    def __init__(self, buckets: Tuple[float, ...] = LATENCY_BUCKETS) -> None:
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)  # trailing +Inf
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        for index, bound in enumerate(self.buckets):
+            if seconds <= bound:
+                self.counts[index] += 1
+                return
+        self.counts[-1] += 1
+
+    def render(self, name: str, labels: Mapping[str, str]) -> List[str]:
+        lines = [f"# TYPE {name} histogram"]
+        cumulative = 0
+        for bound, count in zip(self.buckets, self.counts):
+            cumulative += count
+            lines.append(
+                prometheus_sample(
+                    f"{name}_bucket",
+                    cumulative,
+                    {**labels, "le": format_sample_value(bound)},
+                )
+            )
+        lines.append(
+            prometheus_sample(
+                f"{name}_bucket", self.count, {**labels, "le": "+Inf"}
+            )
+        )
+        lines.append(prometheus_sample(f"{name}_sum", self.total, dict(labels)))
+        lines.append(prometheus_sample(f"{name}_count", self.count, dict(labels)))
+        return lines
+
+
+class ServiceMetrics:
+    """Counters, gauges, and the request-latency histogram."""
+
+    def __init__(self) -> None:
+        self.requests: Dict[Tuple[str, int], int] = {}
+        self.units_by_source: Dict[str, int] = {}
+        self.dedup_hits = 0
+        self.latency = LatencyHistogram()
+
+    def note_request(self, endpoint: str, status: int, seconds: float) -> None:
+        key = (endpoint, status)
+        self.requests[key] = self.requests.get(key, 0) + 1
+        self.latency.observe(seconds)
+
+    def note_unit(self, source: str) -> None:
+        self.units_by_source[source] = self.units_by_source.get(source, 0) + 1
+
+    def note_dedup_hit(self) -> None:
+        self.dedup_hits += 1
+        self.note_unit("inflight")
+
+    def render(
+        self,
+        *,
+        queue_depth: int,
+        shed: int,
+        inflight: int,
+        pool_workers: int,
+        pool_busy: int,
+    ) -> str:
+        """The live service families, Prometheus text exposition."""
+        lines = ["# TYPE repro_service_requests_total counter"]
+        for (endpoint, status), count in sorted(self.requests.items()):
+            lines.append(
+                prometheus_sample(
+                    "repro_service_requests_total",
+                    count,
+                    {"endpoint": endpoint, "status": str(status)},
+                )
+            )
+        lines.append("# TYPE repro_service_units_total counter")
+        for source, count in sorted(self.units_by_source.items()):
+            lines.append(
+                prometheus_sample(
+                    "repro_service_units_total", count, {"source": source}
+                )
+            )
+        lines.append("# TYPE repro_service_inflight_dedup_hits_total counter")
+        lines.append(
+            prometheus_sample(
+                "repro_service_inflight_dedup_hits_total", self.dedup_hits
+            )
+        )
+        lines.append("# TYPE repro_service_backlog_shed_total counter")
+        lines.append(prometheus_sample("repro_service_backlog_shed_total", shed))
+        lines.append("# TYPE repro_service_queue_depth gauge")
+        lines.append(prometheus_sample("repro_service_queue_depth", queue_depth))
+        lines.append("# TYPE repro_service_inflight gauge")
+        lines.append(prometheus_sample("repro_service_inflight", inflight))
+        lines.append("# TYPE repro_service_pool_workers gauge")
+        lines.append(prometheus_sample("repro_service_pool_workers", pool_workers))
+        lines.append("# TYPE repro_service_pool_busy gauge")
+        lines.append(prometheus_sample("repro_service_pool_busy", pool_busy))
+        lines.append("# TYPE repro_service_pool_utilization gauge")
+        lines.append(
+            prometheus_sample(
+                "repro_service_pool_utilization",
+                pool_busy / pool_workers if pool_workers else 0.0,
+            )
+        )
+        lines.extend(
+            self.latency.render("repro_service_request_seconds", {})
+        )
+        return "\n".join(lines) + "\n"

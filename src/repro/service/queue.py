@@ -1,0 +1,65 @@
+"""The daemon's admission queue: FIFO-fair, bounded, load-shedding.
+
+Cold work (no store entry, no identical run already in flight) is the
+only thing that ever enters this queue; store hits and dedup joins are
+answered without touching it.  The queue is strictly FIFO — requests
+are served in arrival order regardless of which client sent them — and
+strictly bounded: when admitting a request's cold units would push the
+backlog past its limit, the *whole request* is refused up front with
+:class:`BacklogFullError` (HTTP 429) rather than enqueueing half of it.
+Refusing before enqueueing anything keeps rejected requests free of
+side effects, so clients can retry them verbatim.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any
+
+from ..common.errors import ReproError
+
+
+class BacklogFullError(ReproError):
+    """Admitting the request would overflow the backlog (HTTP 429)."""
+
+
+class BoundedWorkQueue:
+    """An asyncio FIFO queue with all-or-nothing admission.
+
+    ``reserve(n)`` checks capacity for a batch *before* anything is
+    enqueued; because the event loop never yields between the check and
+    the subsequent ``put_nowait`` calls (both are synchronous), a
+    reservation cannot be invalidated by a concurrent request.
+    """
+
+    def __init__(self, backlog: int) -> None:
+        if backlog < 1:
+            raise ValueError("backlog must be >= 1")
+        self.backlog = backlog
+        self._queue: "asyncio.Queue[Any]" = asyncio.Queue()
+        #: requests refused because the backlog was full.
+        self.shed = 0
+
+    @property
+    def depth(self) -> int:
+        """Items currently waiting (not yet claimed by a worker)."""
+        return self._queue.qsize()
+
+    def reserve(self, count: int) -> None:
+        """Raise :class:`BacklogFullError` unless ``count`` more items
+        fit; callers must enqueue synchronously after a reservation."""
+        if self.depth + count > self.backlog:
+            self.shed += 1
+            raise BacklogFullError(
+                f"backlog full: {self.depth} queued + {count} requested "
+                f"> limit {self.backlog}; retry later"
+            )
+
+    def put_nowait(self, item: Any) -> None:
+        self._queue.put_nowait(item)
+
+    async def get(self) -> Any:
+        return await self._queue.get()
+
+    def task_done(self) -> None:
+        self._queue.task_done()

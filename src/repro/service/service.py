@@ -1,0 +1,325 @@
+"""The daemon's core: in-flight dedup, fair dispatch, store fast path.
+
+:class:`SimulationService` is the HTTP-free heart of ``repro-lbic
+serve``.  It resolves work units with a strict discipline:
+
+1. **Memory / store hits answer immediately.**  A fingerprint already
+   in the in-process memo or the persistent
+   :class:`~repro.engine.store.ResultStore` never touches the queue or
+   the worker pool — the microsecond path.
+2. **In-flight dedup.**  A unit whose fingerprint is already being
+   simulated (for any client, including another unit of the same
+   request) attaches to the existing run's future; two clients asking
+   for the same unit share exactly one simulation and receive the
+   bit-identical result.
+3. **Fair, bounded admission.**  Only genuinely cold units enter the
+   FIFO :class:`~repro.service.queue.BoundedWorkQueue`; when a request
+   would overflow the backlog it is refused whole with
+   :class:`~repro.service.queue.BacklogFullError` (HTTP 429) before any
+   of it is enqueued.
+4. **Persistent pool.**  A fixed set of dispatcher coroutines (one per
+   pool worker) drains the queue onto a
+   :class:`~repro.engine.executor.WorkerPool` created once at service
+   startup — no per-request executor setup, which is exactly the cost
+   :meth:`SimulationEngine._execute <repro.engine.executor.SimulationEngine._execute>`
+   used to pay per ``run_units`` call.
+
+Completed simulations land in the memo and the store before the
+in-flight entry is retired, so a unit is always visible as exactly one
+of {cached, in flight, cold} — there is no window where a concurrent
+request could miss both and start a duplicate run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.results import SimResult
+from ..engine import ResultStore, WorkerPool, WorkUnit
+from .jobs import Job, JobRegistry
+from .metrics import ServiceMetrics
+from .queue import BoundedWorkQueue
+from .wire import SimulateRequest
+
+#: amortization knobs ride the payload exactly as the engine sends them.
+
+
+class _InFlight:
+    """One running (or queued) simulation and everyone waiting on it."""
+
+    __slots__ = ("unit", "future", "waiters")
+
+    def __init__(self, unit: WorkUnit) -> None:
+        self.unit = unit
+        self.future: "asyncio.Future[Tuple[SimResult, float, Dict[str, float]]]" = (
+            asyncio.get_running_loop().create_future()
+        )
+        self.waiters = 1
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """How one requested unit resolved."""
+
+    unit: WorkUnit
+    result: SimResult
+    #: ``memory`` / ``store`` (cache), ``inflight`` (shared someone
+    #: else's run), or ``simulated`` (this request caused the run).
+    source: str
+    wall_time: float
+    phases: Dict[str, float]
+    saved_seconds: float = 0.0
+
+    def to_record(self) -> Dict[str, Any]:
+        return {
+            "label": self.unit.label,
+            "fingerprint": self.unit.fingerprint,
+            "source": self.source,
+            "wall_time": self.wall_time,
+            "ipc": self.result.ipc,
+            "result": self.result.to_dict(),
+        }
+
+
+class SimulationService:
+    """Long-lived simulation front end (see module docstring)."""
+
+    def __init__(
+        self,
+        *,
+        store: Optional[ResultStore] = None,
+        pool: Optional[WorkerPool] = None,
+        backlog: int = 64,
+        amortize: bool = True,
+    ) -> None:
+        self.store = store
+        self.pool = pool if pool is not None else WorkerPool()
+        self.queue = BoundedWorkQueue(backlog)
+        self.jobs = JobRegistry()
+        self.metrics = ServiceMetrics()
+        self.amortize = amortize
+        self.started = time.time()
+        self._memory: Dict[str, Tuple[SimResult, float]] = {}
+        self._inflight: Dict[str, _InFlight] = {}
+        self._workers: List["asyncio.Task[None]"] = []
+        #: most recent result carrying utilization metrics, with its
+        #: (benchmark, ports) labels — re-exported on ``GET /metrics``.
+        self.last_metrics: Optional[Tuple[Dict[str, Any], Dict[str, str]]] = None
+        self.simulations = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn one dispatcher coroutine per pool worker."""
+        if self._workers:
+            return
+        for index in range(self.pool.jobs):
+            self._workers.append(
+                asyncio.create_task(self._dispatch_loop(), name=f"dispatch-{index}")
+            )
+
+    async def stop(self) -> None:
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+        self.pool.close()
+
+    # -- request handling --------------------------------------------------
+
+    def submit(self, request: SimulateRequest, wait: bool = True) -> Job:
+        """Admit one request: plan every unit, enqueue the cold ones.
+
+        Raises :class:`BacklogFullError` (nothing enqueued, no job
+        created) when the backlog cannot take the request's cold units.
+        Returns the :class:`Job`; ``job.task`` resolves the units — the
+        caller awaits it (sync mode) or leaves it running (job mode).
+        """
+        plan = self._plan(request)
+        job = self.jobs.create(request.description, len(request.units))
+        job.task = asyncio.create_task(self._resolve(job, request, plan))
+        if not wait:
+            # Background jobs report failures through their record; mark
+            # the exception as retrieved so asyncio does not log it as
+            # unobserved when nobody awaits the task.
+            job.task.add_done_callback(
+                lambda task: task.exception() if not task.cancelled() else None
+            )
+        return job
+
+    def _plan(self, request: SimulateRequest) -> List[Tuple[str, Any]]:
+        """Classify units (cached / attach / cold) and enqueue cold ones.
+
+        Runs synchronously on the event loop: between the backlog
+        reservation and the enqueues nothing yields, so admission is
+        atomic with respect to other requests.
+        """
+        plan: List[Tuple[str, Any]] = []
+        cold: List[_InFlight] = []
+        claimed: Dict[str, _InFlight] = {}
+        for unit in request.units:
+            fingerprint = unit.fingerprint
+            cached = self._probe(unit)
+            if cached is not None:
+                plan.append(("cached", cached))
+                continue
+            existing = self._inflight.get(fingerprint) or claimed.get(fingerprint)
+            if existing is not None:
+                existing.waiters += 1
+                self.metrics.note_dedup_hit()
+                plan.append(("attach", existing))
+                continue
+            item = _InFlight(unit)
+            claimed[fingerprint] = item
+            cold.append(item)
+            plan.append(("cold", item))
+        # All-or-nothing admission: reserve before anything is enqueued.
+        self.queue.reserve(len(cold))
+        for item in cold:
+            self._inflight[item.unit.fingerprint] = item
+            self.queue.put_nowait(item)
+        return plan
+
+    def _probe(
+        self, unit: WorkUnit
+    ) -> Optional[Tuple[str, SimResult, float]]:
+        """Memo, then disk — the no-pool path."""
+        fingerprint = unit.fingerprint
+        hit = self._memory.get(fingerprint)
+        if hit is not None and unit.satisfied_by(hit[0]):
+            self.metrics.note_unit("memory")
+            return ("memory",) + hit
+        if self.store is not None:
+            entry = self.store.get_entry(fingerprint)
+            if entry is not None and unit.satisfied_by(entry[0]):
+                self._memory[fingerprint] = entry
+                self.metrics.note_unit("store")
+                return ("store",) + entry
+        return None
+
+    async def _resolve(
+        self, job: Job, request: SimulateRequest, plan: List[Tuple[str, Any]]
+    ) -> List[UnitOutcome]:
+        """Await every planned unit and finalize the job record."""
+        job.start()
+        outcomes: List[UnitOutcome] = []
+        try:
+            for (kind, item), unit in zip(plan, request.units):
+                if kind == "cached":
+                    source, result, stored_wall = item
+                    outcome = UnitOutcome(
+                        unit=unit,
+                        result=result,
+                        source=source,
+                        wall_time=0.0,
+                        phases={},
+                        saved_seconds=stored_wall,
+                    )
+                    job.telemetry.note_savings(stored_wall)
+                else:
+                    result, wall, phases = await asyncio.shield(item.future)
+                    source = "simulated" if kind == "cold" else "inflight"
+                    outcome = UnitOutcome(
+                        unit=unit,
+                        result=result,
+                        source=source,
+                        wall_time=wall,
+                        phases=phases,
+                    )
+                job.telemetry.add_unit(
+                    unit.label, unit.fingerprint, outcome.source,
+                    outcome.wall_time, outcome.phases,
+                )
+                job.unit_records.append(outcome.to_record())
+                outcomes.append(outcome)
+        except Exception as error:  # noqa: BLE001 - job boundary
+            self.metrics.note_unit("failed")
+            job.fail(f"{type(error).__name__}: {error}")
+            raise
+        job.complete()
+        return outcomes
+
+    # -- dispatch ----------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        """One pool slot: drain the queue FIFO, run, publish, retire."""
+        while True:
+            item = await self.queue.get()
+            try:
+                await self._run_item(item)
+            finally:
+                self.queue.task_done()
+
+    async def _run_item(self, item: _InFlight) -> None:
+        unit = item.unit
+        payload = unit.payload()
+        if self.amortize:
+            payload["amortize"] = True
+            if self.store is not None:
+                payload["trace_root"] = str(self.store.root / "traces")
+        try:
+            outcome = await asyncio.wrap_future(self.pool.submit(payload))
+            result = SimResult.from_dict(outcome["result"])
+            wall = float(outcome.get("wall_time", 0.0))
+            phases = dict(outcome.get("phases", {}))
+        except Exception as error:  # noqa: BLE001 - worker boundary
+            self._inflight.pop(unit.fingerprint, None)
+            if not item.future.done():
+                item.future.set_exception(error)
+            return
+        # Publish before retiring the in-flight entry: a unit is always
+        # visible as cached or in flight, never neither.
+        self._memory[unit.fingerprint] = (result, wall)
+        if self.store is not None:
+            mark = time.perf_counter()
+            self.store.put(unit.fingerprint, unit.key(), result, wall)
+            phases["store"] = time.perf_counter() - mark
+        self.simulations += 1
+        self.metrics.note_unit("simulated")
+        metrics_payload = result.extra.get("metrics")
+        if isinstance(metrics_payload, dict):
+            benchmark, _, ports = unit.label.partition("/")
+            self.last_metrics = (
+                metrics_payload,
+                {"benchmark": benchmark, "ports": ports},
+            )
+        self._inflight.pop(unit.fingerprint, None)
+        if not item.future.done():
+            item.future.set_result((result, wall, phases))
+
+    # -- introspection -----------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return {
+            "status": "ok",
+            "uptime_seconds": time.time() - self.started,
+            "jobs": self.pool.jobs,
+            "queue_depth": self.queue.depth,
+            "backlog": self.queue.backlog,
+            "inflight": len(self._inflight),
+            "simulations": self.simulations,
+            "store": str(self.store.root) if self.store is not None else None,
+        }
+
+    def render_metrics(self) -> str:
+        """Service families plus the last run's utilization gauges."""
+        text = self.metrics.render(
+            queue_depth=self.queue.depth,
+            shed=self.queue.shed,
+            inflight=len(self._inflight),
+            pool_workers=self.pool.jobs,
+            pool_busy=self.pool.busy,
+        )
+        if self.last_metrics is not None:
+            from ..obs.metrics import prometheus_metrics
+
+            payload, labels = self.last_metrics
+            text += prometheus_metrics(payload, labels=labels)
+        return text

@@ -1,0 +1,224 @@
+"""Wire schemas: JSON request bodies -> engine work units.
+
+``POST /v1/simulate`` accepts three request shapes, all resolving to a
+list of ordinary :class:`~repro.engine.executor.WorkUnit`\\ s so the
+daemon's dedup, store probing, and pool dispatch treat every client the
+same way the CLI's experiments are treated:
+
+* a **single unit**::
+
+      {"benchmark": "swim", "ports": "lbic:4x4", "instructions": 20000}
+
+* an explicit **unit list** (top-level settings act as defaults)::
+
+      {"seed": 2, "units": [{"benchmark": "gcc", "ports": "bank:4"},
+                            {"benchmark": "swim", "machine": {...}}]}
+
+* a shipped **experiment pack** (the registry/pack deserializers)::
+
+      {"pack": "replacement-policies", "quick": true}
+
+A unit names its machine either with a ``ports`` spec string (the CLI's
+``ideal:N | repl:N | bank:M | lbic:MxN[:sqD]`` grammar) or an inline
+``machine`` dict routed through the mechanism registry — a full
+machine via :func:`~repro.common.config.machine_config_from_dict`, or
+the ``{"machine": {"ports": {"kind": ..., ...}}}`` shorthand that puts
+a registry-built port model on the paper baseline — so unknown
+mechanism names fail with the list of valid alternatives.  Anything malformed raises :class:`WireError`,
+which the HTTP layer renders as a 400.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..common.config import (
+    machine_config_from_dict,
+    paper_machine,
+    port_model_from_dict,
+)
+from ..common.errors import ConfigError, ReproError
+from ..engine import RunSettings, WorkUnit
+from ..workloads.spec95 import ALL_NAMES
+
+
+class WireError(ReproError):
+    """A malformed service request (rendered as HTTP 400)."""
+
+
+#: settings keys a request (or one unit spec) may carry.
+_SETTINGS_KEYS = (
+    "instructions",
+    "warmup_instructions",
+    "seed",
+    "observe",
+    "metrics",
+)
+
+#: unit-identity keys, on top of the settings keys.
+_UNIT_KEYS = _SETTINGS_KEYS + ("benchmark", "ports", "machine")
+
+#: top-level request keys across all three shapes.
+_REQUEST_KEYS = _UNIT_KEYS + ("units", "pack", "quick")
+
+_SETTINGS_TYPES = {
+    "instructions": int,
+    "warmup_instructions": int,
+    "seed": int,
+    "observe": bool,
+    "metrics": bool,
+}
+
+
+@dataclass(frozen=True)
+class SimulateRequest:
+    """One parsed ``POST /v1/simulate`` body."""
+
+    units: Tuple[WorkUnit, ...]
+    #: what the request asked for, echoed into job records.
+    description: str
+    #: per-unit (benchmark, ports-description) label pairs for metrics.
+    labels: Tuple[Tuple[str, str], ...] = field(default=())
+
+
+def _require_mapping(data: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(data, Mapping):
+        raise WireError(f"{what} must be a JSON object, got {type(data).__name__}")
+    return data
+
+
+def _check_keys(data: Mapping[str, Any], allowed: Tuple[str, ...], what: str) -> None:
+    unknown = set(data) - set(allowed)
+    if unknown:
+        raise WireError(
+            f"{what} has unknown key(s) {sorted(unknown)}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+
+
+def _settings_values(data: Mapping[str, Any], what: str) -> Dict[str, Any]:
+    values: Dict[str, Any] = {}
+    for key in _SETTINGS_KEYS:
+        if key not in data:
+            continue
+        value = data[key]
+        expected = _SETTINGS_TYPES[key]
+        if expected is int and (isinstance(value, bool) or not isinstance(value, int)):
+            raise WireError(f"{what}: {key!r} must be an integer, got {value!r}")
+        if expected is bool and not isinstance(value, bool):
+            raise WireError(f"{what}: {key!r} must be a boolean, got {value!r}")
+        values[key] = value
+    return values
+
+
+def _parse_ports_spec(spec: Any, what: str):
+    from ..cli import parse_ports
+
+    if not isinstance(spec, str):
+        raise WireError(f"{what}: 'ports' must be a spec string, got {spec!r}")
+    try:
+        return parse_ports(spec)
+    except argparse.ArgumentTypeError as error:
+        raise WireError(f"{what}: {error}") from error
+
+
+def _build_unit(
+    spec: Mapping[str, Any],
+    defaults: Mapping[str, Any],
+    what: str,
+) -> Tuple[WorkUnit, Tuple[str, str]]:
+    """One unit spec (+ inherited defaults) -> (WorkUnit, labels)."""
+    _check_keys(spec, _UNIT_KEYS, what)
+    benchmark = spec.get("benchmark")
+    if not isinstance(benchmark, str) or benchmark not in ALL_NAMES:
+        raise WireError(
+            f"{what}: 'benchmark' must name one of {', '.join(ALL_NAMES)} "
+            f"(got {benchmark!r})"
+        )
+    if "ports" in spec and "machine" in spec:
+        raise WireError(f"{what}: give either 'ports' or 'machine', not both")
+    if "machine" in spec:
+        machine_data = _require_mapping(spec["machine"], f"{what}: 'machine'")
+        try:
+            if set(machine_data) == {"ports"}:
+                # shorthand: just a port model on the paper baseline
+                ports_data = _require_mapping(
+                    machine_data["ports"], f"{what}: 'machine.ports'"
+                )
+                machine = paper_machine(port_model_from_dict(dict(ports_data)))
+            else:
+                machine = machine_config_from_dict(dict(machine_data))
+        except (ConfigError, ReproError) as error:
+            raise WireError(f"{what}: {error}") from error
+        except (KeyError, TypeError, ValueError) as error:
+            raise WireError(f"{what}: bad machine config: {error}") from error
+    else:
+        ports = _parse_ports_spec(spec.get("ports", "ideal:1"), what)
+        machine = paper_machine(ports)
+
+    values = dict(defaults)
+    values.update(_settings_values(spec, what))
+    try:
+        settings = RunSettings(benchmarks=(benchmark,), **values)
+    except ValueError as error:
+        raise WireError(f"{what}: {error}") from error
+    unit = WorkUnit.build(benchmark, machine, settings)
+    return unit, (benchmark, machine.ports.describe())
+
+
+def _pack_request(data: Mapping[str, Any]) -> SimulateRequest:
+    from ..experiments.packs import load_pack, pack_units
+
+    _check_keys(data, ("pack", "quick"), "pack request")
+    name = data["pack"]
+    if not isinstance(name, str):
+        raise WireError(f"'pack' must be a pack name, got {name!r}")
+    quick = data.get("quick", False)
+    if not isinstance(quick, bool):
+        raise WireError(f"'quick' must be a boolean, got {quick!r}")
+    try:
+        pack = load_pack(name)
+    except ConfigError as error:
+        raise WireError(str(error)) from error
+    settings = pack.run_settings(quick=quick)
+    units = pack_units(pack, settings)
+    labels = []
+    for workload in settings.benchmarks:
+        for variant_label, machine in pack.variants:
+            labels.append((workload, machine.ports.describe()))
+    return SimulateRequest(
+        units=tuple(units),
+        description=f"pack {pack.name}" + (" (quick)" if quick else ""),
+        labels=tuple(labels),
+    )
+
+
+def simulate_request(data: Any) -> SimulateRequest:
+    """Parse one ``POST /v1/simulate`` body into engine work units."""
+    data = _require_mapping(data, "request body")
+    if "pack" in data:
+        return _pack_request(data)
+    _check_keys(data, _REQUEST_KEYS, "request body")
+    defaults = _settings_values(data, "request body")
+    if "units" in data:
+        specs = data["units"]
+        if not isinstance(specs, list) or not specs:
+            raise WireError("'units' must be a non-empty list of unit objects")
+        units: List[WorkUnit] = []
+        labels: List[Tuple[str, str]] = []
+        for index, spec in enumerate(specs):
+            spec = _require_mapping(spec, f"units[{index}]")
+            unit, label = _build_unit(spec, defaults, f"units[{index}]")
+            units.append(unit)
+            labels.append(label)
+        return SimulateRequest(
+            units=tuple(units),
+            description=f"{len(units)} unit(s)",
+            labels=tuple(labels),
+        )
+    unit, label = _build_unit(data, {}, "request body")
+    return SimulateRequest(
+        units=(unit,), description=unit.label, labels=(label,)
+    )

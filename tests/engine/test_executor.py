@@ -180,3 +180,105 @@ def test_default_jobs_and_alias():
     assert default_jobs() >= 1
     assert SweepExecutor is SimulationEngine
     assert SimulationEngine(SETTINGS, jobs=None).jobs == default_jobs()
+
+
+# -- affinity-aware default_jobs ------------------------------------------
+
+
+def test_default_jobs_respects_scheduling_affinity(monkeypatch):
+    import os
+
+    monkeypatch.setattr(os, "sched_getaffinity", lambda pid: {0, 2, 5}, raising=False)
+    assert default_jobs() == 3
+
+
+def test_default_jobs_falls_back_to_cpu_count(monkeypatch):
+    import os
+
+    monkeypatch.delattr(os, "sched_getaffinity", raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 7)
+    assert default_jobs() == 7
+
+
+def test_default_jobs_survives_affinity_errors(monkeypatch):
+    import os
+
+    def broken(pid):
+        raise OSError("no affinity syscall here")
+
+    monkeypatch.setattr(os, "sched_getaffinity", broken, raising=False)
+    monkeypatch.setattr(os, "cpu_count", lambda: 5)
+    assert default_jobs() == 5
+
+
+# -- the persistent WorkerPool --------------------------------------------
+
+
+def test_worker_pool_reuses_one_executor_across_batches():
+    from repro.engine import WorkerPool
+
+    calls = []
+
+    def runner(payload):
+        calls.append(payload["label"])
+        return {"result": {}, "wall_time": 0.0, "phases": {}}
+
+    with WorkerPool(2, runner=runner, threads=True) as pool:
+        first = pool._ensure_executor()
+        list(pool.map_payloads([{"label": "a"}, {"label": "b"}]))
+        list(pool.map_payloads([{"label": "c"}]))
+        assert pool._ensure_executor() is first  # no per-batch teardown
+    assert calls == ["a", "b", "c"]
+    assert pool.submitted == 3
+    assert pool.completed == 3
+    assert pool.busy == 0
+
+
+def test_worker_pool_utilization_tracks_busy_workers():
+    import threading
+
+    from repro.engine import WorkerPool
+
+    release = threading.Event()
+    started = threading.Event()
+
+    def runner(payload):
+        started.set()
+        release.wait(timeout=10)
+        return {"result": {}, "wall_time": 0.0, "phases": {}}
+
+    pool = WorkerPool(2, runner=runner, threads=True)
+    try:
+        future = pool.submit({"label": "slow"})
+        assert started.wait(timeout=10)
+        assert pool.busy == 1
+        assert pool.utilization() == pytest.approx(0.5)
+        release.set()
+        future.result(timeout=10)
+        assert pool.busy == 0
+    finally:
+        release.set()
+        pool.close()
+
+
+def test_engine_with_persistent_pool_matches_inline_results():
+    from repro.engine import WorkerPool
+
+    inline = SimulationEngine(SETTINGS, jobs=1)
+    inline_results = inline.run_units(all_units(inline))
+
+    with WorkerPool(2) as pool:
+        pooled = SimulationEngine(SETTINGS, pool=pool)
+        assert pooled.jobs == pool.jobs
+        pooled_results = pooled.run_units(all_units(pooled))
+        # A second batch reuses the same pool: no per-call fork cost.
+        again = SimulationEngine(SETTINGS, pool=pool)
+        again_results = again.run_units(all_units(again))
+        assert pool.submitted == 2 * len(inline_results)
+
+    assert [r.to_dict() for r in pooled_results] == [
+        r.to_dict() for r in inline_results
+    ]
+    assert [r.to_dict() for r in again_results] == [
+        r.to_dict() for r in inline_results
+    ]

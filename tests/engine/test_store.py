@@ -4,6 +4,9 @@ safe-by-construction invalidation (anything suspicious reads as a miss)."""
 from __future__ import annotations
 
 import json
+import os
+
+import pytest
 
 from repro.core.results import SimResult
 from repro.engine import ResultStore
@@ -110,6 +113,90 @@ def test_clear_removes_everything(tmp_path):
     assert store.clear() == 2
     assert store.entries() == []
     assert store.info().entries == 0
+
+
+def _crash_mid_put(store, monkeypatch, fingerprint="c" * 64):
+    """Inject a hard crash between temp-file creation and os.replace.
+
+    A process killed at that point never runs ``put``'s cleanup, so the
+    temp file survives; simulate that by making the rename die *and*
+    the cleanup unlink fail (as it would in a dead process).
+    """
+    def dead_replace(src, dst):
+        raise RuntimeError("killed mid-put")
+
+    def dead_unlink(path, *args, **kwargs):
+        raise OSError("process already dead")
+
+    monkeypatch.setattr(os, "replace", dead_replace)
+    monkeypatch.setattr(os, "unlink", dead_unlink)
+    with pytest.raises(RuntimeError):
+        store.put(fingerprint, {}, make_result())
+    monkeypatch.undo()
+
+
+def test_crashed_put_leaves_orphan_reported_by_info(tmp_path, monkeypatch):
+    store = ResultStore(tmp_path)
+    store.put("a" * 64, {}, make_result())
+    _crash_mid_put(store, monkeypatch)
+    orphans = store.orphans()
+    assert len(orphans) == 1
+    assert orphans[0].name.startswith(".tmp-")
+    # entries() still skips them (they are not addressable results)...
+    assert len(store.entries()) == 1
+    # ...but info() now counts and sizes them instead of losing them.
+    info = store.info()
+    assert info.orphan_files == 1
+    assert info.orphan_bytes > 0
+    assert info.total_bytes > orphans[0].stat().st_size
+    assert "interrupted write" in info.render()
+
+
+def test_clear_sweeps_orphans(tmp_path, monkeypatch):
+    store = ResultStore(tmp_path)
+    store.put("a" * 64, {}, make_result())
+    _crash_mid_put(store, monkeypatch)
+    assert store.clear() == 2  # one entry + one orphan
+    assert store.entries() == []
+    assert store.orphans() == []
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_clean_put_leaves_no_orphans(tmp_path):
+    store = ResultStore(tmp_path)
+    store.put("a" * 64, {}, make_result())
+    assert store.orphans() == []
+    assert store.info().orphan_files == 0
+
+
+def test_corrupt_result_payload_raising_valueerror_is_a_miss(tmp_path):
+    """A corrupt-yet-valid-JSON entry must read as a miss, not raise
+    (and never round-trip wrong-typed data)."""
+    store = ResultStore(tmp_path)
+    path = store.put("a" * 64, {}, make_result())
+    envelope = json.loads(path.read_text(encoding="utf-8"))
+    envelope["result"]["cycles"] = "n/a"  # int field corrupted to a string
+    path.write_text(json.dumps(envelope), encoding="utf-8")
+    assert store.get("a" * 64) is None
+    assert store.get_entry("a" * 64) is None
+
+
+def test_non_dict_result_payload_is_a_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    path = store.put("a" * 64, {}, make_result())
+    envelope = json.loads(path.read_text(encoding="utf-8"))
+    envelope["result"] = "garbage"
+    path.write_text(json.dumps(envelope), encoding="utf-8")
+    assert store.get("a" * 64) is None
+
+
+def test_corrupt_refusals_payload_is_a_miss(tmp_path):
+    store = ResultStore(tmp_path)
+    path = store.put("a" * 64, {}, make_result())
+    envelope = json.loads(path.read_text(encoding="utf-8"))
+    envelope["result"]["refusals"] = {"bank_conflict": "many"}
+    path.write_text(json.dumps(envelope), encoding="utf-8")
+    assert store.get("a" * 64) is None
 
 
 def test_code_version_is_stable_within_a_process():

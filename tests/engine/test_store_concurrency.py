@@ -1,0 +1,87 @@
+"""Concurrent store access: the correctness substrate of the daemon.
+
+N processes hammering ``put``/``get`` on the same fingerprint must never
+observe a torn read (a partially written JSON file parsing as garbage)
+and must converge on exactly one winning entry — the guarantee the
+``repro-lbic serve`` daemon relies on when several dispatchers and CLI
+invocations share ``results/cache/`` (see docs/service.md).
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.core.results import SimResult
+from repro.engine import ResultStore
+
+FINGERPRINT = "f" * 64
+
+#: each writer stamps cycles with its own value from this set, so any
+#: read must decode to one of these exact payloads.
+CYCLE_VALUES = tuple(1000 + 17 * i for i in range(8))
+
+
+def _result(cycles: int) -> SimResult:
+    return SimResult(
+        label="swim/concurrent",
+        instructions=4000,
+        cycles=cycles,
+        loads=800,
+        stores=320,
+        forwarded_loads=48,
+        l1_accesses=1072,
+        l1_hits=1000,
+        l1_misses=72,
+        accepted_loads=752,
+        accepted_stores=320,
+        refusals={"bank_conflict": cycles % 7},
+    )
+
+
+def _hammer(args):
+    """Worker: interleave puts and gets against one fingerprint.
+
+    Returns the number of *invalid* observations — reads that were
+    neither a complete, internally consistent entry nor a clean miss.
+    """
+    root, worker, iterations = args
+    store = ResultStore(root)
+    cycles = CYCLE_VALUES[worker % len(CYCLE_VALUES)]
+    invalid = 0
+    for index in range(iterations):
+        store.put(FINGERPRINT, {"worker": worker}, _result(cycles), wall_time=0.5)
+        restored = store.get(FINGERPRINT)
+        if restored is None:
+            # The entry exists before workers start and os.replace is
+            # atomic, so a miss here would mean a torn visibility window.
+            invalid += 1
+            continue
+        if restored.cycles not in CYCLE_VALUES:
+            invalid += 1
+        elif restored != _result(restored.cycles):
+            # fields must be one writer's payload, never a mix
+            invalid += 1
+    return invalid
+
+
+def test_concurrent_put_get_never_tears_and_converges(tmp_path):
+    root = str(tmp_path / "cache")
+    ResultStore(root).put(FINGERPRINT, {"seed": True}, _result(CYCLE_VALUES[0]))
+    workers = 4
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        torn = list(
+            pool.map(_hammer, [(root, index, 40) for index in range(workers)])
+        )
+    assert torn == [0] * workers
+
+    # Convergence: exactly one addressable entry, valid, from one writer.
+    store = ResultStore(root)
+    assert len(store.entries()) == 1
+    assert store.orphans() == []
+    winner = store.get(FINGERPRINT)
+    assert winner is not None
+    assert winner.cycles in CYCLE_VALUES
+    assert winner == _result(winner.cycles)
+    envelope = json.loads(store.path_for(FINGERPRINT).read_text(encoding="utf-8"))
+    assert envelope["fingerprint"] == FINGERPRINT

@@ -1,0 +1,180 @@
+"""End-to-end over a real TCP socket: the daemon as a client sees it.
+
+Each test binds :class:`ServiceApp` on an ephemeral port and speaks raw
+HTTP/1.1 through ``asyncio.open_connection`` — the same byte stream a
+curl invocation or a Prometheus scraper would produce.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.engine import ResultStore, WorkerPool
+from repro.service import ServiceApp, SimulationService
+
+QUICK = {
+    "benchmark": "li",
+    "ports": "ideal:1",
+    "instructions": 400,
+    "warmup_instructions": 0,
+}
+
+
+def make_app(store=None, **service_kwargs):
+    pool = WorkerPool(2, threads=True)
+    service = SimulationService(store=store, pool=pool, **service_kwargs)
+    return ServiceApp(service, host="127.0.0.1", port=0)
+
+
+async def http(port, method, path, body=None):
+    """One raw HTTP/1.1 exchange; returns (status, headers, body bytes)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = b""
+    if body is not None:
+        payload = json.dumps(body).encode("utf-8")
+    request = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: localhost\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        f"\r\n"
+    ).encode("latin-1") + payload
+    writer.write(request)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, body_bytes = raw.partition(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, body_bytes
+
+
+async def http_json(port, method, path, body=None):
+    status, headers, body_bytes = await http(port, method, path, body)
+    assert headers["content-type"].startswith("application/json")
+    return status, json.loads(body_bytes)
+
+
+def test_healthz_reports_config():
+    async def scenario():
+        async with make_app(backlog=32) as app:
+            status, payload = await http_json(app.port, "GET", "/healthz")
+            assert status == 200
+            assert payload["status"] == "ok"
+            assert payload["backlog"] == 32
+            assert payload["jobs"] == 2
+            assert payload["simulations"] == 0
+            assert payload["store"] is None
+
+    asyncio.run(scenario())
+
+
+def test_sync_simulate_then_cache_hit(tmp_path):
+    async def scenario():
+        store = ResultStore(tmp_path / "cache")
+        async with make_app(store=store) as app:
+            status, first = await http_json(
+                app.port, "POST", "/v1/simulate", QUICK
+            )
+            assert status == 200
+            assert first["state"] == "done"
+            assert first["units"][0]["source"] == "simulated"
+            assert first["units"][0]["result"]["cycles"] > 0
+
+            status, second = await http_json(
+                app.port, "POST", "/v1/simulate", QUICK
+            )
+            assert status == 200
+            assert second["units"][0]["source"] == "memory"
+            assert second["units"][0]["result"] == first["units"][0]["result"]
+
+            # a fresh daemon over the same store answers from disk
+            async with make_app(store=store) as reader:
+                status, third = await http_json(
+                    reader.port, "POST", "/v1/simulate", QUICK
+                )
+                assert status == 200
+                assert third["units"][0]["source"] == "store"
+                assert (
+                    third["units"][0]["result"] == first["units"][0]["result"]
+                )
+                assert reader.service.pool.submitted == 0
+
+    asyncio.run(scenario())
+
+
+def test_job_handle_mode_polls_to_completion():
+    async def scenario():
+        async with make_app() as app:
+            status, handle = await http_json(
+                app.port, "POST", "/v1/simulate?wait=false", QUICK
+            )
+            assert status == 202
+            assert handle["state"] in ("queued", "running")
+            assert handle["url"] == f"/v1/jobs/{handle['job']}"
+            for _ in range(200):
+                status, record = await http_json(app.port, "GET", handle["url"])
+                assert status == 200
+                if record["state"] in ("done", "failed"):
+                    break
+                await asyncio.sleep(0.02)
+            assert record["state"] == "done"
+            assert record["progress"]["done"] == 1
+            assert record["units"][0]["ipc"] > 0
+
+    asyncio.run(scenario())
+
+
+def test_metrics_scrape_exposes_service_families():
+    async def scenario():
+        async with make_app() as app:
+            status, _ = await http_json(app.port, "POST", "/v1/simulate", QUICK)
+            assert status == 200
+            status, headers, body = await http(app.port, "GET", "/metrics")
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain")
+            text = body.decode("utf-8")
+            assert 'repro_service_units_total{source="simulated"} 1' in text
+            assert "repro_service_pool_workers 2" in text
+            assert "repro_service_queue_depth 0" in text
+            assert "repro_service_request_seconds_count" in text
+            # the simulate request itself has been counted by now
+            assert (
+                'repro_service_requests_total{endpoint="/v1/simulate",status="200"} 1'
+                in text
+            )
+
+    asyncio.run(scenario())
+
+
+def test_error_paths():
+    async def scenario():
+        async with make_app() as app:
+            status, payload = await http_json(
+                app.port, "POST", "/v1/simulate", {"benchmark": "not-a-spec"}
+            )
+            assert status == 400
+            assert "benchmark" in payload["error"]
+
+            status, payload = await http_json(
+                app.port, "GET", "/v1/jobs/job-000000-missing"
+            )
+            assert status == 404
+
+            status, payload = await http_json(app.port, "GET", "/nope")
+            assert status == 404
+
+            status, payload = await http_json(app.port, "GET", "/v1/simulate")
+            assert status == 405
+
+            # raw garbage body -> 400, not a connection reset
+            status, _, body = await http(app.port, "POST", "/v1/simulate")
+            assert status == 400
+            assert b"JSON" in body or b"object" in body
+
+    asyncio.run(scenario())

@@ -1,0 +1,271 @@
+"""The daemon's core guarantees, proven without sockets:
+
+* in-flight dedup — two concurrent identical requests trigger exactly
+  one simulation and both receive the bit-identical result;
+* store hits answer without touching the pool or the queue;
+* the bounded backlog sheds whole requests with BacklogFullError;
+* job records progress through telemetry-derived phases.
+
+The tests drive :class:`SimulationService` with a thread-mode
+:class:`~repro.engine.WorkerPool` and instrumented runners, so runner
+invocations are countable and blockable from the test body.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Optional
+
+import pytest
+
+from repro.engine import ResultStore, WorkerPool, simulate_payload
+from repro.service import BacklogFullError, SimulationService, simulate_request
+from repro.service.queue import BoundedWorkQueue
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class CountingRunner:
+    """A payload runner that counts calls and can hold them at a gate."""
+
+    def __init__(self, gate: Optional[threading.Event] = None) -> None:
+        self.gate = gate
+        self.calls = []
+        self._lock = threading.Lock()
+
+    def __call__(self, payload):
+        with self._lock:
+            self.calls.append(payload["label"])
+        if self.gate is not None:
+            assert self.gate.wait(timeout=30)
+        return simulate_payload(payload)
+
+
+def quick_body(benchmark="li", ports="ideal:1", **overrides):
+    body = {
+        "benchmark": benchmark,
+        "ports": ports,
+        "instructions": 400,
+        "warmup_instructions": 0,
+    }
+    body.update(overrides)
+    return body
+
+
+def make_service(runner, *, jobs=2, backlog=8, store=None):
+    pool = WorkerPool(jobs, runner=runner, threads=True)
+    return SimulationService(store=store, pool=pool, backlog=backlog)
+
+
+async def submit_and_wait(service, body):
+    job = service.submit(simulate_request(body), wait=True)
+    await job.task
+    return job
+
+
+def test_two_concurrent_identical_requests_share_one_simulation():
+    gate = threading.Event()
+    runner = CountingRunner(gate)
+    service = make_service(runner)
+
+    async def scenario():
+        async with _running(service):
+            first = asyncio.ensure_future(
+                submit_and_wait(service, quick_body())
+            )
+            second = asyncio.ensure_future(
+                submit_and_wait(service, quick_body())
+            )
+            # let both requests plan (and the dispatcher pick up the one
+            # cold unit) before releasing the simulation
+            await asyncio.sleep(0.05)
+            gate.set()
+            jobs = await asyncio.gather(first, second)
+            return jobs
+
+    first, second = run(scenario())
+    # exactly one simulation ran...
+    assert len(runner.calls) == 1
+    assert service.simulations == 1
+    assert service.metrics.dedup_hits == 1
+    # ...and both clients got the bit-identical result.
+    first_record = first.unit_records[0]
+    second_record = second.unit_records[0]
+    assert first_record["result"] == second_record["result"]
+    assert {first_record["source"], second_record["source"]} == {
+        "simulated",
+        "inflight",
+    }
+
+
+def test_duplicate_units_within_one_request_dedup_too():
+    runner = CountingRunner()
+    service = make_service(runner)
+
+    async def scenario():
+        async with _running(service):
+            body = {"units": [quick_body(), quick_body()]}
+            return await submit_and_wait(service, body)
+
+    job = run(scenario())
+    assert len(runner.calls) == 1
+    sources = [record["source"] for record in job.unit_records]
+    assert sorted(sources) == ["inflight", "simulated"]
+    assert job.unit_records[0]["result"] == job.unit_records[1]["result"]
+
+
+def test_store_hits_never_touch_pool_or_queue(tmp_path):
+    runner = CountingRunner()
+    store = ResultStore(tmp_path / "cache")
+    service = make_service(runner, store=store)
+
+    async def scenario():
+        async with _running(service):
+            warm = await submit_and_wait(service, quick_body())
+            assert warm.unit_records[0]["source"] == "simulated"
+            # Fresh service over the same store: pure disk hit.
+            cold_runner = CountingRunner()
+            reader = make_service(cold_runner, store=store)
+            async with _running(reader):
+                hit = await submit_and_wait(reader, quick_body())
+            return cold_runner, reader, hit
+
+    cold_runner, reader, hit = run(scenario())
+    assert hit.unit_records[0]["source"] == "store"
+    assert cold_runner.calls == []  # the pool never saw the request
+    assert reader.pool.submitted == 0
+    assert reader.queue.depth == 0
+    assert reader.metrics.units_by_source.get("store") == 1
+    # the result came back bit-identical to what the writer stored
+    assert hit.unit_records[0]["result"] is not None
+
+
+def test_memory_hits_after_first_simulation(tmp_path):
+    runner = CountingRunner()
+    service = make_service(runner, store=ResultStore(tmp_path / "cache"))
+
+    async def scenario():
+        async with _running(service):
+            first = await submit_and_wait(service, quick_body())
+            second = await submit_and_wait(service, quick_body())
+            return first, second
+
+    first, second = run(scenario())
+    assert first.unit_records[0]["source"] == "simulated"
+    assert second.unit_records[0]["source"] == "memory"
+    assert len(runner.calls) == 1
+    assert (
+        second.unit_records[0]["result"] == first.unit_records[0]["result"]
+    )
+
+
+def test_backlog_overflow_sheds_whole_request_with_429():
+    gate = threading.Event()
+    runner = CountingRunner(gate)
+    service = make_service(runner, jobs=1, backlog=1)
+
+    async def scenario():
+        async with _running(service):
+            blocker = asyncio.ensure_future(
+                submit_and_wait(service, quick_body(seed=1))
+            )
+            await asyncio.sleep(0.05)  # dispatcher claims seed=1
+            queued = asyncio.ensure_future(
+                submit_and_wait(service, quick_body(seed=2))
+            )
+            await asyncio.sleep(0.05)  # seed=2 now fills the backlog
+            with pytest.raises(BacklogFullError):
+                service.submit(simulate_request(quick_body(seed=3)), wait=True)
+            shed_depth = service.queue.depth
+            gate.set()
+            await asyncio.gather(blocker, queued)
+            return shed_depth
+
+    depth_at_shed = run(scenario())
+    assert depth_at_shed == 1
+    assert service.queue.shed == 1
+    # the shed request left no residue: only the two admitted units ran
+    assert len(runner.calls) == 2
+    assert service.simulations == 2
+
+
+def test_job_mode_reports_progress_and_completes():
+    gate = threading.Event()
+    runner = CountingRunner(gate)
+    service = make_service(runner)
+
+    async def scenario():
+        async with _running(service):
+            job = service.submit(simulate_request(quick_body()), wait=False)
+            assert job.state in ("queued", "running")
+            early = job.to_dict()
+            assert early["progress"]["done"] == 0
+            assert early["progress"]["total"] == 1
+            assert "units" not in early
+            gate.set()
+            await job.task
+            record = job.to_dict()
+            return record
+
+    record = run(scenario())
+    assert record["state"] == "done"
+    assert record["progress"]["done"] == 1
+    assert record["progress"]["simulated"] == 1
+    assert "simulate" in record["progress"]["phase_seconds"]
+    assert len(record["units"]) == 1
+    assert record["units"][0]["ipc"] > 0
+
+
+def test_failed_simulation_fails_the_job():
+    def broken(payload):
+        raise RuntimeError("worker exploded")
+
+    service = make_service(broken)
+
+    async def scenario():
+        async with _running(service):
+            job = service.submit(simulate_request(quick_body()), wait=True)
+            with pytest.raises(RuntimeError):
+                await job.task
+            return job
+
+    job = run(scenario())
+    assert job.state == "failed"
+    assert "worker exploded" in job.error
+    # the fingerprint was retired from in-flight, so a retry is possible
+    assert service.health()["inflight"] == 0
+
+
+def test_bounded_queue_validates_and_counts():
+    async def scenario():
+        queue = BoundedWorkQueue(2)
+        queue.reserve(2)
+        queue.put_nowait("a")
+        queue.put_nowait("b")
+        assert queue.depth == 2
+        with pytest.raises(BacklogFullError):
+            queue.reserve(1)
+        assert queue.shed == 1
+        assert await queue.get() == "a"  # FIFO
+        queue.task_done()
+
+    run(scenario())
+    with pytest.raises(ValueError):
+        BoundedWorkQueue(0)
+
+
+class _running:
+    """Async context manager: start/stop a service's dispatchers."""
+
+    def __init__(self, service: SimulationService) -> None:
+        self.service = service
+
+    async def __aenter__(self):
+        await self.service.start()
+        return self.service
+
+    async def __aexit__(self, *exc_info):
+        await self.service.stop()

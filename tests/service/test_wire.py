@@ -1,0 +1,112 @@
+"""Wire schemas: every request shape resolves to engine work units, and
+every malformed body fails with a WireError naming the problem."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import WorkUnit
+from repro.service import WireError, simulate_request
+
+
+def test_single_unit_request():
+    request = simulate_request(
+        {
+            "benchmark": "swim",
+            "ports": "lbic:4x4",
+            "instructions": 4000,
+            "warmup_instructions": 1000,
+            "seed": 3,
+        }
+    )
+    assert len(request.units) == 1
+    unit = request.units[0]
+    assert isinstance(unit, WorkUnit)
+    assert unit.benchmark == "swim"
+    assert unit.instructions == 4000
+    assert unit.warmup_instructions == 1000
+    assert unit.seed == 3
+    assert request.labels == (("swim", unit.machine.ports.describe()),)
+
+
+def test_defaults_apply_when_omitted():
+    request = simulate_request({"benchmark": "li"})
+    unit = request.units[0]
+    assert unit.instructions == 20_000  # RunSettings defaults
+    assert unit.seed == 1
+    assert unit.label.startswith("li/")  # paper machine, ideal:1 ports
+
+
+def test_unit_list_with_shared_defaults():
+    request = simulate_request(
+        {
+            "instructions": 2500,
+            "units": [
+                {"benchmark": "gcc", "ports": "bank:4"},
+                {"benchmark": "swim", "ports": "ideal:2", "seed": 9},
+            ],
+        }
+    )
+    assert [u.benchmark for u in request.units] == ["gcc", "swim"]
+    assert [u.instructions for u in request.units] == [2500, 2500]
+    assert request.units[1].seed == 9  # per-unit override wins
+
+
+def test_inline_machine_config_goes_through_the_registry():
+    request = simulate_request(
+        {
+            "benchmark": "swim",
+            "machine": {"ports": {"kind": "banked", "banks": 8}},
+        }
+    )
+    assert "8" in request.units[0].machine.ports.describe()
+
+
+def test_inline_machine_unknown_mechanism_is_a_wire_error():
+    with pytest.raises(WireError):
+        simulate_request(
+            {
+                "benchmark": "swim",
+                "machine": {"ports": {"kind": "quantum-portal"}},
+            }
+        )
+
+
+def test_pack_request_expands_through_pack_deserializer():
+    request = simulate_request({"pack": "replacement-policies", "quick": True})
+    assert len(request.units) > 1
+    assert "replacement-policies" in request.description
+    assert len(request.labels) == len(request.units)
+
+
+def test_unknown_pack_lists_alternatives():
+    with pytest.raises(WireError) as excinfo:
+        simulate_request({"pack": "no-such-pack"})
+    assert "paper-table3" in str(excinfo.value)
+
+
+@pytest.mark.parametrize(
+    "body",
+    [
+        None,
+        [],
+        {"benchmark": "nonexistent"},
+        {"benchmark": "swim", "ports": "warp:9"},
+        {"benchmark": "swim", "ports": "ideal:2", "machine": {}},
+        {"benchmark": "swim", "bogus_key": 1},
+        {"benchmark": "swim", "instructions": "many"},
+        {"benchmark": "swim", "observe": "yes"},
+        {"units": []},
+        {"units": [{"benchmark": "swim"}], "pack_only_key": 1},
+        {"pack": "paper-table3", "quick": "fast"},
+    ],
+)
+def test_malformed_bodies_raise_wire_errors(body):
+    with pytest.raises(WireError):
+        simulate_request(body)
+
+
+def test_metrics_flag_rides_the_unit():
+    request = simulate_request({"benchmark": "swim", "metrics": True})
+    assert request.units[0].metrics
+    assert request.units[0].observe

@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Daemon smoke test: boot ``repro-lbic serve``, prove the cache paths.
+
+The CI gate for the service layer, runnable locally too::
+
+    PYTHONPATH=src python tools/serve_smoke.py
+
+It drives the *installed* daemon over real HTTP, twice:
+
+1. a fresh daemon over an empty cache simulates a quick unit
+   (``source == "simulated"``), then answers the identical request from
+   its in-process memo (``source == "memory"``) with the bit-identical
+   result — no second simulation;
+2. a **restarted** daemon over the same cache directory answers the
+   same request straight from the persistent store
+   (``source == "store"``) — its pool never runs anything.
+
+Exits non-zero with a diagnostic if any path misbehaves.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+QUICK_UNIT = {
+    "benchmark": "li",
+    "ports": "lbic:4x4",
+    "instructions": 2000,
+    "warmup_instructions": 1000,
+}
+
+BOOT_TIMEOUT = 60.0
+
+
+def free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def request(port: int, method: str, path: str, body=None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method
+    )
+    with urllib.request.urlopen(req, timeout=120) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def wait_healthy(port: int, daemon: subprocess.Popen) -> dict:
+    deadline = time.time() + BOOT_TIMEOUT
+    while time.time() < deadline:
+        if daemon.poll() is not None:
+            sys.exit(f"FAIL: daemon exited early with code {daemon.returncode}")
+        try:
+            return request(port, "GET", "/healthz")
+        except (urllib.error.URLError, ConnectionError, OSError):
+            time.sleep(0.2)
+    sys.exit(f"FAIL: daemon not healthy within {BOOT_TIMEOUT}s")
+
+
+def start_daemon(port: int, cache_dir: str) -> subprocess.Popen:
+    env = dict(os.environ, REPRO_CACHE_DIR=cache_dir)
+    if shutil.which("repro-lbic"):
+        command = ["repro-lbic"]
+    else:  # uninstalled checkout: run the CLI module from src/
+        command = [sys.executable, "-m", "repro.cli"]
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    command += ["serve", "--port", str(port), "--jobs", "2"]
+    return subprocess.Popen(command, env=env)
+
+
+def stop_daemon(daemon: subprocess.Popen) -> None:
+    daemon.send_signal(signal.SIGINT)
+    try:
+        daemon.wait(timeout=30)
+    except subprocess.TimeoutExpired:
+        daemon.kill()
+        daemon.wait()
+
+
+def expect(condition: bool, message: str) -> None:
+    if not condition:
+        sys.exit(f"FAIL: {message}")
+
+
+def main() -> int:
+    cache_dir = tempfile.mkdtemp(prefix="serve-smoke-cache-")
+    port = free_port()
+
+    daemon = start_daemon(port, cache_dir)
+    try:
+        health = wait_healthy(port, daemon)
+        expect(health["simulations"] == 0, f"fresh daemon not cold: {health}")
+
+        first = request(port, "POST", "/v1/simulate", QUICK_UNIT)
+        expect(first["state"] == "done", f"first request failed: {first}")
+        unit = first["units"][0]
+        expect(
+            unit["source"] == "simulated",
+            f"cold unit should simulate, got {unit['source']!r}",
+        )
+        print(f"simulated {unit['label']}: ipc={unit['ipc']:.3f}")
+
+        second = request(port, "POST", "/v1/simulate", QUICK_UNIT)
+        repeat = second["units"][0]
+        expect(
+            repeat["source"] == "memory",
+            f"identical repeat should hit the memo, got {repeat['source']!r}",
+        )
+        expect(
+            repeat["result"] == unit["result"],
+            "memo hit returned a different result",
+        )
+        health = request(port, "GET", "/healthz")
+        expect(
+            health["simulations"] == 1,
+            f"repeat request re-simulated: {health['simulations']} runs",
+        )
+        print("identical repeat: answered from memory, no re-simulation")
+    finally:
+        stop_daemon(daemon)
+
+    # A restarted daemon must answer the same request from the store.
+    daemon = start_daemon(port, cache_dir)
+    try:
+        wait_healthy(port, daemon)
+        third = request(port, "POST", "/v1/simulate", QUICK_UNIT)
+        stored = third["units"][0]
+        expect(
+            stored["source"] == "store",
+            f"restarted daemon should hit the store, got {stored['source']!r}",
+        )
+        expect(
+            stored["result"] == unit["result"],
+            "store hit returned a different result",
+        )
+        health = request(port, "GET", "/healthz")
+        expect(
+            health["simulations"] == 0,
+            f"store hit ran the pool: {health['simulations']} runs",
+        )
+        print("restarted daemon: answered from store, pool untouched")
+    finally:
+        stop_daemon(daemon)
+
+    print("serve smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

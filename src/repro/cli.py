@@ -15,13 +15,17 @@ sweep ablations, and manage traces::
     repro-lbic trace swim out.trc -n 50000  # workload trace (replayable)
     repro-lbic trace swim --ports bank:4 events.jsonl   # timing events
     repro-lbic pack run replacement-policies --quick    # declarative sweep
+    repro-lbic bench swim --ports ideal:4 --backend array   # instr/s
+    repro-lbic bench gcc --profile    # cProfile top-20 hotspot table
     repro-lbic serve --port 8023      # HTTP simulation daemon
     repro-lbic list
 
 Every timing subcommand accepts ``--jobs N`` (parallel workers; default:
 all cores), ``--no-cache`` (skip the persistent result store under
-``results/cache/``) and ``--progress`` (live ``[done/total]`` line with
-an ETA on stderr).  ``repro-lbic cache info`` / ``cache clear`` inspect
+``results/cache/``), ``--progress`` (live ``[done/total]`` line with
+an ETA on stderr) and ``--backend {object,array}`` (which timing core
+runs the simulation — bit-identical results, different speed; see
+``docs/performance.md``).  ``repro-lbic cache info`` / ``cache clear`` inspect
 and empty the store, including the engine-telemetry JSONL exported under
 ``results/cache/telemetry/``.
 """
@@ -76,13 +80,26 @@ def parse_ports(text: str) -> PortModelConfig:
     )
 
 
-def _settings(args: argparse.Namespace):
+def _settings(args: argparse.Namespace, **overrides):
     from .engine import RunSettings
 
     benchmarks = tuple(args.benchmarks) if args.benchmarks else ALL_NAMES
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        overrides["backend"] = backend
     return RunSettings(
-        instructions=args.instructions, seed=args.seed, benchmarks=benchmarks
+        instructions=args.instructions,
+        seed=args.seed,
+        benchmarks=benchmarks,
+        **overrides,
     )
+
+
+def _backend_kw(args: argparse.Namespace) -> dict:
+    """``{"backend": ...}`` when ``--backend`` was given, else ``{}``
+    (letting :class:`RunSettings` apply its ``$REPRO_BACKEND`` default)."""
+    backend = getattr(args, "backend", None)
+    return {"backend": backend} if backend is not None else {}
 
 
 def _engine(args: argparse.Namespace, settings=None):
@@ -120,6 +137,12 @@ def _add_engine_opts(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--progress", action="store_true",
         help="live [done/total] progress line with an ETA (stderr)",
+    )
+    parser.add_argument(
+        "--backend", choices=("object", "array"), default=None,
+        help="timing core: object (reference) or array (flat-array "
+             "kernel; bit-identical, faster — see docs/performance.md). "
+             "Default: $REPRO_BACKEND or object",
     )
 
 
@@ -199,6 +222,7 @@ def cmd_run(args) -> int:
         seed=args.seed,
         benchmarks=(args.benchmark,),
         warmup_instructions=0,
+        **_backend_kw(args),
     )
     engine = _engine(args, settings=settings)
     result = engine.result(args.benchmark, ports=args.ports)
@@ -264,10 +288,14 @@ def cmd_ablation(args) -> int:
 def cmd_analyze(args) -> int:
     """Deep-dive one benchmark/config: bandwidth + locality reports."""
     from .analysis import BandwidthReport, analyze_locality
+    from .core.backends import default_backend, processor_class
 
     workload = spec95_workload(args.benchmark)
     machine = paper_machine(args.ports)
-    processor = Processor(machine, label=f"{args.benchmark}/{args.ports.describe()}")
+    backend = args.backend or default_backend()
+    processor = processor_class(backend)(
+        machine, label=f"{args.benchmark}/{args.ports.describe()}"
+    )
     result = processor.run(
         workload.stream(seed=args.seed),
         max_instructions=args.instructions,
@@ -282,6 +310,67 @@ def cmd_analyze(args) -> int:
         locality_workload.stream(seed=args.seed, max_instructions=args.instructions)
     )
     print(report.render())
+    return 0
+
+
+def cmd_bench(args) -> int:
+    """Throughput of one benchmark x ports x backend unit — the quick
+    answer to "how fast does this configuration simulate here?" — and,
+    under ``--profile``, where the cycles go (cProfile, top 20 by
+    cumulative time)."""
+    import time
+
+    from .core.backends import default_backend, processor_class
+
+    backend = args.backend or default_backend()
+    cls = processor_class(backend)
+    workload = spec95_workload(args.benchmark)
+    stream = list(
+        workload.stream(seed=args.seed, max_instructions=args.instructions)
+    )
+    source = stream
+    if getattr(cls, "CONSUMES_COLUMNS", False):
+        # Column conversion happens outside the timed region, the same
+        # way the engine's amortized sweeps share one conversion.
+        from .core.flat import TraceColumns
+
+        source = TraceColumns.from_instructions(stream)
+    machine = paper_machine(args.ports)
+    label = f"{args.benchmark}/{args.ports.describe()}"
+
+    def one_run():
+        processor = cls(machine, label=label)
+        replay = source if source is not stream else iter(stream)
+        return processor.run(replay, max_instructions=args.instructions)
+
+    if args.profile:
+        import cProfile
+        import io
+        import pstats
+
+        profile = cProfile.Profile()
+        profile.enable()
+        result = one_run()
+        profile.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profile, stream=buffer)
+        stats.sort_stats("cumulative").print_stats(20)
+        print(result.summary())
+        print(f"  backend: {backend}")
+        print()
+        print(buffer.getvalue().rstrip())
+        return 0
+
+    best = 0.0
+    result = None
+    for _ in range(args.rounds):
+        start = time.perf_counter()
+        result = one_run()
+        elapsed = time.perf_counter() - start
+        best = max(best, result.instructions / elapsed)
+    print(result.summary())
+    print(f"  backend: {backend}")
+    print(f"  throughput: {best:,.0f} instr/s (best of {args.rounds})")
     return 0
 
 
@@ -317,6 +406,7 @@ def cmd_trace(args) -> int:
         trace=True,
         trace_capacity=args.capacity,
         trace_sample=args.sample,
+        **_backend_kw(args),
     )
     engine = _engine(args, settings=settings)
     result = engine.result(args.benchmark, ports=args.ports)
@@ -349,6 +439,7 @@ def cmd_stalls(args) -> int:
         benchmarks=(args.benchmark,),
         warmup_instructions=args.warmup,
         observe=True,
+        **_backend_kw(args),
     )
     engine = _engine(args, settings=settings)
     result = engine.result(args.benchmark, ports=args.ports)
@@ -382,6 +473,7 @@ def cmd_metrics(args) -> int:
         warmup_instructions=args.warmup,
         observe=True,
         metrics=True,
+        **_backend_kw(args),
     )
     engine = _engine(args, settings=settings)
     result = engine.result(args.benchmark, ports=args.ports)
@@ -448,7 +540,10 @@ def cmd_pack(args) -> int:
         print(pack.describe())
         return 0
     engine = _engine(args, settings=pack.run_settings(quick=args.quick))
-    outcome = run_pack(pack, engine=engine, quick=args.quick)
+    outcome = run_pack(
+        pack, engine=engine, quick=args.quick,
+        backend=getattr(args, "backend", None),
+    )
     print(outcome.render())
     print(engine.render_summary(), file=sys.stderr)
     return _finish(engine)
@@ -545,7 +640,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--instructions", type=int, default=20_000)
     p.add_argument("--warmup", type=int, default=30_000)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--backend", choices=("object", "array"), default=None,
+                   help="timing core (default: $REPRO_BACKEND or object)")
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "bench",
+        help="throughput of one benchmark x ports x backend unit; "
+             "--profile prints the cProfile top-20 hotspot table",
+    )
+    p.add_argument("benchmark", choices=sorted(ALL_NAMES))
+    p.add_argument("--ports", type=parse_ports, default=IdealPortConfig(4),
+                   help="ideal:N | repl:N | bank:M | lbic:MxN[:sqD]")
+    p.add_argument("-n", "--instructions", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--rounds", type=int, default=3,
+                   help="measurement rounds, best-of (default 3)")
+    p.add_argument("--backend", choices=("object", "array"), default=None,
+                   help="timing core (default: $REPRO_BACKEND or object)")
+    p.add_argument("--profile", action="store_true",
+                   help="run once under cProfile and print the top 20 "
+                        "functions by cumulative time")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(
         "trace",

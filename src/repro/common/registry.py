@@ -44,6 +44,7 @@ _PROVIDERS: Dict[str, str] = {
     "port_model": "repro.common.config",
     "cache_geometry": "repro.common.config",
     "replacement_policy": "repro.memory.replacement",
+    "backend": "repro.core.backends",
 }
 
 

@@ -1,0 +1,60 @@
+"""Processor backend registry: the ``backend`` mechanism category.
+
+A *backend* is an interchangeable implementation of the timing core.
+Two ship:
+
+* ``object`` — :class:`~repro.core.processor.Processor`, the reference
+  implementation: per-instruction ``RUUEntry``/``LSQEntry`` objects and
+  an explicitly phased per-cycle scheduler.  This is the backend the
+  code is read and extended through.
+* ``array`` — :class:`~repro.core.flat.FlatProcessor`, the flat-array
+  kernel: the same machine on parallel columns (state bytes, completion
+  times, dependence counts) with the per-cycle phases fused into one
+  busy loop.  Bit-identical to ``object`` by contract — the equivalence
+  suite (``tests/core/test_flat_backend.py``) pins every ``SimResult``
+  field, stall attribution and utilization metrics across port models —
+  and several times faster on busy configurations (see
+  ``docs/performance.md``).
+
+Because the two backends produce identical results, the choice rides
+the work-unit *payload*, never its fingerprint: a cached result
+satisfies a request regardless of which backend produced it (the same
+contract :attr:`~repro.engine.settings.RunSettings.metrics` follows).
+
+Registered under the ordinary mechanism registry, so packs and the CLI
+resolve names through the same machinery as port models and replacement
+policies — an unknown backend fails with the valid choices listed::
+
+    from repro.common.registry import mechanism
+    cls = mechanism("backend", "array")   # -> FlatProcessor
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Type
+
+from ..common.registry import mechanism, register_mechanism
+from .flat import FlatProcessor
+from .processor import Processor
+
+#: environment override consulted for the default backend; unset or
+#: empty means ``object``.
+BACKEND_ENV = "REPRO_BACKEND"
+
+register_mechanism("backend", "object", Processor)
+register_mechanism("backend", "array", FlatProcessor)
+
+
+def default_backend() -> str:
+    """The session default: ``$REPRO_BACKEND`` when set, else ``object``."""
+    return os.environ.get(BACKEND_ENV) or "object"
+
+
+def processor_class(name: str) -> Type[Processor]:
+    """The processor class registered as backend ``name``.
+
+    Raises :class:`~repro.common.errors.ConfigError` for unknown names,
+    listing the registered backends.
+    """
+    return mechanism("backend", name)

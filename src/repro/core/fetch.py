@@ -10,9 +10,25 @@ optional instruction budget.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from itertools import islice
+from typing import Iterable, Iterator, List, Optional
 
 from ..isa.instruction import DynInstr
+
+
+def collect(
+    stream: Iterable[DynInstr], limit: Optional[int] = None
+) -> List[DynInstr]:
+    """Drain up to ``limit`` instructions of ``stream`` into a list.
+
+    The flat-array backend (:mod:`repro.core.flat`) gathers a whole
+    span up front instead of pulling through a :class:`FetchUnit`; this
+    is the one place that conversion lives.  ``limit=None`` drains the
+    stream completely.
+    """
+    if limit is None:
+        return list(stream)
+    return list(islice(iter(stream), limit))
 
 
 class FetchUnit:

@@ -1,0 +1,2095 @@
+"""The flat-array simulation backend (``--backend array``).
+
+:class:`FlatProcessor` is a drop-in replacement for
+:class:`~repro.core.processor.Processor` that keeps the busy-path core
+state — the RUU window, the LSQ, and the completion wheel — in flat
+parallel arrays indexed by *sequence number* instead of per-instruction
+Python objects.  The object backend stays the reference implementation;
+this backend exists purely for speed and is pinned to it by the
+bit-identical equivalence matrix in ``tests/core/test_flat_backend.py``.
+
+Data layout
+-----------
+
+:class:`TraceColumns` holds one int64 column per :class:`DynInstr` field
+(opclass, dest, address, source-CSR), exactly the representation the
+on-disk trace codec of :mod:`repro.workloads.materialize` already uses.
+From those columns, :meth:`TraceColumns.prep` precomputes — once per
+simulated span, vectorized with NumPy where available and falling back
+to the stdlib ``array`` module otherwise — everything the per-cycle
+scheduler would otherwise derive object-by-object:
+
+* ``rem0``/``rema0`` — static true-dependence counts per instruction
+  (and, for stores, address-operand counts: the STA/STD split);
+* ``cons`` (and ``acons``) — one tuple of consumer seqs per producer,
+  replacing the per-entry consumer lists the object backend wires at
+  dispatch (tuples rather than a CSR offset array: the wakeup loop
+  iterates them directly, with no index arithmetic per producer).
+
+The dependence counters are *pre-decremented*: a producer's completion
+decrements every consumer's counter whether or not the consumer has
+dispatched yet, and dispatch wakes any instruction whose counter already
+reached zero.  That is observably identical to the object backend's
+"only wire producers that are still in flight" rule — a producer that
+completed before its consumer dispatched has, in either scheme, no
+remaining effect — and it makes dispatch O(1) per instruction.
+
+Mutable per-run state (instruction states, remaining-dependence
+counters) lives in dense per-seq lists of small ints; one span can back
+any number of runs because prep output is immutable and each run copies
+the counter columns (one ``memcpy``-sized slice per run).
+
+Equivalence contract
+--------------------
+
+The kernel replays the object backend's cycle phases in the same order
+(fill landing, writeback/wakeup, commit, issue, dispatch, port
+end-of-cycle), calls the same observer hooks with the same arguments,
+emits the same trace events in the same order, and reuses the very same
+port-model / memory-hierarchy / functional-unit objects — so every
+`SimResult` field, including ``extra["stalls"]`` and utilization
+metrics, matches the object backend bit for bit.  Event-horizon cycle
+skipping (see :mod:`repro.core.processor`) is replicated unchanged.
+
+When the object backend wins
+----------------------------
+
+Column prep is O(span); a run that simulates a span once and throws it
+away (no sweep, no cache) amortizes nothing, and tiny runs (a few
+hundred instructions) pay more in prep than they save per cycle.  The
+object backend also remains the reference for reading and debugging —
+``repro-lbic analyze`` and the invariant checkers speak RuuEntry.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+from array import array
+from bisect import bisect_left, insort
+from heapq import heappop, heappush
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..common.errors import SimulationError
+from ..isa.instruction import DynInstr
+from ..isa.opcodes import OpClass
+from ..isa.registers import NUM_REGS, ZERO_REG
+from .fetch import collect
+from .processor import Processor
+from .ruu import COMPLETED, DISPATCHED, ISSUED, READY
+
+_LOAD = int(OpClass.LOAD)
+_STORE = int(OpClass.STORE)
+
+#: Forwarding granularity shared with :mod:`repro.core.lsq` (8-byte words).
+_WORD_MASK = ~7
+
+#: Internal state for loads parked in the LSQ awaiting disambiguation.
+#: The object backend leaves such loads DISPATCHED or READY; any value
+#: distinct from ISSUED and COMPLETED (the only states the head checks
+#: test) preserves observable equivalence while keeping parked loads out
+#: of the ready list.
+PARKED = 4
+
+#: ``bytes.translate`` table mapping COMPLETED to 0 and everything else
+#: to 1, so the batched commit scan finds the first non-committable
+#: instruction with a single C-level ``find(1)`` over the state array.
+_COMMIT_SCAN = bytes(0 if b == COMPLETED else 1 for b in range(256))
+
+#: Sentinel completion cycle for instructions that have not issued.  The
+#: busy loop commits off a per-seq completion-time column (``_ctime``)
+#: instead of COMPLETED state bytes, letting instructions nobody waits
+#: on (no consumers: ``prep.hc`` is 0) bypass the completion wheel
+#: entirely — they still commit at the exact same cycle, via the time
+#: compare, but never pay the wheel append + pop.
+_FAR = 1 << 62
+
+try:  # NumPy is an optional accelerator (``pip install repro-lbic[fast]``)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via REPRO_NO_NUMPY
+    _np = None
+
+
+def numpy_or_none():
+    """The NumPy module used for span prep, or ``None`` for the stdlib
+    ``array`` fallback.  ``REPRO_NO_NUMPY=1`` forces the fallback (the
+    no-NumPy CI leg and the equivalence tests use this)."""
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return None
+    return _np
+
+
+class ColumnSpan:
+    """A cursor into :class:`TraceColumns`: simulate from ``start`` on.
+
+    Passed in place of an instruction iterable to
+    :meth:`FlatProcessor.run` (e.g. positioned past a warmed prefix, the
+    way the engine's amortized path positions ``suffix(warmed)``)."""
+
+    __slots__ = ("columns", "start")
+
+    def __init__(self, columns: "TraceColumns", start: int = 0) -> None:
+        if not 0 <= start <= columns.length:
+            raise SimulationError(
+                f"span start {start} outside trace of {columns.length}"
+            )
+        self.columns = columns
+        self.start = start
+
+
+class _SpanPrep:
+    """Immutable per-span scheduling data (see module docstring)."""
+
+    __slots__ = (
+        "length",
+        "op",       # list[int]: opclass value per seq
+        "addr",     # list[int]: effective address per seq (-1 = none)
+        "mem",      # bytearray: 0 = not memory, 1 = load, 2 = store
+        "rem0",     # array('q'): static true-dependence count per seq
+        "rema0",    # array('q'): static address-operand dep count (stores)
+        "cons",     # tuple[tuple[int, ...]]: consumer seqs per producer
+        "acons",    # tuple[tuple[int, ...]]: store seqs consuming an address
+        "stores",   # list[int]: store seqs, ascending (batched commit)
+        "nmem",     # list[int], len+1: prefix count of memory ops
+        "hc",       # bytearray: 1 if anything consumes this seq's result
+    )
+
+    def __init__(self, length, op, addr, mem, rem0, rema0,
+                 cons, acons, stores, nmem, hc) -> None:
+        self.length = length
+        self.op = op
+        self.addr = addr
+        self.mem = mem
+        self.rem0 = rem0
+        self.rema0 = rema0
+        self.cons = cons
+        self.acons = acons
+        self.stores = stores
+        self.nmem = nmem
+        self.hc = hc
+
+
+class TraceColumns:
+    """A dynamic instruction span as flat int64 columns.
+
+    The columns mirror the on-disk trace codec: ``None`` encodes as -1,
+    sources flatten into one CSR array (``nsrcs`` + ``srcs``).  Span
+    preps are cached per ``(start, length)`` so one materialized trace
+    shared across a sweep pays the prep cost once, not per run.
+    """
+
+    __slots__ = (
+        "length", "ops", "dests", "addrs", "addr_counts", "nsrcs", "srcs",
+        "_src_offsets", "_preps",
+    )
+
+    def __init__(self, ops, dests, addrs, addr_counts, nsrcs, srcs) -> None:
+        self.length = len(ops)
+        self.ops = ops
+        self.dests = dests
+        self.addrs = addrs
+        self.addr_counts = addr_counts
+        self.nsrcs = nsrcs
+        self.srcs = srcs
+        self._src_offsets: Optional[array] = None
+        self._preps: Dict[Any, _SpanPrep] = {}
+
+    @classmethod
+    def from_instructions(cls, instrs: List[DynInstr]) -> "TraceColumns":
+        """Flatten captured :class:`DynInstr` objects into columns."""
+        ops = array("q", (int(i.opclass) for i in instrs))
+        dests = array("q", (-1 if i.dest is None else i.dest for i in instrs))
+        addrs = array("q", (-1 if i.addr is None else i.addr for i in instrs))
+        addr_counts = array("q", (i.addr_src_count for i in instrs))
+        nsrcs = array("q", (len(i.srcs) for i in instrs))
+        srcs = array("q")
+        for i in instrs:
+            srcs.extend(i.srcs)
+        return cls(ops, dests, addrs, addr_counts, nsrcs, srcs)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def span(self, start: int = 0) -> ColumnSpan:
+        return ColumnSpan(self, start)
+
+    def src_offsets(self) -> array:
+        """Prefix sums of ``nsrcs`` (length+1), computed once."""
+        offsets = self._src_offsets
+        if offsets is None:
+            np = numpy_or_none()
+            if np is not None:
+                nsrcs = np.frombuffer(self.nsrcs, dtype=np.int64)
+                cum = np.zeros(self.length + 1, dtype=np.int64)
+                np.cumsum(nsrcs, out=cum[1:])
+                offsets = array("q")
+                offsets.frombytes(cum.tobytes())
+            else:
+                offsets = array("q", [0]) * (self.length + 1)
+                total = 0
+                nsrcs = self.nsrcs
+                for index in range(self.length):
+                    total += nsrcs[index]
+                    offsets[index + 1] = total
+            self._src_offsets = offsets
+        return offsets
+
+    def prep(self, start: int, length: int) -> _SpanPrep:
+        """Scheduling data for the span ``[start, start+length)``.
+
+        The dependence pass starts from an empty register map at
+        ``start`` — exactly the empty RUU the object backend begins a
+        timed region with — so preps are cached per span, not globally.
+        """
+        if start < 0 or length < 0 or start + length > self.length:
+            raise SimulationError(
+                f"span [{start}, {start + length}) outside trace of "
+                f"{self.length}"
+            )
+        key = (start, length)
+        cached = self._preps.get(key)
+        if cached is None:
+            np = numpy_or_none()
+            build = _prep_numpy if np is not None else _prep_python
+            cached = self._preps[key] = build(self, start, length, np)
+        return cached
+
+
+_EMPTY: tuple = ()
+
+
+def _consumer_tuples(n, producers, owners):
+    """Per-producer consumer tuples, preserving the given (dispatch)
+    order within each producer.  Producers with no consumers share one
+    empty tuple."""
+    lists: List[Any] = [None] * n
+    for p, c in zip(producers, owners):
+        slot = lists[p]
+        if slot is None:
+            lists[p] = [c]
+        else:
+            slot.append(c)
+    return tuple(
+        _EMPTY if slot is None else tuple(slot) for slot in lists
+    )
+
+
+def _prep_python(columns: TraceColumns, start: int, length: int, np) -> _SpanPrep:
+    """Pure-stdlib span prep: one program-order pass over the span."""
+    ops = columns.ops
+    dests = columns.dests
+    addrs = columns.addrs
+    addr_counts = columns.addr_counts
+    nsrcs = columns.nsrcs
+    srcs = columns.srcs
+    cursor = columns.src_offsets()[start]
+
+    rem0 = array("q", bytes(8 * length))
+    rema0 = array("q", bytes(8 * length))
+    producers: List[int] = []
+    owners: List[int] = []
+    aproducers: List[int] = []
+    aowners: List[int] = []
+    latest = [-1] * NUM_REGS
+    op_list: List[int] = [0] * length
+    addr_list: List[int] = [0] * length
+    mem = bytearray(length)
+    store_seqs: List[int] = []
+    nmem = [0] * (length + 1)
+    mem_count = 0
+    for k in range(length):
+        at = start + k
+        op = ops[at]
+        op_list[k] = op
+        addr_list[k] = addrs[at]
+        is_store = op == _STORE
+        if is_store:
+            mem[k] = 2
+            mem_count += 1
+            store_seqs.append(k)
+        elif op == _LOAD:
+            mem[k] = 1
+            mem_count += 1
+        nmem[k + 1] = mem_count
+        count = nsrcs[at]
+        addr_count = addr_counts[at] if is_store else -1
+        deps = adeps = 0
+        for j in range(count):
+            src = srcs[cursor + j]
+            if src == ZERO_REG:
+                continue
+            p = latest[src]
+            if p >= 0:
+                producers.append(p)
+                owners.append(k)
+                deps += 1
+                if j < addr_count:
+                    aproducers.append(p)
+                    aowners.append(k)
+                    adeps += 1
+        cursor += count
+        rem0[k] = deps
+        rema0[k] = adeps
+        dest = dests[at]
+        if dest > 0:  # skips both "no dest" (-1) and ZERO_REG (0)
+            latest[dest] = k
+    hc = bytearray(length)
+    for p in producers:
+        hc[p] = 1
+    for p in aproducers:
+        hc[p] = 1
+    return _SpanPrep(
+        length, op_list, addr_list, mem, rem0, rema0,
+        _consumer_tuples(length, producers, owners),
+        _consumer_tuples(length, aproducers, aowners),
+        store_seqs, nmem, hc,
+    )
+
+
+def _prep_numpy(columns: TraceColumns, start: int, length: int, np) -> _SpanPrep:
+    """Vectorized span prep.
+
+    The only inherently sequential part of dependence wiring — "which
+    earlier instruction last wrote register r" — vectorizes per
+    register: for each register, a ``searchsorted`` of every reader
+    position against the sorted writer positions yields all producers at
+    once.  Everything else (counts, CSR inversion, memory flags) is
+    bincount/argsort work.
+    """
+    end = start + length
+    ops = np.frombuffer(columns.ops, dtype=np.int64)[start:end]
+    dests = np.frombuffer(columns.dests, dtype=np.int64)[start:end]
+    addrs = np.frombuffer(columns.addrs, dtype=np.int64)[start:end]
+    addr_counts = np.frombuffer(columns.addr_counts, dtype=np.int64)[start:end]
+    nsrcs = np.frombuffer(columns.nsrcs, dtype=np.int64)[start:end]
+    offsets = np.frombuffer(columns.src_offsets(), dtype=np.int64)
+    s0 = int(offsets[start])
+    s1 = int(offsets[end])
+    srcs = np.frombuffer(columns.srcs, dtype=np.int64)[s0:s1]
+
+    owner = np.repeat(np.arange(length, dtype=np.int64), nsrcs)
+    # Operand position within its instruction (for the STA/STD split).
+    pos = np.arange(len(srcs), dtype=np.int64) - np.repeat(
+        offsets[start:end] - s0, nsrcs
+    )
+    addr_operand = (ops[owner] == _STORE) & (pos < addr_counts[owner])
+
+    producer = np.full(len(srcs), -1, dtype=np.int64)
+    readable = srcs != ZERO_REG
+    for reg in np.unique(srcs[readable]):
+        writers = np.flatnonzero(dests == reg)
+        if not len(writers):
+            continue
+        slots = np.flatnonzero(readable & (srcs == reg))
+        # Last writer strictly before the reader (same-seq self-reads
+        # see the previous writer, as the object backend wires them).
+        idx = np.searchsorted(writers, owner[slots], side="left") - 1
+        hit = idx >= 0
+        producer[slots[hit]] = writers[idx[hit]]
+
+    wired = producer >= 0
+    dep_prod = producer[wired]
+    dep_owner = owner[wired]
+    dep_addr = addr_operand[wired]
+
+    rem0_np = np.bincount(dep_owner, minlength=length).astype(np.int64)
+    rema0_np = np.bincount(dep_owner[dep_addr], minlength=length).astype(np.int64)
+
+    def invert(prods, owns):
+        order = np.argsort(prods, kind="stable")
+        counts = np.bincount(prods, minlength=length)
+        starts = np.zeros(length + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+        flat = owns[order].tolist()
+        bounds = starts.tolist()
+        return tuple(
+            _EMPTY if bounds[i] == bounds[i + 1]
+            else tuple(flat[bounds[i]:bounds[i + 1]])
+            for i in range(length)
+        )
+
+    cons = invert(dep_prod, dep_owner)
+    acons = invert(dep_prod[dep_addr], dep_owner[dep_addr])
+
+    mem_np = np.zeros(length, dtype=np.uint8)
+    mem_np[ops == _LOAD] = 1
+    mem_np[ops == _STORE] = 2
+    store_seqs = np.flatnonzero(ops == _STORE).tolist()
+    nmem_np = np.zeros(length + 1, dtype=np.int64)
+    np.cumsum(mem_np != 0, out=nmem_np[1:])
+    hc_np = np.zeros(length, dtype=np.uint8)
+    hc_np[dep_prod] = 1  # address deps are a subset of data deps
+
+    def as_q(values) -> array:
+        out = array("q")
+        out.frombytes(np.ascontiguousarray(values, dtype=np.int64).tobytes())
+        return out
+
+    # Hot columns decode to plain-int containers once, here: indexing a
+    # NumPy array yields numpy scalars, which are slower per access and
+    # would leak into trace events (breaking JSON round-trips).
+    return _SpanPrep(
+        length, ops.tolist(), addrs.tolist(), bytearray(mem_np.tobytes()),
+        as_q(rem0_np), as_q(rema0_np), cons, acons,
+        store_seqs, nmem_np.tolist(), bytearray(hc_np.tobytes()),
+    )
+
+
+class FlatProcessor(Processor):
+    """The ``array`` backend: :class:`Processor` semantics on flat state.
+
+    Construction, configuration, statistics, the memory hierarchy, port
+    models and functional units are all inherited unchanged; only the
+    per-cycle scheduler state is replaced.  ``run`` accepts everything
+    the object backend accepts (any :class:`DynInstr` iterable) plus
+    :class:`TraceColumns` / :class:`ColumnSpan` for zero-conversion
+    replay of materialized traces.
+    """
+
+    #: The engine hands this backend column spans instead of instruction
+    #: iterators when a materialized trace is available.
+    CONSUMES_COLUMNS = True
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self,
+        stream,
+        max_instructions: Optional[int] = None,
+        warmup_instructions: int = 0,
+        warm_state: Optional[Dict[str, Any]] = None,
+    ):
+        if self._ran:
+            raise SimulationError("a Processor instance runs exactly once")
+        self._ran = True
+        self._warmup_requested = warmup_instructions
+        columns, start = self._as_columns(
+            stream, max_instructions, warmup_instructions, warm_state
+        )
+        if warm_state is not None:
+            self.hierarchy.restore_warm_state(warm_state["hierarchy"])
+            self._warmed = warm_state["warmed"]
+        elif warmup_instructions:
+            start = self._warm_walk(columns, start, warmup_instructions)
+        remaining = columns.length - start
+        length = (
+            remaining
+            if max_instructions is None
+            else min(remaining, max_instructions)
+        )
+        self._deadline = self._watchdog_limit(max_instructions)
+        # Tests may swap ``self.ports`` after construction: re-resolve
+        # the duck-typed port hooks, as the object backend does.
+        self._bank_of = getattr(self.ports, "bank_of", None)
+        self._ports_next_event = getattr(self.ports, "next_event_cycle", None)
+        self._bank_sample = getattr(self.ports, "bank_accesses_this_cycle", None)
+        # Port models that support it hand out a fused hit path (see
+        # repro.memory.fastpath); everything else keeps the layered one.
+        fast_paths = getattr(self.ports, "fast_paths", None)
+        fused = fast_paths() if fast_paths is not None else None
+        self._fused_l1 = fused
+        if fused is not None:
+            self._try_load = fused.try_load
+            self._try_store = fused.try_store
+            self._fast_cycle_hooks = (fused.begin_cycle, fused.end_cycle)
+        else:
+            self._try_load = self.ports.try_load
+            self._try_store = self.ports.try_store
+            self._fast_cycle_hooks = None
+        # The kernel allocates only short-lived acyclic objects (wheel
+        # slots, ready lists); generation-0 collections during the run
+        # are pure scan overhead, so pause the collector for the span.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self._run_kernel(columns.prep(start, length))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        if warmup_instructions and self._seq == 0:
+            raise SimulationError(
+                f"warm-up consumed the whole stream ({self.label}): "
+                f"{self._warmed} of {warmup_instructions} requested warm-up "
+                f"instructions were available and nothing was left to time; "
+                f"shorten warmup_instructions or lengthen the stream"
+            )
+        return self._build_result()
+
+    # -- stream normalization ----------------------------------------------
+
+    def _as_columns(self, stream, max_instructions, warmup_instructions,
+                    warm_state):
+        if isinstance(stream, ColumnSpan):
+            return stream.columns, stream.start
+        if isinstance(stream, TraceColumns):
+            return stream, 0
+        limit = None
+        if max_instructions is not None:
+            limit = max_instructions
+            if warm_state is None:
+                # The warm-up prefix is consumed from the same stream.
+                limit += warmup_instructions
+        return TraceColumns.from_instructions(collect(stream, limit)), 0
+
+    def _warm_walk(self, columns: TraceColumns, start: int,
+                   warmup_instructions: int) -> int:
+        """Functionally warm the caches over the warm-up prefix; returns
+        the first timed position."""
+        warm = self.hierarchy.warm
+        ops = columns.ops
+        addrs = columns.addrs
+        end = min(start + warmup_instructions, columns.length)
+        for k in range(start, end):
+            op = ops[k]
+            if op == _LOAD:
+                warm(addrs[k], False)
+            elif op == _STORE:
+                warm(addrs[k], True)
+        self._warmed += end - start
+        return end
+
+    # -- the kernel --------------------------------------------------------
+
+    def _run_kernel(self, prep: _SpanPrep) -> None:
+        n = prep.length
+        self._p = prep
+        # A bytearray: state values are 0..4 and the batched commit scan
+        # (see _flat_commit) wants a C-speed translate over a slice.
+        self._st = bytearray(n)  # DISPATCHED == 0
+        # Completion cycle per seq, written at issue; _FAR until then.
+        # The busy loop commits off this column (see _FAR above); the
+        # phased path keeps committing off COMPLETED state bytes.
+        self._ctime: List[int] = [_FAR] * n
+        self._rem: List[int] = list(prep.rem0)
+        self._rema: List[int] = list(prep.rema0)
+        # Ready instructions split by kind: loads are the only requests
+        # an in-order port refusal defers en masse, so keeping them
+        # apart lets the issue loop drop the whole remainder in one
+        # extend instead of deferring one load per iteration.
+        self._ready_loads: List[int] = []
+        self._ready_rest: List[int] = []
+        self._wheel: Dict[int, List[int]] = {}
+        self._head = 0
+        self._next = 0
+        self._tlen = n
+        self._committed_total = 0
+        self._store_ptr = 0  # index into prep.stores: next store to commit
+        # LSQ state on ints (same algorithms as repro.core.lsq, same
+        # stats counters — StatGroup.counter is get-or-create, so these
+        # are the very objects the inherited Lsq registered).
+        self._lsq_occ = 0
+        self._lsq_peak = 0
+        self._unknown: List[int] = []
+        self._resolved_stores: set = set()
+        self._blocked: List[int] = []
+        self._sbyword: Dict[int, List[int]] = {}
+        self._sword: Dict[int, int] = {}
+        lsq_stats = self.stats.group("lsq")
+        self._forwards_c = lsq_stats.counter("forwards")
+        self._blocked_c = lsq_stats.counter("loads_blocked")
+        self._peak_c = lsq_stats.counter("peak_occupancy")
+        self._fu_stall_c = self.stats.group("fu").counter("fu_structural_stalls")
+        # opclass value -> (total latency, pool-or-None, issue interval).
+        # A class whose pool can never refuse — fully pipelined, at
+        # least issue-width units, and sharing with no unpipelined
+        # class (so busy_until stays empty forever) — carries pool=None
+        # and skips all per-issue pool bookkeeping: its availability
+        # check could never fail and nothing ever reads the count.
+        route: List[Any] = [None] * (max(int(op) for op in OpClass) + 1)
+        raw = {
+            opclass: self.fus.route_for(opclass)
+            for opclass in OpClass
+            if not opclass.is_mem
+        }
+        unpipelined_pools = {
+            id(pool) for pool, interval, _ in raw.values() if interval > 1
+        }
+        width = self._issue_width
+        for opclass, (pool, interval, total) in raw.items():
+            free = (
+                interval == 1
+                and pool.count >= width
+                and id(pool) not in unpipelined_pools
+            )
+            route[int(opclass)] = (total, None if free else pool, interval)
+        self._route = route
+        # Busy-loop shortcut: opclass -> completion latency when issue
+        # needs no resource bookkeeping at all, else 0.  Stores complete
+        # next cycle (the cache sees them at commit); free-route classes
+        # complete after their fixed latency; pool-routed classes (0)
+        # take the full arbitration path.
+        fast_lat = [0] * len(route)
+        fast_lat[_STORE] = 1
+        for opclass, (pool, interval, total) in raw.items():
+            if total >= 1 and route[int(opclass)][1] is None:
+                fast_lat[int(opclass)] = total
+        self._fast_lat = fast_lat
+
+        pending_work = self.ports.pending_work
+        if self._observer is None:
+            self._run_busy_loop(n, pending_work)
+        else:
+            step = self._flat_step
+            skip = self._flat_skip if self.cycle_skipping else None
+            while True:
+                if self._next >= n and self._next == self._head \
+                        and not pending_work():
+                    break
+                cycle = self.cycle + 1
+                self.cycle = cycle
+                if cycle > self._deadline:
+                    raise SimulationError(
+                        f"no instruction committed for {self.STALL_LIMIT} "
+                        f"cycles at cycle {self.cycle} ({self.label}); the "
+                        f"machine is deadlocked"
+                    )
+                step(cycle)
+                if skip is not None and not self._ready_loads \
+                        and not self._ready_rest:
+                    skip()
+        self._seq = self._next
+        self.ruu.committed = self._committed_total
+        if self._lsq_peak > self._peak_c.value:
+            self._peak_c.value = self._lsq_peak
+
+    def _run_busy_loop(self, n: int, pending_work) -> None:
+        """The fused observer-less cycle loop.
+
+        One function body holds the writeback -> commit -> issue ->
+        dispatch sequence with every hot name bound once, instead of
+        re-entering four methods (and re-hoisting their locals) each
+        cycle.  Observed runs keep the phased methods — `_flat_step`
+        stays the readable, instrumented reference — and the
+        cross-backend equivalence matrix pins this loop bit-for-bit
+        against both of them on every port model.
+
+        Inlined specializations, each guarded by the conditions that
+        make it exact:
+
+        * issue skips all budget accounting when the whole ready set
+          fits inside the issue width (the budget cannot bind, and the
+          oldest-128 window cannot truncate);  loads still go to the
+          port oldest-first, and the rest-list walk stays seq-sorted so
+          shared-pool FU classes arbitrate in program order;
+        * dispatch runs without per-instruction RUU/LSQ occupancy
+          checks when the whole fetch window verifiably fits (the
+          prefix counts in ``prep.nmem`` price the LSQ in O(1)), and
+          falls back to the per-instruction reference loop under
+          pressure;
+        * only FU pools reachable through a non-free route are reset
+          per cycle (free-route pools are never mutated at all).
+        """
+        prep = self._p
+        rem = self._rem
+        rema = self._rema
+        mem = prep.mem
+        addr = prep.addr
+        op = prep.op
+        cons = prep.cons
+        acons = prep.acons
+        nmem = prep.nmem
+        stores_list = prep.stores
+        n_stores = len(stores_list)
+        hc = prep.hc
+        ct = self._ctime
+        wheel = self._wheel
+        wheel_get = wheel.get
+        wheel_pop = wheel.pop
+        try_load = self._try_load
+        try_store = self._try_store
+        sbyword = self._sbyword
+        sbyword_get = sbyword.get
+        sword = self._sword
+        sword_pop = sword.pop
+        unknown = self._unknown
+        resolved_set = self._resolved_stores
+        resolved_add = resolved_set.add
+        resolved_discard = resolved_set.discard
+        release_blocked = self._flat_release_blocked
+        flat_issue = self._flat_issue
+        flat_skip = self._flat_skip if self.cycle_skipping else None
+        route = self._route
+        fast_lat = self._fast_lat
+        blocked = self._blocked
+        blocked_add = self._blocked_c.add
+        forwards_add = self._forwards_c.add
+        fu_stall_add = self._fu_stall_c.add
+        ports = self.ports
+        if self._fast_cycle_hooks is not None:
+            ports_begin, ports_end = self._fast_cycle_hooks
+        else:
+            ports_begin = ports.begin_cycle
+            ports_end = ports.end_cycle
+        note_fills = ports.note_fills
+        tick = self.hierarchy.tick
+        mshrs = self.hierarchy.mshrs
+        in_order = ports.IN_ORDER
+        grouped = self._largest_group
+        # Innermost fusion tier: with a FusedL1 bundle (ideal ports,
+        # default L1) the loop performs the hit scan itself and keeps
+        # the port occupancy and hit counters in locals, flushed once
+        # at exit — see repro.memory.fastpath.  The grouped walk still
+        # goes through closures, so it keeps the bundle disabled.
+        fused = self._fused_l1 if not grouped else None
+        if fused is not None:
+            fport = fused.port
+            f_port_count = fused.port_count
+            f_refusals = fused.refusals
+            f_occ_counts = fused.occupancy_counts
+            f_sets = fused.sets
+            f_offset_bits = fused.offset_bits
+            f_index_mask = fused.index_mask
+            f_tag_shift = fused.tag_shift
+            f_hit_latency = fused.hit_latency
+            f_lru = fused.lru
+            f_policy_hit = fused.policy_hit
+            load_miss = fused.load_miss
+            store_miss = fused.store_miss
+            f_lru_tick = f_lru._tick if f_lru is not None else 0
+        else:
+            f_lru = None
+        hit_loads = hit_stores = 0  # inline L1 hits, flushed at exit
+        acc_loads = acc_stores = 0  # accepted accesses (hit or miss)
+        ports_used = naccepted = 0  # per-cycle port occupancy, in locals
+        width = self._issue_width
+        scan_limit = self.SCHED_SCAN_LIMIT
+        commit_width = self._commit_width
+        stall_limit = self.STALL_LIMIT
+        fetch_width = self._fetch_width
+        ruu_cap = self.ruu.size
+        lsq_size = self.lsq.size
+        unknown_append = unknown.append
+        hot_pools = list({
+            id(entry[1]): entry[1]
+            for entry in route
+            if entry is not None and entry[1] is not None
+        }.values())
+        rl = self._ready_loads
+        rr = self._ready_rest
+        load_append = rl.append
+        rest_append = rr.append
+        head = self._head
+        nxt = self._next
+        lsq_occ = self._lsq_occ
+        lsq_peak = self._lsq_peak
+        loads_n = self._loads
+        stores_n = self._stores
+        committed_total = self._committed_total
+        last_commit = self._last_commit_cycle
+        sp = self._store_ptr  # commit cursor into prep.stores
+        dsp = 0  # dispatch cursor into prep.stores (none dispatched yet)
+        cycle = self.cycle
+        while True:
+            if nxt >= n and nxt == head and not pending_work():
+                break
+            cycle += 1
+            if cycle > self._deadline:
+                self.cycle = cycle
+                if fused is not None:
+                    hit_total = hit_loads + hit_stores
+                    fused.accesses.value += hit_total
+                    fused.hits.value += hit_total
+                    fused.cache_hits.value += hit_total
+                    fused.store_accesses.value += hit_stores
+                    fport._n_loads += acc_loads
+                    fport._n_stores += acc_stores
+                    fport._ports_used = ports_used
+                    if f_lru is not None:
+                        f_lru._tick = f_lru_tick
+                raise SimulationError(
+                    f"no instruction committed for {self.STALL_LIMIT} "
+                    f"cycles at cycle {cycle} ({self.label}); the "
+                    f"machine is deadlocked"
+                )
+            for pool in hot_pools:
+                pool.issued_this_cycle = 0
+            if fused is not None:
+                # The inline tier's whole begin_cycle: the miss closures
+                # read the port clock, everything else lives in locals.
+                fport._cycle = cycle
+                ports_used = 0
+                naccepted = 0
+            else:
+                ports_begin(cycle)
+            # tick() can only land fills once the earliest outstanding
+            # one is due; this mirrors retire_ready's own fast path
+            # without paying two calls per cycle to find that out.
+            min_fill = mshrs._min_fill
+            if min_fill is not None and cycle >= min_fill:
+                if f_lru is not None:
+                    # Fills stamp the same LRU clock the inline scan
+                    # advances locally: sync around the landing.
+                    f_lru._tick = f_lru_tick
+                filled = tick(cycle)
+                if filled:
+                    note_fills(filled)
+                if f_lru is not None:
+                    f_lru_tick = f_lru._tick
+            # ---- writeback / wakeup ----------------------------------
+            # State bytes are not written here: on this observer-less
+            # path nothing reads them (commit and the skip cap run off
+            # `_ctime`; readiness is list membership), so the READY /
+            # ISSUED / COMPLETED transitions the phased path records are
+            # pure overhead.  `_flat_skip`'s COMPLETED fast-out is
+            # subsumed by its `_ctime[head] <= cycle` check.
+            done = wheel_pop(cycle, None)
+            if done is not None:
+                for s in done:
+                    cs = cons[s]
+                    if cs:
+                        for c in cs:
+                            r = rem[c] - 1
+                            rem[c] = r
+                            if r == 0 and c < nxt:
+                                if mem[c] == 1:
+                                    load_append(c)
+                                else:
+                                    rest_append(c)
+                    cs = acons[s]
+                    if cs:
+                        for c in cs:
+                            r = rema[c] - 1
+                            rema[c] = r
+                            if r == 0 and c < nxt:
+                                resolved_add(c)
+                                word = addr[c] & _WORD_MASK
+                                existing = sbyword_get(word)
+                                if existing is None:
+                                    sbyword[word] = [c]
+                                else:
+                                    insort(existing, c)
+                                sword[c] = word
+                                if blocked:
+                                    release_blocked()
+            # ---- commit ----------------------------------------------
+            if head < nxt and ct[head] <= cycle:
+                bound = head + commit_width
+                if bound > nxt:
+                    bound = nxt
+                end = head + 1
+                while end < bound and ct[end] <= cycle:
+                    end += 1
+                if sp < n_stores and stores_list[sp] < end:
+                    while sp < n_stores:
+                        q = stores_list[sp]
+                        if q >= end:
+                            break
+                        if fused is None:
+                            ok = try_store(addr[q])
+                        elif ports_used >= f_port_count:
+                            f_refusals["port_limit"] += 1
+                            ok = False
+                        else:
+                            a = addr[q]
+                            if a < 0:
+                                fport._ports_used = ports_used
+                                ok = try_store(a)  # raises (layered)
+                            else:
+                                tag = a >> f_tag_shift
+                                ok = None
+                                for way in f_sets[
+                                    (a >> f_offset_bits) & f_index_mask
+                                ]:
+                                    if way.valid and way.tag == tag:
+                                        if f_lru is not None:
+                                            f_lru_tick += 1
+                                            way.lru = f_lru_tick
+                                        else:
+                                            f_policy_hit(way)
+                                        way.dirty = True  # writeback L1
+                                        hit_stores += 1
+                                        acc_stores += 1
+                                        ports_used += 1
+                                        naccepted += 1
+                                        ok = True
+                                        break
+                                if ok is None:
+                                    ok = store_miss(a)
+                                    if ok:
+                                        acc_stores += 1
+                                        ports_used += 1
+                                        naccepted += 1
+                        if not ok:
+                            end = q
+                            break
+                        sp += 1
+                        word = sword_pop(q, None)
+                        if word is not None:
+                            seqs = sbyword[word]
+                            index = bisect_left(seqs, q)
+                            if index < len(seqs) and seqs[index] == q:
+                                del seqs[index]
+                            if not seqs:
+                                del sbyword[word]
+                if end > head:
+                    committed_total += end - head
+                    lsq_occ -= nmem[end] - nmem[head]
+                    head = end
+                    self._head = end
+                    last_commit = cycle
+                    self._deadline = cycle + stall_limit
+            # ---- issue -----------------------------------------------
+            nl = len(rl)
+            nr = len(rr)
+            if nl or nr:
+                if grouped:
+                    self._next = nxt
+                    flat_issue(cycle)
+                elif nl + nr > width:
+                    # Budgeted merged walk: the observer-less body of
+                    # `_flat_issue`, inlined so the miss-storm cycles on
+                    # the busy configs (where the ready set outgrows the
+                    # issue width) share this loop's hoisted locals
+                    # instead of paying the call and re-hoist per cycle.
+                    rl.sort()
+                    rr.sort()
+                    if nl + nr > scan_limit:
+                        i = j = 0
+                        while i + j < scan_limit:
+                            if i < nl and (j >= nr or rl[i] <= rr[j]):
+                                i += 1
+                            else:
+                                j += 1
+                        rest_l = rl[i:]
+                        rest_r = rr[j:]
+                        del rl[i:]
+                        del rr[j:]
+                        nl = i
+                        nr = j
+                    else:
+                        rest_l = rest_r = None
+                    ol = rl
+                    orr = rr
+                    rl = self._ready_loads = []
+                    rr = self._ready_rest = []
+                    load_append = rl.append
+                    rest_append = rr.append
+                    budget = width
+                    cyc1 = cycle + 1
+                    slot1 = wheel_get(cyc1)
+                    oldest_unknown = -2  # lazily computed; -1 = none
+                    i = j = 0
+                    while budget > 0:
+                        if i < nl:
+                            s = ol[i]
+                            if j < nr and orr[j] < s:
+                                s = orr[j]
+                                j += 1
+                                load = False
+                            else:
+                                i += 1
+                                load = True
+                        elif j < nr:
+                            s = orr[j]
+                            j += 1
+                            load = False
+                        else:
+                            break
+                        if load:
+                            if oldest_unknown == -2:
+                                while unknown and unknown[0] in resolved_set:
+                                    resolved_discard(heappop(unknown))
+                                oldest_unknown = (
+                                    unknown[0] if unknown else -1
+                                )
+                            if -1 < oldest_unknown < s:
+                                heappush(blocked, s)
+                                blocked_add()
+                                continue
+                            a = addr[s]
+                            seqs = sbyword_get(a & _WORD_MASK)
+                            if seqs and seqs[0] < s:
+                                forwards_add()
+                                ct[s] = cyc1
+                                if hc[s]:
+                                    if slot1 is None:
+                                        slot1 = wheel[cyc1] = [s]
+                                    else:
+                                        slot1.append(s)
+                                budget -= 1
+                                continue
+                            if fused is None:
+                                complete = try_load(a)
+                            elif ports_used >= f_port_count:
+                                f_refusals["port_limit"] += 1
+                                complete = None
+                            elif a < 0:
+                                fport._ports_used = ports_used
+                                complete = try_load(a)  # raises (layered)
+                            else:
+                                tag = a >> f_tag_shift
+                                complete = -1
+                                for way in f_sets[(a >> f_offset_bits) & f_index_mask]:
+                                    if way.valid and way.tag == tag:
+                                        if f_lru is not None:
+                                            f_lru_tick += 1
+                                            way.lru = f_lru_tick
+                                        else:
+                                            f_policy_hit(way)
+                                        hit_loads += 1
+                                        acc_loads += 1
+                                        ports_used += 1
+                                        naccepted += 1
+                                        complete = cycle + f_hit_latency
+                                        break
+                                if complete == -1:
+                                    complete = load_miss(a)
+                                    if complete is not None:
+                                        acc_loads += 1
+                                        ports_used += 1
+                                        naccepted += 1
+                            if complete is None:
+                                load_append(s)
+                                if in_order:
+                                    rl.extend(ol[i:nl])
+                                    i = nl
+                                continue
+                            if complete <= cyc1:
+                                ct[s] = cyc1
+                                if hc[s]:
+                                    if slot1 is None:
+                                        slot1 = wheel[cyc1] = [s]
+                                    else:
+                                        slot1.append(s)
+                            else:
+                                ct[s] = complete
+                                if hc[s]:
+                                    slot = wheel_get(complete)
+                                    if slot is None:
+                                        wheel[complete] = [s]
+                                    else:
+                                        slot.append(s)
+                            budget -= 1
+                        else:
+                            t = fast_lat[op[s]]
+                            if t == 1:
+                                ct[s] = cyc1
+                                if hc[s]:
+                                    if slot1 is None:
+                                        slot1 = wheel[cyc1] = [s]
+                                    else:
+                                        slot1.append(s)
+                                budget -= 1
+                                continue
+                            if t:
+                                t += cycle
+                                ct[s] = t
+                                if hc[s]:
+                                    slot = wheel_get(t)
+                                    if slot is None:
+                                        wheel[t] = [s]
+                                    else:
+                                        slot.append(s)
+                                budget -= 1
+                                continue
+                            total, pool, interval = route[op[s]]
+                            if pool is not None:
+                                if pool.busy_until:
+                                    available = pool.available(cycle)
+                                else:
+                                    available = (
+                                        pool.count - pool.issued_this_cycle
+                                    )
+                                if available <= 0:
+                                    fu_stall_add()
+                                    rest_append(s)
+                                    continue
+                                if interval > 1:
+                                    heappush(
+                                        pool.busy_until, cycle + interval
+                                    )
+                                else:
+                                    pool.issued_this_cycle += 1
+                            if total == 1:
+                                ct[s] = cyc1
+                                if hc[s]:
+                                    if slot1 is None:
+                                        slot1 = wheel[cyc1] = [s]
+                                    else:
+                                        slot1.append(s)
+                            else:
+                                t = cycle + total
+                                if t <= cycle:
+                                    raise SimulationError(
+                                        f"completion scheduled in the past "
+                                        f"({t} <= {cycle})"
+                                    )
+                                ct[s] = t
+                                if hc[s]:
+                                    slot = wheel_get(t)
+                                    if slot is None:
+                                        wheel[t] = [s]
+                                    else:
+                                        slot.append(s)
+                            budget -= 1
+                    if i < nl:
+                        rl.extend(ol[i:nl])
+                    if j < nr:
+                        rr.extend(orr[j:nr])
+                    if rest_l:
+                        rl.extend(rest_l)
+                    if rest_r:
+                        rr.extend(rest_r)
+                else:
+                    cyc1 = cycle + 1
+                    slot1 = wheel_get(cyc1)
+                    if nl:
+                        rl.sort()
+                        dl = self._ready_loads = []
+                        load_append = dl.append
+                        oldest_unknown = -2  # lazily computed; -1 = none
+                        i = 0
+                        while i < nl:
+                            s = rl[i]
+                            i += 1
+                            if oldest_unknown == -2:
+                                while unknown and unknown[0] in resolved_set:
+                                    resolved_discard(heappop(unknown))
+                                oldest_unknown = (
+                                    unknown[0] if unknown else -1
+                                )
+                            if -1 < oldest_unknown < s:
+                                heappush(blocked, s)
+                                blocked_add()
+                                continue
+                            a = addr[s]
+                            seqs = sbyword_get(a & _WORD_MASK)
+                            if seqs and seqs[0] < s:
+                                forwards_add()
+                                ct[s] = cyc1
+                                if hc[s]:
+                                    if slot1 is None:
+                                        slot1 = wheel[cyc1] = [s]
+                                    else:
+                                        slot1.append(s)
+                                continue
+                            if fused is None:
+                                complete = try_load(a)
+                            elif ports_used >= f_port_count:
+                                f_refusals["port_limit"] += 1
+                                complete = None
+                            elif a < 0:
+                                fport._ports_used = ports_used
+                                complete = try_load(a)  # raises (layered)
+                            else:
+                                tag = a >> f_tag_shift
+                                complete = -1
+                                for way in f_sets[(a >> f_offset_bits) & f_index_mask]:
+                                    if way.valid and way.tag == tag:
+                                        if f_lru is not None:
+                                            f_lru_tick += 1
+                                            way.lru = f_lru_tick
+                                        else:
+                                            f_policy_hit(way)
+                                        hit_loads += 1
+                                        acc_loads += 1
+                                        ports_used += 1
+                                        naccepted += 1
+                                        complete = cycle + f_hit_latency
+                                        break
+                                if complete == -1:
+                                    complete = load_miss(a)
+                                    if complete is not None:
+                                        acc_loads += 1
+                                        ports_used += 1
+                                        naccepted += 1
+                            if complete is None:
+                                load_append(s)
+                                if in_order:
+                                    dl.extend(rl[i:nl])
+                                    break
+                                continue
+                            if complete <= cyc1:
+                                ct[s] = cyc1
+                                if hc[s]:
+                                    if slot1 is None:
+                                        slot1 = wheel[cyc1] = [s]
+                                    else:
+                                        slot1.append(s)
+                            else:
+                                ct[s] = complete
+                                if hc[s]:
+                                    slot = wheel_get(complete)
+                                    if slot is None:
+                                        wheel[complete] = [s]
+                                    else:
+                                        slot.append(s)
+                    if nr:
+                        # Stores and FU ops never touch the cache port at
+                        # issue, so running them after the loads is
+                        # observationally identical to the reference's
+                        # merged walk once the budget cannot bind.
+                        rr.sort()
+                        dr = self._ready_rest = []
+                        rest_append = dr.append
+                        for s in rr:
+                            t = fast_lat[op[s]]
+                            if t == 1:
+                                ct[s] = cyc1
+                                if hc[s]:
+                                    if slot1 is None:
+                                        slot1 = wheel[cyc1] = [s]
+                                    else:
+                                        slot1.append(s)
+                                continue
+                            if t:
+                                t += cycle
+                                ct[s] = t
+                                if hc[s]:
+                                    slot = wheel_get(t)
+                                    if slot is None:
+                                        wheel[t] = [s]
+                                    else:
+                                        slot.append(s)
+                                continue
+                            total, pool, interval = route[op[s]]
+                            if pool.busy_until:
+                                available = pool.available(cycle)
+                            else:
+                                available = (
+                                    pool.count - pool.issued_this_cycle
+                                )
+                            if available <= 0:
+                                fu_stall_add()
+                                rest_append(s)
+                                continue
+                            if interval > 1:
+                                heappush(pool.busy_until, cycle + interval)
+                            else:
+                                pool.issued_this_cycle += 1
+                            if total == 1:
+                                ct[s] = cyc1
+                                if hc[s]:
+                                    if slot1 is None:
+                                        slot1 = wheel[cyc1] = [s]
+                                    else:
+                                        slot1.append(s)
+                            else:
+                                t = cycle + total
+                                if t <= cycle:
+                                    raise SimulationError(
+                                        f"completion scheduled in the past "
+                                        f"({t} <= {cycle})"
+                                    )
+                                ct[s] = t
+                                if hc[s]:
+                                    slot = wheel_get(t)
+                                    if slot is None:
+                                        wheel[t] = [s]
+                                    else:
+                                        slot.append(s)
+                rl = self._ready_loads
+                rr = self._ready_rest
+                load_append = rl.append
+                rest_append = rr.append
+            # ---- dispatch --------------------------------------------
+            if nxt < n:
+                k = nxt
+                limit = k + fetch_width
+                if limit > n:
+                    limit = n
+                room = head + ruu_cap - k
+                if room > 0:
+                    if limit - k > room:
+                        limit = k + room
+                    new_mem = nmem[limit] - nmem[k]
+                    if lsq_occ + new_mem <= lsq_size:
+                        for kk in range(k, limit):
+                            if rem[kk] == 0:
+                                if mem[kk] == 1:
+                                    load_append(kk)
+                                else:
+                                    rest_append(kk)
+                        if new_mem:
+                            sc = 0
+                            while dsp < n_stores:
+                                q = stores_list[dsp]
+                                if q >= limit:
+                                    break
+                                dsp += 1
+                                sc += 1
+                                unknown_append(q)
+                                if rema[q] == 0:
+                                    resolved_add(q)
+                                    word = addr[q] & _WORD_MASK
+                                    existing = sbyword_get(word)
+                                    if existing is None:
+                                        sbyword[word] = [q]
+                                    else:
+                                        insort(existing, q)
+                                    sword[q] = word
+                                    if blocked:
+                                        release_blocked()
+                            stores_n += sc
+                            loads_n += new_mem - sc
+                            lsq_occ += new_mem
+                            if lsq_occ > lsq_peak:
+                                lsq_peak = lsq_occ
+                        nxt = limit
+                    else:
+                        # LSQ pressure: the per-instruction reference
+                        # loop decides exactly where dispatch blocks.
+                        self._next = nxt
+                        self._lsq_occ = lsq_occ
+                        self._lsq_peak = lsq_peak
+                        self._loads = loads_n
+                        self._stores = stores_n
+                        self._flat_dispatch(cycle)
+                        nxt = self._next
+                        lsq_occ = self._lsq_occ
+                        lsq_peak = self._lsq_peak
+                        loads_n = self._loads
+                        stores_n = self._stores
+                        while dsp < n_stores and stores_list[dsp] < nxt:
+                            dsp += 1
+            # _flat_commit (and _flat_skip) read these off self each
+            # cycle; they must never observe a stale value.
+            self._next = nxt
+            self._lsq_occ = lsq_occ
+            if fused is not None:
+                if naccepted:  # end_cycle, on the local occupancy
+                    fport._n_busy_cycles += 1
+                    f_occ_counts[naccepted] = (
+                        f_occ_counts.get(naccepted, 0) + 1
+                    )
+            else:
+                ports_end()
+            if flat_skip is not None and not rl and not rr:
+                self.cycle = cycle
+                flat_skip()
+                cycle = self.cycle
+        self.cycle = cycle
+        self._next = nxt
+        self._lsq_occ = lsq_occ
+        self._lsq_peak = lsq_peak
+        self._loads = loads_n
+        self._stores = stores_n
+        self._committed_total = committed_total
+        self._last_commit_cycle = last_commit
+        self._store_ptr = sp
+        if fused is not None:
+            # Flush the inline tier's deferred bookkeeping: hit counters
+            # (miss-path counters are kept exact by the closures) and
+            # the port acceptance totals accumulated in locals.
+            hit_total = hit_loads + hit_stores
+            fused.accesses.value += hit_total
+            fused.hits.value += hit_total
+            fused.cache_hits.value += hit_total
+            fused.store_accesses.value += hit_stores
+            fport._n_loads += acc_loads
+            fport._n_stores += acc_stores
+            fport._ports_used = ports_used
+            if f_lru is not None:
+                f_lru._tick = f_lru_tick
+
+    # -- one cycle ---------------------------------------------------------
+
+    def _flat_step(self, cycle: int) -> None:
+        observer = self._observer
+        if observer is not None:
+            observer.accountant.begin_cycle()
+        self.fus.begin_cycle()
+        ports = self.ports
+        ports.begin_cycle(cycle)
+        filled = self.hierarchy.tick(cycle)
+        if filled:
+            ports.note_fills(filled)
+            if observer is not None and observer.trace is not None:
+                for line in filled:
+                    addr = line * self._line_size
+                    observer.trace.record(
+                        cycle,
+                        "fill",
+                        addr=addr,
+                        bank=self._bank_of(addr) if self._bank_of else None,
+                    )
+        self._flat_writeback(cycle)
+        committed = self._flat_commit(cycle)
+        if self._ready_loads or self._ready_rest:
+            self._flat_issue(cycle)
+        self._flat_dispatch(cycle)
+        ports.end_cycle()
+        if observer is not None:
+            head = self._head
+            if head < self._next:
+                head_none = False
+                mem_wait = (
+                    self._st[head] == ISSUED and self._p.mem[head] != 0
+                )
+            else:
+                head_none = True
+                mem_wait = False
+            mshr_occupancy = self.hierarchy.mshrs.occupancy
+            observer.accountant.close_cycle(
+                committed, head_none, mem_wait, mshr_occupancy > 0
+            )
+            metrics = observer.metrics
+            if metrics is not None:
+                bank_sample = self._bank_sample
+                metrics.record_cycle(
+                    self._next - self._head,
+                    self._lsq_occ,
+                    mshr_occupancy,
+                    bank_sample() if bank_sample is not None else (),
+                )
+
+    def _flat_writeback(self, cycle: int) -> None:
+        done = self._wheel.pop(cycle, None)
+        if done is None:
+            return
+        st = self._st
+        rem = self._rem
+        rema = self._rema
+        prep = self._p
+        cons = prep.cons
+        acons = prep.acons
+        mem = prep.mem
+        load_append = self._ready_loads.append
+        rest_append = self._ready_rest.append
+        nxt = self._next
+        resolve = self._flat_resolve_store
+        for s in done:
+            if st[s] == COMPLETED:
+                raise SimulationError(f"double completion of #{s}")
+            st[s] = COMPLETED
+            for c in cons[s]:
+                r = rem[c] - 1
+                rem[c] = r
+                if r == 0 and c < nxt:
+                    st[c] = READY
+                    if mem[c] == 1:
+                        load_append(c)
+                    else:
+                        rest_append(c)
+            for c in acons[s]:
+                r = rema[c] - 1
+                rema[c] = r
+                if r == 0 and c < nxt:
+                    resolve(c)
+
+    def _flat_commit(self, cycle: int) -> int:
+        head = self._head
+        nxt = self._next
+        st = self._st
+        if head >= nxt or st[head] != COMPLETED:
+            return 0
+        prep = self._p
+        bound = head + self._commit_width
+        if bound > nxt:
+            bound = nxt
+        # Find the first non-COMPLETED state in the window at C speed;
+        # everything before it commits this cycle unless a store refusal
+        # truncates the run.
+        off = st[head:bound].translate(_COMMIT_SCAN).find(1)
+        end = bound if off < 0 else head + off
+        # Stores inside the committable run reach the port oldest-first,
+        # exactly as the sequential scan offered them (only stores touch
+        # the port at commit, so the call sequence is identical).  A
+        # refusal stops commit at that store: it and everything younger
+        # retry next cycle.
+        stores = prep.stores
+        sp = self._store_ptr
+        ns = len(stores)
+        if sp < ns and stores[sp] < end:
+            try_store = self._try_store
+            addr = prep.addr
+            sword_pop = self._sword.pop
+            sbyword = self._sbyword
+            while sp < ns:
+                q = stores[sp]
+                if q >= end:
+                    break
+                if not try_store(addr[q]):
+                    end = q
+                    break
+                sp += 1
+                word = sword_pop(q, None)
+                if word is not None:
+                    seqs = sbyword[word]
+                    index = bisect_left(seqs, q)
+                    if index < len(seqs) and seqs[index] == q:
+                        del seqs[index]
+                    if not seqs:
+                        del sbyword[word]
+            self._store_ptr = sp
+        committed = end - head
+        if committed:
+            nmem = prep.nmem
+            self._lsq_occ -= nmem[end] - nmem[head]
+            self._head = end
+            self._committed_total += committed
+            self._last_commit_cycle = cycle
+            self._deadline = cycle + self.STALL_LIMIT
+        return committed
+
+    def _flat_issue(self, cycle: int) -> None:
+        if self._largest_group:
+            self._flat_issue_grouped(cycle)
+            return
+        rl = self._ready_loads
+        rr = self._ready_rest
+        rl.sort()
+        rr.sort()
+        nl = len(rl)
+        nr = len(rr)
+        limit = self.SCHED_SCAN_LIMIT
+        if nl + nr > limit:
+            # The oldest-``limit`` window spans both lists: advance two
+            # cursors in merged seq order to find each list's share,
+            # then cut both.  The cut tails re-merge next cycle.
+            i = j = 0
+            while i + j < limit:
+                if i < nl and (j >= nr or rl[i] <= rr[j]):
+                    i += 1
+                else:
+                    j += 1
+            rest_l = rl[i:]
+            rest_r = rr[j:]
+            del rl[i:]
+            del rr[j:]
+            nl = i
+            nr = j
+        else:
+            rest_l = rest_r = None
+        self._ready_loads = dl = []
+        self._ready_rest = dr = []
+        dl_append = dl.append
+        dr_append = dr.append
+        budget = self._issue_width
+        in_order = self.ports.IN_ORDER
+        st = self._st
+        prep = self._p
+        mem = prep.mem
+        addr = prep.addr
+        op = prep.op
+        wheel = self._wheel
+        wheel_get = wheel.get
+        try_load = self._try_load
+        sbyword_get = self._sbyword.get
+        route = self._route
+        observer = self._observer
+        trace = observer.trace if observer is not None else None
+        cyc1 = cycle + 1
+        # Completions land overwhelmingly at cycle+1 (stores, forwards,
+        # L1 hits at the paper's 1-cycle latency): keep that wheel slot
+        # in a local instead of re-hashing the dict per instruction.
+        slot1 = wheel_get(cyc1)
+        # Nothing resolves a store address during the issue phase (commit
+        # ran already; dispatch and writeback run outside), so the oldest
+        # unknown store is one lookup per cycle, not one per load.
+        # -1 encodes "all store addresses known".
+        oldest_unknown = -2  # not yet computed
+        i = j = 0
+        while budget > 0:
+            # Two-pointer merge: loads and the rest iterate in global
+            # seq order without materializing a combined sorted list.
+            if i < nl:
+                s = rl[i]
+                if j < nr and rr[j] < s:
+                    s = rr[j]
+                    j += 1
+                    load = False
+                else:
+                    i += 1
+                    load = True
+            elif j < nr:
+                s = rr[j]
+                j += 1
+                load = False
+            else:
+                break
+            if load:
+                if oldest_unknown == -2:
+                    first = self._flat_oldest_unknown()
+                    oldest_unknown = -1 if first is None else first
+                if -1 < oldest_unknown < s:
+                    heappush(self._blocked, s)
+                    self._blocked_c.add()
+                    st[s] = PARKED
+                    if observer is not None:
+                        observer.accountant.note_load_blocked()
+                        if trace is not None:
+                            trace.record(
+                                cycle,
+                                "blocked",
+                                seq=s,
+                                addr=addr[s],
+                                detail=f"store {oldest_unknown} unresolved",
+                            )
+                    continue  # parked loads re-release from the LSQ
+                a = addr[s]
+                seqs = sbyword_get(a & _WORD_MASK)
+                if seqs and seqs[0] < s:
+                    self._forwards_c.add()
+                    if trace is not None:
+                        trace.record(cycle, "forward", seq=s, addr=a)
+                    st[s] = ISSUED
+                    if slot1 is None:
+                        slot1 = wheel[cyc1] = [s]
+                    else:
+                        slot1.append(s)
+                    budget -= 1
+                    continue
+                complete = try_load(a)
+                if complete is None:
+                    dl_append(s)
+                    if in_order:
+                        # The port closed for loads this cycle; defer
+                        # the remaining loads in bulk instead of paying
+                        # a per-load refusal walk (they retry, in the
+                        # same relative order, next cycle).
+                        dl.extend(rl[i:nl])
+                        i = nl
+                    continue
+                st[s] = ISSUED
+                if complete <= cyc1:
+                    if slot1 is None:
+                        slot1 = wheel[cyc1] = [s]
+                    else:
+                        slot1.append(s)
+                else:
+                    slot = wheel_get(complete)
+                    if slot is None:
+                        wheel[complete] = [s]
+                    else:
+                        slot.append(s)
+                if trace is not None:
+                    trace.record(
+                        cycle,
+                        "issue",
+                        seq=s,
+                        addr=a,
+                        bank=self._bank_of(a) if self._bank_of else None,
+                    )
+                budget -= 1
+            elif mem[s] == 2:
+                st[s] = ISSUED
+                if slot1 is None:
+                    slot1 = wheel[cyc1] = [s]
+                else:
+                    slot1.append(s)
+                budget -= 1
+            else:
+                total, pool, interval = route[op[s]]
+                if pool is not None:
+                    if pool.busy_until:
+                        available = pool.available(cycle)
+                    else:
+                        available = pool.count - pool.issued_this_cycle
+                    if available <= 0:
+                        self._fu_stall_c.add()
+                        if observer is not None:
+                            observer.accountant.note_fu_stall()
+                        dr_append(s)
+                        continue
+                    if interval > 1:
+                        heappush(pool.busy_until, cycle + interval)
+                    else:
+                        pool.issued_this_cycle += 1
+                st[s] = ISSUED
+                if total == 1:
+                    if slot1 is None:
+                        slot1 = wheel[cyc1] = [s]
+                    else:
+                        slot1.append(s)
+                else:
+                    t = cycle + total
+                    if t <= cycle:
+                        raise SimulationError(
+                            f"completion scheduled in the past ({t} <= {cycle})"
+                        )
+                    slot = wheel_get(t)
+                    if slot is None:
+                        wheel[t] = [s]
+                    else:
+                        slot.append(s)
+                budget -= 1
+        if i < nl:
+            dl.extend(rl[i:nl])
+        if j < nr:
+            dr.extend(rr[j:nr])
+        if rest_l:
+            dl.extend(rest_l)
+        if rest_r:
+            dr.extend(rest_r)
+
+    def _flat_issue_grouped(self, cycle: int) -> None:
+        """Issue under the LBIC's largest-group-first LSQ policy.
+
+        The group reordering needs one combined candidate list, so this
+        path merges the split ready lists, runs the object backend's
+        scan order, and redistributes the deferred entries by kind at
+        the end (their relative order is irrelevant — both lists are
+        re-sorted at the top of the next issue cycle).
+        """
+        ready = self._ready_loads + self._ready_rest
+        ready.sort()
+        limit = self.SCHED_SCAN_LIMIT
+        if len(ready) <= limit:
+            candidates = ready
+            rest: List[int] = []
+        else:
+            candidates = ready[:limit]
+            rest = ready[limit:]
+        candidates = self._flat_order_by_group(candidates)
+        self._ready_loads = dl = []
+        self._ready_rest = dr = []
+        deferred: List[int] = []
+        defer = deferred.append
+        budget = self._issue_width
+        mem_stalled = False
+        in_order = self.ports.IN_ORDER
+        st = self._st
+        prep = self._p
+        mem = prep.mem
+        addr = prep.addr
+        op = prep.op
+        wheel = self._wheel
+        wheel_get = wheel.get
+        try_load = self._try_load
+        sbyword_get = self._sbyword.get
+        route = self._route
+        observer = self._observer
+        trace = observer.trace if observer is not None else None
+        ct = self._ctime
+        hc = prep.hc
+        # Observer-less (busy loop) runs keep consumer-less completions
+        # out of the wheel; the commit walk reads ``ct`` instead.
+        lean = observer is None
+        cyc1 = cycle + 1
+        slot1 = wheel_get(cyc1)
+        oldest_unknown = -2  # not yet computed; -1 = all resolved
+        for index, s in enumerate(candidates):
+            if budget <= 0:
+                deferred.extend(candidates[index:])
+                break
+            m = mem[s]
+            if m == 1:
+                if mem_stalled:
+                    defer(s)
+                    continue
+                if oldest_unknown == -2:
+                    first = self._flat_oldest_unknown()
+                    oldest_unknown = -1 if first is None else first
+                if -1 < oldest_unknown < s:
+                    heappush(self._blocked, s)
+                    self._blocked_c.add()
+                    if not lean:
+                        st[s] = PARKED
+                    if observer is not None:
+                        observer.accountant.note_load_blocked()
+                        if trace is not None:
+                            trace.record(
+                                cycle,
+                                "blocked",
+                                seq=s,
+                                addr=addr[s],
+                                detail=f"store {oldest_unknown} unresolved",
+                            )
+                    continue  # parked loads re-release from the LSQ
+                a = addr[s]
+                seqs = sbyword_get(a & _WORD_MASK)
+                if seqs and seqs[0] < s:
+                    self._forwards_c.add()
+                    if trace is not None:
+                        trace.record(cycle, "forward", seq=s, addr=a)
+                    if not lean:
+                        st[s] = ISSUED
+                    ct[s] = cyc1
+                    if not lean or hc[s]:
+                        if slot1 is None:
+                            slot1 = wheel[cyc1] = [s]
+                        else:
+                            slot1.append(s)
+                    budget -= 1
+                    continue
+                complete = try_load(a)
+                if complete is None:
+                    defer(s)
+                    mem_stalled = in_order
+                    continue
+                if not lean:
+                    st[s] = ISSUED
+                if complete <= cyc1:
+                    ct[s] = cyc1
+                    if not lean or hc[s]:
+                        if slot1 is None:
+                            slot1 = wheel[cyc1] = [s]
+                        else:
+                            slot1.append(s)
+                else:
+                    ct[s] = complete
+                    if not lean or hc[s]:
+                        slot = wheel_get(complete)
+                        if slot is None:
+                            wheel[complete] = [s]
+                        else:
+                            slot.append(s)
+                if trace is not None:
+                    trace.record(
+                        cycle,
+                        "issue",
+                        seq=s,
+                        addr=a,
+                        bank=self._bank_of(a) if self._bank_of else None,
+                    )
+                budget -= 1
+            elif m == 2:
+                if not lean:
+                    st[s] = ISSUED
+                ct[s] = cyc1
+                if not lean or hc[s]:
+                    if slot1 is None:
+                        slot1 = wheel[cyc1] = [s]
+                    else:
+                        slot1.append(s)
+                budget -= 1
+            else:
+                total, pool, interval = route[op[s]]
+                if pool is not None:
+                    if pool.busy_until:
+                        available = pool.available(cycle)
+                    else:
+                        available = pool.count - pool.issued_this_cycle
+                    if available <= 0:
+                        self._fu_stall_c.add()
+                        if observer is not None:
+                            observer.accountant.note_fu_stall()
+                        defer(s)
+                        continue
+                    if interval > 1:
+                        heappush(pool.busy_until, cycle + interval)
+                    else:
+                        pool.issued_this_cycle += 1
+                if not lean:
+                    st[s] = ISSUED
+                if total == 1:
+                    ct[s] = cyc1
+                    if not lean or hc[s]:
+                        if slot1 is None:
+                            slot1 = wheel[cyc1] = [s]
+                        else:
+                            slot1.append(s)
+                else:
+                    t = cycle + total
+                    if t <= cycle:
+                        raise SimulationError(
+                            f"completion scheduled in the past ({t} <= {cycle})"
+                        )
+                    ct[s] = t
+                    if not lean or hc[s]:
+                        slot = wheel_get(t)
+                        if slot is None:
+                            wheel[t] = [s]
+                        else:
+                            slot.append(s)
+                budget -= 1
+        deferred.extend(rest)
+        for s in deferred:
+            if mem[s] == 1:
+                dl.append(s)
+            else:
+                dr.append(s)
+
+    def _flat_dispatch(self, cycle: int) -> None:
+        k = self._next
+        n = self._tlen
+        if k >= n:
+            return
+        occ = k - self._head
+        cap = self.ruu.size
+        lsq_size = self.lsq.size
+        lsq_occ = self._lsq_occ
+        lsq_peak = self._lsq_peak
+        observer = self._observer
+        trace = observer.trace if observer is not None else None
+        prep = self._p
+        mem = prep.mem
+        addr = prep.addr
+        rem = self._rem
+        rema = self._rema
+        st = self._st
+        load_append = self._ready_loads.append
+        rest_append = self._ready_rest.append
+        # Dispatch pushes strictly increasing seqs, so a plain append
+        # preserves the heap invariant of ``_unknown`` (every new element
+        # is >= its parent); heappush would sift in vain.
+        unknown_append = self._unknown.append
+        loads = self._loads
+        stores = self._stores
+        resolve = self._flat_resolve_store
+        limit = k + self._fetch_width
+        if limit > n:
+            limit = n
+        while k < limit:
+            if occ >= cap:
+                if observer is not None:
+                    observer.accountant.note_dispatch_block("ruu_full")
+                break
+            m = mem[k]
+            if m:
+                if lsq_occ >= lsq_size:
+                    if observer is not None:
+                        observer.accountant.note_dispatch_block("lsq_full")
+                    break
+                lsq_occ += 1
+                if lsq_occ > lsq_peak:
+                    lsq_peak = lsq_occ
+                if m == 2:
+                    stores += 1
+                    unknown_append(k)
+                    if rema[k] == 0:
+                        resolve(k)
+                else:
+                    loads += 1
+                if trace is not None:
+                    trace.record(cycle, "dispatch", seq=k, addr=addr[k])
+            if rem[k] == 0:
+                st[k] = READY
+                if m == 1:
+                    load_append(k)
+                else:
+                    rest_append(k)
+            k += 1
+            occ += 1
+        self._next = k
+        self._lsq_occ = lsq_occ
+        self._lsq_peak = lsq_peak
+        self._loads = loads
+        self._stores = stores
+
+    # -- LSQ on ints -------------------------------------------------------
+
+    def _flat_oldest_unknown(self) -> Optional[int]:
+        heap = self._unknown
+        resolved = self._resolved_stores
+        while heap and heap[0] in resolved:
+            resolved.discard(heappop(heap))
+        return heap[0] if heap else None
+
+    def _flat_resolve_store(self, s: int) -> None:
+        """Store ``s``'s effective address became known: index it for
+        forwarding and re-release the loads it was blocking."""
+        self._resolved_stores.add(s)
+        word = self._p.addr[s] & _WORD_MASK
+        existing = self._sbyword.get(word)
+        if existing is None:
+            self._sbyword[word] = [s]
+        else:
+            insort(existing, s)
+        self._sword[s] = word
+        if self._blocked:
+            self._flat_release_blocked()
+
+    def _flat_release_blocked(self) -> None:
+        """Re-release parked loads now older than every unknown store."""
+        blocked = self._blocked
+        oldest_unknown = self._flat_oldest_unknown()
+        if blocked and (oldest_unknown is None or blocked[0] < oldest_unknown):
+            st = self._st
+            load_append = self._ready_loads.append  # only loads park
+            while blocked and (
+                oldest_unknown is None or blocked[0] < oldest_unknown
+            ):
+                released = heappop(blocked)
+                st[released] = READY
+                load_append(released)
+
+    # -- event-horizon cycle skipping --------------------------------------
+
+    def _flat_skip(self) -> None:
+        if self._ready_loads or self._ready_rest:
+            return
+        head = self._head
+        nxt = self._next
+        if head >= nxt:
+            return
+        st = self._st
+        head_state = st[head]
+        if head_state == COMPLETED:
+            return
+        cycle = self.cycle
+        # The busy loop keeps consumer-less completions out of the wheel
+        # (they commit off ``_ctime``): the head's own completion is the
+        # one event the wheel may then be missing that must still cap
+        # the skip.  On the phased path ``_ctime`` stays _FAR and both
+        # checks are inert.
+        head_complete = self._ctime[head]
+        if head_complete <= cycle:
+            return
+        prep = self._p
+        n = self._tlen
+        occ = nxt - head
+        if nxt < n and occ < self.ruu.size and not (
+            prep.mem[nxt] and self._lsq_occ >= self.lsq.size
+        ):
+            return
+        wheel = self._wheel
+        horizon: Optional[int] = min(wheel) if wheel else None
+        if head_complete < _FAR and (
+            horizon is None or head_complete < horizon
+        ):
+            horizon = head_complete
+        fill = self.hierarchy.next_event_cycle()
+        if fill is not None and (horizon is None or fill < horizon):
+            horizon = fill
+        if self._ports_next_event is not None:
+            port_event = self._ports_next_event(cycle)
+            if port_event is not None and (
+                horizon is None or port_event < horizon
+            ):
+                horizon = port_event
+        deadline = self._deadline + 1
+        target = deadline if horizon is None else min(horizon, deadline)
+        skipped = target - cycle - 1
+        if skipped <= 0:
+            return
+        self.cycle = cycle + skipped
+        self.skipped_cycles += skipped
+        observer = self._observer
+        if observer is not None:
+            if nxt < n:
+                bucket = "ruu_full" if occ >= self.ruu.size else "lsq_full"
+            elif (
+                head_state == ISSUED
+                and prep.mem[head]
+                and self.hierarchy.mshrs.occupancy > 0
+            ):
+                bucket = "mshr_wait"
+            else:
+                bucket = "exec_wait"
+            observer.accountant.skip_cycles(skipped, bucket)
+            metrics = observer.metrics
+            if metrics is not None:
+                metrics.record_skip(
+                    skipped, occ, self._lsq_occ,
+                    self.hierarchy.mshrs.occupancy,
+                )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _flat_order_by_group(self, candidates: List[int]) -> List[int]:
+        """Seq-level twin of :meth:`Processor._order_by_group`."""
+        bank_of = self._bank_of
+        if bank_of is None:
+            return candidates
+        offset_bits = self._offset_bits
+        mem = self._p.mem
+        addr = self._p.addr
+        groups: Dict[Any, int] = {}
+        for s in candidates:
+            if mem[s] == 1:
+                a = addr[s]
+                if a >= 0:
+                    key = (bank_of(a), a >> offset_bits)
+                    groups[key] = groups.get(key, 0) + 1
+
+        def sort_key(s: int):
+            if mem[s] == 1:
+                a = addr[s]
+                if a >= 0:
+                    return (-groups[(bank_of(a), a >> offset_bits)], s)
+            return (0, s)
+
+        return sorted(candidates, key=sort_key)

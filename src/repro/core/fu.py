@@ -97,20 +97,31 @@ class FuPools:
     def latency(self, opclass: OpClass) -> int:
         return self._timings[opclass].total
 
+    def route_for(self, opclass: OpClass) -> tuple:
+        """The ``(pool, issue interval, total latency)`` route of a
+        non-memory class.  The flat-array backend resolves routes once
+        per run and talks to the pools directly; memory classes raise,
+        as in :meth:`try_issue`."""
+        route = self._route.get(opclass)
+        if route is None:
+            raise SimulationError("memory ops are issued through the port model")
+        return route
+
+    def note_structural_stall(self) -> None:
+        """Record one structural (no free unit) issue failure."""
+        self._structural_stalls.add()
+        if self._observer is not None:
+            self._observer.accountant.note_fu_stall()
+
     def try_issue(self, opclass: OpClass, cycle: int) -> int:
         """Issue one op of ``opclass``; return its completion cycle, or -1.
 
         Memory operations must not be issued here — their timing comes
         from the cache.
         """
-        route = self._route.get(opclass)
-        if route is None:
-            raise SimulationError("memory ops are issued through the port model")
-        pool, issue, total = route
+        pool, issue, total = self.route_for(opclass)
         if pool.available(cycle) <= 0:
-            self._structural_stalls.add()
-            if self._observer is not None:
-                self._observer.accountant.note_fu_stall()
+            self.note_structural_stall()
             return -1
         pool.reserve(cycle, issue)
         return cycle + total

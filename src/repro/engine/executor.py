@@ -71,6 +71,12 @@ class WorkUnit:
     #: result satisfies a plain observed request (the engine re-runs
     #: only when metrics are requested and the cached entry lacks them).
     metrics: bool = False
+    #: the timing core that executes the unit (see
+    #: :mod:`repro.core.backends`).  Backends are bit-identical by
+    #: contract, so like ``metrics`` this is *not* part of the cache
+    #: key: a cached result satisfies the unit regardless of which
+    #: backend produced it.
+    backend: str = "object"
 
     @classmethod
     def build(
@@ -90,6 +96,7 @@ class WorkUnit:
             trace_capacity=settings.trace_capacity,
             trace_sample=settings.trace_sample,
             metrics=settings.metrics,
+            backend=settings.backend,
         )
 
     @property
@@ -118,12 +125,14 @@ class WorkUnit:
         """JSON-safe form shipped to worker processes.
 
         Carries the knobs that ride *outside* the fingerprint (metrics,
-        and the amortization flags the engine adds): they change how the
-        run executes or what extras it carries, never the timing result.
+        the backend, and the amortization flags the engine adds): they
+        change how the run executes or what extras it carries, never the
+        timing result.
         """
         data = self.key()
         data["label"] = self.label
         data["metrics"] = self.metrics
+        data["backend"] = self.backend
         return data
 
     def satisfied_by(self, result: SimResult) -> bool:
@@ -142,6 +151,11 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     the shared materialized trace and warm-up restores from a checkpoint
     (see :mod:`repro.engine.amortize`) — an execution strategy, not part
     of the unit's identity, so the result is bit-identical either way.
+
+    ``backend`` selects the timing core (:mod:`repro.core.backends`);
+    column-consuming backends (the array kernel) replay materialized
+    traces as cached flat columns instead of per-instruction objects —
+    again a pure execution strategy with a bit-identical result.
 
     The outcome carries a ``phases`` dict — worker-side wall-clock spans
     (``materialize`` / ``warmup`` / ``simulate``) that the engine's
@@ -165,7 +179,16 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             )
         metrics = MetricsCollector() if payload.get("metrics") else None
         observer = Observer(trace=trace, metrics=metrics)
-    processor = Processor(machine, label=payload["label"], observer=observer)
+    backend = payload.get("backend", "object")
+    if backend == "object":
+        processor_cls = Processor
+    else:
+        from ..common.registry import mechanism
+
+        processor_cls = mechanism("backend", backend)
+    processor = processor_cls(
+        machine, label=payload["label"], observer=observer
+    )
     warmup = payload["warmup_instructions"]
     if payload.get("amortize"):
         from .amortize import get_trace, get_warm_state
@@ -186,9 +209,15 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             warm_state, _ = get_warm_state(materialized, warmup, machine)
             warmed = warm_state["warmed"]
             phases["warmup"] = time.perf_counter() - mark
+        if getattr(processor_cls, "CONSUMES_COLUMNS", False):
+            # Flat columns are cached on the materialized trace, so one
+            # trace shared across a sweep pays the conversion once.
+            stream = materialized.column_span(warmed)
+        else:
+            stream = materialized.suffix(warmed)
         start = time.perf_counter()
         result = processor.run(
-            materialized.suffix(warmed),
+            stream,
             max_instructions=payload["instructions"],
             warmup_instructions=warmup,
             warm_state=warm_state,

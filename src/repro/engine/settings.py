@@ -8,11 +8,17 @@ works (``from repro.experiments.runner import RunSettings``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Tuple
 
 from ..common.serialize import fingerprint_of
 from ..workloads.spec95 import ALL_NAMES
+
+
+def _default_backend() -> str:
+    """``$REPRO_BACKEND`` when set, else the object reference backend."""
+    return os.environ.get("REPRO_BACKEND") or "object"
 
 
 @dataclass(frozen=True)
@@ -53,11 +59,24 @@ class RunSettings:
     #: stay interchangeable (a metrics-carrying result satisfies a plain
     #: observed request; the reverse triggers one re-simulation).
     metrics: bool = False
+    #: which timing core executes every run: ``"object"`` (the readable
+    #: reference implementation) or ``"array"`` (the flat-array kernel;
+    #: see :mod:`repro.core.backends`).  Backends are bit-identical by
+    #: contract, so like :attr:`metrics` this rides the work-unit
+    #: *payload*, not its fingerprint — cached results stay
+    #: interchangeable across backends.  Defaults to ``$REPRO_BACKEND``
+    #: when set, else ``object``.
+    backend: str = field(default_factory=_default_backend)
 
     def __post_init__(self) -> None:
         unknown = set(self.benchmarks) - set(ALL_NAMES)
         if unknown:
             raise ValueError(f"unknown benchmarks: {sorted(unknown)}")
+        # Resolve through the registry so a typo fails here, naming the
+        # registered backends, not deep inside a worker process.
+        from ..common.registry import mechanism
+
+        mechanism("backend", self.backend)
         if self.trace_capacity < 1:
             raise ValueError("trace_capacity must be >= 1")
         if self.trace_sample < 1:
@@ -76,6 +95,7 @@ class RunSettings:
             "trace_capacity": self.trace_capacity,
             "trace_sample": self.trace_sample,
             "metrics": self.metrics,
+            "backend": self.backend,
         }
 
     def fingerprint(self) -> str:

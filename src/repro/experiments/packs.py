@@ -64,7 +64,9 @@ REPORT_METRICS = {
 }
 
 #: settings keys a pack (and its ``quick`` overlay) may set.
-_SETTINGS_KEYS = ("instructions", "warmup_instructions", "seed", "observe")
+_SETTINGS_KEYS = (
+    "instructions", "warmup_instructions", "seed", "observe", "backend",
+)
 
 
 def pack_dir() -> Path:
@@ -286,6 +288,7 @@ def run_pack(
     pack: ExperimentPack,
     engine: Optional[SimulationEngine] = None,
     quick: bool = False,
+    backend: Optional[str] = None,
 ) -> PackRunOutcome:
     """Execute ``pack`` through the engine and shape the results.
 
@@ -293,9 +296,14 @@ def run_pack(
     settings; a caller-provided engine is used as-is except that its
     settings are replaced by the pack's (budget and workloads are the
     pack's to define — cache, jobs, store and telemetry stay the
-    caller's).
+    caller's).  ``backend`` overrides the pack's timing core (the CLI's
+    ``--backend`` flag); results are bit-identical either way.
     """
     settings = pack.run_settings(quick=quick)
+    if backend is not None:
+        from dataclasses import replace
+
+        settings = replace(settings, backend=backend)
     if engine is None:
         engine = SimulationEngine(settings)
     else:

@@ -1,0 +1,276 @@
+"""Fused L1 demand-access path for the flat-array backend.
+
+The object backend reaches the data cache through the layered protocol
+(:meth:`PortModel.try_load` -> ``_try_access`` -> ``_access_hierarchy``
+-> :meth:`MemoryHierarchy.access` -> :meth:`CacheArray.reference_hit`):
+five call frames and one :class:`AccessOutcome` allocation per access.
+Those layers are the right interface for a model that is read and
+extended; they are pure overhead in the hit-dominated busy loops the
+array backend exists to accelerate.
+
+:func:`build_fast_paths` collapses that chain into a :class:`FusedL1`
+bundle.  It carries three layers of fusion, from coarse to fine:
+
+* ``try_load`` / ``try_store`` / ``begin_cycle`` / ``end_cycle`` —
+  drop-in closures over the port, one call per access or cycle;
+* ``load_miss`` / ``store_miss`` — the miss chain alone (MSHR merge,
+  MSHR-full refusal, primary allocate via the fill backend), with *no*
+  port acceptance bookkeeping, so a caller that inlines the hit scan
+  and tracks port occupancy in locals can fall through to them;
+* the raw scan constants (``sets``, ``tag_shift``, ``hit_latency``,
+  the LRU policy, the counter cells) for that inline caller — the flat
+  kernel's busy loop hoists these into locals and performs the hit path
+  with zero calls, deferring counter flushes to the end of the run.
+
+A fused closure (or the inlined scan) mutates exactly the state the
+layered path would — the replacement-policy stamp, the dirty bit, the
+cache / hierarchy / port counters — so equivalence holds structurally:
+each access either reproduces the layered bookkeeping verbatim or
+defers to the reference implementation.
+
+The closures assume the flat kernel's calling discipline, which is the
+same discipline the object scheduler follows:
+
+* ``begin_cycle`` / ``end_cycle`` still frame every cycle (the inline
+  caller reproduces their effect in locals);
+* no load is offered after a load refusal in the same cycle (the
+  kernel's ``mem_stalled`` flag enforces the in-order close, so the
+  port's ``_closed`` latch never carries information on these models);
+* stores are offered at commit, before any load issues (the phase
+  order), so a store never observes a closed port.
+
+An attached observer disables the fast path entirely — refusals must
+then flow through ``_refuse`` for stall accounting and trace events —
+and so does any L1 configuration other than writeback + write-allocate
+(the only combination whose hit path is fused here).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from .replacement import LruPolicy
+
+
+class FusedL1:
+    """The fused-access bundle :func:`build_fast_paths` returns.
+
+    Closure attributes (``try_load`` .. ``store_miss``) are documented
+    in the module docstring; the remaining attributes are the hoisted
+    scan constants and counter cells for callers that inline the hit
+    path themselves.  ``lru`` is the exact-LRU policy instance when the
+    two-store stamp specialization applies, else ``None`` (use
+    ``policy_hit``).
+    """
+
+    __slots__ = (
+        "try_load", "try_store", "begin_cycle", "end_cycle",
+        "load_miss", "store_miss",
+        "port", "port_count", "refusals", "occupancy_counts",
+        "sets", "offset_bits", "index_mask", "tag_shift", "hit_latency",
+        "lru", "policy_hit",
+        "accesses", "hits", "cache_hits", "store_accesses",
+    )
+
+
+def build_fast_paths(port) -> Optional[FusedL1]:
+    """Fused access bundle for a single-structure port model.
+
+    ``port`` must arbitrate with a plain accepted-count-vs-port-count
+    check (the ideal model; ``port._port_count`` is its hoisted limit).
+    Returns ``None`` whenever the fused path could diverge from the
+    layered one — observer attached, or a non-default L1 write policy.
+
+    ``begin_cycle`` drops the base class's monotonicity guard (the flat
+    kernel's clock only moves forward) and ``end_cycle`` inlines the
+    busy-cycle/occupancy bookkeeping; both otherwise mutate exactly the
+    state the layered protocol would.
+    """
+    if port._observer is not None:
+        return None
+    hierarchy = port.hierarchy
+    config = hierarchy.l1_config
+    if not (config.writeback and config.write_allocate):
+        return None
+    l1 = hierarchy.l1_array
+    policy = l1._policy
+    # Exact LRU (the default) inlines to two attribute stores; any other
+    # policy keeps its fused `hit` call.
+    lru = policy if type(policy) is LruPolicy else None
+    policy_hit = policy.hit
+    sets = l1._sets
+    offset_bits = l1._offset_bits
+    index_mask = l1._index_mask
+    tag_shift = offset_bits + l1._index_bits
+    hit_latency = config.hit_latency
+    cache_hits = l1._hits
+    accesses = hierarchy._accesses
+    hits = hierarchy._hits
+    store_accesses = hierarchy._store_accesses
+    primary_misses = hierarchy._primary_misses
+    secondary_misses = hierarchy._secondary_misses
+    mshr_refusal_c = hierarchy._mshr_refusals
+    mshrs = hierarchy.mshrs
+    mshr_pending = mshrs._pending
+    mshr_lookup = mshr_pending.get
+    mshr_entries = mshrs.entries
+    mshr_allocate = mshrs.allocate
+    merges_add = mshrs._merges.add
+    request_fill = hierarchy.backend.request_fill
+    refusals = port._refusal_counts
+    port_count = port._port_count
+    slow_load = port.try_load
+    slow_store = port.try_store
+
+    def load_miss(addr: int) -> Optional[int]:
+        """Miss chain for a load whose set scan came up empty: same
+        transitions and counters as the layered chain (hierarchy.access
+        and the MSHR file), minus the re-scan, the AccessOutcome, and
+        the port acceptance bookkeeping (the caller owns that).  The
+        in-order close latch stays unset — the kernel's bulk defer
+        means no later load is offered this cycle (module docstring)."""
+        line_addr = addr >> offset_bits
+        mshr = mshr_lookup(line_addr)
+        if mshr is not None:  # secondary miss: merge into the fill
+            mshr.merged_requests += 1
+            merges_add()
+            accesses.value += 1
+            secondary_misses.value += 1
+            complete = mshr.fill_cycle
+            floor = port._cycle + hit_latency
+            if complete < floor:
+                complete = floor
+            return complete
+        if len(mshr_pending) >= mshr_entries:
+            mshr_refusal_c.value += 1
+            refusals["mshr_full"] += 1
+            return None
+        fill_cycle = request_fill(addr, port._cycle + hit_latency, False)
+        mshr_allocate(line_addr, fill_cycle, False)
+        accesses.value += 1
+        primary_misses.value += 1
+        return fill_cycle
+
+    def store_miss(addr: int) -> bool:
+        """Miss chain for a store (write-allocate + writeback, checked
+        at build): merge into or allocate a dirty fill.  Port
+        acceptance bookkeeping is the caller's, as for `load_miss`."""
+        line_addr = addr >> offset_bits
+        mshr = mshr_lookup(line_addr)
+        if mshr is not None:  # secondary miss
+            mshr.merged_requests += 1
+            mshr.is_write = True
+            merges_add()
+            accesses.value += 1
+            secondary_misses.value += 1
+            store_accesses.value += 1
+            return True
+        if len(mshr_pending) >= mshr_entries:
+            mshr_refusal_c.value += 1
+            refusals["mshr_full"] += 1
+            return False
+        fill_cycle = request_fill(addr, port._cycle + hit_latency, True)
+        mshr_allocate(line_addr, fill_cycle, True)
+        accesses.value += 1
+        primary_misses.value += 1
+        store_accesses.value += 1
+        return True
+
+    def fast_load(addr: int) -> Optional[int]:
+        if port._ports_used >= port_count:
+            refusals["port_limit"] += 1
+            return None
+        if addr < 0:
+            return slow_load(addr)  # raises through the layered path
+        tag = addr >> tag_shift
+        for way in sets[(addr >> offset_bits) & index_mask]:
+            if way.valid and way.tag == tag:
+                if lru is not None:
+                    tick = lru._tick + 1
+                    lru._tick = tick
+                    way.lru = tick
+                else:
+                    policy_hit(way)
+                cache_hits.value += 1
+                accesses.value += 1
+                hits.value += 1
+                port._ports_used += 1
+                port._n_loads += 1
+                port._accepted_this_cycle += 1
+                return port._cycle + hit_latency
+        complete = load_miss(addr)
+        if complete is None:
+            return None
+        port._ports_used += 1
+        port._n_loads += 1
+        port._accepted_this_cycle += 1
+        return complete
+
+    def fast_store(addr: int) -> bool:
+        if port._ports_used >= port_count:
+            refusals["port_limit"] += 1
+            return False
+        if addr < 0:
+            return slow_store(addr)  # raises through the layered path
+        tag = addr >> tag_shift
+        for way in sets[(addr >> offset_bits) & index_mask]:
+            if way.valid and way.tag == tag:
+                if lru is not None:
+                    tick = lru._tick + 1
+                    lru._tick = tick
+                    way.lru = tick
+                else:
+                    policy_hit(way)
+                way.dirty = True  # writeback policy, checked at build
+                cache_hits.value += 1
+                accesses.value += 1
+                hits.value += 1
+                store_accesses.value += 1
+                port._ports_used += 1
+                port._n_stores += 1
+                port._accepted_this_cycle += 1
+                return True
+        if not store_miss(addr):
+            return False
+        port._ports_used += 1
+        port._n_stores += 1
+        port._accepted_this_cycle += 1
+        return True
+
+    occupancy_counts = port._occupancy_counts
+
+    def fast_begin(cycle: int) -> None:
+        port._cycle = cycle
+        port._accepted_this_cycle = 0
+        port._closed = False
+        port._ports_used = 0
+
+    def fast_end() -> None:
+        accepted = port._accepted_this_cycle
+        if accepted:
+            port._n_busy_cycles += 1
+            occupancy_counts[accepted] = occupancy_counts.get(accepted, 0) + 1
+
+    fused = FusedL1()
+    fused.try_load = fast_load
+    fused.try_store = fast_store
+    fused.begin_cycle = fast_begin
+    fused.end_cycle = fast_end
+    fused.load_miss = load_miss
+    fused.store_miss = store_miss
+    fused.port = port
+    fused.port_count = port_count
+    fused.refusals = refusals
+    fused.occupancy_counts = occupancy_counts
+    fused.sets = sets
+    fused.offset_bits = offset_bits
+    fused.index_mask = index_mask
+    fused.tag_shift = tag_shift
+    fused.hit_latency = hit_latency
+    fused.lru = lru
+    fused.policy_hit = policy_hit
+    fused.accesses = accesses
+    fused.hits = hits
+    fused.cache_hits = cache_hits
+    fused.store_accesses = store_accesses
+    return fused

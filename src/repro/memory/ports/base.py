@@ -218,6 +218,17 @@ class PortModel(abc.ABC):
         """Whether buffered work remains (LBIC store queues); default no."""
         return False
 
+    def fast_paths(self):
+        """Fused ``(try_load, try_store)`` callables for observer-less
+        busy loops, or ``None`` to use the layered methods.
+
+        See :mod:`repro.memory.fastpath`.  The default is to decline:
+        only models whose arbitration is a plain accepted-count check
+        (the ideal model) opt in; everything else keeps the layered
+        path, whose cost is dominated by real arbitration work anyway.
+        """
+        return None
+
     def next_event_cycle(self, cycle: int) -> Optional[int]:
         """Earliest future cycle at which this model acts *on its own*.
 

@@ -34,6 +34,11 @@ class IdealMultiPorted(PortModel):
     def _reset_cycle_state(self) -> None:
         self._ports_used = 0
 
+    def fast_paths(self):
+        from ..fastpath import build_fast_paths
+
+        return build_fast_paths(self)
+
     def _try_access(self, addr: int, is_store: bool) -> Optional[int]:
         if self._ports_used >= self._port_count:
             self._refuse("port_limit", addr)

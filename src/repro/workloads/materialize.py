@@ -136,6 +136,21 @@ class MaterializedWorkload(Workload):
         prefix).  Plain list slicing: O(1) to begin, no regeneration."""
         return iter(self.instructions[start:])
 
+    def column_span(self, start: int = 0):
+        """The trace as flat columns, positioned at instruction ``start``
+        (the array backend's replay form; see
+        :class:`repro.core.flat.TraceColumns`).  The columns are built
+        once per trace and cached, so a sweep sharing this trace pays
+        the conversion a single time.  Imported lazily — plain replay
+        never touches the flat kernel."""
+        columns = getattr(self, "_columns", None)
+        if columns is None:
+            from ..core.flat import TraceColumns
+
+            columns = TraceColumns.from_instructions(self.instructions)
+            self._columns = columns
+        return columns.span(start)
+
 
 def materialize(
     workload: Workload, seed: int, length: int

@@ -1,0 +1,170 @@
+"""The array backend's contract: bit-identical to the object backend.
+
+The flat-array kernel (:class:`repro.core.flat.FlatProcessor`) is an
+execution strategy, not a different machine: for every port model,
+workload, and observability mode its :class:`SimResult` — every field,
+the stall attribution, the utilization metrics — must equal the object
+backend's exactly.  These tests pin that contract across:
+
+* the port-model matrix (ideal/replicated/banked/LBIC), with and
+  without an observer (the fused L1 path only engages observer-less,
+  so both code paths are pinned);
+* the miss-heavy + slow-memory pattern that exercises cycle skipping;
+* the stdlib fallback (``REPRO_NO_NUMPY=1``), which must agree with
+  both the NumPy prep and the object backend;
+* stall attribution's sum-to-cycles invariant and metrics payloads;
+* the registry plumbing (``backend`` mechanism category).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import (
+    BankedPortConfig,
+    IdealPortConfig,
+    LBICConfig,
+    MainMemoryConfig,
+    ReplicatedPortConfig,
+    paper_machine,
+)
+from repro.common.errors import ConfigError
+from repro.common.registry import mechanism, mechanism_names
+from repro.core.backends import default_backend, processor_class
+from repro.core.flat import FlatProcessor, TraceColumns, numpy_or_none
+from repro.core.processor import Processor
+from repro.obs import Observer, verify_stall_invariant
+from repro.workloads import miss_heavy_mix, spec95_workload
+
+N = 3_000
+
+PORT_CONFIGS = {
+    "ideal:1": IdealPortConfig(1),
+    "ideal:4": IdealPortConfig(4),
+    "repl:2": ReplicatedPortConfig(2),
+    "bank:4": BankedPortConfig(banks=4),
+    "lbic:2x2": LBICConfig(banks=2, buffer_ports=2),
+    "lbic:4x4": LBICConfig(banks=4, buffer_ports=4),
+}
+
+_STREAMS = {}
+
+
+def stream_for(name):
+    if name not in _STREAMS:
+        mix = miss_heavy_mix() if name == "miss_heavy" else spec95_workload(name)
+        _STREAMS[name] = list(mix.stream(seed=7, max_instructions=N))
+    return _STREAMS[name]
+
+
+def run_one(cls, workload, config, observed=False, metrics=False, **kwargs):
+    observer = None
+    if metrics:
+        observer = Observer.with_metrics()
+    elif observed:
+        observer = Observer()
+    processor = cls(config, observer=observer, **kwargs)
+    result = processor.run(iter(stream_for(workload)), max_instructions=N)
+    data = result.to_dict()
+    if observer is not None:
+        data["stalls"] = observer.accountant.all_cycles()
+    return data
+
+
+@pytest.mark.parametrize("ports", sorted(PORT_CONFIGS))
+@pytest.mark.parametrize("workload", ["gcc", "swim", "li"])
+def test_array_backend_is_bit_identical(workload, ports):
+    config = paper_machine(PORT_CONFIGS[ports])
+    for observed in (False, True):
+        expected = run_one(Processor, workload, config, observed=observed)
+        actual = run_one(FlatProcessor, workload, config, observed=observed)
+        assert actual == expected, f"{workload} x {ports} obs={observed}"
+
+
+def test_array_backend_matches_on_miss_heavy_slow_memory():
+    config = replace(
+        paper_machine(IdealPortConfig(4)),
+        memory=MainMemoryConfig(access_latency=200),
+    )
+    for observed in (False, True):
+        expected = run_one(Processor, "miss_heavy", config, observed=observed)
+        actual = run_one(FlatProcessor, "miss_heavy", config, observed=observed)
+        assert actual == expected
+
+
+def test_array_backend_stalls_sum_to_cycles():
+    config = paper_machine(LBICConfig(banks=4, buffer_ports=4))
+    data = run_one(FlatProcessor, "swim", config, observed=True)
+    verify_stall_invariant(data["stalls"], data["cycles"])
+
+
+def test_array_backend_metrics_payloads_match():
+    config = paper_machine(LBICConfig(banks=4, buffer_ports=4))
+    expected = run_one(Processor, "swim", config, metrics=True)
+    actual = run_one(FlatProcessor, "swim", config, metrics=True)
+    assert actual == expected
+
+
+def test_array_backend_matches_without_cycle_skipping():
+    config = paper_machine(IdealPortConfig(4))
+    expected = run_one(Processor, "swim", config, cycle_skipping=False)
+    actual = run_one(FlatProcessor, "swim", config, cycle_skipping=False)
+    assert actual == expected
+
+
+def test_column_replay_matches_stream_replay():
+    """TraceColumns / ColumnSpan inputs (the engine's amortized form)
+    reproduce the iterator path exactly, including a positioned span."""
+    config = paper_machine(IdealPortConfig(4))
+    stream = stream_for("swim")
+    expected = FlatProcessor(config).run(
+        iter(stream), max_instructions=N
+    ).to_dict()
+    columns = TraceColumns.from_instructions(stream)
+    actual = FlatProcessor(config).run(columns, max_instructions=N).to_dict()
+    assert actual == expected
+
+    timed = 2_000
+    start = N - timed
+    tail_expected = Processor(paper_machine(IdealPortConfig(4))).run(
+        iter(stream[start:]), max_instructions=timed
+    ).to_dict()
+    tail_actual = FlatProcessor(paper_machine(IdealPortConfig(4))).run(
+        columns.span(start), max_instructions=timed
+    ).to_dict()
+    assert tail_actual == tail_expected
+
+
+def test_stdlib_fallback_matches_numpy_prep(monkeypatch):
+    """``REPRO_NO_NUMPY=1`` forces the ``array``-module prep; results
+    must be identical to the NumPy prep and the object backend."""
+    config = paper_machine(LBICConfig(banks=4, buffer_ports=4))
+    reference = run_one(Processor, "gcc", config)
+    with_numpy = run_one(FlatProcessor, "gcc", config)
+
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    assert numpy_or_none() is None
+    fallback = run_one(FlatProcessor, "gcc", config)
+    assert fallback == reference
+    assert fallback == with_numpy
+
+
+def test_backend_registry_resolves_both_backends():
+    assert mechanism("backend", "object") is Processor
+    assert mechanism("backend", "array") is FlatProcessor
+    assert processor_class("array") is FlatProcessor
+    assert set(mechanism_names("backend")) >= {"object", "array"}
+
+
+def test_backend_registry_rejects_unknown_names():
+    with pytest.raises(ConfigError, match="array"):
+        mechanism("backend", "no-such-backend")
+
+
+def test_default_backend_follows_environment(monkeypatch):
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    assert default_backend() == "object"
+    monkeypatch.setenv("REPRO_BACKEND", "array")
+    assert default_backend() == "array"

@@ -1,0 +1,129 @@
+"""Backend selection through the engine: payload-not-fingerprint.
+
+The ``backend`` setting rides the work-unit payload — never the cache
+key — because backends are bit-identical by contract.  These tests pin
+the consequences: identical results across backends in every execution
+mode (inline, process pool, amortized, cache-restored), fingerprints
+that do not move with the backend, and cached results that satisfy
+requests from either backend without re-simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import IdealPortConfig, LBICConfig, paper_machine
+from repro.engine import ResultStore, RunSettings, SimulationEngine, WorkUnit
+
+BACKENDS = ("object", "array")
+
+CONFIGS = [IdealPortConfig(ports=4), LBICConfig(banks=4, buffer_ports=2)]
+
+
+def settings_for(backend, **overrides):
+    values = dict(
+        instructions=1_500,
+        warmup_instructions=500,
+        benchmarks=("swim", "gcc"),
+        backend=backend,
+    )
+    values.update(overrides)
+    return RunSettings(**values)
+
+
+def all_units(engine):
+    return [
+        engine.unit(name, ports=config)
+        for name in engine.settings.benchmarks
+        for config in CONFIGS
+    ]
+
+
+def as_dicts(results):
+    return [r.to_dict() for r in results]
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_backends_agree_through_the_engine(jobs):
+    """Inline and process-pool execution produce identical results on
+    both backends (the pool ships the backend in the payload)."""
+    reference = None
+    for backend in BACKENDS:
+        engine = SimulationEngine(settings_for(backend), jobs=jobs)
+        results = as_dicts(engine.run_units(all_units(engine)))
+        if reference is None:
+            reference = results
+        else:
+            assert results == reference, f"backend={backend} jobs={jobs}"
+
+
+@pytest.mark.parametrize("metrics", [False, True])
+def test_backends_agree_with_observability(metrics):
+    """Stall attribution (and metrics payloads) agree across backends
+    through the engine's observed path."""
+    outcomes = []
+    for backend in BACKENDS:
+        engine = SimulationEngine(
+            settings_for(backend, observe=True, metrics=metrics), jobs=1
+        )
+        result = engine.result("swim", ports=LBICConfig(banks=4, buffer_ports=2))
+        assert "stalls" in result.extra
+        if metrics:
+            assert "metrics" in result.extra
+        outcomes.append(result.to_dict())
+    assert outcomes[0] == outcomes[1]
+
+
+def test_backend_rides_payload_not_fingerprint():
+    machine = paper_machine(IdealPortConfig(4))
+    units = {
+        backend: WorkUnit.build("swim", machine, settings_for(backend))
+        for backend in BACKENDS
+    }
+    assert units["object"].fingerprint == units["array"].fingerprint
+    assert "backend" not in units["object"].key()
+    for backend, unit in units.items():
+        assert unit.payload()["backend"] == backend
+
+
+def test_cached_results_are_interchangeable_across_backends(tmp_path):
+    """A result simulated by one backend satisfies the other's request
+    straight from the store — no re-simulation."""
+    store = ResultStore(tmp_path / "cache")
+    cold = SimulationEngine(settings_for("array"), jobs=1, store=store)
+    cold_results = as_dicts(cold.run_units(all_units(cold)))
+    assert cold.cache_summary()["simulated"] == len(CONFIGS) * 2
+
+    warm = SimulationEngine(settings_for("object"), jobs=1, store=store)
+    warm_results = as_dicts(warm.run_units(all_units(warm)))
+    assert warm_results == cold_results
+    summary = warm.cache_summary()
+    assert summary["simulated"] == 0
+    assert summary["disk_hits"] == len(CONFIGS) * 2
+
+
+def test_amortized_and_fresh_agree_on_the_array_backend():
+    """The amortized path hands the array backend cached column spans;
+    the fresh path regenerates per-instruction streams.  Same results."""
+    amortized = SimulationEngine(settings_for("array"), jobs=1, amortize=True)
+    fresh = SimulationEngine(settings_for("array"), jobs=1, amortize=False)
+    a = as_dicts(amortized.run_units(all_units(amortized)))
+    b = as_dicts(fresh.run_units(all_units(fresh)))
+    assert a == b
+
+
+def test_no_numpy_worker_results_are_identical(monkeypatch):
+    """The forced stdlib fallback agrees with the NumPy prep through
+    the whole engine path (workers inherit the environment)."""
+    engine = SimulationEngine(settings_for("array"), jobs=1)
+    expected = as_dicts(engine.run_units(all_units(engine)))
+
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    fallback_engine = SimulationEngine(settings_for("array"), jobs=1)
+    actual = as_dicts(fallback_engine.run_units(all_units(fallback_engine)))
+    assert actual == expected
+
+
+def test_settings_reject_unknown_backend():
+    with pytest.raises(Exception, match="backend"):
+        RunSettings(backend="no-such-backend")

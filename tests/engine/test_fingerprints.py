@@ -78,6 +78,7 @@ def test_machine_fingerprint_survives_json_round_trip():
 _STRING_CANDIDATES = (
     "xor-fold", "fibonacci", "bit-select", "word", "line",
     "largest-group", "leading-request", "random", "multi_step_lru",
+    "array", "object",
 )
 
 

@@ -20,9 +20,11 @@ tracks what a Table 3 regeneration actually costs.
 
 ``--check-regression`` compares this run against the most recent
 *comparable* record already in the file (same quick flag, instruction
-count, and cycle-skipping setting) and exits non-zero if any shared case
-got more than ``--threshold`` (default 30%) slower — the CI speed-smoke
-gate.  ``--no-skip`` disables event-horizon cycle skipping to measure
+count, backend, and cycle-skipping setting) and exits non-zero if any
+shared case got more than ``--threshold`` (default 30%) slower — the CI
+speed-smoke gate.  ``--backend array`` runs the grid on the flat-array
+kernel (results are bit-identical to the object backend; records gate
+only against other records of the same backend).  ``--no-skip`` disables event-horizon cycle skipping to measure
 the per-cycle baseline (results are bit-identical either way; only the
 wall-clock differs).
 
@@ -77,8 +79,13 @@ PORT_MODELS = {
 MISS_HEAVY_MEMORY = MainMemoryConfig(access_latency=200)
 
 FULL_WORKLOADS = ["gcc", "swim", "li", "miss_heavy"]
+#: the quick set covers the busy configurations the array backend is
+#: built for (gcc/swim at 4 ports, both ideal and LBIC 4x4) plus the
+#: idle-dominated miss_heavy pattern where cycle skipping matters most.
 QUICK_CASES = [
     ("gcc", "ideal:4"),
+    ("swim", "ideal:4"),
+    ("gcc", "lbic:4x4"),
     ("swim", "lbic:4x4"),
     ("miss_heavy", "ideal:4"),
 ]
@@ -111,8 +118,19 @@ def bench_case(
     rounds: int,
     cycle_skipping: bool,
     metrics: bool = False,
+    backend: str = "object",
 ) -> Dict[str, object]:
+    from repro.common.registry import mechanism
+
+    processor_cls = mechanism("backend", backend)
     stream = make_stream(workload, instructions, seed)
+    source = None
+    if getattr(processor_cls, "CONSUMES_COLUMNS", False):
+        # Column conversion happens outside the timed region, the same
+        # way the engine's amortized sweeps share one conversion.
+        from repro.core.flat import TraceColumns
+
+        source = TraceColumns.from_instructions(stream)
     config = make_config(workload, ports)
     best = 0.0
     cycles = skipped = 0
@@ -122,11 +140,12 @@ def bench_case(
             from repro.obs import Observer
 
             observer = Observer.with_metrics()
-        processor = Processor(
+        processor = processor_cls(
             config, cycle_skipping=cycle_skipping, observer=observer
         )
+        replay = source if source is not None else iter(stream)
         start = time.perf_counter()
-        result = processor.run(iter(stream), max_instructions=instructions)
+        result = processor.run(replay, max_instructions=instructions)
         elapsed = time.perf_counter() - start
         best = max(best, result.instructions / elapsed)
         cycles = result.cycles
@@ -134,6 +153,7 @@ def bench_case(
     return {
         "workload": workload,
         "ports": ports,
+        "backend": backend,
         "instr_per_sec": round(best, 1),
         "cycles": cycles,
         "skipped_cycles": skipped,
@@ -146,6 +166,7 @@ def bench_sweep(
     warmup: int,
     seed: int,
     jobs: int,
+    backend: str = "object",
 ) -> List[Dict[str, object]]:
     """Wall time for one full port-model sweep, amortized vs fresh.
 
@@ -161,6 +182,7 @@ def bench_sweep(
         warmup_instructions=warmup,
         seed=seed,
         benchmarks=tuple(workloads),
+        backend=backend,
     )
     total_instructions = instructions * len(workloads) * len(PORT_MODELS)
     cases = []
@@ -190,7 +212,7 @@ def bench_sweep(
     return cases
 
 
-def bench_pack(name: str, quick: bool, jobs: int):
+def bench_pack(name: str, quick: bool, jobs: int, backend: str = "object"):
     """Wall time for one end-to-end experiment-pack run.
 
     The pack defines its own budget, workloads and variant grid
@@ -206,7 +228,7 @@ def bench_pack(name: str, quick: bool, jobs: int):
     settings = pack.run_settings(quick=quick)
     engine = SimulationEngine(settings, jobs=jobs, store=None)
     start = time.perf_counter()
-    run_pack(pack, engine=engine, quick=quick)
+    run_pack(pack, engine=engine, quick=quick, backend=backend)
     wall = time.perf_counter() - start
     clear_registries()
     units = len(settings.benchmarks) * len(pack.variants)
@@ -247,10 +269,22 @@ def load_history(path: Path) -> List[dict]:
 
 def find_baseline(history: List[dict], record: dict) -> Optional[dict]:
     """Most recent prior record with the same measurement conditions."""
-    keys = ("quick", "instructions", "cycle_skipping", "sweep", "metrics", "pack")
+    # records written before a key existed read as the key's historical
+    # default (flags unset, the object backend)
+    keys = {
+        "quick": False,
+        "instructions": False,
+        "cycle_skipping": False,
+        "sweep": False,
+        "metrics": False,
+        "pack": False,
+        "backend": "object",
+    }
     for prior in reversed(history):
-        # records written before a key existed read as False (flag unset)
-        if all(prior.get(k, False) == record.get(k, False) for k in keys):
+        if all(
+            prior.get(k, default) == record.get(k, default)
+            for k, default in keys.items()
+        ):
             return prior
     return None
 
@@ -297,6 +331,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="sweep engine worker processes (default 1)")
     parser.add_argument("--no-skip", dest="skip", action="store_false",
                         help="disable event-horizon cycle skipping")
+    parser.add_argument("--backend", choices=("object", "array"),
+                        default="object",
+                        help="timing core for the per-case grid (records "
+                             "only compare against runs of the same "
+                             "backend; results are bit-identical)")
     parser.add_argument("--metrics", action="store_true",
                         help="attach structure-utilization metrics to every "
                              "run (measures the metrics-on overhead; records "
@@ -311,7 +350,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.pack:
-        settings, case = bench_pack(args.pack, args.quick, args.jobs)
+        settings, case = bench_pack(args.pack, args.quick, args.jobs,
+                                    backend=args.backend)
         instructions = settings.instructions
         rounds = 1
         measured = [case]
@@ -329,7 +369,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         workloads = SWEEP_QUICK_WORKLOADS if args.quick else SWEEP_WORKLOADS
         rounds = 1
         measured = bench_sweep(
-            workloads, instructions, warmup, args.seed, args.jobs
+            workloads, instructions, warmup, args.seed, args.jobs,
+            backend=args.backend,
         )
         for case in measured:
             print(
@@ -352,7 +393,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         measured = []
         for workload, ports in cases:
             case = bench_case(workload, ports, instructions, args.seed, rounds,
-                              args.skip, metrics=args.metrics)
+                              args.skip, metrics=args.metrics,
+                              backend=args.backend)
             measured.append(case)
             print(
                 f"{workload:>10s} x {ports:<8s} {case['instr_per_sec']:>10,.0f} instr/s"
@@ -369,6 +411,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "seed": args.seed,
         "cycle_skipping": args.skip,
         "metrics": args.metrics,
+        "backend": args.backend,
         "note": args.note,
         "cases": measured,
     }

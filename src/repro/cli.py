@@ -16,6 +16,7 @@ sweep ablations, and manage traces::
     repro-lbic trace swim --ports bank:4 events.jsonl   # timing events
     repro-lbic pack run replacement-policies --quick    # declarative sweep
     repro-lbic bench swim --ports ideal:4 --backend array   # instr/s
+    repro-lbic bench gcc --compare --json   # all backends, side by side
     repro-lbic bench gcc --profile    # cProfile top-20 hotspot table
     repro-lbic serve --port 8023      # HTTP simulation daemon
     repro-lbic list
@@ -23,8 +24,8 @@ sweep ablations, and manage traces::
 Every timing subcommand accepts ``--jobs N`` (parallel workers; default:
 all cores), ``--no-cache`` (skip the persistent result store under
 ``results/cache/``), ``--progress`` (live ``[done/total]`` line with
-an ETA on stderr) and ``--backend {object,array}`` (which timing core
-runs the simulation — bit-identical results, different speed; see
+an ETA on stderr) and ``--backend {object,array,jit}`` (which timing
+core runs the simulation — bit-identical results, different speed; see
 ``docs/performance.md``).  ``repro-lbic cache info`` / ``cache clear`` inspect
 and empty the store, including the engine-telemetry JSONL exported under
 ``results/cache/telemetry/``.
@@ -139,9 +140,10 @@ def _add_engine_opts(parser: argparse.ArgumentParser) -> None:
         help="live [done/total] progress line with an ETA (stderr)",
     )
     parser.add_argument(
-        "--backend", choices=("object", "array"), default=None,
-        help="timing core: object (reference) or array (flat-array "
-             "kernel; bit-identical, faster — see docs/performance.md). "
+        "--backend", choices=("object", "array", "jit"), default=None,
+        help="timing core: object (reference), array (flat-array "
+             "kernel; bit-identical, faster) or jit (numba-compiled "
+             "kernel — see docs/performance.md). "
              "Default: $REPRO_BACKEND or object",
     )
 
@@ -313,30 +315,126 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+def _bench_compare(args, measure, source_for, label) -> int:
+    """``bench --compare``: the same case on every registered backend,
+    side by side, with speedups relative to ``object``."""
+    import json
+
+    from .common.registry import mechanism, mechanism_names
+    from .core.jit import kernel_mode
+
+    rows = []
+    for name in mechanism_names("backend"):
+        cls = mechanism("backend", name)
+        best, result = measure(cls, source_for(cls))
+        rows.append((name, best, result))
+
+    baseline = {name: best for name, best, _ in rows}.get("object")
+    results = {name: result for name, _, result in rows}
+    reference = next(iter(results.values()))
+    if any(r.cycles != reference.cycles for r in results.values()):
+        print("warning: backends disagree on cycle counts", file=sys.stderr)
+
+    records = [
+        {
+            "backend": name,
+            "instr_per_s": round(best, 1),
+            "speedup_vs_object": (
+                round(best / baseline, 2) if baseline else None
+            ),
+            "cycles": result.cycles,
+            "ipc": result.ipc,
+        }
+        for name, best, result in rows
+    ]
+    payload = {
+        "case": label,
+        "instructions": args.instructions,
+        "rounds": args.rounds,
+        "seed": args.seed,
+        "warmed_up": True,
+        "jit_kernel_mode": kernel_mode() or "fallback",
+        "backends": records,
+    }
+    if args.as_json:
+        print(json.dumps(payload, indent=2))
+        return 0
+
+    from .common.tables import Table
+
+    table = Table(
+        ["backend", "instr/s", "speedup", "cycles", "IPC"],
+        precision=3,
+        title=f"bench --compare: {label} "
+              f"(n={args.instructions}, best of {args.rounds})",
+    )
+    for record in records:
+        speedup = record["speedup_vs_object"]
+        table.add_row([
+            record["backend"],
+            f"{record['instr_per_s']:,.0f}",
+            f"{speedup:.2f}x" if speedup is not None else "-",
+            record["cycles"],
+            record["ipc"],
+        ])
+    print(table.render())
+    if kernel_mode() == "":
+        print("note: numba unavailable — the jit backend fell back to "
+              "the array busy loop (see docs/performance.md)")
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Throughput of one benchmark x ports x backend unit — the quick
     answer to "how fast does this configuration simulate here?" — and,
     under ``--profile``, where the cycles go (cProfile, top 20 by
-    cumulative time)."""
+    cumulative time).  ``--compare`` runs the same case on every
+    registered backend and prints a side-by-side table (speedups are
+    relative to ``object``)."""
     import time
 
     from .core.backends import default_backend, processor_class
 
-    backend = args.backend or default_backend()
-    cls = processor_class(backend)
     workload = spec95_workload(args.benchmark)
     stream = list(
         workload.stream(seed=args.seed, max_instructions=args.instructions)
     )
-    source = stream
-    if getattr(cls, "CONSUMES_COLUMNS", False):
-        # Column conversion happens outside the timed region, the same
-        # way the engine's amortized sweeps share one conversion.
-        from .core.flat import TraceColumns
-
-        source = TraceColumns.from_instructions(stream)
     machine = paper_machine(args.ports)
     label = f"{args.benchmark}/{args.ports.describe()}"
+
+    def source_for(cls):
+        if getattr(cls, "CONSUMES_COLUMNS", False):
+            # Column conversion happens outside the timed region, the
+            # same way the engine's amortized sweeps share one
+            # conversion.
+            from .core.flat import TraceColumns
+
+            return TraceColumns.from_instructions(stream)
+        return stream
+
+    def measure(cls, source):
+        """(best instr/s, result) over ``--rounds`` timed rounds, after
+        one untimed warm-up run (JIT compilation, branch caches)."""
+        def one_run():
+            processor = cls(machine, label=label)
+            replay = source if source is not stream else iter(stream)
+            return processor.run(replay, max_instructions=args.instructions)
+
+        one_run()  # warm-up, untimed
+        best, result = 0.0, None
+        for _ in range(args.rounds):
+            start = time.perf_counter()
+            result = one_run()
+            elapsed = time.perf_counter() - start
+            best = max(best, result.instructions / elapsed)
+        return best, result
+
+    if args.compare:
+        return _bench_compare(args, measure, source_for, label)
+
+    backend = args.backend or default_backend()
+    cls = processor_class(backend)
+    source = source_for(cls)
 
     def one_run():
         processor = cls(machine, label=label)
@@ -640,7 +738,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", "--instructions", type=int, default=20_000)
     p.add_argument("--warmup", type=int, default=30_000)
     p.add_argument("--seed", type=int, default=1)
-    p.add_argument("--backend", choices=("object", "array"), default=None,
+    p.add_argument("--backend", choices=("object", "array", "jit"),
+                   default=None,
                    help="timing core (default: $REPRO_BACKEND or object)")
     p.set_defaults(func=cmd_analyze)
 
@@ -656,11 +755,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--rounds", type=int, default=3,
                    help="measurement rounds, best-of (default 3)")
-    p.add_argument("--backend", choices=("object", "array"), default=None,
+    p.add_argument("--backend", choices=("object", "array", "jit"),
+                   default=None,
                    help="timing core (default: $REPRO_BACKEND or object)")
     p.add_argument("--profile", action="store_true",
                    help="run once under cProfile and print the top 20 "
                         "functions by cumulative time")
+    p.add_argument("--compare", action="store_true",
+                   help="run the same case on every registered backend "
+                        "and print a side-by-side instr/s table with "
+                        "speedups relative to object")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="with --compare: emit the comparison as JSON "
+                        "instead of a table")
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser(

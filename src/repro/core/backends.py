@@ -1,7 +1,7 @@
 """Processor backend registry: the ``backend`` mechanism category.
 
 A *backend* is an interchangeable implementation of the timing core.
-Two ship:
+Three ship:
 
 * ``object`` — :class:`~repro.core.processor.Processor`, the reference
   implementation: per-instruction ``RUUEntry``/``LSQEntry`` objects and
@@ -15,8 +15,13 @@ Two ship:
   field, stall attribution and utilization metrics across port models —
   and several times faster on busy configurations (see
   ``docs/performance.md``).
+* ``jit`` — :class:`~repro.core.jit.JitProcessor`, the flat-array
+  machine with the busy loop compiled by numba (``@njit``, on-disk
+  cache under ``results/cache/jit/``).  Bit-identical to both of the
+  above; when numba is absent (or ``REPRO_NO_NUMBA`` is set) it falls
+  back to the ``array`` busy loop with one ``RuntimeWarning``.
 
-Because the two backends produce identical results, the choice rides
+Because the backends produce identical results, the choice rides
 the work-unit *payload*, never its fingerprint: a cached result
 satisfies a request regardless of which backend produced it (the same
 contract :attr:`~repro.engine.settings.RunSettings.metrics` follows).
@@ -36,6 +41,7 @@ from typing import Type
 
 from ..common.registry import mechanism, register_mechanism
 from .flat import FlatProcessor
+from .jit import JitProcessor
 from .processor import Processor
 
 #: environment override consulted for the default backend; unset or
@@ -44,6 +50,7 @@ BACKEND_ENV = "REPRO_BACKEND"
 
 register_mechanism("backend", "object", Processor)
 register_mechanism("backend", "array", FlatProcessor)
+register_mechanism("backend", "jit", JitProcessor)
 
 
 def default_backend() -> str:

@@ -152,6 +152,7 @@ class _SpanPrep:
         "stores",   # list[int]: store seqs, ascending (batched commit)
         "nmem",     # list[int], len+1: prefix count of memory ops
         "hc",       # bytearray: 1 if anything consumes this seq's result
+        "__weakref__",  # jit backend caches marshalled columns per prep
     )
 
     def __init__(self, length, op, addr, mem, rem0, rema0,

@@ -1,0 +1,595 @@
+"""The ``jit`` backend: :class:`JitProcessor` drives the compiled kernel.
+
+:class:`JitProcessor` subclasses :class:`~repro.core.flat.FlatProcessor`
+and replaces only the observer-less busy loop with one call into
+:mod:`repro.core.jitkernel` — a fused, nopython-compatible transcription
+of the same cycle loop.  Everything else (stream normalization, warm-up,
+the observed/phased path, result building) is inherited unchanged, so
+the ``jit`` backend is bit-identical to ``array`` and ``object`` by the
+same equivalence matrix that pins those two against each other.
+
+Degradation ladder, decided per run by :func:`kernel_mode`:
+
+* numba importable and ``REPRO_NO_NUMBA`` unset -> compiled kernel;
+* numba absent but ``REPRO_JIT_FORCE_KERNEL`` set -> the same kernel
+  runs *interpreted* (a correctness oracle for test legs without
+  numba; far too slow for real runs);
+* otherwise -> fall back to the inherited ``array`` busy loop, with
+  exactly one :class:`RuntimeWarning` per process.
+
+Configurations the kernel does not model (non-LRU replacement,
+``largest-group`` combining, the ``fibonacci`` bank hash, the forced
+stdlib prep ``REPRO_NO_NUMPY``, write-through or no-write-allocate L1,
+traces too long for the packed completion wheel) silently delegate to
+the inherited loop — same results, just not compiled.
+
+Compilation cost is paid once per machine: :func:`warm_jit` compiles
+the whole kernel graph parent-side (the engine calls it before forking
+workers) and numba's on-disk cache under ``results/cache/jit/``
+persists the machine code across processes and sessions.
+:func:`kernel_compile_probe` exposes the compile counter so tests can
+assert workers never recompile.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from weakref import WeakKeyDictionary
+
+from ..common.errors import SimulationError
+from .flat import FlatProcessor, numpy_or_none
+
+try:  # the kernel module needs numpy; degrade to the array loop without it
+    from . import jitkernel as _jk
+except Exception:  # pragma: no cover - numpy is a hard dep in practice
+    _jk = None
+
+
+_FALLBACK_WARNED = False
+
+
+def _warn_fallback_once() -> None:
+    """One warning per process when the jit backend runs uncompiled."""
+    global _FALLBACK_WARNED
+    if _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED = True
+    warnings.warn(
+        "numba is not available (or REPRO_NO_NUMBA is set): the 'jit' "
+        "backend is falling back to the 'array' busy loop; results are "
+        "identical but uncompiled",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+def reset_fallback_warning() -> None:
+    """Re-arm the once-per-process fallback warning (test hook)."""
+    global _FALLBACK_WARNED
+    _FALLBACK_WARNED = False
+
+
+def kernel_mode() -> str:
+    """How the busy path runs right now: ``"jit"`` (compiled),
+    ``"interpret"`` (the kernel as plain Python, forced by
+    ``REPRO_JIT_FORCE_KERNEL`` for no-numba test legs), or ``""``
+    (fall back to the inherited array loop)."""
+    if os.environ.get("REPRO_NO_NUMBA"):
+        return ""
+    if _jk is None:
+        return ""
+    if _jk.numba_available():
+        return "jit"
+    if os.environ.get("REPRO_JIT_FORCE_KERNEL"):
+        return "interpret"
+    return ""
+
+
+def numba_available() -> bool:
+    return _jk is not None and _jk.numba_available()
+
+
+def kernel_compile_probe():
+    """``(numba_available, compile_count)`` for this process.
+
+    Module-level (hence picklable) so pool workers can run it; the
+    zero-recompilation test compares worker counts against the warmed
+    parent's.
+    """
+    if _jk is None:
+        return (False, 0)
+    return (_jk.numba_available(), _jk.compile_count())
+
+
+#: port-model class name -> kernel model code (resolved lazily to keep
+#: import order flexible)
+_MODEL_CODES = {
+    "IdealMultiPorted": 0,
+    "ReplicatedMultiPorted": 1,
+    "BankedCache": 2,
+    "LBICache": 3,
+}
+
+#: per-_SpanPrep marshalled column bundles, reused across runs that
+#: share a prep (the engine's amortized sweeps do)
+_PREP_BUNDLES: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def _prep_bundle(prep, np):
+    bundle = _PREP_BUNDLES.get(prep)
+    if bundle is not None:
+        return bundle
+    n = prep.length
+    op = np.array(prep.op, dtype=np.int64)
+    addr = np.array(prep.addr, dtype=np.int64)
+    mem = np.frombuffer(bytes(prep.mem), dtype=np.uint8).astype(np.int64)
+    hc = np.frombuffer(bytes(prep.hc), dtype=np.uint8).astype(np.int64)
+    nmem = np.array(prep.nmem, dtype=np.int64)
+    stores = np.array(prep.stores, dtype=np.int64)
+    rem0 = np.frombuffer(prep.rem0, dtype=np.int64)
+    rema0 = np.frombuffer(prep.rema0, dtype=np.int64)
+    sword = addr & _jk.WORD_MASK
+
+    def csr(tuples):
+        idx = np.zeros(n + 1, dtype=np.int64)
+        total = 0
+        for i, consumers in enumerate(tuples):
+            total += len(consumers)
+            idx[i + 1] = total
+        dat = np.fromiter(
+            (c for consumers in tuples for c in consumers),
+            dtype=np.int64,
+            count=total,
+        )
+        return idx, dat
+
+    cons_idx, cons_dat = csr(prep.cons)
+    acons_idx, acons_dat = csr(prep.acons)
+    bundle = (op, addr, mem, hc, nmem, stores, rem0, rema0, sword,
+              cons_idx, cons_dat, acons_idx, acons_dat)
+    _PREP_BUNDLES[prep] = bundle
+    return bundle
+
+
+def _marshal_cache(cache, np):
+    """Flat tag/valid/dirty/lru arrays, row-major ``[set * assoc + way]``.
+
+    An untouched cache (policy tick 0) marshals as zeros without
+    visiting the way objects — every touch stamps a positive tick, so
+    tick 0 proves nothing was ever installed.
+    """
+    geometry = cache.geometry
+    nways = geometry.num_sets * geometry.associativity
+    tags = np.zeros(nways, dtype=np.int64)
+    valid = np.zeros(nways, dtype=np.int64)
+    dirty = np.zeros(nways, dtype=np.int64)
+    lru = np.zeros(nways, dtype=np.int64)
+    if cache._policy._tick:
+        k = 0
+        for ways in cache._sets:
+            for way in ways:
+                if way.valid:
+                    tags[k] = way.tag
+                    valid[k] = 1
+                    if way.dirty:
+                        dirty[k] = 1
+                lru[k] = way.lru
+                k += 1
+    return tags, valid, dirty, lru
+
+
+class JitProcessor(FlatProcessor):
+    """The flat-array machine with the busy loop compiled by numba."""
+
+    #: True once the compiled (or force-interpreted) kernel actually ran
+    #: for this instance; stays False on fallback or delegation.
+    kernel_engaged = False
+
+    # -- support matrix ----------------------------------------------------
+
+    def _kernel_supported(self, n: int) -> bool:
+        if _jk is None or numpy_or_none() is None:
+            return False
+        if n >= (1 << _jk.SEQ_BITS):
+            return False  # the packed wheel holds 2^21 sequence numbers
+        if self._largest_group:
+            return False  # grouped issue walk is not transcribed
+        hierarchy = self.hierarchy
+        l1 = hierarchy.l1_config
+        if not (l1.writeback and l1.write_allocate):
+            return False
+        from ..memory.replacement import LruPolicy
+
+        if type(hierarchy.l1_array._policy) is not LruPolicy:
+            return False
+        if type(hierarchy.backend.l2_array._policy) is not LruPolicy:
+            return False
+        model = _MODEL_CODES.get(type(self.ports).__name__)
+        if model is None:
+            return False  # a test double or future model: stay layered
+        if model >= 2 and self.ports.config.bank_function not in (
+            "bit-select",
+            "xor-fold",
+        ):
+            return False  # fibonacci hashes through uint64 wraparound
+        return True
+
+    # -- the busy loop -----------------------------------------------------
+
+    def _run_busy_loop(self, n: int, pending_work) -> None:
+        if not kernel_mode():
+            _warn_fallback_once()
+            return super()._run_busy_loop(n, pending_work)
+        if not self._kernel_supported(n):
+            return super()._run_busy_loop(n, pending_work)
+        self._run_jit_busy_loop(n)
+
+    def _run_jit_busy_loop(self, n: int) -> None:
+        np = numpy_or_none()
+        jk = _jk
+        prep = self._p
+        (op, addr, mem, hc, nmem, stores, rem0, rema0, sword,
+         cons_idx, cons_dat, acons_idx, acons_dat) = _prep_bundle(prep, np)
+
+        hierarchy = self.hierarchy
+        l1cfg = hierarchy.l1_config
+        l1geo = l1cfg.geometry
+        backend = hierarchy.backend
+        l2cfg = backend.l2_config
+        l2geo = l2cfg.geometry
+        ports = self.ports
+        model = _MODEL_CODES[type(ports).__name__]
+        pconfig = ports.config
+
+        cfg = np.zeros(jk.N_CFG, dtype=np.int64)
+        cfg[jk.K_N] = n
+        cfg[jk.K_WIDTH] = self._issue_width
+        cfg[jk.K_SCAN_LIMIT] = self.SCHED_SCAN_LIMIT
+        cfg[jk.K_COMMIT_W] = self._commit_width
+        cfg[jk.K_FETCH_W] = self._fetch_width
+        cfg[jk.K_RUU_CAP] = self.ruu.size
+        cfg[jk.K_LSQ_SIZE] = self.lsq.size
+        cfg[jk.K_STALL_LIMIT] = self.STALL_LIMIT
+        cfg[jk.K_SKIP] = 1 if self.cycle_skipping else 0
+        cfg[jk.K_L1_OFF] = l1geo.offset_bits
+        cfg[jk.K_L1_IBITS] = l1geo.index_bits
+        cfg[jk.K_L1_IMASK] = l1geo.num_sets - 1
+        cfg[jk.K_L1_ASSOC] = l1geo.associativity
+        cfg[jk.K_HIT_LAT] = l1cfg.hit_latency
+        cfg[jk.K_LINE_SIZE] = l1geo.line_size
+        cfg[jk.K_MSHR_ENTRIES] = l1cfg.mshr_entries
+        cfg[jk.K_L2_OFF] = l2geo.offset_bits
+        cfg[jk.K_L2_IBITS] = l2geo.index_bits
+        cfg[jk.K_L2_IMASK] = l2geo.num_sets - 1
+        cfg[jk.K_L2_ASSOC] = l2geo.associativity
+        cfg[jk.K_L2_LAT] = l2cfg.access_latency
+        cfg[jk.K_MEM_LAT] = backend.memory_config.access_latency
+        cfg[jk.K_MAX_OUT] = l2cfg.max_outstanding
+        cfg[jk.K_MODEL] = model
+        if model == 0 or model == 1:
+            banks = 1
+            cfg[jk.K_PORTS] = pconfig.ports
+        elif model == 2:
+            banks = pconfig.banks
+            cfg[jk.K_PORTS] = pconfig.ports_per_bank
+            cfg[jk.K_GRANULE_BITS] = (
+                3 if pconfig.interleave == "word" else l1geo.offset_bits
+            )
+            cfg[jk.K_XBAR] = pconfig.crossbar_latency
+            cfg[jk.K_FILLS_OCCUPY] = 1 if pconfig.fills_occupy_bank else 0
+        else:
+            banks = pconfig.banks
+            cfg[jk.K_PORTS] = pconfig.buffer_ports
+            cfg[jk.K_GRANULE_BITS] = l1geo.offset_bits
+            cfg[jk.K_XBAR] = pconfig.crossbar_latency
+            cfg[jk.K_SQ_DEPTH] = pconfig.store_queue_depth
+            cfg[jk.K_FILLS_OCCUPY] = 1 if pconfig.fills_occupy_bank else 0
+        cfg[jk.K_BANKS] = banks
+        if model >= 2:
+            cfg[jk.K_BANK_FN] = 0 if pconfig.bank_function == "bit-select" else 1
+            cfg[jk.K_BANK_BITS] = max(banks.bit_length() - 1, 1)
+
+        # FU routing: pool-routed classes index a compact hot-pool table.
+        route = self._route
+        route_total = np.zeros(len(route), dtype=np.int64)
+        route_interval = np.ones(len(route), dtype=np.int64)
+        route_pool = np.full(len(route), -1, dtype=np.int64)
+        pools = []
+        pool_slot = {}
+        for opclass, entry in enumerate(route):
+            if entry is None:
+                continue
+            total, pool, interval = entry
+            route_total[opclass] = total
+            route_interval[opclass] = interval
+            if pool is not None:
+                slot = pool_slot.get(id(pool))
+                if slot is None:
+                    slot = pool_slot[id(pool)] = len(pools)
+                    pools.append(pool)
+                route_pool[opclass] = slot
+        npools = len(pools)
+        cfg[jk.K_NPOOLS] = npools
+        rows = max(npools, 1)
+        max_count = max((pool.count for pool in pools), default=1)
+        pool_count = np.zeros(rows, dtype=np.int64)
+        pool_issued = np.zeros(rows, dtype=np.int64)
+        pool_busy = np.zeros((rows, max_count + 2), dtype=np.int64)
+        pool_busy_len = np.zeros(rows, dtype=np.int64)
+        for slot, pool in enumerate(pools):
+            pool_count[slot] = pool.count
+            busy = pool.busy_until
+            pool_busy_len[slot] = len(busy)
+            for i, until in enumerate(busy):
+                pool_busy[slot, i] = until
+        fast_lat = np.array(self._fast_lat, dtype=np.int64)
+
+        st = np.zeros(jk.N_STATE, dtype=np.int64)
+        st[jk.S_CYCLE] = self.cycle
+        st[jk.S_HEAD] = self._head
+        st[jk.S_NEXT] = self._next
+        st[jk.S_LSQ_OCC] = self._lsq_occ
+        st[jk.S_LSQ_PEAK] = self._lsq_peak
+        st[jk.S_LOADS] = self._loads
+        st[jk.S_STORES] = self._stores
+        st[jk.S_COMMITTED] = self._committed_total
+        st[jk.S_LAST_COMMIT] = self._last_commit_cycle
+        st[jk.S_DEADLINE] = self._deadline
+        st[jk.S_SP] = self._store_ptr
+        st[jk.S_MSHR_MIN] = jk.FAR
+        st[jk.S_L1_TICK] = hierarchy.l1_array._policy._tick
+        st[jk.S_L2_TICK] = backend.l2_array._policy._tick
+        st[jk.S_LAST_TICK] = hierarchy._last_tick
+        st[jk.S_BE_NEXT_ISSUE] = backend._next_issue_cycle
+        cnt = np.zeros(jk.N_COUNTERS, dtype=np.int64)
+
+        # Per-run mutable columns.
+        rem = rem0.copy()
+        rema = rema0.copy()
+        resolved = np.zeros(n, dtype=np.int64)
+        ct = np.full(n, jk.FAR, dtype=np.int64)
+        cap = n + 8
+        rl = np.zeros(cap, dtype=np.int64)
+        rr = np.zeros(cap, dtype=np.int64)
+        rl2 = np.zeros(cap, dtype=np.int64)
+        rr2 = np.zeros(cap, dtype=np.int64)
+        wheel = np.zeros(cap, dtype=np.int64)
+        blocked = np.zeros(cap, dtype=np.int64)
+        occ_counts = np.zeros(
+            self._issue_width + self._commit_width + 2, dtype=np.int64
+        )
+
+        l1t, l1v, l1d, l1r = _marshal_cache(hierarchy.l1_array, np)
+        l2t, l2v, l2d, l2r = _marshal_cache(backend.l2_array, np)
+
+        entries = l1cfg.mshr_entries
+        mshr_line = np.zeros(entries, dtype=np.int64)
+        mshr_fill = np.zeros(entries, dtype=np.int64)
+        mshr_write = np.zeros(entries, dtype=np.int64)
+        mshr_merged = np.zeros(entries, dtype=np.int64)
+        landed = np.zeros(entries, dtype=np.int64)
+        mshrs = hierarchy.mshrs
+        pending = list(mshrs._pending.values())
+        for i, m in enumerate(pending):
+            mshr_line[i] = m.line_addr
+            mshr_fill[i] = m.fill_cycle
+            mshr_write[i] = 1 if m.is_write else 0
+            mshr_merged[i] = m.merged_requests
+        st[jk.S_MSHR_LEN] = len(pending)
+        if mshrs._min_fill is not None:
+            st[jk.S_MSHR_MIN] = mshrs._min_fill
+
+        out_heap = np.zeros(l2cfg.max_outstanding + 4, dtype=np.int64)
+        outstanding = backend._outstanding
+        st[jk.S_BE_OUT_LEN] = len(outstanding)
+        for i, complete in enumerate(outstanding):
+            out_heap[i] = complete
+        qd_small = np.zeros(jk.QD_DENSE, dtype=np.int64)
+        qd_okey = np.zeros(1024, dtype=np.int64)
+        qd_ocnt = np.zeros(1024, dtype=np.int64)
+
+        bank_uses = np.zeros(banks, dtype=np.int64)
+        bank_busy_line = np.full(banks, -1, dtype=np.int64)
+        fill_busy = np.zeros(banks, dtype=np.int64)
+        gated_line = np.full(banks, jk.GATED_NONE, dtype=np.int64)
+        pub = np.zeros(banks, dtype=np.int64)
+        depth = int(cfg[jk.K_SQ_DEPTH]) if model == 3 else 1
+        sq = np.zeros((banks, max(depth, 1)), dtype=np.int64)
+        sq_len = np.zeros(banks, dtype=np.int64)
+        group_sizes = np.zeros(int(cfg[jk.K_PORTS]) + 2, dtype=np.int64)
+
+        self.kernel_engaged = True
+        jk.run_busy_loop(
+            cfg, st, cnt, op, addr, mem, hc, rem, rema,
+            cons_idx, cons_dat, acons_idx, acons_dat,
+            stores, nmem, sword, resolved, ct,
+            fast_lat, route_total, route_pool, route_interval,
+            pool_count, pool_issued, pool_busy, pool_busy_len,
+            rl, rr, rl2, rr2, wheel, blocked, occ_counts,
+            l1t, l1v, l1d, l1r, l2t, l2v, l2d, l2r,
+            mshr_line, mshr_fill, mshr_write, mshr_merged,
+            out_heap, qd_small, qd_okey, qd_ocnt, landed,
+            bank_uses, bank_busy_line, fill_busy,
+            gated_line, pub, sq, sq_len, group_sizes,
+        )
+        self._write_back(st, cnt, occ_counts, group_sizes,
+                         qd_small, qd_okey, qd_ocnt)
+        self._raise_kernel_error(st)
+
+    # -- state write-back --------------------------------------------------
+
+    def _write_back(self, st, cnt, occ_counts, group_sizes,
+                    qd_small, qd_okey, qd_ocnt) -> None:
+        """Fold kernel results back into the object graph.
+
+        Only *observable* state is restored: the result scalars, and the
+        counter/histogram deltas added onto the very ``Counter`` objects
+        each subsystem registered (so ``flush_stats`` and the result
+        builder read exactly what the Python loop would have left).
+        Dead intermediate state — ready lists, the wheel, cache arrays,
+        MSHR entries — stays in the kernel's arrays: the run is over and
+        nothing reads it (warm-state capture happens on dedicated warm
+        passes, never after a timed run).
+        """
+        jk = _jk
+        self.cycle = int(st[jk.S_CYCLE])
+        self._head = int(st[jk.S_HEAD])
+        self._next = int(st[jk.S_NEXT])
+        self._lsq_occ = int(st[jk.S_LSQ_OCC])
+        self._lsq_peak = int(st[jk.S_LSQ_PEAK])
+        self._loads = int(st[jk.S_LOADS])
+        self._stores = int(st[jk.S_STORES])
+        self._committed_total = int(st[jk.S_COMMITTED])
+        self._last_commit_cycle = int(st[jk.S_LAST_COMMIT])
+        self._deadline = int(st[jk.S_DEADLINE])
+        self._store_ptr = int(st[jk.S_SP])
+        self.skipped_cycles += int(st[jk.S_SKIPPED])
+
+        hierarchy = self.hierarchy
+        hierarchy._last_tick = int(st[jk.S_LAST_TICK])
+        hierarchy._accesses.value += int(cnt[jk.C_MEM_ACC])
+        hierarchy._hits.value += int(cnt[jk.C_MEM_HITS])
+        hierarchy._primary_misses.value += int(cnt[jk.C_MEM_PRI])
+        hierarchy._secondary_misses.value += int(cnt[jk.C_MEM_SEC])
+        hierarchy._mshr_refusals.value += int(cnt[jk.C_MEM_MSHR_REF])
+        hierarchy._store_accesses.value += int(cnt[jk.C_MEM_STORE_ACC])
+
+        l1 = hierarchy.l1_array
+        l1._hits.value += int(cnt[jk.C_L1A_HITS])
+        l1._evictions.value += int(cnt[jk.C_L1A_EVICT])
+        l1._writebacks.value += int(cnt[jk.C_L1A_WB])
+
+        backend = hierarchy.backend
+        backend._next_issue_cycle = int(st[jk.S_BE_NEXT_ISSUE])
+        backend._requests.value += int(cnt[jk.C_BE_REQ])
+        backend._l2_hits.value += int(cnt[jk.C_BE_L2HITS])
+        backend._l2_misses.value += int(cnt[jk.C_BE_L2MISSES])
+        backend._writebacks.value += int(cnt[jk.C_BE_WB])
+        l2 = backend.l2_array
+        l2._hits.value += int(cnt[jk.C_L2A_HITS])
+        l2._misses.value += int(cnt[jk.C_L2A_MISSES])
+        l2._evictions.value += int(cnt[jk.C_L2A_EVICT])
+        l2._writebacks.value += int(cnt[jk.C_L2A_WB])
+        delay_buckets = backend._queue_delay.buckets
+        for delay in qd_small.nonzero()[0]:
+            delay = int(delay)
+            delay_buckets[delay] = (
+                delay_buckets.get(delay, 0) + int(qd_small[delay])
+            )
+        for i in range(int(st[jk.S_QD_OLEN])):
+            key = int(qd_okey[i])
+            delay_buckets[key] = delay_buckets.get(key, 0) + int(qd_ocnt[i])
+
+        mshrs = hierarchy.mshrs
+        mshrs._allocations.value += int(cnt[jk.C_MSHR_ALLOC])
+        mshrs._merges.value += int(cnt[jk.C_MSHR_MERGES])
+        if int(cnt[jk.C_MSHR_PEAK]) > mshrs._peak.value:
+            mshrs._peak.value = int(cnt[jk.C_MSHR_PEAK])
+
+        ports = self.ports
+        ports._cycle = self.cycle
+        ports._n_loads += int(cnt[jk.C_P_NLOADS])
+        ports._n_stores += int(cnt[jk.C_P_NSTORES])
+        ports._n_busy_cycles += int(cnt[jk.C_P_BUSY])
+        counts = ports._occupancy_counts
+        for occupancy, count in enumerate(occ_counts):
+            if count:
+                counts[occupancy] = counts.get(occupancy, 0) + int(count)
+        refusal_counts = ports._refusal_counts
+        for i, reason in enumerate(ports.REASONS):
+            delta = int(cnt[jk.C_REF_BASE + i])
+            if delta:
+                refusal_counts[reason] += delta
+
+        model = _MODEL_CODES[type(ports).__name__]
+        if model == 2:
+            ports._same_line_conflicts.value += int(cnt[jk.C_SAME_LINE])
+        elif model == 3:
+            ports._combined_loads.value += int(cnt[jk.C_COMB_LOADS])
+            ports._combined_stores.value += int(cnt[jk.C_COMB_STORES])
+            ports._drained_stores.value += int(cnt[jk.C_DRAINED])
+            ports._drain_retries.value += int(cnt[jk.C_DRAIN_RETRY])
+            ports._coalesced_stores.value += int(cnt[jk.C_COALESCED])
+            if int(cnt[jk.C_SQ_PEAK]) > ports._sq_peak.value:
+                ports._sq_peak.value = int(cnt[jk.C_SQ_PEAK])
+            size_buckets = ports._group_sizes.buckets
+            for size, count in enumerate(group_sizes):
+                if count:
+                    size_buckets[size] = (
+                        size_buckets.get(size, 0) + int(count)
+                    )
+
+        self._forwards_c.value += int(cnt[jk.C_FORWARDS])
+        self._blocked_c.value += int(cnt[jk.C_BLOCKED])
+        self._fu_stall_c.value += int(cnt[jk.C_FU_STALL])
+
+    def _raise_kernel_error(self, st) -> None:
+        code = int(st[_jk.S_ERROR])
+        if code == 0:
+            return
+        a = int(st[_jk.S_ERR_A])
+        b = int(st[_jk.S_ERR_B])
+        if code == _jk.E_DEADLOCK:
+            raise SimulationError(
+                f"no instruction committed for {self.STALL_LIMIT} "
+                f"cycles at cycle {a} ({self.label}); the "
+                f"machine is deadlocked"
+            )
+        if code == _jk.E_NEG_ADDR:
+            raise SimulationError(f"negative address {a}")
+        if code == _jk.E_PAST_COMPLETION:
+            raise SimulationError(
+                f"completion scheduled in the past ({a} <= {b})"
+            )
+        raise SimulationError(
+            f"jit kernel capacity exceeded (code {code}): the backend "
+            f"issue-delay histogram overflowed its sparse table"
+        )
+
+
+def warm_jit() -> int:
+    """Compile the whole kernel graph now (no-op without numba).
+
+    One zero-length call drives ``run_busy_loop`` through numba with
+    the production all-int64 signature, compiling every kernel function
+    (all four port models are static branches of the same graph).  The
+    engine calls this parent-side before forking workers so children
+    inherit warm dispatchers — with ``NUMBA_CACHE_DIR`` persistence the
+    very first call usually just loads machine code from disk.
+
+    Returns the number of compiled signatures (0 when interpreted).
+    """
+    if _jk is None or not _jk.numba_available():
+        return 0
+    np = numpy_or_none()
+    if np is None:  # pragma: no cover - numba implies numpy
+        return 0
+    if _jk.compile_count():
+        return _jk.compile_count()
+    i64 = np.int64
+    z = lambda k: np.zeros(k, dtype=i64)
+    cfg = z(_jk.N_CFG)
+    cfg[_jk.K_BANKS] = 1
+    cfg[_jk.K_L1_ASSOC] = 1
+    cfg[_jk.K_L2_ASSOC] = 1
+    cfg[_jk.K_MSHR_ENTRIES] = 1
+    cfg[_jk.K_MAX_OUT] = 1
+    st = z(_jk.N_STATE)
+    st[_jk.S_MSHR_MIN] = _jk.FAR
+    st[_jk.S_DEADLINE] = 1
+    _jk.run_busy_loop(
+        cfg, st, z(_jk.N_COUNTERS), z(1), z(1), z(1), z(1), z(1), z(1),
+        z(2), z(1), z(2), z(1),
+        z(0), z(2), z(1), z(1), z(1),
+        z(1), z(1), np.full(1, -1, dtype=i64), z(1),
+        z(1), z(1), np.zeros((1, 3), dtype=i64), z(1),
+        z(8), z(8), z(8), z(8), z(8), z(8), z(4),
+        z(1), z(1), z(1), z(1), z(1), z(1), z(1), z(1),
+        z(1), z(1), z(1), z(1),
+        z(5), z(_jk.QD_DENSE), z(1024), z(1024), z(1),
+        z(1), np.full(1, -1, dtype=i64), z(1),
+        np.full(1, _jk.GATED_NONE, dtype=i64), z(1),
+        np.zeros((1, 1), dtype=i64), z(1), z(3),
+    )
+    return _jk.compile_count()

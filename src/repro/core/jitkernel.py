@@ -1,0 +1,1246 @@
+"""The compiled busy-path kernel behind the ``jit`` backend.
+
+Every function in this module is nopython-compatible: plain int64
+NumPy arrays in, int64 scalars out, no Python objects.  When numba is
+importable (and ``REPRO_NO_NUMBA`` is unset) each function is compiled
+with ``@njit(cache=True)`` and the whole cycle loop — dispatch, wakeup,
+select/issue, commit, the L1 probe+LRU touch, MSHR allocation, the
+backend fill pipeline, and all four port-model arbitration paths —
+runs in machine code with no per-cycle Python boundary crossing.
+Without numba the same functions run interpreted; they are then only a
+correctness oracle (:mod:`repro.core.jit` falls back to the ``array``
+backend for real runs).
+
+The transcription source is :meth:`repro.core.flat.FlatProcessor.
+_run_busy_loop` and the subsystems it drives (``repro.memory.*``).
+Bit-identical results against the ``object`` and ``array`` backends
+are pinned by the cross-backend equivalence matrix; every deliberate
+representation change here (packed completion wheel, cursor-based
+oldest-unknown-store, linear forwarding scan) is unobservable through
+that matrix by construction.
+
+Array-state layout
+------------------
+
+``st`` (mutable scalars), ``cfg`` (immutable configuration) and
+``cnt`` (counter deltas, all starting at zero) are flat int64 arrays
+indexed by the ``S_``/``K_``/``C_`` constants below.  Counters are
+*deltas*: the glue layer adds them onto the very ``Counter`` objects
+the subsystems registered.  Peaks (``C_MSHR_PEAK``, ``C_SQ_PEAK``) are
+absolute within the run and max-merged instead.
+
+On-disk compile cache
+---------------------
+
+``NUMBA_CACHE_DIR`` is pointed at ``results/cache/jit/`` (override
+with ``REPRO_JIT_CACHE``) *before* numba is imported, so repeat CLI
+runs and ``serve`` workers reuse compiled machine code across
+processes instead of recompiling.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+# -- packed completion wheel ------------------------------------------------
+# Wheel entries are ``(cycle << SEQ_BITS) | seq`` in a binary min-heap;
+# within one cycle entries pop in seq order, which the busy loop never
+# observes (wakeup decrements are commutative and ready lists re-sort at
+# issue).  SEQ_BITS bounds the span length the kernel accepts.
+SEQ_BITS = 21
+SEQ_MAX = 1 << SEQ_BITS
+SEQ_MASK = SEQ_MAX - 1
+
+#: "no event" sentinel for completion times and horizons (same value as
+#: ``repro.core.flat._FAR``).
+FAR = 1 << 62
+
+#: 8-byte store-forwarding granularity (``repro.core.flat._WORD_MASK``).
+WORD_MASK = -8
+
+#: LBIC "no line gated yet" sentinel.  Must not be -1: stores with
+#: negative addresses legitimately enqueue (the hierarchy only raises
+#: when the queue drains), and their line number is negative.
+GATED_NONE = -2
+
+#: dense queue-delay histogram width; rarer delays go to the sparse
+#: overflow arrays (and beyond those, E_HIST_OVERFLOW).
+QD_DENSE = 4096
+
+# -- mutable scalar state (st) ----------------------------------------------
+S_CYCLE = 0
+S_HEAD = 1
+S_NEXT = 2
+S_LSQ_OCC = 3
+S_LSQ_PEAK = 4
+S_LOADS = 5
+S_STORES = 6
+S_COMMITTED = 7
+S_LAST_COMMIT = 8
+S_DEADLINE = 9
+S_SP = 10            # commit cursor into the store list
+S_DSP = 11           # dispatch cursor into the store list
+S_UP = 12            # oldest-unknown-store cursor (monotone)
+S_SKIPPED = 13       # skipped cycles, delta for this kernel call
+S_L1_TICK = 14       # L1 LRU clock
+S_L2_TICK = 15       # L2 LRU clock
+S_MSHR_LEN = 16
+S_MSHR_MIN = 17      # FAR when no fill outstanding
+S_LAST_TICK = 18     # hierarchy tick gate (init from hierarchy._last_tick)
+S_BE_NEXT_ISSUE = 19
+S_BE_OUT_LEN = 20    # backend outstanding-window heap length
+S_WHEEL_LEN = 21
+S_NL = 22            # ready-loads length
+S_NR = 23            # ready-rest length
+S_BLOCKED_LEN = 24
+S_PORTS_USED = 25    # ideal/replicated per-cycle port occupancy
+S_STORE_CYCLE = 26   # replicated store-broadcast flag
+S_ERROR = 27         # E_* code, 0 = clean exit
+S_ERR_A = 28
+S_ERR_B = 29
+S_QD_OLEN = 30       # sparse queue-delay overflow length
+N_STATE = 32
+
+# -- immutable configuration (cfg) ------------------------------------------
+K_N = 0
+K_WIDTH = 1
+K_SCAN_LIMIT = 2
+K_COMMIT_W = 3
+K_FETCH_W = 4
+K_RUU_CAP = 5
+K_LSQ_SIZE = 6
+K_STALL_LIMIT = 7
+K_SKIP = 8           # event-horizon cycle skipping enabled
+K_L1_OFF = 9
+K_L1_IBITS = 10
+K_L1_IMASK = 11
+K_L1_ASSOC = 12
+K_HIT_LAT = 13
+K_LINE_SIZE = 14
+K_MSHR_ENTRIES = 15
+K_L2_OFF = 16
+K_L2_IBITS = 17
+K_L2_IMASK = 18
+K_L2_ASSOC = 19
+K_L2_LAT = 20
+K_MEM_LAT = 21
+K_MAX_OUT = 22
+K_MODEL = 23         # 0 ideal / 1 replicated / 2 banked / 3 LBIC
+K_PORTS = 24         # ports / ports_per_bank / buffer_ports
+K_BANKS = 25
+K_BANK_FN = 26       # 0 bit-select / 1 xor-fold
+K_GRANULE_BITS = 27
+K_BANK_BITS = 28
+K_XBAR = 29
+K_SQ_DEPTH = 30
+K_FILLS_OCCUPY = 31
+K_NPOOLS = 32
+N_CFG = 34
+
+# -- counter deltas (cnt) ----------------------------------------------------
+C_MEM_ACC = 0        # hierarchy accesses
+C_MEM_HITS = 1
+C_MEM_PRI = 2
+C_MEM_SEC = 3
+C_MEM_MSHR_REF = 4
+C_MEM_STORE_ACC = 5
+C_L1A_HITS = 6       # l1_array hits (reference_hit path)
+C_L1A_MISSES = 7     # unused on this path (probe misses are not counted)
+C_L1A_EVICT = 8
+C_L1A_WB = 9
+C_L2A_HITS = 10
+C_L2A_MISSES = 11
+C_L2A_EVICT = 12
+C_L2A_WB = 13
+C_BE_REQ = 14
+C_BE_L2HITS = 15
+C_BE_L2MISSES = 16
+C_BE_WB = 17
+C_MSHR_ALLOC = 18
+C_MSHR_MERGES = 19
+C_MSHR_PEAK = 20     # absolute (MSHRs are empty at kernel entry)
+C_P_NLOADS = 21
+C_P_NSTORES = 22
+C_P_BUSY = 23
+#: refusal reasons at C_REF_BASE + index in PortModel.REASONS order:
+#: port_limit=0, bank_conflict=1, line_conflict=2, store_serialization=3,
+#: store_queue_full=4, mshr_full=5, in_order_stall=6, fill_port=7.
+#: in_order_stall is provably 0 on the busy path (commit precedes issue
+#: and a first in-order load refusal bulk-defers the rest), so the
+#: kernel never consults a ``_closed`` flag.
+C_REF_BASE = 24
+C_FORWARDS = 32
+C_BLOCKED = 33
+C_FU_STALL = 34
+C_SAME_LINE = 35
+C_COMB_LOADS = 36
+C_COMB_STORES = 37
+C_DRAINED = 38
+C_DRAIN_RETRY = 39
+C_SQ_PEAK = 40       # absolute within the run
+C_COALESCED = 41
+N_COUNTERS = 42
+
+# -- error codes --------------------------------------------------------------
+E_DEADLOCK = 1        # S_ERR_A = cycle
+E_NEG_ADDR = 2        # S_ERR_A = addr
+E_HIST_OVERFLOW = 3   # queue-delay overflow table exhausted
+E_PAST_COMPLETION = 4  # S_ERR_A = t, S_ERR_B = cycle
+
+# -- numba gating -------------------------------------------------------------
+
+#: compiled dispatchers, for :func:`compile_count` (zero-recompile test)
+_KERNEL_FUNCS = []
+
+
+def _setup_cache_dir() -> None:
+    path = os.environ.get("REPRO_JIT_CACHE") or os.path.join(
+        "results", "cache", "jit"
+    )
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError:
+        return
+    os.environ.setdefault("NUMBA_CACHE_DIR", os.path.abspath(path))
+
+
+_JITTED = False
+_njit = None
+if not os.environ.get("REPRO_NO_NUMBA"):
+    try:
+        _setup_cache_dir()
+        from numba import njit as _njit  # type: ignore[no-redef]
+
+        _JITTED = True
+    except Exception:  # pragma: no cover - depends on the environment
+        _JITTED = False
+        _njit = None
+
+
+def maybe_njit(fn):
+    """``@njit(cache=True)`` when numba is active, else the plain function."""
+    if _JITTED:
+        compiled = _njit(cache=True)(fn)
+        _KERNEL_FUNCS.append(compiled)
+        return compiled
+    return fn
+
+
+def numba_available() -> bool:
+    return _JITTED
+
+
+def compile_count() -> int:
+    """Total compiled signatures across all kernel functions.
+
+    Grows when a kernel function is compiled in *this* process (a cached
+    load counts too — what matters for the no-per-worker-recompilation
+    contract is that forked workers inherit the parent's dispatchers and
+    this number stays flat in the child).
+    """
+    if not _JITTED:
+        return 0
+    return sum(len(fn.signatures) for fn in _KERNEL_FUNCS)
+
+
+# -- binary min-heaps on flat arrays ------------------------------------------
+
+
+@maybe_njit
+def _heap_push(heap, n, val):
+    heap[n] = val
+    i = n
+    while i > 0:
+        parent = (i - 1) >> 1
+        if heap[parent] <= heap[i]:
+            break
+        tmp = heap[parent]
+        heap[parent] = heap[i]
+        heap[i] = tmp
+        i = parent
+    return n + 1
+
+
+@maybe_njit
+def _heap_pop(heap, n):
+    # Caller reads heap[0] before popping.
+    n -= 1
+    heap[0] = heap[n]
+    i = 0
+    while True:
+        left = 2 * i + 1
+        if left >= n:
+            break
+        child = left
+        right = left + 1
+        if right < n and heap[right] < heap[left]:
+            child = right
+        if heap[i] <= heap[child]:
+            break
+        tmp = heap[i]
+        heap[i] = heap[child]
+        heap[child] = tmp
+        i = child
+    return n
+
+
+# -- set-associative tag arrays (repro.memory.cache.CacheArray) ---------------
+#
+# One cache level is four parallel int64 arrays (tag/valid/dirty/lru)
+# of ``num_sets * associativity`` ways plus an LRU clock scalar in
+# ``st``.  Only exact LRU is transcribed; other policies delegate to
+# the array backend before the kernel is ever entered.
+
+
+@maybe_njit
+def _cache_ref_hit(tags, valid, dirty, lru, st, s_tick, cnt, c_hits,
+                   a, off, ibits, imask, assoc, wr_dirty):
+    """``CacheArray.reference_hit``: probe + LRU touch in one scan.
+
+    On a miss *nothing* changes — no clock advance, no miss count."""
+    si = (a >> off) & imask
+    tag = a >> (off + ibits)
+    base = si * assoc
+    for w in range(base, base + assoc):
+        if valid[w] == 1 and tags[w] == tag:
+            st[s_tick] += 1
+            lru[w] = st[s_tick]
+            if wr_dirty == 1:
+                dirty[w] = 1
+            cnt[c_hits] += 1
+            return True
+    return False
+
+
+@maybe_njit
+def _cache_access(tags, valid, dirty, lru, st, s_tick, cnt, c_hits, c_misses,
+                  a, off, ibits, imask, assoc, is_write):
+    """``CacheArray.access``: clock advances on every reference."""
+    st[s_tick] += 1
+    si = (a >> off) & imask
+    tag = a >> (off + ibits)
+    base = si * assoc
+    for w in range(base, base + assoc):
+        if valid[w] == 1 and tags[w] == tag:
+            lru[w] = st[s_tick]
+            if is_write == 1:
+                dirty[w] = 1
+            cnt[c_hits] += 1
+            return True
+    cnt[c_misses] += 1
+    return False
+
+
+@maybe_njit
+def _cache_fill(tags, valid, dirty, lru, st, s_tick, cnt, c_evict, c_wb,
+                a, off, ibits, imask, assoc, fill_dirty):
+    """``CacheArray.fill``; returns the dirty victim's line address or -1.
+
+    Victim preference order is the array's historical tie-break: first
+    invalid way in ways[1:], else way 0 if invalid, else min-LRU
+    (first-of-ties from way 0)."""
+    st[s_tick] += 1
+    si = (a >> off) & imask
+    tag = a >> (off + ibits)
+    base = si * assoc
+    for w in range(base, base + assoc):
+        if valid[w] == 1 and tags[w] == tag:
+            lru[w] = st[s_tick]
+            if fill_dirty == 1:
+                dirty[w] = 1  # refresh: dirty OR fill_dirty
+            return -1
+    victim = -1
+    for w in range(base + 1, base + assoc):
+        if valid[w] == 0:
+            victim = w
+            break
+    if victim == -1:
+        if valid[base] == 0:
+            victim = base
+        else:
+            victim = base
+            for w in range(base + 1, base + assoc):
+                if lru[w] < lru[victim]:
+                    victim = w
+    wb = -1
+    if valid[victim] == 1:
+        cnt[c_evict] += 1
+        if dirty[victim] == 1:
+            cnt[c_wb] += 1
+            wb = (tags[victim] << ibits) | si
+    tags[victim] = tag
+    valid[victim] = 1
+    dirty[victim] = fill_dirty
+    lru[victim] = st[s_tick]
+    return wb
+
+
+# -- L2 + main memory (repro.memory.backend.MemoryBackend) --------------------
+
+
+@maybe_njit
+def _request_fill(cfg, st, cnt, l2t, l2v, l2d, l2r, out_heap,
+                  qd_small, qd_okey, qd_ocnt, a, req_cycle):
+    """``MemoryBackend.request_fill``: the pipelined fill request path."""
+    cnt[C_BE_REQ] += 1
+    issue = req_cycle
+    if st[S_BE_NEXT_ISSUE] > issue:
+        issue = st[S_BE_NEXT_ISSUE]
+    m = st[S_BE_OUT_LEN]
+    while m > 0 and out_heap[0] <= issue:
+        m = _heap_pop(out_heap, m)
+    while m >= cfg[K_MAX_OUT]:
+        earliest = out_heap[0]
+        m = _heap_pop(out_heap, m)
+        if earliest > issue:
+            issue = earliest
+    delay = issue - req_cycle
+    if delay < QD_DENSE:
+        qd_small[delay] += 1
+    else:
+        olen = st[S_QD_OLEN]
+        found = False
+        for i in range(olen):
+            if qd_okey[i] == delay:
+                qd_ocnt[i] += 1
+                found = True
+                break
+        if not found:
+            if olen >= qd_okey.shape[0]:
+                st[S_ERROR] = E_HIST_OVERFLOW
+            else:
+                qd_okey[olen] = delay
+                qd_ocnt[olen] = 1
+                st[S_QD_OLEN] = olen + 1
+    st[S_BE_NEXT_ISSUE] = issue + 1
+    if _cache_access(l2t, l2v, l2d, l2r, st, S_L2_TICK, cnt,
+                     C_L2A_HITS, C_L2A_MISSES, a, cfg[K_L2_OFF],
+                     cfg[K_L2_IBITS], cfg[K_L2_IMASK], cfg[K_L2_ASSOC], 0):
+        cnt[C_BE_L2HITS] += 1
+        lat = cfg[K_L2_LAT]
+    else:
+        cnt[C_BE_L2MISSES] += 1
+        lat = cfg[K_L2_LAT] + cfg[K_MEM_LAT]
+        # L2 victim writebacks to memory are absorbed by the write buffer.
+        _cache_fill(l2t, l2v, l2d, l2r, st, S_L2_TICK, cnt,
+                    C_L2A_EVICT, C_L2A_WB, a, cfg[K_L2_OFF],
+                    cfg[K_L2_IBITS], cfg[K_L2_IMASK], cfg[K_L2_ASSOC], 0)
+    complete = issue + lat
+    st[S_BE_OUT_LEN] = _heap_push(out_heap, m, complete)
+    return complete
+
+
+@maybe_njit
+def _backend_writeback(cfg, st, cnt, l2t, l2v, l2d, l2r, line_addr):
+    """``MemoryBackend.writeback``: dirty L1 victim into the L2."""
+    cnt[C_BE_WB] += 1
+    a = line_addr * cfg[K_LINE_SIZE]
+    if not _cache_access(l2t, l2v, l2d, l2r, st, S_L2_TICK, cnt,
+                         C_L2A_HITS, C_L2A_MISSES, a, cfg[K_L2_OFF],
+                         cfg[K_L2_IBITS], cfg[K_L2_IMASK],
+                         cfg[K_L2_ASSOC], 1):
+        _cache_fill(l2t, l2v, l2d, l2r, st, S_L2_TICK, cnt,
+                    C_L2A_EVICT, C_L2A_WB, a, cfg[K_L2_OFF],
+                    cfg[K_L2_IBITS], cfg[K_L2_IMASK], cfg[K_L2_ASSOC], 1)
+
+
+# -- L1 + MSHRs (repro.memory.hierarchy / repro.memory.mshr) ------------------
+#
+# The MSHR file is four compact insertion-ordered arrays; retirement
+# compacts in place (safe: the write cursor never passes the read
+# cursor, and landing fills never touches the MSHR arrays).
+
+
+@maybe_njit
+def _hier_access(cfg, st, cnt, l1t, l1v, l1d, l1r, l2t, l2v, l2d, l2r,
+                 mshr_line, mshr_fill, mshr_write, mshr_merged,
+                 out_heap, qd_small, qd_okey, qd_ocnt, a, is_store, cycle):
+    """``MemoryHierarchy.access`` for a writeback + write-allocate L1.
+
+    Returns the data-ready cycle (>= 0), -1 for an MSHR-full refusal,
+    or -2 after recording an error in ``st``."""
+    if a < 0:
+        st[S_ERROR] = E_NEG_ADDR
+        st[S_ERR_A] = a
+        return -2
+    if _cache_ref_hit(l1t, l1v, l1d, l1r, st, S_L1_TICK, cnt, C_L1A_HITS,
+                      a, cfg[K_L1_OFF], cfg[K_L1_IBITS], cfg[K_L1_IMASK],
+                      cfg[K_L1_ASSOC], is_store):
+        cnt[C_MEM_ACC] += 1
+        cnt[C_MEM_HITS] += 1
+        if is_store == 1:
+            cnt[C_MEM_STORE_ACC] += 1
+        return cycle + cfg[K_HIT_LAT]
+    line = a >> cfg[K_L1_OFF]
+    ml = st[S_MSHR_LEN]
+    for i in range(ml):
+        if mshr_line[i] == line:
+            # secondary miss: merge into the outstanding fill
+            mshr_merged[i] += 1
+            if is_store == 1:
+                mshr_write[i] = 1
+            cnt[C_MSHR_MERGES] += 1
+            cnt[C_MEM_ACC] += 1
+            cnt[C_MEM_SEC] += 1
+            if is_store == 1:
+                cnt[C_MEM_STORE_ACC] += 1
+            complete = cycle + cfg[K_HIT_LAT]
+            if mshr_fill[i] > complete:
+                complete = mshr_fill[i]
+            return complete
+    if ml >= cfg[K_MSHR_ENTRIES]:
+        cnt[C_MEM_MSHR_REF] += 1
+        return -1
+    fill = _request_fill(cfg, st, cnt, l2t, l2v, l2d, l2r, out_heap,
+                         qd_small, qd_okey, qd_ocnt, a,
+                         cycle + cfg[K_HIT_LAT])
+    mshr_line[ml] = line
+    mshr_fill[ml] = fill
+    mshr_write[ml] = is_store
+    mshr_merged[ml] = 1
+    st[S_MSHR_LEN] = ml + 1
+    if fill < st[S_MSHR_MIN]:
+        st[S_MSHR_MIN] = fill
+    cnt[C_MSHR_ALLOC] += 1
+    if ml + 1 > cnt[C_MSHR_PEAK]:
+        cnt[C_MSHR_PEAK] = ml + 1
+    cnt[C_MEM_ACC] += 1
+    cnt[C_MEM_PRI] += 1
+    if is_store == 1:
+        cnt[C_MEM_STORE_ACC] += 1
+    return fill
+
+
+@maybe_njit
+def _hier_tick(cfg, st, cnt, l1t, l1v, l1d, l1r, l2t, l2v, l2d, l2r,
+               mshr_line, mshr_fill, mshr_write, mshr_merged, landed, cycle):
+    """``MemoryHierarchy.tick``: land due fills (insertion order) into
+    the L1, writing back dirty victims; returns how many lines landed
+    (their line addresses in ``landed``)."""
+    if cycle <= st[S_LAST_TICK]:
+        return 0
+    st[S_LAST_TICK] = cycle
+    ml = st[S_MSHR_LEN]
+    if ml == 0 or cycle < st[S_MSHR_MIN]:
+        return 0
+    w = 0
+    count = 0
+    for i in range(ml):
+        if mshr_fill[i] <= cycle:
+            wb = _cache_fill(l1t, l1v, l1d, l1r, st, S_L1_TICK, cnt,
+                             C_L1A_EVICT, C_L1A_WB,
+                             mshr_line[i] * cfg[K_LINE_SIZE],
+                             cfg[K_L1_OFF], cfg[K_L1_IBITS],
+                             cfg[K_L1_IMASK], cfg[K_L1_ASSOC],
+                             mshr_write[i])
+            landed[count] = mshr_line[i]
+            count += 1
+            if wb >= 0:
+                _backend_writeback(cfg, st, cnt, l2t, l2v, l2d, l2r, wb)
+        else:
+            mshr_line[w] = mshr_line[i]
+            mshr_fill[w] = mshr_fill[i]
+            mshr_write[w] = mshr_write[i]
+            mshr_merged[w] = mshr_merged[i]
+            w += 1
+    st[S_MSHR_LEN] = w
+    mn = FAR
+    for i in range(w):
+        if mshr_fill[i] < mn:
+            mn = mshr_fill[i]
+    st[S_MSHR_MIN] = mn
+    return count
+
+
+# -- bank selection (repro.memory.banking) ------------------------------------
+
+
+@maybe_njit
+def _bank_of(cfg, a):
+    banks = cfg[K_BANKS]
+    if banks == 1:
+        return 0
+    line = a >> cfg[K_GRANULE_BITS]
+    if cfg[K_BANK_FN] == 0:  # bit-select
+        return line & (banks - 1)
+    # xor-fold (matches banking.xor_fold exactly, including its
+    # non-termination on negative addresses — accepted addresses are
+    # validated non-negative by the hierarchy first, as in the original)
+    mask = banks - 1
+    bb = cfg[K_BANK_BITS]
+    folded = 0
+    while line != 0:
+        folded ^= line & mask
+        line >>= bb
+    return folded
+
+
+# -- port-model arbitration (repro.memory.ports.*) ----------------------------
+
+
+@maybe_njit
+def _port_try_access(cfg, st, cnt, l1t, l1v, l1d, l1r, l2t, l2v, l2d, l2r,
+                     mshr_line, mshr_fill, mshr_write, mshr_merged,
+                     out_heap, qd_small, qd_okey, qd_ocnt,
+                     bank_uses, bank_busy_line, fill_busy,
+                     gated_line, pub, sq, sq_len, a, is_store, cycle):
+    """One request through the configured port model.
+
+    Returns the completion cycle (>= 0), -1 for a per-cycle refusal
+    (reason counted at ``C_REF_BASE``), or -2 after an error.  The
+    accepted-loads/stores bookkeeping happens at the call sites, as in
+    ``PortModel.try_load``/``try_store``."""
+    model = cfg[K_MODEL]
+    if model == 0:  # ideal multi-ported
+        if st[S_PORTS_USED] >= cfg[K_PORTS]:
+            cnt[C_REF_BASE + 0] += 1  # port_limit
+            return -1
+        complete = _hier_access(cfg, st, cnt, l1t, l1v, l1d, l1r,
+                                l2t, l2v, l2d, l2r, mshr_line, mshr_fill,
+                                mshr_write, mshr_merged, out_heap, qd_small,
+                                qd_okey, qd_ocnt, a, is_store, cycle)
+        if complete == -2:
+            return -2
+        if complete == -1:
+            cnt[C_REF_BASE + 5] += 1  # mshr_full
+            return -1
+        st[S_PORTS_USED] += 1
+        return complete
+    if model == 1:  # replicated copies; stores broadcast
+        if st[S_STORE_CYCLE] == 1:
+            cnt[C_REF_BASE + 3] += 1  # store_serialization
+            return -1
+        if is_store == 1:
+            if st[S_PORTS_USED] > 0:
+                cnt[C_REF_BASE + 3] += 1
+                return -1
+            complete = _hier_access(cfg, st, cnt, l1t, l1v, l1d, l1r,
+                                    l2t, l2v, l2d, l2r, mshr_line,
+                                    mshr_fill, mshr_write, mshr_merged,
+                                    out_heap, qd_small, qd_okey, qd_ocnt,
+                                    a, 1, cycle)
+            if complete == -2:
+                return -2
+            if complete == -1:
+                cnt[C_REF_BASE + 5] += 1
+                return -1
+            st[S_STORE_CYCLE] = 1
+            st[S_PORTS_USED] = cfg[K_PORTS]  # broadcast fills every copy
+            return complete
+        if st[S_PORTS_USED] >= cfg[K_PORTS]:
+            cnt[C_REF_BASE + 0] += 1
+            return -1
+        complete = _hier_access(cfg, st, cnt, l1t, l1v, l1d, l1r,
+                                l2t, l2v, l2d, l2r, mshr_line, mshr_fill,
+                                mshr_write, mshr_merged, out_heap, qd_small,
+                                qd_okey, qd_ocnt, a, 0, cycle)
+        if complete == -2:
+            return -2
+        if complete == -1:
+            cnt[C_REF_BASE + 5] += 1
+            return -1
+        st[S_PORTS_USED] += 1
+        return complete
+    if model == 2:  # banked / interleaved
+        b = _bank_of(cfg, a)
+        if fill_busy[b] == 1:
+            cnt[C_REF_BASE + 7] += 1  # fill_port
+            return -1
+        if bank_uses[b] >= cfg[K_PORTS]:
+            cnt[C_REF_BASE + 1] += 1  # bank_conflict
+            if bank_busy_line[b] == (a >> cfg[K_L1_OFF]):
+                cnt[C_SAME_LINE] += 1
+            return -1
+        complete = _hier_access(cfg, st, cnt, l1t, l1v, l1d, l1r,
+                                l2t, l2v, l2d, l2r, mshr_line, mshr_fill,
+                                mshr_write, mshr_merged, out_heap, qd_small,
+                                qd_okey, qd_ocnt, a, is_store, cycle)
+        if complete == -2:
+            return -2
+        if complete == -1:
+            cnt[C_REF_BASE + 5] += 1
+            return -1
+        if is_store == 0 and cfg[K_XBAR] != 0:
+            complete += cfg[K_XBAR]
+        bank_uses[b] += 1
+        bank_busy_line[b] = a >> cfg[K_L1_OFF]
+        return complete
+    # model == 3: the LBIC
+    b = _bank_of(cfg, a)
+    line = a >> cfg[K_L1_OFF]
+    if fill_busy[b] == 1:
+        cnt[C_REF_BASE + 7] += 1
+        return -1
+    gl = gated_line[b]
+    if gl != GATED_NONE:
+        if gl != line:
+            cnt[C_REF_BASE + 2] += 1  # line_conflict
+            return -1
+        if pub[b] >= cfg[K_PORTS]:
+            cnt[C_REF_BASE + 0] += 1  # port_limit (buffer ports)
+            return -1
+    if is_store == 1:
+        # Coalescing store queue: a same-line store merges into its
+        # queued entry even when the queue is otherwise full.
+        qlen = sq_len[b]
+        found = False
+        for i in range(qlen):
+            if (sq[b, i] >> cfg[K_L1_OFF]) == line:
+                found = True
+                break
+        if not found and qlen >= cfg[K_SQ_DEPTH]:
+            cnt[C_REF_BASE + 4] += 1  # store_queue_full
+            return -1
+        if found:
+            cnt[C_COALESCED] += 1
+        else:
+            sq[b, qlen] = a
+            sq_len[b] = qlen + 1
+            if qlen + 1 > cnt[C_SQ_PEAK]:
+                cnt[C_SQ_PEAK] = qlen + 1
+        if gl == GATED_NONE:
+            gated_line[b] = line
+            pub[b] = 1
+        else:
+            pub[b] += 1
+            cnt[C_COMB_STORES] += 1
+        return cycle  # stores complete on acceptance
+    complete = _hier_access(cfg, st, cnt, l1t, l1v, l1d, l1r,
+                            l2t, l2v, l2d, l2r, mshr_line, mshr_fill,
+                            mshr_write, mshr_merged, out_heap, qd_small,
+                            qd_okey, qd_ocnt, a, 0, cycle)
+    if complete == -2:
+        return -2
+    if complete == -1:
+        cnt[C_REF_BASE + 5] += 1
+        return -1
+    if gl == GATED_NONE:
+        gated_line[b] = line
+        pub[b] = 1
+    else:
+        pub[b] += 1
+        cnt[C_COMB_LOADS] += 1
+    return complete + cfg[K_XBAR]
+
+
+@maybe_njit
+def _lbic_end_cycle(cfg, st, cnt, l1t, l1v, l1d, l1r, l2t, l2v, l2d, l2r,
+                    mshr_line, mshr_fill, mshr_write, mshr_merged,
+                    out_heap, qd_small, qd_okey, qd_ocnt,
+                    gated_line, pub, fill_busy, sq, sq_len, group_sizes,
+                    cycle):
+    """``LBICache._finish_cycle_state``: record combining-group sizes,
+    then drain one write-combined line per idle bank.  Returns -2 on
+    error, else 0."""
+    for b in range(cfg[K_BANKS]):
+        pu = pub[b]
+        if pu > 0:
+            group_sizes[pu] += 1
+            continue
+        if fill_busy[b] == 1:
+            continue  # the fill owns the array port this cycle
+        qlen = sq_len[b]
+        if qlen > 0:
+            a = sq[b, 0]
+            complete = _hier_access(cfg, st, cnt, l1t, l1v, l1d, l1r,
+                                    l2t, l2v, l2d, l2r, mshr_line,
+                                    mshr_fill, mshr_write, mshr_merged,
+                                    out_heap, qd_small, qd_okey, qd_ocnt,
+                                    a, 1, cycle)
+            if complete == -2:
+                return -2
+            if complete == -1:
+                # MSHR full: retry on the next idle cycle (no port-level
+                # refusal reason is recorded for drains).
+                cnt[C_DRAIN_RETRY] += 1
+            else:
+                line = a >> cfg[K_L1_OFF]
+                w = 0
+                for i in range(qlen):
+                    if (sq[b, i] >> cfg[K_L1_OFF]) != line:
+                        sq[b, w] = sq[b, i]
+                        w += 1
+                cnt[C_DRAINED] += qlen - w
+                sq_len[b] = w
+    return 0
+
+
+# -- the fused cycle loop -----------------------------------------------------
+
+
+@maybe_njit
+def run_busy_loop(cfg, st, cnt, op, addr, mem, hc, rem, rema,
+                  cons_idx, cons_dat, acons_idx, acons_dat,
+                  stores_list, nmem, sword_arr, resolved, ct,
+                  fast_lat, route_total, route_pool, route_interval,
+                  pool_count, pool_issued, pool_busy, pool_busy_len,
+                  rl, rr, rl2, rr2, wheel, blocked, occ_counts,
+                  l1t, l1v, l1d, l1r, l2t, l2v, l2d, l2r,
+                  mshr_line, mshr_fill, mshr_write, mshr_merged,
+                  out_heap, qd_small, qd_okey, qd_ocnt, landed,
+                  bank_uses, bank_busy_line, fill_busy,
+                  gated_line, pub, sq, sq_len, group_sizes):
+    """The whole observer-less busy loop, one compiled function.
+
+    Per-cycle phase order matches ``FlatProcessor._run_busy_loop``
+    exactly: exit check -> clock -> deadline -> FU pool reset ->
+    port begin -> MSHR tick (+ fill notifications) -> wakeup ->
+    commit -> issue -> dispatch -> port end (+ LBIC drain) -> skip.
+    On an error the loop records the code in ``st[S_ERROR]`` and
+    returns; the glue layer raises the byte-identical exception."""
+    n = cfg[K_N]
+    model = cfg[K_MODEL]
+    banks = cfg[K_BANKS]
+    width = cfg[K_WIDTH]
+    scan_limit = cfg[K_SCAN_LIMIT]
+    commit_w = cfg[K_COMMIT_W]
+    fetch_w = cfg[K_FETCH_W]
+    ruu_cap = cfg[K_RUU_CAP]
+    lsq_size = cfg[K_LSQ_SIZE]
+    stall_limit = cfg[K_STALL_LIMIT]
+    skip_on = cfg[K_SKIP] == 1
+    npools = cfg[K_NPOOLS]
+    n_stores = stores_list.shape[0]
+    in_order = model != 3
+
+    cycle = st[S_CYCLE]
+    head = st[S_HEAD]
+    nxt = st[S_NEXT]
+    lsq_occ = st[S_LSQ_OCC]
+    lsq_peak = st[S_LSQ_PEAK]
+    loads_n = st[S_LOADS]
+    stores_n = st[S_STORES]
+    committed = st[S_COMMITTED]
+    last_commit = st[S_LAST_COMMIT]
+    deadline = st[S_DEADLINE]
+    sp = st[S_SP]
+    dsp = st[S_DSP]
+    up = st[S_UP]
+    skipped_total = st[S_SKIPPED]
+    wl = st[S_WHEEL_LEN]
+    nl = st[S_NL]
+    nr = st[S_NR]
+    nbl = st[S_BLOCKED_LEN]
+    naccepted = 0
+    err = False
+
+    while True:
+        if nxt >= n and nxt == head:
+            pending = False
+            if model == 3:
+                for b in range(banks):
+                    if sq_len[b] > 0:
+                        pending = True
+                        break
+            if not pending:
+                break
+        cycle += 1
+        if cycle > deadline:
+            st[S_ERROR] = E_DEADLOCK
+            st[S_ERR_A] = cycle
+            break
+        # ---- FU pools + port begin -------------------------------
+        for p in range(npools):
+            pool_issued[p] = 0
+        if model <= 1:
+            st[S_PORTS_USED] = 0
+            st[S_STORE_CYCLE] = 0
+        elif model == 2:
+            for b in range(banks):
+                bank_uses[b] = 0
+                bank_busy_line[b] = -1
+                fill_busy[b] = 0
+        else:
+            for b in range(banks):
+                gated_line[b] = GATED_NONE
+                pub[b] = 0
+                fill_busy[b] = 0
+        naccepted = 0
+        # ---- MSHR fills ------------------------------------------
+        if st[S_MSHR_MIN] <= cycle:
+            nland = _hier_tick(cfg, st, cnt, l1t, l1v, l1d, l1r,
+                               l2t, l2v, l2d, l2r, mshr_line, mshr_fill,
+                               mshr_write, mshr_merged, landed, cycle)
+            if nland > 0 and cfg[K_FILLS_OCCUPY] == 1 and model >= 2:
+                for i in range(nland):
+                    fb = _bank_of(cfg, landed[i] * cfg[K_LINE_SIZE])
+                    fill_busy[fb] = 1
+        # ---- wakeup ----------------------------------------------
+        while wl > 0 and (wheel[0] >> SEQ_BITS) == cycle:
+            s = wheel[0] & SEQ_MASK
+            wl = _heap_pop(wheel, wl)
+            for di in range(cons_idx[s], cons_idx[s + 1]):
+                c = cons_dat[di]
+                r = rem[c] - 1
+                rem[c] = r
+                if r == 0 and c < nxt:
+                    if mem[c] == 1:
+                        rl[nl] = c
+                        nl += 1
+                    else:
+                        rr[nr] = c
+                        nr += 1
+            for di in range(acons_idx[s], acons_idx[s + 1]):
+                c = acons_dat[di]
+                r = rema[c] - 1
+                rema[c] = r
+                if r == 0 and c < nxt:
+                    resolved[c] = 1
+                    if nbl > 0:
+                        # release parked loads now older than every
+                        # unknown store (cursor form of the heap walk)
+                        while up < dsp and resolved[stores_list[up]] == 1:
+                            up += 1
+                        if up < dsp:
+                            oldest = stores_list[up]
+                        else:
+                            oldest = -1
+                        while nbl > 0 and (oldest == -1
+                                           or blocked[0] < oldest):
+                            rl[nl] = blocked[0]
+                            nl += 1
+                            nbl = _heap_pop(blocked, nbl)
+        # ---- commit ----------------------------------------------
+        if head < nxt and ct[head] <= cycle:
+            bound = head + commit_w
+            if bound > nxt:
+                bound = nxt
+            end = head + 1
+            while end < bound and ct[end] <= cycle:
+                end += 1
+            if sp < n_stores and stores_list[sp] < end:
+                while sp < n_stores:
+                    q = stores_list[sp]
+                    if q >= end:
+                        break
+                    res = _port_try_access(
+                        cfg, st, cnt, l1t, l1v, l1d, l1r,
+                        l2t, l2v, l2d, l2r, mshr_line, mshr_fill,
+                        mshr_write, mshr_merged, out_heap, qd_small,
+                        qd_okey, qd_ocnt, bank_uses, bank_busy_line,
+                        fill_busy, gated_line, pub, sq, sq_len,
+                        addr[q], 1, cycle)
+                    if res == -2:
+                        err = True
+                        break
+                    if res == -1:
+                        end = q  # a refused store stalls commit here
+                        break
+                    cnt[C_P_NSTORES] += 1
+                    naccepted += 1
+                    sp += 1
+            if err:
+                break
+            if end > head:
+                committed += end - head
+                lsq_occ -= nmem[end] - nmem[head]
+                head = end
+                last_commit = cycle
+                deadline = cycle + stall_limit
+        # ---- issue -----------------------------------------------
+        if nl > 0 or nr > 0:
+            rl[:nl].sort()
+            rr[:nr].sort()
+            # Oldest-128 scheduling window: issue considers only the
+            # merged-oldest scan_limit candidates this cycle.
+            if nl + nr > scan_limit:
+                i = 0
+                j = 0
+                while i + j < scan_limit:
+                    if i < nl and (j >= nr or rl[i] <= rr[j]):
+                        i += 1
+                    else:
+                        j += 1
+                cut_l = i
+                cut_r = j
+            else:
+                cut_l = nl
+                cut_r = nr
+            nl2 = 0
+            nr2 = 0
+            budget = width
+            cyc1 = cycle + 1
+            oldest_unknown = -2  # lazily computed; -1 = none
+            i = 0
+            j = 0
+            while budget > 0:
+                if i < cut_l:
+                    s = rl[i]
+                    if j < cut_r and rr[j] < s:
+                        s = rr[j]
+                        j += 1
+                        load = False
+                    else:
+                        i += 1
+                        load = True
+                elif j < cut_r:
+                    s = rr[j]
+                    j += 1
+                    load = False
+                else:
+                    break
+                if load:
+                    if oldest_unknown == -2:
+                        while up < dsp and resolved[stores_list[up]] == 1:
+                            up += 1
+                        if up < dsp:
+                            oldest_unknown = stores_list[up]
+                        else:
+                            oldest_unknown = -1
+                    if oldest_unknown != -1 and oldest_unknown < s:
+                        nbl = _heap_push(blocked, nbl, s)
+                        cnt[C_BLOCKED] += 1
+                        continue
+                    a = addr[s]
+                    # store-to-load forwarding: any resolved, uncommitted
+                    # older store to the same 8-byte word
+                    aw = a & WORD_MASK
+                    fwd = False
+                    p = sp
+                    while p < dsp:
+                        q = stores_list[p]
+                        if q >= s:
+                            break
+                        if resolved[q] == 1 and sword_arr[q] == aw:
+                            fwd = True
+                            break
+                        p += 1
+                    if fwd:
+                        cnt[C_FORWARDS] += 1
+                        ct[s] = cyc1
+                        if hc[s] == 1:
+                            wl = _heap_push(wheel, wl,
+                                            (cyc1 << SEQ_BITS) | s)
+                        budget -= 1
+                        continue
+                    complete = _port_try_access(
+                        cfg, st, cnt, l1t, l1v, l1d, l1r,
+                        l2t, l2v, l2d, l2r, mshr_line, mshr_fill,
+                        mshr_write, mshr_merged, out_heap, qd_small,
+                        qd_okey, qd_ocnt, bank_uses, bank_busy_line,
+                        fill_busy, gated_line, pub, sq, sq_len,
+                        a, 0, cycle)
+                    if complete == -2:
+                        err = True
+                        break
+                    if complete == -1:
+                        rl2[nl2] = s
+                        nl2 += 1
+                        if in_order:
+                            # a refusal defers every younger ready load
+                            while i < cut_l:
+                                rl2[nl2] = rl[i]
+                                nl2 += 1
+                                i += 1
+                        continue
+                    cnt[C_P_NLOADS] += 1
+                    naccepted += 1
+                    if complete <= cyc1:
+                        ct[s] = cyc1
+                        if hc[s] == 1:
+                            wl = _heap_push(wheel, wl,
+                                            (cyc1 << SEQ_BITS) | s)
+                    else:
+                        ct[s] = complete
+                        if hc[s] == 1:
+                            wl = _heap_push(wheel, wl,
+                                            (complete << SEQ_BITS) | s)
+                    budget -= 1
+                else:
+                    t = fast_lat[op[s]]
+                    if t == 1:
+                        ct[s] = cyc1
+                        if hc[s] == 1:
+                            wl = _heap_push(wheel, wl,
+                                            (cyc1 << SEQ_BITS) | s)
+                        budget -= 1
+                        continue
+                    if t > 1:
+                        tt = cycle + t
+                        ct[s] = tt
+                        if hc[s] == 1:
+                            wl = _heap_push(wheel, wl,
+                                            (tt << SEQ_BITS) | s)
+                        budget -= 1
+                        continue
+                    # pool-routed FU class
+                    pidx = route_pool[op[s]]
+                    if pidx >= 0:
+                        bl = pool_busy_len[pidx]
+                        if bl > 0:
+                            row = pool_busy[pidx]
+                            while bl > 0 and row[0] <= cycle:
+                                bl = _heap_pop(row, bl)
+                            pool_busy_len[pidx] = bl
+                            available = (pool_count[pidx] - bl
+                                         - pool_issued[pidx])
+                        else:
+                            available = (pool_count[pidx]
+                                         - pool_issued[pidx])
+                        if available <= 0:
+                            cnt[C_FU_STALL] += 1
+                            rr2[nr2] = s
+                            nr2 += 1
+                            continue
+                        interval = route_interval[op[s]]
+                        if interval > 1:
+                            row = pool_busy[pidx]
+                            pool_busy_len[pidx] = _heap_push(
+                                row, pool_busy_len[pidx], cycle + interval)
+                        else:
+                            pool_issued[pidx] += 1
+                    total = route_total[op[s]]
+                    if total == 1:
+                        ct[s] = cyc1
+                        if hc[s] == 1:
+                            wl = _heap_push(wheel, wl,
+                                            (cyc1 << SEQ_BITS) | s)
+                    else:
+                        tt = cycle + total
+                        if tt <= cycle:
+                            st[S_ERROR] = E_PAST_COMPLETION
+                            st[S_ERR_A] = tt
+                            st[S_ERR_B] = cycle
+                            err = True
+                            break
+                        ct[s] = tt
+                        if hc[s] == 1:
+                            wl = _heap_push(wheel, wl,
+                                            (tt << SEQ_BITS) | s)
+                    budget -= 1
+            if err:
+                break
+            # budget exhausted / walk done: carry over the unissued
+            # window remainder, then the beyond-window tails
+            while i < cut_l:
+                rl2[nl2] = rl[i]
+                nl2 += 1
+                i += 1
+            while j < cut_r:
+                rr2[nr2] = rr[j]
+                nr2 += 1
+                j += 1
+            for p in range(cut_l, nl):
+                rl2[nl2] = rl[p]
+                nl2 += 1
+            for p in range(cut_r, nr):
+                rr2[nr2] = rr[p]
+                nr2 += 1
+            for p in range(nl2):
+                rl[p] = rl2[p]
+            nl = nl2
+            for p in range(nr2):
+                rr[p] = rr2[p]
+            nr = nr2
+        # ---- dispatch --------------------------------------------
+        if nxt < n:
+            limit = nxt + fetch_w
+            if limit > n:
+                limit = n
+            k = nxt
+            occ = k - head
+            while k < limit:
+                if occ >= ruu_cap:
+                    break
+                m = mem[k]
+                if m != 0:
+                    if lsq_occ >= lsq_size:
+                        break
+                    lsq_occ += 1
+                    if lsq_occ > lsq_peak:
+                        lsq_peak = lsq_occ
+                    if m == 2:
+                        stores_n += 1
+                        dsp += 1  # stores_list[dsp - 1] == k
+                        if rema[k] == 0:
+                            resolved[k] = 1
+                            if nbl > 0:
+                                while (up < dsp
+                                       and resolved[stores_list[up]] == 1):
+                                    up += 1
+                                if up < dsp:
+                                    oldest = stores_list[up]
+                                else:
+                                    oldest = -1
+                                while nbl > 0 and (oldest == -1
+                                                   or blocked[0] < oldest):
+                                    rl[nl] = blocked[0]
+                                    nl += 1
+                                    nbl = _heap_pop(blocked, nbl)
+                    else:
+                        loads_n += 1
+                if rem[k] == 0:
+                    if m == 1:
+                        rl[nl] = k
+                        nl += 1
+                    else:
+                        rr[nr] = k
+                        nr += 1
+                k += 1
+                occ += 1
+            nxt = k
+        # ---- port end --------------------------------------------
+        if naccepted > 0:
+            cnt[C_P_BUSY] += 1
+            occ_counts[naccepted] += 1
+        if model == 3:
+            res = _lbic_end_cycle(cfg, st, cnt, l1t, l1v, l1d, l1r,
+                                  l2t, l2v, l2d, l2r, mshr_line, mshr_fill,
+                                  mshr_write, mshr_merged, out_heap,
+                                  qd_small, qd_okey, qd_ocnt, gated_line,
+                                  pub, fill_busy, sq, sq_len, group_sizes,
+                                  cycle)
+            if res == -2:
+                break
+        if st[S_ERROR] != 0:
+            break
+        # ---- event-horizon skip ----------------------------------
+        if skip_on and nl == 0 and nr == 0 and head < nxt:
+            hcomp = ct[head]
+            if hcomp > cycle:
+                can_dispatch = False
+                if nxt < n and nxt - head < ruu_cap:
+                    if not (mem[nxt] != 0 and lsq_occ >= lsq_size):
+                        can_dispatch = True
+                if not can_dispatch:
+                    horizon = FAR
+                    if wl > 0:
+                        horizon = wheel[0] >> SEQ_BITS
+                    if hcomp < FAR and hcomp < horizon:
+                        horizon = hcomp
+                    if st[S_MSHR_MIN] < horizon:
+                        horizon = st[S_MSHR_MIN]
+                    if model == 3 and cycle + 1 < horizon:
+                        for b in range(banks):
+                            if sq_len[b] > 0:
+                                horizon = cycle + 1
+                                break
+                    target = deadline + 1
+                    if horizon < target:
+                        target = horizon
+                    skipped = target - cycle - 1
+                    if skipped > 0:
+                        cycle += skipped
+                        skipped_total += skipped
+
+    st[S_CYCLE] = cycle
+    st[S_HEAD] = head
+    st[S_NEXT] = nxt
+    st[S_LSQ_OCC] = lsq_occ
+    st[S_LSQ_PEAK] = lsq_peak
+    st[S_LOADS] = loads_n
+    st[S_STORES] = stores_n
+    st[S_COMMITTED] = committed
+    st[S_LAST_COMMIT] = last_commit
+    st[S_DEADLINE] = deadline
+    st[S_SP] = sp
+    st[S_DSP] = dsp
+    st[S_UP] = up
+    st[S_SKIPPED] = skipped_total
+    st[S_WHEEL_LEN] = wl
+    st[S_NL] = nl
+    st[S_NR] = nr
+    st[S_BLOCKED_LEN] = nbl
+    return st[S_ERROR]

@@ -262,6 +262,21 @@ class RunEvent:
 ProgressCallback = Callable[[RunEvent], None]
 
 
+def _warm_jit_backend(payloads: Sequence[Dict[str, Any]]) -> None:
+    """Compile the jit backend's kernel parent-side, pre-fork.
+
+    With the default fork start method, children inherit the parent's
+    compiled numba dispatchers, so no worker recompiles (the on-disk
+    ``NUMBA_CACHE_DIR`` makes even the parent's compile a cache load on
+    repeat invocations).  No-op unless a payload asks for ``jit`` and
+    numba is actually importable.
+    """
+    if any(payload.get("backend") == "jit" for payload in payloads):
+        from ..core.jit import warm_jit
+
+        warm_jit()
+
+
 def default_jobs() -> int:
     """The default worker count: every core *this process may use*.
 
@@ -334,6 +349,10 @@ class WorkerPool:
 
     def submit(self, payload: Dict[str, Any]) -> "Future[Dict[str, Any]]":
         """Run one payload asynchronously; returns its outcome future."""
+        if self._executor is None and not self.threads:
+            # About to fork the pool: compile the jit kernel parent-side
+            # so workers inherit warm dispatchers (zero recompilation).
+            _warm_jit_backend([payload])
         executor = self._ensure_executor()
         with self._lock:
             self._busy += 1
@@ -608,6 +627,7 @@ class SimulationEngine:
                 yield simulate_payload(payload)
             return
         workers = min(self.jobs, len(payloads))
+        _warm_jit_backend(payloads)
         # Stream outcomes as the pool produces them (pool.map yields in
         # submission order) so progress callbacks and telemetry observe
         # units as they finish, not after the whole batch completes.

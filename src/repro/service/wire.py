@@ -55,6 +55,7 @@ _SETTINGS_KEYS = (
     "seed",
     "observe",
     "metrics",
+    "backend",
 )
 
 #: unit-identity keys, on top of the settings keys.
@@ -69,6 +70,7 @@ _SETTINGS_TYPES = {
     "seed": int,
     "observe": bool,
     "metrics": bool,
+    "backend": str,
 }
 
 
@@ -109,8 +111,27 @@ def _settings_values(data: Mapping[str, Any], what: str) -> Dict[str, Any]:
             raise WireError(f"{what}: {key!r} must be an integer, got {value!r}")
         if expected is bool and not isinstance(value, bool):
             raise WireError(f"{what}: {key!r} must be a boolean, got {value!r}")
+        if expected is str:
+            if not isinstance(value, str):
+                raise WireError(f"{what}: {key!r} must be a string, got {value!r}")
+            if key == "backend":
+                _check_backend(value, what)
         values[key] = value
     return values
+
+
+def _check_backend(name: str, what: str) -> None:
+    """Validate a backend name against the registry (400 on unknowns,
+    listing the registered alternatives)."""
+    from ..common.registry import mechanism_names
+    from ..core import backends  # noqa: F401  (registers the backends)
+
+    known = mechanism_names("backend")
+    if name not in known:
+        raise WireError(
+            f"{what}: unknown backend {name!r}; "
+            f"choose from {', '.join(sorted(known))}"
+        )
 
 
 def _parse_ports_spec(spec: Any, what: str):

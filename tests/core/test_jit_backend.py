@@ -1,0 +1,234 @@
+"""The jit backend's contract: bit-identical, degrading gracefully.
+
+:class:`repro.core.jit.JitProcessor` replaces the observer-less busy
+loop with the :mod:`repro.core.jitkernel` transcription.  These tests
+pin its three behaviours:
+
+* **equivalence** — with ``REPRO_JIT_FORCE_KERNEL=1`` the kernel runs
+  *interpreted* (no numba needed), so the transcription itself is what
+  the matrix exercises: every ``SimResult`` field must equal the
+  object backend's across the port-model matrix and workloads;
+* **delegation** — configurations the kernel does not model (non-LRU
+  replacement, the fibonacci bank hash, largest-group combining, the
+  forced stdlib prep) silently fall through to the inherited array
+  loop, results unchanged;
+* **degradation** — without numba (``REPRO_NO_NUMBA=1``) the backend
+  falls back to the array busy loop with exactly one
+  :class:`RuntimeWarning` per process, results unchanged; forked
+  workers never recompile (the compile counter matches the warmed
+  parent's).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+from dataclasses import replace
+
+import pytest
+
+from repro.common.config import (
+    BankedPortConfig,
+    IdealPortConfig,
+    LBICConfig,
+    MainMemoryConfig,
+    ReplicatedPortConfig,
+    paper_machine,
+)
+from repro.common.registry import mechanism
+from repro.core.jit import (
+    JitProcessor,
+    kernel_compile_probe,
+    kernel_mode,
+    numba_available,
+    reset_fallback_warning,
+    warm_jit,
+)
+from repro.core.processor import Processor
+from repro.workloads import miss_heavy_mix, spec95_workload
+
+N = 1_200
+
+PORT_CONFIGS = {
+    "ideal:1": IdealPortConfig(1),
+    "ideal:4": IdealPortConfig(4),
+    "repl:2": ReplicatedPortConfig(2),
+    "bank:4": BankedPortConfig(banks=4),
+    "lbic:2x2": LBICConfig(banks=2, buffer_ports=2),
+    "lbic:4x4": LBICConfig(banks=4, buffer_ports=4),
+    "lbic:8x4": LBICConfig(banks=8, buffer_ports=4),
+}
+
+_STREAMS = {}
+
+
+def stream_for(name):
+    if name not in _STREAMS:
+        mix = miss_heavy_mix() if name == "miss_heavy" else spec95_workload(name)
+        _STREAMS[name] = list(mix.stream(seed=7, max_instructions=N))
+    return _STREAMS[name]
+
+
+def run_one(cls, workload, config, **kwargs):
+    """(processor, result dict) for one run of ``cls`` on the memoized
+    stream — the processor comes back so tests can inspect
+    ``kernel_engaged``."""
+    processor = cls(config)
+    result = processor.run(
+        iter(stream_for(workload)), max_instructions=N, **kwargs
+    )
+    return processor, result.to_dict()
+
+
+@pytest.fixture
+def forced_kernel(monkeypatch):
+    """Make the kernel run (compiled if numba is present, interpreted
+    otherwise) so the transcription is what each test exercises."""
+    monkeypatch.delenv("REPRO_NO_NUMBA", raising=False)
+    monkeypatch.setenv("REPRO_JIT_FORCE_KERNEL", "1")
+    assert kernel_mode() in ("jit", "interpret")
+
+
+# -- equivalence -------------------------------------------------------------
+
+
+@pytest.mark.parametrize("ports", sorted(PORT_CONFIGS))
+@pytest.mark.parametrize("workload", ["gcc", "swim", "li"])
+def test_jit_backend_is_bit_identical(forced_kernel, workload, ports):
+    config = paper_machine(PORT_CONFIGS[ports])
+    _, expected = run_one(Processor, workload, config)
+    processor, actual = run_one(JitProcessor, workload, config)
+    assert processor.kernel_engaged, f"{workload} x {ports}: kernel skipped"
+    assert actual == expected, f"{workload} x {ports}"
+
+
+def test_jit_backend_matches_on_miss_heavy_slow_memory(forced_kernel):
+    config = replace(
+        paper_machine(IdealPortConfig(4)),
+        memory=MainMemoryConfig(access_latency=200),
+    )
+    _, expected = run_one(Processor, "miss_heavy", config)
+    processor, actual = run_one(JitProcessor, "miss_heavy", config)
+    assert processor.kernel_engaged
+    assert actual == expected
+
+
+def test_jit_backend_matches_through_warmup(forced_kernel):
+    """Warm-up runs re-enter the busy loop on warmed caches, so the
+    kernel marshals non-empty L1/L2 state in."""
+    config = paper_machine(LBICConfig(banks=4, buffer_ports=4))
+    timed = 700
+    _, expected = run_one(
+        Processor, "gcc", config, warmup_instructions=N - timed
+    )
+    processor, actual = run_one(
+        JitProcessor, "gcc", config, warmup_instructions=N - timed
+    )
+    assert processor.kernel_engaged
+    assert actual == expected
+
+
+def test_jit_backend_matches_without_cycle_skipping(forced_kernel):
+    config = paper_machine(IdealPortConfig(4))
+    expected = Processor(config, cycle_skipping=False).run(
+        iter(stream_for("swim")), max_instructions=N
+    ).to_dict()
+    processor = JitProcessor(config, cycle_skipping=False)
+    actual = processor.run(
+        iter(stream_for("swim")), max_instructions=N
+    ).to_dict()
+    assert processor.kernel_engaged
+    assert actual == expected
+
+
+# -- delegation to the inherited array loop ----------------------------------
+
+
+DELEGATING_CONFIGS = {
+    "non-lru": lambda base: replace(
+        base, l1=replace(base.l1, replacement="multi_step_lru")
+    ),
+    "fibonacci-hash": lambda base: replace(
+        base, ports=BankedPortConfig(banks=4, bank_function="fibonacci")
+    ),
+    "largest-group": lambda base: replace(
+        base,
+        ports=LBICConfig(
+            banks=4, buffer_ports=4, combining_policy="largest-group"
+        ),
+    ),
+}
+
+
+@pytest.mark.parametrize("which", sorted(DELEGATING_CONFIGS))
+def test_unsupported_configs_delegate_silently(forced_kernel, which):
+    config = DELEGATING_CONFIGS[which](paper_machine(IdealPortConfig(4)))
+    _, expected = run_one(Processor, "gcc", config)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # delegation must not warn
+        processor, actual = run_one(JitProcessor, "gcc", config)
+    assert not processor.kernel_engaged
+    assert actual == expected
+
+
+def test_stdlib_prep_delegates_silently(forced_kernel, monkeypatch):
+    """``REPRO_NO_NUMPY=1`` leaves no columns for the kernel; the run
+    stays on the inherited loop, results unchanged."""
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    config = paper_machine(LBICConfig(banks=4, buffer_ports=4))
+    _, expected = run_one(Processor, "gcc", config)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        processor, actual = run_one(JitProcessor, "gcc", config)
+    assert not processor.kernel_engaged
+    assert actual == expected
+
+
+# -- degradation without numba -----------------------------------------------
+
+
+def test_no_numba_falls_back_with_exactly_one_warning(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_NUMBA", "1")
+    monkeypatch.delenv("REPRO_JIT_FORCE_KERNEL", raising=False)
+    assert kernel_mode() == ""
+    reset_fallback_warning()
+    config = paper_machine(PORT_CONFIGS["lbic:4x4"])
+    _, expected = run_one(Processor, "swim", config)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        first_proc, first = run_one(JitProcessor, "swim", config)
+        _, second = run_one(JitProcessor, "swim", config)
+    fallback = [
+        w for w in caught
+        if issubclass(w.category, RuntimeWarning)
+        and "falling back" in str(w.message)
+    ]
+    assert len(fallback) == 1  # once per process, not per run
+    assert not first_proc.kernel_engaged
+    assert first == expected
+    assert second == expected
+    reset_fallback_warning()
+
+
+def test_forked_workers_never_recompile():
+    """Workers forked after :func:`warm_jit` inherit warm dispatchers:
+    their compile counter equals the parent's (0 == 0 without numba)."""
+    parent_count = warm_jit()
+    if numba_available():
+        assert parent_count > 0
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(2) as pool:
+        probes = [pool.apply(kernel_compile_probe) for _ in range(2)]
+    for available, worker_count in probes:
+        assert available == numba_available()
+        assert worker_count == parent_count
+
+
+# -- registry ----------------------------------------------------------------
+
+
+def test_jit_backend_is_registered():
+    from repro.core.backends import processor_class
+
+    assert mechanism("backend", "jit") is JitProcessor
+    assert processor_class("jit") is JitProcessor

@@ -178,3 +178,23 @@ def test_error_paths():
             assert b"JSON" in body or b"object" in body
 
     asyncio.run(scenario())
+
+
+def test_backend_field_selects_the_timing_core():
+    async def scenario():
+        async with make_app() as app:
+            body = dict(QUICK, backend="array")
+            status, payload = await http_json(
+                app.port, "POST", "/v1/simulate", body
+            )
+            assert status == 200
+            assert payload["units"][0]["result"]["cycles"] > 0
+
+            status, payload = await http_json(
+                app.port, "POST", "/v1/simulate", dict(QUICK, backend="warp")
+            )
+            assert status == 400
+            for name in ("object", "array", "jit"):
+                assert name in payload["error"]
+
+    asyncio.run(scenario())

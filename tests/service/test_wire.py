@@ -110,3 +110,37 @@ def test_metrics_flag_rides_the_unit():
     request = simulate_request({"benchmark": "swim", "metrics": True})
     assert request.units[0].metrics
     assert request.units[0].observe
+
+
+def test_backend_rides_the_unit():
+    request = simulate_request({"benchmark": "swim", "backend": "jit"})
+    assert request.units[0].backend == "jit"
+    assert request.units[0].payload()["backend"] == "jit"
+
+
+def test_backend_default_applies_to_unit_list():
+    request = simulate_request(
+        {
+            "backend": "array",
+            "units": [
+                {"benchmark": "gcc"},
+                {"benchmark": "swim", "backend": "object"},
+            ],
+        }
+    )
+    assert request.units[0].backend == "array"
+    assert request.units[1].backend == "object"  # per-unit override wins
+
+
+def test_unknown_backend_lists_alternatives():
+    with pytest.raises(WireError) as excinfo:
+        simulate_request({"benchmark": "swim", "backend": "hyperdrive"})
+    message = str(excinfo.value)
+    assert "hyperdrive" in message
+    for name in ("object", "array", "jit"):
+        assert name in message
+
+
+def test_backend_must_be_a_string():
+    with pytest.raises(WireError):
+        simulate_request({"benchmark": "swim", "backend": 7})

@@ -23,8 +23,12 @@ tracks what a Table 3 regeneration actually costs.
 count, backend, and cycle-skipping setting) and exits non-zero if any
 shared case got more than ``--threshold`` (default 30%) slower — the CI
 speed-smoke gate.  ``--backend array`` runs the grid on the flat-array
-kernel (results are bit-identical to the object backend; records gate
-only against other records of the same backend).  ``--no-skip`` disables event-horizon cycle skipping to measure
+kernel and ``--backend jit`` on the numba-compiled kernel (results are
+bit-identical to the object backend; records gate only against other
+records of the same backend).  Grid cases run one *untimed* warm-up
+pass before the timed rounds — absorbing JIT compilation and allocator
+caches — recorded as ``"warmed_up": true`` in the run record.
+``--no-skip`` disables event-horizon cycle skipping to measure
 the per-cycle baseline (results are bit-identical either way; only the
 wall-clock differs).
 
@@ -132,6 +136,15 @@ def bench_case(
 
         source = TraceColumns.from_instructions(stream)
     config = make_config(workload, ports)
+    # One untimed warm-up run before the timed rounds: it absorbs JIT
+    # compilation (the jit backend's first call), allocator and branch
+    # caches, so the timed rounds measure steady state.  Records carry
+    # "warmed_up": true so they only gate against other warmed records.
+    warm = processor_cls(config, cycle_skipping=cycle_skipping)
+    warm.run(
+        source if source is not None else iter(stream),
+        max_instructions=instructions,
+    )
     best = 0.0
     cycles = skipped = 0
     for _ in range(rounds):
@@ -279,6 +292,7 @@ def find_baseline(history: List[dict], record: dict) -> Optional[dict]:
         "metrics": False,
         "pack": False,
         "backend": "object",
+        "warmed_up": False,
     }
     for prior in reversed(history):
         if all(
@@ -331,7 +345,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="sweep engine worker processes (default 1)")
     parser.add_argument("--no-skip", dest="skip", action="store_false",
                         help="disable event-horizon cycle skipping")
-    parser.add_argument("--backend", choices=("object", "array"),
+    parser.add_argument("--backend", choices=("object", "array", "jit"),
                         default="object",
                         help="timing core for the per-case grid (records "
                              "only compare against runs of the same "
@@ -412,6 +426,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "cycle_skipping": args.skip,
         "metrics": args.metrics,
         "backend": args.backend,
+        # grid cases run one untimed warm-up pass before the timed
+        # rounds (sweep/pack modes time the cold end-to-end cost, so
+        # they stay unwarmed); warmed records only gate against other
+        # warmed records
+        "warmed_up": not (args.sweep or bool(args.pack)),
         "note": args.note,
         "cases": measured,
     }

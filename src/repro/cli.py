@@ -19,16 +19,20 @@ sweep ablations, and manage traces::
     repro-lbic bench gcc --compare --json   # all backends, side by side
     repro-lbic bench gcc --profile    # cProfile top-20 hotspot table
     repro-lbic serve --port 8023      # HTTP simulation daemon
+    repro-lbic spans summary          # span-trace totals + critical path
+    repro-lbic spans export -o out.json  # Chrome trace JSON (Perfetto)
     repro-lbic list
 
 Every timing subcommand accepts ``--jobs N`` (parallel workers; default:
 all cores), ``--no-cache`` (skip the persistent result store under
 ``results/cache/``), ``--progress`` (live ``[done/total]`` line with
-an ETA on stderr) and ``--backend {object,array,jit}`` (which timing
+an ETA on stderr), ``--backend {object,array,jit}`` (which timing
 core runs the simulation — bit-identical results, different speed; see
-``docs/performance.md``).  ``repro-lbic cache info`` / ``cache clear`` inspect
-and empty the store, including the engine-telemetry JSONL exported under
-``results/cache/telemetry/``.
+``docs/performance.md``) and ``--trace-spans`` (record a span trace of
+the run under ``results/cache/traces-spans/``; inspect with
+``repro-lbic spans``).  ``repro-lbic cache info`` / ``cache clear``
+inspect and empty the store, including the engine-telemetry JSONL under
+``results/cache/telemetry/`` and the recorded span traces.
 """
 
 from __future__ import annotations
@@ -106,23 +110,32 @@ def _backend_kw(args: argparse.Namespace) -> dict:
 def _engine(args: argparse.Namespace, settings=None):
     """The simulation engine for one CLI invocation: parallel across
     ``--jobs`` workers, persisting to ``results/cache`` unless
-    ``--no-cache``, with a live progress line under ``--progress``."""
+    ``--no-cache``, with a live progress line under ``--progress`` and
+    span tracing under ``--trace-spans``."""
     from .engine import ProgressPrinter, ResultStore, SimulationEngine
 
     store = None if getattr(args, "no_cache", False) else ResultStore()
     progress = ProgressPrinter() if getattr(args, "progress", False) else None
+    tracer = None
+    if getattr(args, "trace_spans", False):
+        from .obs.tracing import Tracer
+
+        tracer = Tracer()
     return SimulationEngine(
         settings if settings is not None else _settings(args),
         jobs=getattr(args, "jobs", None),
         store=store,
         progress=progress,
+        tracer=tracer,
     )
 
 
 def _finish(engine, code: int = 0) -> int:
-    """Flush engine telemetry (a no-op for store-less engines) and pass
-    the exit code through, so every command ends the same way."""
+    """Flush engine telemetry and spans (no-ops for store-less or
+    untraced engines) and pass the exit code through, so every command
+    ends the same way."""
     engine.flush_telemetry()
+    engine.flush_spans()
     return code
 
 
@@ -145,6 +158,12 @@ def _add_engine_opts(parser: argparse.ArgumentParser) -> None:
              "kernel; bit-identical, faster) or jit (numba-compiled "
              "kernel — see docs/performance.md). "
              "Default: $REPRO_BACKEND or object",
+    )
+    parser.add_argument(
+        "--trace-spans", action="store_true",
+        help="record a span trace of the run (probe, per-unit phases, "
+             "backend busy loop) under results/cache/traces-spans/; "
+             "inspect with 'repro-lbic spans' (see docs/observability.md)",
     )
 
 
@@ -609,6 +628,7 @@ def cmd_report(args) -> int:
 
 def cmd_cache(args) -> int:
     from .engine import ResultStore, clear_telemetry, render_telemetry_info
+    from .obs.tracing import clear_spans, render_spans_info
 
     store = ResultStore()
     if args.cache_command == "clear":
@@ -617,11 +637,68 @@ def cmd_cache(args) -> int:
         removed_telemetry = clear_telemetry(store.root)
         if removed_telemetry:
             print(f"removed {removed_telemetry} telemetry file(s)")
+        removed_spans = clear_spans(store.root)
+        if removed_spans:
+            print(f"removed {removed_spans} span-trace file(s)")
     else:
         print(store.info().render())
         telemetry = render_telemetry_info(store.root)
         if telemetry is not None:
             print(telemetry)
+        spans = render_spans_info(store.root)
+        if spans is not None:
+            print(spans)
+    return 0
+
+
+def cmd_spans(args) -> int:
+    """Inspect and export span traces (see docs/observability.md).
+
+    ``spans view`` prints the per-trace tree, ``spans summary`` the
+    per-span-name totals plus the newest trace's critical path, and
+    ``spans export`` writes Chrome trace-event JSON that Perfetto and
+    ``chrome://tracing`` load directly.
+    """
+    import json
+
+    from .engine import ResultStore
+    from .obs.tracing import (
+        chrome_trace,
+        group_by_trace,
+        load_spans,
+        verify_span_tree,
+    )
+    from .obs.render import render_span_summary, render_span_tree
+
+    store = ResultStore()
+    spans, corrupt = load_spans(store.root)
+    if corrupt:
+        print(f"warning: skipped {corrupt} corrupt span line(s)",
+              file=sys.stderr)
+    if args.trace:
+        spans = [s for s in spans if s.get("trace") == args.trace]
+    if not spans:
+        where = f"trace {args.trace!r}" if args.trace else str(store.root)
+        print(f"no spans recorded for {where} (run with --trace-spans "
+              f"or serve --trace-spans first)", file=sys.stderr)
+        return 1
+    if args.spans_command == "export":
+        if args.check:
+            verify_span_tree(spans)
+        payload = chrome_trace(spans)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            traces = len(group_by_trace(spans))
+            print(f"wrote {len(payload['traceEvents'])} trace events "
+                  f"({len(spans)} spans, {traces} trace(s)) to {args.output}")
+        else:
+            json.dump(payload, sys.stdout)
+            print()
+    elif args.spans_command == "summary":
+        print(render_span_summary(spans, top=args.top))
+    else:  # view
+        print(render_span_tree(spans, last=args.last))
     return 0
 
 
@@ -658,6 +735,7 @@ def cmd_serve(args) -> int:
         backlog=args.backlog,
         use_store=not args.no_cache,
         amortize=not args.no_amortize,
+        trace_spans=args.trace_spans,
     )
 
 
@@ -846,6 +924,33 @@ def build_parser() -> argparse.ArgumentParser:
     cache_sub.add_parser("clear", help="delete every cached result")
     p.set_defaults(func=cmd_cache)
 
+    p = sub.add_parser(
+        "spans",
+        help="inspect or export span traces recorded under --trace-spans",
+    )
+    spans_sub = p.add_subparsers(dest="spans_command", required=True)
+    sv = spans_sub.add_parser("view", help="print the span tree per trace")
+    sv.add_argument("--trace", default=None, help="only this trace ID")
+    sv.add_argument("--last", type=int, default=4,
+                    help="newest traces to show (default 4)")
+    ss = spans_sub.add_parser(
+        "summary", help="per-span totals and the newest trace's critical path"
+    )
+    ss.add_argument("--trace", default=None, help="only this trace ID")
+    ss.add_argument("--top", type=int, default=10,
+                    help="span names listed, by total time (default 10)")
+    se = spans_sub.add_parser(
+        "export",
+        help="write Chrome trace-event JSON (loads in Perfetto / "
+             "chrome://tracing)",
+    )
+    se.add_argument("-o", "--output", default=None,
+                    help="output file (default: stdout)")
+    se.add_argument("--trace", default=None, help="only this trace ID")
+    se.add_argument("--check", action="store_true",
+                    help="verify parent/child span integrity before export")
+    p.set_defaults(func=cmd_spans)
+
     p = sub.add_parser("pack", help="run declarative experiment packs")
     pack_sub = p.add_subparsers(dest="pack_command", required=True)
     pack_sub.add_parser("list", help="list the shipped packs")
@@ -887,6 +992,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-amortize", action="store_true",
         help="disable materialized-trace/warm-checkpoint amortization",
+    )
+    p.add_argument(
+        "--trace-spans", action="store_true",
+        help="record a span trace per request (queue wait, dedup "
+             "decision, engine phases, busy loop) under "
+             "results/cache/traces-spans/",
     )
     p.set_defaults(func=cmd_serve)
 

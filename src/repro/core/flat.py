@@ -65,6 +65,7 @@ from __future__ import annotations
 
 import gc
 import os
+import time
 from array import array
 from bisect import bisect_left, insort
 from heapq import heappop, heappush
@@ -447,6 +448,8 @@ class FlatProcessor(Processor):
     replay of materialized traces.
     """
 
+    BACKEND_NAME = "array"
+
     #: The engine hands this backend column spans instead of instruction
     #: iterators when a materialized trace is available.
     CONSUMES_COLUMNS = True
@@ -471,7 +474,10 @@ class FlatProcessor(Processor):
             self.hierarchy.restore_warm_state(warm_state["hierarchy"])
             self._warmed = warm_state["warmed"]
         elif warmup_instructions:
+            section = time.monotonic() if self.sections is not None else 0.0
             start = self._warm_walk(columns, start, warmup_instructions)
+            if self.sections is not None:
+                self._mark_section("warmup_walk", section, warmed=self._warmed)
         remaining = columns.length - start
         length = (
             remaining
@@ -628,6 +634,7 @@ class FlatProcessor(Processor):
         self._fast_lat = fast_lat
 
         pending_work = self.ports.pending_work
+        section = time.monotonic() if self.sections is not None else 0.0
         if self._observer is None:
             self._run_busy_loop(n, pending_work)
         else:
@@ -649,6 +656,13 @@ class FlatProcessor(Processor):
                 if skip is not None and not self._ready_loads \
                         and not self._ready_rest:
                     skip()
+        if self.sections is not None:
+            self._mark_section(
+                "busy_loop",
+                section,
+                cycles=self.cycle,
+                mode="fused" if self._observer is None else "phased",
+            )
         self._seq = self._next
         self.ruu.committed = self._committed_total
         if self._lsq_peak > self._peak_c.value:

@@ -34,6 +34,7 @@ assert workers never recompile.
 from __future__ import annotations
 
 import os
+import time
 import warnings
 from weakref import WeakKeyDictionary
 
@@ -182,6 +183,8 @@ def _marshal_cache(cache, np):
 class JitProcessor(FlatProcessor):
     """The flat-array machine with the busy loop compiled by numba."""
 
+    BACKEND_NAME = "jit"
+
     #: True once the compiled (or force-interpreted) kernel actually ran
     #: for this instance; stays False on fallback or delegation.
     kernel_engaged = False
@@ -223,7 +226,12 @@ class JitProcessor(FlatProcessor):
             return super()._run_busy_loop(n, pending_work)
         if not self._kernel_supported(n):
             return super()._run_busy_loop(n, pending_work)
+        # A dedicated marker inside the inherited busy_loop section: the
+        # span view distinguishes compiled time from marshal overhead.
+        section = time.monotonic() if self.sections is not None else 0.0
         self._run_jit_busy_loop(n)
+        if self.sections is not None:
+            self._mark_section("kernel", section, mode=kernel_mode())
 
     def _run_jit_busy_loop(self, n: int) -> None:
         np = numpy_or_none()

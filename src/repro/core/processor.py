@@ -38,6 +38,7 @@ same stall bucket per-cycle accounting would have chosen.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from ..common.config import LBICConfig, MachineConfig
@@ -55,6 +56,10 @@ from .ruu import COMPLETED, ISSUED, READY, Ruu, RuuEntry
 
 class Processor:
     """One simulated machine instance; use :meth:`run` once per instance."""
+
+    #: The backend name this core registers under (span attributes and
+    #: diagnostics; see :mod:`repro.core.backends`).
+    BACKEND_NAME = "object"
 
     #: Cycles without a single commit after which the simulation is
     #: declared deadlocked.  The watchdog is expressed purely in progress
@@ -118,6 +123,13 @@ class Processor:
         #: cycles the clock jumped over instead of simulating one-by-one
         #: (an execution statistic; deliberately *not* part of SimResult)
         self.skipped_cycles = 0
+        # An optional list collecting busy-loop section markers for the
+        # span tracer (repro.obs.tracing): the glue layer sets this to
+        # [] before run() and adopts the entries as child spans of the
+        # worker's simulate span.  Same null-guard discipline as the
+        # observer — a None (the default) costs one test per section
+        # boundary, never per cycle, and sections never touch SimResult.
+        self.sections: Optional[List[Dict[str, Any]]] = None
         # An optional repro.obs.Observer: a cycle accountant plus an
         # optional event trace.  All hook sites guard on ``is not None``
         # so an unobserved run pays (almost) nothing.
@@ -131,6 +143,17 @@ class Processor:
         # stand-ins without the method still work).
         self._ports_next_event = getattr(self.ports, "next_event_cycle", None)
         self._bank_sample = getattr(self.ports, "bank_accesses_this_cycle", None)
+
+    def _mark_section(self, name: str, started: float, **attrs: Any) -> None:
+        """Record one busy-path section marker (tracing glue only)."""
+        self.sections.append(
+            {
+                "name": name,
+                "start": started,
+                "dur": time.monotonic() - started,
+                "attrs": {"backend": self.BACKEND_NAME, **attrs},
+            }
+        )
 
     # -- public API ------------------------------------------------------------
 
@@ -163,6 +186,7 @@ class Processor:
             self.hierarchy.restore_warm_state(warm_state["hierarchy"])
             self._warmed = warm_state["warmed"]
         elif warmup_instructions:
+            section = time.monotonic() if self.sections is not None else 0.0
             stream = iter(stream)
             warm = self.hierarchy.warm
             for _ in range(warmup_instructions):
@@ -173,6 +197,8 @@ class Processor:
                 self._warmed += 1
                 if instr.is_mem:
                     warm(instr.addr, instr.is_store)
+            if self.sections is not None:
+                self._mark_section("warmup_walk", section, warmed=self._warmed)
         fetch = FetchUnit(stream, max_instructions)
         self._deadline = self._watchdog_limit(max_instructions)
         # Tests may swap ``self.ports`` after construction: re-resolve the
@@ -187,6 +213,7 @@ class Processor:
         pending_work = self.ports.pending_work
         step = self._step
         skip = self._skip_idle_cycles if self.cycle_skipping else None
+        section = time.monotonic() if self.sections is not None else 0.0
         while True:
             if peek() is None and not ruu_entries and not pending_work():
                 break
@@ -203,6 +230,8 @@ class Processor:
             # case) skipping is impossible, so don't even pay the call.
             if skip is not None and not self._ready:
                 skip(fetch)
+        if self.sections is not None:
+            self._mark_section("busy_loop", section, cycles=self.cycle)
 
         if warmup_instructions and self._seq == 0:
             raise SimulationError(

@@ -163,9 +163,34 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     function's whole execution, so a jobs=1 sweep's span totals account
     for (nearly) all of its wall time.  ``wall_time`` keeps its original
     meaning: the simulation span only.
+
+    When the payload carries a ``trace_spans`` context (``{"trace": id,
+    "parent": span id}``), the outcome additionally ships finished span
+    records (:mod:`repro.obs.tracing`) for the worker-side phases plus
+    the backend's busy-loop section markers — monotonic-clock stamped,
+    so they align with the dispatching process's spans without
+    translation.  Like ``metrics`` and ``backend``, the context rides
+    outside the fingerprint and never touches the result.
     """
     entered = time.perf_counter()
     phases: Dict[str, float] = {}
+    ctx = payload.get("trace_spans")
+    spans: List[Dict[str, Any]] = []
+    if ctx is not None:
+        from ..obs.tracing import span_record
+
+        def note_span(name, started_mono, parent=None, **attrs):
+            record = span_record(
+                ctx["trace"],
+                parent if parent is not None else ctx.get("parent"),
+                name,
+                started_mono,
+                time.monotonic() - started_mono,
+                attrs=attrs or None,
+            )
+            spans.append(record)
+            return record
+
     machine = machine_config_from_dict(payload["machine"])
     observer = None
     if payload.get("observe") or payload.get("trace") or payload.get("metrics"):
@@ -189,12 +214,15 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     processor = processor_cls(
         machine, label=payload["label"], observer=observer
     )
+    if ctx is not None:
+        processor.sections = []
     warmup = payload["warmup_instructions"]
     if payload.get("amortize"):
         from .amortize import get_trace, get_warm_state
 
         length = warmup + payload["instructions"]
         mark = time.perf_counter()
+        mono = time.monotonic() if ctx is not None else 0.0
         materialized, _ = get_trace(
             payload["benchmark"],
             payload["seed"],
@@ -202,13 +230,18 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
             trace_root=payload.get("trace_root"),
         )
         phases["materialize"] = time.perf_counter() - mark
+        if ctx is not None:
+            note_span("materialize", mono)
         warm_state = None
         warmed = 0
         if warmup:
             mark = time.perf_counter()
+            mono = time.monotonic() if ctx is not None else 0.0
             warm_state, _ = get_warm_state(materialized, warmup, machine)
             warmed = warm_state["warmed"]
             phases["warmup"] = time.perf_counter() - mark
+            if ctx is not None:
+                note_span("warmup", mono)
         if getattr(processor_cls, "CONSUMES_COLUMNS", False):
             # Flat columns are cached on the materialized trace, so one
             # trace shared across a sweep pays the conversion once.
@@ -216,6 +249,7 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         else:
             stream = materialized.suffix(warmed)
         start = time.perf_counter()
+        mono = time.monotonic() if ctx is not None else 0.0
         result = processor.run(
             stream,
             max_instructions=payload["instructions"],
@@ -225,6 +259,7 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
     else:
         workload = spec95_workload(payload["benchmark"])
         start = time.perf_counter()
+        mono = time.monotonic() if ctx is not None else 0.0
         result = processor.run(
             workload.stream(seed=payload["seed"]),
             max_instructions=payload["instructions"],
@@ -239,11 +274,35 @@ def simulate_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
         - phases.get("materialize", 0.0)
         - phases.get("warmup", 0.0)
     )
-    return {
+    outcome = {
         "result": result.to_dict(),
         "wall_time": wall,
         "phases": phases,
     }
+    if ctx is not None:
+        simulate = note_span(
+            "simulate",
+            mono,
+            backend=backend,
+            label=payload["label"],
+        )
+        # The backend's busy-path section markers become children of
+        # the simulate span — the deepest level of the flight recorder.
+        from ..obs.tracing import span_record
+
+        for section in processor.sections or ():
+            spans.append(
+                span_record(
+                    ctx["trace"],
+                    simulate["span"],
+                    section["name"],
+                    section["start"],
+                    section["dur"],
+                    attrs=section.get("attrs"),
+                )
+            )
+        outcome["spans"] = spans
+    return outcome
 
 
 @dataclass(frozen=True)
@@ -418,8 +477,14 @@ class SimulationEngine:
         stats: Optional[StatGroup] = None,
         amortize: bool = True,
         pool: Optional[WorkerPool] = None,
+        tracer=None,
     ) -> None:
         self.settings = settings or RunSettings()
+        #: an optional repro.obs.tracing.Tracer; when set, every
+        #: ``run_units`` call records a span tree (one trace per call)
+        #: down through worker phases and backend busy-loop sections.
+        #: ``None`` (the default) costs one ``is None`` test per probe.
+        self.tracer = tracer
         #: a caller-owned persistent pool; when set, every batch runs on
         #: it (no per-``run_units`` fork cost) and ``jobs`` follows it.
         self.pool = pool
@@ -480,12 +545,23 @@ class SimulationEngine:
         """
         sweep_started = time.perf_counter()
         telemetry = self.telemetry
+        tracer = self.tracer
         units = list(units)
         total = len(units)
         results: List[Optional[SimResult]] = [None] * total
         pending: Dict[str, WorkUnit] = {}
         pending_indices: Dict[str, List[int]] = {}
 
+        root = (
+            tracer.start("run_units", units=total, jobs=self.jobs)
+            if tracer is not None
+            else None
+        )
+        probe_span = (
+            tracer.start("probe", trace=root.trace, parent=root.span)
+            if tracer is not None
+            else None
+        )
         probe_started = time.perf_counter()
         for index, unit in enumerate(units):
             fingerprint = unit.fingerprint
@@ -529,13 +605,18 @@ class SimulationEngine:
             pending[fingerprint] = unit
             pending_indices[fingerprint] = [index]
         telemetry.add_phase("probe", time.perf_counter() - probe_started)
+        if probe_span is not None:
+            probe_span.end(
+                hits=sum(1 for r in results if r is not None),
+                pending=len(pending),
+            )
 
         if pending:
             if self.amortize:
                 self._prepare_amortization(pending.values())
             ordered = list(pending.items())
             for (fingerprint, unit), outcome in zip(
-                ordered, self._execute([u for _, u in ordered])
+                ordered, self._execute([u for _, u in ordered], root)
             ):
                 mark = time.perf_counter()
                 result = SimResult.from_dict(outcome["result"])
@@ -548,10 +629,21 @@ class SimulationEngine:
                 self._sim_seconds += wall
                 spans = dict(outcome.get("phases", {}))
                 spans["restore"] = restore_span
+                if tracer is not None:
+                    tracer.adopt(outcome.get("spans", ()))
                 if self.store is not None:
+                    if tracer is not None:
+                        store_span = tracer.start(
+                            "store",
+                            trace=root.trace,
+                            parent=root.span,
+                            label=unit.label,
+                        )
                     mark = time.perf_counter()
                     self.store.put(fingerprint, unit.key(), result, wall)
                     spans["store"] = time.perf_counter() - mark
+                    if tracer is not None:
+                        store_span.end()
                 telemetry.add_unit(
                     unit.label, fingerprint, "simulated", wall, spans
                 )
@@ -560,6 +652,8 @@ class SimulationEngine:
                     self._emit(unit, "simulated", wall, index, total)
 
         telemetry.note_sweep(time.perf_counter() - sweep_started, self.jobs)
+        if root is not None:
+            root.end(simulated=telemetry.simulated)
         return [result for result in results if result is not None]
 
     def _trace_root(self) -> Optional[str]:
@@ -603,13 +697,15 @@ class SimulationEngine:
                     cache.counter("warmup_hits").add()
 
     def _execute(
-        self, units: Sequence[WorkUnit]
+        self, units: Sequence[WorkUnit], root=None
     ) -> Iterable[Dict[str, Any]]:
         """Simulate ``units``, inline or across the process pool.
 
-        Amortization flags ride on the payload, not the unit key: they
-        change how a result is computed, never what it is, so cached and
-        fresh results stay interchangeable.
+        Amortization flags — and the span-trace context, when tracing is
+        on — ride on the payload, not the unit key: they change how a
+        result is computed (or what timing evidence it ships back),
+        never what it is, so cached and fresh results stay
+        interchangeable.
         """
         payloads = [unit.payload() for unit in units]
         if self.amortize:
@@ -617,6 +713,12 @@ class SimulationEngine:
             for payload in payloads:
                 payload["amortize"] = True
                 payload["trace_root"] = trace_root
+        if root is not None:
+            for payload in payloads:
+                payload["trace_spans"] = {
+                    "trace": root.trace,
+                    "parent": root.span,
+                }
         if self.pool is not None:
             # A persistent pool outlives this batch: no per-call
             # executor setup/teardown, outcomes stream in order.
@@ -750,3 +852,17 @@ class SimulationEngine:
         if path is not None:
             self.telemetry = SweepTelemetry()
         return path
+
+    def flush_spans(self):
+        """Export recorded spans under ``<store root>/traces-spans/``.
+
+        Returns the JSONL path, or ``None`` when tracing is off, the
+        engine has no persistent store, or nothing was recorded.  Safe
+        to call repeatedly — each call appends the spans recorded since
+        the last one.
+        """
+        if self.tracer is None or self.store is None:
+            return None
+        from ..obs.tracing import flush_spans
+
+        return flush_spans(self.store.root, self.tracer.drain())

@@ -22,7 +22,6 @@ store-less engines keep touching no filesystem.
 
 from __future__ import annotations
 
-import json
 import os
 import sys
 import time
@@ -30,6 +29,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, TextIO
 
 from ..obs.events import write_events_jsonl
+from ..obs.tracing import read_jsonl_records
 
 #: Phase names in canonical reporting order.  ``probe`` / ``restore`` /
 #: ``store`` are spent in the parent process; ``materialize`` /
@@ -241,11 +241,14 @@ def render_telemetry_info(store_root) -> Optional[str]:
             total_bytes += path.stat().st_size
         except OSError:
             pass
-    lines = [
+    last, corrupt = _last_summary(files[-1])
+    header = (
         f"telemetry:      {len(files)} file(s), "
-        f"{total_bytes / 1024:.1f} KiB under {root}",
-    ]
-    last = _last_summary(files[-1])
+        f"{total_bytes / 1024:.1f} KiB under {root}"
+    )
+    if corrupt:
+        header += f" ({corrupt} corrupt line(s) skipped)"
+    lines = [header]
     if last is not None:
         phases = last.get("phase_seconds", {})
         rendered = ", ".join(
@@ -266,23 +269,19 @@ def render_telemetry_info(store_root) -> Optional[str]:
     return "\n".join(lines)
 
 
-def _last_summary(path: Path) -> Optional[Dict[str, object]]:
-    """The final ``sweep_summary`` record in a telemetry JSONL file."""
-    try:
-        text = path.read_text(encoding="utf-8")
-    except OSError:
-        return None
-    for line in reversed(text.splitlines()):
-        line = line.strip()
-        if not line:
-            continue
-        try:
-            record = json.loads(line)
-        except ValueError:
-            continue
-        if isinstance(record, dict) and record.get("kind") == "sweep_summary":
-            return record
-    return None
+def _last_summary(path: Path):
+    """``(final sweep_summary record or None, corrupt line count)``.
+
+    Goes through the shared skip-and-count JSONL reader, so a torn final
+    line (a writer killed mid-flush) degrades the roll-up gracefully —
+    the corrupt count is surfaced by ``cache info`` instead of an
+    exception killing the whole listing.
+    """
+    records, corrupt = read_jsonl_records(path)
+    for record in reversed(records):
+        if record.get("kind") == "sweep_summary":
+            return record, corrupt
+    return None, corrupt
 
 
 class ProgressPrinter:

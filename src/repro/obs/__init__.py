@@ -21,6 +21,7 @@ executor.  See ``docs/observability.md``.
 
 from .accountant import BASE_BUCKETS, REFUSAL_PREFIX, CycleAccountant
 from .events import EventTrace, format_events, write_events_jsonl
+from .jsonlog import JsonLogger
 from .metrics import (
     MetricsCollector,
     bank_stats,
@@ -33,26 +34,71 @@ from .metrics import (
     render_metrics,
 )
 from .observer import Observer
-from .render import render_stalls, stall_fractions, verify_stall_invariant
+from .render import (
+    render_span_summary,
+    render_span_tree,
+    render_stalls,
+    stall_fractions,
+    verify_stall_invariant,
+)
+from .tracing import (
+    Span,
+    Tracer,
+    chrome_trace,
+    clear_spans,
+    critical_path,
+    flush_spans,
+    group_by_trace,
+    load_spans,
+    new_span_id,
+    new_trace_id,
+    read_jsonl_records,
+    read_spans_jsonl,
+    render_spans_info,
+    span_files,
+    span_record,
+    span_summary,
+    verify_span_tree,
+)
 
 __all__ = [
     "BASE_BUCKETS",
     "CycleAccountant",
     "EventTrace",
+    "JsonLogger",
     "MetricsCollector",
     "Observer",
     "REFUSAL_PREFIX",
+    "Span",
+    "Tracer",
     "bank_stats",
+    "chrome_trace",
+    "clear_spans",
+    "critical_path",
     "escape_label",
+    "flush_spans",
     "format_events",
     "format_sample_value",
+    "group_by_trace",
+    "load_spans",
     "mean_bank_utilization",
+    "new_span_id",
+    "new_trace_id",
     "occupancy_stats",
     "prometheus_metrics",
     "prometheus_sample",
+    "read_jsonl_records",
+    "read_spans_jsonl",
     "render_metrics",
+    "render_span_summary",
+    "render_span_tree",
+    "render_spans_info",
     "render_stalls",
+    "span_files",
+    "span_record",
+    "span_summary",
     "stall_fractions",
+    "verify_span_tree",
     "verify_stall_invariant",
     "write_events_jsonl",
 ]

@@ -1,0 +1,50 @@
+"""Structured JSON logging for the service daemon.
+
+One JSON object per line on a stream — machine-greppable, joinable with
+span exports by ``trace`` ID, and safe to ship to any log pipeline.  The
+daemon uses this in place of ad-hoc prints: every lifecycle event
+(listening, shutdown) and every handled request emits one line like::
+
+    {"ts": 1733673600.123, "level": "info", "event": "request",
+     "trace": "9f2c...", "method": "POST", "path": "/v1/simulate",
+     "status": 200, "seconds": 0.004}
+
+The logger is deliberately tiny: no handlers, no levels hierarchy, no
+global state — construct one, pass it where it is needed, and a ``None``
+logger (the default everywhere) means silence, following the same
+null-guard discipline as the tracer and the observer.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Optional, TextIO
+
+
+class JsonLogger:
+    """Emit one JSON object per line to a stream (stdout by default)."""
+
+    __slots__ = ("stream",)
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+
+    def event(self, event: str, level: str = "info", **fields: Any) -> None:
+        """Log one structured event.
+
+        ``fields`` must be JSON-safe; ``None`` values are dropped so
+        call sites can pass optional context (a trace ID, say)
+        unconditionally.
+        """
+        record = {"ts": round(time.time(), 6), "level": level, "event": event}
+        for key, value in fields.items():
+            if value is not None:
+                record[key] = value
+        self.stream.write(json.dumps(record, sort_keys=True) + "\n")
+        self.stream.flush()
+
+    def error(self, event: str, **fields: Any) -> None:
+        """Shorthand for ``event(..., level="error")``."""
+        self.event(event, level="error", **fields)

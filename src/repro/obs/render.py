@@ -1,16 +1,18 @@
-"""Rendering and validation helpers for stall-attribution data.
+"""Rendering and validation helpers for observability data.
 
-These operate on the plain ``{bucket: cycles}`` dicts found in
-``SimResult.extra["stalls"]`` so they work identically on live results
-and results restored from the persistent store.
+The stall helpers operate on the plain ``{bucket: cycles}`` dicts found
+in ``SimResult.extra["stalls"]``; the span helpers operate on the plain
+span records of :mod:`repro.obs.tracing` — both work identically on
+live data and data restored from disk.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping
+from typing import Any, Dict, Iterable, List, Mapping, Optional
 
 from ..common.errors import SimulationError
 from ..common.tables import Table
+from .tracing import critical_path, group_by_trace, span_summary
 
 
 def verify_stall_invariant(stalls: Mapping[str, int], cycles: int) -> None:
@@ -53,3 +55,109 @@ def render_stalls(stalls: Mapping[str, int], title: str = "") -> str:
     table.add_separator()
     table.add_row(["total", total, "100.0%" if total else "0.0%"])
     return table.render()
+
+
+# -- span rendering ---------------------------------------------------------
+
+
+def render_span_tree(
+    spans: Iterable[Dict[str, Any]], last: Optional[int] = None
+) -> str:
+    """Spans as indented per-trace trees (the ``spans view`` listing).
+
+    Each trace renders its roots in record order, children indented
+    under their parents, with millisecond durations and attributes.
+    ``last`` keeps only the newest N traces (by file/record order).
+    """
+    grouped = group_by_trace(spans)
+    traces = list(grouped.items())
+    if last is not None and last > 0:
+        traces = traces[-last:]
+    lines: List[str] = []
+    for trace, records in traces:
+        lines.append(f"trace {trace} ({len(records)} span(s))")
+        children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+        for record in records:
+            parent = record.get("parent")
+            children.setdefault(
+                str(parent) if parent is not None else None, []
+            ).append(record)
+
+        def walk(record: Dict[str, Any], depth: int) -> None:
+            dur_ms = float(record.get("dur", 0.0)) * 1e3
+            attrs = record.get("attrs") or {}
+            rendered = " ".join(
+                f"{key}={value}" for key, value in sorted(attrs.items())
+            )
+            lines.append(
+                f"  {'  ' * depth}{record.get('name', '?'):<24} "
+                f"{dur_ms:>10.3f} ms" + (f"  {rendered}" if rendered else "")
+            )
+            for child in children.get(str(record.get("span")), []):
+                walk(child, depth + 1)
+
+        for root in children.get(None, []):
+            walk(root, 0)
+        # Orphans (parent outside this batch) still render, flat, so a
+        # partially-flushed trace remains inspectable.
+        ids = {str(r.get("span")) for r in records}
+        for record in records:
+            parent = record.get("parent")
+            if parent is not None and str(parent) not in ids:
+                walk(record, 0)
+    return "\n".join(lines)
+
+
+def render_span_summary(
+    spans: Iterable[Dict[str, Any]], top: int = 10
+) -> str:
+    """Per-name aggregates plus the newest trace's critical path.
+
+    Two tables: span-name totals (count / total / mean / max / share of
+    all recorded span time) and the top-N critical-path breakdown of the
+    most recent trace — the chain a latency fix must shorten.
+    """
+    records = list(spans)
+    rows = span_summary(records)
+    if not rows:
+        return "no spans recorded"
+    grand_total = sum(row["total"] for row in rows) or 1.0
+    table = Table(
+        ["span", "count", "total ms", "mean ms", "max ms", "share"],
+        title="span totals",
+    )
+    for row in rows[:top]:
+        table.add_row(
+            [
+                row["name"],
+                row["count"],
+                f"{row['total'] * 1e3:.3f}",
+                f"{row['mean'] * 1e3:.3f}",
+                f"{row['max'] * 1e3:.3f}",
+                f"{100.0 * row['total'] / grand_total:.1f}%",
+            ]
+        )
+    out = [table.render()]
+
+    grouped = group_by_trace(records)
+    if grouped:
+        newest_trace, newest = list(grouped.items())[-1]
+        path = critical_path(newest)
+        if path:
+            root_dur = float(path[0].get("dur", 0.0)) or 1.0
+            crit = Table(
+                ["depth", "span", "ms", "of root"],
+                title=f"critical path, trace {newest_trace}",
+            )
+            for depth, record in enumerate(path[:top]):
+                dur = float(record.get("dur", 0.0))
+                crit.add_row(
+                    [
+                        depth,
+                        record.get("name", "?"),
+                        f"{dur * 1e3:.3f}",
+                        f"{100.0 * dur / root_dur:.1f}%",
+                    ]
+                )
+            out.append(crit.render())
+    return "\n\n".join(out)

@@ -1,0 +1,501 @@
+"""Span tracing: a flight recorder from HTTP accept to the busy loop.
+
+A **span** is one named, timed section of work — a monotonic-clock start,
+a duration, and free-form ``key=value`` attributes — tied into a tree by
+three identifiers:
+
+* ``trace`` — the trace ID shared by every span of one logical request
+  (or one ``run_units`` sweep);
+* ``span`` — this span's own ID;
+* ``parent`` — the enclosing span's ID (``None`` for a root).
+
+Spans are plain JSON-safe dicts end to end, exactly like the event
+traces and the engine telemetry, so they cross process boundaries inside
+worker outcomes and persist as JSON Lines under
+``<cache root>/traces-spans/`` (same per-invocation file + pruning
+discipline as ``<cache root>/telemetry/``).
+
+The clock is :func:`time.monotonic` — ``CLOCK_MONOTONIC`` on Linux,
+which is system-wide and survives ``fork()``, so spans recorded inside a
+forked pool worker line up on the same timeline as the parent service's
+spans without any clock translation.
+
+Design constraints, shared with the rest of ``repro.obs``:
+
+* **Off path stays one test.**  Everything is guarded Observer-style:
+  a disabled tracer is simply ``None`` and every instrumentation site
+  pays one ``is None`` check.  Tracing never touches a
+  :class:`~repro.core.results.SimResult`, so results are bit-identical
+  with tracing on or off.
+* **Readers never die on torn files.**  A crashed or killed writer can
+  leave a truncated last line; :func:`read_jsonl_records` skips and
+  *counts* corrupt lines instead of raising, and every reader in the
+  repo (span files, telemetry roll-ups) goes through it.
+
+:func:`chrome_trace` converts span records to the Chrome trace-event
+JSON format (``{"traceEvents": [...]}`` with ``ph="X"`` complete
+events), loadable in Perfetto / ``chrome://tracing`` — see
+docs/observability.md for the walkthrough.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..common.errors import SimulationError
+
+#: Directory (under the cache root) holding exported span JSONL files.
+SPAN_DIR = "traces-spans"
+
+#: How many span JSONL files to keep under ``<root>/traces-spans``.
+KEEP_FILES = 32
+
+#: Tolerance (seconds) for parent/child nesting checks: spans are
+#: stamped with separate clock reads, so a child may formally end a few
+#: microseconds after its parent's duration was captured.
+NEST_EPSILON = 1e-5
+
+
+def new_trace_id() -> str:
+    """A fresh 16-hex-char trace ID."""
+    return secrets.token_hex(8)
+
+
+def new_span_id() -> str:
+    """A fresh 8-hex-char span ID."""
+    return secrets.token_hex(4)
+
+
+def span_record(
+    trace: str,
+    parent: Optional[str],
+    name: str,
+    start: float,
+    duration: float,
+    attrs: Optional[Dict[str, Any]] = None,
+    span: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One finished span as a JSON-safe record.
+
+    The functional entry point for code that has no :class:`Tracer` —
+    above all the pool worker (:func:`repro.engine.executor
+    .simulate_payload`), which builds its phase spans from raw clock
+    reads and ships them back inside the outcome dict.
+    """
+    record: Dict[str, Any] = {
+        "kind": "span",
+        "trace": trace,
+        "span": span if span is not None else new_span_id(),
+        "parent": parent,
+        "name": name,
+        "start": start,
+        "dur": duration,
+        "pid": os.getpid(),
+    }
+    if attrs:
+        record["attrs"] = dict(attrs)
+    return record
+
+
+class Span:
+    """A live (started, not yet ended) span handed out by a tracer."""
+
+    __slots__ = ("tracer", "trace", "span", "parent", "name", "start", "attrs")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        trace: str,
+        parent: Optional[str],
+        name: str,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.tracer = tracer
+        self.trace = trace
+        self.span = new_span_id()
+        self.parent = parent
+        self.name = name
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.start = time.monotonic()
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach (or overwrite) attributes on the live span."""
+        self.attrs.update(attrs)
+
+    def end(self, **attrs: Any) -> Dict[str, Any]:
+        """Stamp the duration and hand the finished record to the tracer."""
+        if attrs:
+            self.attrs.update(attrs)
+        record = span_record(
+            self.trace,
+            self.parent,
+            self.name,
+            self.start,
+            time.monotonic() - self.start,
+            attrs=self.attrs or None,
+            span=self.span,
+        )
+        self.tracer.add(record)
+        return record
+
+
+class _SpanContext:
+    """``with tracer.span(...)`` support; ends the span on exit."""
+
+    __slots__ = ("_span",)
+
+    def __init__(self, span: Span) -> None:
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.annotate(error=repr(exc) if exc else exc_type.__name__)
+        self._span.end()
+
+
+class Tracer:
+    """Collects finished span records for one process.
+
+    Instrumentation sites hold ``Optional[Tracer]`` and guard with one
+    ``is None`` test, mirroring the :class:`~repro.obs.observer.Observer`
+    discipline.  Finished records accumulate until :meth:`drain` hands
+    them off (to a JSONL flush, a test, or an export).
+    """
+
+    __slots__ = ("spans",)
+
+    def __init__(self) -> None:
+        self.spans: List[Dict[str, Any]] = []
+
+    def start(
+        self,
+        name: str,
+        trace: Optional[str] = None,
+        parent: Optional[str] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Begin a span; ``trace=None`` starts a fresh trace (a root)."""
+        return Span(self, trace if trace else new_trace_id(), parent, name, attrs)
+
+    def span(
+        self,
+        name: str,
+        trace: Optional[str] = None,
+        parent: Optional[str] = None,
+        **attrs: Any,
+    ) -> _SpanContext:
+        """Context-manager form of :meth:`start`; ends on exit."""
+        return _SpanContext(self.start(name, trace, parent, **attrs))
+
+    def add(self, record: Dict[str, Any]) -> None:
+        """Accept one finished span record (usually via :meth:`Span.end`)."""
+        self.spans.append(record)
+
+    def adopt(self, records: Iterable[Dict[str, Any]]) -> int:
+        """Accept finished records produced elsewhere (worker outcomes)."""
+        count = 0
+        for record in records:
+            self.spans.append(record)
+            count += 1
+        return count
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """All finished records so far; clears the tracer."""
+        records, self.spans = self.spans, []
+        return records
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+
+# -- reading and integrity -------------------------------------------------
+
+
+def read_jsonl_records(path) -> Tuple[List[Dict[str, Any]], int]:
+    """Parse a JSONL file, skipping corrupt lines instead of raising.
+
+    Returns ``(records, corrupt)`` where ``corrupt`` counts lines that
+    were non-empty but failed to parse as a JSON object — a torn final
+    line from a killed writer being the expected case.  A missing or
+    unreadable file reads as ``([], 0)``.
+    """
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return [], 0
+    records: List[Dict[str, Any]] = []
+    corrupt = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            corrupt += 1
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+        else:
+            corrupt += 1
+    return records, corrupt
+
+
+def read_spans_jsonl(path) -> Tuple[List[Dict[str, Any]], int]:
+    """Span records in one JSONL file: ``(spans, corrupt line count)``."""
+    records, corrupt = read_jsonl_records(path)
+    return [r for r in records if r.get("kind") == "span"], corrupt
+
+
+def load_spans(store_root) -> Tuple[List[Dict[str, Any]], int]:
+    """All span records under ``<store_root>/traces-spans``, file order
+    oldest-first; returns ``(spans, total corrupt line count)``."""
+    spans: List[Dict[str, Any]] = []
+    corrupt = 0
+    for path in span_files(Path(store_root) / SPAN_DIR):
+        records, bad = read_spans_jsonl(path)
+        spans.extend(records)
+        corrupt += bad
+    return spans, corrupt
+
+
+def group_by_trace(
+    spans: Iterable[Dict[str, Any]]
+) -> Dict[str, List[Dict[str, Any]]]:
+    """Spans grouped by trace ID, preserving record order within each."""
+    grouped: Dict[str, List[Dict[str, Any]]] = {}
+    for record in spans:
+        grouped.setdefault(str(record.get("trace")), []).append(record)
+    return grouped
+
+
+def verify_span_tree(
+    spans: Iterable[Dict[str, Any]], epsilon: float = NEST_EPSILON
+) -> None:
+    """Check structural integrity of a batch of span records.
+
+    Raises :class:`SimulationError` unless, within every trace:
+
+    * span IDs are unique;
+    * every non-root span's ``parent`` names a span in the same trace;
+    * every child nests within its parent's ``[start, start + dur]``
+      window (to within ``epsilon`` seconds of clock-read slop).
+
+    The single-timeline guarantee behind this rests on
+    ``CLOCK_MONOTONIC`` being shared across forked workers.
+    """
+    for trace, records in group_by_trace(spans).items():
+        by_id: Dict[str, Dict[str, Any]] = {}
+        for record in records:
+            span_id = str(record.get("span"))
+            if span_id in by_id:
+                raise SimulationError(
+                    f"trace {trace}: duplicate span id {span_id}"
+                )
+            by_id[span_id] = record
+        for record in records:
+            parent_id = record.get("parent")
+            if parent_id is None:
+                continue
+            parent = by_id.get(str(parent_id))
+            if parent is None:
+                raise SimulationError(
+                    f"trace {trace}: span {record.get('span')} "
+                    f"({record.get('name')}) names missing parent {parent_id}"
+                )
+            child_start = float(record["start"])
+            child_end = child_start + float(record["dur"])
+            parent_start = float(parent["start"])
+            parent_end = parent_start + float(parent["dur"])
+            if child_start < parent_start - epsilon or child_end > parent_end + epsilon:
+                raise SimulationError(
+                    f"trace {trace}: span {record.get('name')} "
+                    f"[{child_start:.6f}, {child_end:.6f}] escapes parent "
+                    f"{parent.get('name')} [{parent_start:.6f}, {parent_end:.6f}]"
+                )
+
+
+# -- Chrome trace-event export ---------------------------------------------
+
+
+def chrome_trace(spans: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Span records as Chrome trace-event JSON (Perfetto-loadable).
+
+    Every span becomes a ``ph="X"`` *complete* event with microsecond
+    ``ts``/``dur``.  Events are laid out one thread row per trace (all
+    spans of a request share a row and nest visually by time), with the
+    originating OS pid preserved in ``args`` — workers and the service
+    stay distinguishable without splitting the timeline per process.
+    """
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+    for record in spans:
+        trace = str(record.get("trace"))
+        tid = tids.setdefault(trace, len(tids) + 1)
+        args: Dict[str, Any] = {
+            "trace": trace,
+            "span": record.get("span"),
+            "parent": record.get("parent"),
+            "os_pid": record.get("pid"),
+        }
+        args.update(record.get("attrs") or {})
+        events.append(
+            {
+                "name": str(record.get("name", "?")),
+                "cat": "repro",
+                "ph": "X",
+                "ts": float(record.get("start", 0.0)) * 1e6,
+                "dur": float(record.get("dur", 0.0)) * 1e6,
+                "pid": 1,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    meta: List[Dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": "repro-lbic"},
+        }
+    ]
+    for trace, tid in tids.items():
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": f"trace {trace}"},
+            }
+        )
+    return {"traceEvents": meta + events, "displayTimeUnit": "ms"}
+
+
+# -- persistence under <cache root>/traces-spans ---------------------------
+
+
+def flush_spans(store_root, spans: List[Dict[str, Any]]) -> Optional[Path]:
+    """Append ``spans`` to this invocation's file under
+    ``<store_root>/traces-spans/`` and prune old files.
+
+    Mirrors :func:`repro.engine.telemetry.flush_telemetry`: one file per
+    process invocation (timestamp + pid), repeated flushes append, the
+    newest :data:`KEEP_FILES` files survive.  Returns the path, or
+    ``None`` when there is nothing to write.
+    """
+    if not spans:
+        return None
+    from .events import write_events_jsonl
+
+    root = Path(store_root) / SPAN_DIR
+    root.mkdir(parents=True, exist_ok=True)
+    name = f"{time.strftime('%Y%m%d-%H%M%S')}-{os.getpid()}.jsonl"
+    path = root / name
+    write_events_jsonl(path, spans, append=True)
+    for stale in span_files(root)[:-KEEP_FILES]:
+        try:
+            stale.unlink()
+        except OSError:
+            pass
+    return path
+
+
+def span_files(root) -> List[Path]:
+    """Span JSONL files under ``root``, oldest first."""
+    root = Path(root)
+    if not root.is_dir():
+        return []
+    return sorted(root.glob("*.jsonl"))
+
+
+def clear_spans(store_root) -> int:
+    """Delete exported spans under ``<store_root>/traces-spans``."""
+    removed = 0
+    for path in span_files(Path(store_root) / SPAN_DIR):
+        try:
+            path.unlink()
+            removed += 1
+        except OSError:
+            pass
+    return removed
+
+
+def render_spans_info(store_root) -> Optional[str]:
+    """Summarize exported spans for ``cache info``; ``None`` when empty."""
+    files = span_files(Path(store_root) / SPAN_DIR)
+    if not files:
+        return None
+    total_bytes = 0
+    for path in files:
+        try:
+            total_bytes += path.stat().st_size
+        except OSError:
+            pass
+    spans, corrupt = load_spans(store_root)
+    traces = len(group_by_trace(spans))
+    line = (
+        f"spans:          {len(files)} file(s), "
+        f"{total_bytes / 1024:.1f} KiB, "
+        f"{len(spans)} span(s) across {traces} trace(s)"
+    )
+    if corrupt:
+        line += f", {corrupt} corrupt line(s) skipped"
+    return line
+
+
+# -- analysis ---------------------------------------------------------------
+
+
+def span_summary(spans: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-name aggregates: count, total/mean/max seconds, sorted by
+    total descending — the ``spans summary`` table's rows."""
+    stats: Dict[str, Dict[str, Any]] = {}
+    for record in spans:
+        name = str(record.get("name", "?"))
+        dur = float(record.get("dur", 0.0))
+        row = stats.get(name)
+        if row is None:
+            stats[name] = {"name": name, "count": 1, "total": dur, "max": dur}
+        else:
+            row["count"] += 1
+            row["total"] += dur
+            row["max"] = max(row["max"], dur)
+    rows = sorted(stats.values(), key=lambda row: -row["total"])
+    for row in rows:
+        row["mean"] = row["total"] / row["count"]
+    return rows
+
+
+def critical_path(spans: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The longest root-to-leaf chain of one trace's spans.
+
+    Starting from the longest root, repeatedly descend into the child
+    with the largest duration.  The returned spans are the trace's
+    critical path: the chain a latency optimization must shorten.
+    """
+    records = list(spans)
+    children: Dict[Optional[str], List[Dict[str, Any]]] = {}
+    for record in records:
+        parent = record.get("parent")
+        children.setdefault(
+            str(parent) if parent is not None else None, []
+        ).append(record)
+    roots = children.get(None, [])
+    if not roots:
+        return []
+    path: List[Dict[str, Any]] = []
+    node = max(roots, key=lambda r: float(r.get("dur", 0.0)))
+    while node is not None:
+        path.append(node)
+        kids = children.get(str(node.get("span")), [])
+        node = max(kids, key=lambda r: float(r.get("dur", 0.0))) if kids else None
+    return path

@@ -28,6 +28,7 @@ from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from ..engine import ResultStore, WorkerPool
+from ..obs.jsonlog import JsonLogger
 from .queue import BacklogFullError
 from .service import SimulationService
 from .wire import WireError, simulate_request
@@ -62,10 +63,14 @@ class ServiceApp:
         service: SimulationService,
         host: str = "127.0.0.1",
         port: int = 8023,
+        log: Optional[JsonLogger] = None,
     ) -> None:
         self.service = service
         self.host = host
         self.port = port
+        #: structured JSON access/lifecycle logging; ``None`` is silent
+        #: (the mode every test uses).
+        self.log = log
         self._server: Optional[asyncio.AbstractServer] = None
 
     async def start(self) -> None:
@@ -104,12 +109,19 @@ class ServiceApp:
     ) -> None:
         started = time.perf_counter()
         endpoint = "unknown"
+        method = "?"
         status = 0
+        tracer = self.service.tracer
+        # The request root span: accept → parse → route → handler.  Its
+        # trace ID threads through the job record, the JSON access log,
+        # and every descendant span down to the busy loop.
+        request_span = tracer.start("request") if tracer is not None else None
+        trace_id = request_span.trace if request_span is not None else None
         try:
             try:
                 method, target, body = await self._read_request(reader)
                 endpoint, status, payload, content_type = await self._route(
-                    method, target, body
+                    method, target, body, request_span
                 )
             except _HttpError as error:
                 status = error.status
@@ -121,18 +133,33 @@ class ServiceApp:
                     json.dumps({"error": f"{type(error).__name__}: {error}"}) + "\n"
                 )
                 content_type = "application/json"
+            if request_span is not None:
+                request_span.end(endpoint=endpoint, status=status)
+                request_span = None
+                self.service.flush_spans()
             await self._write_response(writer, status, payload, content_type)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass
         finally:
+            if request_span is not None:  # connection died mid-request
+                request_span.end(endpoint=endpoint, status=status)
+                self.service.flush_spans()
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
-            self.service.metrics.note_request(
-                endpoint, status, time.perf_counter() - started
-            )
+            seconds = time.perf_counter() - started
+            self.service.metrics.note_request(endpoint, status, seconds)
+            if self.log is not None:
+                self.log.event(
+                    "request",
+                    trace=trace_id,
+                    method=method,
+                    endpoint=endpoint,
+                    status=status,
+                    seconds=round(seconds, 6),
+                )
 
     async def _read_request(
         self, reader: asyncio.StreamReader
@@ -184,7 +211,7 @@ class ServiceApp:
     # -- routing -----------------------------------------------------------
 
     async def _route(
-        self, method: str, target: str, body: bytes
+        self, method: str, target: str, body: bytes, request_span=None
     ) -> Tuple[str, int, str, str]:
         """Dispatch one request; returns (endpoint, status, body, type)."""
         split = urlsplit(target)
@@ -213,7 +240,7 @@ class ServiceApp:
                 raise _HttpError(405, "POST only")
             wait_values = [v.lower() for v in query.get("wait", ["true"])]
             wait = wait_values[-1] not in ("false", "0", "no")
-            status, payload = await self._simulate(body, wait)
+            status, payload = await self._simulate(body, wait, request_span)
             return (
                 "/v1/simulate",
                 status,
@@ -235,7 +262,7 @@ class ServiceApp:
         raise _HttpError(404, f"no route for {method} {path}")
 
     async def _simulate(
-        self, body: bytes, wait: bool
+        self, body: bytes, wait: bool, request_span=None
     ) -> Tuple[int, Dict[str, Any]]:
         try:
             data = json.loads(body.decode("utf-8") or "null")
@@ -245,17 +272,25 @@ class ServiceApp:
             request = simulate_request(data)
         except WireError as error:
             raise _HttpError(400, str(error)) from error
+        trace_ctx = (
+            (request_span.trace, request_span.span)
+            if request_span is not None
+            else None
+        )
         try:
-            job = self.service.submit(request, wait=wait)
+            job = self.service.submit(request, wait=wait, trace_ctx=trace_ctx)
         except BacklogFullError as error:
             raise _HttpError(429, str(error)) from error
         if not wait:
-            return 202, {
+            record: Dict[str, Any] = {
                 "job": job.id,
                 "state": job.state,
                 "total": job.total,
                 "url": f"/v1/jobs/{job.id}",
             }
+            if job.trace_id is not None:
+                record["trace"] = job.trace_id
+            return 202, record
         try:
             await job.task
         except Exception as error:  # noqa: BLE001 - request boundary
@@ -274,33 +309,46 @@ def run_server(
     store: Optional[ResultStore] = None,
     use_store: bool = True,
     amortize: bool = True,
+    trace_spans: bool = False,
 ) -> int:
     """Blocking entry point for ``repro-lbic serve``.
 
     Creates the persistent :class:`~repro.engine.executor.WorkerPool`
     once, binds the listener, and serves until interrupted; the pool and
-    dispatchers shut down cleanly on Ctrl-C.
+    dispatchers shut down cleanly on Ctrl-C.  All daemon output is
+    structured JSON logging (one object per line on stdout); with
+    ``trace_spans`` every request additionally records a span trace
+    under ``<store root>/traces-spans/`` (see docs/observability.md).
     """
     if store is None and use_store:
         store = ResultStore()
     pool = WorkerPool(jobs)
+    tracer = None
+    if trace_spans:
+        from ..obs.tracing import Tracer
+
+        tracer = Tracer()
     service = SimulationService(
-        store=store, pool=pool, backlog=backlog, amortize=amortize
+        store=store, pool=pool, backlog=backlog, amortize=amortize,
+        tracer=tracer,
     )
+    log = JsonLogger()
 
     async def _main() -> None:
-        app = ServiceApp(service, host=host, port=port)
+        app = ServiceApp(service, host=host, port=port, log=log)
         async with app:
-            print(
-                f"repro-lbic serve: listening on http://{app.host}:{app.port} "
-                f"(workers={pool.jobs}, backlog={backlog}, "
-                f"store={store.root if store is not None else 'off'})",
-                flush=True,
+            log.event(
+                "serve.listening",
+                url=f"http://{app.host}:{app.port}",
+                workers=pool.jobs,
+                backlog=backlog,
+                store=str(store.root) if store is not None else None,
+                trace_spans=trace_spans,
             )
             await app.serve_forever()
 
     try:
         asyncio.run(_main())
     except KeyboardInterrupt:
-        print("repro-lbic serve: shutting down", flush=True)
+        log.event("serve.shutdown")
     return 0

@@ -43,6 +43,12 @@ class Job:
         #: the asyncio task resolving this job's units (set by the
         #: service); synchronous requests await it, job mode polls.
         self.task: Optional[Any] = None
+        #: the span-trace ID covering this job (set by the service when
+        #: tracing is on); lets a client join its response/job record
+        #: with the exported spans and the daemon's JSON logs.
+        self.trace_id: Optional[str] = None
+        #: the job's live span (ended by the service on completion).
+        self.span: Optional[Any] = None
 
     def start(self) -> None:
         self.state = "running"
@@ -69,6 +75,8 @@ class Job:
             "created": self.created,
             "progress": self.telemetry.progress(self.total),
         }
+        if self.trace_id is not None:
+            record["trace"] = self.trace_id
         if self.finished is not None:
             record["elapsed_seconds"] = self.finished - self.created
         if self.error is not None:

@@ -18,6 +18,15 @@ Families:
   ``repro_service_pool_utilization`` — gauges
 * ``repro_service_request_seconds`` — histogram (cumulative ``le``
   buckets, ``_sum``, ``_count``)
+* ``repro_service_dedup_outcomes_total{outcome}`` — counter: the dedup
+  decision per planned unit (``memo`` / ``store`` / ``inflight`` /
+  ``cold``)
+* ``repro_service_queue_depth_peak`` — gauge: backlog high-water mark
+* ``repro_service_queue_wait_seconds`` — histogram: enqueue → dispatch
+* ``repro_service_phase_seconds{phase}`` — histogram per engine phase
+  (materialize / warmup / simulate / store)
+* ``repro_service_unit_seconds{backend}`` — histogram: simulation wall
+  time per timing backend
 """
 
 from __future__ import annotations
@@ -65,8 +74,11 @@ class LatencyHistogram:
                 return
         self.counts[-1] += 1
 
-    def render(self, name: str, labels: Mapping[str, str]) -> List[str]:
-        lines = [f"# TYPE {name} histogram"]
+    def sample_lines(self, name: str, labels: Mapping[str, str]) -> List[str]:
+        """The samples only (no ``# TYPE`` header) — lets one histogram
+        family carry several label sets (per-phase, per-backend) under a
+        single header, as the exposition format requires."""
+        lines = []
         cumulative = 0
         for bound, count in zip(self.buckets, self.counts):
             cumulative += count
@@ -86,6 +98,9 @@ class LatencyHistogram:
         lines.append(prometheus_sample(f"{name}_count", self.count, dict(labels)))
         return lines
 
+    def render(self, name: str, labels: Mapping[str, str]) -> List[str]:
+        return [f"# TYPE {name} histogram"] + self.sample_lines(name, labels)
+
 
 class ServiceMetrics:
     """Counters, gauges, and the request-latency histogram."""
@@ -95,6 +110,11 @@ class ServiceMetrics:
         self.units_by_source: Dict[str, int] = {}
         self.dedup_hits = 0
         self.latency = LatencyHistogram()
+        #: dedup decision per planned unit: memo / store / inflight / cold
+        self.dedup_outcomes: Dict[str, int] = {}
+        self.queue_wait = LatencyHistogram()
+        self.phase_seconds: Dict[str, LatencyHistogram] = {}
+        self.backend_seconds: Dict[str, LatencyHistogram] = {}
 
     def note_request(self, endpoint: str, status: int, seconds: float) -> None:
         key = (endpoint, status)
@@ -108,6 +128,25 @@ class ServiceMetrics:
         self.dedup_hits += 1
         self.note_unit("inflight")
 
+    def note_outcome(self, outcome: str) -> None:
+        """Count one dedup decision (``memo``/``store``/``inflight``/``cold``)."""
+        self.dedup_outcomes[outcome] = self.dedup_outcomes.get(outcome, 0) + 1
+
+    def observe_queue_wait(self, seconds: float) -> None:
+        self.queue_wait.observe(seconds)
+
+    def observe_phase(self, phase: str, seconds: float) -> None:
+        hist = self.phase_seconds.get(phase)
+        if hist is None:
+            hist = self.phase_seconds[phase] = LatencyHistogram()
+        hist.observe(seconds)
+
+    def observe_backend(self, backend: str, seconds: float) -> None:
+        hist = self.backend_seconds.get(backend)
+        if hist is None:
+            hist = self.backend_seconds[backend] = LatencyHistogram()
+        hist.observe(seconds)
+
     def render(
         self,
         *,
@@ -116,6 +155,7 @@ class ServiceMetrics:
         inflight: int,
         pool_workers: int,
         pool_busy: int,
+        queue_depth_peak: int = 0,
     ) -> str:
         """The live service families, Prometheus text exposition."""
         lines = ["# TYPE repro_service_requests_total counter"]
@@ -142,8 +182,21 @@ class ServiceMetrics:
         )
         lines.append("# TYPE repro_service_backlog_shed_total counter")
         lines.append(prometheus_sample("repro_service_backlog_shed_total", shed))
+        lines.append("# TYPE repro_service_dedup_outcomes_total counter")
+        for outcome, count in sorted(self.dedup_outcomes.items()):
+            lines.append(
+                prometheus_sample(
+                    "repro_service_dedup_outcomes_total",
+                    count,
+                    {"outcome": outcome},
+                )
+            )
         lines.append("# TYPE repro_service_queue_depth gauge")
         lines.append(prometheus_sample("repro_service_queue_depth", queue_depth))
+        lines.append("# TYPE repro_service_queue_depth_peak gauge")
+        lines.append(
+            prometheus_sample("repro_service_queue_depth_peak", queue_depth_peak)
+        )
         lines.append("# TYPE repro_service_inflight gauge")
         lines.append(prometheus_sample("repro_service_inflight", inflight))
         lines.append("# TYPE repro_service_pool_workers gauge")
@@ -160,4 +213,24 @@ class ServiceMetrics:
         lines.extend(
             self.latency.render("repro_service_request_seconds", {})
         )
+        if self.queue_wait.count:
+            lines.extend(
+                self.queue_wait.render("repro_service_queue_wait_seconds", {})
+            )
+        if self.phase_seconds:
+            lines.append("# TYPE repro_service_phase_seconds histogram")
+            for phase, hist in sorted(self.phase_seconds.items()):
+                lines.extend(
+                    hist.sample_lines(
+                        "repro_service_phase_seconds", {"phase": phase}
+                    )
+                )
+        if self.backend_seconds:
+            lines.append("# TYPE repro_service_unit_seconds histogram")
+            for backend, hist in sorted(self.backend_seconds.items()):
+                lines.extend(
+                    hist.sample_lines(
+                        "repro_service_unit_seconds", {"backend": backend}
+                    )
+                )
         return "\n".join(lines) + "\n"

@@ -39,6 +39,10 @@ class BoundedWorkQueue:
         self._queue: "asyncio.Queue[Any]" = asyncio.Queue()
         #: requests refused because the backlog was full.
         self.shed = 0
+        #: deepest the backlog has ever been — the
+        #: ``repro_service_queue_depth_peak`` gauge, so a scrape that
+        #: always lands on an idle queue still reveals burst pressure.
+        self.peak_depth = 0
 
     @property
     def depth(self) -> int:
@@ -57,6 +61,9 @@ class BoundedWorkQueue:
 
     def put_nowait(self, item: Any) -> None:
         self._queue.put_nowait(item)
+        depth = self._queue.qsize()
+        if depth > self.peak_depth:
+            self.peak_depth = depth
 
     async def get(self) -> Any:
         return await self._queue.get()

@@ -39,6 +39,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.results import SimResult
 from ..engine import ResultStore, WorkerPool, WorkUnit
+from ..obs.tracing import new_trace_id, span_record
 from .jobs import Job, JobRegistry
 from .metrics import ServiceMetrics
 from .queue import BoundedWorkQueue
@@ -50,7 +51,7 @@ from .wire import SimulateRequest
 class _InFlight:
     """One running (or queued) simulation and everyone waiting on it."""
 
-    __slots__ = ("unit", "future", "waiters")
+    __slots__ = ("unit", "future", "waiters", "enqueued", "ctx")
 
     def __init__(self, unit: WorkUnit) -> None:
         self.unit = unit
@@ -58,6 +59,13 @@ class _InFlight:
             asyncio.get_running_loop().create_future()
         )
         self.waiters = 1
+        #: monotonic enqueue stamp — queue-wait accounting and the
+        #: ``queue_wait`` span both measure from here.
+        self.enqueued = 0.0
+        #: ``(trace id, parent span id)`` of the unit span that created
+        #: this run, or ``None`` when tracing is off.  Attached waiters
+        #: share the run, so its spans belong to the *creating* trace.
+        self.ctx: Optional[Tuple[str, str]] = None
 
 
 @dataclass(frozen=True)
@@ -94,8 +102,15 @@ class SimulationService:
         pool: Optional[WorkerPool] = None,
         backlog: int = 64,
         amortize: bool = True,
+        tracer=None,
     ) -> None:
         self.store = store
+        #: an optional repro.obs.tracing.Tracer; when set, every request
+        #: records a span tree — job → dedup decision → per-unit spans →
+        #: queue wait → execute (worker phases, busy-loop sections) →
+        #: store — all under one trace ID.  ``None`` (the default) keeps
+        #: every instrumentation site to one ``is None`` test.
+        self.tracer = tracer
         self.pool = pool if pool is not None else WorkerPool()
         self.queue = BoundedWorkQueue(backlog)
         self.jobs = JobRegistry()
@@ -130,20 +145,68 @@ class SimulationService:
             except asyncio.CancelledError:
                 pass
         self._workers = []
+        self.flush_spans()
         self.pool.close()
+
+    def flush_spans(self):
+        """Persist recorded spans under ``<store root>/traces-spans/``.
+
+        Called after every job completes and at shutdown; a no-op (and
+        cheap) when tracing is off, nothing is buffered, or the service
+        has no persistent store.  Returns the JSONL path or ``None``.
+        """
+        if self.tracer is None or self.store is None or not len(self.tracer):
+            return None
+        from ..obs.tracing import flush_spans
+
+        return flush_spans(self.store.root, self.tracer.drain())
 
     # -- request handling --------------------------------------------------
 
-    def submit(self, request: SimulateRequest, wait: bool = True) -> Job:
+    def submit(
+        self,
+        request: SimulateRequest,
+        wait: bool = True,
+        trace_ctx: Optional[Tuple[str, Optional[str]]] = None,
+    ) -> Job:
         """Admit one request: plan every unit, enqueue the cold ones.
 
         Raises :class:`BacklogFullError` (nothing enqueued, no job
         created) when the backlog cannot take the request's cold units.
         Returns the :class:`Job`; ``job.task`` resolves the units — the
         caller awaits it (sync mode) or leaves it running (job mode).
+
+        ``trace_ctx`` is the caller's ``(trace id, parent span id)`` —
+        the HTTP layer's request span.  A background (``wait=False``)
+        job outlives its request, so its span becomes a *sibling root*
+        on the same trace instead of a child (span trees stay properly
+        nested either way).
         """
-        plan = self._plan(request)
+        tracer = self.tracer
+        job_span = None
+        if tracer is not None:
+            trace, parent = trace_ctx if trace_ctx is not None else (
+                new_trace_id(),
+                None,
+            )
+            job_span = tracer.start(
+                "job",
+                trace=trace,
+                parent=parent if wait else None,
+                units=len(request.units),
+                description=request.description,
+            )
+        try:
+            plan = self._plan(request, job_span)
+        except Exception as error:
+            if job_span is not None:
+                job_span.end(error=f"{type(error).__name__}: {error}")
+            raise
         job = self.jobs.create(request.description, len(request.units))
+        if job_span is not None:
+            job_span.annotate(job=job.id)
+            job.trace_id = job_span.trace
+            job.span = job_span
         job.task = asyncio.create_task(self._resolve(job, request, plan))
         if not wait:
             # Background jobs report failures through their record; mark
@@ -154,35 +217,82 @@ class SimulationService:
             )
         return job
 
-    def _plan(self, request: SimulateRequest) -> List[Tuple[str, Any]]:
+    def _plan(
+        self, request: SimulateRequest, job_span=None
+    ) -> List[Tuple[str, Any, Any]]:
         """Classify units (cached / attach / cold) and enqueue cold ones.
 
         Runs synchronously on the event loop: between the backlog
         reservation and the enqueues nothing yields, so admission is
         atomic with respect to other requests.
+
+        Each plan entry is ``(kind, item, unit span)`` — the unit span
+        (``None`` with tracing off) opens here, when the dedup decision
+        is made, and is ended by :meth:`_resolve` when the unit's result
+        lands, so its duration is the unit's full request-side latency.
         """
-        plan: List[Tuple[str, Any]] = []
-        cold: List[_InFlight] = []
+        tracer = self.tracer
+        dedup_span = (
+            tracer.start(
+                "dedup", trace=job_span.trace, parent=job_span.span
+            )
+            if job_span is not None
+            else None
+        )
+        outcomes = {"memo": 0, "store": 0, "inflight": 0, "cold": 0}
+
+        def unit_span(unit: WorkUnit, outcome: str):
+            outcomes[outcome] += 1
+            self.metrics.note_outcome(outcome)
+            if job_span is None:
+                return None
+            return tracer.start(
+                "unit",
+                trace=job_span.trace,
+                parent=job_span.span,
+                label=unit.label,
+                outcome=outcome,
+            )
+
+        plan: List[Tuple[str, Any, Any]] = []
+        cold: List[Tuple[_InFlight, Any]] = []
         claimed: Dict[str, _InFlight] = {}
-        for unit in request.units:
-            fingerprint = unit.fingerprint
-            cached = self._probe(unit)
-            if cached is not None:
-                plan.append(("cached", cached))
-                continue
-            existing = self._inflight.get(fingerprint) or claimed.get(fingerprint)
-            if existing is not None:
-                existing.waiters += 1
-                self.metrics.note_dedup_hit()
-                plan.append(("attach", existing))
-                continue
-            item = _InFlight(unit)
-            claimed[fingerprint] = item
-            cold.append(item)
-            plan.append(("cold", item))
-        # All-or-nothing admission: reserve before anything is enqueued.
-        self.queue.reserve(len(cold))
-        for item in cold:
+        try:
+            for unit in request.units:
+                fingerprint = unit.fingerprint
+                cached = self._probe(unit)
+                if cached is not None:
+                    kind = "memo" if cached[0] == "memory" else "store"
+                    plan.append(("cached", cached, unit_span(unit, kind)))
+                    continue
+                existing = self._inflight.get(fingerprint) or claimed.get(
+                    fingerprint
+                )
+                if existing is not None:
+                    existing.waiters += 1
+                    self.metrics.note_dedup_hit()
+                    plan.append(
+                        ("attach", existing, unit_span(unit, "inflight"))
+                    )
+                    continue
+                item = _InFlight(unit)
+                claimed[fingerprint] = item
+                span = unit_span(unit, "cold")
+                cold.append((item, span))
+                plan.append(("cold", item, span))
+            # All-or-nothing admission: reserve before anything is
+            # enqueued.
+            self.queue.reserve(len(cold))
+        finally:
+            # The dedup decision span always closes — a shed request
+            # (BacklogFullError propagating to a 429) records what it
+            # classified before being refused.
+            if dedup_span is not None:
+                dedup_span.end(**outcomes)
+        for item, span in cold:
+            if span is not None:
+                item.ctx = (span.trace, span.span)
+            item.enqueued = time.monotonic()
             self._inflight[item.unit.fingerprint] = item
             self.queue.put_nowait(item)
         return plan
@@ -205,13 +315,16 @@ class SimulationService:
         return None
 
     async def _resolve(
-        self, job: Job, request: SimulateRequest, plan: List[Tuple[str, Any]]
+        self,
+        job: Job,
+        request: SimulateRequest,
+        plan: List[Tuple[str, Any, Any]],
     ) -> List[UnitOutcome]:
         """Await every planned unit and finalize the job record."""
         job.start()
         outcomes: List[UnitOutcome] = []
         try:
-            for (kind, item), unit in zip(plan, request.units):
+            for (kind, item, span), unit in zip(plan, request.units):
                 if kind == "cached":
                     source, result, stored_wall = item
                     outcome = UnitOutcome(
@@ -233,6 +346,8 @@ class SimulationService:
                         wall_time=wall,
                         phases=phases,
                     )
+                if span is not None:
+                    span.end(source=outcome.source)
                 job.telemetry.add_unit(
                     unit.label, unit.fingerprint, outcome.source,
                     outcome.wall_time, outcome.phases,
@@ -242,8 +357,16 @@ class SimulationService:
         except Exception as error:  # noqa: BLE001 - job boundary
             self.metrics.note_unit("failed")
             job.fail(f"{type(error).__name__}: {error}")
+            if job.span is not None:
+                job.span.end(state="failed")
+                job.span = None
+            self.flush_spans()
             raise
         job.complete()
+        if job.span is not None:
+            job.span.end(state="done")
+            job.span = None
+        self.flush_spans()
         return outcomes
 
     # -- dispatch ----------------------------------------------------------
@@ -259,30 +382,75 @@ class SimulationService:
 
     async def _run_item(self, item: _InFlight) -> None:
         unit = item.unit
+        tracer = self.tracer
+        # Queue wait: enqueue → this dispatcher picking the item up.
+        waited = time.monotonic() - item.enqueued if item.enqueued else 0.0
+        self.metrics.observe_queue_wait(waited)
+        exec_span = None
+        if tracer is not None and item.ctx is not None:
+            trace, parent = item.ctx
+            tracer.add(
+                span_record(
+                    trace, parent, "queue_wait", item.enqueued, waited
+                )
+            )
+            exec_span = tracer.start(
+                "execute",
+                trace=trace,
+                parent=parent,
+                backend=unit.backend,
+                label=unit.label,
+            )
         payload = unit.payload()
         if self.amortize:
             payload["amortize"] = True
             if self.store is not None:
                 payload["trace_root"] = str(self.store.root / "traces")
+        if exec_span is not None:
+            payload["trace_spans"] = {
+                "trace": exec_span.trace,
+                "parent": exec_span.span,
+            }
         try:
             outcome = await asyncio.wrap_future(self.pool.submit(payload))
             result = SimResult.from_dict(outcome["result"])
             wall = float(outcome.get("wall_time", 0.0))
             phases = dict(outcome.get("phases", {}))
         except Exception as error:  # noqa: BLE001 - worker boundary
+            if exec_span is not None:
+                exec_span.end(error=f"{type(error).__name__}: {error}")
             self._inflight.pop(unit.fingerprint, None)
             if not item.future.done():
                 item.future.set_exception(error)
             return
+        if exec_span is not None:
+            tracer.adopt(outcome.get("spans", ()))
         # Publish before retiring the in-flight entry: a unit is always
         # visible as cached or in flight, never neither.
         self._memory[unit.fingerprint] = (result, wall)
         if self.store is not None:
+            store_span = (
+                tracer.start(
+                    "store",
+                    trace=exec_span.trace,
+                    parent=exec_span.span,
+                    label=unit.label,
+                )
+                if exec_span is not None
+                else None
+            )
             mark = time.perf_counter()
             self.store.put(unit.fingerprint, unit.key(), result, wall)
             phases["store"] = time.perf_counter() - mark
+            if store_span is not None:
+                store_span.end()
+        if exec_span is not None:
+            exec_span.end()
         self.simulations += 1
         self.metrics.note_unit("simulated")
+        self.metrics.observe_backend(unit.backend, wall)
+        for phase, seconds in phases.items():
+            self.metrics.observe_phase(phase, seconds)
         metrics_payload = result.extra.get("metrics")
         if isinstance(metrics_payload, dict):
             benchmark, _, ports = unit.label.partition("/")
@@ -316,6 +484,7 @@ class SimulationService:
             inflight=len(self._inflight),
             pool_workers=self.pool.jobs,
             pool_busy=self.pool.busy,
+            queue_depth_peak=self.queue.peak_depth,
         )
         if self.last_metrics is not None:
             from ..obs.metrics import prometheus_metrics

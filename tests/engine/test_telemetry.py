@@ -176,6 +176,18 @@ class TestExport:
         assert telemetry_files(root / "telemetry") == []
         assert render_telemetry_info(root) is None
 
+    def test_torn_final_line_degrades_gracefully(self, tmp_path):
+        """A writer killed mid-flush leaves a torn last line; the info
+        roll-up must skip it, count it, and still report the last
+        complete sweep summary."""
+        engine = run_sweep(tmp_path)
+        path = engine.flush_telemetry()
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"kind": "sweep_summary", "simul')  # torn write
+        info = render_telemetry_info(tmp_path / "cache")
+        assert "1 corrupt line(s) skipped" in info
+        assert "last sweep:" in info  # the intact summary still renders
+
     def test_render_mentions_savings_and_efficiency(self, tmp_path):
         engine = run_sweep(tmp_path)
         line = engine.telemetry.render()
@@ -218,6 +230,37 @@ class TestProgressPrinter:
         printer = ProgressPrinter(stream=stream)
         printer(self.event(0, 3))
         assert "ETA" in stream.getvalue()
+
+    def test_eta_format_is_exact_under_a_fake_clock(self, monkeypatch):
+        """2 of 4 units in 10s -> 0.2 units/s -> 2 left take 10.0s."""
+        from repro.engine import telemetry as telemetry_module
+
+        ticks = iter([100.0, 100.0, 110.0])
+        monkeypatch.setattr(
+            telemetry_module.time, "perf_counter", lambda: next(ticks)
+        )
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer(self.event(0, 4))
+        printer(self.event(1, 4))
+        lines = stream.getvalue().split("\r")
+        assert "[1/4]" in lines[1] and "(0.0s elapsed)" in lines[1]
+        assert "[2/4]" in lines[2]
+        assert "(10.0s elapsed, ETA 10.0s)" in lines[2]
+
+    def test_finished_batch_line_has_no_eta(self, monkeypatch):
+        from repro.engine import telemetry as telemetry_module
+
+        ticks = iter([100.0, 107.5])
+        monkeypatch.setattr(
+            telemetry_module.time, "perf_counter", lambda: next(ticks)
+        )
+        stream = io.StringIO()
+        printer = ProgressPrinter(stream=stream)
+        printer(self.event(0, 1))
+        line = stream.getvalue()
+        assert "[1/1]" in line and "(7.5s elapsed)" in line
+        assert "ETA" not in line
 
     def test_engine_integration(self, tmp_path):
         stream = io.StringIO()

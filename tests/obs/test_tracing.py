@@ -1,0 +1,308 @@
+"""The span tracer: record shape, tree integrity, Chrome export,
+torn-line-tolerant readers, persistence under the store root, backend
+section markers, and the bit-identical-results-when-traced contract."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.config import LBICConfig, paper_machine
+from repro.common.errors import SimulationError
+from repro.core.backends import processor_class
+from repro.engine import ResultStore, RunSettings, SimulationEngine, clear_registries
+from repro.obs.tracing import (
+    KEEP_FILES,
+    SPAN_DIR,
+    Tracer,
+    chrome_trace,
+    clear_spans,
+    critical_path,
+    flush_spans,
+    group_by_trace,
+    load_spans,
+    read_jsonl_records,
+    render_spans_info,
+    span_files,
+    span_record,
+    span_summary,
+    verify_span_tree,
+)
+from repro.workloads.spec95 import spec95_workload
+
+
+def make_span(trace, parent, name, start, dur, span=None, **attrs):
+    return span_record(trace, parent, name, start, dur, attrs or None, span=span)
+
+
+class TestTracer:
+    def test_start_end_builds_a_record(self):
+        tracer = Tracer()
+        root = tracer.start("request", endpoint="/v1/simulate")
+        child = tracer.start("job", trace=root.trace, parent=root.span)
+        child_record = child.end(units=3)
+        root_record = root.end(status=200)
+        assert len(tracer) == 2
+        assert child_record["trace"] == root_record["trace"] == root.trace
+        assert child_record["parent"] == root_record["span"]
+        assert root_record["parent"] is None
+        assert root_record["attrs"] == {"endpoint": "/v1/simulate", "status": 200}
+        assert child_record["attrs"] == {"units": 3}
+        assert child_record["dur"] >= 0.0
+        for record in (child_record, root_record):
+            json.dumps(record)  # JSON-safe by construction
+
+    def test_distinct_roots_get_distinct_traces(self):
+        tracer = Tracer()
+        a, b = tracer.start("one"), tracer.start("two")
+        assert a.trace != b.trace
+        assert a.span != b.span
+
+    def test_context_manager_ends_and_annotates_errors(self):
+        tracer = Tracer()
+        with tracer.span("ok"):
+            pass
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                raise RuntimeError("nope")
+        records = tracer.drain()
+        assert [r["name"] for r in records] == ["ok", "boom"]
+        assert "error" in records[1]["attrs"]
+        assert tracer.drain() == []
+
+    def test_adopt_accepts_worker_records(self):
+        tracer = Tracer()
+        record = make_span("t1", None, "simulate", 1.0, 2.0)
+        assert tracer.adopt([record]) == 1
+        assert tracer.spans == [record]
+
+
+class TestIntegrity:
+    def tree(self):
+        return [
+            make_span("t1", None, "request", 0.0, 10.0, span="root"),
+            make_span("t1", "root", "job", 1.0, 8.0, span="job"),
+            make_span("t1", "job", "execute", 2.0, 5.0, span="exec"),
+        ]
+
+    def test_well_formed_tree_passes(self):
+        verify_span_tree(self.tree())
+
+    def test_missing_parent_fails(self):
+        spans = self.tree()
+        spans[1]["parent"] = "ghost"
+        with pytest.raises(SimulationError, match="missing parent"):
+            verify_span_tree(spans)
+
+    def test_child_escaping_parent_window_fails(self):
+        spans = self.tree()
+        spans[2]["dur"] = 50.0  # ends long after its parent
+        with pytest.raises(SimulationError, match="escapes parent"):
+            verify_span_tree(spans)
+
+    def test_duplicate_span_id_fails(self):
+        spans = self.tree()
+        spans[2]["span"] = "job"
+        with pytest.raises(SimulationError, match="duplicate span id"):
+            verify_span_tree(spans)
+
+    def test_traces_are_independent(self):
+        # the same span id in two different traces is fine
+        spans = [
+            make_span("t1", None, "a", 0.0, 1.0, span="s"),
+            make_span("t2", None, "b", 0.0, 1.0, span="s"),
+        ]
+        verify_span_tree(spans)
+        assert set(group_by_trace(spans)) == {"t1", "t2"}
+
+
+class TestChromeExport:
+    def test_export_shape(self):
+        spans = [
+            make_span("t1", None, "request", 1.0, 2.0, span="root", status=200),
+            make_span("t1", "root", "job", 1.5, 1.0, span="job"),
+            make_span("t2", None, "request", 3.0, 1.0),
+        ]
+        payload = chrome_trace(spans)
+        assert payload["displayTimeUnit"] == "ms"
+        events = payload["traceEvents"]
+        # 1 process_name + 2 thread_name metadata + 3 complete events
+        assert len(events) == 6
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3
+        root = complete[0]
+        assert root["ts"] == pytest.approx(1.0e6)
+        assert root["dur"] == pytest.approx(2.0e6)
+        assert root["args"]["status"] == 200
+        # both t1 spans share a thread row; t2 gets its own
+        assert complete[0]["tid"] == complete[1]["tid"] != complete[2]["tid"]
+        json.dumps(payload)  # must be serializable as-is
+
+
+class TestReaders:
+    def test_torn_final_line_is_skipped_and_counted(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        good = make_span("t1", None, "request", 0.0, 1.0)
+        path.write_text(
+            json.dumps(good) + "\n"
+            + "\n"  # blank lines are not corruption
+            + json.dumps(good)[: len(json.dumps(good)) // 2]  # torn write
+        )
+        records, corrupt = read_jsonl_records(path)
+        assert len(records) == 1 and corrupt == 1
+
+    def test_non_object_lines_count_as_corrupt(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        path.write_text('{"kind": "span"}\n[1, 2, 3]\n"text"\n')
+        records, corrupt = read_jsonl_records(path)
+        assert len(records) == 1 and corrupt == 2
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        assert read_jsonl_records(tmp_path / "nope.jsonl") == ([], 0)
+
+
+class TestPersistence:
+    def test_flush_load_info_clear_roundtrip(self, tmp_path):
+        spans = [
+            make_span("t1", None, "request", 0.0, 1.0, span="root"),
+            make_span("t1", "root", "job", 0.1, 0.5),
+        ]
+        assert flush_spans(tmp_path, []) is None
+        path = flush_spans(tmp_path, spans)
+        assert path is not None and path.parent == tmp_path / SPAN_DIR
+        loaded, corrupt = load_spans(tmp_path)
+        assert corrupt == 0
+        assert [s["name"] for s in loaded] == ["request", "job"]
+        info = render_spans_info(tmp_path)
+        assert "2 span(s) across 1 trace(s)" in info
+        assert clear_spans(tmp_path) == 1
+        assert span_files(tmp_path / SPAN_DIR) == []
+        assert render_spans_info(tmp_path) is None
+
+    def test_corrupt_lines_surface_in_info(self, tmp_path):
+        root = tmp_path / SPAN_DIR
+        root.mkdir()
+        (root / "x.jsonl").write_text(
+            json.dumps(make_span("t", None, "a", 0.0, 1.0)) + "\n{torn"
+        )
+        assert "1 corrupt line(s) skipped" in render_spans_info(tmp_path)
+
+    def test_prune_keeps_newest_files(self, tmp_path):
+        root = tmp_path / SPAN_DIR
+        root.mkdir()
+        for index in range(KEEP_FILES + 3):
+            (root / f"2026-{index:04d}.jsonl").write_text("{}\n")
+        flush_spans(tmp_path, [make_span("t", None, "a", 0.0, 1.0)])
+        assert len(span_files(root)) == KEEP_FILES
+
+
+class TestAnalysis:
+    def test_summary_sorts_by_total(self):
+        spans = [
+            make_span("t", None, "fast", 0.0, 0.1),
+            make_span("t", None, "slow", 0.0, 5.0),
+            make_span("t", None, "slow", 0.0, 3.0),
+        ]
+        rows = span_summary(spans)
+        assert [r["name"] for r in rows] == ["slow", "fast"]
+        assert rows[0]["count"] == 2
+        assert rows[0]["total"] == pytest.approx(8.0)
+        assert rows[0]["mean"] == pytest.approx(4.0)
+        assert rows[0]["max"] == pytest.approx(5.0)
+
+    def test_critical_path_descends_longest_children(self):
+        spans = [
+            make_span("t", None, "root", 0.0, 10.0, span="r"),
+            make_span("t", "r", "short", 0.0, 2.0, span="s"),
+            make_span("t", "r", "long", 2.0, 7.0, span="l"),
+            make_span("t", "l", "leaf", 3.0, 4.0, span="leaf"),
+        ]
+        assert [s["name"] for s in critical_path(spans)] == [
+            "root", "long", "leaf",
+        ]
+
+    def test_critical_path_of_nothing_is_empty(self):
+        assert critical_path([]) == []
+
+
+WORK = dict(seed=3, max_instructions=600, warmup_instructions=200)
+
+
+def run_backend(backend, sections):
+    processor = processor_class(backend)(
+        paper_machine(LBICConfig(banks=2, buffer_ports=2)), label="swim/test"
+    )
+    if sections:
+        processor.sections = []
+    stream = spec95_workload("swim").stream(seed=WORK["seed"])
+    result = processor.run(
+        stream,
+        max_instructions=WORK["max_instructions"],
+        warmup_instructions=WORK["warmup_instructions"],
+    )
+    return processor, result
+
+
+class TestSectionMarkers:
+    @pytest.mark.parametrize("backend", ["object", "array", "jit"])
+    def test_sections_record_and_results_stay_bit_identical(self, backend):
+        plain_proc, plain = run_backend(backend, sections=False)
+        marked_proc, marked = run_backend(backend, sections=True)
+        assert plain_proc.sections is None
+        names = [s["name"] for s in marked_proc.sections]
+        assert "warmup_walk" in names and "busy_loop" in names
+        for section in marked_proc.sections:
+            assert section["dur"] >= 0.0
+            assert section["attrs"]["backend"] == type(marked_proc).BACKEND_NAME
+        # instrumentation must not perturb the simulation
+        assert marked.cycles == plain.cycles
+        assert marked.ipc == plain.ipc
+        assert marked.to_dict() == plain.to_dict()
+
+
+ENGINE_SETTINGS = RunSettings(
+    instructions=600, warmup_instructions=200, benchmarks=("swim",)
+)
+
+
+class TestEngineTracing:
+    def run_engine(self, tmp_path, tracer, subdir):
+        clear_registries()
+        engine = SimulationEngine(
+            ENGINE_SETTINGS,
+            jobs=1,
+            store=ResultStore(tmp_path / subdir),
+            tracer=tracer,
+        )
+        ports = LBICConfig(banks=2, buffer_ports=2)
+        result = engine.result("swim", ports=ports)
+        return engine, result
+
+    def test_traced_sweep_covers_phases_and_stays_identical(self, tmp_path):
+        tracer = Tracer()
+        traced_engine, traced = self.run_engine(tmp_path, tracer, "a")
+        _, plain = self.run_engine(tmp_path, None, "b")
+        assert traced.to_dict() == plain.to_dict()
+        spans = list(tracer.spans)
+        names = {s["name"] for s in spans}
+        assert {
+            "run_units", "probe", "materialize", "warmup",
+            "simulate", "busy_loop", "store",
+        } <= names
+        verify_span_tree(spans)
+        assert len(group_by_trace(spans)) == 1
+        # the busy loop nests under simulate, which nests under run_units
+        by_name = {s["name"]: s for s in spans}
+        parents = {s["span"]: s for s in spans}
+        assert parents[by_name["busy_loop"]["parent"]]["name"] == "simulate"
+        path = traced_engine.flush_spans()
+        assert path is not None
+        loaded, corrupt = load_spans(tmp_path / "a")
+        assert corrupt == 0 and len(loaded) == len(spans)
+        assert traced_engine.flush_spans() is None  # tracer drained
+
+    def test_untraced_engine_flush_is_a_noop(self, tmp_path):
+        engine, _ = self.run_engine(tmp_path, None, "c")
+        assert engine.flush_spans() is None
+        assert not (tmp_path / "c" / SPAN_DIR).exists()

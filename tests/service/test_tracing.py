@@ -1,0 +1,234 @@
+"""Request tracing through the daemon: one ``POST /v1/simulate``
+produces one span tree covering accept, dedup decision, queue wait,
+worker-pool execution, every engine phase, and the backend busy loop —
+and the new metric families count what the spans measure."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+
+from repro.engine import ResultStore, WorkerPool
+from repro.obs.jsonlog import JsonLogger
+from repro.obs.tracing import (
+    Tracer,
+    group_by_trace,
+    load_spans,
+    verify_span_tree,
+)
+from repro.service import ServiceApp, SimulationService, simulate_request
+
+QUICK = {
+    "benchmark": "li",
+    "ports": "ideal:1",
+    "instructions": 400,
+    "warmup_instructions": 200,
+}
+
+
+def make_service(store=None, tracer=None, jobs=2, backlog=8):
+    pool = WorkerPool(jobs, runner=None, threads=True)
+    return SimulationService(
+        store=store, pool=pool, backlog=backlog, tracer=tracer
+    )
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+class _running:
+    def __init__(self, service):
+        self.service = service
+
+    async def __aenter__(self):
+        await self.service.start()
+        return self.service
+
+    async def __aexit__(self, *exc_info):
+        await self.service.stop()
+
+
+def test_cold_request_traces_the_whole_lifecycle(tmp_path):
+    tracer = Tracer()
+    store = ResultStore(tmp_path / "cache")
+    service = make_service(store=store, tracer=tracer)
+
+    async def scenario():
+        async with _running(service):
+            job = service.submit(simulate_request(QUICK))
+            await job.task
+            return job
+
+    job = run(scenario())
+    assert job.state == "done"
+    assert job.trace_id is not None
+
+    spans, corrupt = load_spans(store.root)
+    assert corrupt == 0
+    verify_span_tree(spans)
+    grouped = group_by_trace(spans)
+    assert list(grouped) == [job.trace_id]
+    names = [s["name"] for s in grouped[job.trace_id]]
+    for expected in (
+        "job", "dedup", "unit", "queue_wait", "execute",
+        "materialize", "warmup", "simulate", "busy_loop", "store",
+    ):
+        assert expected in names, f"missing {expected} in {names}"
+
+    by_name = {s["name"]: s for s in grouped[job.trace_id]}
+    by_id = {s["span"]: s for s in grouped[job.trace_id]}
+    # dedup recorded the cold decision on its attributes
+    assert by_name["dedup"]["attrs"]["cold"] == 1
+    assert by_name["unit"]["attrs"]["outcome"] == "cold"
+    # the busy loop hangs off the simulate phase inside the execution
+    assert by_id[by_name["busy_loop"]["parent"]]["name"] == "simulate"
+    assert by_id[by_name["simulate"]["parent"]]["name"] == "execute"
+    assert by_id[by_name["queue_wait"]["parent"]]["name"] == "unit"
+
+
+def test_memo_hit_traces_without_touching_the_queue(tmp_path):
+    tracer = Tracer()
+    store = ResultStore(tmp_path / "cache")
+    service = make_service(store=store, tracer=tracer)
+
+    async def scenario():
+        async with _running(service):
+            first = service.submit(simulate_request(QUICK))
+            await first.task
+            second = service.submit(simulate_request(QUICK))
+            await second.task
+            return first, second
+
+    first, second = run(scenario())
+    assert first.trace_id != second.trace_id
+    spans, _ = load_spans(store.root)
+    verify_span_tree(spans)
+    memo_spans = group_by_trace(spans)[second.trace_id]
+    names = [s["name"] for s in memo_spans]
+    assert "dedup" in names and "unit" in names
+    assert "execute" not in names and "queue_wait" not in names
+    unit = next(s for s in memo_spans if s["name"] == "unit")
+    assert unit["attrs"]["outcome"] == "memo"
+    assert service.metrics.dedup_outcomes == {"cold": 1, "memo": 1}
+
+
+def test_untraced_service_results_are_bit_identical(tmp_path):
+    traced = make_service(store=ResultStore(tmp_path / "a"), tracer=Tracer())
+    plain = make_service(store=ResultStore(tmp_path / "b"), tracer=None)
+
+    async def resolve(service):
+        async with _running(service):
+            job = service.submit(simulate_request(QUICK))
+            await job.task
+            return job.unit_records
+
+    traced_records = run(resolve(traced))
+    plain_records = run(resolve(plain))
+    assert [r["result"] for r in traced_records] == [
+        r["result"] for r in plain_records
+    ]
+    assert load_spans(tmp_path / "b")[0] == []
+
+
+def test_metrics_render_new_families(tmp_path):
+    service = make_service(store=ResultStore(tmp_path / "cache"))
+
+    async def scenario():
+        async with _running(service):
+            job = service.submit(simulate_request(QUICK))
+            await job.task
+
+    run(scenario())
+    text = service.render_metrics()
+    assert 'repro_service_dedup_outcomes_total{outcome="cold"} 1' in text
+    assert "# TYPE repro_service_queue_depth_peak gauge" in text
+    assert "repro_service_queue_depth_peak 1" in text
+    assert "repro_service_queue_wait_seconds_count 1" in text
+    assert 'repro_service_phase_seconds_count{phase="simulate"} 1' in text
+    assert 'repro_service_unit_seconds_count{backend=' in text
+    # one TYPE header per family, even with several label sets
+    assert text.count("# TYPE repro_service_phase_seconds histogram") == 1
+
+
+def test_http_request_carries_the_trace_end_to_end(tmp_path):
+    """A traced POST over a real socket: the response's job record and
+    the access log carry the trace ID of the exported spans."""
+    from tests.service.test_http import http_json
+
+    tracer = Tracer()
+    store = ResultStore(tmp_path / "cache")
+    stream = io.StringIO()
+    service = make_service(store=store, tracer=tracer)
+    app = ServiceApp(
+        service, host="127.0.0.1", port=0, log=JsonLogger(stream=stream)
+    )
+
+    async def scenario():
+        async with app:
+            return await http_json(app.port, "POST", "/v1/simulate", QUICK)
+
+    status, payload = run(scenario())
+    assert status == 200
+    assert payload["state"] == "done"
+    trace_id = payload["trace"]
+
+    spans, _ = load_spans(store.root)
+    verify_span_tree(spans)
+    request_trace = group_by_trace(spans)[trace_id]
+    names = [s["name"] for s in request_trace]
+    assert names.count("request") == 1
+    assert "busy_loop" in names and "dedup" in names
+    request_span = next(s for s in request_trace if s["name"] == "request")
+    assert request_span["parent"] is None
+    assert request_span["attrs"]["status"] == 200
+    job_span = next(s for s in request_trace if s["name"] == "job")
+    assert job_span["parent"] == request_span["span"]
+
+    logged = [json.loads(line) for line in stream.getvalue().splitlines()]
+    access = [r for r in logged if r["event"] == "request"]
+    assert access and access[-1]["trace"] == trace_id
+    assert access[-1]["endpoint"] == "/v1/simulate"
+    assert access[-1]["status"] == 200
+
+
+def test_async_job_span_is_a_sibling_root(tmp_path):
+    """``?wait=false`` jobs outlive their HTTP request, so the job span
+    roots itself on the same trace instead of nesting (which would
+    violate the containment invariant)."""
+    from tests.service.test_http import http_json
+
+    tracer = Tracer()
+    store = ResultStore(tmp_path / "cache")
+    service = make_service(store=store, tracer=tracer)
+    app = ServiceApp(service, host="127.0.0.1", port=0)
+
+    async def scenario():
+        async with app:
+            status, payload = await http_json(
+                app.port, "POST", "/v1/simulate?wait=false", QUICK
+            )
+            assert status == 202
+            job = service.jobs.get(payload["job"])
+            await job.task
+            return payload
+
+    payload = run(scenario())
+    assert "trace" in payload
+    spans, _ = load_spans(store.root)
+    verify_span_tree(spans)
+    trace = group_by_trace(spans)[payload["trace"]]
+    job_span = next(s for s in trace if s["name"] == "job")
+    assert job_span["parent"] is None
+    roots = [s for s in trace if s["parent"] is None]
+    assert {s["name"] for s in roots} == {"request", "job"}
+
+
+def test_job_record_exposes_trace_id():
+    from repro.service.jobs import Job
+
+    job = Job("job-x", "desc", 1)
+    assert "trace" not in job.to_dict()
+    job.trace_id = "abc123"
+    assert job.to_dict()["trace"] == "abc123"

@@ -107,7 +107,8 @@ class TestCommands:
         parser = build_parser()
         text = parser.format_help()
         for command in ("table2", "table3", "table4", "figure3", "claims",
-                        "run", "ablation", "trace", "stalls", "pack", "list"):
+                        "run", "ablation", "trace", "stalls", "pack", "spans",
+                        "serve", "list"):
             assert command in text
 
     def test_benchmark_choice_validated(self):
@@ -200,6 +201,47 @@ class TestCommands:
         assert "telemetry file(s)" in out
         assert main(["cache", "info"]) == 0
         assert "telemetry:" not in capsys.readouterr().out
+
+    def test_trace_spans_flag_records_and_spans_commands_read(
+        self, tmp_path, capsys
+    ):
+        code = main([
+            "run", "swim", "--ports", "lbic:2x2", "-n", "1200",
+            "--trace-spans",
+        ])
+        assert code == 0
+        capsys.readouterr()
+
+        assert main(["spans", "view"]) == 0
+        out = capsys.readouterr().out
+        assert "trace " in out
+        assert "run_units" in out and "busy_loop" in out
+
+        assert main(["spans", "summary"]) == 0
+        out = capsys.readouterr().out
+        assert "span totals" in out and "critical path" in out
+
+        export = tmp_path / "chrome.json"
+        assert main(["spans", "export", "--check", "-o", str(export)]) == 0
+        assert "wrote" in capsys.readouterr().out
+        import json
+
+        payload = json.loads(export.read_text())
+        assert payload["displayTimeUnit"] == "ms"
+        complete = [e for e in payload["traceEvents"] if e.get("ph") == "X"]
+        assert {e["name"] for e in complete} >= {"run_units", "simulate"}
+
+        # cache info rolls the spans up; cache clear removes them
+        assert main(["cache", "info"]) == 0
+        assert "spans:" in capsys.readouterr().out
+        assert main(["cache", "clear"]) == 0
+        assert "span-trace file(s)" in capsys.readouterr().out
+        assert main(["spans", "view"]) == 1
+        assert "no spans recorded" in capsys.readouterr().err
+
+    def test_spans_view_without_recordings_errors(self, capsys):
+        assert main(["spans", "summary"]) == 1
+        assert "no spans recorded" in capsys.readouterr().err
 
     def test_pack_list_names_shipped_packs(self, capsys):
         assert main(["pack", "list"]) == 0

@@ -13,7 +13,11 @@ It drives the *installed* daemon over real HTTP, twice:
    result — no second simulation;
 2. a **restarted** daemon over the same cache directory answers the
    same request straight from the persistent store
-   (``source == "store"``) — its pool never runs anything.
+   (``source == "store"``) — its pool never runs anything;
+3. a daemon started with ``--trace-spans`` serves one cold request,
+   and ``repro-lbic spans export`` then yields Chrome trace-event JSON
+   with at least one complete span for every engine phase (plus the
+   queue wait, the dedup decision, and the backend busy loop).
 
 Exits non-zero with a diagnostic if any path misbehaves.
 """
@@ -69,14 +73,20 @@ def wait_healthy(port: int, daemon: subprocess.Popen) -> dict:
     sys.exit(f"FAIL: daemon not healthy within {BOOT_TIMEOUT}s")
 
 
-def start_daemon(port: int, cache_dir: str) -> subprocess.Popen:
+def cli_command(cache_dir: str):
+    """The installed CLI (or the src/ checkout) plus its environment."""
     env = dict(os.environ, REPRO_CACHE_DIR=cache_dir)
     if shutil.which("repro-lbic"):
         command = ["repro-lbic"]
     else:  # uninstalled checkout: run the CLI module from src/
         command = [sys.executable, "-m", "repro.cli"]
         env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
-    command += ["serve", "--port", str(port), "--jobs", "2"]
+    return command, env
+
+
+def start_daemon(port: int, cache_dir: str, *extra: str) -> subprocess.Popen:
+    command, env = cli_command(cache_dir)
+    command += ["serve", "--port", str(port), "--jobs", "2", *extra]
     return subprocess.Popen(command, env=env)
 
 
@@ -154,8 +164,75 @@ def main() -> int:
     finally:
         stop_daemon(daemon)
 
+    trace_smoke()
+
     print("serve smoke: PASS")
     return 0
+
+
+#: span names one cold traced request must produce, at least once each.
+EXPECTED_SPANS = (
+    "request", "job", "dedup", "unit", "queue_wait", "execute",
+    "materialize", "warmup", "simulate", "busy_loop", "store",
+)
+
+
+def trace_smoke() -> None:
+    """One traced request end to end: daemon with ``--trace-spans``,
+    then ``spans export`` must emit parseable Chrome trace-event JSON
+    covering every engine phase of the request."""
+    cache_dir = tempfile.mkdtemp(prefix="serve-smoke-trace-")
+    port = free_port()
+    daemon = start_daemon(port, cache_dir, "--trace-spans")
+    try:
+        wait_healthy(port, daemon)
+        traced = request(port, "POST", "/v1/simulate", QUICK_UNIT)
+        expect(traced["state"] == "done", f"traced request failed: {traced}")
+        expect(
+            bool(traced.get("trace")),
+            "traced response carries no trace ID",
+        )
+    finally:
+        stop_daemon(daemon)
+
+    export = os.path.join(cache_dir, "chrome-trace.json")
+    command, env = cli_command(cache_dir)
+    exported = subprocess.run(
+        command + ["spans", "export", "--check", "-o", export],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+    expect(
+        exported.returncode == 0,
+        f"spans export failed: {exported.stdout}{exported.stderr}",
+    )
+    with open(export, encoding="utf-8") as handle:
+        payload = json.load(handle)  # must parse as JSON
+    complete = [
+        event for event in payload.get("traceEvents", [])
+        if event.get("ph") == "X"
+    ]
+    by_name = {}
+    for event in complete:
+        by_name.setdefault(event["name"], []).append(event)
+    for name in EXPECTED_SPANS:
+        spans = [e for e in by_name.get(name, []) if e.get("dur", 0) >= 0]
+        expect(
+            len(spans) >= 1,
+            f"exported trace has no complete {name!r} span "
+            f"(got {sorted(by_name)})",
+        )
+    # the busy loop must sit on a trace rooted by an HTTP request span
+    # (healthz polls produce request spans too, so match by trace ID)
+    simulate_trace = by_name["busy_loop"][0]["args"]["trace"]
+    request_traces = {e["args"]["trace"] for e in by_name["request"]}
+    expect(
+        simulate_trace in request_traces,
+        "busy loop's trace has no HTTP request root span",
+    )
+    print(
+        f"traced request: {len(complete)} spans exported, "
+        f"all engine phases covered"
+    )
 
 
 if __name__ == "__main__":
